@@ -1,0 +1,63 @@
+// Ablation: the workflow rescheduling of section 3.1 — streaming
+// detect->describe->filter vs the original detect->filter->describe.
+// Reports per-frame extractor latency, stream stalls and the on-chip
+// memory the rescheduled order avoids (paper claims ~39% lower latency
+// than the extractor of [4] despite processing 48% more pixels).
+#include "accel/orb_extractor_hw.h"
+#include "bench_util.h"
+#include "dataset/scene.h"
+
+int main() {
+  using namespace eslam;
+  using namespace eslam::bench;
+  print_header("Ablation: workflow rescheduling (section 3.1 / 4.4)",
+               "section 4.4 discussion");
+
+  const BoxRoomScene scene;
+  const PinholeCamera cam = PinholeCamera::tum_freiburg1();
+  const ImageU8 img = scene.render(cam, SE3{}, 0).gray;
+
+  HwExtractorConfig resched_cfg;
+  resched_cfg.workflow = HwWorkflow::kRescheduled;
+  HwExtractorConfig orig_cfg;
+  orig_cfg.workflow = HwWorkflow::kOriginal;
+
+  OrbExtractorHw resched(resched_cfg), orig(orig_cfg);
+  resched.extract(img);
+  orig.extract(img);
+  const HwExtractorReport& r = resched.report();
+  const HwExtractorReport& o = orig.report();
+
+  Table t({"metric", "rescheduled (paper)", "original workflow"});
+  t.add_row({"FE latency", ms(r.ms(), 2), ms(o.ms(), 2)});
+  t.add_row({"total cycles", std::to_string(r.total_cycles),
+             std::to_string(o.total_cycles)});
+  t.add_row({"descriptors computed",
+             std::to_string(r.described) + " (all M detected)",
+             std::to_string(o.described) + " (N kept only)"});
+  t.add_row({"serial describe tail", "0 cycles",
+             std::to_string(o.describe_serial_cycles) + " cycles"});
+  std::uint64_t resched_stalls = 0;
+  for (const LevelCycleReport& lvl : r.levels) resched_stalls += lvl.stall_cycles;
+  t.add_row({"stream stalls", std::to_string(resched_stalls) + " cycles",
+             "0 cycles"});
+  t.add_row({"on-chip stream caches",
+             Table::fmt(r.onchip_bits / 8192.0, 1) + " KB",
+             Table::fmt(o.onchip_bits / 8192.0, 1) + " KB"});
+  t.add_row({"full-frame smoothed buffer", "not needed",
+             Table::fmt(o.original_workflow_cache_bits / 8192.0, 1) +
+                 " KB (or SDRAM round trips)"});
+  t.print();
+
+  const double reduction = 100.0 * (1.0 - r.ms() / o.ms());
+  std::printf(
+      "\nlatency reduction from rescheduling: %.1f%%\n"
+      "paper section 4.4: eSLAM's FE is ~39%% faster than the FPGA ORB\n"
+      "extractor of [4] (which follows the original order), even though\n"
+      "the 4-layer pyramid processes 48%% more pixels.\n"
+      "trade-off visible above: %d - %d = %d extra descriptors are\n"
+      "computed to keep the pipeline busy (the M - N overhead the paper\n"
+      "accepts).\n",
+      reduction, r.described, o.described, r.described - o.described);
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Shared helpers for the benchmark binaries that regenerate the paper's
+// tables and figures.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/eslam.h"
+#include "dataset/sequence.h"
+#include "eval/report.h"
+
+namespace eslam::bench {
+
+// Renders all frames of a sequence once so multiple pipeline variants can
+// consume identical inputs without re-raycasting.
+inline std::vector<FrameInput> render_all(const SyntheticSequence& seq) {
+  std::vector<FrameInput> frames;
+  frames.reserve(static_cast<std::size_t>(seq.size()));
+  for (int i = 0; i < seq.size(); ++i) frames.push_back(seq.frame(i));
+  return frames;
+}
+
+// Runs a System over pre-rendered frames and returns it for inspection.
+inline void run_system(System& slam, const std::vector<FrameInput>& frames) {
+  for (const FrameInput& f : frames) slam.process(f);
+}
+
+inline std::string ms(double v, int decimals = 1) {
+  return Table::fmt(v, decimals) + " ms";
+}
+
+inline void print_header(const char* title, const char* paper_ref) {
+  std::printf("\n=== %s ===\n", title);
+  std::printf("reproduces: %s (eSLAM, DAC 2019)\n\n", paper_ref);
+}
+
+}  // namespace eslam::bench

@@ -1,0 +1,79 @@
+// Regenerates Figure 2: the RS-BRIEF pattern vs the original BRIEF
+// pattern.  Prints pattern statistics and writes fig2_patterns.ppm with
+// both patterns drawn side by side (S locations bright, D locations dark).
+#include <cmath>
+
+#include "bench_util.h"
+#include "features/pattern.h"
+#include "image/draw.h"
+#include "image/pnm_io.h"
+
+namespace {
+
+using namespace eslam;
+
+void draw_pattern(ImageRgb& canvas, const Pattern256& pattern, int cx,
+                  int cy, int scale) {
+  draw_circle(canvas, cx, cy, 15 * scale, Rgb{90, 90, 90});
+  for (const TestPair& p : pattern) {
+    draw_point(canvas, cx + p.s.x * scale, cy + p.s.y * scale,
+               Rgb{80, 220, 80}, 1);
+    draw_point(canvas, cx + p.d.x * scale, cy + p.d.y * scale,
+               Rgb{230, 120, 40}, 1);
+  }
+}
+
+// Measures how close the pattern is to 32-fold rotational symmetry: the
+// mean distance between each location and its rotated group-0 seed.
+double symmetry_residual(const Pattern256& pattern) {
+  double total = 0;
+  int count = 0;
+  const double step = 11.25 * M_PI / 180.0;
+  for (int j = 0; j < 32; ++j) {
+    const double c = std::cos(j * step), s = std::sin(j * step);
+    for (int i = 0; i < 8; ++i) {
+      const TestPair& seed = pattern[static_cast<std::size_t>(i)];
+      const TestPair& rot = pattern[static_cast<std::size_t>(j * 8 + i)];
+      total += std::hypot(seed.s.x * c - seed.s.y * s - rot.s.x,
+                          seed.s.y * c + seed.s.x * s - rot.s.y);
+      ++count;
+    }
+  }
+  return total / count;
+}
+
+}  // namespace
+
+int main() {
+  using namespace eslam;
+  bench::print_header("Figure 2: RS-BRIEF vs original BRIEF pattern",
+                      "Figure 2");
+
+  const RsBriefPattern rs;
+  const OriginalBriefPattern orig;
+
+  Table t({"property", "RS-BRIEF", "original BRIEF"});
+  t.add_row({"test pairs", "256", "256"});
+  t.add_row({"independent seed pairs", "8", "256"});
+  t.add_row({"rotational symmetry", "32-fold (11.25 deg)", "none"});
+  t.add_row({"symmetry residual (px)",
+             Table::fmt(symmetry_residual(rs.base()), 2),
+             Table::fmt(symmetry_residual(orig.base()), 2)});
+  t.add_row({"steering mechanism", "byte rotation (0 ops)",
+             "30-pattern LUT lookup"});
+  t.add_row({"steering LUT memory", "0 B",
+             std::to_string(OriginalBriefPattern::lut_bytes()) + " B"});
+  t.print();
+
+  ImageRgb canvas(2 * 170, 170);
+  canvas.fill(Rgb{20, 20, 25});
+  draw_pattern(canvas, rs.base(), 85, 85, 5);
+  draw_pattern(canvas, orig.base(), 255, 85, 5);
+  write_ppm("fig2_patterns.ppm", canvas);
+  std::printf("\nwrote fig2_patterns.ppm (left: RS-BRIEF, right: original"
+              " BRIEF;\ngreen = S locations, orange = D locations)\n");
+  std::printf("The RS-BRIEF residual ~0 confirms the 32-fold structure the\n"
+              "BRIEF Rotator exploits; the original pattern has no such"
+              " structure.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Regenerates Figure 7: the parallelized pipeline schedule of eSLAM for
+// normal frames (FPGA FE+FM of frame N+1 overlaps ARM PE+PO of frame N)
+// and key frames (FM waits for map updating), drawn as an ASCII Gantt
+// chart from the same timeline model the Table 3 bench uses.
+#include <algorithm>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace eslam;
+
+void draw_timeline(const std::vector<TimelineSegment>& segments,
+                   double total_ms) {
+  constexpr int kWidth = 64;
+  for (const char* unit : {"ARM", "FPGA"}) {
+    std::string lane(kWidth, '.');
+    std::string labels(kWidth, ' ');
+    for (const TimelineSegment& s : segments) {
+      if (std::string(s.unit) != unit) continue;
+      const int a = static_cast<int>(s.start_ms / total_ms * (kWidth - 1));
+      const int b = std::max(
+          a + 1, static_cast<int>(s.end_ms / total_ms * (kWidth - 1)));
+      for (int i = a; i < b && i < kWidth; ++i) lane[static_cast<std::size_t>(i)] = '#';
+      if (a + 1 < kWidth) {
+        labels[static_cast<std::size_t>(a)] = s.stage[0];
+        if (s.stage[1] && a + 1 < kWidth)
+          labels[static_cast<std::size_t>(a + 1)] = s.stage[1];
+      }
+    }
+    std::printf("  %-4s |%s|\n       |%s|\n", unit, labels.c_str(),
+                lane.c_str());
+  }
+  std::printf("       0%*s%.1f ms\n", kWidth - 6, "", total_ms);
+}
+
+void show(const StageDurations& d, bool key_frame, const char* title) {
+  const auto timeline = pipeline_timeline(d, key_frame);
+  double total = 0;
+  for (const auto& s : timeline) total = std::max(total, s.end_ms);
+  std::printf("%s (per-frame latency %.1f ms):\n", title, total);
+  draw_timeline(timeline, total);
+  for (const auto& s : timeline)
+    std::printf("    %-4s %-2s frame N%s  %6.1f -> %6.1f ms\n", s.unit,
+                s.stage, s.frame ? "+1" : "  ", s.start_ms, s.end_ms);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace eslam;
+  bench::print_header("Figure 7: parallelized pipeline (normal vs key frame)",
+                      "Figure 7");
+
+  const StageDurations d = paper_eslam_times();
+  std::printf("stage times (paper Table 2): FE=%.1f FM=%.1f PE=%.1f PO=%.1f"
+              " MU=%.1f ms\n\n",
+              d.feature_extraction, d.feature_matching, d.pose_estimation,
+              d.pose_optimization, d.map_updating);
+
+  show(d, false, "normal frame");
+  show(d, true, "key frame");
+
+  std::printf("normal-frame latency = max(FE+FM, PE+PO) = %.1f ms"
+              " (paper: 17.9)\n",
+              eslam_normal_frame_ms(d));
+  std::printf("key-frame latency    = max(FE, PE+PO) + FM + MU = %.1f ms"
+              " (paper: 31.8)\n",
+              eslam_key_frame_ms(d));
+  return 0;
+}

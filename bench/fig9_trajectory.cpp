@@ -1,0 +1,106 @@
+// Regenerates Figure 9: estimated trajectories (RS-BRIEF and original ORB)
+// against ground truth on the fr1/desk-like sequence.  Prints a sampled
+// x/z series and writes full TUM-format trajectories + a top-down plot.
+#include "bench_util.h"
+#include "dataset/tum_io.h"
+#include "eval/ate.h"
+#include "image/draw.h"
+#include "image/pnm_io.h"
+
+namespace {
+
+using namespace eslam;
+
+std::vector<SE3> run_mode(const SyntheticSequence& seq,
+                          const std::vector<FrameInput>& frames,
+                          DescriptorMode mode, const char* tum_path) {
+  SystemConfig cfg;
+  cfg.platform = Platform::kSoftware;
+  cfg.descriptor = mode;
+  System slam(seq.camera(), cfg);
+  std::vector<TimedPose> tum;
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    const TrackResult r = slam.process(frames[i]);
+    tum.push_back(TimedPose{r.timestamp, r.pose_wc});
+  }
+  write_tum_trajectory(tum_path, tum);
+  return slam.poses();
+}
+
+// Aligns an estimate to ground truth and returns the aligned positions.
+std::vector<Vec3> aligned_positions(const std::vector<SE3>& est,
+                                    const std::vector<SE3>& gt) {
+  std::vector<Vec3> est_t, gt_t;
+  for (const SE3& p : est) est_t.push_back(p.translation());
+  for (const SE3& p : gt) gt_t.push_back(p.translation());
+  const AteResult ate = absolute_trajectory_error(
+      std::span<const Vec3>(est_t), std::span<const Vec3>(gt_t));
+  std::vector<Vec3> out;
+  for (const Vec3& p : est_t) out.push_back(ate.alignment * p);
+  return out;
+}
+
+void plot(ImageRgb& img, const std::vector<Vec3>& pts, Rgb color) {
+  // Top-down (x, z) view, room [-3.2, 3.2] mapped to the canvas.
+  auto px = [&](double v) {
+    return static_cast<int>((v + 3.2) / 6.4 * (img.width() - 1));
+  };
+  for (std::size_t i = 1; i < pts.size(); ++i)
+    draw_line(img, px(pts[i - 1][0]), px(pts[i - 1][2]), px(pts[i][0]),
+              px(pts[i][2]), color);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace eslam;
+  using namespace eslam::bench;
+  print_header("Figure 9: estimated vs ground-truth trajectory (fr1/desk)",
+               "Figure 9");
+
+  SequenceOptions opts;
+  opts.frames = argc > 1 ? std::atoi(argv[1]) : 60;
+  if (opts.frames < 10) opts.frames = 10;
+  const SyntheticSequence seq(SequenceId::kFr1Desk, opts);
+  const auto frames = render_all(seq);
+
+  const std::vector<SE3> rs =
+      run_mode(seq, frames, DescriptorMode::kRsBrief, "fig9_rsbrief.tum");
+  const std::vector<SE3> orb =
+      run_mode(seq, frames, DescriptorMode::kOrbLut, "fig9_original_orb.tum");
+  const std::vector<SE3>& gt = seq.ground_truth();
+
+  const auto rs_aligned = aligned_positions(rs, gt);
+  const auto orb_aligned = aligned_positions(orb, gt);
+
+  Table t({"frame", "gt x", "gt z", "RS-BRIEF x", "RS-BRIEF z",
+           "origORB x", "origORB z"});
+  for (int i = 0; i < seq.size(); i += std::max(1, seq.size() / 12)) {
+    const auto k = static_cast<std::size_t>(i);
+    t.add_row({std::to_string(i), Table::fmt(gt[k].translation()[0], 3),
+               Table::fmt(gt[k].translation()[2], 3),
+               Table::fmt(rs_aligned[k][0], 3), Table::fmt(rs_aligned[k][2], 3),
+               Table::fmt(orb_aligned[k][0], 3),
+               Table::fmt(orb_aligned[k][2], 3)});
+  }
+  t.print();
+
+  const AteResult ate_rs = absolute_trajectory_error(rs, gt);
+  const AteResult ate_orb = absolute_trajectory_error(orb, gt);
+  std::printf("\nmean ATE: RS-BRIEF %.2f cm, original ORB %.2f cm\n",
+              ate_rs.mean * 100, ate_orb.mean * 100);
+
+  ImageRgb canvas(480, 480);
+  canvas.fill(Rgb{18, 18, 22});
+  std::vector<Vec3> gt_t;
+  for (const SE3& p : gt) gt_t.push_back(p.translation());
+  plot(canvas, gt_t, Rgb{240, 240, 240});
+  plot(canvas, rs_aligned, Rgb{90, 220, 90});
+  plot(canvas, orb_aligned, Rgb{240, 150, 60});
+  write_ppm("fig9_trajectories.ppm", canvas);
+  std::printf("wrote fig9_trajectories.ppm (white: ground truth, green:\n"
+              "RS-BRIEF, orange: original ORB) and fig9_*.tum files.\n"
+              "Shape to check: both estimates hug the ground truth; the two\n"
+              "descriptors are visually indistinguishable (paper Fig. 9).\n");
+  return 0;
+}

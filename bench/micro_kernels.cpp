@@ -1,0 +1,121 @@
+// google-benchmark microbenchmarks for the hot kernels of the pipeline:
+// Hamming distance, descriptor computation and steering, FAST detection,
+// smoothing, brute-force matching and scene rendering.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "dataset/scene.h"
+#include "features/brief.h"
+#include "features/fast.h"
+#include "features/harris.h"
+#include "features/matcher.h"
+#include "features/orb.h"
+#include "image/convolve.h"
+
+namespace {
+
+using namespace eslam;
+
+ImageU8 test_image(int w, int h) {
+  ImageU8 img(w, h);
+  std::mt19937 rng(7);
+  for (auto& p : img.data())
+    p = static_cast<std::uint8_t>(40 + rng() % 176);
+  return img;
+}
+
+Descriptor256 random_descriptor(std::mt19937_64& rng) {
+  Descriptor256 d;
+  for (auto& w : d.words()) w = rng();
+  return d;
+}
+
+void BM_HammingDistance(benchmark::State& state) {
+  std::mt19937_64 rng(1);
+  const Descriptor256 a = random_descriptor(rng);
+  const Descriptor256 b = random_descriptor(rng);
+  for (auto _ : state) benchmark::DoNotOptimize(hamming_distance(a, b));
+}
+BENCHMARK(BM_HammingDistance);
+
+void BM_DescriptorRotate(benchmark::State& state) {
+  std::mt19937_64 rng(2);
+  const Descriptor256 d = random_descriptor(rng);
+  int n = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.rotated_bytes(n));
+    n = (n + 1) % 32;
+  }
+}
+BENCHMARK(BM_DescriptorRotate);
+
+void BM_ComputeDescriptor(benchmark::State& state) {
+  const ImageU8 img = smooth_gaussian7_u8(test_image(128, 128));
+  const RsBriefPattern pattern;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(compute_descriptor(img, 64, 64, pattern.base()));
+}
+BENCHMARK(BM_ComputeDescriptor);
+
+void BM_SteeredExactDescriptor(benchmark::State& state) {
+  const ImageU8 img = smooth_gaussian7_u8(test_image(128, 128));
+  const OriginalBriefPattern pattern;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(orb_descriptor_exact(img, 64, 64, pattern, 0.7));
+}
+BENCHMARK(BM_SteeredExactDescriptor);
+
+void BM_FastDetect(benchmark::State& state) {
+  const ImageU8 img = test_image(640, 480);
+  for (auto _ : state) benchmark::DoNotOptimize(detect_fast(img, 20, 3));
+  state.SetItemsProcessed(state.iterations() * img.pixel_count());
+}
+BENCHMARK(BM_FastDetect);
+
+void BM_HarrisScore(benchmark::State& state) {
+  const ImageU8 img = test_image(64, 64);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(harris_score_int(img, 32, 32));
+}
+BENCHMARK(BM_HarrisScore);
+
+void BM_Smooth7x7(benchmark::State& state) {
+  const ImageU8 img = test_image(640, 480);
+  for (auto _ : state) benchmark::DoNotOptimize(smooth_gaussian7_u8(img));
+  state.SetItemsProcessed(state.iterations() * img.pixel_count());
+}
+BENCHMARK(BM_Smooth7x7);
+
+void BM_BruteForceMatch(benchmark::State& state) {
+  std::mt19937_64 rng(3);
+  std::vector<Descriptor256> queries(256), train(
+      static_cast<std::size_t>(state.range(0)));
+  for (auto& d : queries) d = random_descriptor(rng);
+  for (auto& d : train) d = random_descriptor(rng);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(match_descriptors(queries, train));
+  state.SetItemsProcessed(state.iterations() * queries.size() * train.size());
+}
+BENCHMARK(BM_BruteForceMatch)->Arg(512)->Arg(2048);
+
+void BM_OrbExtractVga(benchmark::State& state) {
+  BoxRoomOptions opts;
+  const BoxRoomScene scene(opts);
+  const PinholeCamera cam = PinholeCamera::tum_freiburg1();
+  const ImageU8 img = scene.render(cam, SE3{}, 0).gray;
+  OrbExtractor extractor;
+  for (auto _ : state) benchmark::DoNotOptimize(extractor.extract(img));
+}
+BENCHMARK(BM_OrbExtractVga)->Unit(benchmark::kMillisecond);
+
+void BM_SceneRenderVga(benchmark::State& state) {
+  const BoxRoomScene scene;
+  const PinholeCamera cam = PinholeCamera::tum_freiburg1();
+  for (auto _ : state) benchmark::DoNotOptimize(scene.render(cam, SE3{}, 0));
+}
+BENCHMARK(BM_SceneRenderVga)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

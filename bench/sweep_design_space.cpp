@@ -1,0 +1,104 @@
+// Design-space sweeps for the DESIGN.md ablation list: how the simulated
+// accelerator latency responds to the architectural knobs the paper fixes.
+//   * pyramid depth        (section 4.4: 4 layers = +48% pixels vs 2)
+//   * feature budget       (heap capacity, paper: 1024)
+//   * matcher parallelism  (distance units, paper operating point P=8)
+//   * map size             (FM latency is linear in the map)
+#include "accel/matcher_hw.h"
+#include "accel/orb_extractor_hw.h"
+#include "bench_util.h"
+#include "dataset/scene.h"
+
+namespace {
+
+using namespace eslam;
+
+std::vector<Descriptor256> synthetic_descriptors(std::size_t n) {
+  std::vector<Descriptor256> v(n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (int w = 0; w < 4; ++w)
+      v[i].words()[static_cast<std::size_t>(w)] =
+          0x9e3779b97f4a7c15ull * (i * 4 + static_cast<std::size_t>(w) + 1);
+  return v;
+}
+
+}  // namespace
+
+int main() {
+  using namespace eslam;
+  using namespace eslam::bench;
+  print_header("Design-space sweeps (extractor & matcher)",
+               "sections 3.1-3.3 design choices");
+
+  const BoxRoomScene scene;
+  const PinholeCamera cam = PinholeCamera::tum_freiburg1();
+  const ImageU8 img = scene.render(cam, SE3{}, 0).gray;
+
+  // ---- pyramid depth -------------------------------------------------------
+  Table levels({"pyramid levels", "pixels", "FE latency", "vs 2 levels"});
+  std::uint64_t two_level_cycles = 0;
+  for (int l : {1, 2, 3, 4, 5}) {
+    HwExtractorConfig cfg;
+    cfg.levels = l;
+    OrbExtractorHw hw(cfg);
+    hw.extract(img);
+    std::uint64_t px = 0;
+    for (const auto& lvl : hw.report().levels)
+      px += static_cast<std::uint64_t>(lvl.width) * lvl.height;
+    if (l == 2) two_level_cycles = hw.report().total_cycles;
+    levels.add_row({std::to_string(l), std::to_string(px),
+                    ms(hw.report().ms(), 2),
+                    two_level_cycles
+                        ? Table::fmt_ratio(
+                              static_cast<double>(hw.report().total_cycles) /
+                              static_cast<double>(two_level_cycles), 2)
+                        : "-"});
+  }
+  levels.print();
+  std::printf("paper section 4.4: 4 layers process ~1.48x the pixels of 2"
+              " layers.\n\n");
+
+  // ---- feature budget (heap capacity) -------------------------------------
+  Table budget({"heap capacity", "kept", "FE latency"});
+  for (int n : {256, 512, 1024, 2048}) {
+    HwExtractorConfig cfg;
+    cfg.n_features = n;
+    OrbExtractorHw hw(cfg);
+    const FeatureList f = hw.extract(img);
+    budget.add_row({std::to_string(n), std::to_string(f.size()),
+                    ms(hw.report().ms(), 2)});
+  }
+  budget.print();
+  std::printf("FE latency is insensitive to the budget (the heap filters in\n"
+              "stream); the budget instead sets FM work and map growth.\n\n");
+
+  // ---- matcher parallelism -------------------------------------------------
+  const auto queries = synthetic_descriptors(1024);
+  const auto map3k = synthetic_descriptors(3000);
+  Table par({"distance units P", "FM latency", "speedup vs P=1"});
+  double p1_ms = 0;
+  for (int p : {1, 2, 4, 8, 16, 32}) {
+    HwMatcherConfig cfg;
+    cfg.parallelism = p;
+    BriefMatcherHw hw(cfg);
+    hw.match(queries, map3k);
+    if (p == 1) p1_ms = hw.report().ms();
+    par.add_row({std::to_string(p), ms(hw.report().ms(), 2),
+                 Table::fmt_ratio(p1_ms / hw.report().ms(), 2)});
+  }
+  par.print();
+  std::printf("P=8 reaches the paper's ~4 ms FM budget at 1024 x 3000.\n\n");
+
+  // ---- map size -------------------------------------------------------------
+  Table mapsz({"map points", "FM latency", "vs paper 4.0 ms"});
+  for (int m : {1000, 2000, 3000, 5000, 10000}) {
+    BriefMatcherHw hw;
+    hw.match(queries, synthetic_descriptors(static_cast<std::size_t>(m)));
+    mapsz.add_row({std::to_string(m), ms(hw.report().ms(), 2),
+                   Table::fmt_ratio(hw.report().ms() / 4.0, 2)});
+  }
+  mapsz.print();
+  std::printf("FM is linear in the map — the staleness pruning of Map\n"
+              "Updating is what keeps eSLAM inside its 4 ms budget.\n");
+  return 0;
+}

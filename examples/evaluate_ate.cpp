@@ -1,0 +1,54 @@
+// Trajectory evaluation tool (the TUM benchmark's evaluate_ate, in this
+// library): rigidly aligns an estimated TUM-format trajectory to a
+// ground-truth one and reports ATE statistics.
+//
+//   ./examples/evaluate_ate <estimate.tum> <groundtruth.tum>
+//
+// Trajectories are associated by nearest timestamp (within 20 ms).
+#include <cmath>
+#include <cstdio>
+
+#include "dataset/tum_io.h"
+#include "eval/ate.h"
+
+int main(int argc, char** argv) {
+  using namespace eslam;
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: %s <estimate.tum> <groundtruth.tum>\n",
+                 argv[0]);
+    return 2;
+  }
+  const auto estimate = read_tum_trajectory(argv[1]);
+  const auto ground_truth = read_tum_trajectory(argv[2]);
+  if (estimate.empty() || ground_truth.empty()) {
+    std::fprintf(stderr, "error: could not read trajectories\n");
+    return 1;
+  }
+
+  // Associate by nearest timestamp.
+  constexpr double kMaxDt = 0.02;
+  std::vector<SE3> est, gt;
+  std::size_t j = 0;
+  for (const TimedPose& e : estimate) {
+    while (j + 1 < ground_truth.size() &&
+           std::abs(ground_truth[j + 1].timestamp - e.timestamp) <
+               std::abs(ground_truth[j].timestamp - e.timestamp))
+      ++j;
+    if (std::abs(ground_truth[j].timestamp - e.timestamp) > kMaxDt) continue;
+    est.push_back(e.pose_wc);
+    gt.push_back(ground_truth[j].pose_wc);
+  }
+  if (est.size() < 3) {
+    std::fprintf(stderr, "error: only %zu associated pose pairs\n",
+                 est.size());
+    return 1;
+  }
+
+  const AteResult ate = absolute_trajectory_error(est, gt);
+  std::printf("compared_pose_pairs %zu pairs\n", est.size());
+  std::printf("absolute_translational_error.rmse   %.6f m\n", ate.rmse);
+  std::printf("absolute_translational_error.mean   %.6f m\n", ate.mean);
+  std::printf("absolute_translational_error.median %.6f m\n", ate.median);
+  std::printf("absolute_translational_error.max    %.6f m\n", ate.max);
+  return 0;
+}

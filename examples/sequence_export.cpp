@@ -1,0 +1,90 @@
+// Dataset tool: renders a synthetic sequence to disk in a TUM-like layout
+// (gray PGMs, 16-bit depth PGMs, groundtruth.tum) so the data can be
+// inspected or consumed by external tools.
+//
+//   ./examples/sequence_export <fr1_xyz|fr1_desk|fr1_room|fr2_xyz|fr2_rpy>
+//                              [frames] [out_dir]
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "dataset/sequence.h"
+#include "dataset/tum_io.h"
+#include "image/pnm_io.h"
+
+namespace {
+
+std::optional<eslam::SequenceId> parse_id(const std::string& name) {
+  using eslam::SequenceId;
+  if (name == "fr1_xyz") return SequenceId::kFr1Xyz;
+  if (name == "fr1_desk") return SequenceId::kFr1Desk;
+  if (name == "fr1_room") return SequenceId::kFr1Room;
+  if (name == "fr2_xyz") return SequenceId::kFr2Xyz;
+  if (name == "fr2_rpy") return SequenceId::kFr2Rpy;
+  return std::nullopt;
+}
+
+// 16-bit PGM for depth (TUM stores depth as 16-bit PNG; PGM is the
+// dependency-free equivalent here).
+bool write_pgm16(const std::string& path, const eslam::ImageU16& img) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return false;
+  os << "P5\n" << img.width() << " " << img.height() << "\n65535\n";
+  for (int y = 0; y < img.height(); ++y)
+    for (int x = 0; x < img.width(); ++x) {
+      const std::uint16_t v = img.at(x, y);  // big-endian per PNM spec
+      os.put(static_cast<char>(v >> 8));
+      os.put(static_cast<char>(v & 0xff));
+    }
+  return static_cast<bool>(os);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace eslam;
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <fr1_xyz|fr1_desk|fr1_room|fr2_xyz|fr2_rpy>"
+                 " [frames] [out_dir]\n",
+                 argv[0]);
+    return 2;
+  }
+  const auto id = parse_id(argv[1]);
+  if (!id) {
+    std::fprintf(stderr, "unknown sequence '%s'\n", argv[1]);
+    return 2;
+  }
+  SequenceOptions opts;
+  opts.frames = argc > 2 ? std::atoi(argv[2]) : 30;
+  if (opts.frames < 2) opts.frames = 2;
+  const std::string out_dir = argc > 3 ? argv[3] : std::string(argv[1]);
+
+  std::filesystem::create_directories(out_dir + "/rgb");
+  std::filesystem::create_directories(out_dir + "/depth");
+
+  const SyntheticSequence seq(*id, opts);
+  std::vector<TimedPose> gt;
+  for (int i = 0; i < seq.size(); ++i) {
+    const FrameInput frame = seq.frame(i);
+    char name[64];
+    std::snprintf(name, sizeof name, "%06.3f", frame.timestamp);
+    if (!write_pgm(out_dir + "/rgb/" + name + ".pgm", frame.gray) ||
+        !write_pgm16(out_dir + "/depth/" + name + ".pgm", frame.depth)) {
+      std::fprintf(stderr, "write failed at frame %d\n", i);
+      return 1;
+    }
+    gt.push_back(TimedPose{frame.timestamp, seq.ground_truth(i)});
+  }
+  write_tum_trajectory(out_dir + "/groundtruth.tum", gt);
+
+  std::printf("exported %d frames of %s to %s/ (rgb/, depth/,"
+              " groundtruth.tum)\n",
+              seq.size(), seq.name().c_str(), out_dir.c_str());
+  std::printf("camera: fx=%.1f fy=%.1f cx=%.1f cy=%.1f, depth factor 5000\n",
+              seq.camera().fx(), seq.camera().fy(), seq.camera().cx(),
+              seq.camera().cy());
+  return 0;
+}

@@ -1,0 +1,32 @@
+#include "accel/eslam_accel.h"
+
+namespace eslam {
+
+AcceleratedBackend::AcceleratedBackend(const HwExtractorConfig& extractor,
+                                       const HwMatcherConfig& matcher,
+                                       const MatcherOptions& accept)
+    : extractor_(extractor), matcher_(matcher), accept_(accept) {}
+
+FeatureList AcceleratedBackend::extract(const ImageU8& image) {
+  return extractor_.extract(image);
+}
+
+std::vector<Match> AcceleratedBackend::match(
+    std::span<const Descriptor256> queries,
+    std::span<const Descriptor256> train) {
+  // The fabric returns the raw minimum-distance result per query; the
+  // host-side acceptance gates (distance threshold, ratio) run on the ARM
+  // and are negligible next to PnP, so they are not separately timed.
+  std::vector<Match> raw = matcher_.match(queries, train);
+  std::vector<Match> accepted;
+  accepted.reserve(raw.size());
+  for (const Match& m : raw) {
+    if (m.train < 0 || m.distance > accept_.max_distance) continue;
+    if (accept_.ratio < 1.0 && !(m.distance < accept_.ratio * m.second_best))
+      continue;
+    accepted.push_back(m);
+  }
+  return accepted;
+}
+
+}  // namespace eslam

@@ -1,0 +1,38 @@
+// The accelerated feature backend: plugs the cycle-simulated ORB Extractor
+// and BRIEF Matcher into the tracker, so the same SLAM frontend runs in
+// "eSLAM mode".  Reported stage times are simulated FPGA milliseconds
+// (cycles / 100 MHz), not wall clock.
+#pragma once
+
+#include "accel/matcher_hw.h"
+#include "accel/orb_extractor_hw.h"
+#include "slam/tracker.h"
+
+namespace eslam {
+
+class AcceleratedBackend final : public FeatureBackend {
+ public:
+  explicit AcceleratedBackend(const HwExtractorConfig& extractor = {},
+                              const HwMatcherConfig& matcher = {},
+                              const MatcherOptions& accept = {});
+
+  FeatureList extract(const ImageU8& image) override;
+  std::vector<Match> match(std::span<const Descriptor256> queries,
+                           std::span<const Descriptor256> train) override;
+
+  double last_extract_time_ms() const override {
+    return extractor_.report().ms();
+  }
+  double last_match_time_ms() const override { return matcher_.report().ms(); }
+  const char* name() const override { return "eslam-accel"; }
+
+  const OrbExtractorHw& extractor() const { return extractor_; }
+  const BriefMatcherHw& matcher() const { return matcher_; }
+
+ private:
+  OrbExtractorHw extractor_;
+  BriefMatcherHw matcher_;
+  MatcherOptions accept_;
+};
+
+}  // namespace eslam

@@ -1,0 +1,51 @@
+#include "accel/matcher_hw.h"
+
+#include "geometry/assert.h"
+
+namespace eslam {
+
+BriefMatcherHw::BriefMatcherHw(const HwMatcherConfig& config)
+    : config_(config) {
+  ESLAM_ASSERT(config.parallelism > 0, "parallelism must be positive");
+}
+
+std::vector<Match> BriefMatcherHw::match(
+    std::span<const Descriptor256> queries,
+    std::span<const Descriptor256> map_descriptors) {
+  report_ = {};
+  report_.queries = static_cast<int>(queries.size());
+  report_.map_points = static_cast<int>(map_descriptors.size());
+
+  std::vector<Match> out;
+  out.reserve(queries.size());
+  if (map_descriptors.empty()) return out;
+
+  // Functional result: exact running-minimum scan per query; ties resolve
+  // to the lowest map index, the order the hardware scans the cache.
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    Match m = match_one(queries[i], map_descriptors);
+    m.query = static_cast<int>(i);
+    out.push_back(m);
+  }
+
+  // Timing: each query takes ceil(m / P) cycles of distance computing.
+  const std::uint64_t m = map_descriptors.size();
+  const std::uint64_t p = static_cast<std::uint64_t>(config_.parallelism);
+  const std::uint64_t batches_per_query = (m + p - 1) / p;
+  report_.compute_cycles =
+      static_cast<std::uint64_t>(queries.size()) * batches_per_query +
+      static_cast<std::uint64_t>(config_.pipeline_depth);
+
+  AxiBusModel axi(config_.axi);
+  report_.load_cycles = axi.read_cycles(m * 32u);  // 256-bit descriptors
+  report_.writeback_cycles =
+      axi.write_cycles(static_cast<std::uint64_t>(queries.size()) * 8u);
+
+  // Descriptor load is double-buffered behind compute; writeback follows.
+  report_.total_cycles =
+      std::max(report_.compute_cycles, report_.load_cycles) +
+      report_.writeback_cycles;
+  return out;
+}
+
+}  // namespace eslam

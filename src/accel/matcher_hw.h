@@ -1,0 +1,54 @@
+// Cycle-level model of the BRIEF Matcher (paper Figure 6).
+//
+// The Distance Computing module holds P parallel 256-bit XOR + popcount
+// units: each cycle it compares one query descriptor against P map
+// descriptors.  The Comparator keeps the running minimum; results stream
+// into the Result Cache and back to SDRAM.  Map descriptors arrive from
+// SDRAM over AXI, double-buffered so the load overlaps compute.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "features/matcher.h"
+#include "hw/axi.h"
+#include "hw/clock.h"
+
+namespace eslam {
+
+struct HwMatcherConfig {
+  int parallelism = 8;        // distance units (P)
+  int pipeline_depth = 6;     // XOR + popcount adder tree latency
+  AxiConfig axi;
+};
+
+struct HwMatcherReport {
+  std::uint64_t compute_cycles = 0;
+  std::uint64_t load_cycles = 0;       // map descriptors from SDRAM
+  std::uint64_t writeback_cycles = 0;  // results to SDRAM
+  std::uint64_t total_cycles = 0;      // max(compute, load) + writeback
+  int queries = 0;
+  int map_points = 0;
+  double ms() const { return cycles_to_ms(total_cycles); }
+};
+
+class BriefMatcherHw {
+ public:
+  explicit BriefMatcherHw(const HwMatcherConfig& config = {});
+
+  // Minimum-distance match per query (no thresholding — the host applies
+  // acceptance gates, as in the paper where raw results return to SDRAM).
+  // Functionally identical to match_one() for every query.
+  std::vector<Match> match(std::span<const Descriptor256> queries,
+                           std::span<const Descriptor256> map_descriptors);
+
+  const HwMatcherReport& report() const { return report_; }
+  const HwMatcherConfig& config() const { return config_; }
+
+ private:
+  HwMatcherConfig config_;
+  HwMatcherReport report_;
+};
+
+}  // namespace eslam

@@ -1,0 +1,223 @@
+#include "accel/orb_extractor_hw.h"
+
+#include <algorithm>
+
+#include "accel/heap_hw.h"
+#include "accel/orientation_hw.h"
+#include "features/brief.h"
+#include "features/fast.h"
+#include "features/harris.h"
+#include "features/nms.h"
+#include "features/orientation.h"
+#include "hw/linebuffer.h"
+#include "image/convolve.h"
+
+namespace eslam {
+
+namespace {
+
+// Arrival cycle of pixel (x, y) in the column-streaming order of the
+// Image Cache (columns are filled left to right, each column top-down).
+std::uint64_t arrival_cycle(int x, int y, int height) {
+  return static_cast<std::uint64_t>(x) * height + y;
+}
+
+}  // namespace
+
+OrbExtractorHw::OrbExtractorHw(const HwExtractorConfig& config)
+    : config_(config), pattern_(kDefaultPatternSeed) {
+  ESLAM_ASSERT(config.n_features > 0, "n_features must be positive");
+  ESLAM_ASSERT(config.border >= kPatternRadius + 1,
+               "border must cover the descriptor patch");
+}
+
+FeatureList OrbExtractorHw::extract(const ImageU8& image) {
+  report_ = {};
+  AxiBusModel axi(config_.axi);
+  FilterHeap heap(static_cast<std::size_t>(config_.n_features));
+
+  const ImagePyramid pyramid(image, config_.levels, config_.scale,
+                             /*use_bilinear=*/false);
+
+  // On-chip buffers: Image Cache + Score Cache + Smoothened Image Cache,
+  // all 3-line ping-pong structures (sized for the largest level), plus
+  // the heap.
+  const LineBufferCache sizing_cache(image.height());
+  report_.onchip_bits =
+      3 * sizing_cache.storage_bits() + heap.storage_bits();
+
+  struct PendingDescribe {
+    Keypoint keypoint;
+    std::uint64_t arrival = 0;
+    int level = 0;
+  };
+  std::vector<PendingDescribe> deferred;  // original workflow only
+
+  for (int li = 0; li < pyramid.levels(); ++li) {
+    const ImageU8& img = pyramid.level(li).image;
+    const double level_scale = pyramid.level(li).scale;
+    LevelCycleReport lvl;
+    lvl.level = li;
+    lvl.width = img.width();
+    lvl.height = img.height();
+    lvl.fill_cycles =
+        static_cast<std::uint64_t>(2 * LineBufferCache::kColumnsPerLine) *
+        img.height();
+    // BRIEF Computing at column x consumes smoothed pixels up to column
+    // x + 15; smoothing itself lags the raw stream by 3 columns.
+    lvl.skew_cycles =
+        static_cast<std::uint64_t>(kPatternRadius + 3) * img.height();
+    lvl.stream_cycles =
+        static_cast<std::uint64_t>(img.width()) * img.height();
+    lvl.drain_cycles = static_cast<std::uint64_t>(config_.pipeline_drain_cycles);
+    report_.original_workflow_cache_bits += img.pixel_count() * 8;
+
+    // Input image streamed from SDRAM (overlapped with compute).
+    axi.read_cycles(img.pixel_count());
+
+    if (img.width() <= 2 * config_.border ||
+        img.height() <= 2 * config_.border) {
+      report_.levels.push_back(lvl);
+      continue;
+    }
+
+    // ---- functional datapath ---------------------------------------------
+    std::vector<Keypoint> kps =
+        detect_fast(img, config_.fast_threshold, config_.border);
+    for (Keypoint& kp : kps) {
+      kp.level = li;
+      kp.scale = level_scale;
+      kp.score = harris_score_int(img, kp.x, kp.y);
+    }
+    kps = nms_3x3(kps, img.width(), img.height());
+    lvl.detected = static_cast<int>(kps.size());
+    report_.detected += lvl.detected;
+
+    // Hardware streams column-major; order keypoints by arrival cycle.
+    std::sort(kps.begin(), kps.end(), [&](const Keypoint& a, const Keypoint& b) {
+      return arrival_cycle(a.x, a.y, img.height()) <
+             arrival_cycle(b.x, b.y, img.height());
+    });
+
+    const ImageU8 smoothed = smooth_gaussian7_u8(img);
+
+    if (config_.workflow == HwWorkflow::kRescheduled) {
+      // Describe-all-then-filter, fully streaming.  Micro-simulate the
+      // BRIEF Computing and Heap units with FIFO back-pressure.
+      std::uint64_t desc_free = 0, heap_free = 0, stall = 0;
+      std::vector<std::uint64_t> issue_history;  // descriptor issue times
+      issue_history.reserve(kps.size());
+
+      for (const Keypoint& kp_in : kps) {
+        Keypoint kp = kp_in;
+        std::uint64_t arrival =
+            lvl.fill_cycles + arrival_cycle(kp.x, kp.y, img.height()) + stall;
+
+        // Stream stalls when the keypoint FIFO is full: the k-th keypoint
+        // cannot enter until the (k - depth)-th issued.
+        const std::size_t k = issue_history.size();
+        if (k >= static_cast<std::size_t>(config_.keypoint_fifo_depth)) {
+          const std::uint64_t gate =
+              issue_history[k - static_cast<std::size_t>(
+                                    config_.keypoint_fifo_depth)];
+          if (gate > arrival) {
+            stall += gate - arrival;
+            arrival = gate;
+          }
+        }
+
+        const std::uint64_t desc_start = std::max(arrival, desc_free);
+        desc_free = desc_start +
+                    static_cast<std::uint64_t>(config_.describe_issue_cycles);
+        issue_history.push_back(desc_free);
+
+        // Orientation + descriptor (functional).
+        std::int64_t m10, m01;
+        patch_moments(smoothed, kp.x, kp.y, m10, m01);
+        kp.orientation_label = orientation_label_hw(m10, m01);
+
+        Feature f;
+        f.descriptor = compute_descriptor(smoothed, kp.x, kp.y, pattern_.base())
+                           .rotated_bytes(kp.orientation_label);
+        f.keypoint = kp;
+        ++report_.described;
+
+        // Heap insertion (the Filtering stage, overlapped with the stream).
+        const std::uint64_t before = heap.cycles();
+        heap.offer(f);
+        const std::uint64_t cost = heap.cycles() - before;
+        heap_free = std::max(heap_free, desc_free) + cost;
+      }
+      lvl.stall_cycles = stall;
+      // If the heap is still draining after the last pixel, extend the
+      // level (usually zero: heap rate ~11 cycles vs pixel stream).
+      const std::uint64_t level_end =
+          lvl.fill_cycles + lvl.stream_cycles + lvl.stall_cycles;
+      if (heap_free > level_end) lvl.stall_cycles += heap_free - level_end;
+    } else {
+      // Original workflow: only detection + filtering stream; descriptors
+      // wait until filtering completes (after the last level below).
+      for (const Keypoint& kp : kps) {
+        Feature f;  // descriptor filled later for survivors
+        f.keypoint = kp;
+        heap.offer(f);
+        deferred.push_back(PendingDescribe{
+            kp, lvl.fill_cycles + arrival_cycle(kp.x, kp.y, img.height()),
+            li});
+      }
+    }
+
+    report_.levels.push_back(lvl);
+  }
+
+  // ---- filtering result ----------------------------------------------------
+  FeatureList kept = heap.drain();
+  report_.heap_cycles = heap.cycles();
+
+  if (config_.workflow == HwWorkflow::kOriginal) {
+    // Compute descriptors only for the N survivors, after filtering: every
+    // patch is a random SDRAM fetch (the smoothened image no longer sits
+    // in the stream caches).
+    // Rebuild per-level smoothed images for the functional result.
+    const ImagePyramid pyramid(image, config_.levels, config_.scale, false);
+    std::vector<ImageU8> smoothed_levels;
+    smoothed_levels.reserve(static_cast<std::size_t>(pyramid.levels()));
+    for (int li = 0; li < pyramid.levels(); ++li)
+      smoothed_levels.push_back(smooth_gaussian7_u8(pyramid.level(li).image));
+
+    for (Feature& f : kept) {
+      const ImageU8& smoothed =
+          smoothed_levels[static_cast<std::size_t>(f.keypoint.level)];
+      std::int64_t m10, m01;
+      patch_moments(smoothed, f.keypoint.x, f.keypoint.y, m10, m01);
+      f.keypoint.orientation_label = orientation_label_hw(m10, m01);
+      f.descriptor =
+          compute_descriptor(smoothed, f.keypoint.x, f.keypoint.y,
+                             pattern_.base())
+              .rotated_bytes(f.keypoint.orientation_label);
+      report_.describe_serial_cycles +=
+          static_cast<std::uint64_t>(config_.random_patch_fetch_cycles +
+                                     config_.describe_issue_cycles);
+      ++report_.described;
+    }
+    // The smoothened image must round-trip through SDRAM in this workflow.
+    for (const ImageU8& s : smoothed_levels) axi.write_cycles(s.pixel_count());
+  }
+
+  report_.kept = static_cast<int>(kept.size());
+
+  // Results to SDRAM: descriptor (32 B) + coords/score/label (8 B) each.
+  report_.writeback_cycles =
+      axi.write_cycles(static_cast<std::uint64_t>(kept.size()) * 40u);
+
+  report_.total_cycles = 0;
+  for (const LevelCycleReport& lvl : report_.levels)
+    report_.total_cycles += lvl.total();
+  report_.total_cycles +=
+      report_.describe_serial_cycles + report_.writeback_cycles;
+  report_.axi_bytes_read = axi.bytes_read();
+  report_.axi_bytes_written = axi.bytes_written();
+  return kept;
+}
+
+}  // namespace eslam

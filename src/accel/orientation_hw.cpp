@@ -1,0 +1,42 @@
+#include "accel/orientation_hw.h"
+
+#include <cstdlib>
+
+namespace eslam {
+
+namespace {
+
+// tan((k + 0.5) * 11.25 degrees), k = 0..7, in Q16.16.  These eight
+// constants are the entire "lookup table" the module stores.
+constexpr std::int64_t kTanQ16[8] = {
+    6454,    // tan( 5.625 deg) = 0.098491
+    19895,   // tan(16.875 deg) = 0.303570
+    35048,   // tan(28.125 deg) = 0.534800
+    53784,   // tan(39.375 deg) = 0.820679
+    79856,   // tan(50.625 deg) = 1.218504
+    122487,  // tan(61.875 deg) = 1.868994
+    216043,  // tan(73.125 deg) = 3.296558
+    665398,  // tan(84.375 deg) = 10.152624
+};
+
+}  // namespace
+
+int orientation_label_hw(std::int64_t u, std::int64_t v) {
+  const std::int64_t au = std::abs(u);
+  const std::int64_t av = std::abs(v);
+
+  // Compare ladder: how many sector boundaries does |v|/|u| exceed?
+  int s = 0;
+  for (int k = 0; k < kOrientationLadderStages; ++k) {
+    // |v| * 2^16 > tan_k * |u|  (both sides fit int64: moments are < 2^22).
+    if ((av << 16) > kTanQ16[k] * au) ++s;
+  }
+
+  // Quadrant fold from the moment signs.
+  if (u >= 0 && v >= 0) return s;
+  if (u < 0 && v >= 0) return 16 - s;
+  if (u < 0) return 16 + s;
+  return (32 - s) % 32;
+}
+
+}  // namespace eslam

@@ -1,0 +1,24 @@
+// Hardware Orientation Computing module (paper section 3.1).
+//
+// Instead of an atan2, the module derives the 5-bit orientation label from
+// the signs of the centroid moments (u = m10, v = m01) and a comparison
+// ladder of |v| against tan(boundary) * |u| for the 8 sector boundaries
+// inside one quadrant — a pure integer LUT-compare datapath.  Boundaries
+// sit at (k + 0.5) * 11.25 degrees; thresholds are Q16.16 constants.
+#pragma once
+
+#include <cstdint>
+
+namespace eslam {
+
+// Orientation label in [0, 32) from integer moments.  Bit-faithful model of
+// the LUT ladder; agrees with discretize_orientation(atan2(v, u)) except
+// when the angle falls within the Q16 rounding of a bin boundary
+// (property-tested in tests/accel/orientation_hw_test.cpp).
+int orientation_label_hw(std::int64_t u, std::int64_t v);
+
+// Number of compare stages the ladder evaluates (constant 8 plus quadrant
+// fold) — documented for the resource model.
+inline constexpr int kOrientationLadderStages = 8;
+
+}  // namespace eslam

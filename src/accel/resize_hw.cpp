@@ -1,0 +1,14 @@
+#include "accel/resize_hw.h"
+
+namespace eslam {
+
+ImageU8 ImageResizerHw::resize(const ImageU8& src, int dst_width,
+                               int dst_height) {
+  ImageU8 out = resize_nearest(src, dst_width, dst_height);
+  report_.cycles = out.pixel_count();
+  report_.out_width = dst_width;
+  report_.out_height = dst_height;
+  return out;
+}
+
+}  // namespace eslam

@@ -1,0 +1,41 @@
+// Image Resizing module: nearest-neighbour downsampling, one output pixel
+// per cycle, running concurrently with the ORB Extractor on the previous
+// pyramid layer (paper section 3: "when the ORB Extractor is processing
+// one layer, the Image Resizing module applies nearest neighbor
+// downsampling on the same layer to generate the next layer").
+#pragma once
+
+#include <cstdint>
+
+#include "hw/clock.h"
+#include "image/pyramid.h"
+
+namespace eslam {
+
+struct HwResizeReport {
+  std::uint64_t cycles = 0;  // output pixels (1 px/cycle)
+  int out_width = 0;
+  int out_height = 0;
+  double ms() const { return cycles_to_ms(cycles); }
+};
+
+class ImageResizerHw {
+ public:
+  // Functionally identical to resize_nearest (same 16.16 fixed-point
+  // address stepping a hardware address generator uses).
+  ImageU8 resize(const ImageU8& src, int dst_width, int dst_height);
+
+  const HwResizeReport& report() const { return report_; }
+
+  // True when resizing the next layer hides entirely under extraction of
+  // the current layer (output pixels <= current-layer pixels).
+  static bool hidden_under_extraction(std::uint64_t resize_cycles,
+                                      std::uint64_t extract_cycles) {
+    return resize_cycles <= extract_cycles;
+  }
+
+ private:
+  HwResizeReport report_;
+};
+
+}  // namespace eslam

@@ -1,0 +1,97 @@
+#include "dataset/scene.h"
+
+#include <cmath>
+#include <limits>
+
+#include "dataset/texture.h"
+
+namespace eslam {
+
+BoxRoomScene::BoxRoomScene(const BoxRoomOptions& options) : options_(options) {
+  ESLAM_ASSERT(options.hx > 0 && options.hy > 0 && options.hz > 0,
+               "room extents must be positive");
+}
+
+bool BoxRoomScene::cast_ray(const Vec3& origin, const Vec3& dir, double& t,
+                            int& face, double& u, double& v) const {
+  // The camera is inside the box, so along each axis the ray exits through
+  // at most one wall; the hit is the *smallest* positive exit parameter.
+  const double half[3] = {options_.hx, options_.hy, options_.hz};
+  t = std::numeric_limits<double>::infinity();
+  face = -1;
+  for (int axis = 0; axis < 3; ++axis) {
+    if (dir[axis] == 0.0) continue;
+    const double wall = dir[axis] > 0.0 ? half[axis] : -half[axis];
+    const double ti = (wall - origin[axis]) / dir[axis];
+    if (ti > 0.0 && ti < t) {
+      t = ti;
+      face = axis * 2 + (dir[axis] > 0.0 ? 0 : 1);
+    }
+  }
+  if (face < 0) return false;
+  const Vec3 hit = origin + t * dir;
+  // In-face coordinates: the two axes other than the face normal.
+  const int axis = face / 2;
+  const int ua = (axis + 1) % 3;
+  const int va = (axis + 2) % 3;
+  u = hit[ua];
+  v = hit[va];
+  return true;
+}
+
+RenderedFrame BoxRoomScene::render(const PinholeCamera& camera,
+                                   const SE3& pose_wc,
+                                   std::uint32_t frame_id) const {
+  const Vec3 origin = pose_wc.translation();
+  ESLAM_ASSERT(std::abs(origin[0]) < options_.hx &&
+                   std::abs(origin[1]) < options_.hy &&
+                   std::abs(origin[2]) < options_.hz,
+               "camera must stay inside the room");
+
+  RenderedFrame frame;
+  frame.gray = ImageU8(camera.width(), camera.height());
+  frame.depth = ImageU16(camera.width(), camera.height());
+
+  const Mat3& r = pose_wc.rotation();
+  const double inv_fx = 1.0 / camera.fx();
+  const double inv_fy = 1.0 / camera.fy();
+
+  for (int y = 0; y < camera.height(); ++y) {
+    std::uint8_t* gray_row = frame.gray.row(y);
+    std::uint16_t* depth_row = frame.depth.row(y);
+    const double dy = (y - camera.cy()) * inv_fy;
+    for (int x = 0; x < camera.width(); ++x) {
+      const double dx = (x - camera.cx()) * inv_fx;
+      // Camera-frame direction with z = 1, so the hit parameter t equals
+      // the projective depth z directly.
+      const Vec3 dir_w = r * Vec3{dx, dy, 1.0};
+      double t, u, v;
+      int face;
+      if (!cast_ray(origin, dir_w, t, face, u, v)) {
+        gray_row[x] = 0;
+        depth_row[x] = 0;
+        continue;
+      }
+      int intensity = texture_intensity(face, u, v, options_.texture_seed);
+      if (options_.noise_sigma > 0.0) {
+        // Two-hash Box-Muller-ish perturbation: cheap symmetric noise from
+        // a deterministic per-pixel hash (uniform sum approximation).
+        std::uint32_t h = hash_combine(frame_id + 0x51edu,
+                                       static_cast<std::uint32_t>(y) * 40961u +
+                                           static_cast<std::uint32_t>(x));
+        const double n01 = ((h & 0xffffu) + ((h >> 16) & 0xffffu)) /
+                               65535.0 -
+                           1.0;  // triangular in [-1, 1]
+        intensity += static_cast<int>(
+            std::lround(n01 * options_.noise_sigma * 2.0));
+      }
+      gray_row[x] = static_cast<std::uint8_t>(std::clamp(intensity, 0, 255));
+      const double depth_units = t * options_.depth_factor;
+      depth_row[x] = static_cast<std::uint16_t>(
+          std::clamp(depth_units, 0.0, 65535.0));
+    }
+  }
+  return frame;
+}
+
+}  // namespace eslam

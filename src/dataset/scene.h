@@ -1,0 +1,56 @@
+// Synthetic box-room scene rendered by per-pixel ray casting.
+//
+// This is the stand-in for the TUM RGB-D recordings (see DESIGN.md): the
+// camera moves inside an axis-aligned textured box; every pixel's ray is
+// intersected with the walls, giving a grayscale intensity (procedural
+// texture) and an exact depth map — the same data layout a Kinect frame
+// provides, with perfect ground truth.
+#pragma once
+
+#include <cstdint>
+
+#include "geometry/camera.h"
+#include "geometry/se3.h"
+#include "image/image.h"
+
+namespace eslam {
+
+struct RenderedFrame {
+  ImageU8 gray;
+  ImageU16 depth;  // TUM convention: metres * depth_factor (5000)
+};
+
+struct BoxRoomOptions {
+  // Half-extents of the room (metres): x in [-hx, hx] etc.
+  double hx = 3.2;
+  double hy = 2.2;
+  double hz = 3.2;
+  std::uint32_t texture_seed = 1u;
+  double depth_factor = 5000.0;
+  // Additive Gaussian pixel noise (sigma, gray levels); 0 disables.  Noise
+  // is hash-derived from (frame_id, x, y) so renders stay deterministic.
+  double noise_sigma = 2.0;
+};
+
+class BoxRoomScene {
+ public:
+  explicit BoxRoomScene(const BoxRoomOptions& options = {});
+
+  // Renders the view from `pose_wc` (camera-in-world).  The camera centre
+  // must be strictly inside the room.  `frame_id` seeds the pixel noise.
+  RenderedFrame render(const PinholeCamera& camera, const SE3& pose_wc,
+                       std::uint32_t frame_id = 0) const;
+
+  // Casts a single world-space ray from `origin` along (non-zero) `dir`;
+  // returns the hit parameter t (point = origin + t * dir), face index and
+  // in-face texture coordinates.  Used directly by tests.
+  bool cast_ray(const Vec3& origin, const Vec3& dir, double& t, int& face,
+                double& u, double& v) const;
+
+  const BoxRoomOptions& options() const { return options_; }
+
+ private:
+  BoxRoomOptions options_;
+};
+
+}  // namespace eslam

@@ -1,0 +1,45 @@
+#include "dataset/sequence.h"
+
+namespace eslam {
+
+namespace {
+
+PinholeCamera camera_for(SequenceId id) {
+  switch (id) {
+    case SequenceId::kFr2Xyz:
+    case SequenceId::kFr2Rpy:
+      return PinholeCamera::tum_freiburg2();
+    default:
+      return PinholeCamera::tum_freiburg1();
+  }
+}
+
+}  // namespace
+
+SyntheticSequence::SyntheticSequence(SequenceId id,
+                                     const SequenceOptions& options)
+    : id_(id),
+      options_(options),
+      name_(sequence_name(id)),
+      camera_(camera_for(id)),
+      scene_(options.room),
+      ground_truth_(sample_trajectory(id, options.frames)) {}
+
+FrameInput SyntheticSequence::frame(int i) const {
+  ESLAM_ASSERT(i >= 0 && i < size(), "frame index out of range");
+  RenderedFrame rendered = scene_.render(
+      camera_, ground_truth_[static_cast<std::size_t>(i)],
+      static_cast<std::uint32_t>(i));
+  FrameInput input;
+  input.gray = std::move(rendered.gray);
+  input.depth = std::move(rendered.depth);
+  input.timestamp = timestamp(i);
+  return input;
+}
+
+const SE3& SyntheticSequence::ground_truth(int i) const {
+  ESLAM_ASSERT(i >= 0 && i < size(), "frame index out of range");
+  return ground_truth_[static_cast<std::size_t>(i)];
+}
+
+}  // namespace eslam

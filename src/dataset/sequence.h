@@ -1,0 +1,48 @@
+// Synthetic TUM-like RGB-D sequences: trajectory generator + box-room
+// renderer behind a lazy per-frame interface (frames are rendered on
+// demand so a 5-sequence evaluation does not hold gigabytes of pixels).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dataset/scene.h"
+#include "dataset/trajectory_gen.h"
+#include "geometry/camera.h"
+#include "slam/tracker.h"
+
+namespace eslam {
+
+struct SequenceOptions {
+  int frames = 100;
+  double fps = 30.0;
+  BoxRoomOptions room;
+};
+
+class SyntheticSequence {
+ public:
+  SyntheticSequence(SequenceId id, const SequenceOptions& options = {});
+
+  int size() const { return options_.frames; }
+  const std::string& name() const { return name_; }
+  const PinholeCamera& camera() const { return camera_; }
+
+  // Renders frame i (gray + depth + timestamp).
+  FrameInput frame(int i) const;
+
+  // Ground-truth camera-in-world pose of frame i.
+  const SE3& ground_truth(int i) const;
+  const std::vector<SE3>& ground_truth() const { return ground_truth_; }
+
+  double timestamp(int i) const { return i / options_.fps; }
+
+ private:
+  SequenceId id_;
+  SequenceOptions options_;
+  std::string name_;
+  PinholeCamera camera_;
+  BoxRoomScene scene_;
+  std::vector<SE3> ground_truth_;
+};
+
+}  // namespace eslam

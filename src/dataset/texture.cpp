@@ -1,0 +1,60 @@
+#include "dataset/texture.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eslam {
+
+namespace {
+
+// Lattice value in [0, 1) at integer cell (ix, iy).
+double lattice(std::uint32_t seed, int face, std::int32_t ix, std::int32_t iy,
+               std::uint32_t octave) {
+  std::uint32_t h = hash_combine(seed, static_cast<std::uint32_t>(face + 1));
+  h = hash_combine(h, octave);
+  h = hash_combine(h, static_cast<std::uint32_t>(ix));
+  h = hash_combine(h, static_cast<std::uint32_t>(iy));
+  return h * (1.0 / 4294967296.0);
+}
+
+// Quantized (stepwise-constant) value noise: each lattice cell is one flat
+// intensity plateau — boundaries between cells are sharp edges and their
+// junctions are corners.
+double quantized_noise(std::uint32_t seed, int face, double u, double v,
+                       double cell_size, std::uint32_t octave, int levels) {
+  const auto fi = [](double x) {
+    return static_cast<std::int32_t>(std::floor(x));
+  };
+  const double raw = lattice(seed, face, fi(u / cell_size), fi(v / cell_size),
+                             octave);
+  return std::floor(raw * levels) / (levels - 1.0);
+}
+
+}  // namespace
+
+std::uint8_t texture_intensity(int face, double u, double v,
+                               std::uint32_t seed) {
+  // Three octaves of plateau noise: coarse room-scale patches, mid-scale
+  // blocks, fine detail.  Weights sum to 1.
+  const double coarse = quantized_noise(seed, face, u, v, 0.45, 11u, 4);
+  const double mid = quantized_noise(seed, face, u, v, 0.13, 23u, 5);
+  const double fine = quantized_noise(seed, face, u, v, 0.042, 37u, 3);
+
+  double value = 0.35 * coarse + 0.40 * mid + 0.17 * fine;
+
+  // A sparse checker accent: strong dark/light squares on ~7% of cells,
+  // guaranteeing high-contrast corners even where noise octaves agree.
+  const std::int32_t cx = static_cast<std::int32_t>(std::floor(u / 0.09));
+  const std::int32_t cy = static_cast<std::int32_t>(std::floor(v / 0.09));
+  const std::uint32_t h = hash_combine(
+      hash_combine(seed, static_cast<std::uint32_t>(face + 101)),
+      hash_combine(static_cast<std::uint32_t>(cx),
+                   static_cast<std::uint32_t>(cy)));
+  if ((h & 15u) == 0u) value = (h & 16u) ? 0.95 : 0.05;
+
+  const double scaled = 20.0 + value * 215.0;  // keep away from clipping
+  return static_cast<std::uint8_t>(
+      std::clamp(static_cast<int>(std::lround(scaled)), 0, 255));
+}
+
+}  // namespace eslam

@@ -1,0 +1,33 @@
+// Deterministic procedural wall texture for the synthetic box-room scene.
+//
+// The texture must give FAST something to detect: it is built from
+// several octaves of *quantized* value noise (flat plateaus with sharp
+// steps -> strong corners at plateau junctions) plus a fine checker
+// component.  Everything derives from integer hashes, so a (face, u, v)
+// query is bit-stable across platforms and frames.
+#pragma once
+
+#include <cstdint>
+
+namespace eslam {
+
+// 32-bit avalanche hash (finalizer of MurmurHash3).
+constexpr std::uint32_t hash_u32(std::uint32_t x) {
+  x ^= x >> 16;
+  x *= 0x85ebca6bu;
+  x ^= x >> 13;
+  x *= 0xc2b2ae35u;
+  x ^= x >> 16;
+  return x;
+}
+
+constexpr std::uint32_t hash_combine(std::uint32_t a, std::uint32_t b) {
+  return hash_u32(a ^ (b + 0x9e3779b9u + (a << 6) + (a >> 2)));
+}
+
+// Texture intensity in [0, 255] at metric coordinates (u, v) on `face`
+// (0..5).  `seed` varies the world.
+std::uint8_t texture_intensity(int face, double u, double v,
+                               std::uint32_t seed = 1u);
+
+}  // namespace eslam

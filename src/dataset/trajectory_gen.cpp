@@ -1,0 +1,107 @@
+#include "dataset/trajectory_gen.h"
+
+#include <cmath>
+
+#include "geometry/assert.h"
+
+namespace eslam {
+
+namespace {
+
+constexpr double kTau = 2.0 * M_PI;
+
+// Yaw-pitch-roll rotation, camera convention (z forward, x right, y down):
+// yaw about the vertical (y) axis, pitch about x, roll about z.
+Mat3 ypr(double yaw, double pitch, double roll) {
+  return axis_rotation(1, yaw) * axis_rotation(0, pitch) *
+         axis_rotation(2, roll);
+}
+
+}  // namespace
+
+const std::vector<SequenceId>& evaluation_sequences() {
+  static const std::vector<SequenceId> kAll = {
+      SequenceId::kFr1Xyz, SequenceId::kFr2Xyz, SequenceId::kFr1Desk,
+      SequenceId::kFr1Room, SequenceId::kFr2Rpy};
+  return kAll;
+}
+
+std::string sequence_name(SequenceId id) {
+  switch (id) {
+    case SequenceId::kFr1Xyz:
+      return "fr1/xyz";
+    case SequenceId::kFr1Desk:
+      return "fr1/desk";
+    case SequenceId::kFr1Room:
+      return "fr1/room";
+    case SequenceId::kFr2Xyz:
+      return "fr2/xyz";
+    case SequenceId::kFr2Rpy:
+      return "fr2/rpy";
+  }
+  return "unknown";
+}
+
+SE3 trajectory_pose(SequenceId id, double s) {
+  ESLAM_ASSERT(s >= 0.0 && s <= 1.0, "normalized time out of range");
+  switch (id) {
+    case SequenceId::kFr1Xyz: {
+      // Hand-held axis jiggle: translation-dominant, small yaw wobble.
+      const Vec3 t{0.45 * std::sin(kTau * s),
+                   0.22 * std::sin(2.0 * kTau * s + 1.0),
+                   -0.6 + 0.35 * std::sin(1.5 * kTau * s + 0.5)};
+      const Mat3 r = ypr(0.04 * std::sin(kTau * s + 0.3),
+                         0.03 * std::sin(kTau * s * 2.0), 0.0);
+      return SE3{r, t};
+    }
+    case SequenceId::kFr1Desk: {
+      // Sweep across a desk: lateral arc plus a moderate yaw pan.
+      const double yaw = 0.45 * std::sin(kTau * s);
+      const Vec3 t{0.9 * std::sin(kTau * s),
+                   0.10 * std::sin(2.0 * kTau * s),
+                   -0.4 + 0.25 * std::cos(kTau * s)};
+      const Mat3 r = ypr(yaw, 0.08 * std::sin(kTau * s * 1.5), 0.0);
+      return SE3{r, t};
+    }
+    case SequenceId::kFr1Room: {
+      // Orbit around the room with a large (but not closing) yaw sweep;
+      // wide viewpoint changes make this the hardest sequence, as in the
+      // paper's Figure 8.
+      const double yaw = 1.6 * std::sin(kTau * s);  // +-92 degrees
+      const Vec3 t{1.1 * std::sin(kTau * s), 0.12 * std::sin(2.0 * kTau * s),
+                   -0.8 + 0.5 * std::cos(kTau * s)};
+      const Mat3 r = ypr(yaw, 0.05 * std::sin(kTau * s * 2.0), 0.0);
+      return SE3{r, t};
+    }
+    case SequenceId::kFr2Xyz: {
+      // fr2 rig: slower, smoother, smaller amplitudes.
+      const Vec3 t{0.28 * std::sin(kTau * s),
+                   0.14 * std::sin(2.0 * kTau * s + 0.8),
+                   -0.5 + 0.20 * std::sin(kTau * s + 1.2)};
+      const Mat3 r = ypr(0.02 * std::sin(kTau * s), 0.015 * std::sin(kTau * s),
+                         0.0);
+      return SE3{r, t};
+    }
+    case SequenceId::kFr2Rpy: {
+      // Rotation-dominant: the camera mostly spins in place.
+      const double roll = 0.18 * std::sin(kTau * s);
+      const double pitch = 0.14 * std::sin(kTau * s * 2.0 + 0.4);
+      const double yaw = 0.28 * std::sin(kTau * s * 1.5 + 1.0);
+      const Vec3 t{0.05 * std::sin(kTau * s), 0.04 * std::sin(kTau * s * 2.0),
+                   -0.5 + 0.05 * std::cos(kTau * s)};
+      return SE3{ypr(yaw, pitch, roll), t};
+    }
+  }
+  return SE3{};
+}
+
+std::vector<SE3> sample_trajectory(SequenceId id, int frames) {
+  ESLAM_ASSERT(frames >= 2, "need at least two frames");
+  std::vector<SE3> poses;
+  poses.reserve(static_cast<std::size_t>(frames));
+  for (int i = 0; i < frames; ++i)
+    poses.push_back(trajectory_pose(id, static_cast<double>(i) / (frames - 1)));
+  return poses;
+}
+
+}  // namespace eslam

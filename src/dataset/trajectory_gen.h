@@ -1,0 +1,38 @@
+// Ground-truth trajectory generators mimicking the motion character of the
+// five TUM sequences the paper evaluates (section 4.1):
+//   fr1/xyz  — translation-dominant, hand-held jiggle along the axes
+//   fr1/desk — sweep across a desk: arc translation + moderate yaw
+//   fr1/room — loop around the room with large yaw coverage
+//   fr2/xyz  — like fr1/xyz but slower and smoother (fr2 rig)
+//   fr2/rpy  — rotation-dominant: roll/pitch/yaw wiggles, little translation
+// All motions are C-infinity (sums of sinusoids), so numeric differentiation
+// in tests is well behaved, and all stay inside the default BoxRoom.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geometry/se3.h"
+
+namespace eslam {
+
+enum class SequenceId {
+  kFr1Xyz,
+  kFr1Desk,
+  kFr1Room,
+  kFr2Xyz,
+  kFr2Rpy,
+};
+
+// The five evaluation sequences in the paper's Figure 8 order.
+const std::vector<SequenceId>& evaluation_sequences();
+
+std::string sequence_name(SequenceId id);
+
+// Camera-in-world pose at normalized time s in [0, 1].
+SE3 trajectory_pose(SequenceId id, double s);
+
+// Sampled ground truth, `frames` poses at uniform time steps.
+std::vector<SE3> sample_trajectory(SequenceId id, int frames);
+
+}  // namespace eslam

@@ -1,0 +1,48 @@
+#include "dataset/tum_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "geometry/quaternion.h"
+
+namespace eslam {
+
+std::string tum_line(const TimedPose& pose) {
+  const Quaternion q = Quaternion::from_rotation(pose.pose_wc.rotation());
+  const Vec3& t = pose.pose_wc.translation();
+  char buf[256];
+  std::snprintf(buf, sizeof buf, "%.6f %.6f %.6f %.6f %.6f %.6f %.6f %.6f",
+                pose.timestamp, t[0], t[1], t[2], q.x, q.y, q.z, q.w);
+  return buf;
+}
+
+bool write_tum_trajectory(const std::string& path,
+                          const std::vector<TimedPose>& trajectory) {
+  std::ofstream os(path);
+  if (!os) return false;
+  os << "# timestamp tx ty tz qx qy qz qw\n";
+  for (const TimedPose& p : trajectory) os << tum_line(p) << "\n";
+  return static_cast<bool>(os);
+}
+
+std::vector<TimedPose> read_tum_trajectory(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return {};
+  std::vector<TimedPose> out;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    double ts, tx, ty, tz, qx, qy, qz, qw;
+    if (!(ls >> ts >> tx >> ty >> tz >> qx >> qy >> qz >> qw)) return {};
+    TimedPose p;
+    p.timestamp = ts;
+    p.pose_wc = SE3{Quaternion{qw, qx, qy, qz}.to_rotation(),
+                    Vec3{tx, ty, tz}};
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace eslam

@@ -1,0 +1,28 @@
+// TUM trajectory file format: one pose per line,
+//   timestamp tx ty tz qx qy qz qw
+// (camera-in-world).  This is the interchange format of the TUM RGB-D
+// benchmark tools; Figure 9's trajectory dump uses it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geometry/se3.h"
+
+namespace eslam {
+
+struct TimedPose {
+  double timestamp = 0;
+  SE3 pose_wc;
+};
+
+bool write_tum_trajectory(const std::string& path,
+                          const std::vector<TimedPose>& trajectory);
+
+// Returns an empty vector on I/O or parse failure.
+std::vector<TimedPose> read_tum_trajectory(const std::string& path);
+
+// Formats a single pose as a TUM line (no trailing newline).
+std::string tum_line(const TimedPose& pose);
+
+}  // namespace eslam

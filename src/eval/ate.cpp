@@ -1,0 +1,53 @@
+#include "eval/ate.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eslam {
+
+AteResult absolute_trajectory_error(std::span<const Vec3> estimated,
+                                    std::span<const Vec3> ground_truth) {
+  ESLAM_ASSERT(estimated.size() == ground_truth.size(),
+               "trajectories must be frame-aligned");
+  ESLAM_ASSERT(estimated.size() >= 3, "need >= 3 poses for alignment");
+
+  const AlignmentResult alignment =
+      umeyama(estimated, ground_truth, /*with_scale=*/false);
+
+  AteResult result;
+  result.alignment = alignment.transform;
+  result.per_frame_error.reserve(estimated.size());
+  double sum_sq = 0.0, sum = 0.0;
+  for (std::size_t i = 0; i < estimated.size(); ++i) {
+    const Vec3 aligned = alignment.transform * estimated[i];
+    const double err = (aligned - ground_truth[i]).norm();
+    result.per_frame_error.push_back(err);
+    sum_sq += err * err;
+    sum += err;
+    result.max = std::max(result.max, err);
+  }
+  const double n = static_cast<double>(estimated.size());
+  result.rmse = std::sqrt(sum_sq / n);
+  result.mean = sum / n;
+
+  std::vector<double> sorted = result.per_frame_error;
+  std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2,
+                   sorted.end());
+  result.median = sorted[sorted.size() / 2];
+  return result;
+}
+
+AteResult absolute_trajectory_error(std::span<const SE3> estimated,
+                                    std::span<const SE3> ground_truth) {
+  ESLAM_ASSERT(estimated.size() == ground_truth.size(),
+               "trajectories must be frame-aligned");
+  std::vector<Vec3> est, gt;
+  est.reserve(estimated.size());
+  gt.reserve(ground_truth.size());
+  for (const SE3& p : estimated) est.push_back(p.translation());
+  for (const SE3& p : ground_truth) gt.push_back(p.translation());
+  return absolute_trajectory_error(std::span<const Vec3>(est),
+                                   std::span<const Vec3>(gt));
+}
+
+}  // namespace eslam

@@ -1,0 +1,32 @@
+// Absolute Trajectory Error, the TUM benchmark metric the paper's Figure 8
+// reports: rigidly align the estimated trajectory to ground truth
+// (Umeyama), then take statistics of the per-frame translation residuals.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geometry/se3.h"
+#include "geometry/umeyama.h"
+
+namespace eslam {
+
+struct AteResult {
+  double rmse = 0.0;    // root-mean-square error (metres)
+  double mean = 0.0;    // average trajectory error (paper's Figure 8 metric)
+  double median = 0.0;
+  double max = 0.0;
+  SE3 alignment;        // transform applied to the estimate
+  std::vector<double> per_frame_error;  // aligned residual norms
+};
+
+// `estimated` and `ground_truth` are camera-in-world poses, frame-aligned
+// (same index = same frame).  Requires >= 3 frames.
+AteResult absolute_trajectory_error(std::span<const SE3> estimated,
+                                    std::span<const SE3> ground_truth);
+
+// Convenience overload on translation lists.
+AteResult absolute_trajectory_error(std::span<const Vec3> estimated,
+                                    std::span<const Vec3> ground_truth);
+
+}  // namespace eslam

@@ -1,0 +1,69 @@
+#include "eval/report.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "geometry/assert.h"
+
+namespace eslam {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  ESLAM_ASSERT(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  ESLAM_ASSERT(cells.size() == headers_.size(), "row width mismatch");
+  rows_.push_back(Row{std::move(cells), pending_separator_});
+  pending_separator_ = false;
+}
+
+void Table::add_separator() { pending_separator_ = true; }
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const Row& row : rows_)
+    for (std::size_t c = 0; c < row.cells.size(); ++c)
+      widths[c] = std::max(widths[c], row.cells[c].size());
+
+  auto line = [&](char fill) {
+    std::string s = "+";
+    for (std::size_t w : widths) s += std::string(w + 2, fill) + "+";
+    return s + "\n";
+  };
+  auto emit = [&](const std::vector<std::string>& cells) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      s += " " + cells[c] + std::string(widths[c] - cells[c].size(), ' ') +
+           " |";
+    }
+    return s + "\n";
+  };
+
+  std::string out = line('-');
+  out += emit(headers_);
+  out += line('=');
+  for (const Row& row : rows_) {
+    if (row.separator_before) out += line('-');
+    out += emit(row.cells);
+  }
+  out += line('-');
+  return out;
+}
+
+void Table::print() const { std::fputs(to_string().c_str(), stdout); }
+
+std::string Table::fmt(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+  return buf;
+}
+
+std::string Table::fmt_ratio(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*fx", decimals, value);
+  return buf;
+}
+
+}  // namespace eslam

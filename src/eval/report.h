@@ -1,0 +1,35 @@
+// Fixed-width console table formatting for the bench binaries that
+// regenerate the paper's tables — keeps all benches printing in one style.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace eslam {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  // Horizontal separator before the next row.
+  void add_separator();
+
+  std::string to_string() const;
+  void print() const;
+
+  // Formatting helpers.
+  static std::string fmt(double value, int decimals = 2);
+  static std::string fmt_ratio(double value, int decimals = 1);  // "3.6x"
+
+ private:
+  std::vector<std::string> headers_;
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator_before = false;
+  };
+  std::vector<Row> rows_;
+  bool pending_separator_ = false;
+};
+
+}  // namespace eslam

@@ -1,0 +1,51 @@
+// Small statistics helpers shared by benches and tests.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "geometry/assert.h"
+
+namespace eslam {
+
+inline double mean(std::span<const double> xs) {
+  ESLAM_ASSERT(!xs.empty(), "mean of empty set");
+  double s = 0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+inline double stddev(std::span<const double> xs) {
+  ESLAM_ASSERT(xs.size() >= 2, "stddev needs >= 2 samples");
+  const double m = mean(xs);
+  double s = 0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs.size() - 1));
+}
+
+inline double median(std::vector<double> xs) {
+  ESLAM_ASSERT(!xs.empty(), "median of empty set");
+  const std::size_t mid = xs.size() / 2;
+  std::nth_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(mid),
+                   xs.end());
+  if (xs.size() % 2 == 1) return xs[mid];
+  const double hi = xs[mid];
+  std::nth_element(xs.begin(),
+                   xs.begin() + static_cast<std::ptrdiff_t>(mid) - 1,
+                   xs.end());
+  return 0.5 * (hi + xs[mid - 1]);
+}
+
+inline double percentile(std::vector<double> xs, double p) {
+  ESLAM_ASSERT(!xs.empty(), "percentile of empty set");
+  ESLAM_ASSERT(p >= 0.0 && p <= 100.0, "percentile out of range");
+  const auto idx = static_cast<std::size_t>(
+      p / 100.0 * static_cast<double>(xs.size() - 1) + 0.5);
+  std::nth_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(idx),
+                   xs.end());
+  return xs[idx];
+}
+
+}  // namespace eslam

@@ -1,0 +1,43 @@
+#include "features/brief.h"
+
+namespace eslam {
+
+Descriptor256 compute_descriptor(const ImageU8& smoothed, int x, int y,
+                                 const Pattern256& pattern) {
+  ESLAM_ASSERT(x >= kPatternRadius && y >= kPatternRadius &&
+                   x < smoothed.width() - kPatternRadius &&
+                   y < smoothed.height() - kPatternRadius,
+               "descriptor patch out of bounds");
+  Descriptor256 d;
+  for (int i = 0; i < 256; ++i) {
+    const TestPair& p = pattern[static_cast<std::size_t>(i)];
+    const int is = smoothed.at(x + p.s.x, y + p.s.y);
+    const int id = smoothed.at(x + p.d.x, y + p.d.y);
+    d.set_bit(i, is > id);
+  }
+  return d;
+}
+
+Descriptor256 rs_brief_descriptor(const ImageU8& smoothed, int x, int y,
+                                  const RsBriefPattern& pattern, int label) {
+  // Compute once at label 0, steer with the barrel shift — this is the
+  // entire cost the BRIEF Rotator pays per feature.
+  return compute_descriptor(smoothed, x, y, pattern.base())
+      .rotated_bytes(label);
+}
+
+Descriptor256 orb_descriptor_lut(const ImageU8& smoothed, int x, int y,
+                                 const OriginalBriefPattern& pattern,
+                                 double angle_radians) {
+  const int bin = OriginalBriefPattern::lut_bin(angle_radians);
+  return compute_descriptor(smoothed, x, y, pattern.steered_lut(bin));
+}
+
+Descriptor256 orb_descriptor_exact(const ImageU8& smoothed, int x, int y,
+                                   const OriginalBriefPattern& pattern,
+                                   double angle_radians) {
+  return compute_descriptor(smoothed, x, y,
+                            pattern.steered_exact(angle_radians));
+}
+
+}  // namespace eslam

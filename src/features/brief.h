@@ -1,0 +1,35 @@
+// Descriptor computation from a test pattern and the smoothened image,
+// plus the two steering strategies under comparison:
+//   * RS-BRIEF: compute at label 0, then byte-rotate (BRIEF Rotator).
+//   * Original ORB: pick a pre-rotated pattern from the 30-bin LUT.
+#pragma once
+
+#include "features/descriptor.h"
+#include "features/pattern.h"
+#include "image/image.h"
+
+namespace eslam {
+
+// Evaluates the 256 intensity tests of `pattern` on the smoothened image
+// around (x, y).  Bit i = 1 iff I(x + s_i) > I(x + d_i).  The caller must
+// keep a kPatternRadius border.
+Descriptor256 compute_descriptor(const ImageU8& smoothed, int x, int y,
+                                 const Pattern256& pattern);
+
+// RS-BRIEF steered descriptor: unsteered descriptor rotated by the
+// orientation label (equals compute_descriptor with pattern.steered(label);
+// property-tested in tests/features/rsbrief_test.cpp).
+Descriptor256 rs_brief_descriptor(const ImageU8& smoothed, int x, int y,
+                                  const RsBriefPattern& pattern, int label);
+
+// Original ORB steered descriptor via the 30-angle LUT.
+Descriptor256 orb_descriptor_lut(const ImageU8& smoothed, int x, int y,
+                                 const OriginalBriefPattern& pattern,
+                                 double angle_radians);
+
+// Exact-rotation descriptor (no discretization) — accuracy upper bound.
+Descriptor256 orb_descriptor_exact(const ImageU8& smoothed, int x, int y,
+                                   const OriginalBriefPattern& pattern,
+                                   double angle_radians);
+
+}  // namespace eslam

@@ -1,0 +1,19 @@
+#include "features/descriptor.h"
+
+#include <cstdio>
+
+namespace eslam {
+
+std::string Descriptor256::to_hex() const {
+  std::string s;
+  s.reserve(64);
+  char buf[17];
+  for (int w = kWords - 1; w >= 0; --w) {
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(words_[w]));
+    s += buf;
+  }
+  return s;
+}
+
+}  // namespace eslam

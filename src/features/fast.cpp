@@ -1,0 +1,94 @@
+#include "features/fast.h"
+
+namespace eslam {
+
+const std::array<FastOffset, 16>& fast_circle() {
+  static const std::array<FastOffset, 16> kCircle = {{{0, -3},
+                                                      {1, -3},
+                                                      {2, -2},
+                                                      {3, -1},
+                                                      {3, 0},
+                                                      {3, 1},
+                                                      {2, 2},
+                                                      {1, 3},
+                                                      {0, 3},
+                                                      {-1, 3},
+                                                      {-2, 2},
+                                                      {-3, 1},
+                                                      {-3, 0},
+                                                      {-3, -1},
+                                                      {-2, -2},
+                                                      {-1, -3}}};
+  return kCircle;
+}
+
+namespace {
+
+// Classifies the 16 circle pixels against (center ± t) and scans for a
+// contiguous arc of >= 9 equal classifications (wrapping).
+bool segment_test(const int ring[16], int center, int threshold) {
+  const int hi = center + threshold;
+  const int lo = center - threshold;
+
+  // Fast reject: a 9-arc must contain at least 2 of the 4 compass pixels
+  // {0, 4, 8, 12} on the same side.
+  int brighter4 = 0, darker4 = 0;
+  for (int i = 0; i < 16; i += 4) {
+    if (ring[i] > hi) ++brighter4;
+    if (ring[i] < lo) ++darker4;
+  }
+  if (brighter4 < 2 && darker4 < 2) return false;
+
+  auto has_arc = [&](auto pred) {
+    int run = 0;
+    // Scan 16 + 8 entries so wrapping arcs are found without special cases.
+    for (int i = 0; i < 16 + kFastArcLength - 1; ++i) {
+      if (pred(ring[i % 16])) {
+        if (++run >= kFastArcLength) return true;
+      } else {
+        run = 0;
+      }
+    }
+    return false;
+  };
+  if (brighter4 >= 2 && has_arc([&](int v) { return v > hi; })) return true;
+  if (darker4 >= 2 && has_arc([&](int v) { return v < lo; })) return true;
+  return false;
+}
+
+}  // namespace
+
+bool is_fast_corner(const ImageU8& img, int x, int y, int threshold) {
+  ESLAM_ASSERT(x >= 3 && y >= 3 && x < img.width() - 3 && y < img.height() - 3,
+               "FAST test requires a 3-pixel border");
+  int ring[16];
+  const auto& circle = fast_circle();
+  for (int i = 0; i < 16; ++i)
+    ring[i] = img.at(x + circle[i].dx, y + circle[i].dy);
+  return segment_test(ring, img.at(x, y), threshold);
+}
+
+bool is_fast_corner_window(const std::uint8_t win[7][7], int threshold) {
+  int ring[16];
+  const auto& circle = fast_circle();
+  for (int i = 0; i < 16; ++i)
+    ring[i] = win[3 + circle[i].dy][3 + circle[i].dx];
+  return segment_test(ring, win[3][3], threshold);
+}
+
+std::vector<Keypoint> detect_fast(const ImageU8& img, int threshold,
+                                  int margin) {
+  ESLAM_ASSERT(margin >= 3, "margin must cover the FAST circle");
+  std::vector<Keypoint> out;
+  for (int y = margin; y < img.height() - margin; ++y)
+    for (int x = margin; x < img.width() - margin; ++x)
+      if (is_fast_corner(img, x, y, threshold)) {
+        Keypoint kp;
+        kp.x = x;
+        kp.y = y;
+        out.push_back(kp);
+      }
+  return out;
+}
+
+}  // namespace eslam

@@ -1,0 +1,44 @@
+#include "features/matcher.h"
+
+namespace eslam {
+
+Match match_one(const Descriptor256& query,
+                std::span<const Descriptor256> train) {
+  Match m;
+  for (std::size_t j = 0; j < train.size(); ++j) {
+    const int d = hamming_distance(query, train[j]);
+    if (d < m.distance) {
+      m.second_best = m.distance;
+      m.distance = d;
+      m.train = static_cast<int>(j);
+    } else if (d < m.second_best) {
+      m.second_best = d;
+    }
+  }
+  return m;
+}
+
+std::vector<Match> match_descriptors(std::span<const Descriptor256> queries,
+                                     std::span<const Descriptor256> train,
+                                     const MatcherOptions& options) {
+  std::vector<Match> out;
+  if (train.empty()) return out;
+  out.reserve(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    Match m = match_one(queries[i], train);
+    m.query = static_cast<int>(i);
+    if (m.train < 0 || m.distance > options.max_distance) continue;
+    if (options.ratio < 1.0 &&
+        !(m.distance < options.ratio * m.second_best))
+      continue;
+    if (options.cross_check) {
+      const Match back = match_one(train[static_cast<std::size_t>(m.train)],
+                                   queries);
+      if (back.train != m.query) continue;
+    }
+    out.push_back(m);
+  }
+  return out;
+}
+
+}  // namespace eslam

@@ -1,0 +1,41 @@
+// Brute-force Hamming matcher — the software counterpart of the BRIEF
+// Matcher module: for every query descriptor, scan all train descriptors,
+// keep the minimum-distance candidate (paper section 3.2).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "features/descriptor.h"
+
+namespace eslam {
+
+struct Match {
+  int query = -1;       // index into the query set
+  int train = -1;       // index into the train set (global map)
+  int distance = 256;   // Hamming distance of the winning pair
+  int second_best = 256;  // runner-up distance (for the ratio test)
+};
+
+struct MatcherOptions {
+  // Accept only matches at or below this Hamming distance.  64/256 bits is
+  // the usual ORB operating point.
+  int max_distance = 64;
+  // Lowe-style ratio test: require distance < ratio * second_best.
+  // Disabled when >= 1.
+  double ratio = 1.0;
+  // Keep a match only when train's best query is query as well.
+  bool cross_check = false;
+};
+
+// Returns matches for each query that passes the filters, ordered by query
+// index.  O(|queries| * |train|), exactly the work the HW matcher arrays.
+std::vector<Match> match_descriptors(std::span<const Descriptor256> queries,
+                                     std::span<const Descriptor256> train,
+                                     const MatcherOptions& options = {});
+
+// Single query against the train set (min + second-min distances).
+Match match_one(const Descriptor256& query,
+                std::span<const Descriptor256> train);
+
+}  // namespace eslam

@@ -1,0 +1,47 @@
+#include "features/nms.h"
+
+#include <unordered_map>
+
+#include "geometry/assert.h"
+
+namespace eslam {
+
+std::vector<Keypoint> nms_3x3(const std::vector<Keypoint>& keypoints,
+                              int width, int height) {
+  // Sparse score grid: keypoint density after FAST is typically << 1%, so a
+  // hash map beats a dense score image.
+  std::unordered_map<std::int64_t, std::size_t> grid;
+  grid.reserve(keypoints.size() * 2);
+  auto key = [width](int x, int y) {
+    return static_cast<std::int64_t>(y) * width + x;
+  };
+  for (std::size_t i = 0; i < keypoints.size(); ++i) {
+    const Keypoint& kp = keypoints[i];
+    ESLAM_ASSERT(kp.x >= 0 && kp.x < width && kp.y >= 0 && kp.y < height,
+                 "keypoint outside grid");
+    grid.emplace(key(kp.x, kp.y), i);
+  }
+
+  std::vector<Keypoint> out;
+  out.reserve(keypoints.size());
+  for (std::size_t i = 0; i < keypoints.size(); ++i) {
+    const Keypoint& kp = keypoints[i];
+    bool is_max = true;
+    for (int dy = -1; dy <= 1 && is_max; ++dy)
+      for (int dx = -1; dx <= 1 && is_max; ++dx) {
+        if (dx == 0 && dy == 0) continue;
+        const auto it = grid.find(key(kp.x + dx, kp.y + dy));
+        if (it == grid.end()) continue;
+        const Keypoint& other = keypoints[it->second];
+        // Strictly greater neighbour wins; equal score resolves by raster
+        // order (earlier keypoint survives).
+        if (other.score > kp.score ||
+            (other.score == kp.score && it->second < i))
+          is_max = false;
+      }
+    if (is_max) out.push_back(kp);
+  }
+  return out;
+}
+
+}  // namespace eslam

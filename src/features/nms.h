@@ -1,0 +1,19 @@
+// 3x3 non-maximum suppression over keypoint scores (paper's NMS module):
+// keeps a keypoint only when its Harris score is the maximum within its
+// 3x3 pixel neighbourhood.
+#pragma once
+
+#include <vector>
+
+#include "features/keypoint.h"
+
+namespace eslam {
+
+// Suppresses keypoints that are not the local score maximum.  `width` and
+// `height` bound the coordinate grid.  Ties are broken toward the earlier
+// (raster-order) keypoint, matching the streaming hardware which emits the
+// first maximal candidate it sees.
+std::vector<Keypoint> nms_3x3(const std::vector<Keypoint>& keypoints,
+                              int width, int height);
+
+}  // namespace eslam

@@ -1,0 +1,86 @@
+#include "features/orb.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "features/harris.h"
+#include "features/nms.h"
+#include "features/orientation.h"
+#include "image/convolve.h"
+
+namespace eslam {
+
+OrbExtractor::OrbExtractor(const OrbConfig& config)
+    : config_(config),
+      rs_pattern_(kDefaultPatternSeed),
+      orb_pattern_(kDefaultPatternSeed) {
+  ESLAM_ASSERT(config_.n_features > 0, "n_features must be positive");
+  ESLAM_ASSERT(config_.levels >= 1, "need at least one pyramid level");
+  ESLAM_ASSERT(config_.border >= kPatternRadius + 1,
+               "border must cover the descriptor patch");
+}
+
+FeatureList OrbExtractor::extract(const ImageU8& image) {
+  stats_ = {};
+  const ImagePyramid pyramid(image, config_.levels, config_.scale);
+
+  FeatureList all;
+  for (int level = 0; level < pyramid.levels(); ++level) {
+    const ImageU8& img = pyramid.level(level).image;
+    const double level_scale = pyramid.level(level).scale;
+    if (img.width() <= 2 * config_.border || img.height() <= 2 * config_.border)
+      continue;
+
+    // FAST detection + Harris scoring on the raw level image.
+    std::vector<Keypoint> kps =
+        detect_fast(img, config_.fast_threshold, config_.border);
+    for (Keypoint& kp : kps) {
+      kp.level = level;
+      kp.scale = level_scale;
+      kp.score = harris_score_int(img, kp.x, kp.y);
+    }
+    kps = nms_3x3(kps, img.width(), img.height());
+    stats_.detected += static_cast<int>(kps.size());
+
+    // Descriptors and orientations use the smoothened image.
+    const ImageU8 smoothed = smooth_gaussian7_u8(img);
+    for (const Keypoint& kp_in : kps) {
+      Keypoint kp = kp_in;
+      kp.angle = orientation_angle(smoothed, kp.x, kp.y);
+      kp.orientation_label = discretize_orientation(kp.angle);
+
+      Feature f;
+      switch (config_.mode) {
+        case DescriptorMode::kRsBrief:
+          f.descriptor = rs_brief_descriptor(smoothed, kp.x, kp.y, rs_pattern_,
+                                             kp.orientation_label);
+          break;
+        case DescriptorMode::kOrbLut:
+          f.descriptor =
+              orb_descriptor_lut(smoothed, kp.x, kp.y, orb_pattern_, kp.angle);
+          break;
+        case DescriptorMode::kOrbExact:
+          f.descriptor = orb_descriptor_exact(smoothed, kp.x, kp.y,
+                                              orb_pattern_, kp.angle);
+          break;
+      }
+      f.keypoint = kp;
+      all.push_back(std::move(f));
+      ++stats_.described;
+    }
+  }
+
+  // Filtering: keep the n_features best Harris scores across all levels
+  // (what the 1024-entry heap does in hardware).
+  if (static_cast<int>(all.size()) > config_.n_features) {
+    std::nth_element(all.begin(), all.begin() + config_.n_features, all.end(),
+                     [](const Feature& a, const Feature& b) {
+                       return a.keypoint.score > b.keypoint.score;
+                     });
+    all.resize(static_cast<std::size_t>(config_.n_features));
+  }
+  stats_.kept = static_cast<int>(all.size());
+  return all;
+}
+
+}  // namespace eslam

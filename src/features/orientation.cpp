@@ -1,0 +1,52 @@
+#include "features/orientation.h"
+
+#include <cmath>
+
+#include "geometry/assert.h"
+
+namespace eslam {
+
+int circle_span(int abs_dy) {
+  ESLAM_ASSERT(abs_dy >= 0 && abs_dy <= kPatchRadius, "row outside patch");
+  // floor(sqrt(r^2 - dy^2)) precomputed for r = 15 (same table ORB uses).
+  static constexpr int kSpan[kPatchRadius + 1] = {
+      15, 14, 14, 14, 14, 14, 13, 13, 12, 12, 11, 10, 9, 8, 6, 3};
+  return kSpan[abs_dy];
+}
+
+void patch_moments(const ImageU8& img, int x, int y, std::int64_t& m10,
+                   std::int64_t& m01) {
+  ESLAM_ASSERT(x >= kPatchRadius && y >= kPatchRadius &&
+                   x < img.width() - kPatchRadius &&
+                   y < img.height() - kPatchRadius,
+               "patch out of bounds");
+  m10 = 0;
+  m01 = 0;
+  for (int dy = -kPatchRadius; dy <= kPatchRadius; ++dy) {
+    const int span = circle_span(std::abs(dy));
+    const std::uint8_t* row = img.row(y + dy);
+    std::int64_t row_sum = 0, row_weighted = 0;
+    for (int dx = -span; dx <= span; ++dx) {
+      const int v = row[x + dx];
+      row_sum += v;
+      row_weighted += static_cast<std::int64_t>(v) * dx;
+    }
+    m10 += row_weighted;
+    m01 += row_sum * dy;
+  }
+}
+
+double orientation_angle(const ImageU8& img, int x, int y) {
+  std::int64_t m10, m01;
+  patch_moments(img, x, y, m10, m01);
+  if (m10 == 0 && m01 == 0) return 0.0;
+  return std::atan2(static_cast<double>(m01), static_cast<double>(m10));
+}
+
+int discretize_orientation(double angle_radians) {
+  const double step = kOrientationStepDeg * M_PI / 180.0;
+  const int n = static_cast<int>(std::lround(angle_radians / step));
+  return ((n % kOrientationBins) + kOrientationBins) % kOrientationBins;
+}
+
+}  // namespace eslam

@@ -1,0 +1,36 @@
+// Intensity-centroid orientation (paper Eq. 3).
+//
+// The orientation of a feature is the angle of the vector from the patch
+// center to the intensity centroid of the radius-15 circular patch, computed
+// on the smoothened image.  The software path keeps the continuous angle;
+// the accelerator (accel/orientation_hw) discretizes into 32 labels of
+// 11.25 degrees using a v/u lookup table — discretize_orientation() is the
+// reference for that quantization.
+#pragma once
+
+#include <cstdint>
+
+#include "image/image.h"
+
+namespace eslam {
+
+inline constexpr int kPatchRadius = 15;
+inline constexpr int kOrientationBins = 32;
+inline constexpr double kOrientationStepDeg = 360.0 / kOrientationBins;  // 11.25
+
+// Horizontal half-spans of the radius-15 disc, row dy in [-15, 15]:
+// pixels (dx, dy) with |dx| <= circle_span(|dy|) are inside the patch.
+int circle_span(int abs_dy);
+
+// Raw image moments (m10 = sum I*x, m01 = sum I*y) over the circular patch
+// centred at (x, y).  Requires kPatchRadius-pixel borders.
+void patch_moments(const ImageU8& img, int x, int y, std::int64_t& m10,
+                   std::int64_t& m01);
+
+// Continuous orientation in radians, range (-pi, pi].
+double orientation_angle(const ImageU8& img, int x, int y);
+
+// Nearest of the 32 discrete orientations for a continuous angle.
+int discretize_orientation(double angle_radians);
+
+}  // namespace eslam

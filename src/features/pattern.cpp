@@ -1,0 +1,142 @@
+#include "features/pattern.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+namespace eslam {
+
+namespace {
+
+// Deterministic Gaussian sampler: mt19937 is fully specified by the
+// standard, and Box-Muller avoids the implementation-defined
+// std::normal_distribution, so patterns are identical on every platform.
+class GaussianSampler {
+ public:
+  explicit GaussianSampler(std::uint32_t seed) : rng_(seed) {}
+
+  double next(double sigma) {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_ * sigma;
+    }
+    double u1, u2;
+    do {
+      u1 = uniform();
+    } while (u1 <= 1e-12);
+    u2 = uniform();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    spare_ = mag * std::sin(2.0 * M_PI * u2);
+    have_spare_ = true;
+    return mag * std::cos(2.0 * M_PI * u2) * sigma;
+  }
+
+  // Gaussian 2D point with norm clamped into the pattern disc so that all
+  // 32 rotations stay inside the radius-15 patch.
+  void next_point(double sigma, double& x, double& y) {
+    do {
+      x = next(sigma);
+      y = next(sigma);
+    } while (std::hypot(x, y) > kPatternRadius - 0.5);
+  }
+
+ private:
+  double uniform() {
+    return static_cast<double>(rng_()) / 4294967296.0;  // [0,1)
+  }
+  std::mt19937 rng_;
+  double spare_ = 0.0;
+  bool have_spare_ = false;
+};
+
+// BRIEF sampling sigma from the original paper: patch_size/5.
+constexpr double kSamplingSigma = 31.0 / 5.0;
+
+TestLocation round_location(double x, double y) {
+  const auto clamp8 = [](double v) {
+    const long r = std::lround(v);
+    return static_cast<std::int8_t>(
+        std::clamp(r, -long{kPatternRadius}, long{kPatternRadius}));
+  };
+  return TestLocation{clamp8(x), clamp8(y)};
+}
+
+// Eq. 2 of the paper.
+void rotate(double x, double y, double angle, double& xr, double& yr) {
+  const double c = std::cos(angle), s = std::sin(angle);
+  xr = x * c - y * s;
+  yr = y * c + x * s;
+}
+
+}  // namespace
+
+RsBriefPattern::RsBriefPattern(std::uint32_t seed) {
+  GaussianSampler sampler(seed);
+  std::array<double, kSeedPairs> sx, sy, dx, dy;
+  for (int i = 0; i < kSeedPairs; ++i) {
+    sampler.next_point(kSamplingSigma, sx[i], sy[i]);
+    sampler.next_point(kSamplingSigma, dx[i], dy[i]);
+  }
+  const double step = kStepDegrees * M_PI / 180.0;
+  for (int j = 0; j < kFold; ++j) {
+    const double angle = j * step;
+    for (int i = 0; i < kSeedPairs; ++i) {
+      double xr, yr;
+      rotate(sx[i], sy[i], angle, xr, yr);
+      TestPair& pair = base_[static_cast<std::size_t>(j) * kSeedPairs + i];
+      pair.s = round_location(xr, yr);
+      rotate(dx[i], dy[i], angle, xr, yr);
+      pair.d = round_location(xr, yr);
+    }
+  }
+}
+
+Pattern256 RsBriefPattern::steered(int label) const {
+  ESLAM_ASSERT(label >= 0 && label < kFold, "orientation label out of range");
+  Pattern256 out;
+  for (int j = 0; j < kFold; ++j) {
+    const int src_group = (j + label) % kFold;
+    for (int i = 0; i < kSeedPairs; ++i)
+      out[static_cast<std::size_t>(j) * kSeedPairs + i] =
+          base_[static_cast<std::size_t>(src_group) * kSeedPairs + i];
+  }
+  return out;
+}
+
+OriginalBriefPattern::OriginalBriefPattern(std::uint32_t seed) {
+  GaussianSampler sampler(seed);
+  for (int i = 0; i < 256; ++i) {
+    sampler.next_point(kSamplingSigma, sx_[i], sy_[i]);
+    sampler.next_point(kSamplingSigma, dx_[i], dy_[i]);
+  }
+  for (int b = 0; b < kLutBins; ++b) {
+    const double angle = b * kBinDegrees * M_PI / 180.0;
+    for (int i = 0; i < 256; ++i) {
+      double xr, yr;
+      rotate(sx_[i], sy_[i], angle, xr, yr);
+      lut_[b][i].s = round_location(xr, yr);
+      rotate(dx_[i], dy_[i], angle, xr, yr);
+      lut_[b][i].d = round_location(xr, yr);
+    }
+  }
+}
+
+int OriginalBriefPattern::lut_bin(double angle_radians) {
+  const double step = kBinDegrees * M_PI / 180.0;
+  const int n = static_cast<int>(std::lround(angle_radians / step));
+  return ((n % kLutBins) + kLutBins) % kLutBins;
+}
+
+Pattern256 OriginalBriefPattern::steered_exact(double angle_radians) const {
+  Pattern256 out;
+  for (int i = 0; i < 256; ++i) {
+    double xr, yr;
+    rotate(sx_[i], sy_[i], angle_radians, xr, yr);
+    out[i].s = round_location(xr, yr);
+    rotate(dx_[i], dy_[i], angle_radians, xr, yr);
+    out[i].d = round_location(xr, yr);
+  }
+  return out;
+}
+
+}  // namespace eslam

@@ -1,0 +1,94 @@
+// BRIEF test-location patterns: the original random pattern with the
+// 30-angle steering LUT of ORB [8], and the paper's 32-fold rotationally
+// symmetric RS-BRIEF pattern (section 2.2).
+//
+// RS-BRIEF construction: 8 S-locations and 8 D-locations are drawn from a
+// Gaussian inside the radius-15 patch, then each set is rotated by every
+// multiple of 11.25 degrees, giving 32 groups x 8 pairs = 256 tests.  Bit
+// j*8+i is (group j, seed i).  Rotating the whole pattern by n increments
+// maps group j onto group (j+n) mod 32 *exactly* (rotation is applied to
+// the continuous seeds before rounding), so steering the descriptor is a
+// byte rotation — the property that makes the descriptor hardware-friendly.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "geometry/assert.h"
+
+namespace eslam {
+
+struct TestLocation {
+  std::int8_t x = 0, y = 0;
+  friend bool operator==(const TestLocation&, const TestLocation&) = default;
+};
+struct TestPair {
+  TestLocation s, d;
+  friend bool operator==(const TestPair&, const TestPair&) = default;
+};
+using Pattern256 = std::array<TestPair, 256>;
+
+inline constexpr std::uint32_t kDefaultPatternSeed = 0x0e51a301u;
+
+// Largest |coordinate| any pattern location may take; keeps every location
+// inside the radius-15 patch for all rotations.
+inline constexpr int kPatternRadius = 15;
+
+// The paper's RS-BRIEF pattern.
+class RsBriefPattern {
+ public:
+  static constexpr int kSeedPairs = 8;
+  static constexpr int kFold = 32;  // rotational symmetry order
+  static constexpr double kStepDegrees = 360.0 / kFold;
+
+  explicit RsBriefPattern(std::uint32_t seed = kDefaultPatternSeed);
+
+  // Pattern at orientation label 0.
+  const Pattern256& base() const { return base_; }
+
+  // Pattern steered to orientation label n: pure group reindexing, no
+  // arithmetic (what "rotating the test locations" costs with RS-BRIEF).
+  Pattern256 steered(int label) const;
+
+ private:
+  Pattern256 base_;
+};
+
+// The original ORB approach: one random pattern plus a lookup table of 30
+// pre-rotated copies (12-degree bins).
+class OriginalBriefPattern {
+ public:
+  static constexpr int kLutBins = 30;
+  static constexpr double kBinDegrees = 360.0 / kLutBins;  // 12 degrees
+
+  explicit OriginalBriefPattern(std::uint32_t seed = kDefaultPatternSeed);
+
+  const Pattern256& base() const { return lut_[0]; }
+
+  // Pre-rotated pattern for LUT bin b (b in [0, 30)).
+  const Pattern256& steered_lut(int bin) const {
+    ESLAM_ASSERT(bin >= 0 && bin < kLutBins, "LUT bin out of range");
+    return lut_[static_cast<std::size_t>(bin)];
+  }
+
+  // Nearest LUT bin for a continuous angle (radians).
+  static int lut_bin(double angle_radians);
+
+  // Exact steering: rotates the continuous base pattern by `angle_radians`
+  // and rounds (Eq. 2 evaluated per location — the expensive path the
+  // paper's LUT and RS-BRIEF both avoid).
+  Pattern256 steered_exact(double angle_radians) const;
+
+  // Memory the steering LUT occupies (the FPGA-resource cost RS-BRIEF
+  // eliminates): bins * 256 pairs * 4 coordinate bytes.
+  static constexpr std::size_t lut_bytes() {
+    return static_cast<std::size_t>(kLutBins) * 256 * sizeof(TestPair);
+  }
+
+ private:
+  // Continuous seed locations kept for steered_exact().
+  std::array<double, 256> sx_, sy_, dx_, dy_;
+  std::array<Pattern256, kLutBins> lut_;
+};
+
+}  // namespace eslam

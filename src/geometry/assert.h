@@ -1,0 +1,26 @@
+// Lightweight contract checking used across the project.
+//
+// ESLAM_ASSERT is active in all build types (the checks guard narrow hot
+// paths only and the cost is negligible next to pixel processing); failures
+// abort with file/line so bugs surface at the violation site rather than as
+// corrupted state downstream.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace eslam::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* msg,
+                                     const char* file, int line) {
+  std::fprintf(stderr, "eslam assertion failed: %s (%s) at %s:%d\n", expr, msg,
+               file, line);
+  std::abort();
+}
+
+}  // namespace eslam::detail
+
+#define ESLAM_ASSERT(expr, msg)                                        \
+  do {                                                                 \
+    if (!(expr)) ::eslam::detail::assert_fail(#expr, msg, __FILE__, __LINE__); \
+  } while (false)

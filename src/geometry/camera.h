@@ -1,0 +1,65 @@
+// Pinhole camera model (distortion-free), matching the TUM Freiburg
+// intrinsics used in the paper's evaluation (640x480).
+#pragma once
+
+#include <optional>
+
+#include "geometry/matrix.h"
+
+namespace eslam {
+
+class PinholeCamera {
+ public:
+  PinholeCamera(double fx, double fy, double cx, double cy, int width,
+                int height)
+      : fx_(fx), fy_(fy), cx_(cx), cy_(cy), width_(width), height_(height) {
+    ESLAM_ASSERT(fx > 0 && fy > 0, "focal lengths must be positive");
+    ESLAM_ASSERT(width > 0 && height > 0, "image size must be positive");
+  }
+
+  // Default intrinsics modelled on TUM Freiburg-1 (fr1) Kinect.
+  static PinholeCamera tum_freiburg1() {
+    return PinholeCamera{517.3, 516.5, 318.6, 255.3, 640, 480};
+  }
+  // TUM Freiburg-2 (fr2) Kinect.
+  static PinholeCamera tum_freiburg2() {
+    return PinholeCamera{520.9, 521.0, 325.1, 249.7, 640, 480};
+  }
+
+  double fx() const { return fx_; }
+  double fy() const { return fy_; }
+  double cx() const { return cx_; }
+  double cy() const { return cy_; }
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+  // Projects a camera-frame point; empty when behind the camera.
+  std::optional<Vec2> project(const Vec3& p_cam) const {
+    if (p_cam[2] <= kMinDepth) return std::nullopt;
+    return Vec2{fx_ * p_cam[0] / p_cam[2] + cx_,
+                fy_ * p_cam[1] / p_cam[2] + cy_};
+  }
+
+  // Back-projects pixel (u, v) at metric depth z into the camera frame.
+  Vec3 unproject(double u, double v, double z) const {
+    return Vec3{(u - cx_) * z / fx_, (v - cy_) * z / fy_, z};
+  }
+
+  // Unit ray through pixel (u, v).
+  Vec3 ray(double u, double v) const {
+    return Vec3{(u - cx_) / fx_, (v - cy_) / fy_, 1.0}.normalized();
+  }
+
+  bool in_image(const Vec2& px, double border = 0.0) const {
+    return px[0] >= border && px[0] < width_ - border && px[1] >= border &&
+           px[1] < height_ - border;
+  }
+
+  static constexpr double kMinDepth = 1e-6;
+
+ private:
+  double fx_, fy_, cx_, cy_;
+  int width_, height_;
+};
+
+}  // namespace eslam

@@ -1,0 +1,102 @@
+// Jacobi eigendecomposition for small symmetric matrices and a 3x3 SVD
+// built on top of it.  Used by Umeyama trajectory alignment and by the
+// Harris-score reference implementation tests.
+#pragma once
+
+#include "geometry/matrix.h"
+
+namespace eslam {
+
+// Eigendecomposition of a symmetric matrix A = V * diag(w) * V^T using
+// cyclic Jacobi rotations.  Eigenvalues are returned in descending order,
+// V's columns are the matching (orthonormal) eigenvectors.
+template <int N, typename T>
+void symmetric_eigen(Mat<N, N, T> a, Vec<N, T>& w, Mat<N, N, T>& v) {
+  v = Mat<N, N, T>::identity();
+  for (int sweep = 0; sweep < 64; ++sweep) {
+    T off{};
+    for (int p = 0; p < N; ++p)
+      for (int q = p + 1; q < N; ++q) off += a(p, q) * a(p, q);
+    if (off < T{1e-24}) break;
+    for (int p = 0; p < N; ++p) {
+      for (int q = p + 1; q < N; ++q) {
+        if (std::abs(a(p, q)) < T{1e-18}) continue;
+        const T theta = (a(q, q) - a(p, p)) / (T{2} * a(p, q));
+        const T t = (theta >= T{0} ? T{1} : T{-1}) /
+                    (std::abs(theta) + std::sqrt(theta * theta + T{1}));
+        const T c = T{1} / std::sqrt(t * t + T{1});
+        const T s = t * c;
+        for (int k = 0; k < N; ++k) {
+          const T akp = a(k, p), akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (int k = 0; k < N; ++k) {
+          const T apk = a(p, k), aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        for (int k = 0; k < N; ++k) {
+          const T vkp = v(k, p), vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+  for (int i = 0; i < N; ++i) w[i] = a(i, i);
+  // Selection sort into descending eigenvalue order.
+  for (int i = 0; i < N - 1; ++i) {
+    int best = i;
+    for (int j = i + 1; j < N; ++j)
+      if (w[j] > w[best]) best = j;
+    if (best != i) {
+      std::swap(w[i], w[best]);
+      for (int k = 0; k < N; ++k) std::swap(v(k, i), v(k, best));
+    }
+  }
+}
+
+// Thin SVD of a 3x3 matrix: A = U * diag(s) * V^T with s sorted descending
+// and U, V orthogonal (possibly with det -1; callers that need rotations
+// must fix signs, as umeyama() does).
+template <typename T>
+void svd3(const Mat<3, 3, T>& a, Mat<3, 3, T>& u, Vec<3, T>& s,
+          Mat<3, 3, T>& v) {
+  // Eigendecompose A^T A = V S^2 V^T.
+  symmetric_eigen(Mat<3, 3, T>(a.transposed() * a), s, v);
+  for (int i = 0; i < 3; ++i) s[i] = std::sqrt(std::max(s[i], T{0}));
+  // First two U columns: A v_i / s_i (safe while s_i carries signal); the
+  // orthogonalization fallback covers rank <= 1 inputs.  The third column
+  // is NEVER obtained by division: when s_2 sits at the noise floor (the
+  // ubiquitous rank-2 case — e.g. 3-point Procrustes alignment), A v_2 /
+  // s_2 amplifies rounding noise into a garbage non-orthogonal column.
+  // Instead u_2 = +-cross(u_0, u_1), signed to match A's orientation.
+  const T tol = std::max(T{1e-12}, T{1e-9} * s[0]);
+  for (int i = 0; i < 2; ++i) {
+    Vec<3, T> col = a * v.col(i);
+    if (s[i] > tol) {
+      u.set_col(i, col / s[i]);
+    } else {
+      // Orthogonalize a unit vector against the previous columns.
+      Vec<3, T> cand{T{1}, T{0}, T{0}};
+      for (int axis = 0; axis < 3; ++axis) {
+        cand = Vec<3, T>{};
+        cand[axis] = T{1};
+        for (int j = 0; j < i; ++j) {
+          const Vec<3, T> uj = u.col(j);
+          cand -= dot(uj, cand) * uj;
+        }
+        if (cand.norm() > T{0.5}) break;
+      }
+      u.set_col(i, cand.normalized());
+    }
+  }
+  Vec<3, T> u2 = cross(Vec<3, T>(u.col(0)), Vec<3, T>(u.col(1)));
+  const T s2_signed = dot(u2, Vec<3, T>(a * v.col(2)));
+  if (s2_signed < T{0}) u2 = -u2;
+  u.set_col(2, u2);
+  s[2] = std::abs(s2_signed);
+}
+
+}  // namespace eslam

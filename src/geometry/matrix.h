@@ -1,0 +1,321 @@
+// Fixed-size dense matrices and vectors for SLAM geometry.
+//
+// Everything here is a small stack value type (no heap, no aliasing
+// surprises); sizes are template parameters so loops unroll.  This is the
+// only linear-algebra dependency of the whole project.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <initializer_list>
+#include <ostream>
+
+#include "geometry/assert.h"
+
+namespace eslam {
+
+template <int R, int C, typename T = double>
+class Mat {
+  static_assert(R > 0 && C > 0, "matrix dimensions must be positive");
+
+ public:
+  using value_type = T;
+  static constexpr int kRows = R;
+  static constexpr int kCols = C;
+
+  constexpr Mat() : data_{} {}
+
+  // Row-major element list: Mat<2,2>{a, b, c, d} is [[a,b],[c,d]].
+  constexpr Mat(std::initializer_list<T> values) : data_{} {
+    ESLAM_ASSERT(values.size() == static_cast<std::size_t>(R * C),
+                 "initializer size mismatch");
+    int i = 0;
+    for (T v : values) data_[i++] = v;
+  }
+
+  static constexpr Mat zero() { return Mat{}; }
+
+  static constexpr Mat identity() {
+    static_assert(R == C, "identity requires a square matrix");
+    Mat m;
+    for (int i = 0; i < R; ++i) m(i, i) = T{1};
+    return m;
+  }
+
+  static constexpr Mat constant(T v) {
+    Mat m;
+    for (auto& x : m.data_) x = v;
+    return m;
+  }
+
+  constexpr T& operator()(int r, int c) {
+    ESLAM_ASSERT(r >= 0 && r < R && c >= 0 && c < C, "index out of range");
+    return data_[static_cast<std::size_t>(r) * C + c];
+  }
+  constexpr T operator()(int r, int c) const {
+    ESLAM_ASSERT(r >= 0 && r < R && c >= 0 && c < C, "index out of range");
+    return data_[static_cast<std::size_t>(r) * C + c];
+  }
+
+  // Linear (vector-style) accessors, valid for any shape.
+  constexpr T& operator[](int i) {
+    ESLAM_ASSERT(i >= 0 && i < R * C, "index out of range");
+    return data_[static_cast<std::size_t>(i)];
+  }
+  constexpr T operator[](int i) const {
+    ESLAM_ASSERT(i >= 0 && i < R * C, "index out of range");
+    return data_[static_cast<std::size_t>(i)];
+  }
+
+  constexpr const T* data() const { return data_.data(); }
+  constexpr T* data() { return data_.data(); }
+  static constexpr int size() { return R * C; }
+
+  // ---- Arithmetic --------------------------------------------------------
+  constexpr Mat operator-() const {
+    Mat m;
+    for (int i = 0; i < R * C; ++i) m.data_[i] = -data_[i];
+    return m;
+  }
+  constexpr Mat& operator+=(const Mat& o) {
+    for (int i = 0; i < R * C; ++i) data_[i] += o.data_[i];
+    return *this;
+  }
+  constexpr Mat& operator-=(const Mat& o) {
+    for (int i = 0; i < R * C; ++i) data_[i] -= o.data_[i];
+    return *this;
+  }
+  constexpr Mat& operator*=(T s) {
+    for (auto& x : data_) x *= s;
+    return *this;
+  }
+  constexpr Mat& operator/=(T s) {
+    for (auto& x : data_) x /= s;
+    return *this;
+  }
+
+  friend constexpr Mat operator+(Mat a, const Mat& b) { return a += b; }
+  friend constexpr Mat operator-(Mat a, const Mat& b) { return a -= b; }
+  friend constexpr Mat operator*(Mat a, T s) { return a *= s; }
+  friend constexpr Mat operator*(T s, Mat a) { return a *= s; }
+  friend constexpr Mat operator/(Mat a, T s) { return a /= s; }
+
+  friend constexpr bool operator==(const Mat& a, const Mat& b) {
+    for (int i = 0; i < R * C; ++i)
+      if (a.data_[i] != b.data_[i]) return false;
+    return true;
+  }
+  friend constexpr bool operator!=(const Mat& a, const Mat& b) {
+    return !(a == b);
+  }
+
+  constexpr Mat<C, R, T> transposed() const {
+    Mat<C, R, T> t;
+    for (int r = 0; r < R; ++r)
+      for (int c = 0; c < C; ++c) t(c, r) = (*this)(r, c);
+    return t;
+  }
+
+  template <int R2, int C2>
+  constexpr Mat<R2, C2, T> block(int r0, int c0) const {
+    ESLAM_ASSERT(r0 >= 0 && c0 >= 0 && r0 + R2 <= R && c0 + C2 <= C,
+                 "block out of range");
+    Mat<R2, C2, T> b;
+    for (int r = 0; r < R2; ++r)
+      for (int c = 0; c < C2; ++c) b(r, c) = (*this)(r0 + r, c0 + c);
+    return b;
+  }
+
+  template <int R2, int C2>
+  constexpr void set_block(int r0, int c0, const Mat<R2, C2, T>& b) {
+    ESLAM_ASSERT(r0 >= 0 && c0 >= 0 && r0 + R2 <= R && c0 + C2 <= C,
+                 "block out of range");
+    for (int r = 0; r < R2; ++r)
+      for (int c = 0; c < C2; ++c) (*this)(r0 + r, c0 + c) = b(r, c);
+  }
+
+  constexpr Mat<R, 1, T> col(int c) const {
+    Mat<R, 1, T> v;
+    for (int r = 0; r < R; ++r) v[r] = (*this)(r, c);
+    return v;
+  }
+  constexpr Mat<1, C, T> row(int r) const {
+    Mat<1, C, T> v;
+    for (int c = 0; c < C; ++c) v[c] = (*this)(r, c);
+    return v;
+  }
+  constexpr void set_col(int c, const Mat<R, 1, T>& v) {
+    for (int r = 0; r < R; ++r) (*this)(r, c) = v[r];
+  }
+  constexpr void set_row(int r, const Mat<1, C, T>& v) {
+    for (int c = 0; c < C; ++c) (*this)(r, c) = v[c];
+  }
+
+  constexpr T trace() const {
+    static_assert(R == C, "trace requires a square matrix");
+    T t{};
+    for (int i = 0; i < R; ++i) t += (*this)(i, i);
+    return t;
+  }
+
+  constexpr T squared_norm() const {
+    T s{};
+    for (auto x : data_) s += x * x;
+    return s;
+  }
+  T norm() const { return std::sqrt(squared_norm()); }
+
+  Mat normalized() const {
+    const T n = norm();
+    ESLAM_ASSERT(n > T{0}, "cannot normalize a zero vector");
+    return *this / n;
+  }
+
+  constexpr T max_abs() const {
+    T m{};
+    for (auto x : data_) {
+      const T a = x < T{0} ? -x : x;
+      if (a > m) m = a;
+    }
+    return m;
+  }
+
+ private:
+  std::array<T, static_cast<std::size_t>(R) * C> data_;
+};
+
+template <int R, int K, int C, typename T>
+constexpr Mat<R, C, T> operator*(const Mat<R, K, T>& a, const Mat<K, C, T>& b) {
+  Mat<R, C, T> m;
+  for (int r = 0; r < R; ++r)
+    for (int k = 0; k < K; ++k) {
+      const T arK = a(r, k);
+      for (int c = 0; c < C; ++c) m(r, c) += arK * b(k, c);
+    }
+  return m;
+}
+
+template <int N, typename T = double>
+using Vec = Mat<N, 1, T>;
+
+using Vec2 = Vec<2>;
+using Vec3 = Vec<3>;
+using Vec4 = Vec<4>;
+using Vec6 = Vec<6>;
+using Mat2 = Mat<2, 2>;
+using Mat3 = Mat<3, 3>;
+using Mat4 = Mat<4, 4>;
+using Mat6 = Mat<6, 6>;
+
+template <int N, typename T>
+constexpr T dot(const Vec<N, T>& a, const Vec<N, T>& b) {
+  T s{};
+  for (int i = 0; i < N; ++i) s += a[i] * b[i];
+  return s;
+}
+
+template <typename T>
+constexpr Vec<3, T> cross(const Vec<3, T>& a, const Vec<3, T>& b) {
+  return Vec<3, T>{a[1] * b[2] - a[2] * b[1], a[2] * b[0] - a[0] * b[2],
+                   a[0] * b[1] - a[1] * b[0]};
+}
+
+// Outer product a * b^T.
+template <int N, int M, typename T>
+constexpr Mat<N, M, T> outer(const Vec<N, T>& a, const Vec<M, T>& b) {
+  Mat<N, M, T> m;
+  for (int r = 0; r < N; ++r)
+    for (int c = 0; c < M; ++c) m(r, c) = a[r] * b[c];
+  return m;
+}
+
+// ---- LU decomposition with partial pivoting -------------------------------
+
+// Solves A x = b in place via Gaussian elimination with partial pivoting.
+// Returns false when A is (numerically) singular.
+template <int N, typename T>
+bool solve(Mat<N, N, T> a, Vec<N, T> b, Vec<N, T>& x) {
+  for (int col = 0; col < N; ++col) {
+    int pivot = col;
+    T best = std::abs(a(col, col));
+    for (int r = col + 1; r < N; ++r) {
+      const T v = std::abs(a(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (!(best > T{1e-12})) return false;
+    if (pivot != col) {
+      for (int c = col; c < N; ++c) std::swap(a(col, c), a(pivot, c));
+      std::swap(b[col], b[pivot]);
+    }
+    const T inv = T{1} / a(col, col);
+    for (int r = col + 1; r < N; ++r) {
+      const T f = a(r, col) * inv;
+      if (f == T{0}) continue;
+      for (int c = col; c < N; ++c) a(r, c) -= f * a(col, c);
+      b[r] -= f * b[col];
+    }
+  }
+  for (int r = N - 1; r >= 0; --r) {
+    T s = b[r];
+    for (int c = r + 1; c < N; ++c) s -= a(r, c) * x[c];
+    x[r] = s / a(r, r);
+  }
+  return true;
+}
+
+// Matrix inverse via column-wise solves.  Returns false when singular.
+template <int N, typename T>
+bool invert(const Mat<N, N, T>& a, Mat<N, N, T>& inv) {
+  for (int c = 0; c < N; ++c) {
+    Vec<N, T> e;
+    e[c] = T{1};
+    Vec<N, T> x;
+    if (!solve(a, e, x)) return false;
+    inv.set_col(c, x);
+  }
+  return true;
+}
+
+template <int N, typename T>
+T determinant(Mat<N, N, T> a) {
+  T det{1};
+  for (int col = 0; col < N; ++col) {
+    int pivot = col;
+    T best = std::abs(a(col, col));
+    for (int r = col + 1; r < N; ++r) {
+      const T v = std::abs(a(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best == T{0}) return T{0};
+    if (pivot != col) {
+      for (int c = col; c < N; ++c) std::swap(a(col, c), a(pivot, c));
+      det = -det;
+    }
+    det *= a(col, col);
+    const T inv = T{1} / a(col, col);
+    for (int r = col + 1; r < N; ++r) {
+      const T f = a(r, col) * inv;
+      for (int c = col; c < N; ++c) a(r, c) -= f * a(col, c);
+    }
+  }
+  return det;
+}
+
+template <int R, int C, typename T>
+std::ostream& operator<<(std::ostream& os, const Mat<R, C, T>& m) {
+  for (int r = 0; r < R; ++r) {
+    os << (r == 0 ? "[" : " ");
+    for (int c = 0; c < C; ++c) os << m(r, c) << (c + 1 < C ? ", " : "");
+    os << (r + 1 < R ? ";\n" : "]");
+  }
+  return os;
+}
+
+}  // namespace eslam

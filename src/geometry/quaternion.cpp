@@ -1,0 +1,88 @@
+#include "geometry/quaternion.h"
+
+#include <cmath>
+
+namespace eslam {
+
+double Quaternion::norm() const {
+  return std::sqrt(w * w + x * x + y * y + z * z);
+}
+
+Quaternion Quaternion::normalized() const {
+  const double n = norm();
+  ESLAM_ASSERT(n > 0.0, "cannot normalize zero quaternion");
+  return {w / n, x / n, y / n, z / n};
+}
+
+Quaternion Quaternion::from_rotation(const Mat3& r) {
+  // Shepperd's method: pick the largest diagonal combination for stability.
+  Quaternion q;
+  const double tr = r.trace();
+  if (tr > 0.0) {
+    const double s = std::sqrt(tr + 1.0) * 2.0;
+    q.w = 0.25 * s;
+    q.x = (r(2, 1) - r(1, 2)) / s;
+    q.y = (r(0, 2) - r(2, 0)) / s;
+    q.z = (r(1, 0) - r(0, 1)) / s;
+  } else if (r(0, 0) > r(1, 1) && r(0, 0) > r(2, 2)) {
+    const double s = std::sqrt(1.0 + r(0, 0) - r(1, 1) - r(2, 2)) * 2.0;
+    q.w = (r(2, 1) - r(1, 2)) / s;
+    q.x = 0.25 * s;
+    q.y = (r(0, 1) + r(1, 0)) / s;
+    q.z = (r(0, 2) + r(2, 0)) / s;
+  } else if (r(1, 1) > r(2, 2)) {
+    const double s = std::sqrt(1.0 + r(1, 1) - r(0, 0) - r(2, 2)) * 2.0;
+    q.w = (r(0, 2) - r(2, 0)) / s;
+    q.x = (r(0, 1) + r(1, 0)) / s;
+    q.y = 0.25 * s;
+    q.z = (r(1, 2) + r(2, 1)) / s;
+  } else {
+    const double s = std::sqrt(1.0 + r(2, 2) - r(0, 0) - r(1, 1)) * 2.0;
+    q.w = (r(1, 0) - r(0, 1)) / s;
+    q.x = (r(0, 2) + r(2, 0)) / s;
+    q.y = (r(1, 2) + r(2, 1)) / s;
+    q.z = 0.25 * s;
+  }
+  return q.normalized();
+}
+
+Mat3 Quaternion::to_rotation() const {
+  const Quaternion q = normalized();
+  const double xx = q.x * q.x, yy = q.y * q.y, zz = q.z * q.z;
+  const double xy = q.x * q.y, xz = q.x * q.z, yz = q.y * q.z;
+  const double wx = q.w * q.x, wy = q.w * q.y, wz = q.w * q.z;
+  return Mat3{1 - 2 * (yy + zz), 2 * (xy - wz), 2 * (xz + wy),
+              2 * (xy + wz), 1 - 2 * (xx + zz), 2 * (yz - wx),
+              2 * (xz - wy), 2 * (yz + wx), 1 - 2 * (xx + yy)};
+}
+
+Quaternion operator*(const Quaternion& a, const Quaternion& b) {
+  return {a.w * b.w - a.x * b.x - a.y * b.y - a.z * b.z,
+          a.w * b.x + a.x * b.w + a.y * b.z - a.z * b.y,
+          a.w * b.y - a.x * b.z + a.y * b.w + a.z * b.x,
+          a.w * b.z + a.x * b.y - a.y * b.x + a.z * b.w};
+}
+
+Quaternion slerp(const Quaternion& a_in, const Quaternion& b_in, double t) {
+  Quaternion a = a_in.normalized();
+  Quaternion b = b_in.normalized();
+  double cos_half = a.w * b.w + a.x * b.x + a.y * b.y + a.z * b.z;
+  if (cos_half < 0.0) {  // take the short arc
+    b = {-b.w, -b.x, -b.y, -b.z};
+    cos_half = -cos_half;
+  }
+  if (cos_half > 0.9995) {  // nearly parallel: lerp + renormalize
+    Quaternion q{a.w + t * (b.w - a.w), a.x + t * (b.x - a.x),
+                 a.y + t * (b.y - a.y), a.z + t * (b.z - a.z)};
+    return q.normalized();
+  }
+  const double half = std::acos(cos_half);
+  const double sin_half = std::sin(half);
+  const double wa = std::sin((1.0 - t) * half) / sin_half;
+  const double wb = std::sin(t * half) / sin_half;
+  return Quaternion{wa * a.w + wb * b.w, wa * a.x + wb * b.x,
+                    wa * a.y + wb * b.y, wa * a.z + wb * b.z}
+      .normalized();
+}
+
+}  // namespace eslam

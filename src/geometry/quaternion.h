@@ -1,0 +1,27 @@
+// Unit quaternions, used for the TUM trajectory file format (which stores
+// orientations as qx qy qz qw) and for smooth trajectory interpolation in
+// the dataset generator.
+#pragma once
+
+#include "geometry/matrix.h"
+
+namespace eslam {
+
+struct Quaternion {
+  double w = 1.0, x = 0.0, y = 0.0, z = 0.0;
+
+  static Quaternion identity() { return {}; }
+  static Quaternion from_rotation(const Mat3& r);
+
+  Mat3 to_rotation() const;
+  Quaternion normalized() const;
+  Quaternion conjugate() const { return {w, -x, -y, -z}; }
+  double norm() const;
+
+  friend Quaternion operator*(const Quaternion& a, const Quaternion& b);
+};
+
+// Spherical linear interpolation; t in [0, 1].
+Quaternion slerp(const Quaternion& a, const Quaternion& b, double t);
+
+}  // namespace eslam

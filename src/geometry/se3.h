@@ -1,0 +1,59 @@
+// SE(3) rigid-body transforms.
+//
+// An SE3 maps points from one frame to another: p' = R * p + t.  In the
+// tracker, camera poses are stored world-to-camera (T_cw), matching the
+// paper's PnP formulation where map points are projected into the frame.
+#pragma once
+
+#include "geometry/matrix.h"
+#include "geometry/so3.h"
+
+namespace eslam {
+
+class SE3 {
+ public:
+  SE3() : r_(Mat3::identity()) {}
+  SE3(const Mat3& r, const Vec3& t) : r_(r), t_(t) {}
+
+  static SE3 identity() { return SE3{}; }
+
+  // Exponential map of a twist [translation; rotation] (rotation-last
+  // convention shared with the pose-optimizer Jacobians).
+  static SE3 exp(const Vec6& xi);
+
+  // Logarithm map, inverse of exp().
+  Vec6 log() const;
+
+  const Mat3& rotation() const { return r_; }
+  const Vec3& translation() const { return t_; }
+
+  SE3 inverse() const {
+    const Mat3 rt = r_.transposed();
+    return SE3{rt, -(rt * t_)};
+  }
+
+  Vec3 operator*(const Vec3& p) const { return r_ * p + t_; }
+
+  SE3 operator*(const SE3& o) const { return SE3{r_ * o.r_, r_ * o.t_ + t_}; }
+
+  Mat4 matrix() const {
+    Mat4 m = Mat4::identity();
+    m.set_block(0, 0, r_);
+    m.set_block(0, 3, t_);
+    return m;
+  }
+
+  // Geodesic distances used by the key-frame policy.
+  double translation_distance(const SE3& o) const {
+    return (t_ - o.t_).norm();
+  }
+  double rotation_angle(const SE3& o) const {
+    return so3_log(r_.transposed() * o.r_).norm();
+  }
+
+ private:
+  Mat3 r_;
+  Vec3 t_;
+};
+
+}  // namespace eslam

@@ -1,0 +1,74 @@
+#include "geometry/so3.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eslam {
+
+Mat3 hat(const Vec3& w) {
+  return Mat3{0, -w[2], w[1],  //
+              w[2], 0, -w[0],  //
+              -w[1], w[0], 0};
+}
+
+Mat3 so3_exp(const Vec3& w) {
+  const double theta = w.norm();
+  const Mat3 k = hat(w);
+  if (theta < 1e-9) {
+    // Second-order Taylor expansion; accurate to ~1e-18 here.
+    return Mat3::identity() + k + 0.5 * (k * k);
+  }
+  const double a = std::sin(theta) / theta;
+  const double b = (1.0 - std::cos(theta)) / (theta * theta);
+  return Mat3::identity() + a * k + b * (k * k);
+}
+
+Vec3 so3_log(const Mat3& r) {
+  const double cos_theta = std::clamp((r.trace() - 1.0) * 0.5, -1.0, 1.0);
+  const double theta = std::acos(cos_theta);
+  const Vec3 axis_raw{r(2, 1) - r(1, 2), r(0, 2) - r(2, 0), r(1, 0) - r(0, 1)};
+  if (theta < 1e-9) return 0.5 * axis_raw;  // small-angle: log(R) ~ (R-R^T)v/2
+  if (theta > M_PI - 1e-6) {
+    // Near pi the antisymmetric part vanishes; recover axis from the
+    // symmetric part R = I + 2*sin^2(theta/2)*(aa^T - I).
+    Vec3 axis;
+    const Mat3 s = 0.5 * (r + Mat3::identity());
+    int k = 0;
+    for (int i = 1; i < 3; ++i)
+      if (s(i, i) > s(k, k)) k = i;
+    axis[k] = std::sqrt(std::max(s(k, k), 0.0));
+    for (int i = 0; i < 3; ++i)
+      if (i != k) axis[i] = s(k, i) / axis[k];
+    // Fix the sign so that it agrees with the antisymmetric part.
+    if (dot(axis, axis_raw) < 0.0) axis = -axis;
+    return theta * axis.normalized();
+  }
+  return (theta / (2.0 * std::sin(theta))) * axis_raw;
+}
+
+Mat3 orthonormalized(const Mat3& r) {
+  Vec3 x = r.row(0).transposed();
+  Vec3 y = r.row(1).transposed();
+  x = x.normalized();
+  y = (y - dot(x, y) * x).normalized();
+  const Vec3 z = cross(x, y);
+  Mat3 out;
+  out.set_row(0, x.transposed());
+  out.set_row(1, y.transposed());
+  out.set_row(2, z.transposed());
+  return out;
+}
+
+Mat3 axis_rotation(int axis, double angle) {
+  Vec3 w;
+  w[axis] = angle;
+  return so3_exp(w);
+}
+
+bool is_rotation(const Mat3& r, double tol) {
+  const Mat3 should_be_identity = r * r.transposed();
+  if ((should_be_identity - Mat3::identity()).max_abs() > tol) return false;
+  return std::abs(determinant(r) - 1.0) <= tol;
+}
+
+}  // namespace eslam

@@ -1,0 +1,29 @@
+// SO(3) utilities: hat operator, exponential and logarithm maps.
+//
+// Rotations are represented as plain 3x3 matrices; exp/log provide the
+// minimal axis-angle parameterization used by the pose optimizers.
+#pragma once
+
+#include "geometry/matrix.h"
+
+namespace eslam {
+
+// Skew-symmetric (cross-product) matrix of w.
+Mat3 hat(const Vec3& w);
+
+// Rodrigues formula: exp of the axis-angle vector w (angle = |w|).
+Mat3 so3_exp(const Vec3& w);
+
+// Logarithm map: axis-angle vector of rotation matrix R.
+// R must be a proper rotation (orthonormal, det +1).
+Vec3 so3_log(const Mat3& r);
+
+// Re-orthonormalizes an almost-rotation matrix (Gram-Schmidt on rows).
+Mat3 orthonormalized(const Mat3& r);
+
+// Rotation about a single axis (0 = x, 1 = y, 2 = z) by `angle` radians.
+Mat3 axis_rotation(int axis, double angle);
+
+bool is_rotation(const Mat3& r, double tol = 1e-6);
+
+}  // namespace eslam

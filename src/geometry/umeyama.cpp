@@ -1,0 +1,65 @@
+#include "geometry/umeyama.h"
+
+#include <cmath>
+
+#include "geometry/jacobi.h"
+
+namespace eslam {
+
+AlignmentResult umeyama(std::span<const Vec3> src, std::span<const Vec3> dst,
+                        bool with_scale) {
+  ESLAM_ASSERT(src.size() == dst.size(), "point sets must match in size");
+  ESLAM_ASSERT(!src.empty(), "point sets must be non-empty");
+  const double n = static_cast<double>(src.size());
+
+  Vec3 mean_src, mean_dst;
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    mean_src += src[i];
+    mean_dst += dst[i];
+  }
+  mean_src /= n;
+  mean_dst /= n;
+
+  Mat3 sigma;  // cross-covariance dst~src
+  double var_src = 0.0;
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const Vec3 ds = src[i] - mean_src;
+    const Vec3 dd = dst[i] - mean_dst;
+    sigma += outer(dd, ds);
+    var_src += ds.squared_norm();
+  }
+  sigma /= n;
+  var_src /= n;
+
+  Mat3 u, v;
+  Vec3 d;
+  svd3(sigma, u, d, v);
+
+  // Reflection handling (Umeyama's S matrix).
+  Vec3 s_diag{1.0, 1.0, 1.0};
+  if (determinant(u) * determinant(v) < 0.0) s_diag[2] = -1.0;
+
+  Mat3 s_mat;
+  for (int i = 0; i < 3; ++i) s_mat(i, i) = s_diag[i];
+  const Mat3 r = u * s_mat * v.transposed();
+
+  double scale = 1.0;
+  if (with_scale && var_src > 1e-12)
+    scale = (d[0] * s_diag[0] + d[1] * s_diag[1] + d[2] * s_diag[2]) / var_src;
+
+  const Vec3 t = mean_dst - scale * (r * mean_src);
+
+  AlignmentResult result;
+  result.transform = SE3{r, t};
+  result.scale = scale;
+
+  double err = 0.0;
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const Vec3 mapped = scale * (r * src[i]) + t;
+    err += (dst[i] - mapped).squared_norm();
+  }
+  result.rmse = std::sqrt(err / n);
+  return result;
+}
+
+}  // namespace eslam

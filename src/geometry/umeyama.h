@@ -1,0 +1,26 @@
+// Umeyama closed-form similarity/rigid alignment between two point sets.
+// Used to align an estimated trajectory with ground truth before computing
+// absolute trajectory error (the standard TUM evaluation protocol).
+#pragma once
+
+#include <span>
+
+#include "geometry/matrix.h"
+#include "geometry/se3.h"
+
+namespace eslam {
+
+// Finds the rigid transform T (and optional scale s) minimizing
+// sum_i || dst_i - (s * R * src_i + t) ||^2.  Requires >= 3 points that are
+// not all collinear; with fewer/degenerate points the rotation falls back to
+// identity on the ambiguous axes (the SVD handles rank deficiency).
+struct AlignmentResult {
+  SE3 transform;       // maps src into dst
+  double scale = 1.0;  // 1.0 unless with_scale
+  double rmse = 0.0;   // residual after alignment
+};
+
+AlignmentResult umeyama(std::span<const Vec3> src, std::span<const Vec3> dst,
+                        bool with_scale = false);
+
+}  // namespace eslam

@@ -1,0 +1,36 @@
+// Cycle accounting for the 100 MHz accelerator clock domain (paper
+// section 4.1: "the clock of accelerating modules is 100 MHz").
+#pragma once
+
+#include <cstdint>
+
+namespace eslam {
+
+inline constexpr double kAcceleratorClockMhz = 100.0;
+inline constexpr double kArmClockMhz = 767.0;  // host ARM Cortex-A9
+
+constexpr double cycles_to_ms(std::uint64_t cycles,
+                              double clock_mhz = kAcceleratorClockMhz) {
+  return static_cast<double>(cycles) / (clock_mhz * 1e3);
+}
+
+constexpr std::uint64_t ms_to_cycles(double ms,
+                                     double clock_mhz = kAcceleratorClockMhz) {
+  return static_cast<std::uint64_t>(ms * clock_mhz * 1e3);
+}
+
+// Accumulates cycles attributed to named phases of a module.
+class CycleCounter {
+ public:
+  void add(std::uint64_t cycles) { total_ += cycles; }
+  void reset() { total_ = 0; }
+  std::uint64_t total() const { return total_; }
+  double total_ms(double clock_mhz = kAcceleratorClockMhz) const {
+    return cycles_to_ms(total_, clock_mhz);
+  }
+
+ private:
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace eslam

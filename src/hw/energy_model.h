@@ -1,0 +1,32 @@
+// Power/energy model (Table 3 reproduction).
+//
+// Runtime comes from measurement (software) or cycle simulation (FPGA);
+// power is an input constant per platform, calibrated to the paper's own
+// measured values (section 4.3) and documented in EXPERIMENTS.md:
+//   ARM Cortex-A9 (XCZ7045 PS only) : 1.574 W
+//   eSLAM (PS + accelerator fabric) : 1.936 W (+23% over ARM alone)
+//   Intel i7-4700MQ                 : 47 W (TDP, as the paper uses)
+#pragma once
+
+namespace eslam {
+
+struct PlatformPower {
+  const char* name;
+  double watts;
+};
+
+inline constexpr PlatformPower kPowerArm{"ARM Cortex-A9", 1.574};
+inline constexpr PlatformPower kPowerEslam{"eSLAM (Zynq)", 1.936};
+inline constexpr PlatformPower kPowerIntelI7{"Intel i7-4700MQ", 47.0};
+
+// Energy per frame in millijoules from a per-frame runtime in ms.
+constexpr double energy_mj(const PlatformPower& platform, double runtime_ms) {
+  return platform.watts * runtime_ms;  // W * ms = mJ
+}
+
+// Accelerator fabric adds this much to the bare ARM platform power.
+constexpr double accelerator_power_overhead_w() {
+  return kPowerEslam.watts - kPowerArm.watts;
+}
+
+}  // namespace eslam

@@ -1,0 +1,53 @@
+// Bounded FIFO with occupancy tracking — the generic stream buffer between
+// accelerator pipeline stages.  High-water marks feed the BRAM sizing in
+// the resource model.
+#pragma once
+
+#include <deque>
+
+#include "geometry/assert.h"
+
+namespace eslam {
+
+template <typename T>
+class BoundedFifo {
+ public:
+  explicit BoundedFifo(std::size_t capacity) : capacity_(capacity) {
+    ESLAM_ASSERT(capacity > 0, "fifo capacity must be positive");
+  }
+
+  bool push(const T& v) {
+    if (data_.size() >= capacity_) {
+      ++overflow_count_;
+      return false;
+    }
+    data_.push_back(v);
+    high_water_ = std::max(high_water_, data_.size());
+    ++total_pushed_;
+    return true;
+  }
+
+  bool pop(T& out) {
+    if (data_.empty()) return false;
+    out = data_.front();
+    data_.pop_front();
+    return true;
+  }
+
+  bool empty() const { return data_.empty(); }
+  bool full() const { return data_.size() >= capacity_; }
+  std::size_t size() const { return data_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t high_water() const { return high_water_; }
+  std::size_t overflow_count() const { return overflow_count_; }
+  std::size_t total_pushed() const { return total_pushed_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<T> data_;
+  std::size_t high_water_ = 0;
+  std::size_t overflow_count_ = 0;
+  std::size_t total_pushed_ = 0;
+};
+
+}  // namespace eslam

@@ -1,0 +1,70 @@
+// Qm.n fixed-point arithmetic used by the integer datapaths of the
+// accelerator models (orientation LUT thresholds, resize stepping).
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+#include "geometry/assert.h"
+
+namespace eslam {
+
+// Fixed-point value with F fractional bits stored in a 64-bit signed
+// integer.  Deliberately minimal: the HW models only need construction,
+// +/-, integer multiply and comparisons.
+template <int F>
+class Fixed {
+  static_assert(F > 0 && F < 62, "fractional bits out of range");
+
+ public:
+  constexpr Fixed() = default;
+
+  static constexpr Fixed from_raw(std::int64_t raw) {
+    Fixed f;
+    f.raw_ = raw;
+    return f;
+  }
+  static constexpr Fixed from_int(std::int64_t v) {
+    return from_raw(v << F);
+  }
+  static constexpr Fixed from_double(double v) {
+    return from_raw(static_cast<std::int64_t>(
+        v * static_cast<double>(std::int64_t{1} << F) +
+        (v >= 0 ? 0.5 : -0.5)));
+  }
+
+  constexpr std::int64_t raw() const { return raw_; }
+  constexpr std::int64_t to_int() const {  // truncates toward -inf
+    return raw_ >> F;
+  }
+  constexpr double to_double() const {
+    return static_cast<double>(raw_) / static_cast<double>(std::int64_t{1} << F);
+  }
+
+  friend constexpr Fixed operator+(Fixed a, Fixed b) {
+    return from_raw(a.raw_ + b.raw_);
+  }
+  friend constexpr Fixed operator-(Fixed a, Fixed b) {
+    return from_raw(a.raw_ - b.raw_);
+  }
+  // Fixed * integer (exact).
+  friend constexpr Fixed operator*(Fixed a, std::int64_t s) {
+    return from_raw(a.raw_ * s);
+  }
+  friend constexpr Fixed operator*(std::int64_t s, Fixed a) { return a * s; }
+  // Fixed * Fixed with rounding of the dropped bits.
+  friend constexpr Fixed mul(Fixed a, Fixed b) {
+    const __int128 p = static_cast<__int128>(a.raw_) * b.raw_;
+    return from_raw(static_cast<std::int64_t>(
+        (p + (static_cast<__int128>(1) << (F - 1))) >> F));
+  }
+
+  friend constexpr auto operator<=>(Fixed a, Fixed b) = default;
+
+ private:
+  std::int64_t raw_ = 0;
+};
+
+using Q16 = Fixed<16>;  // 16 fractional bits: the address/threshold format
+
+}  // namespace eslam

@@ -1,0 +1,57 @@
+#include "hw/linebuffer.h"
+
+namespace eslam {
+
+LineBufferCache::LineBufferCache(int height) : height_(height) {
+  ESLAM_ASSERT(height > 0, "cache height must be positive");
+  for (auto& line : lines_)
+    line.resize(static_cast<std::size_t>(kColumnsPerLine) * height_);
+}
+
+bool LineBufferCache::push_column(const std::vector<std::uint8_t>& column) {
+  ESLAM_ASSERT(static_cast<int>(column.size()) == height_,
+               "column height mismatch");
+  auto& line = lines_[static_cast<std::size_t>(write_line_)];
+  std::copy(column.begin(), column.end(),
+            line.begin() + static_cast<std::ptrdiff_t>(columns_in_write_line_) *
+                               height_);
+  fill_cycles_ += static_cast<std::uint64_t>(height_);  // 1 pixel/cycle
+  ++columns_in_write_line_;
+  ++total_columns_;
+  if (columns_in_write_line_ < kColumnsPerLine) return false;
+
+  // Line complete: rotate the FSM.
+  columns_in_write_line_ = 0;
+  ++completed_lines_;
+  const int finished = write_line_;
+  write_line_ = (write_line_ + 1) % kLines;
+  ++state_;
+  CacheFsmEvent ev;
+  ev.state = state_;
+  ev.receiving_line = write_line_;
+  // The two lines other than the receiver feed the output window.
+  ev.outputting_lines = {finished, (finished + kLines - 1) % kLines};
+  trace_.push_back(ev);
+  return true;
+}
+
+int LineBufferCache::window_start_column() const {
+  // The window is the last 16 *completed* columns.
+  const int completed_cols =
+      completed_lines_ * kColumnsPerLine;
+  return completed_cols - 2 * kColumnsPerLine;
+}
+
+std::uint8_t LineBufferCache::window_pixel(int col, int row) const {
+  ESLAM_ASSERT(window_ready(), "window read before two lines filled");
+  ESLAM_ASSERT(col >= 0 && col < 2 * kColumnsPerLine, "window column range");
+  ESLAM_ASSERT(row >= 0 && row < height_, "window row range");
+  const int abs_col = window_start_column() + col;
+  ESLAM_ASSERT(abs_col >= 0, "window underflow");
+  const int line = (abs_col / kColumnsPerLine) % kLines;
+  const int col_in_line = abs_col % kColumnsPerLine;
+  return lines_[static_cast<std::size_t>(line)]
+               [static_cast<std::size_t>(col_in_line) * height_ + row];
+}
+
+}  // namespace eslam

@@ -1,0 +1,92 @@
+#include "hw/resource_model.h"
+
+#include "geometry/assert.h"
+
+namespace eslam {
+
+ResourceUsage paper_table1_totals() { return ResourceUsage{56954, 67809, 111, 78}; }
+
+std::vector<ModuleResources> eslam_resource_inventory(int matcher_map_window) {
+  ESLAM_ASSERT(matcher_map_window > 0, "map window must be positive");
+  std::vector<ModuleResources> inv;
+
+  // --- ORB Extractor ------------------------------------------------------
+  inv.push_back({"AXI interface + DMA",
+                 {6500, 8200, 8, 13},
+                 "64b AXI4 master, R/W burst engines, clock-domain FIFOs"});
+  inv.push_back({"Image Cache (3x8-col lines)",
+                 {1200, 1500, 0, 6},
+                 "ping-pong FSM + 3 x 8 x 480 B dual-port lines (Fig. 5)"});
+  inv.push_back({"FAST Detection",
+                 {9800, 9800, 0, 0},
+                 "16 ring comparators x2 thresholds + 9-arc detect logic"});
+  inv.push_back({"Harris Score",
+                 {5200, 7400, 63, 0},
+                 "3 gradient products x 7-lane window + k*tr^2 (fixed k)"});
+  inv.push_back({"Image Smoother",
+                 {3400, 5200, 8, 6},
+                 "separable binomial shift-add tree; smoothened line cache"});
+  inv.push_back({"NMS",
+                 {2100, 1800, 0, 0},
+                 "3x3 score comparators over the streaming score window"});
+  inv.push_back({"Score Cache",
+                 {700, 680, 0, 8},
+                 "16-column 32b Harris scores, same FSM as Image Cache"});
+  inv.push_back({"Orientation Computing",
+                 {4800, 6200, 24, 1},
+                 "patch column-sum accumulators + v/u LUT compare ladder"});
+  inv.push_back({"BRIEF Computing",
+                 {7200, 8900, 0, 0},
+                 "256 intensity comparators + patch pixel muxes (RS pattern"
+                 " hardwired - no pattern LUT memory)"});
+  inv.push_back({"BRIEF Rotator",
+                 {1900, 2300, 0, 0},
+                 "256b barrel shifter, 32 byte-granular positions"});
+  inv.push_back({"Feature Heap (1024)",
+                 {5400, 6800, 0, 9},
+                 "compare-exchange + 1024 x (256b desc, 32b coord, 32b score)"});
+
+  // --- Image Resizing -----------------------------------------------------
+  inv.push_back({"Image Resizing",
+                 {1600, 1400, 8, 1},
+                 "16.16 nearest-neighbour address stepping, 2-row buffer"});
+
+  // --- BRIEF Matcher ------------------------------------------------------
+  const int desc_bytes = 32;
+  const int window_kb = matcher_map_window * desc_bytes / 1024;
+  // 4.5 KB per RAMB36; current-frame store (1024 x 32 B) plus the map
+  // descriptor window, both double-buffered halves mapped to block RAM.
+  // RAMB36 = 4.5 KB; current-frame store (32 KB) + map window.
+  const int matcher_bram =
+      static_cast<int>((window_kb + 32 + 4.4) / 4.5);
+  inv.push_back({"Descriptor Cache",
+                 {1154, 1609, 0, matcher_bram},
+                 "1024-entry frame store + map descriptor window"});
+  inv.push_back({"Distance Computing",
+                 {4100, 3900, 0, 0},
+                 "8 parallel 256b XOR + popcount adder trees"});
+  inv.push_back({"Comparator",
+                 {900, 700, 0, 0},
+                 "running min/argmin over Hamming distances"});
+  inv.push_back({"Result Cache",
+                 {600, 520, 0, 2},
+                 "1024 x (index, distance) result store"});
+
+  inv.push_back({"Control & interconnect",
+                 {400, 900, 0, 3},
+                 "top-level FSMs, arbiters, pipeline glue"});
+  return inv;
+}
+
+ResourceUsage total_resources(const std::vector<ModuleResources>& inventory) {
+  ResourceUsage total;
+  for (const ModuleResources& m : inventory) total += m.usage;
+  return total;
+}
+
+double utilization_pct(int used, int available) {
+  ESLAM_ASSERT(available > 0, "device capacity must be positive");
+  return 100.0 * used / available;
+}
+
+}  // namespace eslam

@@ -1,0 +1,58 @@
+// FPGA resource model reproducing Table 1.
+//
+// We cannot synthesize RTL in this environment, so each accelerator module
+// carries a documented resource estimate (LUT/FF from datapath reasoning,
+// DSP from multiplier count, BRAM from the buffer geometry the simulators
+// actually instantiate).  The totals are compared against the paper's
+// reported utilization on the Zynq XCZ7045 in bench/table1_resources.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace eslam {
+
+struct ResourceUsage {
+  int lut = 0;
+  int ff = 0;
+  int dsp = 0;
+  int bram = 0;  // RAMB36 blocks
+
+  ResourceUsage& operator+=(const ResourceUsage& o) {
+    lut += o.lut;
+    ff += o.ff;
+    dsp += o.dsp;
+    bram += o.bram;
+    return *this;
+  }
+};
+
+struct ModuleResources {
+  std::string name;
+  ResourceUsage usage;
+  std::string basis;  // one-line justification of the estimate
+};
+
+// Available resources on the Zynq XCZ7045 (paper's target device).
+struct DeviceCapacity {
+  int lut = 218600;
+  int ff = 437200;
+  int dsp = 900;
+  int bram = 545;
+};
+
+// The paper's reported totals (Table 1).
+ResourceUsage paper_table1_totals();
+
+// Per-module estimates of the eSLAM fabric (ORB Extractor, BRIEF Matcher,
+// Image Resizing, AXI plumbing).  Parameterized on the map-descriptor
+// window so BRAM tracks the matcher's working set.
+std::vector<ModuleResources> eslam_resource_inventory(
+    int matcher_map_window = 3072);
+
+ResourceUsage total_resources(const std::vector<ModuleResources>& inventory);
+
+// Utilization percentage against the device.
+double utilization_pct(int used, int available);
+
+}  // namespace eslam

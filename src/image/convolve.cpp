@@ -1,0 +1,101 @@
+#include "image/convolve.h"
+
+#include <cmath>
+#include <vector>
+
+namespace eslam {
+
+namespace {
+
+constexpr int kBinomial7[7] = {1, 6, 15, 20, 15, 6, 1};  // sums to 64
+
+}  // namespace
+
+ImageU8 convolve_separable_u8(const ImageU8& src, const int* taps, int n,
+                              int shift) {
+  ESLAM_ASSERT(n % 2 == 1, "kernel length must be odd");
+  const int r = n / 2;
+  const int w = src.width(), h = src.height();
+
+  // Horizontal pass into a 16-bit intermediate to keep full precision of
+  // the first pass before the second shift (matches the HW datapath which
+  // carries 14 bits between the two passes).
+  Image<std::uint16_t> tmp(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      int acc = 0;
+      for (int k = -r; k <= r; ++k)
+        acc += taps[k + r] * src.at_clamped(x + k, y);
+      tmp.at(x, y) = static_cast<std::uint16_t>(acc);
+    }
+  }
+  ImageU8 dst(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      int acc = 0;
+      for (int k = -r; k <= r; ++k)
+        acc += taps[k + r] * tmp.at_clamped(x, y + k);
+      // Two passes accumulate a factor of (2^shift)^2; divide once with
+      // round-half-up.
+      const int v = (acc + (1 << (2 * shift - 1))) >> (2 * shift);
+      dst.at(x, y) = static_cast<std::uint8_t>(std::min(v, 255));
+    }
+  }
+  return dst;
+}
+
+ImageU8 smooth_gaussian7_u8(const ImageU8& src) {
+  const int w = src.width(), h = src.height();
+  Image<std::uint16_t> tmp(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      int acc = 0;
+      for (int k = -3; k <= 3; ++k)
+        acc += kBinomial7[k + 3] * src.at_clamped(x + k, y);
+      tmp.at(x, y) = static_cast<std::uint16_t>(acc);  // <= 255*64 = 16320
+    }
+  }
+  ImageU8 dst(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      int acc = 0;
+      for (int k = -3; k <= 3; ++k)
+        acc += kBinomial7[k + 3] * tmp.at_clamped(x, y + k);
+      // acc <= 255 * 64 * 64; normalize by 4096 with round-half-up.
+      const int v = (acc + 2048) >> 12;
+      dst.at(x, y) = static_cast<std::uint8_t>(std::min(v, 255));
+    }
+  }
+  return dst;
+}
+
+ImageF32 smooth_gaussian7_f32(const ImageU8& src) {
+  constexpr double kSigma = 2.0;
+  double taps[7];
+  double sum = 0.0;
+  for (int k = -3; k <= 3; ++k) {
+    taps[k + 3] = std::exp(-(k * k) / (2.0 * kSigma * kSigma));
+    sum += taps[k + 3];
+  }
+  for (double& t : taps) t /= sum;
+
+  const int w = src.width(), h = src.height();
+  ImageF32 tmp(w, h), dst(w, h);
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x) {
+      double acc = 0.0;
+      for (int k = -3; k <= 3; ++k)
+        acc += taps[k + 3] * src.at_clamped(x + k, y);
+      tmp.at(x, y) = static_cast<float>(acc);
+    }
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x) {
+      double acc = 0.0;
+      for (int k = -3; k <= 3; ++k)
+        acc += taps[k + 3] * tmp.at_clamped(x, y + k);
+      dst.at(x, y) = static_cast<float>(acc);
+    }
+  return dst;
+}
+
+}  // namespace eslam

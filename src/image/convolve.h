@@ -1,0 +1,28 @@
+// Smoothing filters.
+//
+// The accelerator's Image Smoother applies a 7x7 Gaussian before descriptor
+// and orientation computation (paper section 3.1).  The hardware-friendly
+// kernel is the separable binomial [1 6 15 20 15 6 1]/64, which needs only
+// shifts and adds; smooth_gaussian7_u8 is bit-exact with the HW model in
+// accel/smoother_hw.  A float reference is kept for accuracy tests.
+#pragma once
+
+#include "image/image.h"
+
+namespace eslam {
+
+// Integer separable 7-tap binomial smoothing with clamp-to-edge borders.
+// Rounding: (sum + 32) >> 6 per pass (round-half-up), the same arithmetic
+// the fixed-point hardware pipeline performs.
+ImageU8 smooth_gaussian7_u8(const ImageU8& src);
+
+// Float reference: true Gaussian, sigma = 2.0 (the sampling Gaussian used
+// when BRIEF patterns are generated), 7x7 support, clamp-to-edge.
+ImageF32 smooth_gaussian7_f32(const ImageU8& src);
+
+// Generic separable convolution with an odd-length integer kernel whose
+// taps sum to a power of two (shift is log2 of that sum).
+ImageU8 convolve_separable_u8(const ImageU8& src, const int* taps, int n,
+                              int shift);
+
+}  // namespace eslam

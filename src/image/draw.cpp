@@ -1,0 +1,73 @@
+#include "image/draw.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace eslam {
+
+void draw_point(ImageRgb& img, int x, int y, Rgb color, int radius) {
+  for (int dy = -radius; dy <= radius; ++dy)
+    for (int dx = -radius; dx <= radius; ++dx)
+      if (img.contains(x + dx, y + dy)) img.at(x + dx, y + dy) = color;
+}
+
+void draw_line(ImageRgb& img, int x0, int y0, int x1, int y1, Rgb color) {
+  // Bresenham.
+  const int dx = std::abs(x1 - x0), sx = x0 < x1 ? 1 : -1;
+  const int dy = -std::abs(y1 - y0), sy = y0 < y1 ? 1 : -1;
+  int err = dx + dy;
+  while (true) {
+    if (img.contains(x0, y0)) img.at(x0, y0) = color;
+    if (x0 == x1 && y0 == y1) break;
+    const int e2 = 2 * err;
+    if (e2 >= dy) {
+      err += dy;
+      x0 += sx;
+    }
+    if (e2 <= dx) {
+      err += dx;
+      y0 += sy;
+    }
+  }
+}
+
+void draw_circle(ImageRgb& img, int cx, int cy, int radius, Rgb color) {
+  // Midpoint circle.
+  int x = radius, y = 0, err = 1 - radius;
+  auto plot8 = [&](int px, int py) {
+    const int xs[8] = {cx + px, cx - px, cx + px, cx - px,
+                       cx + py, cx - py, cx + py, cx - py};
+    const int ys[8] = {cy + py, cy + py, cy - py, cy - py,
+                       cy + px, cy + px, cy - px, cy - px};
+    for (int i = 0; i < 8; ++i)
+      if (img.contains(xs[i], ys[i])) img.at(xs[i], ys[i]) = color;
+  };
+  while (x >= y) {
+    plot8(x, y);
+    ++y;
+    if (err < 0) {
+      err += 2 * y + 1;
+    } else {
+      --x;
+      err += 2 * (y - x) + 1;
+    }
+  }
+}
+
+void draw_cross(ImageRgb& img, int x, int y, int arm, Rgb color) {
+  draw_line(img, x - arm, y, x + arm, y, color);
+  draw_line(img, x, y - arm, x, y + arm, color);
+}
+
+ImageRgb hstack(const ImageRgb& left, const ImageRgb& right) {
+  const int h = std::max(left.height(), right.height());
+  ImageRgb out(left.width() + right.width(), h);
+  for (int y = 0; y < left.height(); ++y)
+    for (int x = 0; x < left.width(); ++x) out.at(x, y) = left.at(x, y);
+  for (int y = 0; y < right.height(); ++y)
+    for (int x = 0; x < right.width(); ++x)
+      out.at(left.width() + x, y) = right.at(x, y);
+  return out;
+}
+
+}  // namespace eslam

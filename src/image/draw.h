@@ -1,0 +1,17 @@
+// Minimal rasterization helpers for the example programs' visual output
+// (keypoint overlays, match lines, trajectory plots).
+#pragma once
+
+#include "image/image.h"
+
+namespace eslam {
+
+void draw_point(ImageRgb& img, int x, int y, Rgb color, int radius = 1);
+void draw_line(ImageRgb& img, int x0, int y0, int x1, int y1, Rgb color);
+void draw_circle(ImageRgb& img, int cx, int cy, int radius, Rgb color);
+void draw_cross(ImageRgb& img, int x, int y, int arm, Rgb color);
+
+// Stitches two images side by side (heights may differ; padded with black).
+ImageRgb hstack(const ImageRgb& left, const ImageRgb& right);
+
+}  // namespace eslam

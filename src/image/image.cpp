@@ -1,0 +1,29 @@
+#include "image/image.h"
+
+namespace eslam {
+
+ImageU8 to_gray(const ImageRgb& rgb) {
+  ImageU8 gray(rgb.width(), rgb.height());
+  for (int y = 0; y < rgb.height(); ++y) {
+    const Rgb* src = rgb.row(y);
+    std::uint8_t* dst = gray.row(y);
+    for (int x = 0; x < rgb.width(); ++x) {
+      // BT.601 luma with 8-bit fixed-point weights (77, 150, 29)/256.
+      const int v = (77 * src[x].r + 150 * src[x].g + 29 * src[x].b) >> 8;
+      dst[x] = static_cast<std::uint8_t>(v);
+    }
+  }
+  return gray;
+}
+
+ImageRgb to_rgb(const ImageU8& gray) {
+  ImageRgb rgb(gray.width(), gray.height());
+  for (int y = 0; y < gray.height(); ++y) {
+    const std::uint8_t* src = gray.row(y);
+    Rgb* dst = rgb.row(y);
+    for (int x = 0; x < gray.width(); ++x) dst[x] = Rgb{src[x], src[x], src[x]};
+  }
+  return rgb;
+}
+
+}  // namespace eslam

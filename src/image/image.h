@@ -1,0 +1,96 @@
+// Dense row-major image container.
+//
+// Image<uint8_t> is the grayscale workhorse; Image<uint16_t> carries depth
+// in millimetres (TUM convention: depth_mm = metres * 5000 clipped to
+// uint16 in the real dataset; we use a plain millimetre scale documented in
+// dataset/sequence.h).  Image<float> appears in the Harris reference path.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "geometry/assert.h"
+
+namespace eslam {
+
+template <typename T>
+class Image {
+ public:
+  Image() = default;
+  Image(int width, int height, T fill_value = T{})
+      : width_(width),
+        height_(height),
+        data_(static_cast<std::size_t>(width) * height, fill_value) {
+    ESLAM_ASSERT(width > 0 && height > 0, "image dimensions must be positive");
+  }
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  bool empty() const { return data_.empty(); }
+  std::size_t pixel_count() const { return data_.size(); }
+
+  T& at(int x, int y) {
+    ESLAM_ASSERT(contains(x, y), "pixel out of bounds");
+    return data_[static_cast<std::size_t>(y) * width_ + x];
+  }
+  T at(int x, int y) const {
+    ESLAM_ASSERT(contains(x, y), "pixel out of bounds");
+    return data_[static_cast<std::size_t>(y) * width_ + x];
+  }
+
+  // Clamp-to-edge access, used by window operators near borders.
+  T at_clamped(int x, int y) const {
+    x = std::clamp(x, 0, width_ - 1);
+    y = std::clamp(y, 0, height_ - 1);
+    return data_[static_cast<std::size_t>(y) * width_ + x];
+  }
+
+  bool contains(int x, int y) const {
+    return x >= 0 && x < width_ && y >= 0 && y < height_;
+  }
+
+  const T* row(int y) const {
+    ESLAM_ASSERT(y >= 0 && y < height_, "row out of bounds");
+    return data_.data() + static_cast<std::size_t>(y) * width_;
+  }
+  T* row(int y) {
+    ESLAM_ASSERT(y >= 0 && y < height_, "row out of bounds");
+    return data_.data() + static_cast<std::size_t>(y) * width_;
+  }
+
+  const std::vector<T>& data() const { return data_; }
+  std::vector<T>& data() { return data_; }
+
+  void fill(T v) { std::fill(data_.begin(), data_.end(), v); }
+
+  friend bool operator==(const Image& a, const Image& b) {
+    return a.width_ == b.width_ && a.height_ == b.height_ &&
+           a.data_ == b.data_;
+  }
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<T> data_;
+};
+
+using ImageU8 = Image<std::uint8_t>;
+using ImageU16 = Image<std::uint16_t>;
+using ImageF32 = Image<float>;
+
+// Simple RGB image for visualization output (PPM).
+struct Rgb {
+  std::uint8_t r = 0, g = 0, b = 0;
+  friend bool operator==(const Rgb&, const Rgb&) = default;
+};
+using ImageRgb = Image<Rgb>;
+
+// Converts RGB to luma (ITU-R BT.601 integer approximation, matching what a
+// camera ISP / FPGA frontend would compute).
+ImageU8 to_gray(const ImageRgb& rgb);
+
+// Expands grayscale to RGB for drawing overlays.
+ImageRgb to_rgb(const ImageU8& gray);
+
+}  // namespace eslam

@@ -1,0 +1,31 @@
+#include "image/integral.h"
+
+#include <algorithm>
+
+namespace eslam {
+
+IntegralImage::IntegralImage(const ImageU8& src)
+    : width_(src.width()),
+      height_(src.height()),
+      table_(static_cast<std::size_t>(src.width() + 1) * (src.height() + 1)) {
+  for (int y = 0; y < height_; ++y) {
+    std::int64_t row_sum = 0;
+    const std::uint8_t* row = src.row(y);
+    for (int x = 0; x < width_; ++x) {
+      row_sum += row[x];
+      table_[static_cast<std::size_t>(y + 1) * (width_ + 1) + (x + 1)] =
+          at(x + 1, y) + row_sum;
+    }
+  }
+}
+
+std::int64_t IntegralImage::rect_sum(int x0, int y0, int x1, int y1) const {
+  x0 = std::clamp(x0, 0, width_ - 1);
+  x1 = std::clamp(x1, 0, width_ - 1);
+  y0 = std::clamp(y0, 0, height_ - 1);
+  y1 = std::clamp(y1, 0, height_ - 1);
+  if (x1 < x0 || y1 < y0) return 0;
+  return at(x1 + 1, y1 + 1) - at(x0, y1 + 1) - at(x1 + 1, y0) + at(x0, y0);
+}
+
+}  // namespace eslam

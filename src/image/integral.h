@@ -1,0 +1,32 @@
+// Integral image (summed-area table) with 64-bit accumulators; used by the
+// Harris reference implementation and texture-energy tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "image/image.h"
+
+namespace eslam {
+
+class IntegralImage {
+ public:
+  explicit IntegralImage(const ImageU8& src);
+
+  // Sum of pixels in the inclusive rectangle [x0, x1] x [y0, y1],
+  // clamped to the image bounds.
+  std::int64_t rect_sum(int x0, int y0, int x1, int y1) const;
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+ private:
+  // table_[(y+1)*(w+1) + (x+1)] = sum of src[0..x, 0..y].
+  std::int64_t at(int x, int y) const {
+    return table_[static_cast<std::size_t>(y) * (width_ + 1) + x];
+  }
+  int width_, height_;
+  std::vector<std::int64_t> table_;
+};
+
+}  // namespace eslam

@@ -1,0 +1,83 @@
+#include "image/pnm_io.h"
+
+#include <fstream>
+
+namespace eslam {
+
+namespace {
+
+// Skips whitespace and '#' comment lines between PNM header tokens.
+bool next_header_int(std::istream& is, int& value) {
+  while (true) {
+    const int c = is.peek();
+    if (c == '#') {
+      std::string line;
+      std::getline(is, line);
+    } else if (std::isspace(c)) {
+      is.get();
+    } else {
+      break;
+    }
+  }
+  return static_cast<bool>(is >> value);
+}
+
+}  // namespace
+
+bool write_pgm(const std::string& path, const ImageU8& image) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return false;
+  os << "P5\n" << image.width() << " " << image.height() << "\n255\n";
+  os.write(reinterpret_cast<const char*>(image.data().data()),
+           static_cast<std::streamsize>(image.pixel_count()));
+  return static_cast<bool>(os);
+}
+
+bool write_ppm(const std::string& path, const ImageRgb& image) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return false;
+  os << "P6\n" << image.width() << " " << image.height() << "\n255\n";
+  os.write(reinterpret_cast<const char*>(image.data().data()),
+           static_cast<std::streamsize>(image.pixel_count() * 3));
+  return static_cast<bool>(os);
+}
+
+ImageU8 read_pgm(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return {};
+  std::string magic;
+  is >> magic;
+  if (magic != "P5") return {};
+  int w = 0, h = 0, maxval = 0;
+  if (!next_header_int(is, w) || !next_header_int(is, h) ||
+      !next_header_int(is, maxval))
+    return {};
+  if (w <= 0 || h <= 0 || maxval != 255) return {};
+  is.get();  // single whitespace after maxval
+  ImageU8 image(w, h);
+  is.read(reinterpret_cast<char*>(image.data().data()),
+          static_cast<std::streamsize>(image.pixel_count()));
+  if (!is) return {};
+  return image;
+}
+
+ImageRgb read_ppm(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return {};
+  std::string magic;
+  is >> magic;
+  if (magic != "P6") return {};
+  int w = 0, h = 0, maxval = 0;
+  if (!next_header_int(is, w) || !next_header_int(is, h) ||
+      !next_header_int(is, maxval))
+    return {};
+  if (w <= 0 || h <= 0 || maxval != 255) return {};
+  is.get();
+  ImageRgb image(w, h);
+  is.read(reinterpret_cast<char*>(image.data().data()),
+          static_cast<std::streamsize>(image.pixel_count() * 3));
+  if (!is) return {};
+  return image;
+}
+
+}  // namespace eslam

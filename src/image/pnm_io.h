@@ -1,0 +1,19 @@
+// Binary PGM (P5) / PPM (P6) reading and writing — the only image file
+// formats the project needs (examples dump visualizations as PPM, tests
+// round-trip PGM).
+#pragma once
+
+#include <string>
+
+#include "image/image.h"
+
+namespace eslam {
+
+bool write_pgm(const std::string& path, const ImageU8& image);
+bool write_ppm(const std::string& path, const ImageRgb& image);
+
+// Returns an empty image on failure (missing file, bad magic, bad header).
+ImageU8 read_pgm(const std::string& path);
+ImageRgb read_ppm(const std::string& path);
+
+}  // namespace eslam

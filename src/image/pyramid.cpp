@@ -1,0 +1,78 @@
+#include "image/pyramid.h"
+
+#include <cmath>
+
+namespace eslam {
+
+ImageU8 resize_nearest(const ImageU8& src, int dst_width, int dst_height) {
+  ESLAM_ASSERT(dst_width > 0 && dst_height > 0, "bad target size");
+  ImageU8 dst(dst_width, dst_height);
+  // Fixed-point 16.16 stepping, as a hardware address generator would do.
+  const std::uint32_t x_step =
+      static_cast<std::uint32_t>((static_cast<std::uint64_t>(src.width()) << 16) / dst_width);
+  const std::uint32_t y_step =
+      static_cast<std::uint32_t>((static_cast<std::uint64_t>(src.height()) << 16) / dst_height);
+  std::uint32_t sy = y_step / 2;
+  for (int y = 0; y < dst_height; ++y, sy += y_step) {
+    const int src_y = std::min(static_cast<int>(sy >> 16), src.height() - 1);
+    const std::uint8_t* src_row = src.row(src_y);
+    std::uint8_t* dst_row = dst.row(y);
+    std::uint32_t sx = x_step / 2;
+    for (int x = 0; x < dst_width; ++x, sx += x_step) {
+      const int src_x = std::min(static_cast<int>(sx >> 16), src.width() - 1);
+      dst_row[x] = src_row[src_x];
+    }
+  }
+  return dst;
+}
+
+ImageU8 resize_bilinear(const ImageU8& src, int dst_width, int dst_height) {
+  ESLAM_ASSERT(dst_width > 0 && dst_height > 0, "bad target size");
+  ImageU8 dst(dst_width, dst_height);
+  const double x_ratio = static_cast<double>(src.width()) / dst_width;
+  const double y_ratio = static_cast<double>(src.height()) / dst_height;
+  for (int y = 0; y < dst_height; ++y) {
+    const double fy = (y + 0.5) * y_ratio - 0.5;
+    const int y0 = static_cast<int>(std::floor(fy));
+    const double wy = fy - y0;
+    for (int x = 0; x < dst_width; ++x) {
+      const double fx = (x + 0.5) * x_ratio - 0.5;
+      const int x0 = static_cast<int>(std::floor(fx));
+      const double wx = fx - x0;
+      const double v =
+          (1 - wy) * ((1 - wx) * src.at_clamped(x0, y0) +
+                      wx * src.at_clamped(x0 + 1, y0)) +
+          wy * ((1 - wx) * src.at_clamped(x0, y0 + 1) +
+                wx * src.at_clamped(x0 + 1, y0 + 1));
+      dst.at(x, y) = static_cast<std::uint8_t>(std::lround(v));
+    }
+  }
+  return dst;
+}
+
+ImagePyramid::ImagePyramid(const ImageU8& base, int levels, double scale,
+                           bool use_bilinear) {
+  ESLAM_ASSERT(levels >= 1, "pyramid needs at least one level");
+  ESLAM_ASSERT(scale > 1.0, "scale factor must exceed 1");
+  levels_.reserve(static_cast<std::size_t>(levels));
+  levels_.push_back(PyramidLevel{base, 1.0});
+  for (int i = 1; i < levels; ++i) {
+    const double level_scale = std::pow(scale, i);
+    const int w = std::max(
+        8, static_cast<int>(std::lround(base.width() / level_scale)));
+    const int h = std::max(
+        8, static_cast<int>(std::lround(base.height() / level_scale)));
+    const ImageU8& prev = levels_.back().image;
+    levels_.push_back(PyramidLevel{
+        use_bilinear ? resize_bilinear(prev, w, h) : resize_nearest(prev, w, h),
+        level_scale});
+  }
+}
+
+std::size_t ImagePyramid::total_pixels() const {
+  std::size_t n = 0;
+  for (const auto& l : levels_) n += l.image.pixel_count();
+  return n;
+}
+
+}  // namespace eslam

@@ -1,0 +1,55 @@
+// Image pyramid for scale-invariant ORB.
+//
+// The paper uses a 4-layer pyramid; the accelerator's Image Resizing module
+// generates layer k+1 from layer k by nearest-neighbour downsampling while
+// the ORB Extractor is still consuming layer k.  The scale factor between
+// layers is 1.2 (the ORB-SLAM default, consistent with the paper's "48%
+// more pixels than [4]" arithmetic: a 4-layer 1.2-pyramid processes ~1.48x
+// the pixels of a 2-layer one).
+#pragma once
+
+#include <vector>
+
+#include "image/image.h"
+
+namespace eslam {
+
+inline constexpr int kPyramidLevels = 4;
+inline constexpr double kPyramidScale = 1.2;
+
+// Nearest-neighbour resize, the operation the HW Image Resizing module
+// implements (paper section 3).
+ImageU8 resize_nearest(const ImageU8& src, int dst_width, int dst_height);
+
+// Bilinear resize, the software-reference alternative.
+ImageU8 resize_bilinear(const ImageU8& src, int dst_width, int dst_height);
+
+struct PyramidLevel {
+  ImageU8 image;
+  double scale = 1.0;  // multiply level coordinates by this to reach level 0
+};
+
+class ImagePyramid {
+ public:
+  ImagePyramid() = default;
+
+  // Builds `levels` layers, each `scale` times smaller than the previous,
+  // using nearest-neighbour downsampling (use_bilinear = false, HW-faithful)
+  // or bilinear (software reference).
+  ImagePyramid(const ImageU8& base, int levels = kPyramidLevels,
+               double scale = kPyramidScale, bool use_bilinear = false);
+
+  int levels() const { return static_cast<int>(levels_.size()); }
+  const PyramidLevel& level(int i) const {
+    ESLAM_ASSERT(i >= 0 && i < levels(), "pyramid level out of range");
+    return levels_[static_cast<std::size_t>(i)];
+  }
+
+  // Total pixels across all levels (drives the extractor's cycle count).
+  std::size_t total_pixels() const;
+
+ private:
+  std::vector<PyramidLevel> levels_;
+};
+
+}  // namespace eslam

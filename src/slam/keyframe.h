@@ -1,0 +1,45 @@
+// Key-frame policy (paper section 2.1): a frame becomes a key frame when
+// the camera has translated or rotated more than a threshold since the
+// last key frame.  Map updating runs only on key frames.
+#pragma once
+
+#include "geometry/se3.h"
+
+namespace eslam {
+
+struct KeyframeOptions {
+  double translation_threshold = 0.15;          // metres
+  double rotation_threshold = 15.0 * M_PI / 180.0;  // radians
+};
+
+class KeyframePolicy {
+ public:
+  explicit KeyframePolicy(const KeyframeOptions& options = {})
+      : options_(options) {}
+
+  // Decides from camera-in-world poses; the first query is always a key
+  // frame (bootstrap).
+  bool should_insert(const SE3& pose_wc) {
+    if (!have_reference_) {
+      reference_ = pose_wc;
+      have_reference_ = true;
+      return true;
+    }
+    const bool trigger =
+        reference_.translation_distance(pose_wc) >
+            options_.translation_threshold ||
+        reference_.rotation_angle(pose_wc) > options_.rotation_threshold;
+    if (trigger) reference_ = pose_wc;
+    return trigger;
+  }
+
+  void reset() { have_reference_ = false; }
+  const KeyframeOptions& options() const { return options_; }
+
+ private:
+  KeyframeOptions options_;
+  SE3 reference_;
+  bool have_reference_ = false;
+};
+
+}  // namespace eslam

@@ -1,0 +1,49 @@
+#include "slam/map.h"
+
+#include <algorithm>
+
+#include "geometry/assert.h"
+
+namespace eslam {
+
+std::int64_t Map::add_point(const Vec3& position,
+                            const Descriptor256& descriptor, int frame_index) {
+  MapPoint p;
+  p.id = next_id_++;
+  p.position = position;
+  p.descriptor = descriptor;
+  p.created_frame = frame_index;
+  p.last_matched_frame = frame_index;
+  points_.push_back(p);
+  cache_dirty_ = true;
+  return p.id;
+}
+
+void Map::note_match(std::size_t index, int frame_index) {
+  ESLAM_ASSERT(index < points_.size(), "map point index out of range");
+  points_[index].last_matched_frame = frame_index;
+  ++points_[index].match_count;
+}
+
+std::size_t Map::prune(int current_frame, int max_age) {
+  const std::size_t before = points_.size();
+  std::erase_if(points_, [&](const MapPoint& p) {
+    return current_frame - p.last_matched_frame > max_age;
+  });
+  if (points_.size() != before) cache_dirty_ = true;
+  return before - points_.size();
+}
+
+std::span<const Descriptor256> Map::descriptors() const {
+  if (cache_dirty_) rebuild_descriptor_cache();
+  return descriptor_cache_;
+}
+
+void Map::rebuild_descriptor_cache() const {
+  descriptor_cache_.clear();
+  descriptor_cache_.reserve(points_.size());
+  for (const MapPoint& p : points_) descriptor_cache_.push_back(p.descriptor);
+  cache_dirty_ = false;
+}
+
+}  // namespace eslam

@@ -1,0 +1,55 @@
+// Global map: 3D points with BRIEF descriptors (paper section 2.1, Map
+// Updating).  Points unmatched for a long period are pruned so the map —
+// and the matcher's working set — stays bounded.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "features/descriptor.h"
+#include "geometry/matrix.h"
+
+namespace eslam {
+
+struct MapPoint {
+  std::int64_t id = 0;
+  Vec3 position;  // world frame
+  Descriptor256 descriptor;
+  int created_frame = 0;
+  int last_matched_frame = 0;
+  int match_count = 0;
+};
+
+class Map {
+ public:
+  // Adds a point; returns its id.
+  std::int64_t add_point(const Vec3& position, const Descriptor256& descriptor,
+                         int frame_index);
+
+  // Marks point at `index` (not id) as matched in `frame_index`.
+  void note_match(std::size_t index, int frame_index);
+
+  // Removes points whose last match is older than `max_age` frames
+  // (the paper's "not matched for a long period of time" rule).
+  // Returns the number of points removed.
+  std::size_t prune(int current_frame, int max_age);
+
+  std::size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+  const MapPoint& point(std::size_t index) const { return points_[index]; }
+  const std::vector<MapPoint>& points() const { return points_; }
+
+  // Descriptor array aligned with points(), for the brute-force/HW matcher.
+  std::span<const Descriptor256> descriptors() const;
+
+ private:
+  void rebuild_descriptor_cache() const;
+
+  std::vector<MapPoint> points_;
+  std::int64_t next_id_ = 0;
+  mutable std::vector<Descriptor256> descriptor_cache_;
+  mutable bool cache_dirty_ = true;
+};
+
+}  // namespace eslam

@@ -1,0 +1,41 @@
+// Minimal Perspective-3-Point solver (Grunert's classical formulation).
+//
+// Given 3 world points and their bearing rays, recovers up to 4 candidate
+// camera poses without any initial guess — this is what makes RANSAC
+// prior-free and enables relocalization after tracking loss.  The
+// iterative PnP of pnp.h then polishes the winning candidate.
+//
+// Method: reduce to the triangle side-length system (Grunert 1841; see
+// Haralick et al., "Review and Analysis of Solutions of the Three Point
+// Perspective Pose Estimation Problem", IJCV 1994), solve the resulting
+// quartic, and recover R, t by aligning the camera-frame triangle to the
+// world-frame triangle (Horn's closed form via SVD).
+#pragma once
+
+#include <vector>
+
+#include "geometry/camera.h"
+#include "geometry/se3.h"
+
+namespace eslam {
+
+// Solves the quartic a4 x^4 + ... + a0 = 0; returns the real roots.
+// Exposed for direct testing.
+std::vector<double> solve_quartic(double a4, double a3, double a2, double a1,
+                                  double a0);
+
+// Candidate world-to-camera poses for 3 correspondences.  `rays` are unit
+// bearing vectors in the camera frame (z forward).  Degenerate input
+// (collinear points, coincident rays) yields an empty result.
+std::vector<SE3> solve_p3p(const std::array<Vec3, 3>& world,
+                           const std::array<Vec3, 3>& rays);
+
+// Convenience: pixel observations instead of rays, plus a 4th
+// correspondence to disambiguate the up-to-4 candidates (standard
+// "P3P + 1" scheme).  Returns the candidate with the smallest reprojection
+// error on the 4th point, or nullopt when no candidate survives.
+std::optional<SE3> solve_p3p_with_check(
+    const std::array<Vec3, 4>& world, const std::array<Vec2, 4>& pixels,
+    const PinholeCamera& camera);
+
+}  // namespace eslam

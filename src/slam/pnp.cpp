@@ -1,0 +1,122 @@
+#include "slam/pnp.h"
+
+#include <cmath>
+
+namespace eslam {
+
+namespace {
+
+// Accumulates the normal equations for one correspondence.  Returns false
+// when the point is behind the camera (it is then skipped).
+bool accumulate(const Correspondence& c, const PinholeCamera& camera,
+                const SE3& pose, double huber_delta, Mat6& h, Vec6& b,
+                double& cost) {
+  const Vec3 p = pose * c.world;  // camera-frame point
+  if (p[2] <= PinholeCamera::kMinDepth) return false;
+
+  const double x = p[0], y = p[1], z = p[2];
+  const double inv_z = 1.0 / z;
+  const Vec2 proj{camera.fx() * x * inv_z + camera.cx(),
+                  camera.fy() * y * inv_z + camera.cy()};
+  const Vec2 r = proj - c.pixel;
+
+  // Projection Jacobian wrt the camera-frame point.
+  Mat<2, 3> j_proj;
+  j_proj(0, 0) = camera.fx() * inv_z;
+  j_proj(0, 2) = -camera.fx() * x * inv_z * inv_z;
+  j_proj(1, 1) = camera.fy() * inv_z;
+  j_proj(1, 2) = -camera.fy() * y * inv_z * inv_z;
+
+  // Left-perturbation pose Jacobian: d(T p)/d xi = [I | -hat(p)].
+  Mat<3, 6> j_point;
+  j_point.set_block(0, 0, Mat3::identity());
+  j_point.set_block(0, 3, -hat(p));
+
+  const Mat<2, 6> j = j_proj * j_point;
+
+  const double err_sq = r.squared_norm();
+  double weight = 1.0;
+  if (huber_delta > 0.0) {
+    const double err = std::sqrt(err_sq);
+    if (err > huber_delta) weight = huber_delta / err;
+    cost += weight * err_sq * (2.0 - weight);  // Huber rho
+  } else {
+    cost += err_sq;
+  }
+
+  const Mat<6, 2> jt = j.transposed();
+  h += weight * (jt * j);
+  b += weight * (jt * r);
+  return true;
+}
+
+}  // namespace
+
+double reprojection_error_sq(const Correspondence& c,
+                             const PinholeCamera& camera, const SE3& pose) {
+  const Vec3 p = pose * c.world;
+  const auto proj = camera.project(p);
+  if (!proj) return 1e12;
+  return (*proj - c.pixel).squared_norm();
+}
+
+PnpResult solve_pnp(std::span<const Correspondence> correspondences,
+                    const PinholeCamera& camera, const SE3& initial_pose,
+                    const PnpOptions& options) {
+  ESLAM_ASSERT(correspondences.size() >= 3, "PnP needs >= 3 correspondences");
+  PnpResult result;
+  result.pose = initial_pose;
+  double lambda = options.initial_lambda;
+
+  double prev_cost = -1.0;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    Mat6 h;
+    Vec6 b;
+    double cost = 0.0;
+    int used = 0;
+    for (const Correspondence& c : correspondences)
+      if (accumulate(c, camera, result.pose, options.huber_delta, h, b, cost))
+        ++used;
+    if (used < 3) break;  // degenerate: almost everything behind the camera
+    cost /= used;
+
+    // LM damping on the diagonal.
+    for (int i = 0; i < 6; ++i) h(i, i) += lambda * h(i, i) + 1e-12;
+
+    Vec6 delta;
+    if (!solve(h, Vec6(-1.0 * b), delta)) break;
+
+    const SE3 candidate = SE3::exp(delta) * result.pose;
+
+    // Evaluate the candidate; accept when cost does not increase.
+    double cand_cost = 0.0;
+    int cand_used = 0;
+    for (const Correspondence& c : correspondences) {
+      Mat6 h_unused;
+      Vec6 b_unused;
+      if (accumulate(c, camera, candidate, options.huber_delta, h_unused,
+                     b_unused, cand_cost))
+        ++cand_used;
+    }
+    if (cand_used >= 3) cand_cost /= cand_used;
+
+    result.iterations = iter + 1;
+    if (cand_used >= 3 && (prev_cost < 0.0 || cand_cost <= cost)) {
+      result.pose = candidate;
+      result.final_cost = cand_cost;
+      lambda = std::max(lambda * 0.5, 1e-9);
+      if (delta.norm() < options.convergence_step) {
+        result.converged = true;
+        break;
+      }
+    } else {
+      lambda *= 8.0;  // reject step, increase damping
+      result.final_cost = cost;
+      if (lambda > 1e6) break;
+    }
+    prev_cost = cost;
+  }
+  return result;
+}
+
+}  // namespace eslam

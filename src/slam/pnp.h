@@ -1,0 +1,47 @@
+// Perspective-n-Point pose estimation by iterative Gauss-Newton /
+// Levenberg-Marquardt on the reprojection error (paper Eq. 1):
+//   E(p) = sum_i || c_i - h(g_i, p) ||^2
+// where g_i are matched world points, c_i their pixel observations and p
+// the world-to-camera pose.  Used both inside RANSAC (minimal 4-point
+// refits) and as the final Pose Optimization stage (with a Huber kernel).
+#pragma once
+
+#include <span>
+
+#include "geometry/camera.h"
+#include "geometry/se3.h"
+
+namespace eslam {
+
+struct Correspondence {
+  Vec3 world;   // g_i: matched 3D map point (world frame)
+  Vec2 pixel;   // c_i: observed pixel in the current frame (level-0 coords)
+};
+
+struct PnpOptions {
+  int max_iterations = 10;
+  double initial_lambda = 1e-4;  // LM damping; 0 gives pure Gauss-Newton
+  // Huber kernel width in pixels; <= 0 disables the robust kernel.
+  double huber_delta = 0.0;
+  double convergence_step = 1e-8;  // stop when |delta| drops below this
+};
+
+struct PnpResult {
+  SE3 pose;               // refined world-to-camera transform
+  double final_cost = 0;  // robustified mean squared reprojection error
+  int iterations = 0;
+  bool converged = false;
+};
+
+// Refines `initial_pose` against the correspondences.  Requires >= 3
+// correspondences (6 DoF from 2 residuals each needs >= 3).
+PnpResult solve_pnp(std::span<const Correspondence> correspondences,
+                    const PinholeCamera& camera, const SE3& initial_pose,
+                    const PnpOptions& options = {});
+
+// Squared reprojection error of a single correspondence under `pose`;
+// returns a large sentinel when the point falls behind the camera.
+double reprojection_error_sq(const Correspondence& c,
+                             const PinholeCamera& camera, const SE3& pose);
+
+}  // namespace eslam

@@ -1,0 +1,108 @@
+#include "slam/ransac.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <random>
+
+namespace eslam {
+
+RansacResult ransac_pnp(std::span<const Correspondence> correspondences,
+                        const PinholeCamera& camera, const SE3& prior_pose,
+                        const RansacOptions& options) {
+  RansacResult best;
+  best.pose = prior_pose;
+  const int n = static_cast<int>(correspondences.size());
+  if (n < options.sample_size) return best;
+
+  std::mt19937_64 rng(options.seed);
+  std::uniform_int_distribution<int> pick(0, n - 1);
+  const double thresh_sq =
+      options.inlier_threshold_px * options.inlier_threshold_px;
+
+  PnpOptions refit = options.refit;
+  refit.max_iterations = std::max(refit.max_iterations, 5);
+
+  std::vector<Correspondence> sample(
+      static_cast<std::size_t>(options.sample_size));
+  std::vector<int> indices(static_cast<std::size_t>(options.sample_size));
+
+  int needed_iterations = options.max_iterations;
+  for (int iter = 0; iter < needed_iterations; ++iter) {
+    best.iterations = iter + 1;
+    // Draw a minimal sample without replacement.
+    for (int k = 0; k < options.sample_size; ++k) {
+      bool fresh;
+      do {
+        indices[static_cast<std::size_t>(k)] = pick(rng);
+        fresh = true;
+        for (int j = 0; j < k; ++j)
+          if (indices[static_cast<std::size_t>(j)] ==
+              indices[static_cast<std::size_t>(k)])
+            fresh = false;
+      } while (!fresh);
+      sample[static_cast<std::size_t>(k)] =
+          correspondences[static_cast<std::size_t>(
+              indices[static_cast<std::size_t>(k)])];
+    }
+
+    SE3 hypothesis_pose;
+    if (options.use_p3p) {
+      ESLAM_ASSERT(options.sample_size >= 4, "P3P+1 needs 4 samples");
+      const std::array<Vec3, 4> world = {sample[0].world, sample[1].world,
+                                         sample[2].world, sample[3].world};
+      const std::array<Vec2, 4> pixels = {sample[0].pixel, sample[1].pixel,
+                                          sample[2].pixel, sample[3].pixel};
+      const auto p3p = solve_p3p_with_check(world, pixels, camera);
+      if (!p3p) continue;
+      // One polish step on the minimal set tightens the closed-form pose.
+      hypothesis_pose = solve_pnp(sample, camera, *p3p, refit).pose;
+    } else {
+      hypothesis_pose = solve_pnp(sample, camera, prior_pose, refit).pose;
+    }
+
+    std::vector<int> inliers;
+    inliers.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+      if (reprojection_error_sq(correspondences[static_cast<std::size_t>(i)],
+                                camera, hypothesis_pose) < thresh_sq)
+        inliers.push_back(i);
+
+    if (inliers.size() > best.inliers.size()) {
+      best.inliers = std::move(inliers);
+      best.pose = hypothesis_pose;
+      if (static_cast<double>(best.inliers.size()) >=
+          options.early_exit_ratio * n)
+        break;
+      // Adaptive termination from the observed inlier ratio w:
+      // needed = log(1 - confidence) / log(1 - w^sample_size).
+      const double w = static_cast<double>(best.inliers.size()) / n;
+      const double all_inlier_prob =
+          std::pow(w, static_cast<double>(options.sample_size));
+      if (all_inlier_prob > 1e-9 && all_inlier_prob < 1.0) {
+        const int adaptive = static_cast<int>(std::ceil(
+            std::log(1.0 - options.confidence) /
+            std::log(1.0 - all_inlier_prob)));
+        needed_iterations = std::clamp(
+            std::max(adaptive, options.min_iterations), iter + 1,
+            options.max_iterations);
+      }
+    }
+  }
+
+  if (static_cast<int>(best.inliers.size()) >= options.min_inliers) {
+    // Final refit on all inliers (this is the "pose estimation" output the
+    // Pose Optimization stage then polishes further).
+    std::vector<Correspondence> inlier_set;
+    inlier_set.reserve(best.inliers.size());
+    for (int i : best.inliers)
+      inlier_set.push_back(correspondences[static_cast<std::size_t>(i)]);
+    PnpOptions final_fit = options.refit;
+    final_fit.max_iterations = 10;
+    best.pose = solve_pnp(inlier_set, camera, best.pose, final_fit).pose;
+    best.success = true;
+  }
+  return best;
+}
+
+}  // namespace eslam

@@ -1,0 +1,49 @@
+// RANSAC wrapper around iterative PnP (paper: "RANSAC is used to eliminate
+// the mismatches").  Minimal sample size is 4; each hypothesis is refit by
+// a few Gauss-Newton iterations starting from the motion prior (previous
+// frame pose), which is the standard choice for frame-to-frame tracking
+// where inter-frame motion is small.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "slam/p3p.h"
+#include "slam/pnp.h"
+
+namespace eslam {
+
+struct RansacOptions {
+  int max_iterations = 64;
+  int sample_size = 4;
+  // Hypothesis generation: false = iterative PnP refit seeded from the
+  // motion prior (cheap, needs a decent prior); true = closed-form P3P on
+  // the first 3 sample points, disambiguated by the 4th (prior-free; used
+  // for relocalization).
+  bool use_p3p = false;
+  double inlier_threshold_px = 3.0;   // reprojection inlier gate
+  int min_inliers = 10;               // below this the frame counts as lost
+  double early_exit_ratio = 0.8;      // stop once this inlier share reached
+  // Adaptive termination (standard RANSAC): after each improvement,
+  // recompute the iteration count needed to sample an all-inlier minimal
+  // set with this confidence, and stop there.  Keeps the easy case (good
+  // prior, high inlier share) at a handful of iterations while still
+  // spending max_iterations on hard frames.
+  double confidence = 0.999;
+  int min_iterations = 16;  // floor under the adaptive stop
+  std::uint64_t seed = 0x5eed5eedULL; // deterministic sampling
+  PnpOptions refit;                   // per-hypothesis PnP settings
+};
+
+struct RansacResult {
+  SE3 pose;
+  std::vector<int> inliers;  // indices into the correspondence span
+  bool success = false;
+  int iterations = 0;
+};
+
+RansacResult ransac_pnp(std::span<const Correspondence> correspondences,
+                        const PinholeCamera& camera, const SE3& prior_pose,
+                        const RansacOptions& options = {});
+
+}  // namespace eslam

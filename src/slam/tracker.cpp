@@ -1,0 +1,229 @@
+#include "slam/tracker.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+namespace eslam {
+
+namespace {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double elapsed_ms() const {
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(now - start_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
+
+SoftwareBackend::SoftwareBackend(const OrbConfig& orb,
+                                 const MatcherOptions& matcher)
+    : extractor_(orb), matcher_options_(matcher) {}
+
+FeatureList SoftwareBackend::extract(const ImageU8& image) {
+  const WallTimer timer;
+  FeatureList features = extractor_.extract(image);
+  extract_ms_ = timer.elapsed_ms();
+  return features;
+}
+
+std::vector<Match> SoftwareBackend::match(
+    std::span<const Descriptor256> queries,
+    std::span<const Descriptor256> train) {
+  const WallTimer timer;
+  std::vector<Match> matches = match_descriptors(queries, train,
+                                                 matcher_options_);
+  match_ms_ = timer.elapsed_ms();
+  return matches;
+}
+
+Tracker::Tracker(const PinholeCamera& camera,
+                 std::unique_ptr<FeatureBackend> backend,
+                 const TrackerOptions& options)
+    : camera_(camera),
+      backend_(std::move(backend)),
+      options_(options),
+      keyframe_policy_(options.keyframe) {
+  ESLAM_ASSERT(backend_ != nullptr, "tracker needs a feature backend");
+}
+
+std::optional<Vec3> Tracker::world_point_from_depth(const FrameInput& frame,
+                                                    double u, double v,
+                                                    const SE3& pose_wc) const {
+  const int xi = static_cast<int>(std::lround(u));
+  const int yi = static_cast<int>(std::lround(v));
+  if (!frame.depth.contains(xi, yi)) return std::nullopt;
+  const std::uint16_t raw = frame.depth.at(xi, yi);
+  if (raw == 0) return std::nullopt;  // invalid depth (sensor hole)
+  const double z = raw / options_.depth_factor;
+  if (z <= 0.05 || z > 40.0) return std::nullopt;
+  return pose_wc * camera_.unproject(u, v, z);
+}
+
+void Tracker::bootstrap(const FrameInput& frame, const FeatureList& features,
+                        TrackResult& result) {
+  const WallTimer timer;
+  const SE3 identity;
+  int added = 0;
+  for (const Feature& f : features) {
+    const auto p =
+        world_point_from_depth(frame, f.keypoint.x0(), f.keypoint.y0(),
+                               identity);
+    if (!p) continue;
+    map_.add_point(*p, f.descriptor, frame_index_);
+    ++added;
+  }
+  result.keyframe = true;
+  result.lost = added == 0;
+  result.times.map_updating = timer.elapsed_ms();
+  keyframe_policy_.should_insert(SE3{});  // registers the reference pose
+}
+
+int Tracker::update_map(const FrameInput& frame, const FeatureList& features,
+                        const std::vector<bool>& feature_matched,
+                        const SE3& pose_wc) {
+  int added = 0;
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    if (feature_matched[i]) continue;  // already represented in the map
+    const Feature& f = features[i];
+    const auto p = world_point_from_depth(frame, f.keypoint.x0(),
+                                          f.keypoint.y0(), pose_wc);
+    if (!p) continue;
+    map_.add_point(*p, f.descriptor, frame_index_);
+    ++added;
+  }
+  map_.prune(frame_index_, options_.map_prune_age);
+  return added;
+}
+
+SE3 Tracker::predicted_pose_cw() const {
+  if (!options_.use_motion_model || !have_velocity_) return last_pose_cw_;
+  // Constant velocity: T(t+1) ~ [T(t) T(t-1)^-1] T(t).
+  return (last_pose_cw_ * prev_pose_cw_.inverse()) * last_pose_cw_;
+}
+
+TrackResult Tracker::process(const FrameInput& frame) {
+  TrackResult result;
+  result.timestamp = frame.timestamp;
+
+  // --- Feature extraction (FPGA in the paper) ---------------------------
+  const FeatureList features = backend_->extract(frame.gray);
+  result.times.feature_extraction = backend_->last_extract_time_ms();
+  result.n_features = static_cast<int>(features.size());
+
+  if (map_.empty()) {
+    bootstrap(frame, features, result);
+    last_pose_cw_ = SE3{};
+    trajectory_.push_back(result);
+    ++frame_index_;
+    return result;
+  }
+
+  // --- Feature matching (FPGA in the paper) ------------------------------
+  std::vector<Descriptor256> query;
+  query.reserve(features.size());
+  for (const Feature& f : features) query.push_back(f.descriptor);
+  const std::vector<Match> matches = backend_->match(query,
+                                                     map_.descriptors());
+  result.times.feature_matching = backend_->last_match_time_ms();
+  result.n_matches = static_cast<int>(matches.size());
+
+  // --- Pose estimation: PnP + RANSAC (ARM) -------------------------------
+  WallTimer pe_timer;
+  std::vector<Correspondence> correspondences;
+  correspondences.reserve(matches.size());
+  for (const Match& m : matches) {
+    const Feature& f = features[static_cast<std::size_t>(m.query)];
+    correspondences.push_back(Correspondence{
+        map_.point(static_cast<std::size_t>(m.train)).position,
+        Vec2{f.keypoint.x0(), f.keypoint.y0()}});
+  }
+  const int required_inliers = std::max(
+      options_.min_tracked_inliers,
+      std::min(options_.strong_consensus_inliers,
+               static_cast<int>(options_.min_inlier_ratio *
+                                static_cast<double>(correspondences.size()))));
+  const SE3 prior = predicted_pose_cw();
+  RansacResult ransac = ransac_pnp(correspondences, camera_, prior,
+                                   options_.ransac);
+  if (!ransac.success ||
+      static_cast<int>(ransac.inliers.size()) < required_inliers) {
+    // Retry once from the raw previous pose: the velocity extrapolation
+    // itself can be the problem after an abrupt motion change, and a
+    // low-consensus "success" is often a degenerate pose on repetitive
+    // texture rather than the true one.
+    if (options_.use_motion_model && have_velocity_) {
+      RansacResult retry = ransac_pnp(correspondences, camera_,
+                                      last_pose_cw_, options_.ransac);
+      if (retry.inliers.size() > ransac.inliers.size())
+        ransac = std::move(retry);
+    }
+  }
+  if (options_.relocalize_with_p3p &&
+      (!ransac.success ||
+       static_cast<int>(ransac.inliers.size()) < required_inliers)) {
+    // Relocalization: closed-form P3P hypotheses need no pose prior.
+    RansacOptions reloc = options_.ransac;
+    reloc.use_p3p = true;
+    RansacResult retry =
+        ransac_pnp(correspondences, camera_, SE3{}, reloc);
+    if (retry.inliers.size() > ransac.inliers.size())
+      ransac = std::move(retry);
+  }
+  result.times.pose_estimation = pe_timer.elapsed_ms();
+  result.n_inliers = static_cast<int>(ransac.inliers.size());
+  if (!ransac.success || result.n_inliers < required_inliers) {
+    // Lost: keep the previous pose, skip optimization and map updating,
+    // and drop the (now unreliable) velocity estimate.
+    have_velocity_ = false;
+    result.lost = true;
+    result.pose_cw = last_pose_cw_;
+    result.pose_wc = last_pose_cw_.inverse();
+    trajectory_.push_back(result);
+    ++frame_index_;
+    return result;
+  }
+
+  // --- Pose optimization: LM on inlier reprojection error (ARM) ----------
+  WallTimer po_timer;
+  std::vector<Correspondence> inlier_set;
+  inlier_set.reserve(ransac.inliers.size());
+  for (int idx : ransac.inliers)
+    inlier_set.push_back(correspondences[static_cast<std::size_t>(idx)]);
+  const PnpResult optimized = solve_pnp(inlier_set, camera_, ransac.pose,
+                                        options_.pose_optimization);
+  result.times.pose_optimization = po_timer.elapsed_ms();
+  result.pose_cw = optimized.pose;
+  result.pose_wc = optimized.pose.inverse();
+
+  // Record which features/map points were matched (for map maintenance).
+  std::vector<bool> feature_matched(features.size(), false);
+  for (int idx : ransac.inliers) {
+    const Match& m = matches[static_cast<std::size_t>(idx)];
+    feature_matched[static_cast<std::size_t>(m.query)] = true;
+    map_.note_match(static_cast<std::size_t>(m.train), frame_index_);
+  }
+
+  // --- Map updating (key frames only, ARM) --------------------------------
+  if (keyframe_policy_.should_insert(result.pose_wc)) {
+    WallTimer mu_timer;
+    update_map(frame, features, feature_matched, result.pose_wc);
+    result.times.map_updating = mu_timer.elapsed_ms();
+    result.keyframe = true;
+  }
+
+  prev_pose_cw_ = last_pose_cw_;
+  last_pose_cw_ = result.pose_cw;
+  have_velocity_ = true;
+  trajectory_.push_back(result);
+  ++frame_index_;
+  return result;
+}
+
+}  // namespace eslam

@@ -1,0 +1,170 @@
+// The full RGB-D ORB-SLAM frontend of Figure 1: feature extraction ->
+// feature matching -> pose estimation -> pose optimization -> (key frames
+// only) map updating.
+//
+// Feature extraction and matching are delegated to a FeatureBackend so the
+// same tracker runs with the software ORB pipeline or with the simulated
+// FPGA accelerator (accel/), mirroring the paper's hardware/software split.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "features/matcher.h"
+#include "features/orb.h"
+#include "geometry/camera.h"
+#include "geometry/se3.h"
+#include "slam/keyframe.h"
+#include "slam/map.h"
+#include "slam/ransac.h"
+
+namespace eslam {
+
+// Abstraction over "who computes features and matches" (ARM software vs
+// FPGA fabric).  last_*_time_ms() report the backend's own notion of time:
+// wall-clock for software, cycles / 100 MHz for the simulated accelerator.
+class FeatureBackend {
+ public:
+  virtual ~FeatureBackend() = default;
+  virtual FeatureList extract(const ImageU8& image) = 0;
+  virtual std::vector<Match> match(std::span<const Descriptor256> queries,
+                                   std::span<const Descriptor256> train) = 0;
+  virtual double last_extract_time_ms() const = 0;
+  virtual double last_match_time_ms() const = 0;
+  virtual const char* name() const = 0;
+};
+
+// Software backend: OrbExtractor + brute-force matcher, timed by wall clock.
+class SoftwareBackend final : public FeatureBackend {
+ public:
+  explicit SoftwareBackend(const OrbConfig& orb = {},
+                           const MatcherOptions& matcher = {});
+  FeatureList extract(const ImageU8& image) override;
+  std::vector<Match> match(std::span<const Descriptor256> queries,
+                           std::span<const Descriptor256> train) override;
+  double last_extract_time_ms() const override { return extract_ms_; }
+  double last_match_time_ms() const override { return match_ms_; }
+  const char* name() const override { return "software"; }
+
+  OrbExtractor& extractor() { return extractor_; }
+
+ private:
+  OrbExtractor extractor_;
+  MatcherOptions matcher_options_;
+  double extract_ms_ = 0.0;
+  double match_ms_ = 0.0;
+};
+
+struct FrameInput {
+  ImageU8 gray;
+  ImageU16 depth;       // raw sensor units; metres = value / depth_factor
+  double timestamp = 0;
+};
+
+struct StageTimesMs {
+  double feature_extraction = 0;
+  double feature_matching = 0;
+  double pose_estimation = 0;
+  double pose_optimization = 0;
+  double map_updating = 0;
+  double total() const {
+    return feature_extraction + feature_matching + pose_estimation +
+           pose_optimization + map_updating;
+  }
+};
+
+struct TrackResult {
+  SE3 pose_cw;  // world-to-camera (the PnP estimate)
+  SE3 pose_wc;  // camera-in-world (what trajectories record)
+  bool lost = false;
+  bool keyframe = false;
+  int n_features = 0;
+  int n_matches = 0;
+  int n_inliers = 0;
+  double timestamp = 0;
+  StageTimesMs times;
+};
+
+struct TrackerOptions {
+  TrackerOptions() {
+    // NOTE: no ratio test against the map — the map accumulates near-
+    // duplicate points over keyframes, so best/second-best are often the
+    // same physical corner and a ratio test starves the matcher.
+    // Degenerate consensus is handled by min_inlier_ratio + P3P instead.
+    // 4-point samples need more draws once the inlier share drops below
+    // ~50% under viewpoint change.
+    ransac.max_iterations = 256;
+    // Keypoints detected on pyramid level l are quantized by scale^l when
+    // mapped to level-0 coordinates; 3 px is too strict at level 3.
+    ransac.inlier_threshold_px = 4.0;
+  }
+
+  MatcherOptions matcher;
+  RansacOptions ransac;
+  PnpOptions pose_optimization{/*max_iterations=*/15,
+                               /*initial_lambda=*/1e-4,
+                               /*huber_delta=*/2.5,
+                               /*convergence_step=*/1e-8};
+  KeyframeOptions keyframe;
+  double depth_factor = 5000.0;  // TUM: depth_png / 5000 = metres
+  int map_prune_age = 200;       // frames without a match before deletion
+  int min_tracked_inliers = 10;
+  // A pose is only accepted (and allowed to trigger a key frame) when the
+  // RANSAC consensus covers at least this share of the matches; guards
+  // against degenerate consensus sets on repetitive texture, which would
+  // otherwise pollute the map with misplaced points.
+  double min_inlier_ratio = 0.2;
+  // ...unless the consensus is large in absolute terms.  This must stay
+  // conservative: on repetitive texture a *wrong* pose can collect tens of
+  // aliased-but-consistent matches out of ~1000, so a small override
+  // silently poisons the map (observed at 60; 400 keeps the gate honest
+  // while still accepting overwhelming consensus on sparse match sets).
+  int strong_consensus_inliers = 400;
+  // Constant-velocity motion model: seed RANSAC/PnP with the previous pose
+  // advanced by the last inter-frame motion instead of the raw previous
+  // pose.  Essential when inter-frame motion is large.
+  bool use_motion_model = true;
+  // When both prior-seeded RANSAC attempts fail, run a prior-free P3P
+  // RANSAC against the map (relocalization after tracking loss).
+  bool relocalize_with_p3p = true;
+};
+
+class Tracker {
+ public:
+  Tracker(const PinholeCamera& camera, std::unique_ptr<FeatureBackend> backend,
+          const TrackerOptions& options = {});
+
+  TrackResult process(const FrameInput& frame);
+
+  const Map& map() const { return map_; }
+  const std::vector<TrackResult>& trajectory() const { return trajectory_; }
+  FeatureBackend& backend() { return *backend_; }
+  int frame_index() const { return frame_index_; }
+
+ private:
+  void bootstrap(const FrameInput& frame, const FeatureList& features,
+                 TrackResult& result);
+  int update_map(const FrameInput& frame, const FeatureList& features,
+                 const std::vector<bool>& feature_matched, const SE3& pose_wc);
+  std::optional<Vec3> world_point_from_depth(const FrameInput& frame,
+                                             double u, double v,
+                                             const SE3& pose_wc) const;
+
+  // Motion prior for the next frame (constant-velocity extrapolation).
+  SE3 predicted_pose_cw() const;
+
+  PinholeCamera camera_;
+  std::unique_ptr<FeatureBackend> backend_;
+  TrackerOptions options_;
+  Map map_;
+  KeyframePolicy keyframe_policy_;
+  SE3 last_pose_cw_;
+  SE3 prev_pose_cw_;        // pose two frames back (for the velocity)
+  bool have_velocity_ = false;
+  int frame_index_ = 0;
+  std::vector<TrackResult> trajectory_;
+};
+
+}  // namespace eslam

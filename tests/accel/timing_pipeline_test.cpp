@@ -1,0 +1,135 @@
+#include "accel/timing_model.h"
+
+#include <gtest/gtest.h>
+
+namespace eslam {
+namespace {
+
+// The paper's Table 3 arithmetic must fall out of the pipeline model when
+// fed the paper's Table 2 stage times.
+TEST(Pipeline, PaperNormalFrameRuntime) {
+  EXPECT_NEAR(eslam_normal_frame_ms(paper_eslam_times()), 17.9, 1e-9);
+  EXPECT_NEAR(software_normal_frame_ms(paper_arm_times()), 555.7, 1e-9);
+  EXPECT_NEAR(software_normal_frame_ms(paper_i7_times()), 53.6, 1e-9);
+}
+
+TEST(Pipeline, PaperKeyFrameRuntime) {
+  EXPECT_NEAR(eslam_key_frame_ms(paper_eslam_times()), 31.8, 1e-9);
+  EXPECT_NEAR(software_key_frame_ms(paper_arm_times()), 565.6, 1e-9);
+  EXPECT_NEAR(software_key_frame_ms(paper_i7_times()), 54.8, 1e-9);
+}
+
+TEST(Pipeline, PaperFrameRates) {
+  EXPECT_NEAR(1000.0 / eslam_normal_frame_ms(paper_eslam_times()), 55.87,
+              0.05);
+  EXPECT_NEAR(1000.0 / eslam_key_frame_ms(paper_eslam_times()), 31.45, 0.05);
+  EXPECT_NEAR(1000.0 / software_normal_frame_ms(paper_arm_times()), 1.8, 0.01);
+  EXPECT_NEAR(1000.0 / software_normal_frame_ms(paper_i7_times()), 18.66,
+              0.02);
+}
+
+TEST(Pipeline, NormalFrameHidesFasterSide) {
+  StageDurations d;
+  d.feature_extraction = 5;
+  d.feature_matching = 3;
+  d.pose_estimation = 10;
+  d.pose_optimization = 10;
+  // FPGA (8 ms) hides under ARM (20 ms).
+  EXPECT_DOUBLE_EQ(eslam_normal_frame_ms(d), 20.0);
+  // Flip: FPGA dominates.
+  d.feature_extraction = 30;
+  EXPECT_DOUBLE_EQ(eslam_normal_frame_ms(d), 33.0);
+}
+
+TEST(Pipeline, KeyFrameSerializesMatchingAfterMapUpdate) {
+  StageDurations d;
+  d.feature_extraction = 9;
+  d.feature_matching = 4;
+  d.pose_estimation = 9;
+  d.pose_optimization = 9;
+  d.map_updating = 10;
+  // max(9, 18) + 4 + 10 = 32.
+  EXPECT_DOUBLE_EQ(eslam_key_frame_ms(d), 32.0);
+  // When FE dominates PE+PO, it becomes the gate.
+  d.feature_extraction = 25;
+  EXPECT_DOUBLE_EQ(eslam_key_frame_ms(d), 25.0 + 4.0 + 10.0);
+}
+
+TEST(Scaling, ArmModelReproducesPaperArmColumn) {
+  // Feeding the paper's i7 column through the ARM/i7 ratios must return
+  // the paper's ARM column (the ratios are defined that way; this guards
+  // the constants).
+  const StageDurations arm = arm_from_host(paper_i7_times());
+  EXPECT_NEAR(arm.feature_extraction, 291.6, 1e-9);
+  EXPECT_NEAR(arm.feature_matching, 246.2, 1e-9);
+  EXPECT_NEAR(arm.pose_estimation, 9.2, 1e-9);
+  EXPECT_NEAR(arm.pose_optimization, 8.7, 1e-9);
+  EXPECT_NEAR(arm.map_updating, 9.9, 1e-9);
+}
+
+TEST(Timeline, NormalFrameSegmentsOverlapAcrossUnits) {
+  const auto segments = pipeline_timeline(paper_eslam_times(), false);
+  ASSERT_EQ(segments.size(), 4u);
+  // Per-unit segments must not overlap; cross-unit segments must.
+  double arm_end = 0, fpga_end = 0;
+  bool fpga_starts_at_zero = false;
+  for (const auto& s : segments) {
+    EXPECT_LT(s.start_ms, s.end_ms);
+    if (std::string(s.unit) == "ARM") {
+      EXPECT_GE(s.start_ms, arm_end - 1e-12);
+      arm_end = s.end_ms;
+    } else {
+      if (s.start_ms == 0.0) fpga_starts_at_zero = true;
+      EXPECT_GE(s.start_ms, fpga_end - 1e-12);
+      fpga_end = s.end_ms;
+    }
+  }
+  EXPECT_TRUE(fpga_starts_at_zero);  // FE overlaps PE from time zero
+  EXPECT_NEAR(std::max(arm_end, fpga_end),
+              eslam_normal_frame_ms(paper_eslam_times()), 1e-9);
+}
+
+TEST(Timeline, KeyFrameMatchingWaitsForMapUpdating) {
+  const auto segments = pipeline_timeline(paper_eslam_times(), true);
+  double mu_end = -1, fm_start = -1;
+  for (const auto& s : segments) {
+    if (std::string(s.stage) == "MU") mu_end = s.end_ms;
+    if (std::string(s.stage) == "FM") fm_start = s.start_ms;
+  }
+  ASSERT_GE(mu_end, 0.0);
+  ASSERT_GE(fm_start, 0.0);
+  EXPECT_GE(fm_start, mu_end - 1e-12);  // the Figure 7 dependency
+  // Total span equals the key-frame runtime.
+  double end = 0;
+  for (const auto& s : segments) end = std::max(end, s.end_ms);
+  EXPECT_NEAR(end, eslam_key_frame_ms(paper_eslam_times()), 1e-9);
+}
+
+TEST(Timeline, FrameAttributionIsPipelined) {
+  // ARM segments process frame N while FPGA segments process frame N+1.
+  for (bool key : {false, true}) {
+    for (const auto& s : pipeline_timeline(paper_eslam_times(), key)) {
+      if (std::string(s.unit) == "ARM")
+        EXPECT_EQ(s.frame, 0);
+      else
+        EXPECT_EQ(s.frame, 1);
+    }
+  }
+}
+
+// Speedup table from the paper's abstract: guard the derived ratios.
+TEST(Speedups, PaperHeadlineNumbers) {
+  const double eslam_n = eslam_normal_frame_ms(paper_eslam_times());
+  const double eslam_k = eslam_key_frame_ms(paper_eslam_times());
+  const double arm_n = software_normal_frame_ms(paper_arm_times());
+  const double arm_k = software_key_frame_ms(paper_arm_times());
+  const double i7_n = software_normal_frame_ms(paper_i7_times());
+  const double i7_k = software_key_frame_ms(paper_i7_times());
+  EXPECT_NEAR(arm_n / eslam_n, 31.0, 0.1);   // "31x speedup normal frames"
+  EXPECT_NEAR(arm_k / eslam_k, 17.8, 0.1);   // "17.8x key frames"
+  EXPECT_NEAR(i7_n / eslam_n, 3.0, 0.01);    // "1.7x to 3x"
+  EXPECT_NEAR(i7_k / eslam_k, 1.72, 0.01);
+}
+
+}  // namespace
+}  // namespace eslam

@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+
+#include "../test_util.h"
+#include "dataset/scene.h"
+#include "dataset/sequence.h"
+#include "dataset/texture.h"
+#include "dataset/trajectory_gen.h"
+#include "dataset/tum_io.h"
+
+namespace eslam {
+namespace {
+
+TEST(Texture, DeterministicAndInRange) {
+  for (int face = 0; face < 6; ++face)
+    for (double u = -3.0; u <= 3.0; u += 0.37)
+      for (double v = -2.0; v <= 2.0; v += 0.41) {
+        const auto a = texture_intensity(face, u, v, 42);
+        const auto b = texture_intensity(face, u, v, 42);
+        EXPECT_EQ(a, b);
+        EXPECT_GE(a, 10);
+        EXPECT_LE(a, 245);
+      }
+}
+
+TEST(Texture, SeedAndFaceChangeContent) {
+  int differing_seed = 0, differing_face = 0, samples = 0;
+  for (double u = -2.0; u <= 2.0; u += 0.13)
+    for (double v = -2.0; v <= 2.0; v += 0.17) {
+      differing_seed +=
+          texture_intensity(0, u, v, 1) != texture_intensity(0, u, v, 2);
+      differing_face +=
+          texture_intensity(0, u, v, 1) != texture_intensity(1, u, v, 1);
+      ++samples;
+    }
+  EXPECT_GT(differing_seed, samples / 2);
+  EXPECT_GT(differing_face, samples / 2);
+}
+
+TEST(Texture, HasSharpEdges) {
+  // Quantized noise must produce plateaus with sharp steps: scan a line
+  // and require both exact repeats (plateaus) and jumps > 20 levels.
+  int repeats = 0, jumps = 0;
+  int prev = -1;
+  for (double u = -3.0; u < 3.0; u += 0.01) {
+    const int v = texture_intensity(2, u, 0.55, 7);
+    if (prev >= 0) {
+      repeats += v == prev;
+      jumps += std::abs(v - prev) > 20;
+    }
+    prev = v;
+  }
+  EXPECT_GT(repeats, 300);
+  EXPECT_GT(jumps, 10);
+}
+
+TEST(Scene, RayCastHitsWallsFromInside) {
+  const BoxRoomScene scene;
+  eslam::testing::rng(700);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Vec3 origin{eslam::testing::uniform(-2, 2),
+                      eslam::testing::uniform(-1.5, 1.5),
+                      eslam::testing::uniform(-2, 2)};
+    const Vec3 dir = eslam::testing::random_unit_vector();
+    double t, u, v;
+    int face;
+    ASSERT_TRUE(scene.cast_ray(origin, dir, t, face, u, v));
+    EXPECT_GT(t, 0.0);
+    EXPECT_GE(face, 0);
+    EXPECT_LT(face, 6);
+    // The hit point must lie on the corresponding wall plane.
+    const Vec3 hit = origin + t * dir;
+    const double half[3] = {scene.options().hx, scene.options().hy,
+                            scene.options().hz};
+    const int axis = face / 2;
+    EXPECT_NEAR(std::abs(hit[axis]), half[axis], 1e-9);
+    // And inside the box on the other axes.
+    for (int a = 0; a < 3; ++a) {
+      if (a != axis) {
+        EXPECT_LE(std::abs(hit[a]), half[a] + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(Scene, DepthMapIsMetricallyConsistent) {
+  // unproject(pixel, depth) through the GT pose must land on a wall.
+  BoxRoomOptions opts;
+  opts.noise_sigma = 0.0;
+  const BoxRoomScene scene(opts);
+  const PinholeCamera cam(260.0, 260.0, 160.0, 120.0, 320, 240);
+  const SE3 pose{so3_exp(Vec3{0, 0.4, 0}), Vec3{0.5, 0.2, -0.5}};
+  const RenderedFrame frame = scene.render(cam, pose, 0);
+  for (int y = 10; y < 240; y += 37)
+    for (int x = 10; x < 320; x += 41) {
+      const double z = frame.depth.at(x, y) / opts.depth_factor;
+      ASSERT_GT(z, 0.0);
+      const Vec3 world = pose * cam.unproject(x, y, z);
+      const double dx = std::abs(std::abs(world[0]) - opts.hx);
+      const double dy = std::abs(std::abs(world[1]) - opts.hy);
+      const double dz = std::abs(std::abs(world[2]) - opts.hz);
+      // On at least one wall plane (within depth quantization of 0.2 mm
+      // amplified by ray obliquity).
+      EXPECT_LT(std::min({dx, dy, dz}), 0.01)
+          << "pixel (" << x << "," << y << ")";
+    }
+}
+
+TEST(Scene, RenderIsDeterministicPerFrameId) {
+  const BoxRoomScene scene;
+  const PinholeCamera cam(260.0, 260.0, 160.0, 120.0, 320, 240);
+  const RenderedFrame a = scene.render(cam, SE3{}, 5);
+  const RenderedFrame b = scene.render(cam, SE3{}, 5);
+  const RenderedFrame c = scene.render(cam, SE3{}, 6);
+  EXPECT_EQ(a.gray, b.gray);
+  EXPECT_EQ(a.depth, b.depth);
+  EXPECT_FALSE(a.gray == c.gray);   // pixel noise differs per frame
+  EXPECT_TRUE(a.depth == c.depth);  // geometry does not
+}
+
+TEST(Scene, ViewFromDifferentPosesDiffers) {
+  const BoxRoomScene scene;
+  const PinholeCamera cam(260.0, 260.0, 160.0, 120.0, 320, 240);
+  const RenderedFrame a = scene.render(cam, SE3{}, 0);
+  const RenderedFrame b =
+      scene.render(cam, SE3{Mat3::identity(), Vec3{0.3, 0, 0}}, 0);
+  EXPECT_FALSE(a.gray == b.gray);
+}
+
+TEST(TrajectoryGen, FiveEvaluationSequences) {
+  const auto& seqs = evaluation_sequences();
+  ASSERT_EQ(seqs.size(), 5u);
+  std::set<std::string> names;
+  for (const SequenceId id : seqs) names.insert(sequence_name(id));
+  EXPECT_EQ(names.size(), 5u);
+  EXPECT_TRUE(names.count("fr1/desk"));
+  EXPECT_TRUE(names.count("fr2/rpy"));
+}
+
+class TrajectoryBounds : public ::testing::TestWithParam<int> {};
+
+TEST_P(TrajectoryBounds, StaysInsideDefaultRoomWithMargin) {
+  const SequenceId id = evaluation_sequences()[
+      static_cast<std::size_t>(GetParam())];
+  const BoxRoomOptions room;
+  for (int i = 0; i <= 200; ++i) {
+    const SE3 pose = trajectory_pose(id, i / 200.0);
+    const Vec3& t = pose.translation();
+    EXPECT_LT(std::abs(t[0]), room.hx - 0.5) << sequence_name(id);
+    EXPECT_LT(std::abs(t[1]), room.hy - 0.5);
+    EXPECT_LT(std::abs(t[2]), room.hz - 0.5);
+    EXPECT_TRUE(is_rotation(pose.rotation(), 1e-9));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSequences, TrajectoryBounds,
+                         ::testing::Range(0, 5));
+
+TEST(TrajectoryGen, MotionCharacterMatchesSequenceType) {
+  // fr2/rpy must be rotation-dominant; fr1/xyz translation-dominant.
+  double xyz_trans = 0, xyz_rot = 0, rpy_trans = 0, rpy_rot = 0;
+  for (int i = 0; i < 100; ++i) {
+    const double s0 = i / 100.0, s1 = (i + 1) / 100.0;
+    const SE3 a_xyz = trajectory_pose(SequenceId::kFr1Xyz, s0);
+    const SE3 b_xyz = trajectory_pose(SequenceId::kFr1Xyz, s1);
+    xyz_trans += a_xyz.translation_distance(b_xyz);
+    xyz_rot += a_xyz.rotation_angle(b_xyz);
+    const SE3 a_rpy = trajectory_pose(SequenceId::kFr2Rpy, s0);
+    const SE3 b_rpy = trajectory_pose(SequenceId::kFr2Rpy, s1);
+    rpy_trans += a_rpy.translation_distance(b_rpy);
+    rpy_rot += a_rpy.rotation_angle(b_rpy);
+  }
+  EXPECT_GT(xyz_trans, 3.0 * rpy_trans);
+  EXPECT_GT(rpy_rot, 3.0 * xyz_rot);
+}
+
+TEST(Sequence, FramesCarryConsistentTimestamps) {
+  SequenceOptions opts;
+  opts.frames = 10;
+  const SyntheticSequence seq(SequenceId::kFr1Xyz, opts);
+  EXPECT_EQ(seq.size(), 10);
+  const FrameInput f3 = seq.frame(3);
+  EXPECT_DOUBLE_EQ(f3.timestamp, 3 / 30.0);
+  EXPECT_EQ(f3.gray.width(), 640);
+  EXPECT_EQ(f3.depth.height(), 480);
+  EXPECT_EQ(seq.ground_truth().size(), 10u);
+}
+
+TEST(Sequence, Fr2UsesFreiburg2Intrinsics) {
+  SequenceOptions opts;
+  opts.frames = 2;
+  const SyntheticSequence fr1(SequenceId::kFr1Xyz, opts);
+  const SyntheticSequence fr2(SequenceId::kFr2Xyz, opts);
+  EXPECT_NEAR(fr1.camera().fx(), 517.3, 1e-9);
+  EXPECT_NEAR(fr2.camera().fx(), 520.9, 1e-9);
+}
+
+TEST(TumIo, RoundTripPreservesPoses) {
+  eslam::testing::rng(800);
+  std::vector<TimedPose> traj;
+  for (int i = 0; i < 20; ++i)
+    traj.push_back(TimedPose{i / 30.0, eslam::testing::random_pose(2.0, 2.0)});
+  const std::string path = ::testing::TempDir() + "/traj.tum";
+  ASSERT_TRUE(write_tum_trajectory(path, traj));
+  const auto back = read_tum_trajectory(path);
+  ASSERT_EQ(back.size(), traj.size());
+  for (std::size_t i = 0; i < traj.size(); ++i) {
+    EXPECT_NEAR(back[i].timestamp, traj[i].timestamp, 1e-6);
+    EXPECT_NEAR((back[i].pose_wc.translation() -
+                 traj[i].pose_wc.translation()).max_abs(),
+                0.0, 1e-5);
+    EXPECT_NEAR(
+        (back[i].pose_wc.rotation() - traj[i].pose_wc.rotation()).max_abs(),
+        0.0, 1e-5);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TumIo, CommentsAndMissingFiles) {
+  EXPECT_TRUE(read_tum_trajectory("/nonexistent.tum").empty());
+  const std::string path = ::testing::TempDir() + "/commented.tum";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("# a comment\n0.1 1 2 3 0 0 0 1\n", f);
+    std::fclose(f);
+  }
+  const auto traj = read_tum_trajectory(path);
+  ASSERT_EQ(traj.size(), 1u);
+  EXPECT_NEAR(traj[0].pose_wc.translation()[1], 2.0, 1e-12);
+  std::remove(path.c_str());
+}
+
+TEST(TumIo, MalformedLineFailsCleanly) {
+  const std::string path = ::testing::TempDir() + "/bad.tum";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("0.1 1 2 not_a_number\n", f);
+    std::fclose(f);
+  }
+  EXPECT_TRUE(read_tum_trajectory(path).empty());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace eslam

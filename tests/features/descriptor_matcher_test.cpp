@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "features/descriptor.h"
+#include "features/matcher.h"
+
+namespace eslam {
+namespace {
+
+TEST(Descriptor256, StartsAllZero) {
+  const Descriptor256 d;
+  for (int i = 0; i < 256; ++i) EXPECT_FALSE(d.bit(i));
+}
+
+TEST(Descriptor256, SetAndClearBits) {
+  Descriptor256 d;
+  d.set_bit(0, true);
+  d.set_bit(63, true);
+  d.set_bit(64, true);
+  d.set_bit(255, true);
+  EXPECT_TRUE(d.bit(0));
+  EXPECT_TRUE(d.bit(63));
+  EXPECT_TRUE(d.bit(64));
+  EXPECT_TRUE(d.bit(255));
+  EXPECT_FALSE(d.bit(128));
+  d.set_bit(64, false);
+  EXPECT_FALSE(d.bit(64));
+}
+
+TEST(Descriptor256, RotationMovesLeadingBytesToEnd) {
+  Descriptor256 d;
+  // Mark bits 0..7 (the first byte / rotation group 0).
+  for (int i = 0; i < 8; ++i) d.set_bit(i, true);
+  const Descriptor256 r = d.rotated_bytes(1);
+  // new bit b = old bit (b + 8) mod 256: group 0 lands at group 31.
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_FALSE(r.bit(i));
+    EXPECT_TRUE(r.bit(248 + i));
+  }
+}
+
+TEST(Descriptor256, RotationBitLevelDefinition) {
+  eslam::testing::rng(71);
+  const Descriptor256 d = eslam::testing::random_descriptor();
+  for (int n : {0, 1, 7, 8, 15, 16, 24, 31}) {
+    const Descriptor256 r = d.rotated_bytes(n);
+    for (int b = 0; b < 256; ++b)
+      ASSERT_EQ(r.bit(b), d.bit((b + 8 * n) % 256)) << "n=" << n << " b=" << b;
+  }
+}
+
+TEST(Descriptor256, RotationsCompose) {
+  eslam::testing::rng(72);
+  const Descriptor256 d = eslam::testing::random_descriptor();
+  EXPECT_EQ(d.rotated_bytes(5).rotated_bytes(9), d.rotated_bytes(14));
+  EXPECT_EQ(d.rotated_bytes(20).rotated_bytes(12), d);  // full circle
+  EXPECT_EQ(d.rotated_bytes(0), d);
+}
+
+TEST(Descriptor256, RotationPreservesPopcount) {
+  eslam::testing::rng(73);
+  const Descriptor256 d = eslam::testing::random_descriptor();
+  const Descriptor256 zero;
+  const int pop = hamming_distance(d, zero);
+  for (int n = 0; n < 32; ++n)
+    EXPECT_EQ(hamming_distance(d.rotated_bytes(n), zero), pop);
+}
+
+TEST(Descriptor256, ToHexLengthAndContent) {
+  Descriptor256 d;
+  d.set_bit(0, true);
+  const std::string hex = d.to_hex();
+  EXPECT_EQ(hex.size(), 64u);
+  EXPECT_EQ(hex.back(), '1');
+  EXPECT_EQ(Descriptor256{}.to_hex(), std::string(64, '0'));
+}
+
+TEST(Hamming, IdentityAndSymmetry) {
+  eslam::testing::rng(74);
+  const Descriptor256 a = eslam::testing::random_descriptor();
+  const Descriptor256 b = eslam::testing::random_descriptor();
+  EXPECT_EQ(hamming_distance(a, a), 0);
+  EXPECT_EQ(hamming_distance(a, b), hamming_distance(b, a));
+}
+
+TEST(Hamming, SingleBitFlipIsDistanceOne) {
+  eslam::testing::rng(75);
+  Descriptor256 a = eslam::testing::random_descriptor();
+  Descriptor256 b = a;
+  b.set_bit(133, !b.bit(133));
+  EXPECT_EQ(hamming_distance(a, b), 1);
+}
+
+TEST(Hamming, ComplementIs256) {
+  Descriptor256 a;
+  Descriptor256 b;
+  for (auto& w : b.words()) w = ~std::uint64_t{0};
+  EXPECT_EQ(hamming_distance(a, b), 256);
+}
+
+class HammingTriangle : public ::testing::TestWithParam<int> {};
+
+TEST_P(HammingTriangle, TriangleInequalityHolds) {
+  eslam::testing::rng(static_cast<std::uint32_t>(GetParam() + 80));
+  for (int trial = 0; trial < 50; ++trial) {
+    const Descriptor256 a = eslam::testing::random_descriptor();
+    const Descriptor256 b = eslam::testing::random_descriptor();
+    const Descriptor256 c = eslam::testing::random_descriptor();
+    EXPECT_LE(hamming_distance(a, c),
+              hamming_distance(a, b) + hamming_distance(b, c));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HammingTriangle, ::testing::Range(0, 5));
+
+// --- Matcher ---------------------------------------------------------------
+
+std::vector<Descriptor256> random_set(std::size_t n, std::uint32_t seed) {
+  eslam::testing::rng(seed);
+  std::vector<Descriptor256> v(n);
+  for (auto& d : v) d = eslam::testing::random_descriptor();
+  return v;
+}
+
+TEST(Matcher, FindsExactCopy) {
+  const auto train = random_set(50, 91);
+  const std::vector<Descriptor256> query = {train[17]};
+  MatcherOptions opts;
+  const auto matches = match_descriptors(query, train, opts);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].train, 17);
+  EXPECT_EQ(matches[0].distance, 0);
+}
+
+TEST(Matcher, MatchOneFindsTrueMinimumAndRunnerUp) {
+  const auto train = random_set(200, 92);
+  eslam::testing::rng(93);
+  const Descriptor256 q = eslam::testing::random_descriptor();
+  const Match m = match_one(q, train);
+  int best = 257, second = 257, best_idx = -1;
+  for (std::size_t j = 0; j < train.size(); ++j) {
+    const int d = hamming_distance(q, train[j]);
+    if (d < best) {
+      second = best;
+      best = d;
+      best_idx = static_cast<int>(j);
+    } else if (d < second) {
+      second = d;
+    }
+  }
+  EXPECT_EQ(m.train, best_idx);
+  EXPECT_EQ(m.distance, best);
+  EXPECT_EQ(m.second_best, second);
+}
+
+TEST(Matcher, ThresholdFiltersDistantMatches) {
+  // Random 256-bit descriptors concentrate near distance 128; a strict
+  // threshold rejects everything.
+  const auto train = random_set(40, 94);
+  const auto query = random_set(10, 95);
+  MatcherOptions opts;
+  opts.max_distance = 20;
+  EXPECT_TRUE(match_descriptors(query, train, opts).empty());
+  opts.max_distance = 256;
+  EXPECT_EQ(match_descriptors(query, train, opts).size(), 10u);
+}
+
+TEST(Matcher, RatioTestRejectsAmbiguous) {
+  // Two near-identical train entries make every match ambiguous.
+  auto train = random_set(2, 96);
+  train[1] = train[0];
+  train[1].set_bit(0, !train[1].bit(0));
+  const std::vector<Descriptor256> query = {train[0]};
+  MatcherOptions opts;
+  opts.max_distance = 256;
+  opts.ratio = 0.8;
+  // best = 0, second = 1 -> 0 < 0.8 * 1 holds... distance 0 passes any
+  // ratio; use a query one flip away instead: best 1, second 2.
+  std::vector<Descriptor256> q2 = {train[0]};
+  q2[0].set_bit(200, !q2[0].bit(200));
+  const auto matches = match_descriptors(q2, train, opts);
+  // best=1 (train 0), second=2 (train 1): 1 < 0.8*2 -> accepted.
+  ASSERT_EQ(matches.size(), 1u);
+  // Now make the two train entries equidistant: rejected.
+  auto train_eq = random_set(2, 97);
+  train_eq[1] = train_eq[0];
+  std::vector<Descriptor256> q3 = {train_eq[0]};
+  q3[0].set_bit(10, !q3[0].bit(10));
+  EXPECT_TRUE(match_descriptors(q3, train_eq, opts).empty());
+}
+
+TEST(Matcher, CrossCheckRejectsAsymmetric) {
+  // train[0] is the best for both queries, but only one query is best for
+  // train[0] — the other must be dropped by cross-checking.
+  eslam::testing::rng(98);
+  Descriptor256 base = eslam::testing::random_descriptor();
+  Descriptor256 q_near = base;
+  q_near.set_bit(0, !q_near.bit(0));  // distance 1
+  Descriptor256 q_far = base;
+  for (int i = 0; i < 30; ++i) q_far.set_bit(i * 7, !q_far.bit(i * 7));
+  const std::vector<Descriptor256> train = {base};
+  const std::vector<Descriptor256> queries = {q_near, q_far};
+  MatcherOptions opts;
+  opts.max_distance = 256;
+  opts.cross_check = true;
+  const auto matches = match_descriptors(queries, train, opts);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].query, 0);
+}
+
+TEST(Matcher, EmptyTrainYieldsNoMatches) {
+  const auto query = random_set(5, 99);
+  EXPECT_TRUE(match_descriptors(query, {}, MatcherOptions{}).empty());
+}
+
+TEST(Matcher, TieBreaksTowardLowestTrainIndex) {
+  auto train = random_set(3, 100);
+  train[2] = train[0];  // duplicate at higher index
+  const std::vector<Descriptor256> query = {train[0]};
+  const auto matches = match_descriptors(query, train, MatcherOptions{});
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].train, 0);
+}
+
+}  // namespace
+}  // namespace eslam

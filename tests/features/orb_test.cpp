@@ -1,0 +1,147 @@
+#include "features/orb.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "dataset/scene.h"
+
+namespace eslam {
+namespace {
+
+ImageU8 rendered_frame() {
+  const BoxRoomScene scene;
+  const PinholeCamera cam(260.0, 260.0, 160.0, 120.0, 320, 240);
+  return scene.render(cam, SE3{}, 0).gray;
+}
+
+TEST(OrbExtractor, RespectsFeatureBudget) {
+  OrbConfig cfg;
+  cfg.n_features = 300;
+  OrbExtractor ex(cfg);
+  const FeatureList f = ex.extract(rendered_frame());
+  EXPECT_LE(f.size(), 300u);
+  EXPECT_GT(f.size(), 100u);  // textured scene must yield plenty
+  EXPECT_EQ(ex.last_stats().kept, static_cast<int>(f.size()));
+  EXPECT_GE(ex.last_stats().detected, ex.last_stats().kept);
+  EXPECT_EQ(ex.last_stats().described, ex.last_stats().detected);
+}
+
+TEST(OrbExtractor, KeypointsStayInsideBorders) {
+  OrbExtractor ex;
+  const ImageU8 img = rendered_frame();
+  for (const Feature& f : ex.extract(img)) {
+    const int border = ex.config().border;
+    EXPECT_GE(f.keypoint.x, border);
+    EXPECT_GE(f.keypoint.y, border);
+    // Level-0 coordinates stay inside the source image.
+    EXPECT_LT(f.keypoint.x0(), img.width());
+    EXPECT_LT(f.keypoint.y0(), img.height());
+  }
+}
+
+TEST(OrbExtractor, KeepsBestHarrisScores) {
+  OrbConfig cfg;
+  cfg.n_features = 50;
+  OrbExtractor small(cfg);
+  cfg.n_features = 100000;  // effectively unfiltered
+  OrbExtractor all(cfg);
+  const ImageU8 img = rendered_frame();
+  const FeatureList kept = small.extract(img);
+  const FeatureList everything = all.extract(img);
+  ASSERT_EQ(kept.size(), 50u);
+  // The kept minimum must be >= the 50th best overall.
+  std::vector<std::int64_t> scores;
+  for (const Feature& f : everything) scores.push_back(f.keypoint.score);
+  std::sort(scores.rbegin(), scores.rend());
+  std::int64_t kept_min = kept[0].keypoint.score;
+  for (const Feature& f : kept)
+    kept_min = std::min(kept_min, f.keypoint.score);
+  EXPECT_GE(kept_min, scores[49]);
+}
+
+TEST(OrbExtractor, UsesAllPyramidLevels) {
+  OrbExtractor ex;
+  const FeatureList f = ex.extract(rendered_frame());
+  std::array<int, 4> per_level{};
+  for (const Feature& feat : f)
+    ++per_level[static_cast<std::size_t>(feat.keypoint.level)];
+  // A textured full-frame scene should produce features on several levels.
+  int levels_hit = 0;
+  for (int c : per_level) levels_hit += c > 0;
+  EXPECT_GE(levels_hit, 2);
+}
+
+TEST(OrbExtractor, DeterministicAcrossRuns) {
+  OrbExtractor a, b;
+  const ImageU8 img = rendered_frame();
+  const FeatureList fa = a.extract(img);
+  const FeatureList fb = b.extract(img);
+  ASSERT_EQ(fa.size(), fb.size());
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    EXPECT_EQ(fa[i].keypoint.x, fb[i].keypoint.x);
+    EXPECT_EQ(fa[i].descriptor, fb[i].descriptor);
+  }
+}
+
+TEST(OrbExtractor, ModesProduceDifferentDescriptorsSameKeypoints) {
+  OrbConfig rs_cfg, orb_cfg;
+  rs_cfg.mode = DescriptorMode::kRsBrief;
+  orb_cfg.mode = DescriptorMode::kOrbLut;
+  OrbExtractor rs(rs_cfg), orb(orb_cfg);
+  const ImageU8 img = rendered_frame();
+  const FeatureList frs = rs.extract(img);
+  const FeatureList forb = orb.extract(img);
+  ASSERT_EQ(frs.size(), forb.size());
+  int differing = 0;
+  for (std::size_t i = 0; i < frs.size(); ++i) {
+    EXPECT_EQ(frs[i].keypoint.x, forb[i].keypoint.x);  // same detector
+    differing += frs[i].descriptor != forb[i].descriptor;
+  }
+  EXPECT_GT(differing, static_cast<int>(frs.size()) / 2);
+}
+
+TEST(OrbExtractor, ExactModeAgreesWithLutWithinDiscretization) {
+  // The LUT discretizes to 12-degree bins (max 6 degrees error); exact and
+  // LUT descriptors should still be close in Hamming distance.
+  OrbConfig lut_cfg, exact_cfg;
+  lut_cfg.mode = DescriptorMode::kOrbLut;
+  exact_cfg.mode = DescriptorMode::kOrbExact;
+  OrbExtractor lut(lut_cfg), exact(exact_cfg);
+  const ImageU8 img = rendered_frame();
+  const FeatureList fl = lut.extract(img);
+  const FeatureList fe = exact.extract(img);
+  ASSERT_EQ(fl.size(), fe.size());
+  double mean_dist = 0;
+  for (std::size_t i = 0; i < fl.size(); ++i)
+    mean_dist += hamming_distance(fl[i].descriptor, fe[i].descriptor);
+  mean_dist /= static_cast<double>(fl.size());
+  EXPECT_LT(mean_dist, 32.0);  // well below the ~128 of random pairs
+}
+
+TEST(OrbExtractor, FlatImageYieldsNothing) {
+  OrbExtractor ex;
+  const ImageU8 flat(320, 240, 100);
+  EXPECT_TRUE(ex.extract(flat).empty());
+}
+
+TEST(OrbExtractor, TinyImageIsHandledGracefully) {
+  OrbExtractor ex;
+  const ImageU8 tiny(40, 30, 100);
+  EXPECT_TRUE(ex.extract(tiny).empty());  // smaller than 2x border
+}
+
+class OrbBudget : public ::testing::TestWithParam<int> {};
+
+TEST_P(OrbBudget, ExactlyNFeaturesWhenSceneIsRich) {
+  OrbConfig cfg;
+  cfg.n_features = GetParam();
+  OrbExtractor ex(cfg);
+  const FeatureList f = ex.extract(rendered_frame());
+  EXPECT_EQ(static_cast<int>(f.size()), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, OrbBudget,
+                         ::testing::Values(16, 64, 256, 512));
+
+}  // namespace
+}  // namespace eslam

@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "../test_util.h"
+#include "features/brief.h"
+#include "features/pattern.h"
+#include "image/convolve.h"
+
+namespace eslam {
+namespace {
+
+TEST(RsBriefPattern, DeterministicForFixedSeed) {
+  const RsBriefPattern a(kDefaultPatternSeed);
+  const RsBriefPattern b(kDefaultPatternSeed);
+  EXPECT_EQ(a.base(), b.base());
+  const RsBriefPattern c(kDefaultPatternSeed + 1);
+  EXPECT_NE(a.base(), c.base());
+}
+
+TEST(RsBriefPattern, AllLocationsInsidePatch) {
+  const RsBriefPattern p;
+  for (const TestPair& pair : p.base()) {
+    EXPECT_LE(std::abs(static_cast<int>(pair.s.x)), kPatternRadius);
+    EXPECT_LE(std::abs(static_cast<int>(pair.s.y)), kPatternRadius);
+    EXPECT_LE(std::abs(static_cast<int>(pair.d.x)), kPatternRadius);
+    EXPECT_LE(std::abs(static_cast<int>(pair.d.y)), kPatternRadius);
+  }
+}
+
+// The defining property: group j is exactly group 0 rotated by j*11.25 deg
+// (rotation applied to continuous seeds, then rounded).
+TEST(RsBriefPattern, ThirtyTwoFoldRotationalSymmetry) {
+  const RsBriefPattern p;
+  const double step = 11.25 * M_PI / 180.0;
+  for (int j = 0; j < 32; ++j) {
+    const double c = std::cos(j * step), s = std::sin(j * step);
+    for (int i = 0; i < 8; ++i) {
+      const TestPair& seed = p.base()[static_cast<std::size_t>(i)];
+      const TestPair& rotated =
+          p.base()[static_cast<std::size_t>(j * 8 + i)];
+      // The stored seed is the *rounded* continuous seed (error <= 0.5
+      // per axis, 0.71 in norm); rotating it and rounding again can land
+      // up to ~1.21 from the stored rotated location.
+      EXPECT_NEAR(seed.s.x * c - seed.s.y * s, rotated.s.x, 1.3);
+      EXPECT_NEAR(seed.s.y * c + seed.s.x * s, rotated.s.y, 1.3);
+      EXPECT_NEAR(seed.d.x * c - seed.d.y * s, rotated.d.x, 1.3);
+      EXPECT_NEAR(seed.d.y * c + seed.d.x * s, rotated.d.y, 1.3);
+    }
+  }
+}
+
+// Steering the pattern is pure group reindexing.
+TEST(RsBriefPattern, SteeredIsGroupReindexing) {
+  const RsBriefPattern p;
+  for (int label : {0, 1, 7, 16, 31}) {
+    const Pattern256 steered = p.steered(label);
+    for (int j = 0; j < 32; ++j)
+      for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(steered[static_cast<std::size_t>(j * 8 + i)],
+                  p.base()[static_cast<std::size_t>(((j + label) % 32) * 8 +
+                                                    i)]);
+  }
+}
+
+TEST(RsBriefPattern, SteeredZeroIsBase) {
+  const RsBriefPattern p;
+  EXPECT_EQ(p.steered(0), p.base());
+}
+
+TEST(OriginalBriefPattern, LutHas30DistinctBins) {
+  const OriginalBriefPattern p;
+  std::set<std::string> unique;
+  for (int b = 0; b < OriginalBriefPattern::kLutBins; ++b) {
+    std::string key;
+    for (const TestPair& pair : p.steered_lut(b)) {
+      key += static_cast<char>(pair.s.x);
+      key += static_cast<char>(pair.s.y);
+    }
+    unique.insert(key);
+  }
+  EXPECT_EQ(unique.size(), 30u);
+}
+
+TEST(OriginalBriefPattern, LutBinSelection) {
+  const double deg = M_PI / 180.0;
+  EXPECT_EQ(OriginalBriefPattern::lut_bin(0.0), 0);
+  EXPECT_EQ(OriginalBriefPattern::lut_bin(12.0 * deg), 1);
+  EXPECT_EQ(OriginalBriefPattern::lut_bin(5.9 * deg), 0);
+  EXPECT_EQ(OriginalBriefPattern::lut_bin(6.1 * deg), 1);
+  EXPECT_EQ(OriginalBriefPattern::lut_bin(-12.0 * deg), 29);
+  EXPECT_EQ(OriginalBriefPattern::lut_bin(360.0 * deg), 0);
+}
+
+TEST(OriginalBriefPattern, ExactSteeringAtZeroIsBase) {
+  const OriginalBriefPattern p;
+  EXPECT_EQ(p.steered_exact(0.0), p.base());
+  EXPECT_EQ(p.steered_lut(0), p.base());
+}
+
+TEST(OriginalBriefPattern, LutMemoryFootprintIsWhatRsBriefEliminates) {
+  // 30 bins x 256 pairs x 4 bytes = 30 KB of pattern ROM.
+  EXPECT_EQ(OriginalBriefPattern::lut_bytes(), 30u * 256u * 4u);
+}
+
+TEST(Descriptor, BitDefinitionMatchesIntensityTest) {
+  ImageU8 img(64, 64, 0);
+  for (int y = 0; y < 64; ++y)
+    for (int x = 0; x < 64; ++x)
+      img.at(x, y) = static_cast<std::uint8_t>(x * 4 > 255 ? 255 : x * 4);
+  const RsBriefPattern p;
+  const Descriptor256 d = compute_descriptor(img, 32, 32, p.base());
+  for (int i = 0; i < 256; ++i) {
+    const TestPair& pair = p.base()[static_cast<std::size_t>(i)];
+    const bool expected = img.at(32 + pair.s.x, 32 + pair.s.y) >
+                          img.at(32 + pair.d.x, 32 + pair.d.y);
+    EXPECT_EQ(d.bit(i), expected) << "bit " << i;
+  }
+}
+
+// THE paper invariant (section 2.2 + BRIEF Rotator): computing with the
+// steered pattern equals byte-rotating the unsteered descriptor.
+class RotationShiftEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(RotationShiftEquivalence, SteeredPatternEqualsByteRotation) {
+  const int label = GetParam();
+  const RsBriefPattern p;
+  const ImageU8 raw = eslam::testing::structured_test_image(96, 96, 55);
+  const ImageU8 img = smooth_gaussian7_u8(raw);
+  for (int cx : {20, 48, 75})
+    for (int cy : {20, 48, 75}) {
+      const Descriptor256 via_pattern =
+          compute_descriptor(img, cx, cy, p.steered(label));
+      const Descriptor256 via_shift =
+          compute_descriptor(img, cx, cy, p.base()).rotated_bytes(label);
+      EXPECT_EQ(via_pattern, via_shift)
+          << "label=" << label << " at (" << cx << "," << cy << ")";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLabels, RotationShiftEquivalence,
+                         ::testing::Range(0, 32));
+
+TEST(RsBrief, DescriptorHelperMatchesManualComposition) {
+  const RsBriefPattern p;
+  const ImageU8 img =
+      smooth_gaussian7_u8(eslam::testing::structured_test_image(64, 64, 3));
+  for (int label : {0, 5, 13, 31}) {
+    EXPECT_EQ(rs_brief_descriptor(img, 30, 30, p, label),
+              compute_descriptor(img, 30, 30, p.base()).rotated_bytes(label));
+  }
+}
+
+// Rotational invariance end-to-end: descriptors of the same (synthetic,
+// rotation-symmetric-free) patch under in-plane rotation should be much
+// closer with correct steering than with none.
+TEST(RsBrief, SteeringImprovesRotatedPatchDistance) {
+  // Patch with a strong directional structure.
+  auto make_patch = [](double angle) {
+    ImageU8 img(64, 64, 0);
+    const double c = std::cos(angle), s = std::sin(angle);
+    for (int y = 0; y < 64; ++y)
+      for (int x = 0; x < 64; ++x) {
+        // Rotate coordinates back and sample a fixed pattern.
+        const double xr = (x - 32) * c + (y - 32) * s;
+        const double yr = -(x - 32) * s + (y - 32) * c;
+        const int checker = (static_cast<int>(std::floor(xr / 6.0)) +
+                             static_cast<int>(std::floor(yr / 11.0)));
+        img.at(x, y) = (checker & 1) ? 200 : 50;
+      }
+    return smooth_gaussian7_u8(img);
+  };
+  const RsBriefPattern p;
+  const int label = 4;  // 45 degrees
+  const double angle = label * 11.25 * M_PI / 180.0;
+  const ImageU8 patch0 = make_patch(0.0);
+  const ImageU8 patch1 = make_patch(angle);
+
+  const Descriptor256 d0 = rs_brief_descriptor(patch0, 32, 32, p, 0);
+  const Descriptor256 d1_steered = rs_brief_descriptor(patch1, 32, 32, p, label);
+  const Descriptor256 d1_unsteered = rs_brief_descriptor(patch1, 32, 32, p, 0);
+
+  EXPECT_LT(hamming_distance(d0, d1_steered),
+            hamming_distance(d0, d1_unsteered));
+  EXPECT_LT(hamming_distance(d0, d1_steered), 64);
+}
+
+}  // namespace
+}  // namespace eslam

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "geometry/camera.h"
+#include "geometry/jacobi.h"
+#include "geometry/umeyama.h"
+
+namespace eslam {
+namespace {
+
+TEST(Camera, ProjectUnprojectRoundTrip) {
+  const PinholeCamera cam = PinholeCamera::tum_freiburg1();
+  const Vec3 p = cam.unproject(320.0, 240.0, 2.0);
+  const auto px = cam.project(p);
+  ASSERT_TRUE(px.has_value());
+  EXPECT_NEAR((*px)[0], 320.0, 1e-10);
+  EXPECT_NEAR((*px)[1], 240.0, 1e-10);
+}
+
+TEST(Camera, BehindCameraProjectsToNothing) {
+  const PinholeCamera cam = PinholeCamera::tum_freiburg1();
+  EXPECT_FALSE(cam.project(Vec3{0, 0, -1}).has_value());
+  EXPECT_FALSE(cam.project(Vec3{0, 0, 0}).has_value());
+}
+
+TEST(Camera, PrincipalPointProjectsToCenterPixel) {
+  const PinholeCamera cam = PinholeCamera::tum_freiburg1();
+  const auto px = cam.project(Vec3{0, 0, 3.0});
+  ASSERT_TRUE(px.has_value());
+  EXPECT_NEAR((*px)[0], cam.cx(), 1e-12);
+  EXPECT_NEAR((*px)[1], cam.cy(), 1e-12);
+}
+
+TEST(Camera, InImageBorders) {
+  const PinholeCamera cam = PinholeCamera::tum_freiburg1();
+  EXPECT_TRUE(cam.in_image(Vec2{0, 0}));
+  EXPECT_FALSE(cam.in_image(Vec2{640, 100}));
+  EXPECT_FALSE(cam.in_image(Vec2{10, 10}, 16.0));
+  EXPECT_TRUE(cam.in_image(Vec2{20, 20}, 16.0));
+}
+
+TEST(Camera, RayIsUnitAndConsistent) {
+  const PinholeCamera cam = PinholeCamera::tum_freiburg2();
+  const Vec3 r = cam.ray(100.5, 377.25);
+  EXPECT_NEAR(r.norm(), 1.0, 1e-12);
+  const auto px = cam.project(r * 5.0);
+  ASSERT_TRUE(px.has_value());
+  EXPECT_NEAR((*px)[0], 100.5, 1e-9);
+  EXPECT_NEAR((*px)[1], 377.25, 1e-9);
+}
+
+class CameraGrid : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CameraGrid, UnprojectProjectAcrossImage) {
+  const PinholeCamera cam = PinholeCamera::tum_freiburg1();
+  const auto [u, v] = GetParam();
+  for (double z : {0.3, 1.0, 4.0, 20.0}) {
+    const auto px = cam.project(cam.unproject(u, v, z));
+    ASSERT_TRUE(px.has_value());
+    EXPECT_NEAR((*px)[0], u, 1e-9);
+    EXPECT_NEAR((*px)[1], v, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pixels, CameraGrid,
+    ::testing::Combine(::testing::Values(0, 17, 320, 639),
+                       ::testing::Values(0, 240, 479)));
+
+TEST(Jacobi, DiagonalMatrixEigen) {
+  Mat3 a;
+  a(0, 0) = 3;
+  a(1, 1) = 1;
+  a(2, 2) = 2;
+  Vec3 w;
+  Mat3 v;
+  symmetric_eigen(a, w, v);
+  EXPECT_NEAR(w[0], 3.0, 1e-12);
+  EXPECT_NEAR(w[1], 2.0, 1e-12);
+  EXPECT_NEAR(w[2], 1.0, 1e-12);
+}
+
+TEST(Jacobi, ReconstructsRandomSymmetric) {
+  eslam::testing::rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    Mat3 a;
+    for (int r = 0; r < 3; ++r)
+      for (int c = r; c < 3; ++c)
+        a(r, c) = a(c, r) = eslam::testing::uniform(-2, 2);
+    Vec3 w;
+    Mat3 v;
+    symmetric_eigen(a, w, v);
+    Mat3 d;
+    for (int i = 0; i < 3; ++i) d(i, i) = w[i];
+    EXPECT_NEAR((v * d * v.transposed() - a).max_abs(), 0.0, 1e-9);
+    EXPECT_NEAR((v * v.transposed() - Mat3::identity()).max_abs(), 0.0, 1e-9);
+    EXPECT_GE(w[0], w[1]);
+    EXPECT_GE(w[1], w[2]);
+  }
+}
+
+TEST(Svd3, ReconstructsRandomMatrix) {
+  eslam::testing::rng(6);
+  for (int trial = 0; trial < 20; ++trial) {
+    Mat3 a;
+    for (int i = 0; i < 9; ++i) a[i] = eslam::testing::uniform(-3, 3);
+    Mat3 u, v;
+    Vec3 s;
+    svd3(a, u, s, v);
+    Mat3 d;
+    for (int i = 0; i < 3; ++i) d(i, i) = s[i];
+    EXPECT_NEAR((u * d * v.transposed() - a).max_abs(), 0.0, 1e-8);
+    EXPECT_GE(s[0], s[1]);
+    EXPECT_GE(s[1], s[2]);
+    EXPECT_GE(s[2], 0.0);
+  }
+}
+
+TEST(Svd3, HandlesRankDeficiency) {
+  // Rank-1 matrix.
+  const Mat3 a = outer(Vec3{1, 2, 3}, Vec3{4, 5, 6});
+  Mat3 u, v;
+  Vec3 s;
+  svd3(a, u, s, v);
+  Mat3 d;
+  for (int i = 0; i < 3; ++i) d(i, i) = s[i];
+  EXPECT_NEAR((u * d * v.transposed() - a).max_abs(), 0.0, 1e-8);
+  // sqrt of the Jacobi eigen residual (~1e-14) is ~1e-7.
+  EXPECT_NEAR(s[1], 0.0, 1e-6);
+  EXPECT_NEAR(s[2], 0.0, 1e-6);
+}
+
+class UmeyamaRecovery : public ::testing::TestWithParam<int> {};
+
+TEST_P(UmeyamaRecovery, RecoversRandomRigidTransforms) {
+  eslam::testing::rng(static_cast<std::uint32_t>(GetParam() + 21));
+  for (int trial = 0; trial < 10; ++trial) {
+    const SE3 truth = eslam::testing::random_pose(2.5, 4.0);
+    std::vector<Vec3> src, dst;
+    for (int i = 0; i < 30; ++i) {
+      const Vec3 p{eslam::testing::uniform(-3, 3),
+                   eslam::testing::uniform(-3, 3),
+                   eslam::testing::uniform(-3, 3)};
+      src.push_back(p);
+      dst.push_back(truth * p);
+    }
+    const AlignmentResult r = umeyama(src, dst);
+    EXPECT_NEAR(r.rmse, 0.0, 1e-9);
+    EXPECT_NEAR((r.transform.rotation() - truth.rotation()).max_abs(), 0.0,
+                1e-8);
+    EXPECT_NEAR((r.transform.translation() - truth.translation()).max_abs(),
+                0.0, 1e-8);
+    EXPECT_DOUBLE_EQ(r.scale, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UmeyamaRecovery, ::testing::Range(0, 8));
+
+TEST(Umeyama, RecoversScale) {
+  eslam::testing::rng(33);
+  const double true_scale = 2.5;
+  const SE3 truth = eslam::testing::random_pose(1.0, 1.0);
+  std::vector<Vec3> src, dst;
+  for (int i = 0; i < 20; ++i) {
+    const Vec3 p = eslam::testing::random_unit_vector() * 2.0;
+    src.push_back(p);
+    dst.push_back(true_scale * (truth.rotation() * p) + truth.translation());
+  }
+  const AlignmentResult r = umeyama(src, dst, /*with_scale=*/true);
+  EXPECT_NEAR(r.scale, true_scale, 1e-9);
+  EXPECT_NEAR(r.rmse, 0.0, 1e-9);
+}
+
+TEST(Umeyama, HandlesReflectionCase) {
+  // Nearly planar clouds are the classic reflection trap; the S-matrix
+  // correction must still return a proper rotation.
+  eslam::testing::rng(34);
+  const SE3 truth = eslam::testing::random_pose(2.0, 1.0);
+  std::vector<Vec3> src, dst;
+  for (int i = 0; i < 25; ++i) {
+    const Vec3 p{eslam::testing::uniform(-2, 2),
+                 eslam::testing::uniform(-2, 2),
+                 eslam::testing::uniform(-0.01, 0.01)};
+    src.push_back(p);
+    dst.push_back(truth * p);
+  }
+  const AlignmentResult r = umeyama(src, dst);
+  EXPECT_TRUE(is_rotation(r.transform.rotation(), 1e-6));
+  EXPECT_NEAR(r.rmse, 0.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace eslam

@@ -1,0 +1,143 @@
+#include "geometry/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace eslam {
+namespace {
+
+TEST(Matrix, DefaultIsZero) {
+  const Mat3 m;
+  for (int r = 0; r < 3; ++r)
+    for (int c = 0; c < 3; ++c) EXPECT_EQ(m(r, c), 0.0);
+}
+
+TEST(Matrix, InitializerListIsRowMajor) {
+  const Mat<2, 3> m{1, 2, 3, 4, 5, 6};
+  EXPECT_EQ(m(0, 0), 1);
+  EXPECT_EQ(m(0, 2), 3);
+  EXPECT_EQ(m(1, 0), 4);
+  EXPECT_EQ(m(1, 2), 6);
+}
+
+TEST(Matrix, IdentityAndTrace) {
+  const Mat4 i = Mat4::identity();
+  EXPECT_EQ(i.trace(), 4.0);
+  EXPECT_EQ(i * i, i);
+}
+
+TEST(Matrix, ArithmeticOperators) {
+  const Mat2 a{1, 2, 3, 4};
+  const Mat2 b{5, 6, 7, 8};
+  EXPECT_EQ(a + b, (Mat2{6, 8, 10, 12}));
+  EXPECT_EQ(b - a, (Mat2{4, 4, 4, 4}));
+  EXPECT_EQ(a * 2.0, (Mat2{2, 4, 6, 8}));
+  EXPECT_EQ(2.0 * a, a * 2.0);
+  EXPECT_EQ(-a, (Mat2{-1, -2, -3, -4}));
+  EXPECT_EQ(a / 2.0, (Mat2{0.5, 1, 1.5, 2}));
+}
+
+TEST(Matrix, MultiplicationAgainstHand) {
+  const Mat2 a{1, 2, 3, 4};
+  const Mat2 b{5, 6, 7, 8};
+  EXPECT_EQ(a * b, (Mat2{19, 22, 43, 50}));
+  EXPECT_NE(a * b, b * a);
+}
+
+TEST(Matrix, TransposeRoundTrip) {
+  const Mat<2, 3> m{1, 2, 3, 4, 5, 6};
+  EXPECT_EQ(m.transposed().transposed(), m);
+  EXPECT_EQ(m.transposed()(2, 1), 6);
+}
+
+TEST(Matrix, BlockGetSet) {
+  Mat4 m = Mat4::identity();
+  const Mat2 b{9, 8, 7, 6};
+  m.set_block(1, 2, b);
+  EXPECT_EQ((m.block<2, 2>(1, 2)), b);
+  EXPECT_EQ(m(0, 0), 1.0);  // untouched
+}
+
+TEST(Matrix, RowColAccessors) {
+  const Mat3 m{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  EXPECT_EQ(m.col(1), (Vec3{2, 5, 8}));
+  EXPECT_EQ(m.row(2), (Mat<1, 3>{7, 8, 9}));
+  Mat3 n;
+  n.set_col(0, Vec3{1, 2, 3});
+  EXPECT_EQ(n(2, 0), 3);
+}
+
+TEST(Matrix, DotCrossOuter) {
+  const Vec3 x{1, 0, 0}, y{0, 1, 0}, z{0, 0, 1};
+  EXPECT_EQ(cross(x, y), z);
+  EXPECT_EQ(cross(y, x), -z);
+  EXPECT_EQ(dot(x, y), 0.0);
+  EXPECT_EQ(dot(Vec3{1, 2, 3}, Vec3{4, 5, 6}), 32.0);
+  const Mat3 o = outer(Vec3{1, 2, 3}, Vec3{4, 5, 6});
+  EXPECT_EQ(o(1, 2), 12.0);
+}
+
+TEST(Matrix, NormAndNormalized) {
+  const Vec3 v{3, 4, 0};
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(v.normalized().norm(), 1.0);
+  EXPECT_DOUBLE_EQ(v.squared_norm(), 25.0);
+  EXPECT_DOUBLE_EQ(v.max_abs(), 4.0);
+}
+
+TEST(Matrix, DeterminantKnownValues) {
+  EXPECT_DOUBLE_EQ(determinant(Mat2{2, 0, 0, 3}), 6.0);
+  EXPECT_DOUBLE_EQ(determinant(Mat3::identity()), 1.0);
+  EXPECT_DOUBLE_EQ(determinant(Mat2{1, 2, 2, 4}), 0.0);
+  // Permutation matrix has det -1.
+  EXPECT_DOUBLE_EQ(determinant(Mat2{0, 1, 1, 0}), -1.0);
+}
+
+TEST(Matrix, SolveSingularReturnsFalse) {
+  const Mat2 singular{1, 2, 2, 4};
+  Vec2 x;
+  EXPECT_FALSE(solve(singular, Vec2{1, 1}, x));
+}
+
+TEST(Matrix, InvertIdentityAndKnown) {
+  Mat3 inv;
+  ASSERT_TRUE(invert(Mat3::identity(), inv));
+  EXPECT_EQ(inv, Mat3::identity());
+  const Mat2 a{4, 7, 2, 6};
+  Mat2 ia;
+  ASSERT_TRUE(invert(a, ia));
+  EXPECT_NEAR((a * ia - Mat2::identity()).max_abs(), 0.0, 1e-12);
+}
+
+// Property sweep: random well-conditioned systems are solved to high
+// accuracy for several sizes.
+class SolveProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolveProperty, RandomSystemsSolveAccurately) {
+  eslam::testing::rng(static_cast<std::uint32_t>(GetParam()) + 1);
+  for (int trial = 0; trial < 25; ++trial) {
+    Mat6 a;
+    for (int r = 0; r < 6; ++r)
+      for (int c = 0; c < 6; ++c)
+        a(r, c) = eslam::testing::uniform(-1, 1);
+    for (int d = 0; d < 6; ++d) a(d, d) += 4.0;  // diagonally dominant
+    Vec6 x_true;
+    for (int i = 0; i < 6; ++i) x_true[i] = eslam::testing::uniform(-5, 5);
+    const Vec6 b = a * x_true;
+    Vec6 x;
+    ASSERT_TRUE(solve(a, b, x));
+    EXPECT_NEAR((x - x_true).max_abs(), 0.0, 1e-9);
+
+    Mat6 inv;
+    ASSERT_TRUE(invert(a, inv));
+    EXPECT_NEAR((a * inv - Mat6::identity()).max_abs(), 0.0, 1e-9);
+    // det(A) * det(A^-1) == 1
+    EXPECT_NEAR(determinant(a) * determinant(inv), 1.0, 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolveProperty, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace eslam

@@ -1,0 +1,89 @@
+#include "geometry/quaternion.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "geometry/so3.h"
+
+namespace eslam {
+namespace {
+
+TEST(Quaternion, IdentityMapsToIdentityRotation) {
+  EXPECT_NEAR((Quaternion::identity().to_rotation() - Mat3::identity())
+                  .max_abs(),
+              0.0, 1e-15);
+}
+
+TEST(Quaternion, KnownQuarterTurnAboutZ) {
+  const double s = std::sqrt(0.5);
+  const Quaternion q{s, 0, 0, s};  // 90 deg about z
+  const Mat3 r = q.to_rotation();
+  EXPECT_NEAR((r * Vec3{1, 0, 0} - Vec3{0, 1, 0}).max_abs(), 0.0, 1e-12);
+}
+
+TEST(Quaternion, NormalizationAndConjugate) {
+  const Quaternion q{2, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(q.norm(), 2.0);
+  EXPECT_DOUBLE_EQ(q.normalized().norm(), 1.0);
+  const Quaternion c = q.conjugate();
+  EXPECT_EQ(c.w, 2.0);
+  EXPECT_EQ(c.x, -0.0);
+}
+
+TEST(Quaternion, ProductMatchesRotationComposition) {
+  eslam::testing::rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Mat3 ra = eslam::testing::random_rotation();
+    const Mat3 rb = eslam::testing::random_rotation();
+    const Quaternion qa = Quaternion::from_rotation(ra);
+    const Quaternion qb = Quaternion::from_rotation(rb);
+    EXPECT_NEAR(((qa * qb).to_rotation() - ra * rb).max_abs(), 0.0, 1e-10);
+  }
+}
+
+class QuaternionRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuaternionRoundTrip, RotationConversionRoundTrips) {
+  eslam::testing::rng(static_cast<std::uint32_t>(GetParam() + 11));
+  for (int trial = 0; trial < 25; ++trial) {
+    // Include near-pi rotations: Shepperd's method must stay stable.
+    const Mat3 r = eslam::testing::random_rotation(M_PI - 1e-4);
+    const Mat3 back = Quaternion::from_rotation(r).to_rotation();
+    EXPECT_NEAR((back - r).max_abs(), 0.0, 1e-10);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuaternionRoundTrip, ::testing::Range(0, 6));
+
+TEST(Slerp, EndpointsAndMidpoint) {
+  const Quaternion a = Quaternion::identity();
+  const Quaternion b =
+      Quaternion::from_rotation(so3_exp(Vec3{0, 0, 1.0}));
+  EXPECT_NEAR((slerp(a, b, 0.0).to_rotation() - a.to_rotation()).max_abs(),
+              0.0, 1e-12);
+  EXPECT_NEAR((slerp(a, b, 1.0).to_rotation() - b.to_rotation()).max_abs(),
+              0.0, 1e-12);
+  // Midpoint is the half-angle rotation.
+  const Mat3 half = so3_exp(Vec3{0, 0, 0.5});
+  EXPECT_NEAR((slerp(a, b, 0.5).to_rotation() - half).max_abs(), 0.0, 1e-10);
+}
+
+TEST(Slerp, TakesShortArc) {
+  const Quaternion a = Quaternion::identity();
+  Quaternion b = Quaternion::from_rotation(so3_exp(Vec3{0, 0, 0.4}));
+  // Negate b: same rotation, antipodal quaternion.
+  b = {-b.w, -b.x, -b.y, -b.z};
+  const Mat3 mid = slerp(a, b, 0.5).to_rotation();
+  EXPECT_NEAR((mid - so3_exp(Vec3{0, 0, 0.2})).max_abs(), 0.0, 1e-10);
+}
+
+TEST(Slerp, NearlyParallelFallsBackToLerp) {
+  const Quaternion a = Quaternion::identity();
+  const Quaternion b =
+      Quaternion::from_rotation(so3_exp(Vec3{0, 0, 1e-7}));
+  const Quaternion m = slerp(a, b, 0.3);
+  EXPECT_NEAR(m.norm(), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace eslam

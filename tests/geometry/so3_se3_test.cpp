@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "geometry/se3.h"
+#include "geometry/so3.h"
+
+namespace eslam {
+namespace {
+
+TEST(So3, HatIsAntisymmetricCrossProduct) {
+  const Vec3 w{1.0, -2.0, 0.5};
+  const Mat3 k = hat(w);
+  EXPECT_EQ(k.transposed(), -k);
+  const Vec3 v{0.3, 0.7, -1.1};
+  EXPECT_NEAR((k * v - cross(w, v)).max_abs(), 0.0, 1e-15);
+}
+
+TEST(So3, ExpOfZeroIsIdentity) {
+  EXPECT_NEAR((so3_exp(Vec3{}) - Mat3::identity()).max_abs(), 0.0, 1e-15);
+}
+
+TEST(So3, ExpKnownQuarterTurn) {
+  const Mat3 r = so3_exp(Vec3{0, 0, M_PI / 2});
+  // Rotates x onto y.
+  EXPECT_NEAR((r * Vec3{1, 0, 0} - Vec3{0, 1, 0}).max_abs(), 0.0, 1e-12);
+}
+
+TEST(So3, LogNearPiIsStable) {
+  for (int axis = 0; axis < 3; ++axis) {
+    Vec3 w;
+    w[axis] = M_PI - 1e-9;
+    const Vec3 back = so3_log(so3_exp(w));
+    EXPECT_NEAR((back - w).max_abs(), 0.0, 1e-5) << "axis " << axis;
+  }
+}
+
+TEST(So3, OrthonormalizedRepairsDrift) {
+  Mat3 r = so3_exp(Vec3{0.4, -0.2, 0.9});
+  r(0, 1) += 1e-4;  // inject drift
+  const Mat3 fixed = orthonormalized(r);
+  EXPECT_TRUE(is_rotation(fixed, 1e-9));
+  EXPECT_NEAR((fixed - r).max_abs(), 0.0, 1e-3);
+}
+
+TEST(So3, IsRotationRejectsScaleAndReflection) {
+  EXPECT_TRUE(is_rotation(Mat3::identity()));
+  EXPECT_FALSE(is_rotation(Mat3::identity() * 1.01));
+  Mat3 reflect = Mat3::identity();
+  reflect(2, 2) = -1.0;
+  EXPECT_FALSE(is_rotation(reflect));
+}
+
+class So3RoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(So3RoundTrip, ExpLogIsIdentity) {
+  eslam::testing::rng(42);
+  const double angle = GetParam();
+  for (int trial = 0; trial < 20; ++trial) {
+    const Vec3 w = angle * eslam::testing::random_unit_vector();
+    const Mat3 r = so3_exp(w);
+    EXPECT_TRUE(is_rotation(r, 1e-9));
+    const Vec3 back = so3_log(r);
+    EXPECT_NEAR((back - w).max_abs(), 0.0, 1e-8)
+        << "angle=" << angle << " trial=" << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Angles, So3RoundTrip,
+                         ::testing::Values(1e-10, 1e-6, 0.01, 0.5, 1.5, 2.5,
+                                           3.0, 3.1));
+
+TEST(Se3, IdentityActsTrivially) {
+  const SE3 id;
+  const Vec3 p{1, 2, 3};
+  EXPECT_EQ(id * p, p);
+}
+
+TEST(Se3, ComposeAndInverse) {
+  eslam::testing::rng(43);
+  const SE3 a = eslam::testing::random_pose();
+  const SE3 b = eslam::testing::random_pose();
+  const Vec3 p{0.3, -0.5, 1.2};
+  EXPECT_NEAR(((a * b) * p - a * (b * p)).max_abs(), 0.0, 1e-12);
+  EXPECT_NEAR(((a * a.inverse()) * p - p).max_abs(), 0.0, 1e-12);
+  EXPECT_NEAR(((a.inverse() * a) * p - p).max_abs(), 0.0, 1e-12);
+}
+
+TEST(Se3, MatrixForm) {
+  eslam::testing::rng(44);
+  const SE3 a = eslam::testing::random_pose();
+  const Mat4 m = a.matrix();
+  const Vec3 p{1, -2, 0.5};
+  const Vec3 via_matrix{
+      m(0, 0) * p[0] + m(0, 1) * p[1] + m(0, 2) * p[2] + m(0, 3),
+      m(1, 0) * p[0] + m(1, 1) * p[1] + m(1, 2) * p[2] + m(1, 3),
+      m(2, 0) * p[0] + m(2, 1) * p[1] + m(2, 2) * p[2] + m(2, 3)};
+  EXPECT_NEAR((a * p - via_matrix).max_abs(), 0.0, 1e-12);
+  EXPECT_EQ(m(3, 3), 1.0);
+}
+
+class Se3RoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(Se3RoundTrip, ExpLogIsIdentity) {
+  eslam::testing::rng(static_cast<std::uint32_t>(100 + GetParam()));
+  for (int trial = 0; trial < 20; ++trial) {
+    const SE3 t = eslam::testing::random_pose(2.8, 3.0);
+    const SE3 back = SE3::exp(t.log());
+    EXPECT_NEAR((back.rotation() - t.rotation()).max_abs(), 0.0, 1e-8);
+    EXPECT_NEAR((back.translation() - t.translation()).max_abs(), 0.0, 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Se3RoundTrip, ::testing::Range(0, 6));
+
+TEST(Se3, DistancesMatchDefinitions) {
+  const SE3 a;
+  const SE3 b{so3_exp(Vec3{0, 0.25, 0}), Vec3{3, 4, 0}};
+  EXPECT_DOUBLE_EQ(a.translation_distance(b), 5.0);
+  EXPECT_NEAR(a.rotation_angle(b), 0.25, 1e-12);
+  EXPECT_NEAR(b.rotation_angle(b), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace eslam

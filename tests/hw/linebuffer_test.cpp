@@ -1,0 +1,86 @@
+#include "hw/linebuffer.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace eslam {
+namespace {
+
+std::vector<std::uint8_t> column_of(const ImageU8& img, int x) {
+  std::vector<std::uint8_t> col(static_cast<std::size_t>(img.height()));
+  for (int y = 0; y < img.height(); ++y)
+    col[static_cast<std::size_t>(y)] = img.at(x, y);
+  return col;
+}
+
+TEST(LineBuffer, WindowNotReadyUntilTwoLines) {
+  LineBufferCache cache(16);
+  const std::vector<std::uint8_t> col(16, 1);
+  for (int i = 0; i < 15; ++i) {
+    EXPECT_FALSE(cache.window_ready()) << "after " << i << " columns";
+    cache.push_column(col);
+  }
+  cache.push_column(col);  // 16th column completes line B
+  EXPECT_TRUE(cache.window_ready());
+}
+
+TEST(LineBuffer, FsmRotatesThroughThreeLines) {
+  LineBufferCache cache(8);
+  const std::vector<std::uint8_t> col(8, 0);
+  // Fill 5 complete lines (40 columns).
+  for (int i = 0; i < 40; ++i) cache.push_column(col);
+  const auto& trace = cache.trace();
+  ASSERT_EQ(trace.size(), 5u);
+  // Receiving line cycles A->B->C->A->B...: after completing line k the
+  // receiver becomes (k+1) mod 3.
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(trace[i].state, static_cast<int>(i) + 1);
+    EXPECT_EQ(trace[i].receiving_line, static_cast<int>((i + 1) % 3));
+    // The two output lines are exactly the non-receiving ones.
+    for (int line : trace[i].outputting_lines)
+      EXPECT_NE(line, trace[i].receiving_line);
+    EXPECT_NE(trace[i].outputting_lines[0], trace[i].outputting_lines[1]);
+  }
+}
+
+TEST(LineBuffer, PushReturnsTrueExactlyOnLineCompletion) {
+  LineBufferCache cache(4);
+  const std::vector<std::uint8_t> col(4, 0);
+  int rotations = 0;
+  for (int i = 0; i < 24; ++i) rotations += cache.push_column(col);
+  EXPECT_EQ(rotations, 3);  // 24 columns / 8 per line
+}
+
+TEST(LineBuffer, WindowReflectsLastSixteenColumns) {
+  const ImageU8 img = eslam::testing::structured_test_image(64, 12, 9);
+  LineBufferCache cache(12);
+  for (int x = 0; x < 32; ++x) {  // 4 complete lines
+    cache.push_column(column_of(img, x));
+    if (!cache.window_ready() || (x + 1) % 8 != 0) continue;
+    // After completing the line ending at column x, the window covers
+    // columns [x-15, x].
+    const int start = cache.window_start_column();
+    EXPECT_EQ(start, x - 15);
+    for (int c = 0; c < 16; ++c)
+      for (int y = 0; y < 12; ++y)
+        ASSERT_EQ(cache.window_pixel(c, y), img.at(start + c, y))
+            << "col " << c << " row " << y;
+  }
+}
+
+TEST(LineBuffer, FillCyclesCountPixels) {
+  LineBufferCache cache(480);
+  const std::vector<std::uint8_t> col(480, 0);
+  for (int i = 0; i < 16; ++i) cache.push_column(col);
+  EXPECT_EQ(cache.fill_cycles(), 16u * 480u);  // 1 pixel/cycle
+}
+
+TEST(LineBuffer, StorageBitsMatchGeometry) {
+  LineBufferCache cache(480);
+  // 3 lines x 8 columns x 480 rows x 8 bits.
+  EXPECT_EQ(cache.storage_bits(), 3u * 8u * 480u * 8u);
+}
+
+}  // namespace
+}  // namespace eslam

@@ -1,0 +1,81 @@
+#include "slam/map.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace eslam {
+namespace {
+
+TEST(Map, AddAssignsSequentialIds) {
+  Map map;
+  eslam::testing::rng(1);
+  const auto id0 = map.add_point(Vec3{1, 2, 3},
+                                 eslam::testing::random_descriptor(), 0);
+  const auto id1 = map.add_point(Vec3{4, 5, 6},
+                                 eslam::testing::random_descriptor(), 0);
+  EXPECT_EQ(id0, 0);
+  EXPECT_EQ(id1, 1);
+  EXPECT_EQ(map.size(), 2u);
+  EXPECT_FALSE(map.empty());
+}
+
+TEST(Map, DescriptorsAlignedWithPoints) {
+  Map map;
+  eslam::testing::rng(2);
+  std::vector<Descriptor256> expected;
+  for (int i = 0; i < 10; ++i) {
+    const Descriptor256 d = eslam::testing::random_descriptor();
+    expected.push_back(d);
+    map.add_point(Vec3{double(i), 0, 0}, d, 0);
+  }
+  const auto descs = map.descriptors();
+  ASSERT_EQ(descs.size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(descs[i], expected[i]);
+    EXPECT_EQ(map.point(i).position[0], double(i));
+  }
+}
+
+TEST(Map, DescriptorCacheRefreshesAfterMutation) {
+  Map map;
+  eslam::testing::rng(3);
+  map.add_point(Vec3{}, eslam::testing::random_descriptor(), 0);
+  EXPECT_EQ(map.descriptors().size(), 1u);
+  map.add_point(Vec3{}, eslam::testing::random_descriptor(), 0);
+  EXPECT_EQ(map.descriptors().size(), 2u);  // cache rebuilt
+}
+
+TEST(Map, NoteMatchUpdatesRecency) {
+  Map map;
+  eslam::testing::rng(4);
+  map.add_point(Vec3{}, eslam::testing::random_descriptor(), 0);
+  map.note_match(0, 7);
+  EXPECT_EQ(map.point(0).last_matched_frame, 7);
+  EXPECT_EQ(map.point(0).match_count, 1);
+}
+
+TEST(Map, PruneRemovesOnlyStalePoints) {
+  Map map;
+  eslam::testing::rng(5);
+  map.add_point(Vec3{1, 0, 0}, eslam::testing::random_descriptor(), 0);
+  map.add_point(Vec3{2, 0, 0}, eslam::testing::random_descriptor(), 0);
+  map.note_match(1, 50);  // keep the second fresh
+  const std::size_t removed = map.prune(/*current_frame=*/60, /*max_age=*/20);
+  EXPECT_EQ(removed, 1u);
+  ASSERT_EQ(map.size(), 1u);
+  EXPECT_EQ(map.point(0).position[0], 2.0);
+  EXPECT_EQ(map.descriptors().size(), 1u);
+}
+
+TEST(Map, PruneKeepsEverythingWhenFresh) {
+  Map map;
+  eslam::testing::rng(6);
+  for (int i = 0; i < 5; ++i)
+    map.add_point(Vec3{}, eslam::testing::random_descriptor(), 10);
+  EXPECT_EQ(map.prune(15, 20), 0u);
+  EXPECT_EQ(map.size(), 5u);
+}
+
+}  // namespace
+}  // namespace eslam

@@ -1,0 +1,185 @@
+#include "slam/p3p.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "slam/ransac.h"
+
+namespace eslam {
+namespace {
+
+TEST(Quartic, KnownRoots) {
+  // (x-1)(x-2)(x-3)(x-4) = x^4 -10x^3 +35x^2 -50x +24
+  const auto roots = solve_quartic(1, -10, 35, -50, 24);
+  ASSERT_EQ(roots.size(), 4u);
+  EXPECT_NEAR(roots[0], 1.0, 1e-7);
+  EXPECT_NEAR(roots[1], 2.0, 1e-7);
+  EXPECT_NEAR(roots[2], 3.0, 1e-7);
+  EXPECT_NEAR(roots[3], 4.0, 1e-7);
+}
+
+TEST(Quartic, NoRealRoots) {
+  // x^4 + 1 has no real roots.
+  EXPECT_TRUE(solve_quartic(1, 0, 0, 0, 1).empty());
+}
+
+TEST(Quartic, DoubleRoot) {
+  // (x-2)^2 (x^2+1) = x^4 -4x^3 +5x^2 -4x +4
+  const auto roots = solve_quartic(1, -4, 5, -4, 4);
+  ASSERT_GE(roots.size(), 1u);
+  EXPECT_NEAR(roots[0], 2.0, 1e-5);
+}
+
+TEST(Quartic, DegeneratesToCubic) {
+  // 0*x^4 + (x-1)(x-2)(x-3)
+  const auto roots = solve_quartic(0, 1, -6, 11, -6);
+  ASSERT_EQ(roots.size(), 3u);
+}
+
+class QuarticProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuarticProperty, RandomFactoredQuarticsRecoverRoots) {
+  eslam::testing::rng(static_cast<std::uint32_t>(1000 + GetParam()));
+  for (int trial = 0; trial < 20; ++trial) {
+    double r[4];
+    for (double& x : r) x = eslam::testing::uniform(-5, 5);
+    std::sort(r, r + 4);
+    // Skip near-coincident roots (multiplicity handling is tested above).
+    if (r[1] - r[0] < 0.1 || r[2] - r[1] < 0.1 || r[3] - r[2] < 0.1) continue;
+    // Expand (x-r0)(x-r1)(x-r2)(x-r3).
+    const double e1 = r[0] + r[1] + r[2] + r[3];
+    const double e2 = r[0] * r[1] + r[0] * r[2] + r[0] * r[3] + r[1] * r[2] +
+                      r[1] * r[3] + r[2] * r[3];
+    const double e3 = r[0] * r[1] * r[2] + r[0] * r[1] * r[3] +
+                      r[0] * r[2] * r[3] + r[1] * r[2] * r[3];
+    const double e4 = r[0] * r[1] * r[2] * r[3];
+    const auto roots = solve_quartic(1, -e1, e2, -e3, e4);
+    ASSERT_EQ(roots.size(), 4u);
+    for (int i = 0; i < 4; ++i) EXPECT_NEAR(roots[static_cast<std::size_t>(i)], r[i], 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuarticProperty, ::testing::Range(0, 6));
+
+// ---------------------------------------------------------------------------
+
+std::array<Vec3, 3> camera_triangle() {
+  return {Vec3{0.4, -0.2, 2.0}, Vec3{-0.5, 0.3, 3.0}, Vec3{0.1, 0.5, 2.5}};
+}
+
+TEST(P3p, RecoversKnownPoseAmongCandidates) {
+  eslam::testing::rng(1100);
+  for (int trial = 0; trial < 30; ++trial) {
+    const SE3 truth = eslam::testing::random_pose(0.8, 1.0);
+    const SE3 truth_wc = truth.inverse();
+    std::array<Vec3, 3> world;
+    std::array<Vec3, 3> rays;
+    const auto cam_pts = camera_triangle();
+    for (int i = 0; i < 3; ++i) {
+      world[static_cast<std::size_t>(i)] =
+          truth_wc * cam_pts[static_cast<std::size_t>(i)];
+      rays[static_cast<std::size_t>(i)] =
+          cam_pts[static_cast<std::size_t>(i)].normalized();
+    }
+    const auto candidates = solve_p3p(world, rays);
+    ASSERT_FALSE(candidates.empty()) << "trial " << trial;
+    double best = 1e9;
+    for (const SE3& c : candidates)
+      best = std::min(best,
+                      (c.translation() - truth.translation()).max_abs() +
+                          (c.rotation() - truth.rotation()).max_abs());
+    EXPECT_LT(best, 1e-5) << "trial " << trial;
+  }
+}
+
+TEST(P3p, FourPointCheckDisambiguates) {
+  eslam::testing::rng(1101);
+  const PinholeCamera cam = PinholeCamera::tum_freiburg1();
+  for (int trial = 0; trial < 30; ++trial) {
+    const SE3 truth = eslam::testing::random_pose(0.6, 0.8);
+    const SE3 truth_wc = truth.inverse();
+    std::array<Vec3, 4> world;
+    std::array<Vec2, 4> pixels;
+    int filled = 0;
+    while (filled < 4) {
+      const Vec3 p_cam{eslam::testing::uniform(-1.2, 1.2),
+                       eslam::testing::uniform(-0.9, 0.9),
+                       eslam::testing::uniform(1.5, 5.0)};
+      const auto px = cam.project(p_cam);
+      if (!px || !cam.in_image(*px, 10)) continue;
+      world[static_cast<std::size_t>(filled)] = truth_wc * p_cam;
+      pixels[static_cast<std::size_t>(filled)] = *px;
+      ++filled;
+    }
+    const auto pose = solve_p3p_with_check(world, pixels, cam);
+    ASSERT_TRUE(pose.has_value()) << "trial " << trial;
+    EXPECT_NEAR((pose->translation() - truth.translation()).max_abs(), 0.0,
+                1e-4);
+    EXPECT_NEAR((pose->rotation() - truth.rotation()).max_abs(), 0.0, 1e-4);
+  }
+}
+
+TEST(P3p, DegenerateCollinearPointsYieldNothingUseful) {
+  // Collinear world points: pose is not uniquely determined; the solver
+  // must not crash and any returned candidate must reproject the 3 points
+  // correctly (the ambiguity is rotational about the line).
+  const std::array<Vec3, 3> world = {Vec3{0, 0, 2}, Vec3{0.5, 0, 2},
+                                     Vec3{1.0, 0, 2}};
+  std::array<Vec3, 3> rays;
+  for (int i = 0; i < 3; ++i)
+    rays[static_cast<std::size_t>(i)] =
+        world[static_cast<std::size_t>(i)].normalized();
+  const auto candidates = solve_p3p(world, rays);
+  for (const SE3& c : candidates) {
+    for (int i = 0; i < 3; ++i) {
+      const Vec3 p = c * world[static_cast<std::size_t>(i)];
+      const Vec3 dir = p.normalized();
+      EXPECT_NEAR((dir - rays[static_cast<std::size_t>(i)]).max_abs(), 0.0,
+                  1e-4);
+    }
+  }
+}
+
+TEST(P3p, CoincidentPointsRejected) {
+  const std::array<Vec3, 3> world = {Vec3{1, 1, 1}, Vec3{1, 1, 1},
+                                     Vec3{2, 0, 1}};
+  const std::array<Vec3, 3> rays = {Vec3{0, 0, 1}, Vec3{0, 0, 1},
+                                    Vec3{0.1, 0, 1}.normalized()};
+  EXPECT_TRUE(solve_p3p(world, rays).empty());
+}
+
+TEST(RansacP3p, PriorFreeRecoveryFromGarbagePrior) {
+  // With use_p3p, RANSAC must recover a pose far from the prior — the
+  // relocalization scenario.
+  eslam::testing::rng(1102);
+  const PinholeCamera cam = PinholeCamera::tum_freiburg1();
+  const SE3 truth{so3_exp(Vec3{0.3, -0.5, 0.2}), Vec3{1.0, -0.8, 0.6}};
+  const SE3 truth_wc = truth.inverse();
+  std::vector<Correspondence> corr;
+  while (corr.size() < 60) {
+    const Vec3 p_cam{eslam::testing::uniform(-1.5, 1.5),
+                     eslam::testing::uniform(-1.0, 1.0),
+                     eslam::testing::uniform(1.0, 6.0)};
+    const auto px = cam.project(p_cam);
+    if (!px || !cam.in_image(*px, 5)) continue;
+    corr.push_back(Correspondence{truth_wc * p_cam, *px});
+  }
+  // 25% outliers.
+  for (int i = 0; i < 15; ++i)
+    corr[static_cast<std::size_t>(i)].pixel =
+        Vec2{eslam::testing::uniform(10, 630),
+             eslam::testing::uniform(10, 470)};
+
+  RansacOptions opts;
+  opts.use_p3p = true;
+  opts.max_iterations = 128;
+  // The prior is pure garbage; prior-seeded GN would stay lost.
+  const RansacResult r = ransac_pnp(corr, cam, SE3{}, opts);
+  ASSERT_TRUE(r.success);
+  EXPECT_GE(r.inliers.size(), 45u);
+  EXPECT_NEAR((r.pose.translation() - truth.translation()).max_abs(), 0.0,
+              0.01);
+}
+
+}  // namespace
+}  // namespace eslam

@@ -1,0 +1,159 @@
+#include "slam/tracker.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "dataset/sequence.h"
+#include "slam/keyframe.h"
+
+namespace eslam {
+namespace {
+
+TEST(KeyframePolicy, FirstFrameIsAlwaysKeyframe) {
+  KeyframePolicy policy;
+  EXPECT_TRUE(policy.should_insert(SE3{}));
+  EXPECT_FALSE(policy.should_insert(SE3{}));  // no motion since
+}
+
+TEST(KeyframePolicy, TranslationTriggers) {
+  KeyframeOptions opts;
+  opts.translation_threshold = 0.1;
+  KeyframePolicy policy(opts);
+  policy.should_insert(SE3{});
+  EXPECT_FALSE(policy.should_insert(SE3{Mat3::identity(), Vec3{0.05, 0, 0}}));
+  EXPECT_TRUE(policy.should_insert(SE3{Mat3::identity(), Vec3{0.15, 0, 0}}));
+  // Reference advanced: small further motion is no longer a key frame.
+  EXPECT_FALSE(policy.should_insert(SE3{Mat3::identity(), Vec3{0.18, 0, 0}}));
+}
+
+TEST(KeyframePolicy, RotationTriggers) {
+  KeyframeOptions opts;
+  opts.rotation_threshold = 0.2;
+  KeyframePolicy policy(opts);
+  policy.should_insert(SE3{});
+  EXPECT_FALSE(policy.should_insert(SE3{so3_exp(Vec3{0, 0.1, 0}), Vec3{}}));
+  EXPECT_TRUE(policy.should_insert(SE3{so3_exp(Vec3{0, 0.25, 0}), Vec3{}}));
+}
+
+TEST(KeyframePolicy, ResetRestoresBootstrap) {
+  KeyframePolicy policy;
+  policy.should_insert(SE3{});
+  policy.reset();
+  EXPECT_TRUE(policy.should_insert(SE3{}));
+}
+
+class TrackerFixture : public ::testing::Test {
+ protected:
+  static std::unique_ptr<Tracker> make_tracker(const PinholeCamera& cam) {
+    OrbConfig orb;
+    orb.n_features = 600;
+    return std::make_unique<Tracker>(
+        cam, std::make_unique<SoftwareBackend>(orb), TrackerOptions{});
+  }
+};
+
+TEST_F(TrackerFixture, BootstrapCreatesMapAndKeyframe) {
+  SequenceOptions opts;
+  opts.frames = 2;
+  const SyntheticSequence seq(SequenceId::kFr1Xyz, opts);
+  auto tracker = make_tracker(seq.camera());
+  const TrackResult r = tracker->process(seq.frame(0));
+  EXPECT_TRUE(r.keyframe);
+  EXPECT_FALSE(r.lost);
+  EXPECT_GT(tracker->map().size(), 100u);
+  EXPECT_EQ(tracker->frame_index(), 1);
+}
+
+TEST_F(TrackerFixture, RecoversInterFrameMotion) {
+  SequenceOptions opts;
+  opts.frames = 6;
+  const SyntheticSequence seq(SequenceId::kFr1Xyz, opts);
+  auto tracker = make_tracker(seq.camera());
+  for (int i = 0; i < 4; ++i) {
+    const TrackResult r = tracker->process(seq.frame(i));
+    ASSERT_FALSE(r.lost) << "frame " << i;
+    if (i == 0) continue;
+    // Compare relative motion against ground truth (estimates live in the
+    // first-camera frame; GT in the world frame — relative motion matches).
+    const SE3 est_rel = r.pose_wc;  // frame0 is identity
+    const SE3 gt_rel = seq.ground_truth(0).inverse() * seq.ground_truth(i);
+    EXPECT_NEAR(
+        (est_rel.translation() - gt_rel.translation()).max_abs(), 0.0, 0.03)
+        << "frame " << i;
+    EXPECT_NEAR((est_rel.rotation() - gt_rel.rotation()).max_abs(), 0.0, 0.03)
+        << "frame " << i;
+  }
+}
+
+TEST_F(TrackerFixture, StageTimesArePopulated) {
+  SequenceOptions opts;
+  opts.frames = 3;
+  const SyntheticSequence seq(SequenceId::kFr1Desk, opts);
+  auto tracker = make_tracker(seq.camera());
+  tracker->process(seq.frame(0));
+  const TrackResult r = tracker->process(seq.frame(1));
+  EXPECT_GT(r.times.feature_extraction, 0.0);
+  EXPECT_GT(r.times.feature_matching, 0.0);
+  EXPECT_GT(r.times.pose_estimation, 0.0);
+  EXPECT_GT(r.times.pose_optimization, 0.0);
+  EXPECT_GT(r.times.total(), 0.0);
+}
+
+TEST_F(TrackerFixture, LostOnUntrackableInput) {
+  SequenceOptions opts;
+  opts.frames = 2;
+  const SyntheticSequence seq(SequenceId::kFr1Xyz, opts);
+  auto tracker = make_tracker(seq.camera());
+  tracker->process(seq.frame(0));
+  // A flat frame has no features at all: tracking must flag lost and keep
+  // the previous pose rather than crash or jump.
+  FrameInput flat;
+  flat.gray = ImageU8(640, 480, 128);
+  flat.depth = ImageU16(640, 480, 5000);
+  const TrackResult r = tracker->process(flat);
+  EXPECT_TRUE(r.lost);
+  EXPECT_NEAR((r.pose_wc.translation() - Vec3{}).max_abs(), 0.0, 1e-12);
+}
+
+TEST_F(TrackerFixture, ZeroDepthPixelsAreSkippedDuringBootstrap) {
+  SequenceOptions opts;
+  opts.frames = 2;
+  const SyntheticSequence seq(SequenceId::kFr1Xyz, opts);
+  auto tracker = make_tracker(seq.camera());
+  FrameInput frame = seq.frame(0);
+  frame.depth.fill(0);  // depth sensor total failure
+  const TrackResult r = tracker->process(frame);
+  EXPECT_TRUE(r.lost);  // no map points could be created
+  EXPECT_EQ(tracker->map().size(), 0u);
+}
+
+TEST_F(TrackerFixture, RelocalizesAfterViewpointJump) {
+  // Skipping ahead several frames breaks the motion prior completely; the
+  // prior-free P3P relocalization must still recover the pose.
+  SequenceOptions opts;
+  opts.frames = 30;
+  const SyntheticSequence seq(SequenceId::kFr1Desk, opts);
+  auto tracker = make_tracker(seq.camera());
+  tracker->process(seq.frame(0));
+  const TrackResult r = tracker->process(seq.frame(3));  // teleport
+  EXPECT_FALSE(r.lost);
+  const SE3 gt4 = seq.ground_truth(0).inverse() * seq.ground_truth(3);
+  // The relocalized pose is coarse (the matches are viewpoint-degraded) —
+  // without the P3P stage and prior-retry this jump tracks much worse or
+  // is lost outright.  Continued tracking is exercised by the fig9 bench.
+  EXPECT_NEAR((r.pose_wc.translation() - gt4.translation()).max_abs(), 0.0,
+              0.1);
+}
+
+TEST_F(TrackerFixture, TrajectoryAccumulates) {
+  SequenceOptions opts;
+  opts.frames = 4;
+  const SyntheticSequence seq(SequenceId::kFr2Xyz, opts);
+  auto tracker = make_tracker(seq.camera());
+  for (int i = 0; i < 4; ++i) tracker->process(seq.frame(i));
+  EXPECT_EQ(tracker->trajectory().size(), 4u);
+  EXPECT_EQ(tracker->trajectory()[2].timestamp, seq.timestamp(2));
+}
+
+}  // namespace
+}  // namespace eslam

@@ -1,0 +1,77 @@
+// Shared helpers for the test suite: deterministic random geometry,
+// synthetic test images, descriptor generators.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "features/descriptor.h"
+#include "geometry/se3.h"
+#include "image/image.h"
+
+namespace eslam::testing {
+
+inline std::mt19937& rng(std::uint32_t seed = 0) {
+  static thread_local std::mt19937 gen(12345);
+  if (seed != 0) gen.seed(seed);
+  return gen;
+}
+
+inline double uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> d(lo, hi);
+  return d(rng());
+}
+
+inline Vec3 random_unit_vector() {
+  while (true) {
+    const Vec3 v{uniform(-1, 1), uniform(-1, 1), uniform(-1, 1)};
+    const double n = v.norm();
+    if (n > 1e-3 && n <= 1.0) return v / n;
+  }
+}
+
+inline Mat3 random_rotation(double max_angle = M_PI * 0.9) {
+  return so3_exp(uniform(0.0, max_angle) * random_unit_vector());
+}
+
+inline SE3 random_pose(double max_angle = M_PI * 0.9,
+                       double max_translation = 2.0) {
+  return SE3{random_rotation(max_angle),
+             Vec3{uniform(-max_translation, max_translation),
+                  uniform(-max_translation, max_translation),
+                  uniform(-max_translation, max_translation)}};
+}
+
+inline Descriptor256 random_descriptor() {
+  Descriptor256 d;
+  std::uniform_int_distribution<std::uint64_t> dist;
+  for (auto& w : d.words()) w = dist(rng());
+  return d;
+}
+
+// A noise image with enough structure for FAST/Harris (hash-based, fully
+// deterministic).
+inline ImageU8 structured_test_image(int w, int h, std::uint32_t seed = 7) {
+  ImageU8 img(w, h);
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x) {
+      std::uint32_t v = seed;
+      v ^= static_cast<std::uint32_t>(x / 6) * 0x9e3779b9u;
+      v ^= static_cast<std::uint32_t>(y / 6) * 0x85ebca6bu;
+      v ^= v >> 13;
+      v *= 0xc2b2ae35u;
+      v ^= v >> 16;
+      img.at(x, y) = static_cast<std::uint8_t>(40 + (v % 176));
+    }
+  return img;
+}
+
+// A single bright square corner on dark background centred at (cx, cy).
+inline ImageU8 corner_image(int w, int h, int cx, int cy) {
+  ImageU8 img(w, h, 30);
+  for (int y = cy; y < h; ++y)
+    for (int x = cx; x < w; ++x) img.at(x, y) = 220;
+  return img;
+}
+
+}  // namespace eslam::testing
