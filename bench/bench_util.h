@@ -2,6 +2,7 @@
 // tables and figures.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -28,6 +29,40 @@ inline void run_system(System& slam, const std::vector<FrameInput>& frames) {
 
 inline std::string ms(double v, int decimals = 1) {
   return Table::fmt(v, decimals) + " ms";
+}
+
+// One lane of an ASCII Gantt chart (Figure-7 style): segments are scaled
+// from [t0, t1] onto `width` cells, drawn as '#' runs with a (up to
+// two-character) stage label over the first cells.  Shared by the
+// analytic fig7 drawing and the measured pipeline-throughput drawing so
+// the clamping/label rules stay identical.
+struct GanttSegment {
+  const char* label;  // stage name, 1-2 chars used
+  double start_ms = 0;
+  double end_ms = 0;
+};
+
+inline void draw_gantt_lane(const char* unit,
+                            const std::vector<GanttSegment>& segments,
+                            double t0, double t1, int width = 64) {
+  std::string lane(static_cast<std::size_t>(width), '.');
+  std::string labels(static_cast<std::size_t>(width), ' ');
+  const double span = t1 - t0;
+  for (const GanttSegment& s : segments) {
+    const int a =
+        static_cast<int>((s.start_ms - t0) / span * (width - 1));
+    const int b = std::max(
+        a + 1, static_cast<int>((s.end_ms - t0) / span * (width - 1)));
+    for (int i = a; i < b && i < width; ++i)
+      lane[static_cast<std::size_t>(i)] = '#';
+    // Guard each label character independently: the first only needs its
+    // own cell, and the second is only read for stage names that have one.
+    if (a < width) labels[static_cast<std::size_t>(a)] = s.label[0];
+    if (s.label[1] != '\0' && a + 1 < width)
+      labels[static_cast<std::size_t>(a + 1)] = s.label[1];
+  }
+  std::printf("  %-4s |%s|\n       |%s|\n", unit, labels.c_str(),
+              lane.c_str());
 }
 
 inline void print_header(const char* title, const char* paper_ref) {

@@ -14,22 +14,11 @@ void draw_timeline(const std::vector<TimelineSegment>& segments,
                    double total_ms) {
   constexpr int kWidth = 64;
   for (const char* unit : {"ARM", "FPGA"}) {
-    std::string lane(kWidth, '.');
-    std::string labels(kWidth, ' ');
-    for (const TimelineSegment& s : segments) {
-      if (std::string(s.unit) != unit) continue;
-      const int a = static_cast<int>(s.start_ms / total_ms * (kWidth - 1));
-      const int b = std::max(
-          a + 1, static_cast<int>(s.end_ms / total_ms * (kWidth - 1)));
-      for (int i = a; i < b && i < kWidth; ++i) lane[static_cast<std::size_t>(i)] = '#';
-      if (a + 1 < kWidth) {
-        labels[static_cast<std::size_t>(a)] = s.stage[0];
-        if (s.stage[1] && a + 1 < kWidth)
-          labels[static_cast<std::size_t>(a + 1)] = s.stage[1];
-      }
-    }
-    std::printf("  %-4s |%s|\n       |%s|\n", unit, labels.c_str(),
-                lane.c_str());
+    std::vector<bench::GanttSegment> lane;
+    for (const TimelineSegment& s : segments)
+      if (std::string(s.unit) == unit)
+        lane.push_back({s.stage, s.start_ms, s.end_ms});
+    bench::draw_gantt_lane(unit, lane, 0.0, total_ms, kWidth);
   }
   std::printf("       0%*s%.1f ms\n", kWidth - 6, "", total_ms);
 }

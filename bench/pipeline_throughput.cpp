@@ -1,0 +1,361 @@
+// Measured counterpart of Figure 7 / Table 3: runs the same synthetic
+// sequence through the sequential schedule and through the concurrent
+// pipeline runtime (runtime/PipelineExecutor), and prints measured
+// per-frame latency/throughput side-by-side with the analytic
+// pipeline_timeline model fed with the measured stage durations.
+//
+// The accelerator is emulated as an asynchronous *device*: feature
+// extraction is computed functionally once per frame outside the timed
+// region (bit-exact software ORB), and the backend replays it with the
+// modeled device latency as a sleep — releasing the host CPU exactly as
+// a real FPGA would, so the overlap is measurable even on a single-core
+// runner.  Feature matching runs live on the host (it reads the evolving
+// map).  Both execution modes use identical backends, so their poses are
+// bit-identical and the only variable is the schedule.
+//
+// Exits non-zero unless the measured schedule reproduces the paper's
+// shapes: on normal frames the FPGA-lane work of frame N+1 overlaps the
+// ARM-lane work of frame N and the pipelined per-frame latency is
+// strictly below the sequential sum of stages; on key frames feature
+// matching of frame N+1 starts only after map updating of frame N.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "runtime/pipeline_executor.h"
+
+namespace {
+
+using namespace eslam;
+
+// Modeled device latency for feature extraction.  The paper's fabric
+// extracts in 9.1 ms against 17.9 ms of ARM-side PE+PO (Table 2); the
+// bench pins pose estimation to ~2x the device time (fixed-iteration
+// RANSAC below) so the schedule has the same ARM-bound normal-frame
+// proportions as Figure 7 regardless of host speed.
+constexpr double kDeviceFeMs = 25.0;
+// Floor for feature matching: the device would answer in ~4 ms (paper),
+// but the functional match must run on the host, so the host compute
+// time applies whenever it is larger.
+constexpr double kDeviceFmFloorMs = 4.0;
+
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+void sleep_until_elapsed(const WallTimer& timer, double target_ms) {
+  const double remaining = target_ms - timer.elapsed_ms();
+  if (remaining > 0)
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(remaining));
+}
+
+// Asynchronous-device emulation of the eSLAM fabric (see file comment).
+class DeviceEmulationBackend final : public FeatureBackend {
+ public:
+  DeviceEmulationBackend(std::vector<FeatureList> precomputed,
+                         const MatcherOptions& matcher)
+      : precomputed_(std::move(precomputed)), matcher_(matcher) {}
+
+  FeatureList extract(const ImageU8&) override {
+    const WallTimer timer;
+    FeatureList features = precomputed_[next_frame_++ % precomputed_.size()];
+    sleep_until_elapsed(timer, kDeviceFeMs);
+    extract_ms_.store(timer.elapsed_ms());
+    return features;
+  }
+
+  std::vector<Match> match(std::span<const Descriptor256> queries,
+                           std::span<const Descriptor256> train) override {
+    const WallTimer timer;
+    std::vector<Match> matches = match_descriptors(queries, train, matcher_);
+    sleep_until_elapsed(timer, kDeviceFmFloorMs);
+    match_ms_.store(timer.elapsed_ms());
+    return matches;
+  }
+
+  double last_extract_time_ms() const override { return extract_ms_.load(); }
+  double last_match_time_ms() const override { return match_ms_.load(); }
+  const char* name() const override { return "device-emu"; }
+
+ private:
+  std::vector<FeatureList> precomputed_;
+  MatcherOptions matcher_;
+  std::size_t next_frame_ = 0;
+  std::atomic<double> extract_ms_{0.0};
+  std::atomic<double> match_ms_{0.0};
+};
+
+TrackerOptions bench_tracker_options() {
+  TrackerOptions opts;
+  // Fixed-iteration RANSAC: pose estimation becomes a stable ~2x the
+  // modeled device FE time, putting the schedule in the paper's
+  // ARM-bound normal-frame regime (PE+PO > FE+FM).
+  opts.ransac.max_iterations = 2000;
+  opts.ransac.min_iterations = 2000;
+  opts.ransac.early_exit_ratio = 1.1;
+  return opts;
+}
+
+int failures = 0;
+
+void check(bool ok, const char* what) {
+  std::printf("  [%s] %s\n", ok ? "ok" : "FAIL", what);
+  if (!ok) ++failures;
+}
+
+struct FrameEvents {
+  const StageEvent* fe = nullptr;
+  const StageEvent* fm = nullptr;  // authoritative (last non-speculative)
+  const StageEvent* pe = nullptr;
+  const StageEvent* po = nullptr;
+  const StageEvent* mu = nullptr;
+};
+
+std::map<int, FrameEvents> index_events(const std::vector<StageEvent>& events) {
+  std::map<int, FrameEvents> by_frame;
+  for (const StageEvent& e : events) {
+    if (e.speculative) continue;
+    FrameEvents& f = by_frame[e.frame];
+    switch (e.stage) {
+      case PipeStage::kFeatureExtraction: f.fe = &e; break;
+      case PipeStage::kFeatureMatching: f.fm = &e; break;
+      case PipeStage::kPoseEstimation: f.pe = &e; break;
+      case PipeStage::kPoseOptimization: f.po = &e; break;
+      case PipeStage::kMapUpdating: f.mu = &e; break;
+    }
+  }
+  return by_frame;
+}
+
+// ASCII Gantt of one measured frame pair (ARM of frame N, FPGA of N+1),
+// time-shifted to the window start — the measured analogue of the
+// bench_fig7_pipeline drawing.
+void draw_measured(const FrameEvents& n, const FrameEvents& next) {
+  const double t0 = std::min(n.pe->start_ms, next.fe->start_ms);
+  const double t1 = std::max(n.mu->end_ms, next.fm->end_ms);
+  constexpr int kWidth = 64;
+  auto lane = [](std::vector<std::pair<const char*, const StageEvent*>> segs) {
+    std::vector<bench::GanttSegment> out;
+    for (const auto& [stage, e] : segs)
+      out.push_back({stage, e->start_ms, e->end_ms});
+    return out;
+  };
+  bench::draw_gantt_lane(
+      "ARM", lane({{"PE", n.pe}, {"PO", n.po}, {"MU", n.mu}}), t0, t1,
+      kWidth);
+  bench::draw_gantt_lane("FPGA", lane({{"FE", next.fe}, {"FM", next.fm}}),
+                         t0, t1, kWidth);
+  std::printf("       0%*s%.1f ms\n", kWidth - 6, "", t1 - t0);
+}
+
+}  // namespace
+
+int main() {
+  using namespace eslam;
+  bench::print_header(
+      "Pipeline throughput: sequential vs concurrent Figure-7 runtime",
+      "Figure 7 / Table 3");
+
+  // fr1/xyz: several key frames at the default thresholds, but the jiggle
+  // revisits the same view, so the map — and with it the host-side FM
+  // compute — stays bounded across the run.
+  SequenceOptions opts;
+  opts.frames = 36;
+  const SyntheticSequence seq(SequenceId::kFr1Xyz, opts);
+  const std::vector<FrameInput> frames = bench::render_all(seq);
+
+  // Functional FE, computed once outside the timed region (the device
+  // replays it with modeled latency; both modes share it bit-exactly).
+  const TrackerOptions topts = bench_tracker_options();
+  std::vector<FeatureList> precomputed;
+  {
+    OrbExtractor extractor{OrbConfig{}};
+    precomputed.reserve(frames.size());
+    for (const FrameInput& f : frames)
+      precomputed.push_back(extractor.extract(f.gray));
+  }
+  auto make_tracker = [&] {
+    return std::make_unique<Tracker>(
+        seq.camera(),
+        std::make_unique<DeviceEmulationBackend>(precomputed, topts.matcher),
+        topts);
+  };
+
+  // --- sequential reference ----------------------------------------------
+  auto sequential = make_tracker();
+  const WallTimer seq_timer;
+  for (const FrameInput& f : frames) sequential->process(f);
+  const double seq_wall_ms = seq_timer.elapsed_ms();
+
+  StageDurations normal_mean{}, key_mean{};
+  int n_normal = 0, n_key = 0;
+  double seq_normal_sum_ms = 0;
+  for (const TrackResult& r : sequential->trajectory()) {
+    auto add = [&](StageDurations& acc) {
+      acc.feature_extraction += r.times.feature_extraction;
+      acc.feature_matching += r.times.feature_matching;
+      acc.pose_estimation += r.times.pose_estimation;
+      acc.pose_optimization += r.times.pose_optimization;
+      acc.map_updating += r.times.map_updating;
+    };
+    if (r.keyframe) {
+      add(key_mean);
+      ++n_key;
+    } else {
+      add(normal_mean);
+      seq_normal_sum_ms += r.times.total();
+      ++n_normal;
+    }
+  }
+  auto scale = [](StageDurations& d, int n) {
+    if (n == 0) return;
+    d.feature_extraction /= n;
+    d.feature_matching /= n;
+    d.pose_estimation /= n;
+    d.pose_optimization /= n;
+    d.map_updating /= n;
+  };
+  scale(normal_mean, n_normal);
+  scale(key_mean, n_key);
+
+  // --- pipelined run ------------------------------------------------------
+  auto pipelined = make_tracker();
+  PipelineExecutor executor(*pipelined, PipelineOptions{});
+  const WallTimer pipe_timer;
+  for (const FrameInput& f : frames) executor.feed(f);
+  const std::vector<TrackResult> results = executor.drain();
+  const double pipe_wall_ms = pipe_timer.elapsed_ms();
+
+  const std::vector<StageEvent> events = executor.stage_events();
+  const std::map<int, FrameEvents> by_frame = index_events(events);
+  const PipelineStats stats = executor.stats();
+
+  // Steady-state per-frame latency: retire-to-retire interval, attributed
+  // to the frame that retires.  Skip the two warmup frames.
+  double pipe_normal_period_ms = 0, pipe_key_period_ms = 0;
+  int p_normal = 0, p_key = 0;
+  int overlapped = 0, overlap_candidates = 0;
+  bool key_barrier_ok = true;
+  for (int n = 2; n < opts.frames; ++n) {
+    const FrameEvents& cur = by_frame.at(n);
+    const FrameEvents& prev = by_frame.at(n - 1);
+    const double period = cur.mu->end_ms - prev.mu->end_ms;
+    if (results[static_cast<std::size_t>(n)].keyframe) {
+      pipe_key_period_ms += period;
+      ++p_key;
+    } else {
+      pipe_normal_period_ms += period;
+      ++p_normal;
+    }
+    // Overlap shape: FPGA work of frame n (FE..FM) vs ARM work of n-1.
+    if (!results[static_cast<std::size_t>(n - 1)].keyframe) {
+      ++overlap_candidates;
+      if (cur.fe->start_ms < prev.mu->end_ms &&
+          cur.fm->end_ms > prev.pe->start_ms)
+        ++overlapped;
+    }
+    // Key-frame shape: FM of n must wait for MU of key frame n-1.
+    if (results[static_cast<std::size_t>(n - 1)].keyframe &&
+        cur.fm->start_ms + 1e-6 < prev.mu->end_ms)
+      key_barrier_ok = false;
+  }
+  if (p_normal > 0) pipe_normal_period_ms /= p_normal;
+  if (p_key > 0) pipe_key_period_ms /= p_key;
+  const double seq_normal_mean_ms =
+      n_normal > 0 ? seq_normal_sum_ms / n_normal : 0.0;
+
+  // --- report -------------------------------------------------------------
+  std::printf("sequence %s, %d frames (%d normal / %d key), backend %s\n",
+              seq.name().c_str(), opts.frames, n_normal, n_key,
+              sequential->backend().name());
+  std::printf("device model: FE latency %.1f ms (host-free), FM floor %.1f "
+              "ms (host compute when larger)\n\n",
+              kDeviceFeMs, kDeviceFmFloorMs);
+  std::printf("measured stage means, normal frames: FE=%.1f FM=%.1f PE=%.1f "
+              "PO=%.1f ms\n",
+              normal_mean.feature_extraction, normal_mean.feature_matching,
+              normal_mean.pose_estimation, normal_mean.pose_optimization);
+  std::printf("measured stage means, key frames:    FE=%.1f FM=%.1f PE=%.1f "
+              "PO=%.1f MU=%.1f ms\n\n",
+              key_mean.feature_extraction, key_mean.feature_matching,
+              key_mean.pose_estimation, key_mean.pose_optimization,
+              key_mean.map_updating);
+
+  std::printf("%-36s %12s %12s\n", "per-frame latency", "normal", "key");
+  std::printf("%-36s %9.1f ms %9.1f ms\n",
+              "sequential (measured sum)", seq_normal_mean_ms,
+              software_key_frame_ms(key_mean));
+  std::printf("%-36s %9.1f ms %9.1f ms\n",
+              "pipelined (analytic, Fig-7 model)",
+              eslam_normal_frame_ms(normal_mean),
+              eslam_key_frame_ms(key_mean));
+  std::printf("%-36s %9.1f ms %9.1f ms\n\n",
+              "pipelined (measured period)", pipe_normal_period_ms,
+              pipe_key_period_ms);
+
+  std::printf("wall clock: sequential %.0f ms, pipelined %.0f ms "
+              "(%.2fx throughput)\n",
+              seq_wall_ms, pipe_wall_ms, seq_wall_ms / pipe_wall_ms);
+  std::printf("lane occupancy: FPGA %.0f ms, ARM %.0f ms over %.0f ms wall; "
+              "max in-flight %d, speculative FM %d (replayed %d)\n\n",
+              stats.fpga_busy_ms, stats.arm_busy_ms, stats.wall_ms,
+              stats.max_in_flight, stats.speculative_matches,
+              stats.replayed_matches);
+
+  // A sample normal-frame window, measured (compare bench_fig7_pipeline's
+  // analytic drawing of the same schedule).
+  for (int n = 2; n < opts.frames; ++n) {
+    if (results[static_cast<std::size_t>(n - 1)].keyframe ||
+        results[static_cast<std::size_t>(n)].keyframe)
+      continue;
+    std::printf("measured normal-frame window (ARM frame %d / FPGA frame "
+                "%d):\n",
+                n - 1, n);
+    draw_measured(by_frame.at(n - 1), by_frame.at(n));
+    std::printf("\n");
+    break;
+  }
+
+  // --- shape checks --------------------------------------------------------
+  std::printf("checks:\n");
+  check(results.size() == sequential->trajectory().size(),
+        "streaming delivered every frame");
+  bool poses_equal = true;
+  for (std::size_t i = 0; i < results.size(); ++i)
+    if ((results[i].pose_wc.translation() -
+         sequential->trajectory()[i].pose_wc.translation()).max_abs() != 0.0 ||
+        (results[i].pose_wc.rotation() -
+         sequential->trajectory()[i].pose_wc.rotation()).max_abs() != 0.0)
+      poses_equal = false;
+  check(poses_equal, "streaming poses bit-identical to sequential");
+  check(n_key > 1, "sequence produced key frames beyond bootstrap");
+  check(p_normal > 0 && pipe_normal_period_ms < seq_normal_mean_ms,
+        "pipelined normal-frame latency < sequential sum of stages");
+  check(pipe_wall_ms < seq_wall_ms,
+        "pipelined wall clock < sequential wall clock");
+  check(overlap_candidates > 0 && overlapped * 10 >= overlap_candidates * 8,
+        "FPGA(N+1) overlaps ARM(N) on >=80% of normal frames (Fig-7 "
+        "normal shape)");
+  check(key_barrier_ok,
+        "FM(N+1) never precedes MU(N) on key frames (Fig-7 key shape)");
+
+  if (failures == 0)
+    std::printf("\nmeasured schedule reproduces the Figure-7 shapes.\n");
+  else
+    std::printf("\n%d shape check(s) failed.\n", failures);
+  return failures == 0 ? 0 : 1;
+}

@@ -8,7 +8,9 @@ AcceleratedBackend::AcceleratedBackend(const HwExtractorConfig& extractor,
     : extractor_(extractor), matcher_(matcher), accept_(accept) {}
 
 FeatureList AcceleratedBackend::extract(const ImageU8& image) {
-  return extractor_.extract(image);
+  FeatureList features = extractor_.extract(image);
+  extract_ms_.store(extractor_.report().ms());
+  return features;
 }
 
 std::vector<Match> AcceleratedBackend::match(
@@ -26,6 +28,7 @@ std::vector<Match> AcceleratedBackend::match(
       continue;
     accepted.push_back(m);
   }
+  match_ms_.store(matcher_.report().ms());
   return accepted;
 }
 

@@ -2,7 +2,16 @@
 // and BRIEF Matcher into the tracker, so the same SLAM frontend runs in
 // "eSLAM mode".  Reported stage times are simulated FPGA milliseconds
 // (cycles / 100 MHz), not wall clock.
+//
+// Concurrency: extract() and match() must be driven from one thread (the
+// pipeline runtime's FPGA lane), but last_*_time_ms() may be read from any
+// thread — the simulated durations are published into atomic caches when
+// each operation completes, so readers never touch the cycle reports of an
+// operation still in flight.  The full extractor()/matcher() reports are
+// only safe to inspect while the backend is idle.
 #pragma once
+
+#include <atomic>
 
 #include "accel/matcher_hw.h"
 #include "accel/orb_extractor_hw.h"
@@ -20,10 +29,8 @@ class AcceleratedBackend final : public FeatureBackend {
   std::vector<Match> match(std::span<const Descriptor256> queries,
                            std::span<const Descriptor256> train) override;
 
-  double last_extract_time_ms() const override {
-    return extractor_.report().ms();
-  }
-  double last_match_time_ms() const override { return matcher_.report().ms(); }
+  double last_extract_time_ms() const override { return extract_ms_.load(); }
+  double last_match_time_ms() const override { return match_ms_.load(); }
   const char* name() const override { return "eslam-accel"; }
 
   const OrbExtractorHw& extractor() const { return extractor_; }
@@ -33,6 +40,8 @@ class AcceleratedBackend final : public FeatureBackend {
   OrbExtractorHw extractor_;
   BriefMatcherHw matcher_;
   MatcherOptions accept_;
+  std::atomic<double> extract_ms_{0.0};
+  std::atomic<double> match_ms_{0.0};
 };
 
 }  // namespace eslam

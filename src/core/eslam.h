@@ -13,11 +13,14 @@
 // for feature extraction/matching with the same ARM-side tracker.
 #pragma once
 
+#include <deque>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "accel/eslam_accel.h"
 #include "accel/timing_model.h"
+#include "runtime/pipeline_executor.h"
 #include "slam/tracker.h"
 
 namespace eslam {
@@ -25,6 +28,11 @@ namespace eslam {
 enum class Platform {
   kSoftware,     // all five stages in software (baseline)
   kAccelerated,  // FE + FM on the simulated FPGA fabric (eSLAM)
+};
+
+enum class ExecutionMode {
+  kSequential,  // process()/feed() run all five stages inline
+  kPipelined,   // feed() streams frames through the Figure-7 runtime
 };
 
 struct SystemConfig {
@@ -36,6 +44,11 @@ struct SystemConfig {
   HwExtractorConfig hw_extractor; // accelerated extractor settings
   HwMatcherConfig hw_matcher;
   TrackerOptions tracker;
+  // Execution of the five stages: sequential (one frame start-to-finish at
+  // a time) or the concurrent frame-level pipeline of Figure 7.  Both
+  // modes produce bit-identical poses for the same input order.
+  ExecutionMode execution = ExecutionMode::kSequential;
+  PipelineOptions pipeline;       // used when execution == kPipelined
 };
 
 struct SystemStats {
@@ -53,11 +66,29 @@ struct SystemStats {
 class System {
  public:
   System(const PinholeCamera& camera, const SystemConfig& config = {});
+  ~System();
 
-  // Processes one RGB-D frame and returns the tracking result.
+  // Processes one RGB-D frame synchronously and returns the tracking
+  // result.  Only valid in ExecutionMode::kSequential — streaming systems
+  // must use feed()/poll()/drain() exclusively.
   TrackResult process(const FrameInput& frame);
 
+  // --- streaming API ------------------------------------------------------
+  // feed() accepts a frame for processing (blocking on back-pressure in
+  // pipelined mode); poll() returns the next completed result in feed
+  // order, if any; drain() blocks until every fed frame has completed and
+  // returns the not-yet-polled results.  In sequential mode feed()
+  // processes inline, so the same calling code runs in both modes.
+  void feed(FrameInput frame);
+  std::optional<TrackResult> poll();
+  std::vector<TrackResult> drain();
+
+  // The pipeline runtime, for stats / stage events (nullptr when
+  // execution == kSequential).
+  const PipelineExecutor* pipeline() const { return executor_.get(); }
+
   // Estimated camera-in-world poses so far (one per processed frame).
+  // In pipelined mode, only valid when quiescent (after drain()).
   std::vector<SE3> poses() const;
 
   const std::vector<TrackResult>& results() const {
@@ -66,7 +97,7 @@ class System {
   const Map& map() const { return tracker_->map(); }
   const SystemConfig& config() const { return config_; }
 
-  // Aggregated per-stage timing statistics.
+  // Aggregated per-stage timing statistics (quiescent-only, like poses()).
   SystemStats stats() const;
 
   // The underlying backend (e.g. to query accelerator cycle reports).
@@ -75,6 +106,8 @@ class System {
  private:
   SystemConfig config_;
   std::unique_ptr<Tracker> tracker_;
+  std::unique_ptr<PipelineExecutor> executor_;  // pipelined mode only
+  std::deque<TrackResult> pending_;  // sequential-mode poll() buffer
 };
 
 }  // namespace eslam

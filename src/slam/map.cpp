@@ -16,6 +16,7 @@ std::int64_t Map::add_point(const Vec3& position,
   p.last_matched_frame = frame_index;
   points_.push_back(p);
   cache_dirty_ = true;
+  ++epoch_;
   return p.id;
 }
 
@@ -30,7 +31,10 @@ std::size_t Map::prune(int current_frame, int max_age) {
   std::erase_if(points_, [&](const MapPoint& p) {
     return current_frame - p.last_matched_frame > max_age;
   });
-  if (points_.size() != before) cache_dirty_ = true;
+  if (points_.size() != before) {
+    cache_dirty_ = true;
+    ++epoch_;
+  }
   return before - points_.size();
 }
 

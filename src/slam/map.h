@@ -37,6 +37,13 @@ class Map {
 
   std::size_t size() const { return points_.size(); }
   bool empty() const { return points_.empty(); }
+
+  // Structural version: bumped whenever point indices or descriptors can
+  // change (add_point, prune) — never by note_match.  Feature matches are
+  // index-based, so a match set is only valid against the epoch it was
+  // computed under; the pipeline runtime uses this to detect when a
+  // speculative match must be replayed after a key frame's map update.
+  std::uint64_t epoch() const { return epoch_; }
   const MapPoint& point(std::size_t index) const { return points_[index]; }
   const std::vector<MapPoint>& points() const { return points_; }
 
@@ -48,6 +55,7 @@ class Map {
 
   std::vector<MapPoint> points_;
   std::int64_t next_id_ = 0;
+  std::uint64_t epoch_ = 0;
   mutable std::vector<Descriptor256> descriptor_cache_;
   mutable bool cache_dirty_ = true;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <mutex>
 
 namespace eslam {
 
@@ -29,7 +30,7 @@ SoftwareBackend::SoftwareBackend(const OrbConfig& orb,
 FeatureList SoftwareBackend::extract(const ImageU8& image) {
   const WallTimer timer;
   FeatureList features = extractor_.extract(image);
-  extract_ms_ = timer.elapsed_ms();
+  extract_ms_.store(timer.elapsed_ms());
   return features;
 }
 
@@ -39,7 +40,7 @@ std::vector<Match> SoftwareBackend::match(
   const WallTimer timer;
   std::vector<Match> matches = match_descriptors(queries, train,
                                                  matcher_options_);
-  match_ms_ = timer.elapsed_ms();
+  match_ms_.store(timer.elapsed_ms());
   return matches;
 }
 
@@ -66,39 +67,38 @@ std::optional<Vec3> Tracker::world_point_from_depth(const FrameInput& frame,
   return pose_wc * camera_.unproject(u, v, z);
 }
 
-void Tracker::bootstrap(const FrameInput& frame, const FeatureList& features,
-                        TrackResult& result) {
+void Tracker::bootstrap_map(FrameState& fs) {
   const WallTimer timer;
   const SE3 identity;
   int added = 0;
-  for (const Feature& f : features) {
+  for (const Feature& f : fs.features) {
     const auto p =
-        world_point_from_depth(frame, f.keypoint.x0(), f.keypoint.y0(),
+        world_point_from_depth(fs.input, f.keypoint.x0(), f.keypoint.y0(),
                                identity);
     if (!p) continue;
-    map_.add_point(*p, f.descriptor, frame_index_);
+    map_.add_point(*p, f.descriptor, fs.index);
     ++added;
   }
-  result.keyframe = true;
-  result.lost = added == 0;
-  result.times.map_updating = timer.elapsed_ms();
+  fs.result.keyframe = true;
+  fs.result.lost = added == 0;
+  fs.result.times.map_updating = timer.elapsed_ms();
   keyframe_policy_.should_insert(SE3{});  // registers the reference pose
 }
 
-int Tracker::update_map(const FrameInput& frame, const FeatureList& features,
-                        const std::vector<bool>& feature_matched,
-                        const SE3& pose_wc) {
+int Tracker::insert_map_points(const FrameState& fs,
+                               const std::vector<bool>& feature_matched,
+                               const SE3& pose_wc) {
   int added = 0;
-  for (std::size_t i = 0; i < features.size(); ++i) {
+  for (std::size_t i = 0; i < fs.features.size(); ++i) {
     if (feature_matched[i]) continue;  // already represented in the map
-    const Feature& f = features[i];
-    const auto p = world_point_from_depth(frame, f.keypoint.x0(),
+    const Feature& f = fs.features[i];
+    const auto p = world_point_from_depth(fs.input, f.keypoint.x0(),
                                           f.keypoint.y0(), pose_wc);
     if (!p) continue;
-    map_.add_point(*p, f.descriptor, frame_index_);
+    map_.add_point(*p, f.descriptor, fs.index);
     ++added;
   }
-  map_.prune(frame_index_, options_.map_prune_age);
+  map_.prune(fs.index, options_.map_prune_age);
   return added;
 }
 
@@ -108,49 +108,71 @@ SE3 Tracker::predicted_pose_cw() const {
   return (last_pose_cw_ * prev_pose_cw_.inverse()) * last_pose_cw_;
 }
 
-TrackResult Tracker::process(const FrameInput& frame) {
-  TrackResult result;
-  result.timestamp = frame.timestamp;
+FrameState Tracker::begin_frame(FrameInput frame) {
+  FrameState fs;
+  fs.input = std::move(frame);
+  fs.index = next_index_++;
+  fs.result.timestamp = fs.input.timestamp;
+  return fs;
+}
 
+void Tracker::extract(FrameState& fs) {
   // --- Feature extraction (FPGA in the paper) ---------------------------
-  const FeatureList features = backend_->extract(frame.gray);
-  result.times.feature_extraction = backend_->last_extract_time_ms();
-  result.n_features = static_cast<int>(features.size());
+  fs.features = backend_->extract(fs.input.gray);
+  fs.result.times.feature_extraction = backend_->last_extract_time_ms();
+  fs.result.n_features = static_cast<int>(fs.features.size());
+}
 
-  if (map_.empty()) {
-    bootstrap(frame, features, result);
-    last_pose_cw_ = SE3{};
-    trajectory_.push_back(result);
-    ++frame_index_;
-    return result;
-  }
-
+void Tracker::match(FrameState& fs) {
   // --- Feature matching (FPGA in the paper) ------------------------------
+  // Shared-locked against update_map()'s structural writes: the matcher
+  // reads the descriptor array (the map region of SDRAM), which only map
+  // updating rewrites.  A replay simply overwrites the previous matches.
+  const std::shared_lock lock(map_mutex_);
+  fs.map_epoch = map_.epoch();
+  fs.matches.clear();
+  if (map_.empty()) {
+    // Nothing to match against — the frame will bootstrap the map.
+    fs.result.times.feature_matching = 0.0;
+    fs.result.n_matches = 0;
+    return;
+  }
   std::vector<Descriptor256> query;
-  query.reserve(features.size());
-  for (const Feature& f : features) query.push_back(f.descriptor);
-  const std::vector<Match> matches = backend_->match(query,
-                                                     map_.descriptors());
-  result.times.feature_matching = backend_->last_match_time_ms();
-  result.n_matches = static_cast<int>(matches.size());
+  query.reserve(fs.features.size());
+  for (const Feature& f : fs.features) query.push_back(f.descriptor);
+  fs.matches = backend_->match(query, map_.descriptors());
+  fs.result.times.feature_matching = backend_->last_match_time_ms();
+  fs.result.n_matches = static_cast<int>(fs.matches.size());
+}
+
+void Tracker::estimate_pose(FrameState& fs) {
+  if (map_.empty()) {
+    // First (or post-reset) frame: no pose to estimate, update_map() will
+    // bootstrap the map at the identity pose.
+    fs.bootstrap = true;
+    return;
+  }
+  ESLAM_ASSERT(matches_current(fs),
+               "stale matches: match() must be replayed after a key frame");
 
   // --- Pose estimation: PnP + RANSAC (ARM) -------------------------------
   WallTimer pe_timer;
-  std::vector<Correspondence> correspondences;
-  correspondences.reserve(matches.size());
-  for (const Match& m : matches) {
-    const Feature& f = features[static_cast<std::size_t>(m.query)];
-    correspondences.push_back(Correspondence{
+  fs.correspondences.clear();
+  fs.correspondences.reserve(fs.matches.size());
+  for (const Match& m : fs.matches) {
+    const Feature& f = fs.features[static_cast<std::size_t>(m.query)];
+    fs.correspondences.push_back(Correspondence{
         map_.point(static_cast<std::size_t>(m.train)).position,
         Vec2{f.keypoint.x0(), f.keypoint.y0()}});
   }
   const int required_inliers = std::max(
       options_.min_tracked_inliers,
       std::min(options_.strong_consensus_inliers,
-               static_cast<int>(options_.min_inlier_ratio *
-                                static_cast<double>(correspondences.size()))));
+               static_cast<int>(
+                   options_.min_inlier_ratio *
+                   static_cast<double>(fs.correspondences.size()))));
   const SE3 prior = predicted_pose_cw();
-  RansacResult ransac = ransac_pnp(correspondences, camera_, prior,
+  RansacResult ransac = ransac_pnp(fs.correspondences, camera_, prior,
                                    options_.ransac);
   if (!ransac.success ||
       static_cast<int>(ransac.inliers.size()) < required_inliers) {
@@ -159,7 +181,7 @@ TrackResult Tracker::process(const FrameInput& frame) {
     // low-consensus "success" is often a degenerate pose on repetitive
     // texture rather than the true one.
     if (options_.use_motion_model && have_velocity_) {
-      RansacResult retry = ransac_pnp(correspondences, camera_,
+      RansacResult retry = ransac_pnp(fs.correspondences, camera_,
                                       last_pose_cw_, options_.ransac);
       if (retry.inliers.size() > ransac.inliers.size())
         ransac = std::move(retry);
@@ -172,58 +194,86 @@ TrackResult Tracker::process(const FrameInput& frame) {
     RansacOptions reloc = options_.ransac;
     reloc.use_p3p = true;
     RansacResult retry =
-        ransac_pnp(correspondences, camera_, SE3{}, reloc);
+        ransac_pnp(fs.correspondences, camera_, SE3{}, reloc);
     if (retry.inliers.size() > ransac.inliers.size())
       ransac = std::move(retry);
   }
-  result.times.pose_estimation = pe_timer.elapsed_ms();
-  result.n_inliers = static_cast<int>(ransac.inliers.size());
-  if (!ransac.success || result.n_inliers < required_inliers) {
-    // Lost: keep the previous pose, skip optimization and map updating,
-    // and drop the (now unreliable) velocity estimate.
-    have_velocity_ = false;
-    result.lost = true;
-    result.pose_cw = last_pose_cw_;
-    result.pose_wc = last_pose_cw_.inverse();
-    trajectory_.push_back(result);
-    ++frame_index_;
-    return result;
+  fs.result.times.pose_estimation = pe_timer.elapsed_ms();
+  fs.result.n_inliers = static_cast<int>(ransac.inliers.size());
+  if (!ransac.success || fs.result.n_inliers < required_inliers) {
+    // Lost: keep the previous pose; update_map() drops the velocity.
+    fs.result.lost = true;
+    fs.result.pose_cw = last_pose_cw_;
+    fs.result.pose_wc = last_pose_cw_.inverse();
   }
+  fs.ransac = std::move(ransac);
+}
+
+void Tracker::optimize_pose(FrameState& fs) {
+  if (fs.bootstrap || fs.result.lost) return;
 
   // --- Pose optimization: LM on inlier reprojection error (ARM) ----------
   WallTimer po_timer;
   std::vector<Correspondence> inlier_set;
-  inlier_set.reserve(ransac.inliers.size());
-  for (int idx : ransac.inliers)
-    inlier_set.push_back(correspondences[static_cast<std::size_t>(idx)]);
-  const PnpResult optimized = solve_pnp(inlier_set, camera_, ransac.pose,
+  inlier_set.reserve(fs.ransac.inliers.size());
+  for (int idx : fs.ransac.inliers)
+    inlier_set.push_back(fs.correspondences[static_cast<std::size_t>(idx)]);
+  const PnpResult optimized = solve_pnp(inlier_set, camera_, fs.ransac.pose,
                                         options_.pose_optimization);
-  result.times.pose_optimization = po_timer.elapsed_ms();
-  result.pose_cw = optimized.pose;
-  result.pose_wc = optimized.pose.inverse();
+  fs.result.times.pose_optimization = po_timer.elapsed_ms();
+  fs.result.pose_cw = optimized.pose;
+  fs.result.pose_wc = optimized.pose.inverse();
+}
 
-  // Record which features/map points were matched (for map maintenance).
-  std::vector<bool> feature_matched(features.size(), false);
-  for (int idx : ransac.inliers) {
-    const Match& m = matches[static_cast<std::size_t>(idx)];
-    feature_matched[static_cast<std::size_t>(m.query)] = true;
-    map_.note_match(static_cast<std::size_t>(m.train), frame_index_);
+TrackResult Tracker::update_map(FrameState& fs) {
+  if (fs.bootstrap) {
+    const std::unique_lock lock(map_mutex_);
+    bootstrap_map(fs);
+    // Rebuild the descriptor cache while exclusively locked so concurrent
+    // match() readers never trigger the lazy rebuild themselves.
+    (void)map_.descriptors();
+    last_pose_cw_ = SE3{};
+  } else if (fs.result.lost) {
+    // Drop the (now unreliable) velocity estimate; the map is untouched.
+    have_velocity_ = false;
+  } else {
+    // Record which features/map points were matched (for map maintenance).
+    std::vector<bool> feature_matched(fs.features.size(), false);
+    for (int idx : fs.ransac.inliers) {
+      const Match& m = fs.matches[static_cast<std::size_t>(idx)];
+      feature_matched[static_cast<std::size_t>(m.query)] = true;
+      map_.note_match(static_cast<std::size_t>(m.train), fs.index);
+    }
+
+    // --- Map updating (key frames only, ARM) ------------------------------
+    if (keyframe_policy_.should_insert(fs.result.pose_wc)) {
+      WallTimer mu_timer;
+      {
+        const std::unique_lock lock(map_mutex_);
+        insert_map_points(fs, feature_matched, fs.result.pose_wc);
+        (void)map_.descriptors();  // eager cache rebuild (see bootstrap)
+      }
+      fs.result.times.map_updating = mu_timer.elapsed_ms();
+      fs.result.keyframe = true;
+    }
+
+    prev_pose_cw_ = last_pose_cw_;
+    last_pose_cw_ = fs.result.pose_cw;
+    have_velocity_ = true;
   }
 
-  // --- Map updating (key frames only, ARM) --------------------------------
-  if (keyframe_policy_.should_insert(result.pose_wc)) {
-    WallTimer mu_timer;
-    update_map(frame, features, feature_matched, result.pose_wc);
-    result.times.map_updating = mu_timer.elapsed_ms();
-    result.keyframe = true;
-  }
+  trajectory_.push_back(fs.result);
+  frame_index_ = fs.index + 1;
+  return fs.result;
+}
 
-  prev_pose_cw_ = last_pose_cw_;
-  last_pose_cw_ = result.pose_cw;
-  have_velocity_ = true;
-  trajectory_.push_back(result);
-  ++frame_index_;
-  return result;
+TrackResult Tracker::process(const FrameInput& frame) {
+  FrameState fs = begin_frame(frame);
+  extract(fs);
+  match(fs);
+  estimate_pose(fs);
+  optimize_pose(fs);
+  return update_map(fs);
 }
 
 }  // namespace eslam

@@ -5,10 +5,19 @@
 // Feature extraction and matching are delegated to a FeatureBackend so the
 // same tracker runs with the software ORB pipeline or with the simulated
 // FPGA accelerator (accel/), mirroring the paper's hardware/software split.
+//
+// The five stages are exposed individually (extract / match /
+// estimate_pose / optimize_pose / update_map) operating on an explicit
+// per-frame FrameState, so a pipeline runtime (runtime/) can keep stages
+// of *different* frames in flight simultaneously as in the paper's
+// Figure 7; process() is the synchronous composition of the five.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <optional>
+#include <shared_mutex>
 #include <span>
 #include <vector>
 
@@ -37,6 +46,9 @@ class FeatureBackend {
 };
 
 // Software backend: OrbExtractor + brute-force matcher, timed by wall clock.
+// The timing caches are atomics so the last-stage times can be read from a
+// different thread than the one driving extract()/match() (the pipeline
+// runtime runs both on its FPGA-model lane while stats readers poll).
 class SoftwareBackend final : public FeatureBackend {
  public:
   explicit SoftwareBackend(const OrbConfig& orb = {},
@@ -44,8 +56,8 @@ class SoftwareBackend final : public FeatureBackend {
   FeatureList extract(const ImageU8& image) override;
   std::vector<Match> match(std::span<const Descriptor256> queries,
                            std::span<const Descriptor256> train) override;
-  double last_extract_time_ms() const override { return extract_ms_; }
-  double last_match_time_ms() const override { return match_ms_; }
+  double last_extract_time_ms() const override { return extract_ms_.load(); }
+  double last_match_time_ms() const override { return match_ms_.load(); }
   const char* name() const override { return "software"; }
 
   OrbExtractor& extractor() { return extractor_; }
@@ -53,8 +65,8 @@ class SoftwareBackend final : public FeatureBackend {
  private:
   OrbExtractor extractor_;
   MatcherOptions matcher_options_;
-  double extract_ms_ = 0.0;
-  double match_ms_ = 0.0;
+  std::atomic<double> extract_ms_{0.0};
+  std::atomic<double> match_ms_{0.0};
 };
 
 struct FrameInput {
@@ -131,12 +143,67 @@ struct TrackerOptions {
   bool relocalize_with_p3p = true;
 };
 
+// Everything one frame carries between pipeline stages.  A FrameState is
+// created by begin_frame() and threaded through the five stage methods;
+// because all per-frame intermediates live here (not in the Tracker),
+// stages of different frames can execute concurrently under the lane
+// contract documented on the stage methods.
+struct FrameState {
+  FrameInput input;
+  int index = 0;  // frame index, assigned in feed order by begin_frame()
+  FeatureList features;
+  std::vector<Match> matches;
+  // Map structural epoch the matches were computed under.  Matches are
+  // index-based, so they are only usable while the map still has this
+  // epoch; the pipeline runtime replays match() when a key frame's map
+  // update intervened (the paper's "FM waits for MU" dependency).
+  std::uint64_t map_epoch = 0;
+  bool bootstrap = false;  // map was empty: frame initializes the map
+  RansacResult ransac;
+  std::vector<Correspondence> correspondences;
+  TrackResult result;
+};
+
+// Stage-decomposed tracker.  Threading contract (matching the paper's
+// hardware split): extract() and match() form the FPGA lane; the three
+// estimate_pose() / optimize_pose() / update_map() stages form the ARM
+// lane and must run serially in frame order.  begin_frame() must be
+// called from the lane that feeds extract().  match() of frame N+1 may
+// run concurrently with ARM stages of frame N — it takes a shared lock
+// against update_map()'s structural map writes, and records the map epoch
+// so the caller can detect and replay a match invalidated by a key frame.
 class Tracker {
  public:
   Tracker(const PinholeCamera& camera, std::unique_ptr<FeatureBackend> backend,
           const TrackerOptions& options = {});
 
+  // Synchronous composition of the five stages (the sequential platform).
   TrackResult process(const FrameInput& frame);
+
+  // --- pipeline stage API -------------------------------------------------
+  // Assigns the next frame index and wraps the input.
+  FrameState begin_frame(FrameInput frame);
+  // Feature extraction (FPGA in the paper).  No tracker state touched.
+  void extract(FrameState& fs);
+  // Feature matching against the current map (FPGA in the paper).  Safe to
+  // call concurrently with ARM stages of an earlier frame; re-entrant for
+  // the same frame (a replay discards the previous matches).
+  void match(FrameState& fs);
+  // PnP + RANSAC from the motion prior (ARM).  Decides bootstrap/lost.
+  void estimate_pose(FrameState& fs);
+  // LM refinement on the RANSAC inliers (ARM).
+  void optimize_pose(FrameState& fs);
+  // Map bookkeeping + key-frame map update + commit: appends to the
+  // trajectory, advances the motion model, and returns the final result.
+  // This is the only stage that structurally mutates the map.
+  TrackResult update_map(FrameState& fs);
+
+  // True while fs.matches are still valid against the current map (no
+  // structural map change since match(fs) ran).  Only meaningful when no
+  // update_map() is concurrently in flight.
+  bool matches_current(const FrameState& fs) const {
+    return fs.map_epoch == map_.epoch();
+  }
 
   const Map& map() const { return map_; }
   const std::vector<TrackResult>& trajectory() const { return trajectory_; }
@@ -144,10 +211,10 @@ class Tracker {
   int frame_index() const { return frame_index_; }
 
  private:
-  void bootstrap(const FrameInput& frame, const FeatureList& features,
-                 TrackResult& result);
-  int update_map(const FrameInput& frame, const FeatureList& features,
-                 const std::vector<bool>& feature_matched, const SE3& pose_wc);
+  void bootstrap_map(FrameState& fs);
+  int insert_map_points(const FrameState& fs,
+                        const std::vector<bool>& feature_matched,
+                        const SE3& pose_wc);
   std::optional<Vec3> world_point_from_depth(const FrameInput& frame,
                                              double u, double v,
                                              const SE3& pose_wc) const;
@@ -163,8 +230,14 @@ class Tracker {
   SE3 last_pose_cw_;
   SE3 prev_pose_cw_;        // pose two frames back (for the velocity)
   bool have_velocity_ = false;
-  int frame_index_ = 0;
+  int next_index_ = 0;      // assigned by begin_frame (feed order)
+  int frame_index_ = 0;     // frames retired through update_map
   std::vector<TrackResult> trajectory_;
+  // Guards the map's structure: match() holds it shared while reading
+  // descriptors, update_map() holds it exclusively while inserting or
+  // pruning points (the hardware's SDRAM map region, written only during
+  // map updating).
+  mutable std::shared_mutex map_mutex_;
 };
 
 }  // namespace eslam
