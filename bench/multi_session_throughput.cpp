@@ -1,0 +1,281 @@
+// Multi-session serving throughput: aggregate FPS and per-session latency
+// vs session count over server/SlamService — one shared device lane, a
+// four-worker ARM pool, K independent camera streams.
+//
+// The platform is emulated the same way bench_pipeline_throughput emulates
+// it, extended to the ARM side: feature extraction is computed functionally
+// once per stream outside the timed region and replayed by the backend with
+// the modeled device latency as a sleep (the one fabric is *occupied*, the
+// host core is free, exactly like a real shared FPGA); the ARM stages run
+// their real computation and are then paced to the paper's ARM Cortex-A9
+// Table-2 stage durations via the scheduler's StagePacer.  Because both
+// knobs only pad wall time, every session's poses stay bit-identical to a
+// solo sequential run — which is checked — while the schedule keeps the
+// paper's proportions on any host, so the session-count scaling is
+// measurable even on a small CI runner.  The >= 1.5x exit-code gate is
+// enforced on hosts with >= 4 hardware threads (the ISSUE-2 target); on
+// smaller machines the 4 sessions' real per-frame host compute
+// timeshares, so the ratio is reported without failing the run.
+//
+// With FE+FM ~12 ms on the shared fabric and PE+PO+MU ~28 ms per session
+// on the pooled ARM side, one session is ARM-bound (~36 fps) and four
+// sessions become fabric-bound (~83 fps aggregate): the expected
+// aggregate scaling from 1 -> 4 sessions is >2x, and the bench exits
+// non-zero below 1.5x.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "dataset/multi_sequence.h"
+#include "server/slam_service.h"
+
+namespace {
+
+using namespace eslam;
+
+constexpr int kStreams = 4;
+constexpr int kFramesPerSession = 30;
+constexpr int kArmWorkers = 4;
+// Modeled shared-fabric latencies (ms).  FE is pure device time (sleep);
+// FM must run functionally on the host (it reads the evolving map) and is
+// padded up to the floor when the host is faster.
+constexpr double kDeviceFeMs = 10.0;
+constexpr double kDeviceFmFloorMs = 2.0;
+// Functional feature budget: enough to track the synthetic rooms solidly
+// (the tests use 400) while keeping the host-side FM compute well under
+// the modeled stage times, so the emulated platform — not this machine's
+// core count — sets the schedule.
+constexpr int kFunctionalFeatures = 200;
+constexpr double kRequiredScaling14 = 1.5;  // 1 -> 4 sessions, aggregate
+
+using bench::WallTimer;
+
+// Pads the ARM stages to the paper's ARM Cortex-A9 Table-2 durations
+// (PE 9.2 ms, PO 8.7 ms, MU 9.9 ms).  Our MU stage runs every frame (it
+// includes the commit), so pacing it to the Table-2 value models an ARM
+// host that always pays the map-maintenance cost — a conservative stand-in
+// that keeps the per-frame ARM total at the paper's key-frame-free sum.
+StagePacer a9_pacer() {
+  return [](PipeStage stage) {
+    switch (stage) {
+      case PipeStage::kPoseEstimation: return 9.2;
+      case PipeStage::kPoseOptimization: return 8.7;
+      case PipeStage::kMapUpdating: return 9.9;
+      default: return 0.0;
+    }
+  };
+}
+
+struct RunResult {
+  double wall_ms = 0;
+  double aggregate_fps = 0;
+  double p50_ms = 0, p99_ms = 0;      // per-frame latency across sessions
+  std::vector<std::vector<TrackResult>> results;  // per session, feed order
+  std::vector<PipelineStats> stats;               // per session
+};
+
+double percentile(std::vector<double>& v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const std::size_t i = std::min(
+      v.size() - 1, static_cast<std::size_t>(p * static_cast<double>(v.size())));
+  return v[i];
+}
+
+// Serves `k` streams concurrently (one feeder thread per session, a
+// closed try_feed/poll loop so delivery timestamps are tight) and returns
+// throughput, latency percentiles, results and per-session stats.
+RunResult run_sessions(int k, const MultiSequenceSet& streams,
+                       const std::vector<std::vector<FeatureList>>& features,
+                       const std::vector<std::vector<FrameInput>>& frames) {
+  SlamService service(ServiceOptions{kArmWorkers});
+  std::vector<SessionHandle> sessions;
+  sessions.reserve(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    SessionConfig config;
+    config.camera = streams.stream(i).camera();
+    config.pacer = a9_pacer();
+    const std::vector<FeatureList>& stream_features =
+        features[static_cast<std::size_t>(i)];
+    config.backend_factory = [&stream_features] {
+      return std::make_unique<bench::DeviceEmulationBackend>(
+          stream_features, MatcherOptions{}, kDeviceFeMs, kDeviceFmFloorMs);
+    };
+    sessions.push_back(service.open_session(config));
+  }
+
+  RunResult run;
+  run.results.resize(static_cast<std::size_t>(k));
+  std::mutex latency_mutex;
+  std::vector<double> latencies;
+
+  const WallTimer timer;
+  std::vector<std::thread> feeders;
+  feeders.reserve(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    feeders.emplace_back([&, i] {
+      SessionHandle& session = sessions[static_cast<std::size_t>(i)];
+      const std::vector<FrameInput>& input =
+          frames[static_cast<std::size_t>(i)];
+      std::vector<double> fed_at(input.size(), 0.0);
+      std::vector<double> local;
+      std::vector<TrackResult>& out = run.results[static_cast<std::size_t>(i)];
+      std::size_t next = 0;
+      while (out.size() < input.size()) {
+        bool progress = false;
+        if (next < input.size() && session.try_feed(input[next])) {
+          fed_at[next] = timer.elapsed_ms();
+          ++next;
+          progress = true;
+        }
+        while (auto r = session.poll()) {
+          local.push_back(timer.elapsed_ms() - fed_at[out.size()]);
+          out.push_back(std::move(*r));
+          progress = true;
+        }
+        if (!progress) std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+      const std::lock_guard<std::mutex> lock(latency_mutex);
+      latencies.insert(latencies.end(), local.begin(), local.end());
+    });
+  }
+  for (std::thread& t : feeders) t.join();
+  run.wall_ms = timer.elapsed_ms();
+  run.aggregate_fps =
+      1000.0 * static_cast<double>(k) * kFramesPerSession / run.wall_ms;
+  run.p50_ms = percentile(latencies, 0.50);
+  run.p99_ms = percentile(latencies, 0.99);
+  for (SessionHandle& session : sessions) run.stats.push_back(session.stats());
+  return run;
+}
+
+int failures = 0;
+
+void check(bool ok, const char* what) {
+  std::printf("  [%s] %s\n", ok ? "ok" : "FAIL", what);
+  if (!ok) ++failures;
+}
+
+}  // namespace
+
+int main() {
+  using namespace eslam;
+  bench::print_header(
+      "Multi-session serving: aggregate FPS / latency vs session count",
+      "server/SlamService over the Figure-7 scheduler");
+
+  MultiSequenceOptions mopts;
+  mopts.streams = kStreams;
+  mopts.sequence.frames = kFramesPerSession;
+  const MultiSequenceSet streams(mopts);
+
+  // Pre-render every stream and precompute its functional FE once (the
+  // device replays it; all runs and the solo references share it
+  // bit-exactly).
+  std::vector<std::vector<FrameInput>> frames;
+  std::vector<std::vector<FeatureList>> features;
+  for (int i = 0; i < streams.size(); ++i) {
+    frames.push_back(bench::render_all(streams.stream(i)));
+    OrbConfig orb;
+    orb.n_features = kFunctionalFeatures;
+    OrbExtractor extractor{orb};
+    std::vector<FeatureList> fe;
+    fe.reserve(frames.back().size());
+    for (const FrameInput& f : frames.back())
+      fe.push_back(extractor.extract(f.gray));
+    features.push_back(std::move(fe));
+  }
+
+  std::printf("streams: %d x %d frames; device FE %.1f ms + FM floor %.1f ms "
+              "on one shared lane; ARM pool %d workers, stages paced to "
+              "A9 Table-2 times\nhost: %u hardware threads\n\n",
+              kStreams, kFramesPerSession, kDeviceFeMs, kDeviceFmFloorMs,
+              kArmWorkers, std::thread::hardware_concurrency());
+
+  // Solo sequential references (bit-identity oracle).
+  std::vector<std::vector<TrackResult>> solo(
+      static_cast<std::size_t>(kStreams));
+  for (int i = 0; i < kStreams; ++i) {
+    Tracker tracker(streams.stream(i).camera(),
+                    std::make_unique<bench::DeviceEmulationBackend>(
+                        features[static_cast<std::size_t>(i)],
+                        MatcherOptions{}, kDeviceFeMs, kDeviceFmFloorMs),
+                    TrackerOptions{});
+    for (const FrameInput& f : frames[static_cast<std::size_t>(i)])
+      solo[static_cast<std::size_t>(i)].push_back(tracker.process(f));
+  }
+
+  std::printf("%9s %12s %14s %12s %12s\n", "sessions", "wall ms",
+              "aggregate fps", "p50 ms", "p99 ms");
+  std::vector<RunResult> runs;
+  for (int k : {1, 2, 4}) {
+    runs.push_back(run_sessions(k, streams, features, frames));
+    const RunResult& r = runs.back();
+    std::printf("%9d %12.0f %14.1f %12.1f %12.1f\n", k, r.wall_ms,
+                r.aggregate_fps, r.p50_ms, r.p99_ms);
+  }
+  const RunResult& one = runs[0];
+  const RunResult& four = runs[2];
+  std::printf("\naggregate scaling 1 -> 4 sessions: %.2fx\n\n",
+              four.aggregate_fps / one.aggregate_fps);
+
+  std::printf("checks:\n");
+  bool all_delivered = true;
+  for (const RunResult& r : runs)
+    for (const std::vector<TrackResult>& session : r.results)
+      if (session.size() != kFramesPerSession) all_delivered = false;
+  check(all_delivered, "every session delivered every frame in every run");
+
+  bool bit_identical = true;
+  for (std::size_t i = 0; i < four.results.size(); ++i) {
+    const std::vector<TrackResult>& served = four.results[i];
+    const std::vector<TrackResult>& reference = solo[i];
+    for (std::size_t f = 0; f < served.size(); ++f) {
+      if ((served[f].pose_wc.translation() -
+           reference[f].pose_wc.translation()).max_abs() != 0.0 ||
+          (served[f].pose_wc.rotation() -
+           reference[f].pose_wc.rotation()).max_abs() != 0.0 ||
+          served[f].keyframe != reference[f].keyframe ||
+          served[f].n_matches != reference[f].n_matches ||
+          served[f].n_inliers != reference[f].n_inliers)
+        bit_identical = false;
+    }
+  }
+  check(bit_identical,
+        "all 4 concurrent sessions bit-identical to solo sequential runs");
+
+  bool fair = true;
+  for (const PipelineStats& s : four.stats)
+    if (s.device_dispatches != kFramesPerSession) fair = false;
+  check(fair, "device lane dispatched every session exactly its frame count");
+
+  // The scaling target is defined for a 4-core host (ISSUE 2): the
+  // emulation's sleeps hide most of the parallelism cost, but the real
+  // per-frame host compute of 4 sessions still timeshares on smaller
+  // machines, so there the ratio is reported without gating the exit code
+  // (CI's 4-vCPU runners do enforce it).
+  const unsigned cores = std::thread::hardware_concurrency();
+  if (cores >= 4) {
+    check(four.aggregate_fps >= kRequiredScaling14 * one.aggregate_fps,
+          "aggregate FPS scales >= 1.5x from 1 to 4 sessions");
+  } else {
+    std::printf("  [%s] aggregate FPS scales >= 1.5x from 1 to 4 sessions "
+                "(informational: gate needs >= 4 hardware threads, host has "
+                "%u)\n",
+                four.aggregate_fps >= kRequiredScaling14 * one.aggregate_fps
+                    ? "ok"
+                    : "--",
+                cores);
+  }
+
+  if (failures == 0)
+    std::printf("\nmulti-session serving reproduces solo results and scales.\n");
+  else
+    std::printf("\n%d check(s) failed.\n", failures);
+  return failures == 0 ? 0 : 1;
+}

@@ -43,61 +43,7 @@ constexpr double kDeviceFeMs = 25.0;
 // time applies whenever it is larger.
 constexpr double kDeviceFmFloorMs = 4.0;
 
-class WallTimer {
- public:
-  WallTimer() : start_(std::chrono::steady_clock::now()) {}
-  double elapsed_ms() const {
-    return std::chrono::duration<double, std::milli>(
-               std::chrono::steady_clock::now() - start_)
-        .count();
-  }
-
- private:
-  std::chrono::steady_clock::time_point start_;
-};
-
-void sleep_until_elapsed(const WallTimer& timer, double target_ms) {
-  const double remaining = target_ms - timer.elapsed_ms();
-  if (remaining > 0)
-    std::this_thread::sleep_for(
-        std::chrono::duration<double, std::milli>(remaining));
-}
-
-// Asynchronous-device emulation of the eSLAM fabric (see file comment).
-class DeviceEmulationBackend final : public FeatureBackend {
- public:
-  DeviceEmulationBackend(std::vector<FeatureList> precomputed,
-                         const MatcherOptions& matcher)
-      : precomputed_(std::move(precomputed)), matcher_(matcher) {}
-
-  FeatureList extract(const ImageU8&) override {
-    const WallTimer timer;
-    FeatureList features = precomputed_[next_frame_++ % precomputed_.size()];
-    sleep_until_elapsed(timer, kDeviceFeMs);
-    extract_ms_.store(timer.elapsed_ms());
-    return features;
-  }
-
-  std::vector<Match> match(std::span<const Descriptor256> queries,
-                           std::span<const Descriptor256> train) override {
-    const WallTimer timer;
-    std::vector<Match> matches = match_descriptors(queries, train, matcher_);
-    sleep_until_elapsed(timer, kDeviceFmFloorMs);
-    match_ms_.store(timer.elapsed_ms());
-    return matches;
-  }
-
-  double last_extract_time_ms() const override { return extract_ms_.load(); }
-  double last_match_time_ms() const override { return match_ms_.load(); }
-  const char* name() const override { return "device-emu"; }
-
- private:
-  std::vector<FeatureList> precomputed_;
-  MatcherOptions matcher_;
-  std::size_t next_frame_ = 0;
-  std::atomic<double> extract_ms_{0.0};
-  std::atomic<double> match_ms_{0.0};
-};
+using bench::WallTimer;
 
 TrackerOptions bench_tracker_options() {
   TrackerOptions opts;
@@ -191,7 +137,8 @@ int main() {
   auto make_tracker = [&] {
     return std::make_unique<Tracker>(
         seq.camera(),
-        std::make_unique<DeviceEmulationBackend>(precomputed, topts.matcher),
+        std::make_unique<bench::DeviceEmulationBackend>(
+            precomputed, topts.matcher, kDeviceFeMs, kDeviceFmFloorMs),
         topts);
   };
 

@@ -1,0 +1,17 @@
+#include "accel/backend_factory.h"
+
+namespace eslam {
+
+std::unique_ptr<FeatureBackend> make_feature_backend(
+    const BackendConfig& config) {
+  if (config.platform == Platform::kSoftware) {
+    OrbConfig orb = config.orb;
+    orb.mode = config.descriptor;
+    return std::make_unique<SoftwareBackend>(orb, config.matcher);
+  }
+  return std::make_unique<AcceleratedBackend>(config.hw_extractor,
+                                              config.hw_matcher,
+                                              config.matcher);
+}
+
+}  // namespace eslam

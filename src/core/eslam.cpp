@@ -6,14 +6,17 @@ namespace eslam {
 
 namespace {
 
+// Maps the facade config onto the shared per-session backend factory (the
+// same one server/SlamService uses to build each session's backend).
 std::unique_ptr<FeatureBackend> make_backend(const SystemConfig& config) {
-  if (config.platform == Platform::kSoftware) {
-    OrbConfig orb = config.orb;
-    orb.mode = config.descriptor;
-    return std::make_unique<SoftwareBackend>(orb, config.tracker.matcher);
-  }
-  return std::make_unique<AcceleratedBackend>(
-      config.hw_extractor, config.hw_matcher, config.tracker.matcher);
+  BackendConfig backend;
+  backend.platform = config.platform;
+  backend.descriptor = config.descriptor;
+  backend.orb = config.orb;
+  backend.hw_extractor = config.hw_extractor;
+  backend.hw_matcher = config.hw_matcher;
+  backend.matcher = config.tracker.matcher;
+  return make_feature_backend(backend);
 }
 
 }  // namespace

@@ -18,6 +18,7 @@
 #include <optional>
 #include <vector>
 
+#include "accel/backend_factory.h"
 #include "accel/eslam_accel.h"
 #include "accel/timing_model.h"
 #include "runtime/pipeline_executor.h"
@@ -25,14 +26,23 @@
 
 namespace eslam {
 
-enum class Platform {
-  kSoftware,     // all five stages in software (baseline)
-  kAccelerated,  // FE + FM on the simulated FPGA fabric (eSLAM)
-};
+// Platform (software vs simulated-FPGA backend) is defined in
+// accel/backend_factory.h, shared with the multi-session server layer.
 
 enum class ExecutionMode {
-  kSequential,  // process()/feed() run all five stages inline
-  kPipelined,   // feed() streams frames through the Figure-7 runtime
+  // process()/feed() run all five stages inline, one frame start-to-finish
+  // at a time.  The reference schedule: every other mode must reproduce
+  // its results bit-for-bit.
+  kSequential,
+  // feed() streams frames through the Figure-7 runtime.  Since the server
+  // layer (server/SlamService) was introduced, this is literally a
+  // single-session instance of the service's scheduler: System's
+  // PipelineExecutor wraps a TrackerScheduler with one registered tracker
+  // and a one-worker ARM pool, the same engine SlamService runs with N
+  // sessions and a wider pool.  A System is therefore "a SlamService of
+  // one" — code that outgrows one camera migrates to SlamService without
+  // changing its per-frame feed()/poll()/drain() calling pattern.
+  kPipelined,
 };
 
 struct SystemConfig {

@@ -1,0 +1,45 @@
+#include "dataset/multi_sequence.h"
+
+#include "geometry/assert.h"
+
+namespace eslam {
+
+namespace {
+
+// splitmix64-style finalizer: decorrelates (base seed, stream index) into
+// a texture seed, so adjacent streams get unrelated wall textures.
+std::uint32_t derive_seed(std::uint32_t base, std::uint32_t set_seed,
+                          int stream) {
+  std::uint64_t z = (static_cast<std::uint64_t>(base) << 32) ^
+                    (static_cast<std::uint64_t>(set_seed) +
+                     0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(
+                                                 stream + 1));
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  // Never zero: keep a valid texture seed even for adversarial inputs.
+  const std::uint32_t seed = static_cast<std::uint32_t>(z);
+  return seed == 0 ? 1u : seed;
+}
+
+}  // namespace
+
+MultiSequenceSet::MultiSequenceSet(const MultiSequenceOptions& options)
+    : options_(options) {
+  ESLAM_ASSERT(options.streams > 0, "need at least one stream");
+  streams_.reserve(static_cast<std::size_t>(options.streams));
+  for (int i = 0; i < options.streams; ++i) {
+    SequenceOptions per_stream = options.sequence;
+    per_stream.room.texture_seed =
+        derive_seed(options.sequence.room.texture_seed, options.set_seed, i);
+    streams_.push_back(
+        std::make_unique<SyntheticSequence>(stream_id(i), per_stream));
+  }
+}
+
+SequenceId MultiSequenceSet::stream_id(int i) const {
+  const std::vector<SequenceId>& ids = evaluation_sequences();
+  return ids[static_cast<std::size_t>(i) % ids.size()];
+}
+
+}  // namespace eslam

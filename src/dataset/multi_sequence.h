@@ -1,0 +1,46 @@
+// N distinct synthetic camera streams for multi-session workloads.
+//
+// A multi-session service is only exercised honestly when its sessions see
+// genuinely different data: different trajectories, different room
+// textures, and therefore different maps, key-frame cadences and match
+// populations.  MultiSequenceSet builds N SyntheticSequences by cycling
+// the five evaluation trajectories and deriving a per-stream texture seed,
+// so "open K sessions on K independent cameras" is one constructor call in
+// tests and benchmarks.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dataset/sequence.h"
+
+namespace eslam {
+
+struct MultiSequenceOptions {
+  int streams = 4;
+  // Per-stream sequence shape (frames, fps, room).  room.texture_seed acts
+  // as the base: stream i renders with a seed derived from (it, i), so no
+  // two streams share wall textures unless the derivation is forced.
+  SequenceOptions sequence;
+  // Extra entropy for the per-stream derivation (lets two sets with the
+  // same base options produce disjoint stream families).
+  std::uint32_t set_seed = 0x5e551071u;  // "session"
+};
+
+class MultiSequenceSet {
+ public:
+  explicit MultiSequenceSet(const MultiSequenceOptions& options = {});
+
+  int size() const { return static_cast<int>(streams_.size()); }
+  const SyntheticSequence& stream(int i) const { return *streams_.at(i); }
+  const MultiSequenceOptions& options() const { return options_; }
+
+  // The trajectory family stream i follows (cycled evaluation sequences).
+  SequenceId stream_id(int i) const;
+
+ private:
+  MultiSequenceOptions options_;
+  std::vector<std::unique_ptr<SyntheticSequence>> streams_;
+};
+
+}  // namespace eslam

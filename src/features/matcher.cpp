@@ -32,9 +32,19 @@ std::vector<Match> match_descriptors(std::span<const Descriptor256> queries,
         !(m.distance < options.ratio * m.second_best))
       continue;
     if (options.cross_check) {
+      // Symmetric check: the back match must itself pass the acceptance
+      // gates, not just point back.  Once back.train == m.query the two
+      // distances are the same Hamming pair, so max_distance holds by the
+      // forward gate — the back-side condition that can differ is the
+      // ratio test, whose runner-up comes from the query set instead of
+      // the train set.  An out-of-gate back match (ratio failure) would
+      // never be emitted as a forward match and must not confirm one.
       const Match back = match_one(train[static_cast<std::size_t>(m.train)],
                                    queries);
       if (back.train != m.query) continue;
+      if (options.ratio < 1.0 &&
+          !(back.distance < options.ratio * back.second_best))
+        continue;
     }
     out.push_back(m);
   }

@@ -24,7 +24,12 @@ struct MatcherOptions {
   // Lowe-style ratio test: require distance < ratio * second_best.
   // Disabled when >= 1.
   double ratio = 1.0;
-  // Keep a match only when train's best query is query as well.
+  // Keep a match only when the reverse direction agrees: train's best
+  // query is query as well, AND that back match passes the ratio test on
+  // its own (query-side) runner-up.  The check is symmetric: a back match
+  // the matcher would reject as a forward match cannot confirm anything.
+  // (max_distance needs no back-side gate — the agreed pair's distance is
+  // one symmetric Hamming value, already gated on the forward side.)
   bool cross_check = false;
 };
 

@@ -1,25 +1,45 @@
 #include "image/pnm_io.h"
 
+#include <cctype>
 #include <fstream>
+#include <string>
 
 namespace eslam {
 
 namespace {
 
+// Largest accepted image: rejects absurd header dimensions before any
+// allocation (a hostile or corrupt "1000000 1000000" header would
+// otherwise attempt a terabyte-scale ImageU8).
+constexpr long long kMaxPixels = 1LL << 26;  // 64 Mpixel, ~256 MB for RGB
+constexpr int kMaxDimension = 1 << 20;
+
 // Skips whitespace and '#' comment lines between PNM header tokens.
+// Returns false on a truncated header (EOF before a token) or a malformed
+// token.  peek() can return Traits::eof(), which must never reach
+// std::isspace — passing a negative non-EOF value is UB per cctype.
 bool next_header_int(std::istream& is, int& value) {
   while (true) {
     const int c = is.peek();
+    if (c == std::istream::traits_type::eof()) return false;
     if (c == '#') {
       std::string line;
       std::getline(is, line);
-    } else if (std::isspace(c)) {
+    } else if (std::isspace(static_cast<unsigned char>(c))) {
       is.get();
     } else {
       break;
     }
   }
   return static_cast<bool>(is >> value);
+}
+
+// Shared header validation for P5/P6: positive dimensions, 8-bit maxval,
+// and a sane total pixel count.
+bool header_ok(int w, int h, int maxval) {
+  return w > 0 && h > 0 && maxval == 255 && w <= kMaxDimension &&
+         h <= kMaxDimension &&
+         static_cast<long long>(w) * static_cast<long long>(h) <= kMaxPixels;
 }
 
 }  // namespace
@@ -52,7 +72,7 @@ ImageU8 read_pgm(const std::string& path) {
   if (!next_header_int(is, w) || !next_header_int(is, h) ||
       !next_header_int(is, maxval))
     return {};
-  if (w <= 0 || h <= 0 || maxval != 255) return {};
+  if (!header_ok(w, h, maxval)) return {};
   is.get();  // single whitespace after maxval
   ImageU8 image(w, h);
   is.read(reinterpret_cast<char*>(image.data().data()),
@@ -71,7 +91,7 @@ ImageRgb read_ppm(const std::string& path) {
   if (!next_header_int(is, w) || !next_header_int(is, h) ||
       !next_header_int(is, maxval))
     return {};
-  if (w <= 0 || h <= 0 || maxval != 255) return {};
+  if (!header_ok(w, h, maxval)) return {};
   is.get();
   ImageRgb image(w, h);
   is.read(reinterpret_cast<char*>(image.data().data()),

@@ -1,0 +1,53 @@
+// Lane abstraction shared by the Figure-7 runtime: which heterogeneous
+// unit executes a stage (the simulated FPGA fabric vs the ARM host), the
+// five pipeline stages, the timestamped stage-event record, and the
+// per-stream occupancy/progress statistics.  Both the single-stream
+// PipelineExecutor and the multi-session TrackerScheduler speak in these
+// terms, so stage logs from either are directly comparable.
+#pragma once
+
+namespace eslam {
+
+enum class PipeLane { kFpga, kArm };
+enum class PipeStage {
+  kFeatureExtraction,
+  kFeatureMatching,
+  kPoseEstimation,
+  kPoseOptimization,
+  kMapUpdating,  // includes commit (trajectory/motion-model bookkeeping)
+};
+
+const char* to_string(PipeLane lane);
+const char* to_string(PipeStage stage);
+
+// One stage execution on one lane, timestamped on the runtime's wall
+// clock (ms since construction).  `speculative` marks a feature-matching
+// run that a key frame later invalidated; the replayed (authoritative)
+// run appears as a separate non-speculative event.
+struct StageEvent {
+  int frame = 0;
+  PipeLane lane = PipeLane::kFpga;
+  PipeStage stage = PipeStage::kFeatureExtraction;
+  double start_ms = 0;
+  double end_ms = 0;
+  bool speculative = false;
+};
+
+// Per-stream progress and lane-occupancy statistics.  For a
+// PipelineExecutor this covers its single stream; for a TrackerScheduler
+// session it covers that session only (lane busy-ms are the shared lane's
+// time spent on *this* stream's stages).
+struct PipelineStats {
+  int frames_fed = 0;
+  int frames_retired = 0;       // through map updating / commit
+  int max_in_flight = 0;        // max frames_fed - frames_retired observed
+  int speculative_matches = 0;  // FM runs issued before the barrier cleared
+  int replayed_matches = 0;     // ...of those, discarded by a key frame
+  int rejected_feeds = 0;       // try_feed() calls bounced by back-pressure
+  int device_dispatches = 0;    // device-lane scheduling turns consumed
+  double fpga_busy_ms = 0;      // summed FE+FM wall time (lane occupancy)
+  double arm_busy_ms = 0;       // summed PE+PO+MU wall time
+  double wall_ms = 0;           // runtime lifetime so far
+};
+
+}  // namespace eslam

@@ -1,244 +1,22 @@
 #include "runtime/pipeline_executor.h"
 
-#include <algorithm>
-
 namespace eslam {
 
 namespace {
 
-// Spin briefly, then back off to short sleeps: the waits here bridge
-// millisecond-scale stages, so a 50 us backoff costs <1% latency while
-// keeping idle lanes off the scheduler's runqueue.
-class Backoff {
- public:
-  void pause() {
-    if (spins_ < 256) {
-      ++spins_;
-      std::this_thread::yield();
-    } else {
-      std::this_thread::sleep_for(std::chrono::microseconds(50));
-    }
-  }
-
- private:
-  int spins_ = 0;
-};
+SchedulerSessionOptions to_session_options(const PipelineOptions& options) {
+  SchedulerSessionOptions session;
+  session.queue_capacity = options.queue_capacity;
+  session.speculative_match = options.speculative_match;
+  session.record_events = options.record_events;
+  return session;
+}
 
 }  // namespace
 
-const char* to_string(PipeLane lane) {
-  return lane == PipeLane::kFpga ? "FPGA" : "ARM";
-}
-
-const char* to_string(PipeStage stage) {
-  switch (stage) {
-    case PipeStage::kFeatureExtraction: return "FE";
-    case PipeStage::kFeatureMatching: return "FM";
-    case PipeStage::kPoseEstimation: return "PE";
-    case PipeStage::kPoseOptimization: return "PO";
-    case PipeStage::kMapUpdating: return "MU";
-  }
-  return "?";
-}
-
 PipelineExecutor::PipelineExecutor(Tracker& tracker,
                                    const PipelineOptions& options)
-    : tracker_(tracker),
-      options_(options),
-      epoch_(std::chrono::steady_clock::now()),
-      input_q_(static_cast<std::size_t>(std::max(1, options.queue_capacity))),
-      handoff_q_(static_cast<std::size_t>(std::max(1, options.queue_capacity))),
-      result_q_(static_cast<std::size_t>(std::max(1, options.queue_capacity))) {
-  fpga_thread_ = std::thread(&PipelineExecutor::fpga_lane, this);
-  arm_thread_ = std::thread(&PipelineExecutor::arm_lane, this);
-}
-
-PipelineExecutor::~PipelineExecutor() {
-  stop_.store(true);
-  fpga_thread_.join();
-  arm_thread_.join();
-}
-
-double PipelineExecutor::now_ms() const {
-  return std::chrono::duration<double, std::milli>(
-             std::chrono::steady_clock::now() - epoch_)
-      .count();
-}
-
-int PipelineExecutor::record(int frame, PipeLane lane, PipeStage stage,
-                             double start_ms, double end_ms) {
-  {
-    const std::lock_guard<std::mutex> lock(stats_mutex_);
-    (lane == PipeLane::kFpga ? stats_.fpga_busy_ms : stats_.arm_busy_ms) +=
-        end_ms - start_ms;
-  }
-  if (!options_.record_events) return -1;
-  const std::lock_guard<std::mutex> lock(events_mutex_);
-  events_.push_back({frame, lane, stage, start_ms, end_ms, false});
-  return static_cast<int>(events_.size()) - 1;
-}
-
-template <typename Pred>
-bool PipelineExecutor::wait_until(Pred pred) const {
-  Backoff backoff;
-  while (!pred()) {
-    if (stop_.load()) return false;
-    backoff.pause();
-  }
-  return true;
-}
-
-bool PipelineExecutor::push_input(FrameInput& frame) {
-  if (!input_q_.try_push(std::move(frame))) return false;
-  const int in_flight =
-      frames_fed_.fetch_add(1) + 1 - frames_retired_.load();
-  const std::lock_guard<std::mutex> lock(stats_mutex_);
-  ++stats_.frames_fed;
-  stats_.max_in_flight = std::max(stats_.max_in_flight, in_flight);
-  return true;
-}
-
-bool PipelineExecutor::try_feed(FrameInput frame) {
-  if (push_input(frame)) return true;
-  const std::lock_guard<std::mutex> lock(stats_mutex_);
-  ++stats_.rejected_feeds;
-  return false;
-}
-
-void PipelineExecutor::feed(FrameInput frame) {
-  Backoff backoff;
-  while (!push_input(frame)) {
-    // Keep the result ring draining while we wait, otherwise a batch
-    // larger than the total queue capacity would wedge: ARM blocked on
-    // result delivery -> barrier never advances -> input never empties.
-    offload_results();
-    backoff.pause();
-  }
-}
-
-void PipelineExecutor::offload_results() {
-  TrackResult result;
-  while (result_q_.try_pop(result)) delivered_.push_back(std::move(result));
-}
-
-std::optional<TrackResult> PipelineExecutor::poll() {
-  offload_results();
-  if (delivered_.empty()) return std::nullopt;
-  TrackResult result = std::move(delivered_.front());
-  delivered_.pop_front();
-  frames_delivered_.fetch_add(1);
-  return result;
-}
-
-std::vector<TrackResult> PipelineExecutor::drain() {
-  std::vector<TrackResult> results;
-  Backoff backoff;
-  // Wait on delivery, not retirement: the ARM lane publishes retirement
-  // *before* pushing the result, so a retired-but-unpushed frame must
-  // still hold the drain open.
-  while (frames_delivered_.load() < frames_fed_.load()) {
-    if (auto r = poll()) {
-      results.push_back(std::move(*r));
-    } else {
-      backoff.pause();
-    }
-  }
-  return results;
-}
-
-PipelineStats PipelineExecutor::stats() const {
-  const std::lock_guard<std::mutex> lock(stats_mutex_);
-  PipelineStats s = stats_;
-  s.frames_retired = frames_retired_.load();
-  s.wall_ms = now_ms();
-  return s;
-}
-
-std::vector<StageEvent> PipelineExecutor::stage_events() const {
-  const std::lock_guard<std::mutex> lock(events_mutex_);
-  return events_;
-}
-
-void PipelineExecutor::fpga_lane() {
-  for (;;) {
-    FrameInput input;
-    if (!wait_until([&] { return input_q_.try_pop(input); })) return;
-    FrameState fs = tracker_.begin_frame(std::move(input));
-
-    double t0 = now_ms();
-    tracker_.extract(fs);
-    record(fs.index, PipeLane::kFpga, PipeStage::kFeatureExtraction, t0,
-           now_ms());
-
-    // Speculative FM: frame fs.index-1 is (possibly) still on the ARM
-    // lane, so its key-frame status is unknown — match against the
-    // current map anyway and replay below if a map update intervenes.
-    bool speculated = false;
-    int spec_event = -1;
-    if (options_.speculative_match &&
-        retired_through_.load() < fs.index - 1) {
-      t0 = now_ms();
-      tracker_.match(fs);
-      spec_event = record(fs.index, PipeLane::kFpga,
-                          PipeStage::kFeatureMatching, t0, now_ms());
-      speculated = true;
-      const std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++stats_.speculative_matches;
-    }
-
-    // Keyframe barrier: the authoritative match must see the map state
-    // after frame fs.index-1's map updating, so wait for its retirement
-    // before validating (or running) the match.
-    if (!wait_until([&] { return retired_through_.load() >= fs.index - 1; }))
-      return;
-    if (!speculated || !tracker_.matches_current(fs)) {
-      if (speculated) {
-        if (spec_event >= 0) {
-          const std::lock_guard<std::mutex> lock(events_mutex_);
-          events_[static_cast<std::size_t>(spec_event)].speculative = true;
-        }
-        const std::lock_guard<std::mutex> lock(stats_mutex_);
-        ++stats_.replayed_matches;
-      }
-      t0 = now_ms();
-      tracker_.match(fs);
-      record(fs.index, PipeLane::kFpga, PipeStage::kFeatureMatching, t0,
-             now_ms());
-    }
-
-    if (!wait_until([&] { return handoff_q_.try_push(std::move(fs)); }))
-      return;
-  }
-}
-
-void PipelineExecutor::arm_lane() {
-  for (;;) {
-    FrameState fs;
-    if (!wait_until([&] { return handoff_q_.try_pop(fs); })) return;
-
-    double t0 = now_ms();
-    tracker_.estimate_pose(fs);
-    record(fs.index, PipeLane::kArm, PipeStage::kPoseEstimation, t0,
-           now_ms());
-
-    t0 = now_ms();
-    tracker_.optimize_pose(fs);
-    record(fs.index, PipeLane::kArm, PipeStage::kPoseOptimization, t0,
-           now_ms());
-
-    t0 = now_ms();
-    const int index = fs.index;
-    TrackResult result = tracker_.update_map(fs);
-    record(index, PipeLane::kArm, PipeStage::kMapUpdating, t0, now_ms());
-
-    // Publish retirement before delivering the result: the FPGA lane's
-    // keyframe barrier must not wait on the user's poll cadence.
-    retired_through_.store(index);
-    frames_retired_.fetch_add(1);
-
-    if (!wait_until([&] { return result_q_.try_push(std::move(result)); }))
-      return;
-  }
-}
+    : scheduler_(SchedulerOptions{/*arm_workers=*/1}),
+      session_(scheduler_.add_session(tracker, to_session_options(options))) {}
 
 }  // namespace eslam

@@ -1,65 +1,27 @@
-// Concurrent frame-level pipeline runtime — the paper's Figure 7 schedule
-// made real.  Two worker lanes model the heterogeneous platform:
+// Single-stream view of the Figure-7 runtime.
 //
-//   FPGA lane: feature extraction + feature matching of frame N+1
-//   ARM lane:  pose estimation + pose optimization + map updating of frame N
-//
-// The lanes overlap, so on normal frames the steady-state per-frame cost
-// approaches max(FE + FM, PE + PO) instead of the sequential sum.  The
-// paper's key-frame dependency — feature matching of frame N+1 must see
-// the map *after* map updating of frame N — is enforced by speculation:
-// FM runs optimistically against the current map while frame N is still
-// on the ARM lane, and is replayed after frame N retires if its map
-// update structurally changed the map (key frames; detected via the map's
-// epoch counter).  The final match therefore always equals what the
-// sequential schedule would compute, so streaming results are
-// bit-identical to Tracker::process() on the same input order.
-//
-// Results are delivered strictly in feed order (the ARM lane is serial in
-// frame order).  All three stage queues are bounded SPSC rings; a full
-// input queue surfaces as back-pressure through try_feed().
+// The concurrent schedule itself — FPGA lane running FE+FM of frame N+1
+// against ARM work of frame N, bounded SPSC stage queues, the key-frame
+// barrier enforced by epoch-checked speculative matching — lives in
+// TrackerScheduler, which multiplexes N sessions over one shared device
+// lane and an ARM worker pool.  PipelineExecutor is that scheduler
+// instantiated for exactly one session with one ARM worker: the original
+// two-lane pipeline of the paper, and the execution engine behind
+// System's ExecutionMode::kPipelined.  Results are delivered strictly in
+// feed order and are bit-identical to Tracker::process() on the same
+// input order (see tracker_scheduler.h for the replay argument).
 #pragma once
 
-#include <atomic>
-#include <chrono>
-#include <deque>
-#include <mutex>
 #include <optional>
-#include <thread>
 #include <vector>
 
-#include "runtime/spsc_queue.h"
-#include "slam/tracker.h"
+#include "runtime/lane.h"
+#include "runtime/tracker_scheduler.h"
 
 namespace eslam {
 
-enum class PipeLane { kFpga, kArm };
-enum class PipeStage {
-  kFeatureExtraction,
-  kFeatureMatching,
-  kPoseEstimation,
-  kPoseOptimization,
-  kMapUpdating,  // includes commit (trajectory/motion-model bookkeeping)
-};
-
-const char* to_string(PipeLane lane);
-const char* to_string(PipeStage stage);
-
-// One stage execution on one lane, timestamped on the executor's wall
-// clock (ms since construction).  `speculative` marks a feature-matching
-// run that a key frame later invalidated; the replayed (authoritative)
-// run appears as a separate non-speculative event.
-struct StageEvent {
-  int frame = 0;
-  PipeLane lane = PipeLane::kFpga;
-  PipeStage stage = PipeStage::kFeatureExtraction;
-  double start_ms = 0;
-  double end_ms = 0;
-  bool speculative = false;
-};
-
 struct PipelineOptions {
-  // Depth of each bounded stage queue (input, inter-lane, result).
+  // Depth of each bounded stage queue (input, inter-lane).
   int queue_capacity = 4;
   // Run FM of frame N+1 concurrently with ARM work of frame N, replaying
   // it when frame N turns out to be a key frame.  Disabling serializes FM
@@ -71,94 +33,43 @@ struct PipelineOptions {
   bool record_events = true;
 };
 
-struct PipelineStats {
-  int frames_fed = 0;
-  int frames_retired = 0;       // through map updating / commit
-  int max_in_flight = 0;        // max frames_fed - frames_retired observed
-  int speculative_matches = 0;  // FM runs issued before the barrier cleared
-  int replayed_matches = 0;     // ...of those, discarded by a key frame
-  int rejected_feeds = 0;       // try_feed() calls bounced by back-pressure
-  double fpga_busy_ms = 0;      // summed FE+FM wall time (lane occupancy)
-  double arm_busy_ms = 0;       // summed PE+PO+MU wall time
-  double wall_ms = 0;           // executor lifetime so far
-};
-
 class PipelineExecutor {
  public:
   // The tracker must outlive the executor and must not be driven through
   // process() while the executor owns it.
   explicit PipelineExecutor(Tracker& tracker,
                             const PipelineOptions& options = {});
-  ~PipelineExecutor();
 
   PipelineExecutor(const PipelineExecutor&) = delete;
   PipelineExecutor& operator=(const PipelineExecutor&) = delete;
 
   // Non-blocking feed; false when the input queue is full (back-pressure).
-  bool try_feed(FrameInput frame);
-  // Blocking feed: waits for queue space.  While waiting (and on every
-  // poll()) finished results are offloaded from the bounded result ring
-  // into a user-side delivery buffer, so a caller that feeds a long batch
-  // before polling can never deadlock the ARM lane on result delivery —
-  // back-pressure is governed by the input queue alone.
-  void feed(FrameInput frame);
+  bool try_feed(FrameInput frame) {
+    return scheduler_.try_feed(session_, std::move(frame));
+  }
+  // Blocking feed: waits for queue space.  Result delivery is unbounded on
+  // the user side, so a caller that feeds a long batch before polling can
+  // never deadlock the ARM lane — back-pressure is governed by the input
+  // queue alone.
+  void feed(FrameInput frame) { scheduler_.feed(session_, std::move(frame)); }
 
   // Next result in feed order, if one is ready.
-  std::optional<TrackResult> poll();
+  std::optional<TrackResult> poll() { return scheduler_.poll(session_); }
   // Blocks until every fed frame has retired and returns the not-yet-polled
   // results (in order).  The pipeline is reusable afterwards.
-  std::vector<TrackResult> drain();
+  std::vector<TrackResult> drain() { return scheduler_.drain(session_); }
 
   // Frames fed but not yet retired through map updating.
-  int in_flight() const {
-    return frames_fed_.load() - frames_retired_.load();
+  int in_flight() const { return scheduler_.in_flight(session_); }
+
+  PipelineStats stats() const { return scheduler_.stats(session_); }
+  std::vector<StageEvent> stage_events() const {
+    return scheduler_.stage_events(session_);
   }
 
-  PipelineStats stats() const;
-  std::vector<StageEvent> stage_events() const;
-
  private:
-  void fpga_lane();
-  void arm_lane();
-  // Push + feed bookkeeping; leaves `frame` intact and returns false when
-  // the input queue is full.
-  bool push_input(FrameInput& frame);
-  // Moves finished results out of the bounded result ring into the
-  // user-side delivery buffer (user thread only).
-  void offload_results();
-  double now_ms() const;
-  // Appends an event (when recording) and returns its index, or -1.
-  int record(int frame, PipeLane lane, PipeStage stage, double start_ms,
-             double end_ms);
-  // Waits until `pred` holds or stop is requested; returns !stopped.
-  template <typename Pred>
-  bool wait_until(Pred pred) const;
-
-  Tracker& tracker_;
-  PipelineOptions options_;
-  std::chrono::steady_clock::time_point epoch_;
-
-  SpscRing<FrameInput> input_q_;   // user -> FPGA lane
-  SpscRing<FrameState> handoff_q_; // FPGA lane -> ARM lane
-  SpscRing<TrackResult> result_q_; // ARM lane -> user
-  // Results already offloaded from result_q_, awaiting poll().  Touched
-  // only by the user thread (feed/try_feed/poll/drain are single-caller).
-  std::deque<TrackResult> delivered_;
-
-  std::atomic<int> frames_fed_{0};
-  std::atomic<int> frames_retired_{0};
-  std::atomic<int> frames_delivered_{0};  // results handed out via poll()
-  std::atomic<int> retired_through_{-1};  // highest retired frame index
-  std::atomic<bool> stop_{false};
-
-  mutable std::mutex stats_mutex_;
-  PipelineStats stats_;
-
-  mutable std::mutex events_mutex_;
-  std::vector<StageEvent> events_;
-
-  std::thread fpga_thread_;
-  std::thread arm_thread_;
+  TrackerScheduler scheduler_;  // one device lane + one ARM worker
+  SessionRef session_;
 };
 
 }  // namespace eslam

@@ -1,0 +1,513 @@
+#include "runtime/tracker_scheduler.h"
+
+#include <algorithm>
+
+#include "geometry/assert.h"
+
+namespace eslam {
+
+const char* to_string(PipeLane lane) {
+  return lane == PipeLane::kFpga ? "FPGA" : "ARM";
+}
+
+const char* to_string(PipeStage stage) {
+  switch (stage) {
+    case PipeStage::kFeatureExtraction: return "FE";
+    case PipeStage::kFeatureMatching: return "FM";
+    case PipeStage::kPoseEstimation: return "PE";
+    case PipeStage::kPoseOptimization: return "PO";
+    case PipeStage::kMapUpdating: return "MU";
+  }
+  return "?";
+}
+
+struct SchedulerSession {
+  SchedulerSession(Tracker& tracker_, const SchedulerSessionOptions& opts_)
+      : tracker(&tracker_),
+        opts(opts_),
+        input_q(static_cast<std::size_t>(std::max(1, opts_.queue_capacity))),
+        handoff_q(static_cast<std::size_t>(std::max(1, opts_.queue_capacity))) {
+  }
+
+  Tracker* tracker;
+  SchedulerSessionOptions opts;
+
+  SpscRing<FrameInput> input_q;    // user -> device lane
+  SpscRing<FrameState> handoff_q;  // device lane -> ARM pool
+
+  // Device-lane-private barrier slot: the frame whose authoritative FM is
+  // waiting for the previous frame's retirement (or whose handoff is
+  // waiting for ring space).  At most one frame per session sits here, so
+  // per-session device order is FIFO by construction.
+  std::optional<FrameState> pending;
+  bool pending_ready = false;       // FM is authoritative; awaiting handoff
+  bool pending_speculated = false;  // pending FM ran speculatively
+  int pending_spec_event = -1;      // its event index, for replay marking
+
+  // Guarded by the scheduler-wide work_mutex_: how many handed-off frames
+  // await ARM stages, and whether a worker currently owns this session.
+  int arm_backlog = 0;
+  bool arm_queued = false;
+
+  std::atomic<int> frames_fed{0};
+  std::atomic<int> frames_retired{0};
+  std::atomic<int> frames_delivered{0};
+  std::atomic<int> retired_through{-1};  // highest retired frame index
+
+  // Finished results awaiting poll().  Unbounded on purpose: ARM workers
+  // must never block on one session's poll cadence (that would eat a pool
+  // worker and starve other sessions), so back-pressure lives exclusively
+  // in the bounded input ring.
+  std::mutex results_mutex;
+  std::deque<TrackResult> results;
+
+  // Parking for this session's blocked user-side calls (feed() waiting on
+  // ring space, drain()/remove waiting on delivery/retirement): producers
+  // of those conditions bump the signal and notify, so a blocked client
+  // thread sleeps instead of spin-polling.
+  std::mutex user_mutex;
+  std::condition_variable user_cv;
+  std::uint64_t user_signal = 0;  // guarded by user_mutex
+
+  mutable std::mutex stats_mutex;
+  PipelineStats stats;
+
+  mutable std::mutex events_mutex;
+  std::vector<StageEvent> events;
+};
+
+namespace {
+
+// Wakes a session's parked user-side calls (see SchedulerSession).
+void kick_user(SchedulerSession& s) {
+  {
+    const std::lock_guard<std::mutex> lock(s.user_mutex);
+    ++s.user_signal;
+  }
+  s.user_cv.notify_all();
+}
+
+// Captures the current signal level; a waiter that then finds its
+// condition unmet sleeps until the level moves past the snapshot, so a
+// kick landing between the condition check and the wait is never lost.
+std::uint64_t user_signal_snapshot(SchedulerSession& s) {
+  const std::lock_guard<std::mutex> lock(s.user_mutex);
+  return s.user_signal;
+}
+
+}  // namespace
+
+TrackerScheduler::TrackerScheduler(const SchedulerOptions& options)
+    : options_(options), epoch_(std::chrono::steady_clock::now()) {
+  device_thread_ = std::thread(&TrackerScheduler::device_lane, this);
+  const int workers = std::max(1, options_.arm_workers);
+  arm_threads_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i)
+    arm_threads_.emplace_back(&TrackerScheduler::arm_worker, this);
+}
+
+TrackerScheduler::~TrackerScheduler() {
+  stop_.store(true);
+  kick_device();
+  work_cv_.notify_all();
+  {
+    // Defensive: release any client thread still parked in feed()/drain()
+    // (a contract violation, but hanging it would be worse).
+    const std::shared_lock<std::shared_mutex> lock(sessions_mutex_);
+    for (const SessionRef& s : sessions_) kick_user(*s);
+  }
+  device_thread_.join();
+  for (std::thread& t : arm_threads_) t.join();
+}
+
+double TrackerScheduler::now_ms() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void TrackerScheduler::kick_device() {
+  {
+    const std::lock_guard<std::mutex> lock(device_mutex_);
+    ++device_signal_;
+  }
+  device_cv_.notify_one();
+}
+
+int TrackerScheduler::record(SchedulerSession& s, int frame, PipeLane lane,
+                             PipeStage stage, double start_ms, double end_ms) {
+  {
+    const std::lock_guard<std::mutex> lock(s.stats_mutex);
+    (lane == PipeLane::kFpga ? s.stats.fpga_busy_ms : s.stats.arm_busy_ms) +=
+        end_ms - start_ms;
+  }
+  if (!s.opts.record_events) return -1;
+  const std::lock_guard<std::mutex> lock(s.events_mutex);
+  s.events.push_back({frame, lane, stage, start_ms, end_ms, false});
+  return static_cast<int>(s.events.size()) - 1;
+}
+
+void TrackerScheduler::pace(const SchedulerSession& s, PipeStage stage,
+                            double start_ms) const {
+  if (!s.opts.pacer) return;
+  const double remaining = s.opts.pacer(stage) - (now_ms() - start_ms);
+  if (remaining > 0)
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(remaining));
+}
+
+// ---- session registry ------------------------------------------------------
+
+SessionRef TrackerScheduler::add_session(
+    Tracker& tracker, const SchedulerSessionOptions& options) {
+  SessionRef session = std::make_shared<SchedulerSession>(tracker, options);
+  {
+    const std::unique_lock<std::shared_mutex> lock(sessions_mutex_);
+    sessions_.push_back(session);
+    sessions_generation_.fetch_add(1);
+  }
+  kick_device();
+  return session;
+}
+
+void TrackerScheduler::remove_session(const SessionRef& session) {
+  if (!session) return;
+  // Quiesce: every accepted frame retires through map updating (the caller
+  // has stopped feeding, so fed is final and the lanes drain it).
+  SchedulerSession& s = *session;
+  for (;;) {
+    const std::uint64_t seen = user_signal_snapshot(s);
+    if (s.frames_retired.load() >= s.frames_fed.load() || stop_.load()) break;
+    std::unique_lock<std::mutex> lock(s.user_mutex);
+    s.user_cv.wait(lock,
+                   [&] { return stop_.load() || s.user_signal != seen; });
+  }
+  {
+    const std::unique_lock<std::shared_mutex> lock(sessions_mutex_);
+    std::erase(sessions_, session);
+    sessions_generation_.fetch_add(1);
+  }
+  kick_device();  // refresh the device snapshot promptly
+}
+
+int TrackerScheduler::session_count() const {
+  const std::shared_lock<std::shared_mutex> lock(sessions_mutex_);
+  return static_cast<int>(sessions_.size());
+}
+
+std::int64_t TrackerScheduler::total_dispatches() const {
+  const std::shared_lock<std::shared_mutex> lock(sessions_mutex_);
+  std::int64_t total = 0;
+  for (const SessionRef& s : sessions_) {
+    const std::lock_guard<std::mutex> stats_lock(s->stats_mutex);
+    total += s->stats.device_dispatches;
+  }
+  return total;
+}
+
+// ---- user-side API ---------------------------------------------------------
+
+bool TrackerScheduler::push_input(SchedulerSession& s, FrameInput& frame) {
+  if (!s.input_q.try_push(std::move(frame))) return false;
+  const int in_flight =
+      s.frames_fed.fetch_add(1) + 1 - s.frames_retired.load();
+  {
+    const std::lock_guard<std::mutex> lock(s.stats_mutex);
+    ++s.stats.frames_fed;
+    s.stats.max_in_flight = std::max(s.stats.max_in_flight, in_flight);
+  }
+  kick_device();
+  return true;
+}
+
+bool TrackerScheduler::try_feed(const SessionRef& session, FrameInput frame) {
+  if (!session) return false;
+  if (push_input(*session, frame)) return true;
+  const std::lock_guard<std::mutex> lock(session->stats_mutex);
+  ++session->stats.rejected_feeds;
+  return false;
+}
+
+void TrackerScheduler::feed(const SessionRef& session, FrameInput frame) {
+  if (!session) return;
+  SchedulerSession& s = *session;
+  for (;;) {
+    const std::uint64_t seen = user_signal_snapshot(s);
+    if (push_input(s, frame)) return;
+    if (stop_.load()) return;  // teardown mid-feed: drop rather than hang
+    // Park until the device lane frees a ring slot (it kicks on every
+    // input pop) — a blocked feeder costs no CPU.
+    std::unique_lock<std::mutex> lock(s.user_mutex);
+    s.user_cv.wait(lock,
+                   [&] { return stop_.load() || s.user_signal != seen; });
+  }
+}
+
+std::optional<TrackResult> TrackerScheduler::poll(const SessionRef& session) {
+  if (!session) return std::nullopt;
+  const std::lock_guard<std::mutex> lock(session->results_mutex);
+  if (session->results.empty()) return std::nullopt;
+  TrackResult result = std::move(session->results.front());
+  session->results.pop_front();
+  session->frames_delivered.fetch_add(1);
+  return result;
+}
+
+std::vector<TrackResult> TrackerScheduler::drain(const SessionRef& session) {
+  std::vector<TrackResult> results;
+  if (!session) return results;
+  SchedulerSession& s = *session;
+  // Wait on delivery, not retirement: retirement is published before the
+  // result lands in the delivery queue, so a retired-but-undelivered frame
+  // must still hold the drain open.
+  while (s.frames_delivered.load() < s.frames_fed.load()) {
+    const std::uint64_t seen = user_signal_snapshot(s);
+    if (std::optional<TrackResult> r = poll(session)) {
+      results.push_back(std::move(*r));
+      continue;
+    }
+    if (stop_.load()) break;  // teardown mid-drain: return what arrived
+    // Park until an ARM worker delivers a result (it kicks per frame).
+    std::unique_lock<std::mutex> lock(s.user_mutex);
+    s.user_cv.wait(lock,
+                   [&] { return stop_.load() || s.user_signal != seen; });
+  }
+  return results;
+}
+
+int TrackerScheduler::in_flight(const SessionRef& session) const {
+  if (!session) return 0;
+  return session->frames_fed.load() - session->frames_retired.load();
+}
+
+PipelineStats TrackerScheduler::stats(const SessionRef& session) const {
+  PipelineStats out;
+  if (!session) return out;
+  {
+    const std::lock_guard<std::mutex> lock(session->stats_mutex);
+    out = session->stats;
+  }
+  out.frames_retired = session->frames_retired.load();
+  out.wall_ms = now_ms();
+  return out;
+}
+
+std::vector<StageEvent> TrackerScheduler::stage_events(
+    const SessionRef& session) const {
+  if (!session) return {};
+  const std::lock_guard<std::mutex> lock(session->events_mutex);
+  return session->events;
+}
+
+// ---- device lane (the shared FPGA fabric) ----------------------------------
+
+void TrackerScheduler::device_lane() {
+  std::vector<SessionRef> snapshot;
+  std::uint64_t seen_generation = 0;
+  bool have_snapshot = false;
+  std::size_t cursor = 0;
+  while (!stop_.load()) {
+    // Capture the signal level before scanning: any kick that lands during
+    // the pass keeps the lane awake for another round.
+    std::uint64_t signal_at_pass;
+    {
+      const std::lock_guard<std::mutex> lock(device_mutex_);
+      signal_at_pass = device_signal_;
+    }
+    if (!have_snapshot ||
+        sessions_generation_.load() != seen_generation) {
+      const std::shared_lock<std::shared_mutex> lock(sessions_mutex_);
+      snapshot = sessions_;
+      seen_generation = sessions_generation_.load();
+      have_snapshot = true;
+    }
+    // One fairness pass: every session gets exactly one step opportunity,
+    // and the starting offset rotates so ties never favor low ids.
+    bool progress = false;
+    for (std::size_t k = 0; k < snapshot.size(); ++k) {
+      if (stop_.load()) return;
+      if (device_step(snapshot[(cursor + k) % snapshot.size()]))
+        progress = true;
+    }
+    ++cursor;
+    if (!progress) {
+      // Nothing runnable: park until a feed, a retirement (barrier may
+      // open, handoff slot may free) or a session change kicks the lane.
+      std::unique_lock<std::mutex> lock(device_mutex_);
+      device_cv_.wait(lock, [&] {
+        return stop_.load() || device_signal_ != signal_at_pass;
+      });
+    }
+  }
+}
+
+bool TrackerScheduler::device_step(const SessionRef& sp) {
+  SchedulerSession& s = *sp;
+  // Phase 1: a frame parked at the key-frame barrier (or waiting for
+  // handoff-ring space).  Never block here — an unready session just
+  // yields its turn to the other sessions.
+  if (s.pending) {
+    if (!s.pending_ready) {
+      if (s.retired_through.load() < s.pending->index - 1) return false;
+      finalize_match(s, *s.pending);
+      s.pending_ready = true;
+    }
+    if (!s.handoff_q.try_push(std::move(*s.pending))) return false;
+    s.pending.reset();
+    s.pending_ready = false;
+    enqueue_arm(sp);
+    return true;
+  }
+
+  // Phase 2: dispatch the session's next fed frame onto the fabric.
+  FrameInput input;
+  if (!s.input_q.try_pop(input)) return false;
+  kick_user(s);  // a ring slot freed: wake a parked feed()
+  {
+    const std::lock_guard<std::mutex> lock(s.stats_mutex);
+    ++s.stats.device_dispatches;
+  }
+  FrameState fs = s.tracker->begin_frame(std::move(input));
+  run_device_stage(s, fs, PipeStage::kFeatureExtraction, false);
+
+  if (s.retired_through.load() >= fs.index - 1) {
+    // Barrier already open: the match is authoritative immediately.
+    run_device_stage(s, fs, PipeStage::kFeatureMatching, false);
+    if (s.handoff_q.try_push(std::move(fs))) {
+      enqueue_arm(sp);
+    } else {
+      s.pending = std::move(fs);
+      s.pending_ready = true;
+    }
+  } else {
+    // Previous frame still on the ARM side: speculate against the current
+    // map (finalize_match() replays if a key frame moves the epoch), then
+    // park at the barrier.
+    if (s.opts.speculative_match)
+      run_device_stage(s, fs, PipeStage::kFeatureMatching, true);
+    s.pending = std::move(fs);
+    s.pending_ready = false;
+  }
+  return true;
+}
+
+void TrackerScheduler::run_device_stage(SchedulerSession& s, FrameState& fs,
+                                        PipeStage stage, bool speculative) {
+  const double t0 = now_ms();
+  if (stage == PipeStage::kFeatureExtraction) {
+    s.tracker->extract(fs);
+  } else {
+    s.tracker->match(fs);
+  }
+  pace(s, stage, t0);
+  const int event = record(s, fs.index, PipeLane::kFpga, stage, t0, now_ms());
+  if (speculative) {
+    s.pending_speculated = true;
+    s.pending_spec_event = event;
+    const std::lock_guard<std::mutex> lock(s.stats_mutex);
+    ++s.stats.speculative_matches;
+  }
+}
+
+void TrackerScheduler::finalize_match(SchedulerSession& s, FrameState& fs) {
+  // The barrier is open: frame fs.index - 1 has retired.  A speculative
+  // match is authoritative iff no structural map change intervened.
+  const bool speculation_holds =
+      s.pending_speculated && s.tracker->matches_current(fs);
+  if (!speculation_holds) {
+    if (s.pending_speculated) {
+      if (s.pending_spec_event >= 0) {
+        const std::lock_guard<std::mutex> lock(s.events_mutex);
+        s.events[static_cast<std::size_t>(s.pending_spec_event)].speculative =
+            true;
+      }
+      const std::lock_guard<std::mutex> lock(s.stats_mutex);
+      ++s.stats.replayed_matches;
+    }
+    run_device_stage(s, fs, PipeStage::kFeatureMatching, false);
+  }
+  s.pending_speculated = false;
+  s.pending_spec_event = -1;
+}
+
+// ---- ARM worker pool -------------------------------------------------------
+
+void TrackerScheduler::enqueue_arm(const SessionRef& session) {
+  {
+    const std::lock_guard<std::mutex> lock(work_mutex_);
+    ++session->arm_backlog;
+    if (session->arm_queued) return;  // the owning worker sees the backlog
+    session->arm_queued = true;
+    work_q_.push_back(session);
+  }
+  work_cv_.notify_one();
+}
+
+void TrackerScheduler::arm_worker() {
+  for (;;) {
+    SessionRef session;
+    {
+      std::unique_lock<std::mutex> lock(work_mutex_);
+      work_cv_.wait(lock, [&] { return stop_.load() || !work_q_.empty(); });
+      if (stop_.load()) return;
+      session = std::move(work_q_.front());
+      work_q_.pop_front();
+    }
+    run_session_arm(*session);
+  }
+}
+
+void TrackerScheduler::run_session_arm(SchedulerSession& s) {
+  // This worker owns the session (arm_queued == true) until the backlog is
+  // empty — ARM stages of one session therefore run serially in frame
+  // order, while other workers serve other sessions.
+  for (;;) {
+    if (stop_.load()) return;  // abandon like the lanes on shutdown
+    {
+      const std::lock_guard<std::mutex> lock(work_mutex_);
+      if (s.arm_backlog == 0) {
+        s.arm_queued = false;
+        return;
+      }
+      --s.arm_backlog;
+    }
+    FrameState fs;
+    const bool popped = s.handoff_q.try_pop(fs);
+    // The handoff push happens-before the backlog increment (both sides of
+    // work_mutex_), so a claimed backlog unit always finds its frame.
+    ESLAM_ASSERT(popped, "ARM backlog out of sync with handoff ring");
+
+    double t0 = now_ms();
+    s.tracker->estimate_pose(fs);
+    pace(s, PipeStage::kPoseEstimation, t0);
+    record(s, fs.index, PipeLane::kArm, PipeStage::kPoseEstimation, t0,
+           now_ms());
+
+    t0 = now_ms();
+    s.tracker->optimize_pose(fs);
+    pace(s, PipeStage::kPoseOptimization, t0);
+    record(s, fs.index, PipeLane::kArm, PipeStage::kPoseOptimization, t0,
+           now_ms());
+
+    t0 = now_ms();
+    const int index = fs.index;
+    TrackResult result = s.tracker->update_map(fs);
+    pace(s, PipeStage::kMapUpdating, t0);
+    record(s, index, PipeLane::kArm, PipeStage::kMapUpdating, t0, now_ms());
+
+    // Publish retirement before delivering the result: the device lane's
+    // key-frame barrier must not wait on the user's poll cadence.
+    s.retired_through.store(index);
+    s.frames_retired.fetch_add(1);
+    {
+      const std::lock_guard<std::mutex> lock(s.results_mutex);
+      s.results.push_back(std::move(result));
+    }
+    // A retirement can open this session's barrier or free a handoff slot
+    // (device lane), and delivers a result (parked drain()/close()).
+    kick_device();
+    kick_user(s);
+  }
+}
+
+}  // namespace eslam

@@ -1,0 +1,171 @@
+// Multi-session Figure-7 runtime: one scheduler, N trackers.
+//
+// The paper's premise is that the FPGA fabric is the scarce resource the
+// ARM host schedules work onto.  This scheduler serves N independent
+// tracking sessions from exactly that shape: a single shared *device lane*
+// thread executes feature extraction + feature matching for every session
+// (the one fabric), and a fixed pool of *ARM worker* threads executes pose
+// estimation / pose optimization / map updating, at most one worker per
+// session at a time.  Per-session semantics are identical to the
+// single-stream PipelineExecutor:
+//
+//   * bounded SPSC input ring per session — a full ring is back-pressure
+//     for that session only;
+//   * the key-frame barrier is per-session: the authoritative FM of frame
+//     N+1 must see the session's map after MU of frame N.  While the
+//     barrier is closed the frame waits in a per-session pending slot
+//     (after an optional speculative FM, replayed if the epoch moved), and
+//     the device lane moves on to other sessions instead of blocking;
+//   * ARM stages of one session run serially in frame order (ownership is
+//     handed to exactly one worker at a time), so each session's results
+//     are bit-identical to a solo sequential Tracker::process() run.
+//
+// Dispatch is round-robin with fairness counting: each device-lane pass
+// starts from a rotating cursor, so no session can monopolize the fabric,
+// and per-session dispatch counts are exported through PipelineStats.
+// When no session has runnable work the device lane parks on a condition
+// variable (kicked by feeds, retirements and session changes) — an idle
+// scheduler consumes no CPU.
+//
+// Threading contract: each session's feed/try_feed/poll/drain must be
+// driven by one thread at a time (different sessions may use different
+// threads); add_session/remove_session may race with other sessions'
+// traffic but not with the removed session's own calls.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/lane.h"
+#include "runtime/spsc_queue.h"
+#include "slam/tracker.h"
+
+namespace eslam {
+
+// Opaque per-session state (defined in tracker_scheduler.cpp).  Holders
+// pass the ref back into the scheduler; per-frame calls touch only this
+// session's state — no registry lookup, no scheduler-wide lock.
+struct SchedulerSession;
+using SessionRef = std::shared_ptr<SchedulerSession>;
+
+// Pads an executed stage to a modeled platform duration: after running a
+// stage, the owning lane sleeps out `pacer(stage) - measured_ms`.  This is
+// the emulation hook that lets a fast host reproduce the paper's
+// ARM-Cortex-A9 / 100 MHz-fabric schedule proportions (cf. timing_model's
+// arm_from_host): the lane stays *occupied* for the modeled time, exactly
+// as the slower platform's unit would be.  Return <= 0 for "no pacing".
+using StagePacer = std::function<double(PipeStage)>;
+
+struct SchedulerOptions {
+  // ARM worker pool size (the "ARM cores" serving all sessions).
+  int arm_workers = 1;
+};
+
+// Per-session knobs (PipelineOptions is the single-stream alias of this).
+struct SchedulerSessionOptions {
+  int queue_capacity = 4;        // input + handoff ring depth
+  bool speculative_match = true; // FM before the barrier, replay on epoch
+  bool record_events = true;     // keep the per-stage event log
+  StagePacer pacer;              // optional platform-emulation padding
+};
+
+class TrackerScheduler {
+ public:
+  explicit TrackerScheduler(const SchedulerOptions& options = {});
+  ~TrackerScheduler();  // stops lanes; in-flight frames are abandoned
+
+  TrackerScheduler(const TrackerScheduler&) = delete;
+  TrackerScheduler& operator=(const TrackerScheduler&) = delete;
+
+  // Registers a tracker as a new session.  The tracker must outlive the
+  // session and must not be driven through process() meanwhile.
+  SessionRef add_session(Tracker& tracker,
+                         const SchedulerSessionOptions& options = {});
+  // Blocks until every fed frame of the session has retired, then removes
+  // it.  Results not yet polled are discarded — callers that want them
+  // drain() first.
+  void remove_session(const SessionRef& session);
+
+  // Non-blocking feed; false when the session's input ring is full (that
+  // session's back-pressure).
+  bool try_feed(const SessionRef& session, FrameInput frame);
+  // Blocking feed: waits for input-ring space.  Result delivery is
+  // unbounded on the user side, so waiting here can never deadlock the
+  // lanes — back-pressure is governed by the input ring alone.
+  void feed(const SessionRef& session, FrameInput frame);
+
+  // Next result of this session in feed order, if one is ready.
+  std::optional<TrackResult> poll(const SessionRef& session);
+  // Blocks until every frame fed to this session has been delivered and
+  // returns the not-yet-polled results in order.  Other sessions keep
+  // flowing meanwhile; the session stays usable afterwards.
+  std::vector<TrackResult> drain(const SessionRef& session);
+
+  // Frames fed but not yet retired through map updating.
+  int in_flight(const SessionRef& session) const;
+
+  PipelineStats stats(const SessionRef& session) const;
+  std::vector<StageEvent> stage_events(const SessionRef& session) const;
+
+  int session_count() const;
+  // Sum of device-lane dispatch turns across live sessions (fairness
+  // accounting; compare per-session PipelineStats::device_dispatches).
+  std::int64_t total_dispatches() const;
+
+ private:
+  void device_lane();
+  bool device_step(const SessionRef& session);
+  void finalize_match(SchedulerSession& s, FrameState& fs);
+  void arm_worker();
+  void run_session_arm(SchedulerSession& s);
+  void enqueue_arm(const SessionRef& session);
+  void run_device_stage(SchedulerSession& s, FrameState& fs, PipeStage stage,
+                        bool speculative);
+  // Sleeps out the remainder of the session pacer's modeled stage time.
+  void pace(const SchedulerSession& s, PipeStage stage, double start_ms) const;
+  // Push + feed bookkeeping; leaves `frame` intact and returns false when
+  // the session's input ring is full.
+  bool push_input(SchedulerSession& s, FrameInput& frame);
+  // Wakes the device lane (new input, retirement, or session change).
+  void kick_device();
+  double now_ms() const;
+  int record(SchedulerSession& s, int frame, PipeLane lane, PipeStage stage,
+             double start_ms, double end_ms);
+
+  SchedulerOptions options_;
+  std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::shared_mutex sessions_mutex_;
+  std::vector<SessionRef> sessions_;
+  std::atomic<std::uint64_t> sessions_generation_{0};
+
+  // Device-lane parking: the lane sleeps here when a full pass makes no
+  // progress; producers bump the signal counter and notify.
+  std::mutex device_mutex_;
+  std::condition_variable device_cv_;
+  std::uint64_t device_signal_ = 0;  // guarded by device_mutex_
+
+  // ARM work queue: sessions with handed-off frames awaiting ARM stages.
+  // arm_backlog / arm_queued of every session are guarded by work_mutex_
+  // (one short acquisition per frame handoff — the frames themselves move
+  // through the preallocated SPSC rings).
+  std::mutex work_mutex_;
+  std::condition_variable work_cv_;
+  std::deque<SessionRef> work_q_;
+
+  std::atomic<bool> stop_{false};
+  std::thread device_thread_;
+  std::vector<std::thread> arm_threads_;
+};
+
+}  // namespace eslam

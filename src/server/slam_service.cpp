@@ -1,0 +1,131 @@
+#include "server/slam_service.h"
+
+#include <utility>
+
+#include "geometry/assert.h"
+
+namespace eslam {
+
+// The service-side body of one session: the tracker (which owns the
+// backend) plus its scheduler slot.  Held by shared_ptr from the handle so
+// a moved-from handle stays cheap and the body dies exactly once.
+struct ServiceSession {
+  int id = -1;           // service-assigned, stable across the lifetime
+  SessionRef slot;       // per-session scheduler state (no lookups)
+  std::unique_ptr<Tracker> tracker;
+};
+
+// ---- SessionHandle ---------------------------------------------------------
+
+SessionHandle::SessionHandle(SlamService* service,
+                             std::shared_ptr<ServiceSession> session)
+    : service_(service), session_(std::move(session)) {}
+
+SessionHandle::~SessionHandle() { close(); }
+
+SessionHandle::SessionHandle(SessionHandle&& other) noexcept
+    : service_(std::exchange(other.service_, nullptr)),
+      session_(std::move(other.session_)) {}
+
+SessionHandle& SessionHandle::operator=(SessionHandle&& other) noexcept {
+  if (this != &other) {
+    close();
+    service_ = std::exchange(other.service_, nullptr);
+    session_ = std::move(other.session_);
+  }
+  return *this;
+}
+
+int SessionHandle::id() const { return session_ ? session_->id : -1; }
+
+bool SessionHandle::try_feed(FrameInput frame) {
+  if (!service_) return false;
+  return service_->scheduler_.try_feed(session_->slot, std::move(frame));
+}
+
+void SessionHandle::feed(FrameInput frame) {
+  if (!service_) return;
+  service_->scheduler_.feed(session_->slot, std::move(frame));
+}
+
+std::optional<TrackResult> SessionHandle::poll() {
+  if (!service_) return std::nullopt;
+  return service_->scheduler_.poll(session_->slot);
+}
+
+std::vector<TrackResult> SessionHandle::drain() {
+  if (!service_) return {};
+  return service_->scheduler_.drain(session_->slot);
+}
+
+int SessionHandle::in_flight() const {
+  return service_ ? service_->scheduler_.in_flight(session_->slot) : 0;
+}
+
+PipelineStats SessionHandle::stats() const {
+  return service_ ? service_->scheduler_.stats(session_->slot) : PipelineStats{};
+}
+
+std::vector<StageEvent> SessionHandle::stage_events() const {
+  if (!service_) return {};
+  return service_->scheduler_.stage_events(session_->slot);
+}
+
+const Tracker& SessionHandle::tracker() const {
+  ESLAM_ASSERT(session_ != nullptr, "tracker() on a closed session handle");
+  return *session_->tracker;
+}
+
+std::vector<TrackResult> SessionHandle::close() {
+  if (!service_) return {};
+  std::vector<TrackResult> leftovers =
+      service_->scheduler_.drain(session_->slot);
+  service_->scheduler_.remove_session(session_->slot);
+  service_ = nullptr;
+  session_.reset();  // destroys the tracker + backend
+  return leftovers;
+}
+
+// ---- SlamService -----------------------------------------------------------
+
+SlamService::SlamService(const ServiceOptions& options)
+    : options_(options),
+      scheduler_(SchedulerOptions{std::max(1, options.arm_workers)}) {}
+
+SlamService::~SlamService() = default;
+
+SessionHandle SlamService::open_session(const SessionConfig& config) {
+  auto session = std::make_shared<ServiceSession>();
+  session->tracker = std::make_unique<Tracker>(
+      config.camera,
+      config.backend_factory ? config.backend_factory()
+                             : make_feature_backend(config.backend),
+      config.tracker);
+
+  SchedulerSessionOptions scheduler_options;
+  scheduler_options.queue_capacity = config.queue_capacity;
+  scheduler_options.speculative_match = config.speculative_match;
+  scheduler_options.record_events = config.record_events;
+  scheduler_options.pacer = config.pacer;
+  session->slot = scheduler_.add_session(*session->tracker,
+                                         scheduler_options);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    session->id = sessions_opened_++;
+  }
+  return SessionHandle(this, std::move(session));
+}
+
+int SlamService::session_count() const { return scheduler_.session_count(); }
+
+ServiceStats SlamService::stats() const {
+  ServiceStats s;
+  s.sessions_open = scheduler_.session_count();
+  s.arm_workers = std::max(1, options_.arm_workers);
+  s.device_dispatches = scheduler_.total_dispatches();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  s.sessions_opened_total = sessions_opened_;
+  return s;
+}
+
+}  // namespace eslam

@@ -1,0 +1,141 @@
+// Multi-session SLAM serving layer.
+//
+// SlamService owns the shared execution resources of the platform — one
+// device lane standing in for the FPGA fabric and a fixed pool of ARM
+// worker threads (TrackerScheduler) — and multiplexes N independent
+// tracking sessions over them.  Each open_session() builds a private
+// Tracker + feature backend from a SessionConfig (per-session camera,
+// platform, tracker tuning) and registers it with the scheduler; the
+// returned SessionHandle is the client's connection: feed/poll/drain,
+// stats, stage events, and lifecycle.
+//
+// Sharing model (the paper's, scaled out): the fabric is the scarce
+// resource, so FE+FM of *all* sessions serialize on the one device lane
+// under round-robin fairness, while PE/PO/MU parallelize across sessions
+// up to the worker-pool width — at most one worker per session at a time,
+// so every session's results stay bit-identical to running that sequence
+// alone in ExecutionMode::kSequential.  Back-pressure is per session: one
+// slow or stalled session fills only its own bounded input ring and never
+// blocks the lane for the others.
+//
+// Threading: a SessionHandle must be driven by one thread at a time;
+// different handles may be driven from different threads concurrently.
+// open_session()/close() may race with other sessions' traffic.  The
+// service must outlive every handle it issued.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "accel/backend_factory.h"
+#include "geometry/camera.h"
+#include "runtime/tracker_scheduler.h"
+#include "slam/tracker.h"
+
+namespace eslam {
+
+class SlamService;
+struct ServiceSession;
+
+struct ServiceOptions {
+  // ARM worker pool width (how many sessions can be in PE/PO/MU at once).
+  int arm_workers = 2;
+};
+
+// Everything one session needs: sensor, platform, tracker tuning, and its
+// runtime knobs.  Sessions are fully independent — distinct cameras,
+// distinct backends, distinct maps.
+struct SessionConfig {
+  PinholeCamera camera = PinholeCamera::tum_freiburg1();
+  BackendConfig backend;
+  TrackerOptions tracker;
+  int queue_capacity = 4;         // this session's input/handoff ring depth
+  bool speculative_match = true;
+  bool record_events = false;     // off by default: sessions are long-lived
+  StagePacer pacer;               // platform-emulation padding (benches)
+  // Overrides make_feature_backend(backend) when set — lets tests and
+  // benches inject instrumented/emulated backends per session.
+  std::function<std::unique_ptr<FeatureBackend>()> backend_factory;
+};
+
+struct ServiceStats {
+  int sessions_open = 0;
+  int sessions_opened_total = 0;
+  int arm_workers = 0;
+  std::int64_t device_dispatches = 0;  // across live sessions (fairness)
+};
+
+// A client's connection to one tracking session.  Move-only; closing (or
+// destroying) the handle drains the session and releases its scheduler
+// slot and tracker.
+class SessionHandle {
+ public:
+  SessionHandle() = default;
+  ~SessionHandle();
+  SessionHandle(SessionHandle&& other) noexcept;
+  SessionHandle& operator=(SessionHandle&& other) noexcept;
+  SessionHandle(const SessionHandle&) = delete;
+  SessionHandle& operator=(const SessionHandle&) = delete;
+
+  bool valid() const { return service_ != nullptr; }
+  int id() const;
+
+  // Non-blocking feed; false on this session's back-pressure (input ring
+  // full) or on an invalid handle.
+  bool try_feed(FrameInput frame);
+  // Blocking feed (waits for ring space; other sessions are unaffected).
+  void feed(FrameInput frame);
+  // Next result in feed order, if ready.
+  std::optional<TrackResult> poll();
+  // Blocks until every fed frame is delivered; returns the remainder.
+  std::vector<TrackResult> drain();
+
+  int in_flight() const;
+  PipelineStats stats() const;
+  std::vector<StageEvent> stage_events() const;
+
+  // The session's tracker (trajectory, map).  Only valid while quiescent
+  // — after drain() and before the next feed.
+  const Tracker& tracker() const;
+
+  // Drains, unregisters and destroys the session; returns the not-yet-
+  // polled results.  The handle is invalid afterwards (idempotent).
+  std::vector<TrackResult> close();
+
+ private:
+  friend class SlamService;
+  SessionHandle(SlamService* service, std::shared_ptr<ServiceSession> session);
+
+  SlamService* service_ = nullptr;
+  std::shared_ptr<ServiceSession> session_;
+};
+
+class SlamService {
+ public:
+  explicit SlamService(const ServiceOptions& options = {});
+  ~SlamService();
+
+  SlamService(const SlamService&) = delete;
+  SlamService& operator=(const SlamService&) = delete;
+
+  // Opens a new independent tracking session.
+  SessionHandle open_session(const SessionConfig& config = {});
+
+  int session_count() const;
+  ServiceStats stats() const;
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  friend class SessionHandle;
+
+  ServiceOptions options_;
+  TrackerScheduler scheduler_;
+  mutable std::mutex mutex_;
+  int sessions_opened_ = 0;
+};
+
+}  // namespace eslam

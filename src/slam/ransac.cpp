@@ -5,6 +5,8 @@
 #include <cmath>
 #include <random>
 
+#include "slam/sampling.h"
+
 namespace eslam {
 
 RansacResult ransac_pnp(std::span<const Correspondence> correspondences,
@@ -15,8 +17,14 @@ RansacResult ransac_pnp(std::span<const Correspondence> correspondences,
   const int n = static_cast<int>(correspondences.size());
   if (n < options.sample_size) return best;
 
+  // Explicit bounded reduction (not std::uniform_int_distribution, whose
+  // mapping is implementation-defined): the same seed must yield the same
+  // samples — and therefore the same pose and inlier set — on every
+  // standard library, per the RansacOptions::seed contract.
   std::mt19937_64 rng(options.seed);
-  std::uniform_int_distribution<int> pick(0, n - 1);
+  auto pick = [&rng, n] {
+    return static_cast<int>(bounded_draw(rng, static_cast<std::uint64_t>(n)));
+  };
   const double thresh_sq =
       options.inlier_threshold_px * options.inlier_threshold_px;
 
@@ -34,7 +42,7 @@ RansacResult ransac_pnp(std::span<const Correspondence> correspondences,
     for (int k = 0; k < options.sample_size; ++k) {
       bool fresh;
       do {
-        indices[static_cast<std::size_t>(k)] = pick(rng);
+        indices[static_cast<std::size_t>(k)] = pick();
         fresh = true;
         for (int j = 0; j < k; ++j)
           if (indices[static_cast<std::size_t>(j)] ==

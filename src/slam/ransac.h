@@ -31,7 +31,11 @@ struct RansacOptions {
   // spending max_iterations on hard frames.
   double confidence = 0.999;
   int min_iterations = 16;  // floor under the adaptive stop
-  std::uint64_t seed = 0x5eed5eedULL; // deterministic sampling
+  // Deterministic sampling: the same seed yields the same sample sequence
+  // on every toolchain (mt19937_64 stream + the explicit bounded reduction
+  // in slam/sampling.h — never std::uniform_int_distribution, which is
+  // implementation-defined).
+  std::uint64_t seed = 0x5eed5eedULL;
   PnpOptions refit;                   // per-hypothesis PnP settings
 };
 

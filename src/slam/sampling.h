@@ -1,0 +1,67 @@
+// Deterministic bounded random draws for RANSAC sampling.
+//
+// std::uniform_int_distribution is implementation-defined: the same engine
+// seed produces different draw sequences on libstdc++, libc++ and MSVC, so
+// sampling through it silently breaks the "deterministic sampling" contract
+// of RansacOptions::seed across toolchains.  The mt19937_64 *engine* stream
+// itself is standard-mandated, so reducing its raw 64-bit outputs with an
+// explicitly specified algorithm pins the exact sample sequence everywhere.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace eslam {
+
+namespace detail {
+
+struct Mul128 {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+};
+
+// Schoolbook 64x64 -> 128 multiply from 32-bit limbs.  Pure standard
+// C++, so the reduction below compiles (and stays bit-identical) on
+// toolchains without a 128-bit integer extension; kept callable on every
+// platform so tests can pin it against the fast path.
+inline Mul128 mul_64x64_portable(std::uint64_t a, std::uint64_t b) {
+  const std::uint64_t a_lo = a & 0xffffffffULL, a_hi = a >> 32;
+  const std::uint64_t b_lo = b & 0xffffffffULL, b_hi = b >> 32;
+  const std::uint64_t ll = a_lo * b_lo;
+  const std::uint64_t lh = a_lo * b_hi;
+  const std::uint64_t hl = a_hi * b_lo;
+  const std::uint64_t hh = a_hi * b_hi;
+  const std::uint64_t mid = (ll >> 32) + (lh & 0xffffffffULL) + hl;  // no carry loss
+  Mul128 out;
+  out.lo = (mid << 32) | (ll & 0xffffffffULL);
+  out.hi = hh + (lh >> 32) + (mid >> 32);
+  return out;
+}
+
+inline Mul128 mul_64x64(std::uint64_t a, std::uint64_t b) {
+#if defined(__SIZEOF_INT128__)
+  const unsigned __int128 p = static_cast<unsigned __int128>(a) * b;
+  return {static_cast<std::uint64_t>(p >> 64), static_cast<std::uint64_t>(p)};
+#else
+  return mul_64x64_portable(a, b);
+#endif
+}
+
+}  // namespace detail
+
+// Unbiased draw from [0, bound) using Lemire's multiply-shift reduction
+// (Lemire 2019, "Fast Random Integer Generation in an Interval"): take the
+// high 64 bits of rng() * bound, rejecting the small biased fringe where
+// the low 64 bits fall under 2^64 mod bound.  Consumes a deterministic,
+// implementation-independent number of engine outputs per call.
+// Precondition: bound > 0.
+inline std::uint64_t bounded_draw(std::mt19937_64& rng, std::uint64_t bound) {
+  detail::Mul128 product = detail::mul_64x64(rng(), bound);
+  if (product.lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;  // 2^64 mod bound
+    while (product.lo < threshold) product = detail::mul_64x64(rng(), bound);
+  }
+  return product.hi;
+}
+
+}  // namespace eslam

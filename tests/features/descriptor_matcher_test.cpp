@@ -208,6 +208,41 @@ TEST(Matcher, CrossCheckRejectsAsymmetric) {
   EXPECT_EQ(matches[0].query, 0);
 }
 
+TEST(Matcher, CrossCheckAppliesGatesToBackMatch) {
+  // Forward direction passes every gate and the back match points back,
+  // but the back match fails the *back-side* ratio test (its runner-up is
+  // a different query set than the forward runner-up).  A symmetric
+  // cross-check must reject the pair; a cross-check that only compares
+  // indices accepts it.
+  Descriptor256 a;                        // query 0: all zeros
+  Descriptor256 a_prime;                  // train 0: d(a, a') = 4
+  for (int i = 0; i < 4; ++i) a_prime.set_bit(i, true);
+  Descriptor256 b;                        // query 1: d(a', b) = 6, d(a, b) = 8
+  for (int i = 0; i < 3; ++i) b.set_bit(i, true);     // shares 3 of a' bits
+  for (int i = 0; i < 5; ++i) b.set_bit(50 + i, true);
+  Descriptor256 x;                        // train 1: far from everything
+  for (int i = 0; i < 100; ++i) x.set_bit(100 + i, true);
+
+  const std::vector<Descriptor256> queries = {a, b};
+  const std::vector<Descriptor256> train = {a_prime, x};
+
+  MatcherOptions opts;
+  opts.max_distance = 64;
+  opts.cross_check = true;
+  opts.ratio = 1.0;  // ratio disabled: plain index agreement, a <-> a'
+  {
+    const auto matches = match_descriptors(queries, train, opts);
+    ASSERT_EQ(matches.size(), 1u);
+    EXPECT_EQ(matches[0].query, 0);
+    EXPECT_EQ(matches[0].train, 0);
+  }
+  // Forward ratio for a: 4 < 0.5 * d(a, x) -> passes.  Back match from a':
+  // best is a (4), runner-up is b (6); 4 < 0.5 * 6 fails, so the symmetric
+  // check drops the pair even though back.train == query.
+  opts.ratio = 0.5;
+  EXPECT_TRUE(match_descriptors(queries, train, opts).empty());
+}
+
 TEST(Matcher, EmptyTrainYieldsNoMatches) {
   const auto query = random_set(5, 99);
   EXPECT_TRUE(match_descriptors(query, {}, MatcherOptions{}).empty());

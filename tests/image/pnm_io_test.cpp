@@ -1,0 +1,102 @@
+// Malformed-file regression tests for the PNM parser: truncated headers,
+// comments (legal between tokens, illegal before the magic), and absurd
+// dimensions must all come back as an empty image — never UB (isspace on
+// EOF), never a multi-terabyte allocation, never an infinite loop.
+#include "image/pnm_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace eslam {
+namespace {
+
+class PnmFile {
+ public:
+  explicit PnmFile(const std::string& contents) {
+    path_ = std::string(::testing::TempDir()) + "pnm_io_test_" +
+            std::to_string(counter_++) + ".pnm";
+    std::ofstream os(path_, std::ios::binary);
+    os.write(contents.data(),
+             static_cast<std::streamsize>(contents.size()));
+  }
+  ~PnmFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  static int counter_;
+  std::string path_;
+};
+
+int PnmFile::counter_ = 0;
+
+TEST(PnmIo, RoundTripsPgm) {
+  ImageU8 image(5, 4);
+  for (int y = 0; y < 4; ++y)
+    for (int x = 0; x < 5; ++x)
+      image.at(x, y) = static_cast<std::uint8_t>(10 * y + x);
+  const PnmFile file("");
+  ASSERT_TRUE(write_pgm(file.path(), image));
+  const ImageU8 back = read_pgm(file.path());
+  ASSERT_EQ(back.width(), 5);
+  ASSERT_EQ(back.height(), 4);
+  for (int y = 0; y < 4; ++y)
+    for (int x = 0; x < 5; ++x) EXPECT_EQ(back.at(x, y), image.at(x, y));
+}
+
+TEST(PnmIo, AcceptsCommentsBetweenHeaderTokens) {
+  const std::string pixels(6, 'x');
+  const PnmFile file("P5\n# a comment\n3 # inline\n# another\n2\n255\n" +
+                     pixels);
+  const ImageU8 image = read_pgm(file.path());
+  EXPECT_EQ(image.width(), 3);
+  EXPECT_EQ(image.height(), 2);
+}
+
+TEST(PnmIo, RejectsTruncatedHeaderAtEof) {
+  // Header ends mid-token list: the whitespace/comment skipper must hit a
+  // clean EOF return, not feed Traits::eof() to isspace or spin forever.
+  for (const char* contents : {"P5", "P5\n", "P5\n64", "P5\n64 ", "P5\n64 48",
+                               "P5\n64 48\n"}) {
+    const PnmFile file(contents);
+    EXPECT_EQ(read_pgm(file.path()).width(), 0) << '"' << contents << '"';
+  }
+}
+
+TEST(PnmIo, RejectsCommentOnlyHeader) {
+  const PnmFile file("P5\n# only a comment, then nothing");
+  EXPECT_EQ(read_pgm(file.path()).width(), 0);
+}
+
+TEST(PnmIo, RejectsCommentBeforeMagic) {
+  const PnmFile file("# comment first is not valid PNM\nP5\n2 2\n255\nabcd");
+  EXPECT_EQ(read_pgm(file.path()).width(), 0);
+}
+
+TEST(PnmIo, RejectsHugeDimensionsWithoutAllocating) {
+  // 10^6 x 10^6 = a terabyte-scale allocation if the parser trusts the
+  // header; it must be rejected before ImageU8 is constructed.
+  const PnmFile file("P5\n1000000 1000000\n255\n");
+  EXPECT_EQ(read_pgm(file.path()).width(), 0);
+  const PnmFile negative("P5\n-3 2\n255\nabcdef");
+  EXPECT_EQ(read_pgm(negative.path()).width(), 0);
+  const PnmFile ppm("P6\n2000000 2000000\n255\n");
+  EXPECT_EQ(read_ppm(ppm.path()).width(), 0);
+}
+
+TEST(PnmIo, RejectsTruncatedPixelData) {
+  const PnmFile file("P5\n4 4\n255\nonly-ten-b");
+  EXPECT_EQ(read_pgm(file.path()).width(), 0);
+}
+
+TEST(PnmIo, RejectsWrongMagic) {
+  const PnmFile file("P4\n2 2\n255\nabcd");
+  EXPECT_EQ(read_pgm(file.path()).width(), 0);
+  const PnmFile swapped("P6\n2 2\n255\nabcd");  // PPM magic fed to PGM reader
+  EXPECT_EQ(read_pgm(swapped.path()).width(), 0);
+}
+
+}  // namespace
+}  // namespace eslam

@@ -1,0 +1,150 @@
+// Dedicated SpscRing tests: wraparound across many revolutions, the
+// full/empty sentinel-slot distinction, size() observed while a producer
+// and a consumer hammer the ring concurrently, and move-only payloads
+// (the rings carry FrameState / TrackResult by move, so the slot protocol
+// must never require copies).
+#include "runtime/spsc_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <utility>
+
+namespace eslam {
+namespace {
+
+TEST(SpscQueue, SentinelDistinguishesFullFromEmpty) {
+  SpscRing<int> ring(1);  // smallest ring: 2 slots, 1 usable
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_TRUE(ring.try_push(7));
+  EXPECT_FALSE(ring.empty());
+  EXPECT_EQ(ring.size(), 1u);
+  int bounced = 8;
+  EXPECT_FALSE(ring.try_push(std::move(bounced)));  // full, not empty
+  EXPECT_EQ(bounced, 8);                            // rejected value intact
+  int out = 0;
+  ASSERT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(out, 7);
+  EXPECT_TRUE(ring.empty());
+  EXPECT_FALSE(ring.try_pop(out));  // empty again, not full
+}
+
+TEST(SpscQueue, WraparoundPreservesFifoAcrossManyRevolutions) {
+  SpscRing<int> ring(3);  // 4 slots: indices revolve every 4 operations
+  int next_push = 0, next_pop = 0;
+  // Mixed phase: partially fill, then stream so head/tail cross the
+  // sentinel boundary at every alignment.
+  for (int i = 0; i < 2; ++i) ASSERT_TRUE(ring.try_push(int{next_push++}));
+  for (int step = 0; step < 1000; ++step) {
+    ASSERT_TRUE(ring.try_push(int{next_push++}));
+    int out = -1;
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, next_pop++);
+  }
+  EXPECT_EQ(ring.size(), 2u);
+  for (int i = 0; i < 2; ++i) {
+    int out = -1;
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, next_pop++);
+  }
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscQueue, CapacityIsExactAtEveryFillLevel) {
+  SpscRing<int> ring(5);
+  EXPECT_EQ(ring.capacity(), 5u);
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_EQ(ring.size(), static_cast<std::size_t>(i));
+      ASSERT_TRUE(ring.try_push(int{i}));
+    }
+    int rejected = -1;
+    EXPECT_FALSE(ring.try_push(std::move(rejected)));
+    int out = -1;
+    for (int i = 0; i < 5; ++i) ASSERT_TRUE(ring.try_pop(out));
+  }
+}
+
+TEST(SpscQueue, SizeStaysInRangeDuringConcurrentHammer) {
+  SpscRing<int> ring(8);
+  constexpr int kCount = 50000;
+  std::atomic<bool> done{false};
+  std::thread producer([&] {
+    for (int i = 0; i < kCount; ++i)
+      while (!ring.try_push(int{i})) std::this_thread::yield();
+    done.store(true);
+  });
+  std::thread observer([&] {
+    // size() is approximate while both ends move, but must always stay
+    // within [0, capacity] — a torn read that escapes that range means
+    // the index protocol is broken.
+    while (!done.load()) {
+      const std::size_t s = ring.size();
+      EXPECT_LE(s, ring.capacity());
+    }
+  });
+  int expected = 0;
+  while (expected < kCount) {
+    int v = -1;
+    if (ring.try_pop(v)) {
+      ASSERT_EQ(v, expected);  // no loss, no duplication, exact order
+      ++expected;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  producer.join();
+  observer.join();
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscQueue, MoveOnlyPayloads) {
+  SpscRing<std::unique_ptr<int>> ring(2);
+  ASSERT_TRUE(ring.try_push(std::make_unique<int>(1)));
+  ASSERT_TRUE(ring.try_push(std::make_unique<int>(2)));
+  auto bounced = std::make_unique<int>(3);
+  EXPECT_FALSE(ring.try_push(std::move(bounced)));
+  ASSERT_NE(bounced, nullptr);  // full push must leave the value intact
+  EXPECT_EQ(*bounced, 3);
+
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(ring.try_pop(out));
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, 1);
+  ASSERT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(*out, 2);
+  EXPECT_FALSE(ring.try_pop(out));
+
+  // Values moved out of the ring leave the slot reusable.
+  ASSERT_TRUE(ring.try_push(std::move(bounced)));
+  ASSERT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(*out, 3);
+}
+
+TEST(SpscQueue, MoveOnlyTwoThreadStream) {
+  SpscRing<std::unique_ptr<int>> ring(4);
+  constexpr int kCount = 5000;
+  std::thread producer([&] {
+    for (int i = 0; i < kCount; ++i) {
+      auto p = std::make_unique<int>(i);
+      while (!ring.try_push(std::move(p))) std::this_thread::yield();
+    }
+  });
+  int expected = 0;
+  while (expected < kCount) {
+    std::unique_ptr<int> out;
+    if (ring.try_pop(out)) {
+      ASSERT_NE(out, nullptr);
+      ASSERT_EQ(*out, expected);
+      ++expected;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  producer.join();
+}
+
+}  // namespace
+}  // namespace eslam

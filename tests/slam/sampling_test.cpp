@@ -1,0 +1,114 @@
+// Golden-sample regression tests for slam/sampling.h: the RANSAC sampler's
+// draw sequences are part of the RansacOptions::seed determinism contract,
+// so the exact values for known seeds are pinned here.  The mt19937_64
+// stream is standard-mandated and the Lemire reduction is fully specified,
+// so these sequences must match on every conforming toolchain — if this
+// test fails, cross-platform RANSAC reproducibility is broken.
+#include "slam/sampling.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "geometry/camera.h"
+#include "slam/ransac.h"
+
+namespace eslam {
+namespace {
+
+TEST(BoundedDraw, GoldenSequenceRansacDefaultSeed) {
+  std::mt19937_64 rng(0x5eed5eedULL);
+  const std::array<std::uint64_t, 12> expected = {3, 8, 7, 3, 8, 8,
+                                                  1, 5, 8, 4, 6, 1};
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    EXPECT_EQ(bounded_draw(rng, 10), expected[i]) << "draw " << i;
+}
+
+TEST(BoundedDraw, GoldenSequencePrimeBound) {
+  std::mt19937_64 rng(42);
+  const std::array<std::uint64_t, 12> expected = {73, 61, 72, 13, 87, 9,
+                                                  55, 36, 26, 37, 1,  50};
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    EXPECT_EQ(bounded_draw(rng, 97), expected[i]) << "draw " << i;
+}
+
+TEST(BoundedDraw, GoldenSequenceHugeBoundExercisesRejection) {
+  // bound = 2^63 + 1 makes the rejection threshold (2^64 mod bound) equal
+  // to 2^63 - 1, so roughly half of all raw engine outputs are rejected —
+  // the resampling loop must be deterministic too.
+  std::mt19937_64 rng(7);
+  const std::uint64_t bound = (std::uint64_t{1} << 63) + 1;
+  const std::array<std::uint64_t, 6> expected = {
+      8755758169312616625ULL, 8226447053392166523ULL, 1303000185656569710ULL,
+      8307587821880615459ULL, 2371864540489427440ULL, 6621511216890701170ULL};
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    EXPECT_EQ(bounded_draw(rng, bound), expected[i]) << "draw " << i;
+}
+
+TEST(BoundedDraw, EngineStreamItselfIsPinned) {
+  // Guard the premise: mt19937_64's raw output stream for a given seed is
+  // fixed by the standard (this is what makes the reduction portable).
+  std::mt19937_64 rng(0x5eed5eedULL);
+  EXPECT_EQ(rng(), 7090392361162978728ULL);
+  EXPECT_EQ(rng(), 16563534141566478799ULL);
+  EXPECT_EQ(rng(), 13657529692677218509ULL);
+}
+
+TEST(BoundedDraw, PortableMultiplyMatchesNativePath) {
+  // The portable 32-bit-limb multiply must agree with whatever path
+  // bounded_draw actually uses, or the pinned sequences diverge across
+  // toolchains with and without a 128-bit integer type.
+  std::mt19937_64 rng(2026);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t a = rng(), b = rng();
+    const detail::Mul128 fast = detail::mul_64x64(a, b);
+    const detail::Mul128 portable = detail::mul_64x64_portable(a, b);
+    ASSERT_EQ(fast.hi, portable.hi) << "a=" << a << " b=" << b;
+    ASSERT_EQ(fast.lo, portable.lo) << "a=" << a << " b=" << b;
+  }
+  // Edge products around the carry boundaries.
+  for (std::uint64_t a : {0ULL, 1ULL, 0xffffffffULL, 0x100000000ULL,
+                          0xffffffffffffffffULL})
+    for (std::uint64_t b : {0ULL, 1ULL, 0xffffffffULL, 0x100000000ULL,
+                            0xffffffffffffffffULL}) {
+      const detail::Mul128 fast = detail::mul_64x64(a, b);
+      const detail::Mul128 portable = detail::mul_64x64_portable(a, b);
+      EXPECT_EQ(fast.hi, portable.hi) << "a=" << a << " b=" << b;
+      EXPECT_EQ(fast.lo, portable.lo) << "a=" << a << " b=" << b;
+    }
+}
+
+TEST(BoundedDraw, StaysInRange) {
+  std::mt19937_64 rng(123);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL})
+    for (int i = 0; i < 200; ++i) EXPECT_LT(bounded_draw(rng, bound), bound);
+}
+
+TEST(RansacPnp, SameSeedSameResultBitForBit) {
+  // End-to-end determinism: two identical calls must agree exactly —
+  // same iterations, same inlier indices, same pose bits.
+  const PinholeCamera camera = PinholeCamera::tum_freiburg1();
+  std::vector<Correspondence> c;
+  std::mt19937_64 rng(99);
+  for (int i = 0; i < 40; ++i) {
+    const double x = static_cast<double>(bounded_draw(rng, 200)) / 50.0 - 2.0;
+    const double y = static_cast<double>(bounded_draw(rng, 200)) / 50.0 - 2.0;
+    const double z = 1.5 + static_cast<double>(bounded_draw(rng, 100)) / 50.0;
+    const Vec3 world{x, y, z};
+    Vec2 pixel = *camera.project(world);  // z >= 1.5: always in front
+    if (i % 5 == 0) pixel = Vec2{pixel[0] + 25.0, pixel[1] - 30.0};  // outlier
+    c.push_back(Correspondence{world, pixel});
+  }
+  RansacOptions opts;
+  const RansacResult a = ransac_pnp(c, camera, SE3{}, opts);
+  const RansacResult b = ransac_pnp(c, camera, SE3{}, opts);
+  EXPECT_TRUE(a.success);
+  EXPECT_EQ(a.iterations, b.iterations);
+  ASSERT_EQ(a.inliers, b.inliers);
+  EXPECT_EQ((a.pose.translation() - b.pose.translation()).max_abs(), 0.0);
+  EXPECT_EQ((a.pose.rotation() - b.pose.rotation()).max_abs(), 0.0);
+}
+
+}  // namespace
+}  // namespace eslam
