@@ -5,10 +5,12 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <span>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/eslam.h"
@@ -67,6 +69,20 @@ class DeviceEmulationBackend final : public FeatureBackend {
                            std::span<const Descriptor256> train) override {
     const WallTimer timer;
     std::vector<Match> matches = match_descriptors(queries, train, matcher_);
+    sleep_until_elapsed(timer, fm_floor_ms_);
+    match_ms_.store(timer.elapsed_ms());
+    return matches;
+  }
+
+  // Gated tier: the same device floor applies (the modeled fabric answers
+  // no slower gated than full-scan), so the emulated schedule is
+  // conservative while the functional result is the real windowed search.
+  std::vector<Match> match_candidates(std::span<const Descriptor256> queries,
+                                      std::span<const Descriptor256> train,
+                                      const CandidateSet& candidates) override {
+    const WallTimer timer;
+    std::vector<Match> matches =
+        eslam::match_candidates(queries, train, candidates, matcher_);
     sleep_until_elapsed(timer, fm_floor_ms_);
     match_ms_.store(timer.elapsed_ms());
     return matches;
@@ -142,5 +158,90 @@ inline void print_header(const char* title, const char* paper_ref) {
   std::printf("\n=== %s ===\n", title);
   std::printf("reproduces: %s (eSLAM, DAC 2019)\n\n", paper_ref);
 }
+
+// Machine-readable benchmark output: accumulates numbers, strings, flat
+// arrays and uniform row tables, then writes BENCH_<name>.json in the
+// working directory — the artifact CI uploads so the perf trajectory
+// (FPS, p50/p99, match-time-vs-map-size curves) is tracked per run.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  void number(const std::string& key, double value) {
+    fields_.emplace_back(key, fmt_number(value));
+  }
+  void text(const std::string& key, const std::string& value) {
+    fields_.emplace_back(key, "\"" + escaped(value) + "\"");
+  }
+  void array(const std::string& key, std::span<const double> values) {
+    std::string v = "[";
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (i) v += ", ";
+      v += fmt_number(values[i]);
+    }
+    fields_.emplace_back(key, v + "]");
+  }
+  // Uniform table: rows of {columns[0]: row[0], ...}.
+  void rows(const std::string& key, std::span<const std::string> columns,
+            const std::vector<std::vector<double>>& rows) {
+    std::string v = "[";
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      if (r) v += ", ";
+      v += "{";
+      for (std::size_t c = 0; c < columns.size() && c < rows[r].size(); ++c) {
+        if (c) v += ", ";
+        v += "\"" + escaped(columns[c]) + "\": " + fmt_number(rows[r][c]);
+      }
+      v += "}";
+    }
+    fields_.emplace_back(key, v + "]");
+  }
+
+  // Writes BENCH_<name>.json; returns false (and warns) on I/O failure
+  // without affecting the bench's exit code.
+  bool write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\"", escaped(name_).c_str());
+    for (const auto& [key, value] : fields_)
+      std::fprintf(f, ",\n  \"%s\": %s", escaped(key).c_str(), value.c_str());
+    std::fprintf(f, "\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  static std::string fmt_number(double v) {
+    if (v != v) return "null";  // NaN is not valid JSON
+    char buf[64];
+    if (v == static_cast<double>(static_cast<long long>(v)) &&
+        std::abs(v) < 1e15) {
+      std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    } else {
+      std::snprintf(buf, sizeof buf, "%.6g", v);
+    }
+    return buf;
+  }
+  static std::string escaped(const std::string& s) {
+    std::string out;
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      if (c == '\n') {
+        out += "\\n";
+        continue;
+      }
+      out += c;
+    }
+    return out;
+  }
+
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
 
 }  // namespace eslam::bench

@@ -224,6 +224,24 @@ int main() {
   std::printf("\naggregate scaling 1 -> 4 sessions: %.2fx\n\n",
               four.aggregate_fps / one.aggregate_fps);
 
+  {
+    bench::BenchJson json("multi_session_throughput");
+    json.number("streams", kStreams);
+    json.number("frames_per_session", kFramesPerSession);
+    json.number("arm_workers", kArmWorkers);
+    json.number("scaling_1_to_4", four.aggregate_fps / one.aggregate_fps);
+    const std::string columns[] = {"sessions", "wall_ms", "aggregate_fps",
+                                   "p50_ms", "p99_ms"};
+    const int session_counts[] = {1, 2, 4};
+    std::vector<std::vector<double>> rows;
+    for (std::size_t i = 0; i < runs.size(); ++i)
+      rows.push_back({static_cast<double>(session_counts[i]), runs[i].wall_ms,
+                      runs[i].aggregate_fps, runs[i].p50_ms, runs[i].p99_ms});
+    json.rows("sessions", columns, rows);
+    json.write();
+    std::printf("\n");
+  }
+
   std::printf("checks:\n");
   bool all_delivered = true;
   for (const RunResult& r : runs)

@@ -197,10 +197,12 @@ int main() {
   int p_normal = 0, p_key = 0;
   int overlapped = 0, overlap_candidates = 0;
   bool key_barrier_ok = true;
+  std::vector<double> periods;  // all retire-to-retire intervals (p50/p99)
   for (int n = 2; n < opts.frames; ++n) {
     const FrameEvents& cur = by_frame.at(n);
     const FrameEvents& prev = by_frame.at(n - 1);
     const double period = cur.mu->end_ms - prev.mu->end_ms;
+    periods.push_back(period);
     if (results[static_cast<std::size_t>(n)].keyframe) {
       pipe_key_period_ms += period;
       ++p_key;
@@ -275,6 +277,33 @@ int main() {
     draw_measured(by_frame.at(n - 1), by_frame.at(n));
     std::printf("\n");
     break;
+  }
+
+  // --- machine-readable output ---------------------------------------------
+  {
+    std::vector<double> sorted = periods;
+    std::sort(sorted.begin(), sorted.end());
+    auto pct = [&](double p) {
+      if (sorted.empty()) return 0.0;
+      return sorted[std::min(sorted.size() - 1,
+                             static_cast<std::size_t>(
+                                 p * static_cast<double>(sorted.size())))];
+    };
+    bench::BenchJson json("pipeline_throughput");
+    json.number("frames", opts.frames);
+    json.number("sequential_wall_ms", seq_wall_ms);
+    json.number("pipelined_wall_ms", pipe_wall_ms);
+    json.number("throughput_ratio", seq_wall_ms / pipe_wall_ms);
+    json.number("sequential_fps", 1000.0 * opts.frames / seq_wall_ms);
+    json.number("pipelined_fps", 1000.0 * opts.frames / pipe_wall_ms);
+    json.number("pipelined_p50_ms", pct(0.50));
+    json.number("pipelined_p99_ms", pct(0.99));
+    json.number("normal_period_ms", pipe_normal_period_ms);
+    json.number("key_period_ms", pipe_key_period_ms);
+    json.number("speculative_matches", stats.speculative_matches);
+    json.number("replayed_matches", stats.replayed_matches);
+    json.write();
+    std::printf("\n");
   }
 
   // --- shape checks --------------------------------------------------------

@@ -28,6 +28,11 @@ class AcceleratedBackend final : public FeatureBackend {
   FeatureList extract(const ImageU8& image) override;
   std::vector<Match> match(std::span<const Descriptor256> queries,
                            std::span<const Descriptor256> train) override;
+  // Gated tier: the fabric's candidate mode (BriefMatcherHw gated cycle
+  // model), with the same host-side acceptance gates as match().
+  std::vector<Match> match_candidates(std::span<const Descriptor256> queries,
+                                      std::span<const Descriptor256> train,
+                                      const CandidateSet& candidates) override;
 
   double last_extract_time_ms() const override { return extract_ms_.load(); }
   double last_match_time_ms() const override { return match_ms_.load(); }

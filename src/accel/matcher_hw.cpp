@@ -48,4 +48,52 @@ std::vector<Match> BriefMatcherHw::match(
   return out;
 }
 
+std::vector<Match> BriefMatcherHw::match_candidates(
+    std::span<const Descriptor256> queries,
+    std::span<const Descriptor256> map_descriptors,
+    const CandidateSet& candidates) {
+  ESLAM_ASSERT(candidates.num_queries() == queries.size(),
+               "candidate set does not cover the query set");
+  report_ = {};
+  report_.gated = true;
+  report_.queries = static_cast<int>(queries.size());
+  report_.map_points = static_cast<int>(map_descriptors.size());
+  report_.candidates = candidates.total_candidates();
+
+  std::vector<Match> out;
+  out.reserve(queries.size());
+  if (map_descriptors.empty()) return out;
+
+  // Functional result: running minimum over each candidate list; the list
+  // arrives in ascending map order, so ties resolve exactly as the full
+  // scan's lowest-index rule.
+  const std::uint64_t p = static_cast<std::uint64_t>(config_.parallelism);
+  std::uint64_t compute = 0;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const std::span<const std::int32_t> list = candidates.candidates(i);
+    Match m = match_one_candidates(queries[i], map_descriptors, list);
+    m.query = static_cast<int>(i);
+    out.push_back(m);
+    // Each query occupies the comparator at least one cycle (issue/drain),
+    // then ceil(|candidates| / P) distance batches.
+    compute += std::max<std::uint64_t>(1, (list.size() + p - 1) / p);
+  }
+  report_.compute_cycles =
+      compute + static_cast<std::uint64_t>(config_.pipeline_depth);
+
+  // SDRAM traffic: the gather streams each referenced descriptor once per
+  // candidate entry (32 bytes) plus the candidate index lists themselves
+  // (4 bytes each) — no cross-query dedup, matching a streaming gather.
+  AxiBusModel axi(config_.axi);
+  report_.load_cycles =
+      axi.read_cycles(report_.candidates * 32u) +
+      axi.read_cycles(report_.candidates * 4u);
+  report_.writeback_cycles =
+      axi.write_cycles(static_cast<std::uint64_t>(queries.size()) * 8u);
+  report_.total_cycles =
+      std::max(report_.compute_cycles, report_.load_cycles) +
+      report_.writeback_cycles;
+  return out;
+}
+
 }  // namespace eslam

@@ -5,6 +5,16 @@
 // descriptors.  The Comparator keeps the running minimum; results stream
 // into the Result Cache and back to SDRAM.  Map descriptors arrive from
 // SDRAM over AXI, double-buffered so the load overlaps compute.
+//
+// Two modes share the datapath:
+//   * full scan (match): every query against every map descriptor — the
+//     load streams the whole map once, compute is |q| * ceil(m/P) cycles;
+//   * gated (match_candidates): the host's projection gate uploads
+//     per-query candidate index lists, and the fabric gathers only those
+//     descriptors — compute is sum_q max(1, ceil(|cand_q|/P)) cycles and
+//     the SDRAM load shrinks to the candidate descriptors plus the index
+//     lists themselves, so simulated FPGA time reflects the reduced
+//     workload.
 #pragma once
 
 #include <cstdint>
@@ -25,11 +35,13 @@ struct HwMatcherConfig {
 
 struct HwMatcherReport {
   std::uint64_t compute_cycles = 0;
-  std::uint64_t load_cycles = 0;       // map descriptors from SDRAM
+  std::uint64_t load_cycles = 0;       // map descriptors (+ candidate lists)
   std::uint64_t writeback_cycles = 0;  // results to SDRAM
   std::uint64_t total_cycles = 0;      // max(compute, load) + writeback
   int queries = 0;
   int map_points = 0;
+  bool gated = false;                  // candidate-gated mode
+  std::uint64_t candidates = 0;        // total candidate pairs (gated mode)
   double ms() const { return cycles_to_ms(total_cycles); }
 };
 
@@ -42,6 +54,14 @@ class BriefMatcherHw {
   // Functionally identical to match_one() for every query.
   std::vector<Match> match(std::span<const Descriptor256> queries,
                            std::span<const Descriptor256> map_descriptors);
+
+  // Gated mode: each query scans only its candidate list (ascending map
+  // indices).  Functionally identical to match_one_candidates() for every
+  // query; a query with an empty list reports train == -1.
+  std::vector<Match> match_candidates(
+      std::span<const Descriptor256> queries,
+      std::span<const Descriptor256> map_descriptors,
+      const CandidateSet& candidates);
 
   const HwMatcherReport& report() const { return report_; }
   const HwMatcherConfig& config() const { return config_; }

@@ -1,5 +1,7 @@
 #include "features/matcher.h"
 
+#include "geometry/assert.h"
+
 namespace eslam {
 
 Match match_one(const Descriptor256& query,
@@ -44,6 +46,89 @@ std::vector<Match> match_descriptors(std::span<const Descriptor256> queries,
       if (back.train != m.query) continue;
       if (options.ratio < 1.0 &&
           !(back.distance < options.ratio * back.second_best))
+        continue;
+    }
+    out.push_back(m);
+  }
+  return out;
+}
+
+Match match_one_candidates(const Descriptor256& query,
+                           std::span<const Descriptor256> train,
+                           std::span<const std::int32_t> candidates) {
+  Match m;
+  for (const std::int32_t idx : candidates) {
+    const int d =
+        hamming_distance(query, train[static_cast<std::size_t>(idx)]);
+    if (d < m.distance) {
+      m.second_best = m.distance;
+      m.distance = d;
+      m.train = idx;
+    } else if (d < m.second_best) {
+      m.second_best = d;
+    }
+  }
+  return m;
+}
+
+std::vector<Match> match_candidates(std::span<const Descriptor256> queries,
+                                    std::span<const Descriptor256> train,
+                                    const CandidateSet& candidates,
+                                    const MatcherOptions& options) {
+  ESLAM_ASSERT(candidates.num_queries() == queries.size(),
+               "candidate set does not cover the query set");
+  std::vector<Match> out;
+  if (train.empty() || queries.empty()) return out;
+
+  // Forward pass: per-query best/second over its candidate list.  When
+  // cross-checking, track each train point's best/second query over the
+  // same candidate graph in the same pass — (query asc, candidate asc) is
+  // the scan order match_one() would use for the back match.
+  std::vector<Match> forward(queries.size());
+  std::vector<int> train_best_d, train_second_d;
+  std::vector<std::int32_t> train_best_q;
+  if (options.cross_check) {
+    train_best_d.assign(train.size(), 256);
+    train_second_d.assign(train.size(), 256);
+    train_best_q.assign(train.size(), -1);
+  }
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    for (const std::int32_t idx : candidates.candidates(q)) {
+      const int d =
+          hamming_distance(queries[q], train[static_cast<std::size_t>(idx)]);
+      Match& m = forward[q];
+      if (d < m.distance) {
+        m.second_best = m.distance;
+        m.distance = d;
+        m.train = idx;
+      } else if (d < m.second_best) {
+        m.second_best = d;
+      }
+      if (options.cross_check) {
+        const std::size_t t = static_cast<std::size_t>(idx);
+        if (d < train_best_d[t]) {
+          train_second_d[t] = train_best_d[t];
+          train_best_d[t] = d;
+          train_best_q[t] = static_cast<std::int32_t>(q);
+        } else if (d < train_second_d[t]) {
+          train_second_d[t] = d;
+        }
+      }
+    }
+  }
+
+  out.reserve(queries.size());
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    Match m = forward[q];
+    m.query = static_cast<int>(q);
+    if (m.train < 0 || m.distance > options.max_distance) continue;
+    if (options.ratio < 1.0 && !(m.distance < options.ratio * m.second_best))
+      continue;
+    if (options.cross_check) {
+      const std::size_t t = static_cast<std::size_t>(m.train);
+      if (train_best_q[t] != static_cast<std::int32_t>(q)) continue;
+      if (options.ratio < 1.0 &&
+          !(train_best_d[t] < options.ratio * train_second_d[t]))
         continue;
     }
     out.push_back(m);

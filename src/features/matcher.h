@@ -1,8 +1,16 @@
-// Brute-force Hamming matcher — the software counterpart of the BRIEF
-// Matcher module: for every query descriptor, scan all train descriptors,
-// keep the minimum-distance candidate (paper section 3.2).
+// Hamming matching kernels — the software counterparts of the BRIEF
+// Matcher module.  Two tiers:
+//
+//   * match_descriptors(): brute force — for every query descriptor, scan
+//     all train descriptors, keep the minimum-distance candidate (paper
+//     section 3.2).  This is the bootstrap/relocalization/fallback tier.
+//   * match_candidates(): windowed search — each query scans only its
+//     candidate list (built by the slam/match_gate projection gate), with
+//     identical acceptance semantics (max_distance, ratio, cross-check)
+//     restricted to the candidate graph.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -33,14 +41,51 @@ struct MatcherOptions {
   bool cross_check = false;
 };
 
+// Per-query candidate lists in CSR form: the candidates of query q are
+// train indices indices[offsets[q] .. offsets[q+1]).  Producers must emit
+// each list in ascending train-index order — minimum-distance ties then
+// resolve to the lowest train index, exactly as the brute-force scan does,
+// so a candidate list covering the true match yields the same winner.
+struct CandidateSet {
+  std::vector<std::int32_t> indices;
+  std::vector<std::int32_t> offsets;  // size num_queries + 1 (or empty)
+
+  std::size_t num_queries() const {
+    return offsets.empty() ? 0 : offsets.size() - 1;
+  }
+  std::size_t total_candidates() const { return indices.size(); }
+  std::span<const std::int32_t> candidates(std::size_t q) const {
+    return std::span<const std::int32_t>(indices)
+        .subspan(static_cast<std::size_t>(offsets[q]),
+                 static_cast<std::size_t>(offsets[q + 1] - offsets[q]));
+  }
+};
+
 // Returns matches for each query that passes the filters, ordered by query
 // index.  O(|queries| * |train|), exactly the work the HW matcher arrays.
 std::vector<Match> match_descriptors(std::span<const Descriptor256> queries,
                                      std::span<const Descriptor256> train,
                                      const MatcherOptions& options = {});
 
+// Windowed tier: like match_descriptors() but each query only scans its
+// candidate list.  candidates.num_queries() must equal queries.size().
+// The ratio test's runner-up is the second-best *candidate*; cross-check
+// confirms against the best query among those listing the winning train
+// point (the brute-force semantics restricted to the candidate graph).
+// O(total_candidates) Hamming comparisons.
+std::vector<Match> match_candidates(std::span<const Descriptor256> queries,
+                                    std::span<const Descriptor256> train,
+                                    const CandidateSet& candidates,
+                                    const MatcherOptions& options = {});
+
 // Single query against the train set (min + second-min distances).
 Match match_one(const Descriptor256& query,
                 std::span<const Descriptor256> train);
+
+// Single query against a candidate list (indices into `train`, ascending).
+// m.train is a train index, not a list position.
+Match match_one_candidates(const Descriptor256& query,
+                           std::span<const Descriptor256> train,
+                           std::span<const std::int32_t> candidates);
 
 }  // namespace eslam

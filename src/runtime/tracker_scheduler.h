@@ -16,6 +16,16 @@
 //     barrier is closed the frame waits in a per-session pending slot
 //     (after an optional speculative FM, replayed if the epoch moved), and
 //     the device lane moves on to other sessions instead of blocking;
+//   * the matching gate's prior pose reaches the device lane through the
+//     tracker itself: update_map of frame N publishes the gate prior for
+//     frame N+2 before retiring, and the device lane only matches frame
+//     N+2 (speculatively or not) after observing frame N+1's handoff —
+//     which required N's retirement.  The prior is therefore always
+//     available and *frozen* when FM runs, one frame staler than the
+//     ARM-side motion model by construction (acceptable: the gate's
+//     search window absorbs the extra extrapolation error), and identical
+//     to what a sequential run reads — so the epoch check alone still
+//     decides whether a speculative match holds;
 //   * ARM stages of one session run serially in frame order (ownership is
 //     handed to exactly one worker at a time), so each session's results
 //     are bit-identical to a solo sequential Tracker::process() run.

@@ -15,7 +15,10 @@ std::int64_t Map::add_point(const Vec3& position,
   p.created_frame = frame_index;
   p.last_matched_frame = frame_index;
   points_.push_back(p);
-  cache_dirty_ = true;
+  // Eager cache maintenance: appends are O(1), so a bootstrap inserting
+  // thousands of points never rebuilds.
+  descriptor_cache_.push_back(p.descriptor);
+  position_cache_.push_back(p.position);
   ++epoch_;
   return p.id;
 }
@@ -32,22 +35,21 @@ std::size_t Map::prune(int current_frame, int max_age) {
     return current_frame - p.last_matched_frame > max_age;
   });
   if (points_.size() != before) {
-    cache_dirty_ = true;
+    rebuild_caches();
     ++epoch_;
   }
   return before - points_.size();
 }
 
-std::span<const Descriptor256> Map::descriptors() const {
-  if (cache_dirty_) rebuild_descriptor_cache();
-  return descriptor_cache_;
-}
-
-void Map::rebuild_descriptor_cache() const {
+void Map::rebuild_caches() {
   descriptor_cache_.clear();
   descriptor_cache_.reserve(points_.size());
-  for (const MapPoint& p : points_) descriptor_cache_.push_back(p.descriptor);
-  cache_dirty_ = false;
+  position_cache_.clear();
+  position_cache_.reserve(points_.size());
+  for (const MapPoint& p : points_) {
+    descriptor_cache_.push_back(p.descriptor);
+    position_cache_.push_back(p.position);
+  }
 }
 
 }  // namespace eslam

@@ -47,17 +47,25 @@ class Map {
   const MapPoint& point(std::size_t index) const { return points_[index]; }
   const std::vector<MapPoint>& points() const { return points_; }
 
-  // Descriptor array aligned with points(), for the brute-force/HW matcher.
-  std::span<const Descriptor256> descriptors() const;
+  // Projection snapshot: arrays aligned with points(), exported under one
+  // epoch.  descriptors() feeds the brute-force/HW matcher, positions()
+  // the projection gate.  Both caches are maintained *eagerly* by
+  // add_point()/prune(), so these calls are pure reads — safe under a
+  // shared lock with any number of concurrent readers (the device lane's
+  // match() runs against them while stats readers poll).
+  std::span<const Descriptor256> descriptors() const {
+    return descriptor_cache_;
+  }
+  std::span<const Vec3> positions() const { return position_cache_; }
 
  private:
-  void rebuild_descriptor_cache() const;
+  void rebuild_caches();
 
   std::vector<MapPoint> points_;
   std::int64_t next_id_ = 0;
   std::uint64_t epoch_ = 0;
-  mutable std::vector<Descriptor256> descriptor_cache_;
-  mutable bool cache_dirty_ = true;
+  std::vector<Descriptor256> descriptor_cache_;
+  std::vector<Vec3> position_cache_;
 };
 
 }  // namespace eslam

@@ -1,0 +1,59 @@
+#include "slam/match_gate.h"
+
+#include <chrono>
+
+#include "features/grid_index.h"
+
+namespace eslam {
+
+const char* to_string(MatchTier tier) {
+  return tier == MatchTier::kGated ? "gated" : "brute";
+}
+
+GateResult build_candidate_set(std::span<const Vec3> map_positions,
+                               const SE3& prior_pose_cw,
+                               const PinholeCamera& camera,
+                               const FeatureList& features,
+                               const MatchPolicy& policy) {
+  const auto start = std::chrono::steady_clock::now();
+  GateResult out;
+
+  // Project every map point under the prior.  The grid is padded by the
+  // search radius on every side (coordinates shifted by +margin) so
+  // points projecting just outside the image stay indexable.
+  const double margin = policy.search_radius_px;
+  GridIndex2d grid(camera.width() + 2 * margin, camera.height() + 2 * margin,
+                   policy.cell_size_px);
+  std::vector<GridEntry> entries;
+  entries.reserve(map_positions.size());
+  for (std::size_t i = 0; i < map_positions.size(); ++i) {
+    const Vec3 p_cam = prior_pose_cw * map_positions[i];
+    const std::optional<Vec2> px = camera.project(p_cam);
+    if (!px) continue;  // behind the camera
+    const double u = (*px)[0];
+    const double v = (*px)[1];
+    if (u < -margin || u >= camera.width() + margin || v < -margin ||
+        v >= camera.height() + margin)
+      continue;
+    entries.push_back(
+        GridEntry{u + margin, v + margin, static_cast<std::int32_t>(i)});
+  }
+  out.projected = static_cast<int>(entries.size());
+  grid.build(std::move(entries));
+
+  out.candidates.offsets.reserve(features.size() + 1);
+  out.candidates.offsets.push_back(0);
+  for (const Feature& f : features) {
+    grid.query(f.keypoint.x0() + margin, f.keypoint.y0() + margin,
+               policy.search_radius_px, out.candidates.indices);
+    out.candidates.offsets.push_back(
+        static_cast<std::int32_t>(out.candidates.indices.size()));
+  }
+
+  out.build_ms = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  return out;
+}
+
+}  // namespace eslam

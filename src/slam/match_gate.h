@@ -1,0 +1,80 @@
+// Projection gate for feature matching — tier one of the two-tier
+// matching subsystem.
+//
+// Instead of matching every frame against the whole map (brute force,
+// linear in map age), the gate projects the map's positions() snapshot
+// into the image under a constant-velocity prior pose, buckets the
+// projections in a spatial grid (features/GridIndex2d), and emits one
+// candidate list per feature: the map points landing within a square
+// window around the feature's pixel.  The candidate matcher
+// (match_candidates) then does the Hamming work on those lists only, so
+// per-frame match cost tracks the *visible* map, not the whole map.
+//
+// Brute force remains the second tier: the tracker falls back to it when
+// no prior is available (bootstrap, the frame after it, the frames after
+// a tracking loss) or when gating yields too few matches (the prior was
+// wrong — relocalization needs the full-map search).  MatchPolicy selects
+// and tunes the tiers per tracker (and, through SessionConfig, per served
+// session).
+#pragma once
+
+#include <span>
+
+#include "features/keypoint.h"
+#include "features/matcher.h"
+#include "geometry/camera.h"
+#include "geometry/se3.h"
+
+namespace eslam {
+
+// Which tier produced a frame's matches (reported in TrackResult).
+enum class MatchTier {
+  kBruteForce,  // full-map scan (bootstrap / relocalization / fallback)
+  kGated,       // projection-gated candidate search
+};
+
+struct MatchPolicy {
+  // Master switch: false pins every frame to the brute-force tier.
+  bool use_gate = true;
+  // Half-width of the square search window around the predicted pixel.
+  // Must absorb the prior's prediction error (a one-frame-stale
+  // constant-velocity extrapolation) plus keypoint quantization.
+  double search_radius_px = 24.0;
+  // Grid bucket size; ~search radius keeps the query at <= 9 cells.
+  double cell_size_px = 32.0;
+  // Below this map size brute force is at least as cheap as projecting
+  // and bucketing, so the gate is skipped.
+  int min_map_points_for_gate = 512;
+  // Fallback triggers: a gated result is accepted only when it matches at
+  // least min_gated_matches features AND at least min_gated_match_fraction
+  // of the queries.  Too few surviving matches is the signature of a
+  // wrong prior — fast motion beyond the window, post-loss frames,
+  // relocalization — and those frames need the full-map search.  (The
+  // fraction is the load-bearing guard: on violent motion a misplaced
+  // window still collects hundreds of aliased matches, but nowhere near
+  // the share of queries a correct window yields — a healthy gate matches
+  // nearly everything a full scan would.)
+  int min_gated_matches = 30;
+  double min_gated_match_fraction = 0.7;
+};
+
+struct GateResult {
+  CandidateSet candidates;
+  int projected = 0;     // map points landing inside the (padded) image
+  double build_ms = 0;   // host-side projection + bucketing time
+};
+
+// Projects `map_positions` by `prior_pose_cw`, buckets the projections,
+// and collects each feature's candidate list (ascending map indices, as
+// match_candidates requires).  Points projecting up to search_radius_px
+// outside the image are kept — their window can still cover features near
+// the border.
+GateResult build_candidate_set(std::span<const Vec3> map_positions,
+                               const SE3& prior_pose_cw,
+                               const PinholeCamera& camera,
+                               const FeatureList& features,
+                               const MatchPolicy& policy);
+
+const char* to_string(MatchTier tier);
+
+}  // namespace eslam

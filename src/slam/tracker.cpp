@@ -44,6 +44,16 @@ std::vector<Match> SoftwareBackend::match(
   return matches;
 }
 
+std::vector<Match> SoftwareBackend::match_candidates(
+    std::span<const Descriptor256> queries,
+    std::span<const Descriptor256> train, const CandidateSet& candidates) {
+  const WallTimer timer;
+  std::vector<Match> matches =
+      eslam::match_candidates(queries, train, candidates, matcher_options_);
+  match_ms_.store(timer.elapsed_ms());
+  return matches;
+}
+
 Tracker::Tracker(const PinholeCamera& camera,
                  std::unique_ptr<FeatureBackend> backend,
                  const TrackerOptions& options)
@@ -108,6 +118,36 @@ SE3 Tracker::predicted_pose_cw() const {
   return (last_pose_cw_ * prev_pose_cw_.inverse()) * last_pose_cw_;
 }
 
+void Tracker::publish_gate_prior(const FrameState& fs) {
+  GatePriorSlot slot;
+  slot.for_frame = fs.index + 2;
+  if (fs.result.lost) {
+    // No trustworthy pose: the target frame must brute-force
+    // (relocalization tier).
+    slot.valid = false;
+  } else {
+    slot.valid = true;
+    if (options_.use_motion_model && have_velocity_) {
+      // Double-step constant velocity: the target frame is two frames
+      // ahead of the pose this publication is based on.
+      const SE3 step = last_pose_cw_ * prev_pose_cw_.inverse();
+      slot.pose_cw = step * (step * last_pose_cw_);
+    } else {
+      slot.pose_cw = last_pose_cw_;
+    }
+  }
+  const std::lock_guard<std::mutex> lock(gate_prior_mutex_);
+  gate_prior_[static_cast<std::size_t>(slot.for_frame % 2)] = slot;
+}
+
+std::optional<SE3> Tracker::gate_prior_for(int frame_index) const {
+  const std::lock_guard<std::mutex> lock(gate_prior_mutex_);
+  const GatePriorSlot& slot =
+      gate_prior_[static_cast<std::size_t>(frame_index % 2)];
+  if (slot.for_frame != frame_index || !slot.valid) return std::nullopt;
+  return slot.pose_cw;
+}
+
 FrameState Tracker::begin_frame(FrameInput frame) {
   FrameState fs;
   fs.input = std::move(frame);
@@ -126,11 +166,13 @@ void Tracker::extract(FrameState& fs) {
 void Tracker::match(FrameState& fs) {
   // --- Feature matching (FPGA in the paper) ------------------------------
   // Shared-locked against update_map()'s structural writes: the matcher
-  // reads the descriptor array (the map region of SDRAM), which only map
-  // updating rewrites.  A replay simply overwrites the previous matches.
+  // reads the map's descriptor/position snapshot (the map region of
+  // SDRAM), which only map updating rewrites.  A replay simply overwrites
+  // the previous matches.
   const std::shared_lock lock(map_mutex_);
   fs.map_epoch = map_.epoch();
   fs.matches.clear();
+  fs.match_tier = MatchTier::kBruteForce;
   if (map_.empty()) {
     // Nothing to match against — the frame will bootstrap the map.
     fs.result.times.feature_matching = 0.0;
@@ -140,8 +182,44 @@ void Tracker::match(FrameState& fs) {
   std::vector<Descriptor256> query;
   query.reserve(fs.features.size());
   for (const Feature& f : fs.features) query.push_back(f.descriptor);
-  fs.matches = backend_->match(query, map_.descriptors());
-  fs.result.times.feature_matching = backend_->last_match_time_ms();
+
+  // Tier one: projection-gated candidate search, when the policy allows,
+  // the map is big enough to be worth gating, and a prior was published
+  // for this frame (none right after bootstrap or a tracking loss).
+  double match_ms = 0.0;
+  bool gated = false;
+  if (options_.match.use_gate &&
+      static_cast<int>(map_.size()) >= options_.match.min_map_points_for_gate) {
+    if (const std::optional<SE3> prior = gate_prior_for(fs.index)) {
+      const GateResult gate = build_candidate_set(
+          map_.positions(), *prior, camera_, fs.features, options_.match);
+      std::vector<Match> matches =
+          backend_->match_candidates(query, map_.descriptors(),
+                                     gate.candidates);
+      match_ms += gate.build_ms + backend_->last_match_time_ms();
+      const int required = std::max(
+          options_.match.min_gated_matches,
+          static_cast<int>(std::ceil(options_.match.min_gated_match_fraction *
+                                     static_cast<double>(query.size()))));
+      if (static_cast<int>(matches.size()) >= required) {
+        fs.matches = std::move(matches);
+        gated = true;
+      }
+      // else: too few matches survived — the prior is likely wrong (fast
+      // motion beyond the window, post-loss, viewpoint jump), so fall
+      // through to the full-map tier, which is also what relocalization
+      // needs.
+    }
+  }
+  // Tier two: full-map brute force (bootstrap-adjacent frames,
+  // relocalization, small maps, gate fallback).
+  if (!gated) {
+    fs.matches = backend_->match(query, map_.descriptors());
+    match_ms += backend_->last_match_time_ms();
+  }
+  fs.match_tier = gated ? MatchTier::kGated : MatchTier::kBruteForce;
+  fs.result.match_tier = fs.match_tier;
+  fs.result.times.feature_matching = match_ms;
   fs.result.n_matches = static_cast<int>(fs.matches.size());
 }
 
@@ -229,9 +307,6 @@ TrackResult Tracker::update_map(FrameState& fs) {
   if (fs.bootstrap) {
     const std::unique_lock lock(map_mutex_);
     bootstrap_map(fs);
-    // Rebuild the descriptor cache while exclusively locked so concurrent
-    // match() readers never trigger the lazy rebuild themselves.
-    (void)map_.descriptors();
     last_pose_cw_ = SE3{};
   } else if (fs.result.lost) {
     // Drop the (now unreliable) velocity estimate; the map is untouched.
@@ -249,9 +324,10 @@ TrackResult Tracker::update_map(FrameState& fs) {
     if (keyframe_policy_.should_insert(fs.result.pose_wc)) {
       WallTimer mu_timer;
       {
+        // The map maintains its descriptor/position snapshot eagerly, so
+        // releasing this lock immediately publishes a consistent epoch.
         const std::unique_lock lock(map_mutex_);
         insert_map_points(fs, feature_matched, fs.result.pose_wc);
-        (void)map_.descriptors();  // eager cache rebuild (see bootstrap)
       }
       fs.result.times.map_updating = mu_timer.elapsed_ms();
       fs.result.keyframe = true;
@@ -261,6 +337,12 @@ TrackResult Tracker::update_map(FrameState& fs) {
     last_pose_cw_ = fs.result.pose_cw;
     have_velocity_ = true;
   }
+
+  // Publish the matching gate's prior for frame index + 2 before this
+  // frame's retirement becomes visible to the device lane (the scheduler
+  // stores retired_through *after* update_map returns, so a match that
+  // observed the retirement also observes this publication).
+  publish_gate_prior(fs);
 
   trajectory_.push_back(fs.result);
   frame_index_ = fs.index + 1;

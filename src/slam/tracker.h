@@ -16,6 +16,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <shared_mutex>
 #include <span>
@@ -27,6 +28,7 @@
 #include "geometry/se3.h"
 #include "slam/keyframe.h"
 #include "slam/map.h"
+#include "slam/match_gate.h"
 #include "slam/ransac.h"
 
 namespace eslam {
@@ -34,21 +36,32 @@ namespace eslam {
 // Abstraction over "who computes features and matches" (ARM software vs
 // FPGA fabric).  last_*_time_ms() report the backend's own notion of time:
 // wall-clock for software, cycles / 100 MHz for the simulated accelerator.
+//
+// Matching is two-tier: match() is the full-scan tier (bootstrap /
+// relocalization / fallback), match_candidates() the gated tier — each
+// query scans only the candidate list the projection gate built for it.
+// Every backend must implement both with consistent acceptance semantics,
+// so the tracker can fall back between tiers within one frame.
 class FeatureBackend {
  public:
   virtual ~FeatureBackend() = default;
   virtual FeatureList extract(const ImageU8& image) = 0;
   virtual std::vector<Match> match(std::span<const Descriptor256> queries,
                                    std::span<const Descriptor256> train) = 0;
+  virtual std::vector<Match> match_candidates(
+      std::span<const Descriptor256> queries,
+      std::span<const Descriptor256> train,
+      const CandidateSet& candidates) = 0;
   virtual double last_extract_time_ms() const = 0;
   virtual double last_match_time_ms() const = 0;
   virtual const char* name() const = 0;
 };
 
-// Software backend: OrbExtractor + brute-force matcher, timed by wall clock.
-// The timing caches are atomics so the last-stage times can be read from a
-// different thread than the one driving extract()/match() (the pipeline
-// runtime runs both on its FPGA-model lane while stats readers poll).
+// Software backend: OrbExtractor + Hamming matching kernels, timed by wall
+// clock.  The timing caches are atomics so the last-stage times can be
+// read from a different thread than the one driving extract()/match() (the
+// pipeline runtime runs both on its FPGA-model lane while stats readers
+// poll).
 class SoftwareBackend final : public FeatureBackend {
  public:
   explicit SoftwareBackend(const OrbConfig& orb = {},
@@ -56,6 +69,9 @@ class SoftwareBackend final : public FeatureBackend {
   FeatureList extract(const ImageU8& image) override;
   std::vector<Match> match(std::span<const Descriptor256> queries,
                            std::span<const Descriptor256> train) override;
+  std::vector<Match> match_candidates(std::span<const Descriptor256> queries,
+                                      std::span<const Descriptor256> train,
+                                      const CandidateSet& candidates) override;
   double last_extract_time_ms() const override { return extract_ms_.load(); }
   double last_match_time_ms() const override { return match_ms_.load(); }
   const char* name() const override { return "software"; }
@@ -95,6 +111,8 @@ struct TrackResult {
   int n_features = 0;
   int n_matches = 0;
   int n_inliers = 0;
+  // Which matching tier produced this frame's matches (after fallback).
+  MatchTier match_tier = MatchTier::kBruteForce;
   double timestamp = 0;
   StageTimesMs times;
 };
@@ -114,6 +132,10 @@ struct TrackerOptions {
   }
 
   MatcherOptions matcher;
+  // Tier selection for feature matching against the map (projection gate
+  // vs brute force); see slam/match_gate.h.  Per-session when threaded
+  // through server/SessionConfig::tracker.
+  MatchPolicy match;
   RansacOptions ransac;
   PnpOptions pose_optimization{/*max_iterations=*/15,
                                /*initial_lambda=*/1e-4,
@@ -153,10 +175,16 @@ struct FrameState {
   int index = 0;  // frame index, assigned in feed order by begin_frame()
   FeatureList features;
   std::vector<Match> matches;
+  // Tier that produced `matches` (gated candidate search vs brute force).
+  MatchTier match_tier = MatchTier::kBruteForce;
   // Map structural epoch the matches were computed under.  Matches are
   // index-based, so they are only usable while the map still has this
   // epoch; the pipeline runtime replays match() when a key frame's map
-  // update intervened (the paper's "FM waits for MU" dependency).
+  // update intervened (the paper's "FM waits for MU" dependency).  The
+  // epoch check covers the gated tier too: the gate prior for frame N is
+  // frozen when frame N-2 retires (see Tracker::match), so between a
+  // speculative match and its finalize the only input that can move is
+  // the map itself.
   std::uint64_t map_epoch = 0;
   bool bootstrap = false;  // map was empty: frame initializes the map
   RansacResult ransac;
@@ -188,6 +216,16 @@ class Tracker {
   // Feature matching against the current map (FPGA in the paper).  Safe to
   // call concurrently with ARM stages of an earlier frame; re-entrant for
   // the same frame (a replay discards the previous matches).
+  //
+  // Two-tier: when MatchPolicy allows and a gate prior is published for
+  // this frame (update_map of frame N-2 publishes the prior for frame N —
+  // deliberately one frame staler than the motion model so it exists
+  // before the device lane matches frame N speculatively, and identical
+  // in sequential and pipelined execution), map points are projection-
+  // gated into per-feature candidate lists and matched via the backend's
+  // match_candidates(); otherwise, or when gating yields fewer than
+  // MatchPolicy::min_gated_matches matches, the full-map brute-force tier
+  // runs (bootstrap / relocalization behavior unchanged).
   void match(FrameState& fs);
   // PnP + RANSAC from the motion prior (ARM).  Decides bootstrap/lost.
   void estimate_pose(FrameState& fs);
@@ -222,6 +260,18 @@ class Tracker {
   // Motion prior for the next frame (constant-velocity extrapolation).
   SE3 predicted_pose_cw() const;
 
+  // --- gate prior publication --------------------------------------------
+  // update_map() of frame N publishes the matching gate's prior pose for
+  // frame N+2 (a double-step constant-velocity extrapolation, or invalid
+  // after a loss).  Keying the prior of frame N to the retirement of
+  // frame N-2 makes it available before the pipeline runtime's
+  // *speculative* match of frame N (frame N-2 has always retired by then)
+  // and makes sequential and pipelined matching read the identical value,
+  // at the cost of a one-frame-staler prediction — which the gate's
+  // search window absorbs.
+  void publish_gate_prior(const FrameState& fs);
+  std::optional<SE3> gate_prior_for(int frame_index) const;
+
   PinholeCamera camera_;
   std::unique_ptr<FeatureBackend> backend_;
   TrackerOptions options_;
@@ -238,6 +288,17 @@ class Tracker {
   // pruning points (the hardware's SDRAM map region, written only during
   // map updating).
   mutable std::shared_mutex map_mutex_;
+
+  // Gate prior slots (see publish_gate_prior): a two-deep ring keyed by
+  // target frame index, written by update_map() (ARM lane) and read by
+  // match() (device lane) under its own small mutex.
+  struct GatePriorSlot {
+    std::int64_t for_frame = -1;
+    SE3 pose_cw;
+    bool valid = false;
+  };
+  GatePriorSlot gate_prior_[2];
+  mutable std::mutex gate_prior_mutex_;
 };
 
 }  // namespace eslam

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 
 #include "../test_util.h"
@@ -235,6 +236,82 @@ TEST(MatcherHw, LoadOverlapsComputeAtPaperScale) {
   EXPECT_LT(hw.report().load_cycles, hw.report().compute_cycles / 10);
   EXPECT_EQ(hw.report().total_cycles,
             hw.report().compute_cycles + hw.report().writeback_cycles);
+}
+
+// --- gated mode -------------------------------------------------------------
+
+CandidateSet window_lists(std::size_t queries, std::size_t train,
+                          std::size_t per_query) {
+  CandidateSet set;
+  set.offsets.push_back(0);
+  for (std::size_t q = 0; q < queries; ++q) {
+    for (std::size_t k = 0; k < per_query; ++k)
+      set.indices.push_back(
+          static_cast<std::int32_t>((q * 7 + k * 13) % train));
+    auto begin = set.indices.end() - static_cast<std::ptrdiff_t>(per_query);
+    std::sort(begin, set.indices.end());
+    set.offsets.push_back(static_cast<std::int32_t>(set.indices.size()));
+  }
+  return set;
+}
+
+TEST(MatcherHw, GatedResultsMatchSoftwareReference) {
+  const auto queries = random_set(32, 612);
+  const auto train = random_set(400, 613);
+  const CandidateSet set = window_lists(queries.size(), train.size(), 9);
+  BriefMatcherHw hw;
+  const auto matches = hw.match_candidates(queries, train, set);
+  ASSERT_EQ(matches.size(), queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const Match ref =
+        match_one_candidates(queries[i], train, set.candidates(i));
+    EXPECT_EQ(matches[i].train, ref.train);
+    EXPECT_EQ(matches[i].distance, ref.distance);
+    EXPECT_EQ(matches[i].second_best, ref.second_best);
+    EXPECT_EQ(matches[i].query, static_cast<int>(i));
+  }
+  EXPECT_TRUE(hw.report().gated);
+  EXPECT_EQ(hw.report().candidates, set.total_candidates());
+}
+
+TEST(MatcherHw, GatedCyclesTrackCandidateCountNotMapSize) {
+  // Same candidate workload against a 10x larger map: compute cycles must
+  // not move — simulated FPGA time reflects the gated workload.
+  const auto queries = random_set(64, 614);
+  const auto small = random_set(500, 615);
+  const auto large = random_set(5000, 616);
+  const CandidateSet set = window_lists(queries.size(), small.size(), 8);
+  BriefMatcherHw hw;
+  hw.match_candidates(queries, small, set);
+  const std::uint64_t cycles_small = hw.report().total_cycles;
+  hw.match_candidates(queries, large, set);
+  EXPECT_EQ(hw.report().total_cycles, cycles_small);
+}
+
+TEST(MatcherHw, GatedModeIsFasterThanFullScanAtScale) {
+  // 1024 queries, 4000-point map, ~24 candidates per query: the gated
+  // cycle count must undercut the full scan by well over 3x.
+  const auto queries = random_set(1024, 617);
+  const auto train = random_set(4000, 618);
+  const CandidateSet set = window_lists(queries.size(), train.size(), 24);
+  BriefMatcherHw hw;
+  hw.match(queries, train);
+  const double full_ms = hw.report().ms();
+  hw.match_candidates(queries, train, set);
+  const double gated_ms = hw.report().ms();
+  EXPECT_GT(full_ms, 3.0 * gated_ms);
+}
+
+TEST(MatcherHw, GatedEmptyListsAndEmptyMap) {
+  const auto queries = random_set(3, 619);
+  const auto train = random_set(10, 620);
+  CandidateSet set;
+  set.offsets = {0, 0, 0, 0};  // every list empty
+  BriefMatcherHw hw;
+  const auto matches = hw.match_candidates(queries, train, set);
+  ASSERT_EQ(matches.size(), queries.size());
+  for (const Match& m : matches) EXPECT_EQ(m.train, -1);
+  EXPECT_TRUE(hw.match_candidates(queries, {}, set).empty());
 }
 
 }  // namespace

@@ -257,5 +257,128 @@ TEST(Matcher, TieBreaksTowardLowestTrainIndex) {
   EXPECT_EQ(matches[0].train, 0);
 }
 
+// --- Candidate-gated matcher ------------------------------------------------
+
+// Full candidate lists: every query lists every train index (ascending).
+CandidateSet full_candidates(std::size_t queries, std::size_t train) {
+  CandidateSet set;
+  set.offsets.push_back(0);
+  for (std::size_t q = 0; q < queries; ++q) {
+    for (std::size_t t = 0; t < train; ++t)
+      set.indices.push_back(static_cast<std::int32_t>(t));
+    set.offsets.push_back(static_cast<std::int32_t>(set.indices.size()));
+  }
+  return set;
+}
+
+TEST(CandidateMatcher, FullCandidatesEqualBruteForce) {
+  const auto train = random_set(120, 110);
+  const auto query = random_set(40, 111);
+  for (const bool cross : {false, true}) {
+    for (const double ratio : {1.0, 0.9}) {
+      MatcherOptions opts;
+      opts.max_distance = 140;  // random sets live near 128
+      opts.ratio = ratio;
+      opts.cross_check = cross;
+      const auto brute = match_descriptors(query, train, opts);
+      const auto gated = match_candidates(
+          query, train, full_candidates(query.size(), train.size()), opts);
+      ASSERT_EQ(gated.size(), brute.size())
+          << "ratio=" << ratio << " cross=" << cross;
+      for (std::size_t i = 0; i < brute.size(); ++i) {
+        EXPECT_EQ(gated[i].query, brute[i].query);
+        EXPECT_EQ(gated[i].train, brute[i].train);
+        EXPECT_EQ(gated[i].distance, brute[i].distance);
+        EXPECT_EQ(gated[i].second_best, brute[i].second_best);
+      }
+    }
+  }
+}
+
+TEST(CandidateMatcher, RestrictedWindowExcludesOutOfListTrain) {
+  auto train = random_set(10, 112);
+  const std::vector<Descriptor256> query = {train[7]};
+  CandidateSet set;
+  set.indices = {1, 2, 3};  // the exact copy (7) is outside the window
+  set.offsets = {0, 3};
+  MatcherOptions opts;
+  opts.max_distance = 256;
+  const auto matches = match_candidates(query, train, set, opts);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_NE(matches[0].train, 7);
+  EXPECT_GE(matches[0].distance, 1);
+  // The winner is the best among the listed candidates only.
+  int best = 257, best_idx = -1;
+  for (const int t : {1, 2, 3}) {
+    const int d = hamming_distance(query[0],
+                                   train[static_cast<std::size_t>(t)]);
+    if (d < best) {
+      best = d;
+      best_idx = t;
+    }
+  }
+  EXPECT_EQ(matches[0].train, best_idx);
+  EXPECT_EQ(matches[0].distance, best);
+}
+
+TEST(CandidateMatcher, EmptyCandidateListYieldsNoMatch) {
+  const auto train = random_set(5, 113);
+  const auto query = random_set(2, 114);
+  CandidateSet set;
+  set.indices = {0, 1, 2, 3, 4};
+  set.offsets = {0, 5, 5};  // query 1 has an empty list
+  MatcherOptions opts;
+  opts.max_distance = 256;
+  const auto matches = match_candidates(query, train, set, opts);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].query, 0);
+}
+
+TEST(CandidateMatcher, TieBreaksTowardLowestTrainIndex) {
+  auto train = random_set(4, 115);
+  train[3] = train[1];  // duplicate at higher index
+  const std::vector<Descriptor256> query = {train[1]};
+  CandidateSet set;
+  set.indices = {1, 3};
+  set.offsets = {0, 2};
+  const auto matches = match_candidates(query, train, set, MatcherOptions{});
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].train, 1);
+  EXPECT_EQ(matches[0].distance, 0);
+}
+
+TEST(CandidateMatcher, CrossCheckWithinCandidateGraph) {
+  // Both queries list train 0; only the closer one survives cross-check.
+  eslam::testing::rng(116);
+  Descriptor256 base = eslam::testing::random_descriptor();
+  Descriptor256 q_near = base;
+  q_near.set_bit(3, !q_near.bit(3));  // distance 1
+  Descriptor256 q_far = base;
+  for (int i = 0; i < 20; ++i) q_far.set_bit(i * 9, !q_far.bit(i * 9));
+  const std::vector<Descriptor256> train = {base};
+  const std::vector<Descriptor256> queries = {q_far, q_near};
+  CandidateSet set;
+  set.indices = {0, 0};
+  set.offsets = {0, 1, 2};
+  MatcherOptions opts;
+  opts.max_distance = 256;
+  opts.cross_check = true;
+  const auto matches = match_candidates(queries, train, set, opts);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].query, 1);
+}
+
+TEST(CandidateMatcher, MatchOneCandidatesReturnsTrainIndices) {
+  const auto train = random_set(30, 117);
+  const std::vector<std::int32_t> list = {4, 11, 27};
+  const Match m = match_one_candidates(train[11], train, list);
+  EXPECT_EQ(m.train, 11);
+  EXPECT_EQ(m.distance, 0);
+  // Runner-up is the better of the two remaining listed candidates.
+  const int d4 = hamming_distance(train[11], train[4]);
+  const int d27 = hamming_distance(train[11], train[27]);
+  EXPECT_EQ(m.second_best, std::min(d4, d27));
+}
+
 }  // namespace
 }  // namespace eslam

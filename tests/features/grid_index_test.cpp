@@ -1,0 +1,108 @@
+#include "features/grid_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "../test_util.h"
+
+namespace eslam {
+namespace {
+
+// Brute-force reference for a square-window query.
+std::vector<std::int32_t> window_scan(const std::vector<GridEntry>& entries,
+                                      double u, double v, double radius) {
+  std::vector<std::int32_t> out;
+  for (const GridEntry& e : entries)
+    if (std::abs(e.u - u) <= radius && std::abs(e.v - v) <= radius)
+      out.push_back(e.id);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<GridEntry> random_entries(int n, double w, double h,
+                                      std::uint32_t seed) {
+  eslam::testing::rng(seed);
+  std::vector<GridEntry> entries;
+  for (int i = 0; i < n; ++i)
+    entries.push_back(GridEntry{eslam::testing::uniform(0, w),
+                                eslam::testing::uniform(0, h), i});
+  return entries;
+}
+
+TEST(GridIndex, QueryMatchesBruteForceWindowScan) {
+  const auto entries = random_entries(500, 640, 480, 11);
+  GridIndex2d grid(640, 480, 32);
+  grid.build(entries);
+  EXPECT_EQ(grid.size(), 500u);
+  for (int trial = 0; trial < 40; ++trial) {
+    const double u = eslam::testing::uniform(0, 640);
+    const double v = eslam::testing::uniform(0, 480);
+    const double r = eslam::testing::uniform(4, 120);
+    std::vector<std::int32_t> got;
+    grid.query(u, v, r, got);
+    EXPECT_EQ(got, window_scan(entries, u, v, r))
+        << "u=" << u << " v=" << v << " r=" << r;
+  }
+}
+
+TEST(GridIndex, ResultsAreAscendingIds) {
+  // Insert in an id order that scatters over cells so sortedness cannot
+  // come for free from insertion order.
+  auto entries = random_entries(300, 200, 200, 12);
+  std::reverse(entries.begin(), entries.end());
+  GridIndex2d grid(200, 200, 16);
+  grid.build(entries);
+  std::vector<std::int32_t> got;
+  grid.query(100, 100, 90, got);
+  ASSERT_GT(got.size(), 10u);
+  EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
+}
+
+TEST(GridIndex, QueryAppendsToExistingOutput) {
+  GridIndex2d grid(100, 100, 10);
+  grid.build({GridEntry{50, 50, 7}});
+  std::vector<std::int32_t> out = {99};
+  grid.query(50, 50, 5, out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], 99);
+  EXPECT_EQ(out[1], 7);
+}
+
+TEST(GridIndex, OutOfBoundsEntriesClampIntoBorderCells) {
+  GridIndex2d grid(100, 100, 10);
+  // Entries beyond the extent must stay indexable (the matching gate pads
+  // the grid, but clamping is the structural guarantee).
+  grid.build({GridEntry{-5, -5, 0}, GridEntry{150, 150, 1}});
+  std::vector<std::int32_t> out;
+  grid.query(0, 0, 6, out);
+  EXPECT_EQ(out, (std::vector<std::int32_t>{0}));
+  out.clear();
+  // The far entry sits in the last cell; a window reaching that cell and
+  // covering its exact position finds it.
+  grid.query(145, 145, 10, out);
+  EXPECT_EQ(out, (std::vector<std::int32_t>{1}));
+}
+
+TEST(GridIndex, EmptyBuildYieldsEmptyQueries) {
+  GridIndex2d grid(640, 480, 32);
+  grid.build({});
+  std::vector<std::int32_t> out;
+  grid.query(320, 240, 200, out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(grid.size(), 0u);
+}
+
+TEST(GridIndex, RebuildReplacesContents) {
+  GridIndex2d grid(100, 100, 10);
+  grid.build({GridEntry{10, 10, 0}});
+  grid.build({GridEntry{90, 90, 1}});
+  std::vector<std::int32_t> out;
+  grid.query(10, 10, 5, out);
+  EXPECT_TRUE(out.empty());  // first build's entry is gone
+  grid.query(90, 90, 5, out);
+  EXPECT_EQ(out, (std::vector<std::int32_t>{1}));
+}
+
+}  // namespace
+}  // namespace eslam

@@ -68,6 +68,7 @@ void expect_bit_identical(const std::vector<TrackResult>& a,
     EXPECT_EQ(a[i].n_features, b[i].n_features) << label << " frame " << i;
     EXPECT_EQ(a[i].n_matches, b[i].n_matches) << label << " frame " << i;
     EXPECT_EQ(a[i].n_inliers, b[i].n_inliers) << label << " frame " << i;
+    EXPECT_EQ(a[i].match_tier, b[i].match_tier) << label << " frame " << i;
   }
 }
 
@@ -110,6 +111,53 @@ TEST(SlamService, ConcurrentSessionsBitIdenticalToSoloSequential) {
   EXPECT_EQ(stats.sessions_opened_total, streams.size());
   EXPECT_EQ(stats.device_dispatches,
             static_cast<std::int64_t>(streams.size()) * kFrames);
+}
+
+// --- per-session matching policy -------------------------------------------
+
+TEST(SlamService, PerSessionMatchPolicy) {
+  // Two sessions over the same stream with opposite MatchPolicy settings,
+  // served concurrently: each must reproduce its own solo sequential run
+  // bit-for-bit (tier decisions included), and the tiers must actually
+  // differ — the policy is per session, not service-global.
+  constexpr int kFrames = 24;  // dense enough that the gate's prior holds
+  MultiSequenceOptions mopts;
+  mopts.streams = 1;
+  mopts.sequence.frames = kFrames;
+  const MultiSequenceSet streams(mopts);
+  const SyntheticSequence& seq = streams.stream(0);
+
+  TrackerOptions gated;
+  gated.match.use_gate = true;
+  gated.match.min_map_points_for_gate = 100;
+  TrackerOptions brute;
+  brute.match.use_gate = false;
+
+  SlamService service(ServiceOptions{/*arm_workers=*/2});
+  SessionHandle gated_session =
+      service.open_session(software_session(seq, gated));
+  SessionHandle brute_session =
+      service.open_session(software_session(seq, brute));
+  for (int f = 0; f < kFrames; ++f) {
+    gated_session.feed(seq.frame(f));
+    brute_session.feed(seq.frame(f));
+  }
+  const std::vector<TrackResult> gated_served = gated_session.drain();
+  const std::vector<TrackResult> brute_served = brute_session.drain();
+
+  expect_bit_identical(gated_served,
+                       solo_sequential(seq, iota_frames(kFrames), gated),
+                       "gated session");
+  expect_bit_identical(brute_served,
+                       solo_sequential(seq, iota_frames(kFrames), brute),
+                       "brute session");
+
+  int gated_frames = 0;
+  for (const TrackResult& r : gated_served)
+    gated_frames += r.match_tier == MatchTier::kGated;
+  EXPECT_GT(gated_frames, 0) << "gate never engaged in the gated session";
+  for (const TrackResult& r : brute_served)
+    EXPECT_EQ(r.match_tier, MatchTier::kBruteForce);
 }
 
 // --- isolation -------------------------------------------------------------

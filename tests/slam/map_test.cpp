@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+
 #include "../test_util.h"
 
 namespace eslam {
@@ -75,6 +80,112 @@ TEST(Map, PruneKeepsEverythingWhenFresh) {
     map.add_point(Vec3{}, eslam::testing::random_descriptor(), 10);
   EXPECT_EQ(map.prune(15, 20), 0u);
   EXPECT_EQ(map.size(), 5u);
+}
+
+TEST(Map, PositionsAlignedWithPoints) {
+  Map map;
+  eslam::testing::rng(7);
+  for (int i = 0; i < 20; ++i)
+    map.add_point(Vec3{double(i), double(2 * i), 1.0},
+                  eslam::testing::random_descriptor(), 0);
+  map.note_match(5, 30);
+  map.prune(/*current_frame=*/40, /*max_age=*/20);  // keeps only index 5
+  ASSERT_EQ(map.size(), 1u);
+  const auto positions = map.positions();
+  ASSERT_EQ(positions.size(), 1u);
+  EXPECT_EQ(positions[0][0], 5.0);
+  EXPECT_EQ(map.descriptors().size(), 1u);
+  EXPECT_EQ(map.descriptors()[0], map.point(0).descriptor);
+}
+
+// --- epoch semantics --------------------------------------------------------
+// Matches are index-based; the epoch is the contract that tells match
+// consumers (the pipeline runtime's speculative-FM replay) when indices
+// may have moved.
+
+TEST(Map, AddPointAlwaysBumpsEpoch) {
+  Map map;
+  eslam::testing::rng(8);
+  const std::uint64_t e0 = map.epoch();
+  map.add_point(Vec3{}, eslam::testing::random_descriptor(), 0);
+  const std::uint64_t e1 = map.epoch();
+  EXPECT_NE(e0, e1);
+  map.add_point(Vec3{}, eslam::testing::random_descriptor(), 0);
+  EXPECT_NE(e1, map.epoch());
+}
+
+TEST(Map, NoteMatchNeverBumpsEpoch) {
+  Map map;
+  eslam::testing::rng(9);
+  for (int i = 0; i < 4; ++i)
+    map.add_point(Vec3{}, eslam::testing::random_descriptor(), 0);
+  const std::uint64_t epoch = map.epoch();
+  for (int f = 1; f < 50; ++f) map.note_match(static_cast<std::size_t>(f % 4), f);
+  EXPECT_EQ(map.epoch(), epoch);
+}
+
+TEST(Map, PruneBumpsEpochOnlyWhenItRemoves) {
+  Map map;
+  eslam::testing::rng(10);
+  map.add_point(Vec3{}, eslam::testing::random_descriptor(), 0);
+  map.add_point(Vec3{}, eslam::testing::random_descriptor(), 10);
+  const std::uint64_t epoch = map.epoch();
+  // Nothing stale: indices unchanged, epoch unchanged.
+  EXPECT_EQ(map.prune(/*current_frame=*/12, /*max_age=*/20), 0u);
+  EXPECT_EQ(map.epoch(), epoch);
+  // Removal shifts indices: epoch must move.
+  EXPECT_EQ(map.prune(/*current_frame=*/25, /*max_age=*/20), 1u);
+  EXPECT_NE(map.epoch(), epoch);
+}
+
+// The caches are maintained eagerly by the mutators, so descriptors() and
+// positions() are pure reads: many concurrent readers (the scheduler's
+// device lane + stats readers) under a shared lock, mutations under an
+// exclusive lock — the access pattern Tracker uses.  Before the eager
+// rebuild, the first reader after a mutation would rewrite the cache in a
+// const method, racing every other reader.
+TEST(Map, ConcurrentSnapshotReadersUnderSharedLock) {
+  Map map;
+  std::shared_mutex mutex;
+  eslam::testing::rng(11);
+  for (int i = 0; i < 256; ++i)
+    map.add_point(Vec3{double(i), 0, 0},
+                  eslam::testing::random_descriptor(), 0);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> misaligned{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load()) {
+        const std::shared_lock lock(mutex);
+        const auto descs = map.descriptors();
+        const auto positions = map.positions();
+        if (descs.size() != map.size() || positions.size() != map.size())
+          misaligned.fetch_add(1);
+        for (std::size_t i = 0; i < map.size(); i += 16)
+          if (descs[i] != map.point(i).descriptor) misaligned.fetch_add(1);
+      }
+    });
+  }
+  {
+    // Writer: interleaves structural mutations under the exclusive lock.
+    eslam::testing::rng(12);
+    for (int round = 0; round < 200; ++round) {
+      const std::unique_lock lock(mutex);
+      if (round % 3 == 2) {
+        map.prune(/*current_frame=*/round, /*max_age=*/50);
+      } else {
+        map.add_point(Vec3{double(round), 1, 0},
+                      eslam::testing::random_descriptor(), round);
+      }
+    }
+  }
+  stop.store(true);
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(misaligned.load(), 0);
+  EXPECT_EQ(map.descriptors().size(), map.size());
+  EXPECT_EQ(map.positions().size(), map.size());
 }
 
 }  // namespace

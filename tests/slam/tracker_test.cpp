@@ -155,5 +155,100 @@ TEST_F(TrackerFixture, TrajectoryAccumulates) {
   EXPECT_EQ(tracker->trajectory()[2].timestamp, seq.timestamp(2));
 }
 
+// --- matching tiers ---------------------------------------------------------
+
+// Densely sampled sequence: per-frame motion is realistic, so the
+// projection gate's prior is good and the gated tier must engage.
+TEST_F(TrackerFixture, GatedTierEngagesOnSmoothMotion) {
+  SequenceOptions opts;
+  opts.frames = 40;
+  const SyntheticSequence seq(SequenceId::kFr2Xyz, opts);
+  OrbConfig orb;
+  orb.n_features = 600;
+  TrackerOptions topts;
+  topts.match.min_map_points_for_gate = 100;
+  Tracker tracker(seq.camera(), std::make_unique<SoftwareBackend>(orb),
+                  topts);
+  int gated = 0, lost = 0;
+  for (int i = 0; i < opts.frames; ++i) {
+    const TrackResult r = tracker.process(seq.frame(i));
+    gated += r.match_tier == MatchTier::kGated;
+    lost += r.lost;
+  }
+  // Frames 0 (bootstrap) and 1 (no published prior yet) must brute-force;
+  // from frame 2 on the gate should hold on this gentle sequence.
+  EXPECT_EQ(lost, 0);
+  EXPECT_GE(gated, opts.frames - 10);
+  EXPECT_EQ(tracker.trajectory()[0].match_tier, MatchTier::kBruteForce);
+  EXPECT_EQ(tracker.trajectory()[1].match_tier, MatchTier::kBruteForce);
+}
+
+TEST_F(TrackerFixture, PolicyOffPinsBruteForce) {
+  SequenceOptions opts;
+  opts.frames = 8;
+  const SyntheticSequence seq(SequenceId::kFr2Xyz, opts);
+  TrackerOptions topts;
+  topts.match.use_gate = false;
+  auto tracker = std::make_unique<Tracker>(
+      seq.camera(), std::make_unique<SoftwareBackend>(), topts);
+  for (int i = 0; i < opts.frames; ++i) {
+    const TrackResult r = tracker->process(seq.frame(i));
+    EXPECT_EQ(r.match_tier, MatchTier::kBruteForce) << "frame " << i;
+  }
+}
+
+TEST_F(TrackerFixture, GateFallsBackOnViolentMotion) {
+  // Coarsely sampled desk sweep: inter-frame motion is far beyond any
+  // realistic window, the gated attempt matches only a thin aliased
+  // subset, and the fraction guard must reject it — every frame lands on
+  // the brute-force tier and tracking stays as accurate as gate-off.
+  SequenceOptions opts;
+  opts.frames = 12;
+  const SyntheticSequence seq(SequenceId::kFr1Desk, opts);
+  auto tracker = make_tracker(seq.camera());
+  for (int i = 0; i < opts.frames; ++i) {
+    const TrackResult r = tracker->process(seq.frame(i));
+    EXPECT_EQ(r.match_tier, MatchTier::kBruteForce) << "frame " << i;
+    EXPECT_FALSE(r.lost) << "frame " << i;
+  }
+}
+
+// A match computed under epoch E is rejected after a structural map
+// change, and a replay recomputes it against the new epoch — the contract
+// the pipeline runtime's speculative feature matching is built on.
+TEST_F(TrackerFixture, MatchUnderOldEpochIsRejectedAndReplayable) {
+  SequenceOptions opts;
+  opts.frames = 6;
+  const SyntheticSequence seq(SequenceId::kFr1Xyz, opts);
+  KeyframeOptions always_keyframe;
+  always_keyframe.translation_threshold = -1.0;  // every frame inserts
+  TrackerOptions topts;
+  topts.keyframe = always_keyframe;
+  OrbConfig orb;
+  orb.n_features = 600;
+  Tracker tracker(seq.camera(), std::make_unique<SoftwareBackend>(orb),
+                  topts);
+  tracker.process(seq.frame(0));  // bootstrap
+
+  // Stage API: match frame 1 speculatively, then let frame 2 retire a key
+  // frame (structural change) before frame 1's matches are consumed.
+  FrameState fs = tracker.begin_frame(seq.frame(1));
+  tracker.extract(fs);
+  tracker.match(fs);
+  EXPECT_TRUE(tracker.matches_current(fs));
+  const std::uint64_t epoch_at_match = fs.map_epoch;
+
+  const TrackResult intervening = tracker.process(seq.frame(2));
+  ASSERT_TRUE(intervening.keyframe);
+  EXPECT_FALSE(tracker.matches_current(fs))
+      << "a key frame's map update must invalidate earlier matches";
+
+  // Replay: re-running match() refreshes both matches and epoch.
+  tracker.match(fs);
+  EXPECT_TRUE(tracker.matches_current(fs));
+  EXPECT_GT(fs.map_epoch, epoch_at_match);
+  EXPECT_GT(fs.result.n_matches, 0);
+}
+
 }  // namespace
 }  // namespace eslam
