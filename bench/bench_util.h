@@ -16,21 +16,11 @@
 #include "core/eslam.h"
 #include "dataset/sequence.h"
 #include "eval/report.h"
+#include "geometry/wall_timer.h"
 
 namespace eslam::bench {
 
-class WallTimer {
- public:
-  WallTimer() : start_(std::chrono::steady_clock::now()) {}
-  double elapsed_ms() const {
-    return std::chrono::duration<double, std::milli>(
-               std::chrono::steady_clock::now() - start_)
-        .count();
-  }
-
- private:
-  std::chrono::steady_clock::time_point start_;
-};
+using eslam::WallTimer;
 
 inline void sleep_until_elapsed(const WallTimer& timer, double target_ms) {
   const double remaining = target_ms - timer.elapsed_ms();

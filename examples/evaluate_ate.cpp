@@ -5,9 +5,13 @@
 //   ./examples/evaluate_ate <estimate.tum> <groundtruth.tum>
 //
 // Trajectories are associated by nearest timestamp (within 20 ms).
+// Besides the console summary, writes BENCH_ate.json (summary + per-frame
+// error curve) so accuracy results ride the same tracked-artifact path as
+// the perf benches.
 #include <cmath>
 #include <cstdio>
 
+#include "bench_util.h"
 #include "dataset/tum_io.h"
 #include "eval/ate.h"
 
@@ -50,5 +54,16 @@ int main(int argc, char** argv) {
   std::printf("absolute_translational_error.mean   %.6f m\n", ate.mean);
   std::printf("absolute_translational_error.median %.6f m\n", ate.median);
   std::printf("absolute_translational_error.max    %.6f m\n", ate.max);
+
+  bench::BenchJson json("ate");
+  json.text("estimate", argv[1]);
+  json.text("groundtruth", argv[2]);
+  json.number("compared_pose_pairs", static_cast<double>(est.size()));
+  json.number("rmse_m", ate.rmse);
+  json.number("mean_m", ate.mean);
+  json.number("median_m", ate.median);
+  json.number("max_m", ate.max);
+  json.array("per_frame_error_m", ate.per_frame_error);
+  json.write();
   return 0;
 }

@@ -1,0 +1,184 @@
+#include "backend/keyframe_graph.h"
+
+#include <algorithm>
+
+#include "geometry/assert.h"
+
+namespace eslam::backend {
+
+namespace {
+
+// Shared-point count of two observation lists sorted by point_id.
+int shared_points(const std::vector<KeyframeObservation>& a,
+                  const std::vector<KeyframeObservation>& b) {
+  int shared = 0;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i].point_id < b[j].point_id) {
+      ++i;
+    } else if (b[j].point_id < a[i].point_id) {
+      ++j;
+    } else {
+      ++shared;
+      ++i;
+      ++j;
+    }
+  }
+  return shared;
+}
+
+}  // namespace
+
+const Keyframe* KeyframeGraph::find(int id) const {
+  if (id < first_id_ || id >= first_id_ + static_cast<int>(keyframes_.size()))
+    return nullptr;
+  return &keyframes_[static_cast<std::size_t>(id - first_id_)];
+}
+
+Keyframe* KeyframeGraph::find(int id) {
+  return const_cast<Keyframe*>(
+      static_cast<const KeyframeGraph*>(this)->find(id));
+}
+
+bool KeyframeGraph::contains(int id) const { return find(id) != nullptr; }
+
+const Keyframe& KeyframeGraph::keyframe(int id) const {
+  const Keyframe* kf = find(id);
+  ESLAM_ASSERT(kf != nullptr, "keyframe id not in graph");
+  return *kf;
+}
+
+void KeyframeGraph::set_pose(int id, const SE3& pose_cw) {
+  Keyframe* kf = find(id);
+  ESLAM_ASSERT(kf != nullptr, "keyframe id not in graph");
+  kf->pose_cw = pose_cw;
+}
+
+const std::vector<CovisEdge>& KeyframeGraph::neighbors(int id) const {
+  ESLAM_ASSERT(contains(id), "keyframe id not in graph");
+  return edges_[static_cast<std::size_t>(id - first_id_)];
+}
+
+int KeyframeGraph::covisibility_weight(int a, int b) const {
+  for (const CovisEdge& e : neighbors(a))
+    if (e.keyframe_id == b) return e.weight;
+  return 0;
+}
+
+void KeyframeGraph::evict_oldest() {
+  const int evicted = keyframes_.front().id;
+  keyframes_.erase(keyframes_.begin());
+  edges_.erase(edges_.begin());
+  for (std::vector<CovisEdge>& list : edges_)
+    std::erase_if(list,
+                  [&](const CovisEdge& e) { return e.keyframe_id == evicted; });
+  ++first_id_;
+}
+
+int KeyframeGraph::add_keyframe(int frame_index, const SE3& pose_cw,
+                                std::vector<KeyframeObservation> observations) {
+  std::sort(observations.begin(), observations.end(),
+            [](const KeyframeObservation& a, const KeyframeObservation& b) {
+              return a.point_id < b.point_id;
+            });
+  Keyframe kf;
+  kf.id = next_id_++;
+  kf.frame_index = frame_index;
+  kf.pose_cw = pose_cw;
+  kf.observations = std::move(observations);
+
+  std::vector<CovisEdge> new_edges;
+  for (std::size_t i = 0; i < keyframes_.size(); ++i) {
+    const int weight = shared_points(kf.observations,
+                                     keyframes_[i].observations);
+    if (weight < options_.min_weight) continue;
+    new_edges.push_back({keyframes_[i].id, weight});
+    edges_[i].push_back({kf.id, weight});
+  }
+
+  keyframes_.push_back(std::move(kf));
+  edges_.push_back(std::move(new_edges));
+  if (options_.max_keyframes > 0 &&
+      static_cast<int>(keyframes_.size()) > options_.max_keyframes)
+    evict_oldest();
+  return next_id_ - 1;
+}
+
+std::vector<int> KeyframeGraph::local_window(int size) const {
+  std::vector<int> window;
+  if (keyframes_.empty() || size <= 0) return window;
+  const Keyframe& latest = keyframes_.back();
+  window.push_back(latest.id);
+
+  // Top covisible neighbours of the latest keyframe, strongest first;
+  // newer keyframe wins weight ties so the window tracks the present.
+  std::vector<CovisEdge> sorted = neighbors(latest.id);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const CovisEdge& a, const CovisEdge& b) {
+              if (a.weight != b.weight) return a.weight > b.weight;
+              return a.keyframe_id > b.keyframe_id;
+            });
+  for (const CovisEdge& e : sorted) {
+    if (static_cast<int>(window.size()) >= size) break;
+    window.push_back(e.keyframe_id);
+  }
+  // Sparse covisibility right after bootstrap: pad with recency so the
+  // window is still a usable BA problem.
+  for (auto it = keyframes_.rbegin();
+       it != keyframes_.rend() && static_cast<int>(window.size()) < size;
+       ++it) {
+    if (std::find(window.begin(), window.end(), it->id) == window.end())
+      window.push_back(it->id);
+  }
+  return window;
+}
+
+std::vector<int> KeyframeGraph::anchors(const std::vector<int>& window,
+                                        int max_anchors) const {
+  // Aggregate covisibility with the window, walking only the window
+  // members' neighbor lists (covisibility is symmetric): O(W * E), not a
+  // scan of every stored keyframe — this runs on the tracking path at
+  // every keyframe.
+  std::vector<std::pair<int, int>> weight_by_id;  // (weight, id)
+  const auto slot_of = [&](int id) -> std::size_t {
+    for (std::size_t i = 0; i < weight_by_id.size(); ++i)
+      if (weight_by_id[i].second == id) return i;
+    weight_by_id.push_back({0, id});
+    return weight_by_id.size() - 1;
+  };
+  for (const int w : window) {
+    if (!contains(w)) continue;
+    for (const CovisEdge& e : neighbors(w)) {
+      if (std::find(window.begin(), window.end(), e.keyframe_id) !=
+          window.end())
+        continue;
+      weight_by_id[slot_of(e.keyframe_id)].first += e.weight;
+    }
+  }
+  std::sort(weight_by_id.begin(), weight_by_id.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second > b.second;
+            });
+  std::vector<int> out;
+  for (const auto& [weight, id] : weight_by_id) {
+    if (static_cast<int>(out.size()) >= max_anchors) break;
+    out.push_back(id);
+  }
+  return out;
+}
+
+void KeyframeGraph::remove_point_observations(
+    std::span<const std::int64_t> removed_ids) {
+  if (removed_ids.empty()) return;
+  for (Keyframe& kf : keyframes_) {
+    std::erase_if(kf.observations, [&](const KeyframeObservation& o) {
+      return std::binary_search(removed_ids.begin(), removed_ids.end(),
+                                o.point_id);
+    });
+  }
+  // Edge weights are left as inserted: they are a selection heuristic, and
+  // recomputing every pair on each cull would make apply O(K^2 * obs).
+}
+
+}  // namespace eslam::backend

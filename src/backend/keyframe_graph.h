@@ -1,0 +1,109 @@
+// Keyframe database + covisibility graph — the backend's view of the
+// session (paper section 2.1 grows the map at key frames; this records
+// *which* key frame observed *which* map point, which append-and-prune
+// map updating threw away).
+//
+// A Keyframe stores the pose the tracker retired with and the pixel
+// observations of the map points it matched or created.  Edges connect
+// keyframes sharing at least `min_weight` observed points, weighted by
+// the share count — the covisibility structure windowed bundle adjustment
+// selects its problem from (and that relocalization / loop closure will
+// search over later).
+//
+// The graph is owned by the Tracker and only mutated from its map-updating
+// stage (one writer); the backend job reads a frozen BackendSnapshot, not
+// the live graph, so no internal locking is needed here.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geometry/se3.h"
+#include "geometry/matrix.h"
+
+namespace eslam::backend {
+
+// One pixel observation of a map point from a keyframe.  Pixels are
+// level-0 coordinates (the tracker's PnP convention).
+struct KeyframeObservation {
+  std::int64_t point_id = 0;  // Map point id (stable across prune/cull)
+  Vec2 pixel;
+};
+
+struct Keyframe {
+  int id = -1;           // graph-assigned, dense in insertion order
+  int frame_index = 0;   // tracker frame the keyframe retired as
+  SE3 pose_cw;           // world-to-camera at retirement (BA refines this)
+  std::vector<KeyframeObservation> observations;  // ascending point_id
+};
+
+// Covisibility edge from one keyframe to another.
+struct CovisEdge {
+  int keyframe_id = -1;
+  int weight = 0;  // number of shared observed points
+};
+
+struct KeyframeGraphOptions {
+  // Minimum shared observations for a covisibility edge.
+  int min_weight = 15;
+  // FIFO bound on stored keyframes; 0 keeps every keyframe.  Evicting the
+  // oldest keyframe drops its edges too, so long sessions stay bounded.
+  int max_keyframes = 512;
+};
+
+class KeyframeGraph {
+ public:
+  explicit KeyframeGraph(const KeyframeGraphOptions& options = {})
+      : options_(options) {}
+
+  // Inserts a keyframe and computes its covisibility edges against the
+  // stored keyframes.  `observations` need not be sorted; the graph sorts
+  // by point_id.  Returns the new keyframe's id.
+  int add_keyframe(int frame_index, const SE3& pose_cw,
+                   std::vector<KeyframeObservation> observations);
+
+  // Latest keyframe plus its top covisible neighbours (by edge weight,
+  // newer keyframe winning ties), at most `size` ids, newest first.
+  // This is the windowed-BA problem selector.
+  std::vector<int> local_window(int size) const;
+
+  // Keyframes outside `window` sharing points with any window member,
+  // strongest overlap first, at most `max_anchors` ids.  These become the
+  // fixed poses that anchor the window's gauge.
+  std::vector<int> anchors(const std::vector<int>& window,
+                           int max_anchors) const;
+
+  bool contains(int id) const;
+  const Keyframe& keyframe(int id) const;
+  void set_pose(int id, const SE3& pose_cw);
+
+  const std::vector<CovisEdge>& neighbors(int id) const;
+  int covisibility_weight(int a, int b) const;
+
+  // Drops observations of removed map points (after backend cull/fuse),
+  // so future snapshots stop proposing them.  Ids must be sorted.
+  void remove_point_observations(std::span<const std::int64_t> removed_ids);
+
+  std::size_t size() const { return keyframes_.size(); }
+  bool empty() const { return keyframes_.empty(); }
+  int latest_id() const {
+    return keyframes_.empty() ? -1 : keyframes_.back().id;
+  }
+  // Total keyframes ever inserted (ids run [evicted_, evicted_ + size())).
+  int total_inserted() const { return next_id_; }
+
+ private:
+  const Keyframe* find(int id) const;
+  Keyframe* find(int id);
+  void evict_oldest();
+
+  KeyframeGraphOptions options_;
+  // Dense by id minus eviction offset: keyframes_[i].id == first_id_ + i.
+  std::vector<Keyframe> keyframes_;
+  std::vector<std::vector<CovisEdge>> edges_;  // aligned with keyframes_
+  int next_id_ = 0;
+  int first_id_ = 0;  // id of keyframes_[0] (advances on eviction)
+};
+
+}  // namespace eslam::backend

@@ -1,0 +1,377 @@
+#include "backend/local_ba.h"
+
+#include <cmath>
+
+#include "geometry/assert.h"
+
+namespace eslam::backend {
+
+namespace {
+
+// One residual's linearization: robust weight, residual, and the pose /
+// point Jacobians (left pose perturbation, matching slam/pnp.cpp).
+struct Linearized {
+  Vec2 r;
+  double weight = 1.0;  // 0 for truncated (outlier) observations
+  double rho_cost = 0.0;  // robustified squared error contribution
+  Mat<2, 6> j_pose;
+  Mat<2, 3> j_point;
+};
+
+// Huber rho at residual e (plain squared error when delta <= 0).
+double robust_rho(double e, double huber_delta) {
+  if (huber_delta > 0.0 && e > huber_delta) {
+    const double w = huber_delta / e;
+    return w * e * e * (2.0 - w);
+  }
+  return e * e;
+}
+
+bool linearize(const PinholeCamera& camera, const SE3& pose, const Vec3& point,
+               const Vec2& pixel, double huber_delta, double truncate_px,
+               Linearized& out) {
+  const Vec3 p = pose * point;  // camera-frame point
+  if (p[2] <= PinholeCamera::kMinDepth) return false;
+
+  const double x = p[0], y = p[1], z = p[2];
+  const double inv_z = 1.0 / z;
+  const Vec2 proj{camera.fx() * x * inv_z + camera.cx(),
+                  camera.fy() * y * inv_z + camera.cy()};
+  out.r = proj - pixel;
+
+  Mat<2, 3> j_proj;
+  j_proj(0, 0) = camera.fx() * inv_z;
+  j_proj(0, 2) = -camera.fx() * x * inv_z * inv_z;
+  j_proj(1, 1) = camera.fy() * inv_z;
+  j_proj(1, 2) = -camera.fy() * y * inv_z * inv_z;
+
+  // d(T p)/d xi = [I | -hat(p_cam)] (left perturbation, rotation-last).
+  Mat<3, 6> j_rig;
+  j_rig.set_block(0, 0, Mat3::identity());
+  j_rig.set_block(0, 3, -hat(p));
+  out.j_pose = j_proj * j_rig;
+  // d(T p)/d p_world = R.
+  out.j_point = j_proj * pose.rotation();
+
+  const double err = out.r.norm();
+  if (truncate_px > 0.0 && err > truncate_px) {
+    // Truncated kernel: zero influence, constant cost.  The observation
+    // re-enters once other residuals pull it back under the threshold.
+    out.weight = 0.0;
+    out.rho_cost = robust_rho(truncate_px, huber_delta);
+    return true;
+  }
+  out.weight = 1.0;
+  if (huber_delta > 0.0 && err > huber_delta) out.weight = huber_delta / err;
+  out.rho_cost = robust_rho(err, huber_delta);
+  return true;
+}
+
+// A behind-the-camera observation contributes a fixed large robustified
+// cost instead of being dropped.  Costs are normalized by the TOTAL
+// observation count, so accept/reject comparisons stay fair: without the
+// penalty, pushing a point (or pose) until an observation falls behind a
+// camera would REMOVE its residual from the mean — a free cost reduction
+// the optimizer reliably finds and exploits.
+constexpr double kBehindPenaltyPx = 1e3;
+
+// Robustified mean cost of the whole problem under candidate geometry.
+double evaluate_cost(const BaProblem& problem,
+                     const std::vector<SE3>& poses,
+                     const std::vector<Vec3>& points,
+                     const BaOptions& options, int& used) {
+  double cost = 0.0;
+  used = 0;
+  Linearized lin;
+  for (const BaObservation& obs : problem.observations) {
+    if (!linearize(problem.camera, poses[static_cast<std::size_t>(
+                       obs.pose_index)],
+                   points[static_cast<std::size_t>(obs.point_index)],
+                   obs.pixel, options.huber_delta,
+                   options.outlier_truncate_px, lin)) {
+      cost += robust_rho(kBehindPenaltyPx, options.huber_delta);
+      continue;
+    }
+    cost += lin.rho_cost;
+    ++used;
+  }
+  return problem.observations.empty()
+             ? 0.0
+             : cost / static_cast<double>(problem.observations.size());
+}
+
+// Dense symmetric-indefinite solve via Gaussian elimination with partial
+// pivoting (the dynamic-size sibling of geometry/matrix.h solve<N>()).
+bool solve_dense(std::vector<double>& a, std::vector<double>& b, int n,
+                 std::vector<double>& x) {
+  for (int col = 0; col < n; ++col) {
+    int pivot = col;
+    double best = std::abs(a[static_cast<std::size_t>(col) * n + col]);
+    for (int r = col + 1; r < n; ++r) {
+      const double v = std::abs(a[static_cast<std::size_t>(r) * n + col]);
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (!(best > 1e-12)) return false;
+    if (pivot != col) {
+      for (int c = col; c < n; ++c)
+        std::swap(a[static_cast<std::size_t>(col) * n + c],
+                  a[static_cast<std::size_t>(pivot) * n + c]);
+      std::swap(b[static_cast<std::size_t>(col)],
+                b[static_cast<std::size_t>(pivot)]);
+    }
+    const double inv = 1.0 / a[static_cast<std::size_t>(col) * n + col];
+    for (int r = col + 1; r < n; ++r) {
+      const double f = a[static_cast<std::size_t>(r) * n + col] * inv;
+      if (f == 0.0) continue;
+      for (int c = col; c < n; ++c)
+        a[static_cast<std::size_t>(r) * n + c] -=
+            f * a[static_cast<std::size_t>(col) * n + c];
+      b[static_cast<std::size_t>(r)] -= f * b[static_cast<std::size_t>(col)];
+    }
+  }
+  x.assign(static_cast<std::size_t>(n), 0.0);
+  for (int r = n - 1; r >= 0; --r) {
+    double s = b[static_cast<std::size_t>(r)];
+    for (int c = r + 1; c < n; ++c)
+      s -= a[static_cast<std::size_t>(r) * n + c] * x[static_cast<std::size_t>(c)];
+    x[static_cast<std::size_t>(r)] = s / a[static_cast<std::size_t>(r) * n + r];
+  }
+  return true;
+}
+
+}  // namespace
+
+double mean_point_reprojection_px(const BaProblem& problem, int point_index,
+                                  double behind_penalty_px) {
+  double sum = 0.0;
+  int count = 0;
+  for (const BaObservation& obs : problem.observations) {
+    if (obs.point_index != point_index) continue;
+    const SE3& pose = problem.poses[static_cast<std::size_t>(obs.pose_index)];
+    const Vec3 p =
+        pose * problem.points[static_cast<std::size_t>(obs.point_index)];
+    ++count;
+    if (p[2] <= PinholeCamera::kMinDepth) {
+      sum += behind_penalty_px;
+      continue;
+    }
+    const Vec2 proj{problem.camera.fx() * p[0] / p[2] + problem.camera.cx(),
+                    problem.camera.fy() * p[1] / p[2] + problem.camera.cy()};
+    sum += (proj - obs.pixel).norm();
+  }
+  return count > 0 ? sum / count : 0.0;
+}
+
+BaResult solve_local_ba(BaProblem& problem, const BaOptions& options) {
+  BaResult result;
+  const std::size_t n_poses = problem.poses.size();
+  const std::size_t n_points = problem.points.size();
+  ESLAM_ASSERT(problem.pose_fixed.size() == n_poses &&
+                   problem.point_fixed.size() == n_points,
+               "BA problem fixed-flag arrays misaligned");
+
+  // Free-pose index mapping (Schur system rows are free poses only).
+  std::vector<int> free_of_pose(n_poses, -1);
+  int n_free = 0;
+  for (std::size_t i = 0; i < n_poses; ++i)
+    if (!problem.pose_fixed[i]) free_of_pose[i] = n_free++;
+  const int dim = 6 * n_free;
+
+  // Observations grouped by point (for the Schur folding).
+  std::vector<std::vector<int>> obs_of_point(n_points);
+  for (std::size_t k = 0; k < problem.observations.size(); ++k)
+    obs_of_point[static_cast<std::size_t>(
+                     problem.observations[k].point_index)]
+        .push_back(static_cast<int>(k));
+
+  double lambda = options.initial_lambda;
+  {
+    int used0 = 0;
+    result.initial_cost = evaluate_cost(problem, problem.poses, problem.points,
+                                        options, used0);
+    result.final_cost = result.initial_cost;
+    result.observations_used = used0;
+  }
+
+  std::vector<Mat6> h_cc(static_cast<std::size_t>(n_free));
+  std::vector<Vec6> b_c(static_cast<std::size_t>(n_free));
+  std::vector<Mat3> h_pp(n_points);
+  std::vector<Vec3> b_p(n_points);
+  std::vector<Mat<6, 3>> w_obs(problem.observations.size());
+  std::vector<bool> w_valid(problem.observations.size());
+  std::vector<Mat3> h_pp_inv(n_points);
+  std::vector<bool> point_active(n_points);
+  std::vector<double> s, rhs, delta_c;
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    // ---- linearize --------------------------------------------------------
+    for (auto& m : h_cc) m = Mat6{};
+    for (auto& v : b_c) v = Vec6{};
+    for (std::size_t j = 0; j < n_points; ++j) {
+      h_pp[j] = Mat3{};
+      b_p[j] = Vec3{};
+    }
+    double cost = 0.0;
+    int used = 0;
+    Linearized lin;
+    for (std::size_t k = 0; k < problem.observations.size(); ++k) {
+      const BaObservation& obs = problem.observations[k];
+      w_valid[k] = false;
+      if (!linearize(problem.camera,
+                     problem.poses[static_cast<std::size_t>(obs.pose_index)],
+                     problem.points[static_cast<std::size_t>(obs.point_index)],
+                     obs.pixel, options.huber_delta,
+                     options.outlier_truncate_px, lin)) {
+        cost += robust_rho(kBehindPenaltyPx, options.huber_delta);
+        continue;
+      }
+      cost += lin.rho_cost;
+      ++used;
+      if (lin.weight == 0.0) continue;  // truncated: no influence
+      const int f = free_of_pose[static_cast<std::size_t>(obs.pose_index)];
+      const bool point_free =
+          !problem.point_fixed[static_cast<std::size_t>(obs.point_index)];
+      if (f >= 0) {
+        const Mat<6, 2> jt = lin.j_pose.transposed();
+        h_cc[static_cast<std::size_t>(f)] += lin.weight * (jt * lin.j_pose);
+        b_c[static_cast<std::size_t>(f)] += lin.weight * (jt * lin.r);
+      }
+      if (point_free) {
+        const Mat<3, 2> jt = lin.j_point.transposed();
+        h_pp[static_cast<std::size_t>(obs.point_index)] +=
+            lin.weight * (jt * lin.j_point);
+        b_p[static_cast<std::size_t>(obs.point_index)] +=
+            lin.weight * (jt * lin.r);
+      }
+      if (f >= 0 && point_free) {
+        w_obs[k] = lin.weight * (lin.j_pose.transposed() * lin.j_point);
+        w_valid[k] = true;
+      }
+    }
+    if (used == 0) break;
+    cost /= static_cast<double>(problem.observations.size());
+    result.observations_used = used;
+
+    // ---- damp + invert point blocks --------------------------------------
+    for (std::size_t j = 0; j < n_points; ++j) {
+      point_active[j] = false;
+      if (problem.point_fixed[j]) continue;
+      Mat3 damped = h_pp[j];
+      for (int d = 0; d < 3; ++d)
+        damped(d, d) += lambda * damped(d, d) + 1e-12;
+      if (invert(damped, h_pp_inv[j])) point_active[j] = true;
+    }
+
+    // ---- reduced camera system -------------------------------------------
+    bool solved = true;
+    delta_c.assign(static_cast<std::size_t>(dim), 0.0);
+    if (n_free > 0) {
+      s.assign(static_cast<std::size_t>(dim) * dim, 0.0);
+      rhs.assign(static_cast<std::size_t>(dim), 0.0);
+      for (int f = 0; f < n_free; ++f) {
+        Mat6 damped = h_cc[static_cast<std::size_t>(f)];
+        for (int d = 0; d < 6; ++d)
+          damped(d, d) += lambda * damped(d, d) + 1e-12;
+        for (int r = 0; r < 6; ++r)
+          for (int c = 0; c < 6; ++c)
+            s[static_cast<std::size_t>(6 * f + r) * dim + (6 * f + c)] =
+                damped(r, c);
+        const Vec6& b = b_c[static_cast<std::size_t>(f)];
+        for (int r = 0; r < 6; ++r)
+          rhs[static_cast<std::size_t>(6 * f + r)] = -b[r];
+      }
+      // Fold every active point into the reduced system:
+      //   S -= W Hpp^-1 W^T,   rhs += W Hpp^-1 b_p.
+      for (std::size_t j = 0; j < n_points; ++j) {
+        if (!point_active[j]) continue;
+        const std::vector<int>& obs_list = obs_of_point[j];
+        for (const int k1 : obs_list) {
+          if (!w_valid[static_cast<std::size_t>(k1)]) continue;
+          const int f1 = free_of_pose[static_cast<std::size_t>(
+              problem.observations[static_cast<std::size_t>(k1)].pose_index)];
+          const Mat<6, 3> w1_hinv =
+              w_obs[static_cast<std::size_t>(k1)] * h_pp_inv[j];
+          const Vec6 r1 = w1_hinv * b_p[j];
+          for (int r = 0; r < 6; ++r)
+            rhs[static_cast<std::size_t>(6 * f1 + r)] += r1[r];
+          for (const int k2 : obs_list) {
+            if (!w_valid[static_cast<std::size_t>(k2)]) continue;
+            const int f2 = free_of_pose[static_cast<std::size_t>(
+                problem.observations[static_cast<std::size_t>(k2)]
+                    .pose_index)];
+            const Mat6 block =
+                w1_hinv * w_obs[static_cast<std::size_t>(k2)].transposed();
+            for (int r = 0; r < 6; ++r)
+              for (int c = 0; c < 6; ++c)
+                s[static_cast<std::size_t>(6 * f1 + r) * dim + (6 * f2 + c)] -=
+                    block(r, c);
+          }
+        }
+      }
+      solved = solve_dense(s, rhs, dim, delta_c);
+    }
+    if (!solved) {
+      lambda *= 8.0;
+      if (lambda > 1e6) break;
+      continue;
+    }
+
+    // ---- back-substitute points, build the candidate ---------------------
+    std::vector<SE3> cand_poses = problem.poses;
+    for (std::size_t i = 0; i < n_poses; ++i) {
+      const int f = free_of_pose[i];
+      if (f < 0) continue;
+      Vec6 d;
+      for (int r = 0; r < 6; ++r)
+        d[r] = delta_c[static_cast<std::size_t>(6 * f + r)];
+      cand_poses[i] = SE3::exp(d) * problem.poses[i];
+    }
+    std::vector<Vec3> cand_points = problem.points;
+    double max_step = 0.0;
+    for (int f = 0; f < n_free * 6; ++f)
+      max_step = std::max(max_step,
+                          std::abs(delta_c[static_cast<std::size_t>(f)]));
+    for (std::size_t j = 0; j < n_points; ++j) {
+      if (!point_active[j]) continue;
+      Vec3 acc = -1.0 * b_p[j];
+      for (const int k : obs_of_point[j]) {
+        if (!w_valid[static_cast<std::size_t>(k)]) continue;
+        const int f = free_of_pose[static_cast<std::size_t>(
+            problem.observations[static_cast<std::size_t>(k)].pose_index)];
+        Vec6 dc;
+        for (int r = 0; r < 6; ++r)
+          dc[r] = delta_c[static_cast<std::size_t>(6 * f + r)];
+        acc -= w_obs[static_cast<std::size_t>(k)].transposed() * dc;
+      }
+      const Vec3 dp = h_pp_inv[j] * acc;
+      cand_points[j] = problem.points[j] + dp;
+      max_step = std::max(max_step, dp.max_abs());
+    }
+
+    // ---- accept / reject --------------------------------------------------
+    int cand_used = 0;
+    const double cand_cost = evaluate_cost(problem, cand_poses, cand_points,
+                                           options, cand_used);
+    result.iterations = iter + 1;
+    if (cand_used > 0 && cand_cost <= cost) {
+      problem.poses = std::move(cand_poses);
+      problem.points = std::move(cand_points);
+      result.final_cost = cand_cost;
+      lambda = std::max(lambda * 0.5, 1e-9);
+      if (max_step < options.convergence_step) {
+        result.converged = true;
+        break;
+      }
+    } else {
+      result.final_cost = cost;
+      lambda *= 8.0;
+      if (lambda > 1e6) break;
+    }
+  }
+  return result;
+}
+
+}  // namespace eslam::backend

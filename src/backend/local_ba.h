@@ -1,0 +1,82 @@
+// Windowed local bundle adjustment — joint Gauss-Newton refinement of a
+// few keyframe poses and the map points they observe, minimizing the same
+// robustified reprojection error as the per-frame pose optimizer (paper
+// Eq. 1), but over poses AND points:
+//
+//   E = sum_ij  rho( || c_ij - h(g_j, T_i) ||^2 )
+//
+// The normal equations are solved with the Schur complement on the point
+// blocks: point Hessians are 3x3 and block-diagonal, so they are inverted
+// pointwise (geometry/matrix.h invert<3>) and folded into a reduced camera
+// system of 6F x 6F (F = free poses, <= the BA window — a few dozen
+// doubles a side), which dense partial-pivot elimination handles.  Built
+// entirely on the existing geometry/ primitives; no external solver.
+//
+// Gauge: callers mark at least two poses fixed (anchors) — one fixed pose
+// leaves the global scale free, which windowed refits would slowly drift.
+// With zero free poses the solver degenerates to independent pointwise
+// triangulation refinement, which is still useful right after bootstrap.
+#pragma once
+
+#include <vector>
+
+#include "geometry/camera.h"
+#include "geometry/se3.h"
+
+namespace eslam::backend {
+
+// One pixel observation linking pose `pose_index` to point `point_index`.
+struct BaObservation {
+  int pose_index = 0;
+  int point_index = 0;
+  Vec2 pixel;  // level-0 coordinates
+};
+
+// The frozen optimization problem.  solve_local_ba() updates poses /
+// points in place (fixed entries are left untouched).
+struct BaProblem {
+  PinholeCamera camera = PinholeCamera::tum_freiburg1();
+  std::vector<SE3> poses;        // world-to-camera
+  std::vector<bool> pose_fixed;  // anchors (gauge) — not optimized
+  std::vector<Vec3> points;      // world frame
+  std::vector<bool> point_fixed; // under-observed points — residuals only
+  std::vector<BaObservation> observations;
+};
+
+struct BaOptions {
+  int max_iterations = 6;
+  double huber_delta = 2.5;      // pixels; <= 0 disables the robust kernel
+  // Truncate the kernel beyond this residual (pixels; <= 0 disables):
+  // such observations get zero weight and a constant cost — without this,
+  // a gross outlier (a wrong association at tens of px) drags geometry
+  // indefinitely, because Huber's influence is bounded but never zero.
+  // Residuals re-enter the problem as soon as other observations pull
+  // them back under the threshold.
+  double outlier_truncate_px = 40.0;
+  double initial_lambda = 1e-4;  // LM damping on both block diagonals
+  double convergence_step = 1e-6;  // stop when max |delta| drops below this
+};
+
+struct BaResult {
+  int iterations = 0;
+  // Robustified mean squared pixel error over ALL observations; an
+  // observation behind its camera is charged a fixed large penalty rather
+  // than dropped (dropping would let the optimizer "win" by pushing
+  // geometry out of view).
+  double initial_cost = 0;
+  double final_cost = 0;
+  bool converged = false;
+  int observations_used = 0;  // residuals in front of the camera, last iter
+};
+
+BaResult solve_local_ba(BaProblem& problem, const BaOptions& options = {});
+
+// Mean reprojection error (pixels) of one point over its observations
+// under the problem's current poses; observations behind a camera count
+// as `behind_penalty_px`.  Reference/diagnostic utility (O(observations)
+// per call): the shipped cull pass in local_mapper.cpp computes the same
+// per-point means in one batched pass — keep the two formulas in sync.
+double mean_point_reprojection_px(const BaProblem& problem, int point_index,
+                                  double behind_penalty_px = 1e3);
+
+}  // namespace eslam::backend

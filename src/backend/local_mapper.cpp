@@ -1,0 +1,266 @@
+#include "backend/local_mapper.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "geometry/assert.h"
+#include "geometry/wall_timer.h"
+
+namespace eslam::backend {
+
+namespace {
+
+// 3D grid key for the fuse pass (cell size = fuse radius).
+std::int64_t cell_key(const Vec3& p, double cell) {
+  const auto q = [&](double v) {
+    return static_cast<std::int64_t>(std::floor(v / cell)) & 0x1fffff;
+  };
+  return (q(p[0]) << 42) | (q(p[1]) << 21) | q(p[2]);
+}
+
+}  // namespace
+
+bool build_snapshot(const KeyframeGraph& graph, const Map& map,
+                    const PinholeCamera& camera, const BackendOptions& options,
+                    int snapshot_frame, BackendSnapshot& out) {
+  if (static_cast<int>(graph.size()) < std::max(2, options.min_keyframes))
+    return false;
+  out = BackendSnapshot{};
+  out.map_epoch = map.epoch();
+  out.snapshot_frame = snapshot_frame;
+  out.window_kfs = graph.local_window(options.window_size);
+  out.fixed_kfs = graph.anchors(out.window_kfs, options.max_fixed_anchors);
+
+  // The gauge needs at least two fixed poses (see local_ba.h: one fixed
+  // pose still leaves the global scale free).  When the anchor set is
+  // thin (early session), the oldest window members — the tail of the
+  // newest-first window list — become the anchors; if even that cannot
+  // produce two, the problem is refused rather than solved gauge-free.
+  while (static_cast<int>(out.fixed_kfs.size()) < 2 &&
+         out.window_kfs.size() > 1) {
+    out.fixed_kfs.push_back(out.window_kfs.back());
+    out.window_kfs.pop_back();
+  }
+  if (out.window_kfs.empty() || out.fixed_kfs.size() < 2) return false;
+
+  // Point set: union of the window keyframes' observed ids, restricted to
+  // points still alive in the map.
+  std::vector<std::int64_t> ids;
+  for (const int kf_id : out.window_kfs)
+    for (const KeyframeObservation& obs : graph.keyframe(kf_id).observations)
+      ids.push_back(obs.point_id);
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+
+  out.problem.camera = camera;
+  for (const std::int64_t id : ids) {
+    const auto index = map.index_of(id);
+    if (!index) continue;
+    const MapPoint& p = map.point(*index);
+    out.point_ids.push_back(id);
+    out.point_descriptors.push_back(p.descriptor);
+    out.point_match_counts.push_back(p.match_count);
+    out.problem.points.push_back(p.position);
+  }
+  if (out.point_ids.empty()) return false;
+
+  const auto point_index_of = [&](std::int64_t id) -> int {
+    const auto it = std::lower_bound(out.point_ids.begin(),
+                                     out.point_ids.end(), id);
+    if (it == out.point_ids.end() || *it != id) return -1;
+    return static_cast<int>(it - out.point_ids.begin());
+  };
+
+  // Poses: free window first, fixed anchors after.
+  std::vector<int> all_kfs = out.window_kfs;
+  all_kfs.insert(all_kfs.end(), out.fixed_kfs.begin(), out.fixed_kfs.end());
+  std::vector<int> obs_count(out.point_ids.size(), 0);
+  for (std::size_t pi = 0; pi < all_kfs.size(); ++pi) {
+    const Keyframe& kf = graph.keyframe(all_kfs[pi]);
+    out.problem.poses.push_back(kf.pose_cw);
+    out.problem.pose_fixed.push_back(pi >= out.window_kfs.size());
+    for (const KeyframeObservation& obs : kf.observations) {
+      const int pj = point_index_of(obs.point_id);
+      if (pj < 0) continue;
+      out.problem.observations.push_back(
+          {static_cast<int>(pi), pj, obs.pixel});
+      ++obs_count[static_cast<std::size_t>(pj)];
+    }
+  }
+  out.problem.point_fixed.resize(out.point_ids.size());
+  for (std::size_t j = 0; j < out.point_ids.size(); ++j)
+    out.problem.point_fixed[j] = obs_count[j] < options.min_observations;
+  return true;
+}
+
+BackendDelta optimize_snapshot(BackendSnapshot snapshot,
+                               const BackendOptions& options) {
+  const WallTimer timer;
+  BackendDelta delta;
+  delta.map_epoch = snapshot.map_epoch;
+  delta.snapshot_frame = snapshot.snapshot_frame;
+
+  const std::vector<Vec3> original_points = snapshot.problem.points;
+  delta.ba = solve_local_ba(snapshot.problem, options.ba);
+
+  // Refined keyframe poses (free poses only — anchors never move).
+  for (std::size_t pi = 0; pi < snapshot.window_kfs.size(); ++pi)
+    delta.keyframe_poses.push_back(
+        {snapshot.window_kfs[pi], snapshot.problem.poses[pi]});
+
+  const BaProblem& problem = snapshot.problem;
+  const std::size_t n_points = problem.points.size();
+  enum class Fate { kKeep, kCull, kFuse };
+  std::vector<Fate> fate(n_points, Fate::kKeep);
+  if (options.cull_max_reproj_px > 0) {
+    // Post-BA per-point mean reprojection error, one pass over
+    // observations (only paid when the cull pass is enabled).
+    std::vector<double> err_sum(n_points, 0.0);
+    std::vector<int> err_count(n_points, 0);
+    for (const BaObservation& obs : problem.observations) {
+      const std::size_t j = static_cast<std::size_t>(obs.point_index);
+      const Vec3 p =
+          problem.poses[static_cast<std::size_t>(obs.pose_index)] *
+          problem.points[j];
+      ++err_count[j];
+      if (p[2] <= PinholeCamera::kMinDepth) {
+        err_sum[j] += 1e3;  // behind a window camera: certainly misplaced
+        continue;
+      }
+      const Vec2 proj{problem.camera.fx() * p[0] / p[2] + problem.camera.cx(),
+                      problem.camera.fy() * p[1] / p[2] + problem.camera.cy()};
+      err_sum[j] += (proj - obs.pixel).norm();
+    }
+    for (std::size_t j = 0; j < n_points; ++j)
+      if (err_count[j] >= std::max(1, options.min_cull_observations) &&
+          err_sum[j] / err_count[j] > options.cull_max_reproj_px)
+        fate[j] = Fate::kCull;
+  }
+
+  // Fuse pass: grid-hash the post-BA positions; points within
+  // fuse_radius_m and fuse_max_hamming of each other are redundant
+  // duplicates.  The survivor of a cluster is its most-*matched* member
+  // (ties to the oldest id): the point the matcher demonstrably keeps
+  // finding is the one whose descriptor serves the current viewpoint —
+  // blindly keeping the oldest throws away the proven descriptor, which
+  // measurably degrades tracking once BA moves have aligned duplicates.
+  // Scanning ids in ascending order with winner-replacement keeps the
+  // outcome deterministic regardless of map size.
+  if (options.fuse_radius_m > 0) {
+    const double cell = options.fuse_radius_m;
+    std::unordered_map<std::int64_t, std::vector<std::size_t>> grid;
+    grid.reserve(n_points);
+    const auto beats = [&](std::size_t a, std::size_t b) {
+      if (snapshot.point_match_counts[a] != snapshot.point_match_counts[b])
+        return snapshot.point_match_counts[a] >
+               snapshot.point_match_counts[b];
+      return snapshot.point_ids[a] < snapshot.point_ids[b];
+    };
+    for (std::size_t j = 0; j < n_points; ++j) {
+      if (fate[j] == Fate::kCull) continue;
+      const Vec3& pj = problem.points[j];
+      std::vector<std::size_t> colliders;
+      for (int dx = -1; dx <= 1; ++dx)
+        for (int dy = -1; dy <= 1; ++dy)
+          for (int dz = -1; dz <= 1; ++dz) {
+            const Vec3 probe{pj[0] + dx * cell, pj[1] + dy * cell,
+                             pj[2] + dz * cell};
+            const auto it = grid.find(cell_key(probe, cell));
+            if (it == grid.end()) continue;
+            for (const std::size_t i : it->second) {
+              if ((problem.points[i] - pj).norm() > options.fuse_radius_m)
+                continue;
+              if (hamming_distance(snapshot.point_descriptors[i],
+                                   snapshot.point_descriptors[j]) >
+                  options.fuse_max_hamming)
+                continue;
+              colliders.push_back(i);
+            }
+          }
+      if (colliders.empty()) {
+        grid[cell_key(pj, cell)].push_back(j);
+        continue;
+      }
+      std::size_t winner = j;
+      for (const std::size_t i : colliders)
+        if (beats(i, winner)) winner = i;
+      for (const std::size_t i : colliders) {
+        if (i == winner) continue;
+        fate[i] = Fate::kFuse;
+        std::vector<std::size_t>& bucket =
+            grid[cell_key(problem.points[i], cell)];
+        std::erase(bucket, i);
+      }
+      if (winner == j)
+        grid[cell_key(pj, cell)].push_back(j);
+      else
+        fate[j] = Fate::kFuse;
+    }
+  }
+
+  for (std::size_t j = 0; j < n_points; ++j) {
+    const std::int64_t id = snapshot.point_ids[j];
+    switch (fate[j]) {
+      case Fate::kCull:
+        delta.culled_ids.push_back(id);
+        break;
+      case Fate::kFuse:
+        delta.fused_ids.push_back(id);
+        break;
+      case Fate::kKeep: {
+        if (problem.point_fixed[j]) break;
+        const Vec3 move = problem.points[j] - original_points[j];
+        if (move.max_abs() <= 1e-12) break;
+        // Trust region: a runaway estimate is not a refinement.
+        if (options.max_point_move_m > 0 &&
+            move.norm() > options.max_point_move_m)
+          break;
+        delta.point_positions.push_back({id, problem.points[j]});
+        break;
+      }
+    }
+  }
+  delta.optimize_ms = timer.elapsed_ms();
+  return delta;
+}
+
+ApplyOutcome apply_delta(const BackendDelta& delta, Map& map,
+                         KeyframeGraph& graph) {
+  ApplyOutcome outcome;
+
+  // Stale-evidence guard: a point matched after the snapshot was frozen
+  // has newer evidence than the delta — never remove it.
+  std::vector<std::int64_t> removals;
+  const auto eligible = [&](std::int64_t id) {
+    const auto index = map.index_of(id);
+    return index &&
+           map.point(*index).last_matched_frame <= delta.snapshot_frame;
+  };
+  for (const std::int64_t id : delta.culled_ids)
+    if (eligible(id)) {
+      removals.push_back(id);
+      ++outcome.points_culled;
+    }
+  for (const std::int64_t id : delta.fused_ids)
+    if (eligible(id)) {
+      removals.push_back(id);
+      ++outcome.points_fused;
+    }
+  std::sort(removals.begin(), removals.end());
+
+  const MapApplyStats stats =
+      map.apply_update(delta.point_positions, removals);
+  outcome.points_moved = static_cast<int>(stats.moved);
+  outcome.map_changed = stats.moved > 0 || stats.removed > 0;
+
+  for (const auto& [kf_id, pose] : delta.keyframe_poses) {
+    if (!graph.contains(kf_id)) continue;  // evicted since the snapshot
+    graph.set_pose(kf_id, pose);
+    ++outcome.keyframes_updated;
+  }
+  graph.remove_point_observations(removals);
+  return outcome;
+}
+
+}  // namespace eslam::backend

@@ -1,0 +1,142 @@
+// Asynchronous local-mapping backend: snapshot -> optimize -> delta ->
+// apply.
+//
+// The backend never touches live tracker state while optimizing.  At a
+// key frame, the tracker (inside update_map, the one map-writing stage)
+// builds a BackendSnapshot — a frozen copy of the local BA window selected
+// from the covisibility graph plus the map points it observes — and hands
+// it to a worker (the scheduler's background lane, or inline in
+// sequential mode).  optimize_snapshot() runs windowed bundle adjustment
+// (local_ba.h) on the copy and derives a BackendDelta: refined keyframe
+// poses, refined point positions, and the ids of points to cull (bad
+// post-BA geometry) or fuse (near-duplicates the map accumulated).  The
+// tracker applies the delta at the *next* key frame under the map's
+// structural-epoch rules: apply_delta() mutates the map in one step and
+// bumps its epoch exactly once, so a speculative feature match that read
+// the pre-apply map replays by the existing rule — pipelined semantics
+// need no new invariants.  Points matched after the snapshot was taken
+// are never removed by a stale delta (fresh evidence wins); position
+// refinements still apply (they carry their own, newer, evidence).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "backend/keyframe_graph.h"
+#include "backend/local_ba.h"
+#include "features/descriptor.h"
+#include "geometry/camera.h"
+#include "slam/map.h"
+
+namespace eslam::backend {
+
+struct BackendOptions {
+  // Master switch.  Disabled, the tracker maintains no graph, schedules
+  // no jobs, and its output is bit-identical to a backend-less build.
+  bool enabled = false;
+  // Free keyframes in the BA window (latest + top covisible).
+  int window_size = 5;
+  // Out-of-window keyframes held fixed to anchor the gauge (at least two
+  // poses are always fixed — see local_ba.h).
+  int max_fixed_anchors = 4;
+  // Points observed fewer times than this in the problem keep their
+  // position (their residuals still constrain the window poses).
+  int min_observations = 2;
+  // Run the first BA only once the graph holds this many keyframes.
+  int min_keyframes = 3;
+  BaOptions ba;
+  KeyframeGraphOptions graph;
+  // --- map-maintenance passes (opt-in) -----------------------------------
+  // The default backend applies ONLY bounded position refinements: on the
+  // long fr1/desk regime (bench_backend_ate) they alone cut ATE by ~1/3,
+  // and they are the one pass whose failure mode is bounded by the trust
+  // region below.  The cull and fuse passes are implemented, tested and
+  // per-session tunable, but ship disabled: the tracked trajectory is
+  // chaotically sensitive to removing live map points (a hundred culled
+  // points measurably flipped the desk run), so removal needs stronger
+  // evidence — relocalization-grade verification over the keyframe DB
+  // (see ROADMAP) — before it can be default-on.
+  //
+  // Cull (enabled when > 0): remove a point whose post-BA mean
+  // reprojection error exceeds this many pixels, judged only when it has
+  // at least min_cull_observations observations of evidence.
+  double cull_max_reproj_px = 0.0;
+  int min_cull_observations = 2;
+  // Trust region on position refinements: a point BA wants to move
+  // farther than this (metres) is left untouched (an unconverged or
+  // gauge-sliding estimate, not a refinement).
+  double max_point_move_m = 0.5;
+  // Fuse (enabled when > 0): points within this distance (metres) AND
+  // fuse_max_hamming descriptor bits form a duplicate cluster; only its
+  // most-matched member survives (ties to the oldest).
+  double fuse_radius_m = 0.0;
+  int fuse_max_hamming = 48;
+};
+
+// Frozen input of one backend job.
+struct BackendSnapshot {
+  std::uint64_t map_epoch = 0;  // epoch the copy was taken under
+  int snapshot_frame = 0;       // frame index of the triggering keyframe
+  std::vector<int> window_kfs;  // free keyframe ids (graph ids)
+  std::vector<int> fixed_kfs;   // anchor keyframe ids
+  BaProblem problem;            // poses = window_kfs ++ fixed_kfs order
+  // Aligned with problem.points:
+  std::vector<std::int64_t> point_ids;
+  std::vector<Descriptor256> point_descriptors;
+  std::vector<int> point_match_counts;  // fusion keeps the proven member
+};
+
+// Output of one backend job, applied at the next keyframe.
+struct BackendDelta {
+  std::uint64_t map_epoch = 0;  // snapshot epoch (diagnostic)
+  int snapshot_frame = 0;
+  std::vector<std::pair<int, SE3>> keyframe_poses;  // graph id -> refined
+  std::vector<std::pair<std::int64_t, Vec3>> point_positions;
+  std::vector<std::int64_t> culled_ids;  // bad geometry (sorted)
+  std::vector<std::int64_t> fused_ids;   // redundant duplicates (sorted)
+  BaResult ba;
+  double optimize_ms = 0;  // whole-job wall time on the worker
+};
+
+// What applying a delta actually changed (stale entries are skipped).
+struct ApplyOutcome {
+  int points_moved = 0;
+  int points_culled = 0;
+  int points_fused = 0;
+  int keyframes_updated = 0;
+  bool map_changed = false;  // epoch was bumped
+};
+
+// Cumulative per-tracker backend counters (exported via Tracker and, per
+// session, via server/SlamService).
+struct BackendStats {
+  int keyframes_inserted = 0;
+  int jobs_run = 0;
+  int deltas_applied = 0;
+  long long points_moved = 0;
+  long long points_culled = 0;
+  long long points_fused = 0;
+  int total_ba_iterations = 0;
+  double total_optimize_ms = 0;
+  double last_ba_initial_cost = 0;
+  double last_ba_final_cost = 0;
+};
+
+// Builds the frozen BA problem for the current local window.  Must be
+// called from the map-writing stage (no structural map mutation may run
+// concurrently).  Returns false when the graph is still too small.
+bool build_snapshot(const KeyframeGraph& graph, const Map& map,
+                    const PinholeCamera& camera, const BackendOptions& options,
+                    int snapshot_frame, BackendSnapshot& out);
+
+// Pure function of the snapshot — safe on any thread, takes no locks.
+BackendDelta optimize_snapshot(BackendSnapshot snapshot,
+                               const BackendOptions& options);
+
+// Applies a delta to the live map + graph: one structural map update, one
+// epoch bump (when anything changed).  Must be called from the map-writing
+// stage under the tracker's exclusive map lock.
+ApplyOutcome apply_delta(const BackendDelta& delta, Map& map,
+                         KeyframeGraph& graph);
+
+}  // namespace eslam::backend

@@ -32,7 +32,11 @@ namespace eslam {
 enum class ExecutionMode {
   // process()/feed() run all five stages inline, one frame start-to-finish
   // at a time.  The reference schedule: every other mode must reproduce
-  // its results bit-for-bit.
+  // its results bit-for-bit (with the local-mapping backend disabled —
+  // when TrackerOptions::backend.enabled is set, sequential mode runs BA
+  // jobs inline at keyframes, deterministically, while pipelined mode
+  // runs them on the scheduler's background lane, so delta timing may
+  // legitimately differ between the modes).
   kSequential,
   // feed() streams frames through the Figure-7 runtime.  Since the server
   // layer (server/SlamService) was introduced, this is literally a

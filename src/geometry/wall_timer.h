@@ -1,0 +1,23 @@
+// Minimal steady-clock millisecond stopwatch.  Lives at the bottom of
+// the layer stack (like geometry/assert.h) so slam/, backend/ and the
+// bench tooling share one definition instead of growing per-file copies.
+#pragma once
+
+#include <chrono>
+
+namespace eslam {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace eslam

@@ -48,6 +48,16 @@ struct PipelineStats {
   double fpga_busy_ms = 0;      // summed FE+FM wall time (lane occupancy)
   double arm_busy_ms = 0;       // summed PE+PO+MU wall time
   double wall_ms = 0;           // runtime lifetime so far
+
+  // Local-mapping backend (the background-job lane), per session:
+  int backend_jobs = 0;           // BA jobs executed on the ARM pool
+  int backend_jobs_rejected = 0;  // bounded background-queue overflow skips
+  int backend_deltas_applied = 0; // deltas folded into the map at keyframes
+  double backend_busy_ms = 0;     // summed BA job wall time (pool occupancy)
+  // Map maintenance visibility, accumulated from retired TrackResults:
+  long long points_pruned = 0;        // age-pruned by map updating
+  long long backend_points_culled = 0;  // removed by BA (bad geometry)
+  long long backend_points_fused = 0;   // removed by BA (duplicates)
 };
 
 }  // namespace eslam

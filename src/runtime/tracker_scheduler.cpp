@@ -48,6 +48,10 @@ struct SchedulerSession {
   // await ARM stages, and whether a worker currently owns this session.
   int arm_backlog = 0;
   bool arm_queued = false;
+  // Background-job lane state (also guarded by work_mutex_): whether this
+  // session sits in backend_q_ / a worker is running its BA job.
+  bool bg_queued = false;
+  bool bg_running = false;
 
   std::atomic<int> frames_fed{0};
   std::atomic<int> frames_retired{0};
@@ -170,14 +174,34 @@ SessionRef TrackerScheduler::add_session(
   return session;
 }
 
+bool TrackerScheduler::backend_quiet(SchedulerSession& s) {
+  const std::lock_guard<std::mutex> lock(work_mutex_);
+  return !s.bg_queued && !s.bg_running;
+}
+
 void TrackerScheduler::remove_session(const SessionRef& session) {
   if (!session) return;
   // Quiesce: every accepted frame retires through map updating (the caller
-  // has stopped feeding, so fed is final and the lanes drain it).
+  // has stopped feeding, so fed is final and the lanes drain it), and the
+  // background lane lets go of the tracker.  A *queued* backend job is
+  // cancelled — it has not started, the tracker is going away, and
+  // waiting for a pool slot would stall behind other sessions' tracking
+  // load.  The cancellation happens only once every frame has retired:
+  // jobs are offered to the lane *before* a retirement is published, so
+  // at that point no re-enqueue can arrive and the cancel sticks.  A
+  // *running* job kicks the waiter on completion.
   SchedulerSession& s = *session;
   for (;;) {
     const std::uint64_t seen = user_signal_snapshot(s);
-    if (s.frames_retired.load() >= s.frames_fed.load() || stop_.load()) break;
+    if (stop_.load()) break;
+    if (s.frames_retired.load() >= s.frames_fed.load()) {
+      const std::lock_guard<std::mutex> lock(work_mutex_);
+      if (s.bg_queued) {
+        std::erase(backend_q_, session);
+        s.bg_queued = false;
+      }
+      if (!s.bg_running) break;
+    }
     std::unique_lock<std::mutex> lock(s.user_mutex);
     s.user_cv.wait(lock,
                    [&] { return stop_.load() || s.user_signal != seen; });
@@ -268,6 +292,16 @@ std::vector<TrackResult> TrackerScheduler::drain(const SessionRef& session) {
     }
     if (stop_.load()) break;  // teardown mid-drain: return what arrived
     // Park until an ARM worker delivers a result (it kicks per frame).
+    std::unique_lock<std::mutex> lock(s.user_mutex);
+    s.user_cv.wait(lock,
+                   [&] { return stop_.load() || s.user_signal != seen; });
+  }
+  // Then let the background lane finish this session's BA job, so the
+  // drained tracker is genuinely quiescent (its stats/graph stable) when
+  // the caller inspects it.  Workers kick on job completion.
+  for (;;) {
+    const std::uint64_t seen = user_signal_snapshot(s);
+    if (stop_.load() || backend_quiet(s)) break;
     std::unique_lock<std::mutex> lock(s.user_mutex);
     s.user_cv.wait(lock,
                    [&] { return stop_.load() || s.user_signal != seen; });
@@ -443,21 +477,73 @@ void TrackerScheduler::enqueue_arm(const SessionRef& session) {
   work_cv_.notify_one();
 }
 
+void TrackerScheduler::enqueue_backend(const SessionRef& session) {
+  {
+    const std::lock_guard<std::mutex> lock(work_mutex_);
+    SchedulerSession& s = *session;
+    // Per-session serialization: one queued-or-running job at a time.
+    if (s.bg_queued || s.bg_running) return;
+    if (static_cast<int>(backend_q_.size()) >=
+        std::max(1, options_.backend_queue_capacity)) {
+      const std::lock_guard<std::mutex> stats_lock(s.stats_mutex);
+      ++s.stats.backend_jobs_rejected;
+      return;  // job stays pending in the tracker; retried next retirement
+    }
+    s.bg_queued = true;
+    backend_q_.push_back(session);
+  }
+  work_cv_.notify_one();
+}
+
+void TrackerScheduler::run_session_backend(const SessionRef& session) {
+  SchedulerSession& s = *session;
+  const double t0 = now_ms();
+  s.tracker->run_backend_job();
+  const double elapsed = now_ms() - t0;
+  {
+    const std::lock_guard<std::mutex> lock(s.stats_mutex);
+    ++s.stats.backend_jobs;
+    s.stats.backend_busy_ms += elapsed;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(work_mutex_);
+    s.bg_running = false;
+  }
+  kick_user(s);  // remove_session / drain may be waiting on quiescence
+}
+
 void TrackerScheduler::arm_worker() {
   for (;;) {
     SessionRef session;
+    bool backend_job = false;
     {
       std::unique_lock<std::mutex> lock(work_mutex_);
-      work_cv_.wait(lock, [&] { return stop_.load() || !work_q_.empty(); });
+      work_cv_.wait(lock, [&] {
+        return stop_.load() || !work_q_.empty() || !backend_q_.empty();
+      });
       if (stop_.load()) return;
-      session = std::move(work_q_.front());
-      work_q_.pop_front();
+      if (!work_q_.empty()) {
+        // Tracking stages always outrank the background lane: BA runs on
+        // pool slack only.
+        session = std::move(work_q_.front());
+        work_q_.pop_front();
+      } else {
+        session = std::move(backend_q_.front());
+        backend_q_.pop_front();
+        session->bg_queued = false;
+        session->bg_running = true;
+        backend_job = true;
+      }
     }
-    run_session_arm(*session);
+    if (backend_job)
+      run_session_backend(session);
+    else
+      run_session_arm(session);
   }
 }
 
-void TrackerScheduler::run_session_arm(SchedulerSession& s) {
+void TrackerScheduler::run_session_arm(const SessionRef& session) {
+  SchedulerSession& s = *session;
   // This worker owns the session (arm_queued == true) until the backlog is
   // empty — ARM stages of one session therefore run serially in frame
   // order, while other workers serve other sessions.
@@ -494,6 +580,26 @@ void TrackerScheduler::run_session_arm(SchedulerSession& s) {
     TrackResult result = s.tracker->update_map(fs);
     pace(s, PipeStage::kMapUpdating, t0);
     record(s, index, PipeLane::kArm, PipeStage::kMapUpdating, t0, now_ms());
+
+    // Map-maintenance visibility: fold the per-frame counters into the
+    // session stats so long-lived services see them without keeping every
+    // TrackResult around.
+    {
+      const std::lock_guard<std::mutex> lock(s.stats_mutex);
+      s.stats.points_pruned += result.n_points_pruned;
+      s.stats.backend_points_culled += result.n_points_culled;
+      s.stats.backend_points_fused += result.n_points_fused;
+      if (result.backend_applied) ++s.stats.backend_deltas_applied;
+    }
+
+    // A keyframe may have frozen a local-mapping snapshot: offer it to
+    // the background lane (no-op when the backend is idle or disabled).
+    // This MUST precede the retirement publication below — touching the
+    // tracker after the session's last retirement is visible would race
+    // remove_session() destroying it, and enqueuing first also makes the
+    // bg_queued flag visible to any remover that observes the
+    // retirement (both sides synchronize on work_mutex_).
+    if (s.tracker->backend_job_pending()) enqueue_backend(session);
 
     // Publish retirement before delivering the result: the device lane's
     // key-frame barrier must not wait on the user's poll cadence.

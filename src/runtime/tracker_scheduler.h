@@ -29,6 +29,15 @@
 //   * ARM stages of one session run serially in frame order (ownership is
 //     handed to exactly one worker at a time), so each session's results
 //     are bit-identical to a solo sequential Tracker::process() run.
+//   * the local-mapping backend rides a *background-job lane* on the same
+//     ARM pool: when a retirement leaves a frozen BA snapshot behind, the
+//     session is offered to a bounded backend queue that workers only
+//     serve when no tracking stage is runnable (strictly lower priority).
+//     At most one backend job per session is queued or running at a time,
+//     and its delta re-enters the pipeline through the tracker's own
+//     update_map() at the next keyframe under the structural-epoch rules
+//     — so the speculative-FM replay protocol above is untouched, and
+//     with the backend disabled the schedule is byte-for-byte the old one.
 //
 // Dispatch is round-robin with fairness counting: each device-lane pass
 // starts from a rotating cursor, so no session can monopolize the fabric,
@@ -79,6 +88,12 @@ using StagePacer = std::function<double(PipeStage)>;
 struct SchedulerOptions {
   // ARM worker pool size (the "ARM cores" serving all sessions).
   int arm_workers = 1;
+  // Bound on the background-job lane (local-mapping BA jobs awaiting a
+  // worker, across all sessions).  An overflowing enqueue is skipped and
+  // counted — the job stays pending in its tracker and is re-offered at
+  // that session's next retirement, so overload degrades to "backend laps
+  // less often", never to unbounded queue growth.
+  int backend_queue_capacity = 16;
 };
 
 // Per-session knobs (PipelineOptions is the single-stream alias of this).
@@ -101,9 +116,11 @@ class TrackerScheduler {
   // session and must not be driven through process() meanwhile.
   SessionRef add_session(Tracker& tracker,
                          const SchedulerSessionOptions& options = {});
-  // Blocks until every fed frame of the session has retired, then removes
+  // Blocks until every fed frame of the session has retired and its
+  // background backend job (if any) has left the job lane, then removes
   // it.  Results not yet polled are discarded — callers that want them
-  // drain() first.
+  // drain() first.  The backend wait is what makes destroying the tracker
+  // safe: a BA job references it from a pool worker.
   void remove_session(const SessionRef& session);
 
   // Non-blocking feed; false when the session's input ring is full (that
@@ -116,9 +133,13 @@ class TrackerScheduler {
 
   // Next result of this session in feed order, if one is ready.
   std::optional<TrackResult> poll(const SessionRef& session);
-  // Blocks until every frame fed to this session has been delivered and
-  // returns the not-yet-polled results in order.  Other sessions keep
-  // flowing meanwhile; the session stays usable afterwards.
+  // Blocks until every frame fed to this session has been delivered —
+  // and until its background backend job (if any) has finished, so the
+  // tracker really is quiescent for inspection — and returns the
+  // not-yet-polled results in order.  Other sessions keep flowing
+  // meanwhile; the session stays usable afterwards.  (A job the tracker
+  // froze but never managed to enqueue stays pending until the next feed;
+  // it holds no pool resources.)
   std::vector<TrackResult> drain(const SessionRef& session);
 
   // Frames fed but not yet retired through map updating.
@@ -137,8 +158,15 @@ class TrackerScheduler {
   bool device_step(const SessionRef& session);
   void finalize_match(SchedulerSession& s, FrameState& fs);
   void arm_worker();
-  void run_session_arm(SchedulerSession& s);
+  void run_session_arm(const SessionRef& session);
   void enqueue_arm(const SessionRef& session);
+  // Offers a session's pending local-mapping job to the background lane
+  // (deduplicated per session, bounded by backend_queue_capacity).
+  void enqueue_backend(const SessionRef& session);
+  // Executes one background BA job for the session (ARM worker context).
+  void run_session_backend(const SessionRef& session);
+  // True while the session has a queued or running background job.
+  bool backend_quiet(SchedulerSession& s);
   void run_device_stage(SchedulerSession& s, FrameState& fs, PipeStage stage,
                         bool speculative);
   // Sleeps out the remainder of the session pacer's modeled stage time.
@@ -169,9 +197,17 @@ class TrackerScheduler {
   // arm_backlog / arm_queued of every session are guarded by work_mutex_
   // (one short acquisition per frame handoff — the frames themselves move
   // through the preallocated SPSC rings).
+  //
+  // backend_q_ is the background-job lane: sessions whose tracker froze a
+  // local-mapping snapshot and awaits a worker.  Workers always serve
+  // work_q_ (tracking stages) first — backend jobs have strictly lower
+  // priority, so BA only consumes pool slack.  Per-session serialization
+  // holds by construction: a session is enqueued at most once
+  // (bg_queued), and its tracker holds at most one job in any state.
   std::mutex work_mutex_;
   std::condition_variable work_cv_;
   std::deque<SessionRef> work_q_;
+  std::deque<SessionRef> backend_q_;
 
   std::atomic<bool> stop_{false};
   std::thread device_thread_;

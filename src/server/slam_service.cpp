@@ -66,6 +66,11 @@ PipelineStats SessionHandle::stats() const {
   return service_ ? service_->scheduler_.stats(session_->slot) : PipelineStats{};
 }
 
+backend::BackendStats SessionHandle::backend_stats() const {
+  return service_ ? session_->tracker->backend_stats()
+                  : backend::BackendStats{};
+}
+
 std::vector<StageEvent> SessionHandle::stage_events() const {
   if (!service_) return {};
   return service_->scheduler_.stage_events(session_->slot);
@@ -90,7 +95,8 @@ std::vector<TrackResult> SessionHandle::close() {
 
 SlamService::SlamService(const ServiceOptions& options)
     : options_(options),
-      scheduler_(SchedulerOptions{std::max(1, options.arm_workers)}) {}
+      scheduler_(SchedulerOptions{std::max(1, options.arm_workers),
+                                  options.backend_queue_capacity}) {}
 
 SlamService::~SlamService() = default;
 

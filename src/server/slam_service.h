@@ -44,6 +44,9 @@ struct ServiceSession;
 struct ServiceOptions {
   // ARM worker pool width (how many sessions can be in PE/PO/MU at once).
   int arm_workers = 2;
+  // Bound on the shared background-job lane (local-mapping BA jobs
+  // awaiting pool slack); see runtime/SchedulerOptions.
+  int backend_queue_capacity = 16;
 };
 
 // Everything one session needs: sensor, platform, tracker tuning, and its
@@ -91,11 +94,18 @@ class SessionHandle {
   void feed(FrameInput frame);
   // Next result in feed order, if ready.
   std::optional<TrackResult> poll();
-  // Blocks until every fed frame is delivered; returns the remainder.
+  // Blocks until every fed frame is delivered and this session's
+  // background BA job (if any) has finished; returns the remainder.
   std::vector<TrackResult> drain();
 
   int in_flight() const;
+  // Runtime stats, including the background lane's job counts and the
+  // per-session pruned/culled/fused map-maintenance totals.
   PipelineStats stats() const;
+  // The tracker's own local-mapping counters (BA iterations/costs, points
+  // moved).  Thread-safe at any time — the tracker snapshots them under
+  // its backend mutex.
+  backend::BackendStats backend_stats() const;
   std::vector<StageEvent> stage_events() const;
 
   // The session's tracker (trajectory, map).  Only valid while quiescent

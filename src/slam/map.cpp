@@ -41,6 +41,37 @@ std::size_t Map::prune(int current_frame, int max_age) {
   return before - points_.size();
 }
 
+std::optional<std::size_t> Map::index_of(std::int64_t id) const {
+  const auto it = std::lower_bound(
+      points_.begin(), points_.end(), id,
+      [](const MapPoint& p, std::int64_t v) { return p.id < v; });
+  if (it == points_.end() || it->id != id) return std::nullopt;
+  return static_cast<std::size_t>(it - points_.begin());
+}
+
+MapApplyStats Map::apply_update(
+    std::span<const std::pair<std::int64_t, Vec3>> moves,
+    std::span<const std::int64_t> remove_ids) {
+  MapApplyStats stats;
+  for (const auto& [id, position] : moves) {
+    const auto index = index_of(id);
+    if (!index) continue;
+    points_[*index].position = position;
+    position_cache_[*index] = position;
+    ++stats.moved;
+  }
+  if (!remove_ids.empty()) {
+    const std::size_t before = points_.size();
+    std::erase_if(points_, [&](const MapPoint& p) {
+      return std::binary_search(remove_ids.begin(), remove_ids.end(), p.id);
+    });
+    stats.removed = before - points_.size();
+    if (stats.removed > 0) rebuild_caches();
+  }
+  if (stats.moved > 0 || stats.removed > 0) ++epoch_;
+  return stats;
+}
+
 void Map::rebuild_caches() {
   descriptor_cache_.clear();
   descriptor_cache_.reserve(points_.size());

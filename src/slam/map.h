@@ -4,13 +4,20 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "features/descriptor.h"
 #include "geometry/matrix.h"
 
 namespace eslam {
+
+struct MapApplyStats {
+  std::size_t moved = 0;
+  std::size_t removed = 0;
+};
 
 struct MapPoint {
   std::int64_t id = 0;
@@ -34,6 +41,21 @@ class Map {
   // (the paper's "not matched for a long period of time" rule).
   // Returns the number of points removed.
   std::size_t prune(int current_frame, int max_age);
+
+  // Index of the point with `id`, if still alive.  Ids are assigned
+  // monotonically and removals preserve order, so points_ is always
+  // sorted by id and this is a binary search.
+  std::optional<std::size_t> index_of(std::int64_t id) const;
+
+  // One structural update from the local-mapping backend: moves point
+  // positions (by id) and removes culled/fused points (`remove_ids`
+  // sorted ascending).  Ids no longer alive are skipped.  The epoch is
+  // bumped exactly once when anything changed — position refinements
+  // shift the projection gate's view, so matches computed before the
+  // apply must replay exactly as they do after add_point()/prune().
+  MapApplyStats apply_update(
+      std::span<const std::pair<std::int64_t, Vec3>> moves,
+      std::span<const std::int64_t> remove_ids);
 
   std::size_t size() const { return points_.size(); }
   bool empty() const { return points_.empty(); }

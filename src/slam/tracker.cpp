@@ -1,27 +1,12 @@
 #include "slam/tracker.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <mutex>
 
+#include "geometry/wall_timer.h"
+
 namespace eslam {
-
-namespace {
-
-class WallTimer {
- public:
-  WallTimer() : start_(std::chrono::steady_clock::now()) {}
-  double elapsed_ms() const {
-    const auto now = std::chrono::steady_clock::now();
-    return std::chrono::duration<double, std::milli>(now - start_).count();
-  }
-
- private:
-  std::chrono::steady_clock::time_point start_;
-};
-
-}  // namespace
 
 SoftwareBackend::SoftwareBackend(const OrbConfig& orb,
                                  const MatcherOptions& matcher)
@@ -60,7 +45,8 @@ Tracker::Tracker(const PinholeCamera& camera,
     : camera_(camera),
       backend_(std::move(backend)),
       options_(options),
-      keyframe_policy_(options.keyframe) {
+      keyframe_policy_(options.keyframe),
+      kf_graph_(options.backend.graph) {
   ESLAM_ASSERT(backend_ != nullptr, "tracker needs a feature backend");
 }
 
@@ -77,7 +63,8 @@ std::optional<Vec3> Tracker::world_point_from_depth(const FrameInput& frame,
   return pose_wc * camera_.unproject(u, v, z);
 }
 
-void Tracker::bootstrap_map(FrameState& fs) {
+void Tracker::bootstrap_map(
+    FrameState& fs, std::vector<backend::KeyframeObservation>* observations) {
   const WallTimer timer;
   const SE3 identity;
   int added = 0;
@@ -86,7 +73,9 @@ void Tracker::bootstrap_map(FrameState& fs) {
         world_point_from_depth(fs.input, f.keypoint.x0(), f.keypoint.y0(),
                                identity);
     if (!p) continue;
-    map_.add_point(*p, f.descriptor, fs.index);
+    const std::int64_t id = map_.add_point(*p, f.descriptor, fs.index);
+    if (observations)
+      observations->push_back({id, Vec2{f.keypoint.x0(), f.keypoint.y0()}});
     ++added;
   }
   fs.result.keyframe = true;
@@ -95,21 +84,21 @@ void Tracker::bootstrap_map(FrameState& fs) {
   keyframe_policy_.should_insert(SE3{});  // registers the reference pose
 }
 
-int Tracker::insert_map_points(const FrameState& fs,
-                               const std::vector<bool>& feature_matched,
-                               const SE3& pose_wc) {
-  int added = 0;
+std::size_t Tracker::insert_map_points(
+    const FrameState& fs, const std::vector<bool>& feature_matched,
+    const SE3& pose_wc,
+    std::vector<backend::KeyframeObservation>* observations) {
   for (std::size_t i = 0; i < fs.features.size(); ++i) {
     if (feature_matched[i]) continue;  // already represented in the map
     const Feature& f = fs.features[i];
     const auto p = world_point_from_depth(fs.input, f.keypoint.x0(),
                                           f.keypoint.y0(), pose_wc);
     if (!p) continue;
-    map_.add_point(*p, f.descriptor, fs.index);
-    ++added;
+    const std::int64_t id = map_.add_point(*p, f.descriptor, fs.index);
+    if (observations)
+      observations->push_back({id, Vec2{f.keypoint.x0(), f.keypoint.y0()}});
   }
-  map_.prune(fs.index, options_.map_prune_age);
-  return added;
+  return map_.prune(fs.index, options_.map_prune_age);
 }
 
 SE3 Tracker::predicted_pose_cw() const {
@@ -304,31 +293,56 @@ void Tracker::optimize_pose(FrameState& fs) {
 }
 
 TrackResult Tracker::update_map(FrameState& fs) {
+  const bool backend_on = options_.backend.enabled;
   if (fs.bootstrap) {
-    const std::unique_lock lock(map_mutex_);
-    bootstrap_map(fs);
-    last_pose_cw_ = SE3{};
+    std::vector<backend::KeyframeObservation> observations;
+    {
+      const std::unique_lock lock(map_mutex_);
+      bootstrap_map(fs, backend_on ? &observations : nullptr);
+      last_pose_cw_ = SE3{};
+    }
+    if (backend_on && !fs.result.lost)
+      backend_on_keyframe(fs, std::move(observations));
   } else if (fs.result.lost) {
     // Drop the (now unreliable) velocity estimate; the map is untouched.
     have_velocity_ = false;
   } else {
+    // The keyframe decision only needs the final pose; taking it first
+    // lets non-keyframes (the common case) skip the backend observation
+    // collection below entirely.
+    const bool is_keyframe = keyframe_policy_.should_insert(fs.result.pose_wc);
+
     // Record which features/map points were matched (for map maintenance).
     std::vector<bool> feature_matched(fs.features.size(), false);
+    std::vector<backend::KeyframeObservation> observations;
     for (int idx : fs.ransac.inliers) {
       const Match& m = fs.matches[static_cast<std::size_t>(idx)];
       feature_matched[static_cast<std::size_t>(m.query)] = true;
       map_.note_match(static_cast<std::size_t>(m.train), fs.index);
+      if (backend_on && is_keyframe) {
+        const Feature& f = fs.features[static_cast<std::size_t>(m.query)];
+        observations.push_back(
+            {map_.point(static_cast<std::size_t>(m.train)).id,
+             Vec2{f.keypoint.x0(), f.keypoint.y0()}});
+      }
     }
 
     // --- Map updating (key frames only, ARM) ------------------------------
-    if (keyframe_policy_.should_insert(fs.result.pose_wc)) {
+    if (is_keyframe) {
       WallTimer mu_timer;
       {
         // The map maintains its descriptor/position snapshot eagerly, so
         // releasing this lock immediately publishes a consistent epoch.
         const std::unique_lock lock(map_mutex_);
-        insert_map_points(fs, feature_matched, fs.result.pose_wc);
+        // The previous backend job's delta lands here — the next keyframe
+        // after its completion — as one more structural map write under
+        // the same lock and epoch rules as the insertions below.
+        if (backend_on) apply_pending_backend_delta(fs);
+        fs.result.n_points_pruned = static_cast<int>(insert_map_points(
+            fs, feature_matched, fs.result.pose_wc,
+            backend_on ? &observations : nullptr));
       }
+      if (backend_on) backend_on_keyframe(fs, std::move(observations));
       fs.result.times.map_updating = mu_timer.elapsed_ms();
       fs.result.keyframe = true;
     }
@@ -355,7 +369,93 @@ TrackResult Tracker::process(const FrameInput& frame) {
   match(fs);
   estimate_pose(fs);
   optimize_pose(fs);
-  return update_map(fs);
+  TrackResult result = update_map(fs);
+  // Sequential platform: no worker pool, so a job frozen at this keyframe
+  // runs inline right here (its delta applies at the next keyframe, the
+  // same protocol the asynchronous lane follows).
+  if (backend_job_pending()) run_backend_job();
+  return result;
+}
+
+// ---- local-mapping backend --------------------------------------------------
+
+bool Tracker::backend_job_pending() const {
+  const std::lock_guard<std::mutex> lock(backend_mutex_);
+  return backend_state_ == BackendJobState::kSnapshotReady;
+}
+
+bool Tracker::backend_busy() const {
+  const std::lock_guard<std::mutex> lock(backend_mutex_);
+  return backend_state_ == BackendJobState::kRunning;
+}
+
+backend::BackendStats Tracker::backend_stats() const {
+  const std::lock_guard<std::mutex> lock(backend_mutex_);
+  return backend_stats_;
+}
+
+void Tracker::backend_on_keyframe(
+    const FrameState& fs,
+    std::vector<backend::KeyframeObservation> observations) {
+  kf_graph_.add_keyframe(fs.index, fs.result.pose_cw, std::move(observations));
+  {
+    const std::lock_guard<std::mutex> lock(backend_mutex_);
+    ++backend_stats_.keyframes_inserted;
+    // Per-tracker serialization: one job in any state at a time.  A busy
+    // backend simply skips this keyframe; the next one retries.
+    if (backend_state_ != BackendJobState::kIdle) return;
+  }
+  // Reading the map without the lock is safe here: update_map() is the
+  // only structural writer and this runs from update_map().
+  backend::BackendSnapshot snapshot;
+  if (!backend::build_snapshot(kf_graph_, map_, camera_, options_.backend,
+                               fs.index, snapshot))
+    return;
+  const std::lock_guard<std::mutex> lock(backend_mutex_);
+  backend_snapshot_ = std::move(snapshot);
+  backend_state_ = BackendJobState::kSnapshotReady;
+}
+
+void Tracker::run_backend_job() {
+  backend::BackendSnapshot snapshot;
+  {
+    const std::lock_guard<std::mutex> lock(backend_mutex_);
+    if (backend_state_ != BackendJobState::kSnapshotReady) return;
+    snapshot = std::move(backend_snapshot_);
+    backend_state_ = BackendJobState::kRunning;
+  }
+  // The expensive part — windowed BA on the frozen copy.  No tracker lock
+  // is held: tracking stages proceed concurrently.
+  backend::BackendDelta delta =
+      backend::optimize_snapshot(std::move(snapshot), options_.backend);
+  const std::lock_guard<std::mutex> lock(backend_mutex_);
+  ++backend_stats_.jobs_run;
+  backend_stats_.total_ba_iterations += delta.ba.iterations;
+  backend_stats_.total_optimize_ms += delta.optimize_ms;
+  backend_stats_.last_ba_initial_cost = delta.ba.initial_cost;
+  backend_stats_.last_ba_final_cost = delta.ba.final_cost;
+  backend_delta_ = std::move(delta);
+  backend_state_ = BackendJobState::kDeltaReady;
+}
+
+void Tracker::apply_pending_backend_delta(FrameState& fs) {
+  backend::BackendDelta delta;
+  {
+    const std::lock_guard<std::mutex> lock(backend_mutex_);
+    if (backend_state_ != BackendJobState::kDeltaReady) return;
+    delta = std::move(backend_delta_);
+    backend_state_ = BackendJobState::kIdle;
+  }
+  const backend::ApplyOutcome outcome =
+      backend::apply_delta(delta, map_, kf_graph_);
+  fs.result.n_points_culled = outcome.points_culled;
+  fs.result.n_points_fused = outcome.points_fused;
+  fs.result.backend_applied = true;
+  const std::lock_guard<std::mutex> lock(backend_mutex_);
+  ++backend_stats_.deltas_applied;
+  backend_stats_.points_moved += outcome.points_moved;
+  backend_stats_.points_culled += outcome.points_culled;
+  backend_stats_.points_fused += outcome.points_fused;
 }
 
 }  // namespace eslam

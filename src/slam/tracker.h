@@ -22,6 +22,7 @@
 #include <span>
 #include <vector>
 
+#include "backend/local_mapper.h"
 #include "features/matcher.h"
 #include "features/orb.h"
 #include "geometry/camera.h"
@@ -113,6 +114,13 @@ struct TrackResult {
   int n_inliers = 0;
   // Which matching tier produced this frame's matches (after fallback).
   MatchTier match_tier = MatchTier::kBruteForce;
+  // Map maintenance visibility: age-pruned points from this frame's map
+  // update, and — when a local-mapping backend delta was applied at this
+  // keyframe — the culled/fused point counts it removed.
+  int n_points_pruned = 0;
+  int n_points_culled = 0;
+  int n_points_fused = 0;
+  bool backend_applied = false;
   double timestamp = 0;
   StageTimesMs times;
 };
@@ -142,6 +150,11 @@ struct TrackerOptions {
                                /*huber_delta=*/2.5,
                                /*convergence_step=*/1e-8};
   KeyframeOptions keyframe;
+  // Asynchronous local-mapping backend (keyframe graph + windowed BA);
+  // disabled by default — the frontend is then bit-identical to a
+  // backend-less build.  Per-session when threaded through
+  // server/SessionConfig::tracker.
+  backend::BackendOptions backend;
   double depth_factor = 5000.0;  // TUM: depth_png / 5000 = metres
   int map_prune_age = 200;       // frames without a match before deletion
   int min_tracked_inliers = 10;
@@ -248,11 +261,43 @@ class Tracker {
   FeatureBackend& backend() { return *backend_; }
   int frame_index() const { return frame_index_; }
 
+  // --- local-mapping backend ---------------------------------------------
+  // update_map() freezes a BackendSnapshot at a keyframe when the previous
+  // job's delta has been applied (per-tracker serialization: at most one
+  // job in any state at a time).  A worker — the scheduler's background
+  // lane, or process() inline in sequential mode — then runs the job via
+  // run_backend_job(), and the resulting delta is applied at the next
+  // keyframe.  See backend/local_mapper.h for the protocol.
+  bool backend_enabled() const { return options_.backend.enabled; }
+  // A frozen snapshot awaits a worker.
+  bool backend_job_pending() const;
+  // A worker is inside run_backend_job() right now.  The tracker must not
+  // be destroyed while true (the scheduler's remove_session waits).
+  bool backend_busy() const;
+  // Executes the pending job, if any.  Thread-safe; takes no map lock —
+  // the job runs entirely on the frozen snapshot.
+  void run_backend_job();
+  // Keyframe database + covisibility graph.  Only valid while quiescent
+  // (no update_map in flight).
+  const backend::KeyframeGraph& keyframe_graph() const { return kf_graph_; }
+  backend::BackendStats backend_stats() const;
+
  private:
-  void bootstrap_map(FrameState& fs);
-  int insert_map_points(const FrameState& fs,
-                        const std::vector<bool>& feature_matched,
-                        const SE3& pose_wc);
+  void bootstrap_map(FrameState& fs,
+                     std::vector<backend::KeyframeObservation>* observations);
+  // Inserts unmatched features as new map points (recording their backend
+  // observations when requested), then age-prunes; returns the prune count.
+  std::size_t insert_map_points(
+      const FrameState& fs, const std::vector<bool>& feature_matched,
+      const SE3& pose_wc,
+      std::vector<backend::KeyframeObservation>* observations);
+  // Applies a completed backend delta, if one is ready.  Caller holds the
+  // exclusive map lock (this is a structural map write).
+  void apply_pending_backend_delta(FrameState& fs);
+  // Graph insertion + snapshot freeze for a retired keyframe.
+  void backend_on_keyframe(
+      const FrameState& fs,
+      std::vector<backend::KeyframeObservation> observations);
   std::optional<Vec3> world_point_from_depth(const FrameInput& frame,
                                              double u, double v,
                                              const SE3& pose_wc) const;
@@ -299,6 +344,19 @@ class Tracker {
   };
   GatePriorSlot gate_prior_[2];
   mutable std::mutex gate_prior_mutex_;
+
+  // --- local-mapping backend state ---------------------------------------
+  // The graph is mutated only by update_map() (the single map-writing
+  // stage) and read by build_snapshot() from that same stage, so it needs
+  // no lock of its own.  The job slots below are the tracker/worker
+  // handshake and live under backend_mutex_.
+  backend::KeyframeGraph kf_graph_;
+  enum class BackendJobState { kIdle, kSnapshotReady, kRunning, kDeltaReady };
+  mutable std::mutex backend_mutex_;
+  BackendJobState backend_state_ = BackendJobState::kIdle;
+  backend::BackendSnapshot backend_snapshot_;  // valid in kSnapshotReady
+  backend::BackendDelta backend_delta_;        // valid in kDeltaReady
+  backend::BackendStats backend_stats_;
 };
 
 }  // namespace eslam

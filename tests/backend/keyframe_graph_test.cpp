@@ -1,0 +1,135 @@
+#include "backend/keyframe_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace eslam::backend {
+namespace {
+
+// Observations of consecutive point ids [first, first + count).
+std::vector<KeyframeObservation> obs_range(std::int64_t first, int count) {
+  std::vector<KeyframeObservation> obs;
+  for (int i = 0; i < count; ++i)
+    obs.push_back({first + i, Vec2{double(i), double(i)}});
+  return obs;
+}
+
+KeyframeGraphOptions low_threshold() {
+  KeyframeGraphOptions options;
+  options.min_weight = 2;
+  return options;
+}
+
+TEST(KeyframeGraph, AssignsSequentialIdsAndStoresPose) {
+  KeyframeGraph graph(low_threshold());
+  const SE3 pose{Mat3::identity(), Vec3{1, 2, 3}};
+  EXPECT_EQ(graph.add_keyframe(10, SE3{}, obs_range(0, 5)), 0);
+  EXPECT_EQ(graph.add_keyframe(20, pose, obs_range(100, 5)), 1);
+  EXPECT_EQ(graph.size(), 2u);
+  EXPECT_EQ(graph.latest_id(), 1);
+  EXPECT_EQ(graph.keyframe(1).frame_index, 20);
+  EXPECT_EQ(graph.keyframe(1).pose_cw.translation()[1], 2.0);
+}
+
+TEST(KeyframeGraph, CovisibilityWeightIsSharedPointCount) {
+  KeyframeGraph graph(low_threshold());
+  graph.add_keyframe(0, SE3{}, obs_range(0, 10));    // points 0..9
+  graph.add_keyframe(1, SE3{}, obs_range(6, 10));    // points 6..15 -> 4 shared
+  graph.add_keyframe(2, SE3{}, obs_range(100, 10));  // disjoint
+  EXPECT_EQ(graph.covisibility_weight(0, 1), 4);
+  EXPECT_EQ(graph.covisibility_weight(1, 0), 4);
+  EXPECT_EQ(graph.covisibility_weight(0, 2), 0);
+  EXPECT_EQ(graph.neighbors(2).size(), 0u);
+  ASSERT_EQ(graph.neighbors(0).size(), 1u);
+  EXPECT_EQ(graph.neighbors(0)[0].keyframe_id, 1);
+}
+
+TEST(KeyframeGraph, EdgesBelowThresholdAreNotCreated) {
+  KeyframeGraphOptions options;
+  options.min_weight = 5;
+  KeyframeGraph graph(options);
+  graph.add_keyframe(0, SE3{}, obs_range(0, 10));
+  graph.add_keyframe(1, SE3{}, obs_range(6, 10));  // 4 shared < 5
+  EXPECT_EQ(graph.covisibility_weight(0, 1), 0);
+  EXPECT_TRUE(graph.neighbors(0).empty());
+}
+
+TEST(KeyframeGraph, UnsortedObservationsAreSortedOnInsert) {
+  KeyframeGraph graph(low_threshold());
+  std::vector<KeyframeObservation> obs = {{7, Vec2{}}, {3, Vec2{}},
+                                          {5, Vec2{}}};
+  graph.add_keyframe(0, SE3{}, obs);
+  const Keyframe& kf = graph.keyframe(0);
+  EXPECT_EQ(kf.observations[0].point_id, 3);
+  EXPECT_EQ(kf.observations[1].point_id, 5);
+  EXPECT_EQ(kf.observations[2].point_id, 7);
+}
+
+TEST(KeyframeGraph, LocalWindowPicksTopCovisibleThenRecency) {
+  KeyframeGraph graph(low_threshold());
+  graph.add_keyframe(0, SE3{}, obs_range(0, 20));   // 20 shared with latest
+  graph.add_keyframe(1, SE3{}, obs_range(900, 5));  // disjoint from latest
+  graph.add_keyframe(2, SE3{}, obs_range(10, 5));   // 5 shared with latest
+  graph.add_keyframe(3, SE3{}, obs_range(0, 20));   // the latest
+  const std::vector<int> window = graph.local_window(3);
+  ASSERT_EQ(window.size(), 3u);
+  EXPECT_EQ(window[0], 3);  // latest first
+  EXPECT_EQ(window[1], 0);  // strongest covisibility
+  EXPECT_EQ(window[2], 2);  // next strongest
+  // Window larger than the graph: recency padding fills in kf 1.
+  const std::vector<int> wide = graph.local_window(10);
+  ASSERT_EQ(wide.size(), 4u);
+  EXPECT_EQ(wide[3], 1);
+}
+
+TEST(KeyframeGraph, AnchorsRankOutOfWindowOverlap) {
+  KeyframeGraph graph(low_threshold());
+  graph.add_keyframe(0, SE3{}, obs_range(0, 20));
+  graph.add_keyframe(1, SE3{}, obs_range(15, 10));  // 5 shared with kf0
+  graph.add_keyframe(2, SE3{}, obs_range(0, 20));   // 20 shared with kf0
+  const std::vector<int> window = {2};
+  const std::vector<int> anchors = graph.anchors(window, 2);
+  ASSERT_EQ(anchors.size(), 2u);
+  EXPECT_EQ(anchors[0], 0);  // strongest total overlap with the window
+  EXPECT_EQ(anchors[1], 1);
+  EXPECT_EQ(graph.anchors(window, 1).size(), 1u);
+}
+
+TEST(KeyframeGraph, FifoEvictionDropsOldestAndItsEdges) {
+  KeyframeGraphOptions options;
+  options.min_weight = 2;
+  options.max_keyframes = 3;
+  KeyframeGraph graph(options);
+  for (int i = 0; i < 5; ++i) graph.add_keyframe(i, SE3{}, obs_range(0, 10));
+  EXPECT_EQ(graph.size(), 3u);
+  EXPECT_FALSE(graph.contains(0));
+  EXPECT_FALSE(graph.contains(1));
+  EXPECT_TRUE(graph.contains(2));
+  EXPECT_TRUE(graph.contains(4));
+  EXPECT_EQ(graph.total_inserted(), 5);
+  // Surviving keyframes no longer list evicted neighbours.
+  for (int id = 2; id <= 4; ++id)
+    for (const CovisEdge& e : graph.neighbors(id)) EXPECT_GE(e.keyframe_id, 2);
+}
+
+TEST(KeyframeGraph, SetPoseUpdatesInPlace) {
+  KeyframeGraph graph(low_threshold());
+  graph.add_keyframe(0, SE3{}, obs_range(0, 3));
+  const SE3 refined{Mat3::identity(), Vec3{0.5, 0, 0}};
+  graph.set_pose(0, refined);
+  EXPECT_EQ(graph.keyframe(0).pose_cw.translation()[0], 0.5);
+}
+
+TEST(KeyframeGraph, RemovePointObservationsFiltersAllKeyframes) {
+  KeyframeGraph graph(low_threshold());
+  graph.add_keyframe(0, SE3{}, obs_range(0, 10));
+  graph.add_keyframe(1, SE3{}, obs_range(5, 10));
+  const std::vector<std::int64_t> removed = {5, 6, 7};
+  graph.remove_point_observations(removed);
+  EXPECT_EQ(graph.keyframe(0).observations.size(), 7u);
+  EXPECT_EQ(graph.keyframe(1).observations.size(), 7u);
+  for (const KeyframeObservation& o : graph.keyframe(1).observations)
+    EXPECT_TRUE(o.point_id < 5 || o.point_id > 7);
+}
+
+}  // namespace
+}  // namespace eslam::backend

@@ -1,0 +1,258 @@
+#include "backend/local_mapper.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "../test_util.h"
+
+namespace eslam::backend {
+namespace {
+
+// A small world shared by the snapshot/apply tests: points in front of the
+// identity camera, three keyframes observing all of them exactly.
+struct World {
+  PinholeCamera camera = PinholeCamera::tum_freiburg1();
+  Map map;
+  KeyframeGraph graph;
+  std::vector<std::int64_t> ids;
+
+  explicit World(int n_points = 30, int n_keyframes = 3,
+                 std::uint32_t seed = 21) {
+    eslam::testing::rng(seed);
+    std::vector<Vec3> points;
+    for (int j = 0; j < n_points; ++j)
+      points.push_back(Vec3{eslam::testing::uniform(-1.2, 1.2),
+                            eslam::testing::uniform(-0.9, 0.9),
+                            eslam::testing::uniform(2.0, 4.0)});
+    for (const Vec3& p : points)
+      ids.push_back(map.add_point(p, eslam::testing::random_descriptor(), 0));
+    for (int i = 0; i < n_keyframes; ++i) {
+      const SE3 pose{Mat3::identity(), Vec3{0.1 * i, 0, 0}};
+      std::vector<KeyframeObservation> obs;
+      for (std::size_t j = 0; j < points.size(); ++j) {
+        const auto px = camera.project(pose * points[j]);
+        if (!px) continue;
+        obs.push_back({ids[j], *px});
+      }
+      graph.add_keyframe(/*frame_index=*/i * 10, pose, std::move(obs));
+    }
+  }
+};
+
+BackendOptions default_options() {
+  BackendOptions options;
+  options.enabled = true;
+  options.min_keyframes = 2;
+  return options;
+}
+
+TEST(BackendSnapshot, FreezesEpochWindowAndPoints) {
+  World w;
+  BackendSnapshot snapshot;
+  ASSERT_TRUE(build_snapshot(w.graph, w.map, w.camera, default_options(),
+                             /*snapshot_frame=*/20, snapshot));
+  EXPECT_EQ(snapshot.map_epoch, w.map.epoch());
+  EXPECT_EQ(snapshot.snapshot_frame, 20);
+  // Two poses are always fixed for the gauge; here there are no
+  // out-of-window anchors, so they come from the window's old end.
+  EXPECT_EQ(snapshot.window_kfs.size() + snapshot.fixed_kfs.size(), 3u);
+  EXPECT_GE(snapshot.fixed_kfs.size(), 2u);
+  EXPECT_EQ(snapshot.point_ids.size(), w.map.size());
+  EXPECT_EQ(snapshot.problem.points.size(), w.map.size());
+  EXPECT_EQ(snapshot.problem.poses.size(), 3u);
+  // Every point is observed 3x >= min_observations, so none is fixed.
+  for (const bool fixed : snapshot.problem.point_fixed) EXPECT_FALSE(fixed);
+  // Snapshot positions are copies of the live map's.
+  const auto index = w.map.index_of(snapshot.point_ids[0]);
+  ASSERT_TRUE(index.has_value());
+  EXPECT_EQ(snapshot.problem.points[0][0], w.map.point(*index).position[0]);
+}
+
+TEST(BackendSnapshot, RefusesTinyGraphs) {
+  World w(10, 1);
+  BackendSnapshot snapshot;
+  EXPECT_FALSE(build_snapshot(w.graph, w.map, w.camera, default_options(), 0,
+                              snapshot));
+}
+
+TEST(BackendSnapshot, SkipsDeadPoints) {
+  World w;
+  // Remove one point from the map after the graph recorded it.
+  const std::int64_t dead = w.ids[5];
+  const std::vector<std::pair<std::int64_t, Vec3>> no_moves;
+  const std::vector<std::int64_t> removals = {dead};
+  w.map.apply_update(no_moves, removals);
+
+  BackendSnapshot snapshot;
+  ASSERT_TRUE(build_snapshot(w.graph, w.map, w.camera, default_options(), 20,
+                             snapshot));
+  EXPECT_EQ(snapshot.point_ids.size(), w.map.size());
+  EXPECT_FALSE(std::binary_search(snapshot.point_ids.begin(),
+                                  snapshot.point_ids.end(), dead));
+}
+
+TEST(BackendDelta, OptimizeProducesMovesAndCulls) {
+  World w;
+  BackendOptions options = default_options();
+  options.cull_max_reproj_px = 5.0;
+  BackendSnapshot snapshot;
+  ASSERT_TRUE(build_snapshot(w.graph, w.map, w.camera, options, 20, snapshot));
+
+  // Teleport one snapshot point far off its observations and pin it (the
+  // under-observed case): BA cannot pull a pinned point back, so the cull
+  // pass must flag its unredeemable reprojection error.  Nudge another
+  // slightly: BA should move it back (a position refinement).
+  const std::int64_t poisoned = snapshot.point_ids[3];
+  const std::int64_t nudged = snapshot.point_ids[7];
+  snapshot.problem.points[3] += Vec3{1.5, 1.5, 0};
+  snapshot.problem.point_fixed[3] = true;
+  snapshot.problem.points[7] += Vec3{0.01, 0, 0};
+
+  const BackendDelta delta = optimize_snapshot(snapshot, options);
+  EXPECT_GT(delta.ba.iterations, 0);
+  EXPECT_EQ(std::count(delta.culled_ids.begin(), delta.culled_ids.end(),
+                       poisoned),
+            1);
+  const auto moved = std::find_if(
+      delta.point_positions.begin(), delta.point_positions.end(),
+      [&](const auto& m) { return m.first == nudged; });
+  ASSERT_NE(moved, delta.point_positions.end());
+  // The move lands near the true position (the map's original value).
+  const auto index = w.map.index_of(nudged);
+  ASSERT_TRUE(index.has_value());
+  EXPECT_LT((moved->second - w.map.point(*index).position).norm(), 5e-3);
+}
+
+TEST(BackendDelta, FusesDuplicatePointsKeepingTheProvenMember) {
+  World w;
+  BackendOptions options = default_options();
+  options.fuse_radius_m = 0.05;
+  options.fuse_max_hamming = 256;  // distance-only for this test
+  // Insert a near-duplicate of point 0 and give it to the latest keyframe
+  // as an extra observation, so it enters the snapshot.
+  const Vec3 base = w.map.point(0).position;
+  const Descriptor256 desc = w.map.point(0).descriptor;
+  const std::int64_t dup = w.map.add_point(base + Vec3{0.005, 0, 0}, desc, 25);
+  {
+    const auto px = w.camera.project(w.graph.keyframe(2).pose_cw * base);
+    ASSERT_TRUE(px.has_value());
+    std::vector<KeyframeObservation> obs = {{dup, *px}, {w.ids[0], *px}};
+    w.graph.add_keyframe(30, w.graph.keyframe(2).pose_cw, std::move(obs));
+  }
+
+  // Both members have zero matches: the tie goes to the older id.
+  BackendSnapshot snapshot;
+  ASSERT_TRUE(build_snapshot(w.graph, w.map, w.camera, options, 30, snapshot));
+  const BackendDelta delta = optimize_snapshot(snapshot, options);
+  EXPECT_EQ(std::count(delta.fused_ids.begin(), delta.fused_ids.end(), dup),
+            1);
+  EXPECT_EQ(std::count(delta.fused_ids.begin(), delta.fused_ids.end(),
+                       w.ids[0]),
+            0);
+
+  // Now the duplicate is the proven member (the matcher keeps finding
+  // it): it must win the cluster even though it is younger.
+  const auto dup_index = w.map.index_of(dup);
+  ASSERT_TRUE(dup_index.has_value());
+  w.map.note_match(*dup_index, 26);
+  BackendSnapshot snapshot2;
+  ASSERT_TRUE(build_snapshot(w.graph, w.map, w.camera, options, 30,
+                             snapshot2));
+  const BackendDelta delta2 = optimize_snapshot(snapshot2, options);
+  EXPECT_EQ(std::count(delta2.fused_ids.begin(), delta2.fused_ids.end(), dup),
+            0);
+  EXPECT_EQ(std::count(delta2.fused_ids.begin(), delta2.fused_ids.end(),
+                       w.ids[0]),
+            1);
+}
+
+TEST(BackendApply, BumpsEpochExactlyOnceAndUpdatesGraph) {
+  World w;
+  const std::uint64_t before = w.map.epoch();
+
+  BackendDelta delta;
+  delta.snapshot_frame = 20;
+  delta.point_positions.push_back({w.ids[0], Vec3{9, 9, 9}});
+  delta.point_positions.push_back({w.ids[1], Vec3{8, 8, 8}});
+  delta.culled_ids.push_back(w.ids[2]);
+  delta.fused_ids.push_back(w.ids[3]);
+  delta.keyframe_poses.push_back({2, SE3{Mat3::identity(), Vec3{7, 0, 0}}});
+  delta.keyframe_poses.push_back({99, SE3{}});  // evicted id: skipped
+
+  const ApplyOutcome outcome = apply_delta(delta, w.map, w.graph);
+  EXPECT_EQ(outcome.points_moved, 2);
+  EXPECT_EQ(outcome.points_culled, 1);
+  EXPECT_EQ(outcome.points_fused, 1);
+  EXPECT_EQ(outcome.keyframes_updated, 1);
+  EXPECT_TRUE(outcome.map_changed);
+  // One structural update, one epoch bump — that is what lets the
+  // pipeline's speculative-match replay rule cover backend applies with
+  // no extra machinery.
+  EXPECT_EQ(w.map.epoch(), before + 1);
+  EXPECT_EQ(w.map.size(), 28u);
+  const auto moved = w.map.index_of(w.ids[0]);
+  ASSERT_TRUE(moved.has_value());
+  EXPECT_EQ(w.map.point(*moved).position[0], 9.0);
+  EXPECT_EQ(w.map.positions()[*moved][0], 9.0);  // cache stays aligned
+  EXPECT_EQ(w.graph.keyframe(2).pose_cw.translation()[0], 7.0);
+  // Removed points vanish from keyframe observations too.
+  for (const KeyframeObservation& o : w.graph.keyframe(0).observations)
+    EXPECT_TRUE(o.point_id != w.ids[2] && o.point_id != w.ids[3]);
+}
+
+TEST(BackendApply, FreshMatchesVetoStaleRemovals) {
+  World w;
+  // The point was matched at frame 30, after the snapshot at frame 20:
+  // the delta's evidence is stale, so the removal must be skipped…
+  const auto index = w.map.index_of(w.ids[4]);
+  ASSERT_TRUE(index.has_value());
+  w.map.note_match(*index, /*frame_index=*/30);
+
+  BackendDelta delta;
+  delta.snapshot_frame = 20;
+  delta.culled_ids.push_back(w.ids[4]);
+  delta.point_positions.push_back({w.ids[4], Vec3{1, 1, 1}});
+
+  const ApplyOutcome outcome = apply_delta(delta, w.map, w.graph);
+  EXPECT_EQ(outcome.points_culled, 0);
+  EXPECT_TRUE(w.map.index_of(w.ids[4]).has_value());
+  // …while the position refinement still lands (it does not destroy
+  // information the way a removal would).
+  EXPECT_EQ(outcome.points_moved, 1);
+}
+
+TEST(BackendApply, StaleMoveAndRemovalOfDeadPointAreSkipped) {
+  World w;
+  const std::vector<std::pair<std::int64_t, Vec3>> no_moves;
+  const std::vector<std::int64_t> removals = {w.ids[6]};
+  w.map.apply_update(no_moves, removals);
+  const std::uint64_t before = w.map.epoch();
+
+  BackendDelta delta;
+  delta.snapshot_frame = 20;
+  delta.culled_ids.push_back(w.ids[6]);
+  delta.point_positions.push_back({w.ids[6], Vec3{1, 1, 1}});
+  const ApplyOutcome outcome = apply_delta(delta, w.map, w.graph);
+  EXPECT_EQ(outcome.points_moved, 0);
+  EXPECT_EQ(outcome.points_culled, 0);
+  EXPECT_FALSE(outcome.map_changed);
+  EXPECT_EQ(w.map.epoch(), before);  // nothing changed: no epoch bump
+}
+
+TEST(MapApply, IndexOfFindsAliveAndRejectsDead) {
+  Map map;
+  eslam::testing::rng(31);
+  for (int i = 0; i < 10; ++i)
+    map.add_point(Vec3{double(i), 0, 0}, eslam::testing::random_descriptor(),
+                  0);
+  EXPECT_EQ(map.index_of(7).value(), 7u);
+  const std::vector<std::pair<std::int64_t, Vec3>> no_moves;
+  const std::vector<std::int64_t> removals = {3, 4};
+  map.apply_update(no_moves, removals);
+  EXPECT_FALSE(map.index_of(3).has_value());
+  EXPECT_EQ(map.index_of(7).value(), 5u);  // indices shift, ids persist
+}
+
+}  // namespace
+}  // namespace eslam::backend

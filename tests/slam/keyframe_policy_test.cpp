@@ -1,0 +1,104 @@
+// Dedicated coverage of the key-frame policy (paper section 2.1): the
+// bootstrap frame always inserts, later frames insert on translation or
+// rotation beyond the thresholds, a trigger re-bases the reference pose,
+// and reset() restores the bootstrap behavior.
+#include "slam/keyframe.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace eslam {
+namespace {
+
+SE3 translated(double x, double y = 0, double z = 0) {
+  return SE3{Mat3::identity(), Vec3{x, y, z}};
+}
+
+SE3 rotated_about_y(double angle_rad) {
+  return SE3{so3_exp(Vec3{0, angle_rad, 0}), Vec3{}};
+}
+
+TEST(KeyframePolicy, BootstrapAlwaysInserts) {
+  KeyframePolicy policy;
+  EXPECT_TRUE(policy.should_insert(translated(0)));
+  // The very first query inserts regardless of the pose's value.
+  KeyframePolicy other;
+  EXPECT_TRUE(other.should_insert(translated(123.0, -4.0, 9.0)));
+}
+
+TEST(KeyframePolicy, TranslationThresholdGates) {
+  KeyframeOptions options;
+  options.translation_threshold = 0.15;
+  KeyframePolicy policy(options);
+  ASSERT_TRUE(policy.should_insert(translated(0)));  // bootstrap reference
+  EXPECT_FALSE(policy.should_insert(translated(0.10)));
+  EXPECT_FALSE(policy.should_insert(translated(0.149)));
+  EXPECT_TRUE(policy.should_insert(translated(0.151)));
+}
+
+TEST(KeyframePolicy, RotationThresholdGates) {
+  KeyframeOptions options;
+  options.rotation_threshold = 15.0 * M_PI / 180.0;
+  KeyframePolicy policy(options);
+  ASSERT_TRUE(policy.should_insert(rotated_about_y(0)));
+  EXPECT_FALSE(policy.should_insert(rotated_about_y(10.0 * M_PI / 180.0)));
+  EXPECT_TRUE(policy.should_insert(rotated_about_y(16.0 * M_PI / 180.0)));
+}
+
+TEST(KeyframePolicy, EitherThresholdSuffices) {
+  KeyframeOptions options;
+  options.translation_threshold = 0.15;
+  options.rotation_threshold = 15.0 * M_PI / 180.0;
+  KeyframePolicy policy(options);
+  ASSERT_TRUE(policy.should_insert(SE3{}));
+  // Small translation + large rotation: rotation alone triggers.
+  EXPECT_TRUE(policy.should_insert(
+      SE3{so3_exp(Vec3{0, 20.0 * M_PI / 180.0, 0}), Vec3{0.01, 0, 0}}));
+}
+
+TEST(KeyframePolicy, TriggerRebasesReference) {
+  KeyframeOptions options;
+  options.translation_threshold = 0.15;
+  KeyframePolicy policy(options);
+  ASSERT_TRUE(policy.should_insert(translated(0)));
+  ASSERT_TRUE(policy.should_insert(translated(0.2)));  // new reference: 0.2
+  // 0.3 is 0.1 from the *new* reference — below threshold.
+  EXPECT_FALSE(policy.should_insert(translated(0.3)));
+  EXPECT_TRUE(policy.should_insert(translated(0.36)));  // 0.16 from 0.2
+}
+
+TEST(KeyframePolicy, NonTriggerKeepsReference) {
+  KeyframeOptions options;
+  options.translation_threshold = 0.15;
+  KeyframePolicy policy(options);
+  ASSERT_TRUE(policy.should_insert(translated(0)));
+  // Creep in sub-threshold steps: the reference must stay at 0, so the
+  // accumulated distance eventually triggers.
+  EXPECT_FALSE(policy.should_insert(translated(0.08)));
+  EXPECT_FALSE(policy.should_insert(translated(0.14)));
+  EXPECT_TRUE(policy.should_insert(translated(0.16)));
+}
+
+TEST(KeyframePolicy, ResetRestoresBootstrap) {
+  KeyframePolicy policy;
+  ASSERT_TRUE(policy.should_insert(translated(0)));
+  EXPECT_FALSE(policy.should_insert(translated(0.01)));
+  policy.reset();
+  // First query after reset inserts again and re-bases the reference.
+  EXPECT_TRUE(policy.should_insert(translated(5.0)));
+  EXPECT_FALSE(policy.should_insert(translated(5.01)));
+}
+
+TEST(KeyframePolicy, OptionsAreHonored) {
+  KeyframeOptions options;
+  options.translation_threshold = 1.0;
+  KeyframePolicy policy(options);
+  EXPECT_EQ(policy.options().translation_threshold, 1.0);
+  ASSERT_TRUE(policy.should_insert(translated(0)));
+  EXPECT_FALSE(policy.should_insert(translated(0.5)));  // default would fire
+  EXPECT_TRUE(policy.should_insert(translated(1.5)));
+}
+
+}  // namespace
+}  // namespace eslam
