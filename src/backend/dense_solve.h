@@ -1,0 +1,59 @@
+// Dynamic-size dense linear solve shared by the backend optimizers.
+//
+// local_ba's reduced camera system (6F x 6F) and pose_graph's normal
+// equations (6N x 6N) are both small dense symmetric systems whose size is
+// only known at runtime; this is the dynamic-size sibling of
+// geometry/matrix.h solve<N>(): Gaussian elimination with partial
+// pivoting, row-major storage, destructive on its inputs.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace eslam::backend {
+
+// Solves A x = b (A row-major n*n, destroyed; b destroyed).  Returns false
+// when A is (numerically) singular.
+inline bool solve_dense(std::vector<double>& a, std::vector<double>& b, int n,
+                        std::vector<double>& x) {
+  for (int col = 0; col < n; ++col) {
+    int pivot = col;
+    double best = std::abs(a[static_cast<std::size_t>(col) * n + col]);
+    for (int r = col + 1; r < n; ++r) {
+      const double v = std::abs(a[static_cast<std::size_t>(r) * n + col]);
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (!(best > 1e-12)) return false;
+    if (pivot != col) {
+      for (int c = col; c < n; ++c)
+        std::swap(a[static_cast<std::size_t>(col) * n + c],
+                  a[static_cast<std::size_t>(pivot) * n + c]);
+      std::swap(b[static_cast<std::size_t>(col)],
+                b[static_cast<std::size_t>(pivot)]);
+    }
+    const double inv = 1.0 / a[static_cast<std::size_t>(col) * n + col];
+    for (int r = col + 1; r < n; ++r) {
+      const double f = a[static_cast<std::size_t>(r) * n + col] * inv;
+      if (f == 0.0) continue;
+      for (int c = col; c < n; ++c)
+        a[static_cast<std::size_t>(r) * n + c] -=
+            f * a[static_cast<std::size_t>(col) * n + c];
+      b[static_cast<std::size_t>(r)] -= f * b[static_cast<std::size_t>(col)];
+    }
+  }
+  x.assign(static_cast<std::size_t>(n), 0.0);
+  for (int r = n - 1; r >= 0; --r) {
+    double s = b[static_cast<std::size_t>(r)];
+    for (int c = r + 1; c < n; ++c)
+      s -= a[static_cast<std::size_t>(r) * n + c] *
+           x[static_cast<std::size_t>(c)];
+    x[static_cast<std::size_t>(r)] = s / a[static_cast<std::size_t>(r) * n + r];
+  }
+  return true;
+}
+
+}  // namespace eslam::backend

@@ -1,6 +1,7 @@
 #include "backend/keyframe_graph.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "geometry/assert.h"
 
@@ -65,6 +66,36 @@ int KeyframeGraph::covisibility_weight(int a, int b) const {
   return 0;
 }
 
+std::vector<int> KeyframeGraph::neighbourhood(int id, int size) const {
+  std::vector<int> hood{id};
+  std::vector<CovisEdge> sorted = neighbors(id);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const CovisEdge& a, const CovisEdge& b) {
+              if (a.weight != b.weight) return a.weight > b.weight;
+              return a.keyframe_id > b.keyframe_id;
+            });
+  for (const CovisEdge& e : sorted) {
+    if (static_cast<int>(hood.size()) >= std::max(1, size)) break;
+    hood.push_back(e.keyframe_id);
+  }
+  return hood;
+}
+
+std::vector<KeyframeGraph::PlaceObservation>
+KeyframeGraph::place_observations(std::span<const int> keyframe_ids) const {
+  std::vector<PlaceObservation> out;
+  std::unordered_set<std::int64_t> seen;
+  for (const int id : keyframe_ids) {
+    const Keyframe& kf = keyframe(id);
+    const SE3 pose_wc = kf.pose_cw.inverse();
+    for (const KeyframeObservation& obs : kf.observations) {
+      if (!seen.insert(obs.point_id).second) continue;
+      out.push_back({obs.point_id, obs.descriptor, pose_wc * obs.point_cam});
+    }
+  }
+  return out;
+}
+
 void KeyframeGraph::evict_oldest() {
   const int evicted = keyframes_.front().id;
   keyframes_.erase(keyframes_.begin());
@@ -105,23 +136,10 @@ int KeyframeGraph::add_keyframe(int frame_index, const SE3& pose_cw,
 }
 
 std::vector<int> KeyframeGraph::local_window(int size) const {
-  std::vector<int> window;
-  if (keyframes_.empty() || size <= 0) return window;
-  const Keyframe& latest = keyframes_.back();
-  window.push_back(latest.id);
-
-  // Top covisible neighbours of the latest keyframe, strongest first;
-  // newer keyframe wins weight ties so the window tracks the present.
-  std::vector<CovisEdge> sorted = neighbors(latest.id);
-  std::sort(sorted.begin(), sorted.end(),
-            [](const CovisEdge& a, const CovisEdge& b) {
-              if (a.weight != b.weight) return a.weight > b.weight;
-              return a.keyframe_id > b.keyframe_id;
-            });
-  for (const CovisEdge& e : sorted) {
-    if (static_cast<int>(window.size()) >= size) break;
-    window.push_back(e.keyframe_id);
-  }
+  if (keyframes_.empty() || size <= 0) return {};
+  // Latest keyframe + top covisible neighbours (strongest first, newer
+  // winning ties — the window tracks the present).
+  std::vector<int> window = neighbourhood(keyframes_.back().id, size);
   // Sparse covisibility right after bootstrap: pad with recency so the
   // window is still a usable BA problem.
   for (auto it = keyframes_.rbegin();

@@ -19,16 +19,27 @@
 #include <span>
 #include <vector>
 
+#include "features/descriptor.h"
 #include "geometry/se3.h"
 #include "geometry/matrix.h"
 
 namespace eslam::backend {
 
 // One pixel observation of a map point from a keyframe.  Pixels are
-// level-0 coordinates (the tracker's PnP convention).
+// level-0 coordinates (the tracker's PnP convention).  The descriptor and
+// the camera-frame 3D position are the *frame side* of the observation —
+// what the keyframe actually saw (RGB-D depth unprojection), not the map
+// point's canonical state.  That makes the keyframe database a
+// self-contained recognition + verification substrate: the recognition
+// index (backend/keyframe_index) votes over the descriptors, and
+// relocalization / loop verification recover a camera pose from
+// pixel-to-(pose_wc * point_cam) correspondences — all of which survive
+// the map point being pruned, culled, fused, or dragged by drift.
 struct KeyframeObservation {
   std::int64_t point_id = 0;  // Map point id (stable across prune/cull)
   Vec2 pixel;
+  Descriptor256 descriptor;
+  Vec3 point_cam;  // camera-frame 3D at observation time (depth unproject)
 };
 
 struct Keyframe {
@@ -81,6 +92,25 @@ class KeyframeGraph {
   const std::vector<CovisEdge>& neighbors(int id) const;
   int covisibility_weight(int a, int b) const;
 
+  // The keyframe plus its top covisible neighbours (strongest first,
+  // newer winning weight ties), at most max(1, size) ids — the "local
+  // place" both relocalization matching and loop verification assemble
+  // their observation sets from.
+  std::vector<int> neighbourhood(int id, int size) const;
+
+  // The neighbourhood's observations, one entry per point id (the first
+  // listed keyframe's own view wins duplicates), each lifted to a world
+  // position through its keyframe's stored pose (pose_wc * point_cam) —
+  // the shared recovery/verification substrate: frame-side descriptors
+  // and depth-consistent geometry, independent of the live map.
+  struct PlaceObservation {
+    std::int64_t point_id = 0;
+    Descriptor256 descriptor;
+    Vec3 position_w;
+  };
+  std::vector<PlaceObservation> place_observations(
+      std::span<const int> keyframe_ids) const;
+
   // Drops observations of removed map points (after backend cull/fuse),
   // so future snapshots stop proposing them.  Ids must be sorted.
   void remove_point_observations(std::span<const std::int64_t> removed_ids);
@@ -92,6 +122,9 @@ class KeyframeGraph {
   }
   // Total keyframes ever inserted (ids run [evicted_, evicted_ + size())).
   int total_inserted() const { return next_id_; }
+  // Smallest id still stored (advances as the FIFO bound evicts); the
+  // keyframe-recognition index trims itself against this after insertions.
+  int first_live_id() const { return first_id_; }
 
  private:
   const Keyframe* find(int id) const;

@@ -1,0 +1,78 @@
+// Keyframe recognition index — binary-descriptor voting over the
+// per-keyframe observations stored in backend::KeyframeGraph.
+//
+// The classic loop-closure front-end (ORB-SLAM's DBoW2) quantizes each
+// descriptor against a pre-trained vocabulary tree.  This project has no
+// offline training data, so the index uses a *structural* vocabulary
+// instead: every 256-bit descriptor is split into 16 chunks of 16 bits,
+// and chunk c with value v is the word (c << 16) | v.  Two descriptors
+// within a few bits of Hamming distance share most of their 16 words
+// (flipping k bits corrupts at most k chunks), so word collisions are a
+// cheap, training-free proxy for descriptor similarity — the same
+// locality-sensitive trick HBST and LDB-style binary vocabularies use.
+//
+// Per keyframe, the index stores the *set* of words its observation
+// descriptors produce; an inverted file maps each word to the keyframes
+// containing it.  A query accumulates, per keyframe, the idf-weighted
+// count of shared words, normalized by the keyframe's own word count so
+// observation-rich keyframes are not favored.  Scores are comparable
+// within one query only (they scale with query size) — callers gate on a
+// reference score from the same query (e.g. the covisible neighbours'
+// scores), not on absolute thresholds alone.
+//
+// Ownership/threading mirrors KeyframeGraph: the Tracker mutates the
+// index only from its map-updating stage (under the exclusive map lock)
+// and the device lane reads it under the shared lock, so the index itself
+// needs no locking.  Determinism: ties rank the newer keyframe first.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "backend/keyframe_graph.h"
+#include "features/descriptor.h"
+
+namespace eslam::backend {
+
+struct KeyframeScore {
+  int keyframe_id = -1;
+  double score = 0;  // idf-weighted shared-word mass, length-normalized
+};
+
+class KeyframeIndex {
+ public:
+  static constexpr int kChunkBits = 16;
+  static constexpr int kChunksPerDescriptor =
+      Descriptor256::kBits / kChunkBits;
+
+  // The 16 words of one descriptor (chunk index tagged into the high bits).
+  static void words_of(const Descriptor256& d,
+                       std::uint32_t out[kChunksPerDescriptor]);
+
+  // Indexes a keyframe's observation descriptors.  Ids must be inserted in
+  // ascending order (the graph's insertion order).
+  void add_keyframe(int keyframe_id,
+                    std::span<const KeyframeObservation> observations);
+
+  // Drops every keyframe with id < first_live_id — call after the graph's
+  // FIFO bound evicts, with graph.first_live_id().
+  void remove_below(int first_live_id);
+
+  // Keyframes ranked by descending score (ties: newer keyframe first), at
+  // most max_results entries; keyframes sharing no word are absent.
+  std::vector<KeyframeScore> query(std::span<const Descriptor256> descriptors,
+                                   int max_results) const;
+
+  std::size_t size() const { return words_by_kf_.size(); }
+  bool empty() const { return words_by_kf_.empty(); }
+
+ private:
+  // word -> keyframe ids containing it, ascending (each id at most once).
+  std::unordered_map<std::uint32_t, std::vector<int>> postings_;
+  // keyframe id -> its sorted unique word list (for removal + length norm).
+  std::unordered_map<int, std::vector<std::uint32_t>> words_by_kf_;
+};
+
+}  // namespace eslam::backend

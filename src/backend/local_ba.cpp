@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "backend/dense_solve.h"
 #include "geometry/assert.h"
 
 namespace eslam::backend {
@@ -98,48 +99,6 @@ double evaluate_cost(const BaProblem& problem,
   return problem.observations.empty()
              ? 0.0
              : cost / static_cast<double>(problem.observations.size());
-}
-
-// Dense symmetric-indefinite solve via Gaussian elimination with partial
-// pivoting (the dynamic-size sibling of geometry/matrix.h solve<N>()).
-bool solve_dense(std::vector<double>& a, std::vector<double>& b, int n,
-                 std::vector<double>& x) {
-  for (int col = 0; col < n; ++col) {
-    int pivot = col;
-    double best = std::abs(a[static_cast<std::size_t>(col) * n + col]);
-    for (int r = col + 1; r < n; ++r) {
-      const double v = std::abs(a[static_cast<std::size_t>(r) * n + col]);
-      if (v > best) {
-        best = v;
-        pivot = r;
-      }
-    }
-    if (!(best > 1e-12)) return false;
-    if (pivot != col) {
-      for (int c = col; c < n; ++c)
-        std::swap(a[static_cast<std::size_t>(col) * n + c],
-                  a[static_cast<std::size_t>(pivot) * n + c]);
-      std::swap(b[static_cast<std::size_t>(col)],
-                b[static_cast<std::size_t>(pivot)]);
-    }
-    const double inv = 1.0 / a[static_cast<std::size_t>(col) * n + col];
-    for (int r = col + 1; r < n; ++r) {
-      const double f = a[static_cast<std::size_t>(r) * n + col] * inv;
-      if (f == 0.0) continue;
-      for (int c = col; c < n; ++c)
-        a[static_cast<std::size_t>(r) * n + c] -=
-            f * a[static_cast<std::size_t>(col) * n + c];
-      b[static_cast<std::size_t>(r)] -= f * b[static_cast<std::size_t>(col)];
-    }
-  }
-  x.assign(static_cast<std::size_t>(n), 0.0);
-  for (int r = n - 1; r >= 0; --r) {
-    double s = b[static_cast<std::size_t>(r)];
-    for (int c = r + 1; c < n; ++c)
-      s -= a[static_cast<std::size_t>(r) * n + c] * x[static_cast<std::size_t>(c)];
-    x[static_cast<std::size_t>(r)] = s / a[static_cast<std::size_t>(r) * n + r];
-  }
-  return true;
 }
 
 }  // namespace

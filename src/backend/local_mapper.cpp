@@ -21,6 +21,258 @@ std::int64_t cell_key(const Vec3& p, double cell) {
 
 }  // namespace
 
+int detect_loop_candidate(const KeyframeGraph& graph,
+                          const KeyframeIndex& index, int query_kf,
+                          const LoopOptions& options) {
+  if (static_cast<int>(graph.size()) < options.min_keyframes) return -1;
+  const Keyframe& query = graph.keyframe(query_kf);
+  if (query.observations.empty()) return -1;
+
+  std::vector<Descriptor256> descriptors;
+  descriptors.reserve(query.observations.size());
+  for (const KeyframeObservation& obs : query.observations)
+    descriptors.push_back(obs.descriptor);
+  // Rank enough hits to see past the query itself and its recent
+  // neighbours (which legitimately dominate the scores while tracking).
+  const int depth = options.max_candidates + 2 +
+                    static_cast<int>(graph.neighbors(query_kf).size());
+  const std::vector<KeyframeScore> ranked = index.query(descriptors, depth);
+
+  // Self-calibrating gate: while tracking normally, the best-scoring
+  // keyframes are always the *recent* ones (they share the current view).
+  // A genuine revisit is the one situation where an OLD, non-covisible
+  // keyframe climbs to the top of the ranking — so a candidate must score
+  // at least covis_score_ratio of the best recent-view score in the same
+  // query.  Index scores are only comparable within one query, which is
+  // exactly what this uses.
+  double best_recent = -1.0;
+  for (const KeyframeScore& s : ranked) {
+    if (s.keyframe_id == query_kf) continue;
+    const bool recent =
+        graph.covisibility_weight(query_kf, s.keyframe_id) > 0 ||
+        query.frame_index - graph.keyframe(s.keyframe_id).frame_index <
+            options.min_frame_gap;
+    if (recent && s.score > best_recent) best_recent = s.score;
+  }
+
+  int considered = 0;
+  for (const KeyframeScore& s : ranked) {
+    if (s.keyframe_id == query_kf) continue;
+    if (graph.covisibility_weight(query_kf, s.keyframe_id) > 0) continue;
+    const Keyframe& candidate = graph.keyframe(s.keyframe_id);
+    if (query.frame_index - candidate.frame_index < options.min_frame_gap)
+      continue;
+    if (considered++ >= options.max_candidates) break;
+    if (s.score < options.min_score) continue;
+    if (best_recent > 0 && s.score < options.covis_score_ratio * best_recent)
+      continue;
+    // Appearance says "same place, long ago".  Geometry (P3P/RANSAC in
+    // the loop job) has the final word — this gate only has to keep the
+    // candidate rate low enough that wasted verification jobs are rare.
+    return s.keyframe_id;
+  }
+  return -1;
+}
+
+bool build_loop_snapshot(const KeyframeGraph& graph, const Map& map,
+                         const PinholeCamera& camera,
+                         const BackendOptions& options, int query_kf,
+                         int candidate_kf, int snapshot_frame,
+                         BackendSnapshot& out) {
+  out = BackendSnapshot{};
+  out.map_epoch = map.epoch();
+  out.snapshot_frame = snapshot_frame;
+  out.problem.camera = camera;
+  LoopJobSnapshot loop;
+  loop.query_kf = query_kf;
+  loop.candidate_kf = candidate_kf;
+
+  // 2D side: the query keyframe's own observations.
+  const Keyframe& query = graph.keyframe(query_kf);
+  loop.query_pixels.reserve(query.observations.size());
+  loop.query_descriptors.reserve(query.observations.size());
+  for (const KeyframeObservation& obs : query.observations) {
+    loop.query_pixels.push_back(obs.pixel);
+    loop.query_descriptors.push_back(obs.descriptor);
+  }
+
+  // 3D side: the candidate's local place (itself + top covisible
+  // neighbours — the same neighbourhood relocalization matches against).
+  const std::vector<int> hood =
+      graph.neighbourhood(candidate_kf, options.loop.neighbourhood);
+  // The 3D side comes from the keyframes' own depth observations
+  // (pose_wc * point_cam), not the live map: verification must work even
+  // after the revisited region's points were pruned from the active map,
+  // and must see the *drift-consistent* old geometry, not positions a
+  // later BA delta may have dragged.  Same substrate relocalization
+  // matches against (KeyframeGraph::place_observations).
+  for (const KeyframeGraph::PlaceObservation& obs :
+       graph.place_observations(hood)) {
+    loop.candidate_positions.push_back(obs.position_w);
+    loop.candidate_descriptors.push_back(obs.descriptor);
+  }
+  if (loop.candidate_positions.empty()) return false;
+
+  // Pose graph over every stored keyframe, ascending id.
+  const int first = graph.first_live_id();
+  const int count = static_cast<int>(graph.size());
+  loop.kf_ids.reserve(static_cast<std::size_t>(count));
+  loop.kf_poses.reserve(static_cast<std::size_t>(count));
+  for (int id = first; id < first + count; ++id) {
+    loop.kf_ids.push_back(id);
+    loop.kf_poses.push_back(graph.keyframe(id).pose_cw);
+  }
+  const auto kf_index = [&](int id) { return id - first; };
+  // Covisibility edges (each pair once), measured from the freeze poses —
+  // PGO then preserves the locally-consistent shape while the loop edge
+  // pulls the global arrangement closed.
+  for (int id = first; id < first + count; ++id) {
+    for (const CovisEdge& e : graph.neighbors(id)) {
+      if (e.keyframe_id <= id) continue;
+      loop.edges.push_back(
+          {kf_index(id), kf_index(e.keyframe_id),
+           loop.kf_poses[static_cast<std::size_t>(kf_index(id))] *
+               loop.kf_poses[static_cast<std::size_t>(kf_index(e.keyframe_id))]
+                   .inverse(),
+           static_cast<double>(e.weight)});
+    }
+    // Consecutive keyframes always share an odometry edge, so sparsely
+    // covisible stretches cannot disconnect the graph from its anchor.
+    if (id + 1 < first + count &&
+        graph.covisibility_weight(id, id + 1) <= 0) {
+      loop.edges.push_back(
+          {kf_index(id), kf_index(id + 1),
+           loop.kf_poses[static_cast<std::size_t>(kf_index(id))] *
+               loop.kf_poses[static_cast<std::size_t>(kf_index(id + 1))]
+                   .inverse(),
+           options.loop.odometry_edge_weight});
+    }
+  }
+
+  // Ownership: newest stored observer wins (ascending scan overwrites).
+  std::unordered_map<std::int64_t, int> owner;
+  for (int id = first; id < first + count; ++id)
+    for (const KeyframeObservation& obs : graph.keyframe(id).observations)
+      owner[obs.point_id] = kf_index(id);
+  std::vector<std::int64_t> owned;
+  owned.reserve(owner.size());
+  for (const auto& [pid, kf] : owner) owned.push_back(pid);
+  std::sort(owned.begin(), owned.end());
+  for (const std::int64_t pid : owned) {
+    const auto idx = map.index_of(pid);
+    if (!idx) continue;
+    loop.owned_point_ids.push_back(pid);
+    loop.owner_kf_index.push_back(owner[pid]);
+    loop.owned_positions.push_back(map.point(*idx).position);
+  }
+  loop.max_point_id = map.empty() ? -1 : map.points().back().id;
+
+  out.loop = std::move(loop);
+  return true;
+}
+
+namespace {
+
+// The loop-closure job: verify the revisit with prior-free P3P/RANSAC,
+// close the pose graph, and derive the correction delta (corrected
+// keyframe poses + retransformed points).  Pure function of the snapshot,
+// like the BA path.
+void optimize_loop(const BackendSnapshot& snapshot,
+                   const BackendOptions& options, BackendDelta& delta) {
+  const LoopJobSnapshot& loop = *snapshot.loop;
+  delta.loop_job = true;
+  delta.loop_query_kf = loop.query_kf;
+  delta.loop_match_kf = loop.candidate_kf;
+  delta.loop_max_point_id = loop.max_point_id;
+
+  // 1. Appearance: match the query keyframe's frame-side descriptors
+  //    against the candidate neighbourhood's map points.
+  const std::vector<Match> matches =
+      match_descriptors(loop.query_descriptors, loop.candidate_descriptors,
+                        options.loop.matcher);
+  if (static_cast<int>(matches.size()) < options.loop.min_inliers) return;
+
+  // 2. Geometry: prior-free P3P RANSAC — the same machinery tracking uses
+  //    for relocalization, so a verified loop is exactly "this keyframe
+  //    relocalizes against the candidate's neighbourhood".
+  std::vector<Correspondence> correspondences;
+  correspondences.reserve(matches.size());
+  for (const Match& m : matches)
+    correspondences.push_back(
+        {loop.candidate_positions[static_cast<std::size_t>(m.train)],
+         loop.query_pixels[static_cast<std::size_t>(m.query)]});
+  RansacOptions ransac = options.loop.ransac;
+  ransac.use_p3p = true;
+  ransac.min_inliers = options.loop.min_inliers;
+  const RansacResult consensus = ransac_pnp(
+      correspondences, snapshot.problem.camera, SE3{}, ransac);
+  delta.loop_inliers = static_cast<int>(consensus.inliers.size());
+  if (!consensus.success || delta.loop_inliers < options.loop.min_inliers)
+    return;
+  std::vector<Correspondence> inlier_set;
+  inlier_set.reserve(consensus.inliers.size());
+  for (const int idx : consensus.inliers)
+    inlier_set.push_back(correspondences[static_cast<std::size_t>(idx)]);
+  const PnpResult polished = solve_pnp(inlier_set, snapshot.problem.camera,
+                                       consensus.pose, options.loop.refine);
+  const auto index_of_kf = [&](int id) {
+    return static_cast<int>(
+        std::lower_bound(loop.kf_ids.begin(), loop.kf_ids.end(), id) -
+        loop.kf_ids.begin());
+  };
+  // Correction plausibility (see LoopOptions::max_correction_m): the
+  // verified pose implies the live end moves by this much; a jump beyond
+  // plausible drift is an aliased consensus, not a loop.
+  const Vec3 implied_centre = polished.pose.inverse().translation();
+  const Vec3 stored_centre =
+      loop.kf_poses[static_cast<std::size_t>(index_of_kf(loop.query_kf))]
+          .inverse()
+          .translation();
+  const double correction = (implied_centre - stored_centre).norm();
+  // Accept only when provably plausible: a NaN pose must fail this gate.
+  if (options.loop.max_correction_m > 0 &&
+      !(correction <= options.loop.max_correction_m))
+    return;
+
+  // 3. Pose graph: covisibility + odometry edges from the snapshot, plus
+  //    the verified loop edge; gauge fixed at the oldest stored keyframe
+  //    so drift is pushed out of the live end, not into the old map.
+  PoseGraphProblem pg;
+  pg.poses = loop.kf_poses;
+  pg.fixed.assign(pg.poses.size(), false);
+  pg.fixed.front() = true;
+  pg.edges = loop.edges;
+  const int qi = index_of_kf(loop.query_kf);
+  const int ci = index_of_kf(loop.candidate_kf);
+  pg.edges.push_back(
+      {qi, ci,
+       polished.pose * loop.kf_poses[static_cast<std::size_t>(ci)].inverse(),
+       options.loop.loop_edge_weight_scale * delta.loop_inliers});
+  delta.pose_graph = solve_pose_graph(pg, options.loop.pose_graph);
+  if (!delta.pose_graph.converged) return;
+
+  // 4. Correction delta: corrected poses, and every owned point moved
+  //    with its owner's frame (p' = T_new_wc * T_old_cw * p).  No trust
+  //    region here — a loop correction is *supposed* to move the live end
+  //    a long way; its safety gate is the verification above.
+  std::vector<SE3> world_correction;
+  world_correction.reserve(pg.poses.size());
+  for (std::size_t i = 0; i < pg.poses.size(); ++i) {
+    delta.keyframe_poses.push_back({loop.kf_ids[i], pg.poses[i]});
+    world_correction.push_back(pg.poses[i].inverse() * loop.kf_poses[i]);
+  }
+  for (std::size_t j = 0; j < loop.owned_point_ids.size(); ++j) {
+    const SE3& c =
+        world_correction[static_cast<std::size_t>(loop.owner_kf_index[j])];
+    delta.point_positions.push_back(
+        {loop.owned_point_ids[j], c * loop.owned_positions[j]});
+  }
+  delta.loop_adjust = world_correction[static_cast<std::size_t>(qi)];
+  delta.loop_closed = true;
+}
+
+}  // namespace
+
 bool build_snapshot(const KeyframeGraph& graph, const Map& map,
                     const PinholeCamera& camera, const BackendOptions& options,
                     int snapshot_frame, BackendSnapshot& out) {
@@ -100,6 +352,12 @@ BackendDelta optimize_snapshot(BackendSnapshot snapshot,
   BackendDelta delta;
   delta.map_epoch = snapshot.map_epoch;
   delta.snapshot_frame = snapshot.snapshot_frame;
+
+  if (snapshot.loop) {
+    optimize_loop(snapshot, options, delta);
+    delta.optimize_ms = timer.elapsed_ms();
+    return delta;
+  }
 
   const std::vector<Vec3> original_points = snapshot.problem.points;
   delta.ba = solve_local_ba(snapshot.problem, options.ba);
@@ -249,15 +507,46 @@ ApplyOutcome apply_delta(const BackendDelta& delta, Map& map,
     }
   std::sort(removals.begin(), removals.end());
 
-  const MapApplyStats stats =
-      map.apply_update(delta.point_positions, removals);
+  // A loop correction rebases the live end of the map: everything the
+  // snapshot could not know about — points created and keyframes inserted
+  // after the freeze — rides the live-end correction (loop_adjust), so
+  // the whole recent neighbourhood moves as one rigid piece and the
+  // camera's next projection of it is unchanged.
+  std::span<const std::pair<std::int64_t, Vec3>> moves =
+      delta.point_positions;
+  std::vector<std::pair<std::int64_t, Vec3>> combined;
+  if (delta.loop_closed) {
+    combined.assign(delta.point_positions.begin(),
+                    delta.point_positions.end());
+    for (const MapPoint& p : map.points())
+      if (p.id > delta.loop_max_point_id)
+        combined.push_back({p.id, delta.loop_adjust * p.position});
+    moves = combined;
+  }
+
+  const MapApplyStats stats = map.apply_update(moves, removals);
   outcome.points_moved = static_cast<int>(stats.moved);
   outcome.map_changed = stats.moved > 0 || stats.removed > 0;
 
+  int max_delta_kf = -1;
   for (const auto& [kf_id, pose] : delta.keyframe_poses) {
+    max_delta_kf = std::max(max_delta_kf, kf_id);
     if (!graph.contains(kf_id)) continue;  // evicted since the snapshot
     graph.set_pose(kf_id, pose);
     ++outcome.keyframes_updated;
+  }
+  if (delta.loop_closed) {
+    // Post-freeze keyframes: same live-end rebase as their points.
+    // pose_cw_new = pose_cw_old * adjust^{-1} (projection-invariant
+    // against the rebased points).
+    const SE3 adjust_inv = delta.loop_adjust.inverse();
+    for (int id = max_delta_kf + 1; id <= graph.latest_id(); ++id) {
+      if (!graph.contains(id)) continue;
+      graph.set_pose(id, graph.keyframe(id).pose_cw * adjust_inv);
+      ++outcome.keyframes_updated;
+    }
+    outcome.loop_applied = true;
+    outcome.loop_adjust = delta.loop_adjust;
   }
   graph.remove_point_observations(removals);
   return outcome;

@@ -20,15 +20,88 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "backend/keyframe_graph.h"
+#include "backend/keyframe_index.h"
 #include "backend/local_ba.h"
+#include "backend/pose_graph.h"
 #include "features/descriptor.h"
+#include "features/matcher.h"
 #include "geometry/camera.h"
 #include "slam/map.h"
+#include "slam/ransac.h"
 
 namespace eslam::backend {
+
+// Loop-closure policy: detection thresholds (over the keyframe-recognition
+// index), geometric verification (the tracker's own RANSAC/P3P machinery)
+// and the pose-graph correction.  Rides the same per-session backend job
+// slot as windowed BA — a detected loop freezes a loop job instead of a BA
+// job at that keyframe, and its delta applies through the identical
+// snapshot -> delta -> epoch-bump protocol.
+struct LoopOptions {
+  LoopOptions() {
+    // Verification is prior-free P3P over a revisit candidate: spend real
+    // RANSAC budget (adaptive termination exits early on true revisits)
+    // and tolerate the pixel quantization of wide-baseline re-detections.
+    ransac.max_iterations = 512;
+    ransac.inlier_threshold_px = 5.0;
+  }
+
+  // Master switch.  Off, keyframes are still indexed (relocalization uses
+  // the index) but no loop jobs are ever frozen.
+  bool enabled = false;
+  // Detection engages only once the graph holds this many keyframes.
+  int min_keyframes = 10;
+  // A candidate must be at least this many *frames* (not keyframes) older
+  // than the querying keyframe: revisits are loop closures, the recent
+  // past is just tracking.
+  int min_frame_gap = 90;
+  // Frames to wait after an applied correction before detecting again
+  // (the corrected map needs fresh keyframes before a second loop means
+  // anything).
+  int cooldown_frames = 120;
+  // Ranked index hits to consider per keyframe.
+  int max_candidates = 3;
+  // Index-score floor (scores are query-relative; this only rejects
+  // near-zero noise), and the self-calibrating relative gate: a candidate
+  // must score at least this ratio of the best *recent-view* score in the
+  // same query.  While tracking, recent keyframes always top the ranking
+  // and — on repetitive texture — unrelated old keyframes trail them by
+  // only a few percent, so the ratio sits above 1: a candidate must
+  // strictly OUTRANK every recent view, which is the one thing only a
+  // genuine revisit does (observed margins ~1.2-1.3x at true revisits,
+  // ~0.95x for aliased false hits).
+  double min_score = 0.02;
+  double covis_score_ratio = 1.05;
+  // Candidate keyframe + its top covisible neighbours form the 3D side of
+  // the verification match.
+  int neighbourhood = 5;
+  // P3P/RANSAC consensus required to accept the revisit.  High on
+  // purpose: a false loop deforms the whole map, and genuine revisits on
+  // the workloads this runs on produce hundreds of inliers.
+  int min_inliers = 50;
+  // Plausibility bound on the correction: the live end may not move
+  // farther than the drift a session can plausibly accumulate.  On
+  // repetitive texture a wrong-place P3P consensus can be large; a
+  // correction bigger than this is treated as failed verification.
+  double max_correction_m = 2.0;
+  // Pose-graph edge weights: covisibility edges carry their shared-point
+  // count, consecutive keyframes without one get this odometry weight,
+  // and the loop edge carries scale * inliers.
+  double odometry_edge_weight = 20.0;
+  double loop_edge_weight_scale = 1.0;
+  // Verification matching is stricter than tracking: the cost of a false
+  // loop (a map-wide deformation) dwarfs the cost of a missed one.
+  MatcherOptions matcher{/*max_distance=*/64, /*ratio=*/0.85,
+                         /*cross_check=*/true};
+  RansacOptions ransac;  // use_p3p is forced on; min_inliers from above
+  PnpOptions refine{/*max_iterations=*/15, /*initial_lambda=*/1e-4,
+                    /*huber_delta=*/2.5, /*convergence_step=*/1e-8};
+  PoseGraphOptions pose_graph;
+};
 
 struct BackendOptions {
   // Master switch.  Disabled, the tracker maintains no graph, schedules
@@ -71,6 +144,42 @@ struct BackendOptions {
   // most-matched member survives (ties to the oldest).
   double fuse_radius_m = 0.0;
   int fuse_max_hamming = 48;
+  // --- loop closure (opt-in, like the removal passes above) --------------
+  LoopOptions loop;
+};
+
+// Frozen input of one loop-closure job: the 2D side (the querying
+// keyframe's observations), the 3D side (the candidate neighbourhood's
+// live map points), the full pose graph, and the point-ownership table the
+// correction retransforms points with.  Everything is copied at freeze
+// time — like the BA snapshot, the job never touches live tracker state.
+struct LoopJobSnapshot {
+  int query_kf = -1;      // graph id of the keyframe that queried (latest)
+  int candidate_kf = -1;  // recognized revisit candidate
+  // 2D: pixels + frame-side descriptors of the query keyframe.
+  std::vector<Vec2> query_pixels;
+  std::vector<Descriptor256> query_descriptors;
+  // 3D: the candidate neighbourhood's own observations — frame-side
+  // descriptors, and positions lifted from each observation's depth
+  // unprojection (pose_wc * point_cam), deliberately NOT the live map:
+  // verification must survive pruning and must see the drift-consistent
+  // old geometry.
+  std::vector<Vec3> candidate_positions;
+  std::vector<Descriptor256> candidate_descriptors;
+  // Pose graph over every stored keyframe, ascending graph id.
+  std::vector<int> kf_ids;
+  std::vector<SE3> kf_poses;           // pose_cw at freeze
+  std::vector<PoseGraphEdge> edges;    // covisibility + odometry edges
+  // Point ownership: each live map point observed by a stored keyframe,
+  // owned by its *newest* observer — the correction moves the point with
+  // its owner's frame.  Points nobody stored observes (owner evicted) stay
+  // put, which is right: they belong to the old, gauge-fixed end.
+  std::vector<std::int64_t> owned_point_ids;
+  std::vector<int> owner_kf_index;     // index into kf_ids
+  std::vector<Vec3> owned_positions;   // position at freeze
+  // Points with id > this were created after the freeze and ride the
+  // live-end correction (loop_adjust) at apply time.
+  std::int64_t max_point_id = -1;
 };
 
 // Frozen input of one backend job.
@@ -84,6 +193,11 @@ struct BackendSnapshot {
   std::vector<std::int64_t> point_ids;
   std::vector<Descriptor256> point_descriptors;
   std::vector<int> point_match_counts;  // fusion keeps the proven member
+  // Set for loop-closure jobs (the BA fields above are then unused): the
+  // job verifies the revisit and solves the pose graph instead of running
+  // windowed BA.  One job slot serves both kinds, so the per-session
+  // serialization and the apply protocol are shared by construction.
+  std::optional<LoopJobSnapshot> loop;
 };
 
 // Output of one backend job, applied at the next keyframe.
@@ -96,6 +210,18 @@ struct BackendDelta {
   std::vector<std::int64_t> fused_ids;   // redundant duplicates (sorted)
   BaResult ba;
   double optimize_ms = 0;  // whole-job wall time on the worker
+  // --- loop closure ------------------------------------------------------
+  bool loop_job = false;      // the delta came from a loop-detection job
+  bool loop_closed = false;   // verification + pose graph succeeded
+  int loop_query_kf = -1;
+  int loop_match_kf = -1;
+  int loop_inliers = 0;
+  // World-frame correction at the live end (the query keyframe):
+  // p_new = loop_adjust * p_old for everything riding the newest pose —
+  // post-freeze points at apply time, and the tracker's own pose state.
+  SE3 loop_adjust;
+  std::int64_t loop_max_point_id = -1;
+  PoseGraphResult pose_graph;
 };
 
 // What applying a delta actually changed (stale entries are skipped).
@@ -105,6 +231,11 @@ struct ApplyOutcome {
   int points_fused = 0;
   int keyframes_updated = 0;
   bool map_changed = false;  // epoch was bumped
+  // A loop correction landed: the caller must rebase its own pose state
+  // (motion model, keyframe-policy reference) by loop_adjust too, or the
+  // next frames track against a map that moved out from under them.
+  bool loop_applied = false;
+  SE3 loop_adjust;
 };
 
 // Cumulative per-tracker backend counters (exported via Tracker and, per
@@ -120,6 +251,14 @@ struct BackendStats {
   double total_optimize_ms = 0;
   double last_ba_initial_cost = 0;
   double last_ba_final_cost = 0;
+  // --- loop closure ------------------------------------------------------
+  int loops_detected = 0;   // index candidates that froze a loop job
+  int loops_verified = 0;   // ...that survived P3P + pose-graph
+  int loops_rejected = 0;   // ...that did not (no map change)
+  int loops_applied = 0;    // corrections folded into the live map
+  int last_loop_inliers = 0;
+  double last_loop_correction_m = 0;  // |translation| of loop_adjust
+  int total_pose_graph_iterations = 0;
 };
 
 // Builds the frozen BA problem for the current local window.  Must be
@@ -128,6 +267,23 @@ struct BackendStats {
 bool build_snapshot(const KeyframeGraph& graph, const Map& map,
                     const PinholeCamera& camera, const BackendOptions& options,
                     int snapshot_frame, BackendSnapshot& out);
+
+// Detection: ranks the querying keyframe's index hits and applies the
+// LoopOptions gates (frame gap, covisibility exclusion, absolute + covis-
+// relative score).  Returns the accepted candidate's graph id, or -1.
+// Must run from the map-writing stage (reads graph + index).
+int detect_loop_candidate(const KeyframeGraph& graph,
+                          const KeyframeIndex& index, int query_kf,
+                          const LoopOptions& options);
+
+// Builds the frozen loop-closure job for query_kf (the latest keyframe)
+// against candidate_kf.  Same calling context as build_snapshot.  Returns
+// false when the candidate neighbourhood holds no live points.
+bool build_loop_snapshot(const KeyframeGraph& graph, const Map& map,
+                         const PinholeCamera& camera,
+                         const BackendOptions& options, int query_kf,
+                         int candidate_kf, int snapshot_frame,
+                         BackendSnapshot& out);
 
 // Pure function of the snapshot — safe on any thread, takes no locks.
 BackendDelta optimize_snapshot(BackendSnapshot snapshot,

@@ -1,0 +1,171 @@
+#include "backend/pose_graph.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "backend/dense_solve.h"
+#include "geometry/assert.h"
+#include "geometry/so3.h"
+
+namespace eslam::backend {
+
+namespace {
+
+double edge_cost(const PoseGraphProblem& problem) {
+  double cost = 0;
+  for (const PoseGraphEdge& e : problem.edges) {
+    const SE3 err = problem.poses[static_cast<std::size_t>(e.a)] *
+                    problem.poses[static_cast<std::size_t>(e.b)].inverse() *
+                    e.t_ab.inverse();
+    cost += e.weight * err.log().squared_norm();
+  }
+  return cost;
+}
+
+}  // namespace
+
+Mat6 se3_adjoint(const SE3& t) {
+  // Twist ordering is [rho (translation); phi (rotation)]:
+  //   Ad = [ R   hat(t) R ]
+  //        [ 0       R    ]
+  Mat6 ad;
+  const Mat3& r = t.rotation();
+  const Mat3 tr = hat(t.translation()) * r;
+  ad.set_block(0, 0, r);
+  ad.set_block(0, 3, tr);
+  ad.set_block(3, 3, r);
+  return ad;
+}
+
+PoseGraphResult solve_pose_graph(PoseGraphProblem& problem,
+                                 const PoseGraphOptions& options) {
+  PoseGraphResult result;
+  const std::size_t n = problem.poses.size();
+  ESLAM_ASSERT(problem.fixed.size() == n, "fixed flags size mismatch");
+  if (n == 0 || problem.edges.empty()) return result;
+
+  // Map free poses to parameter-block slots; refuse a gauge-free problem.
+  std::vector<int> slot(n, -1);
+  int n_free = 0;
+  bool any_fixed = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (problem.fixed[i])
+      any_fixed = true;
+    else
+      slot[i] = n_free++;
+  }
+  if (!any_fixed || n_free == 0) return result;
+  const int dim = 6 * n_free;
+
+  // Refuse non-finite input outright: the SE3 logarithm inside the
+  // residuals is not evaluable on NaN-poisoned poses.
+  for (const SE3& pose : problem.poses) {
+    bool finite = true;
+    for (int i = 0; i < 9; ++i)
+      finite = finite && std::isfinite(pose.rotation()[i]);
+    for (int i = 0; i < 3; ++i)
+      finite = finite && std::isfinite(pose.translation()[i]);
+    if (!finite) return result;
+  }
+
+  result.initial_cost = edge_cost(problem);
+  if (!std::isfinite(result.initial_cost)) return result;  // garbage input
+  double cost = result.initial_cost;
+  double lambda = options.initial_lambda;
+
+  std::vector<double> h, g, delta;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    h.assign(static_cast<std::size_t>(dim) * dim, 0.0);
+    g.assign(static_cast<std::size_t>(dim), 0.0);
+
+    // Accumulate H = sum w J^T J and g = sum w J^T e per edge.  J_a = I,
+    // J_b = -Ad(T_a T_b^{-1}), so the blocks are closed-form.
+    for (const PoseGraphEdge& e : problem.edges) {
+      const SE3& ta = problem.poses[static_cast<std::size_t>(e.a)];
+      const SE3& tb = problem.poses[static_cast<std::size_t>(e.b)];
+      const SE3 rel = ta * tb.inverse();
+      const Vec6 r = (rel * e.t_ab.inverse()).log();
+      const int sa = slot[static_cast<std::size_t>(e.a)];
+      const int sb = slot[static_cast<std::size_t>(e.b)];
+      const Mat6 ad = sb >= 0 ? se3_adjoint(rel) : Mat6{};
+      const auto add_block = [&](int row, int col, const Mat6& block) {
+        for (int i = 0; i < 6; ++i)
+          for (int j = 0; j < 6; ++j)
+            h[static_cast<std::size_t>(row * 6 + i) * dim + (col * 6 + j)] +=
+                e.weight * block(i, j);
+      };
+      if (sa >= 0) {
+        add_block(sa, sa, Mat6::identity());
+        for (int i = 0; i < 6; ++i)
+          g[static_cast<std::size_t>(sa * 6 + i)] += e.weight * r[i];
+      }
+      if (sb >= 0) {
+        // J_b^T J_b = Ad^T Ad;  J_b^T e = -Ad^T e.
+        add_block(sb, sb, ad.transposed() * ad);
+        const Vec6 adr = ad.transposed() * r;
+        for (int i = 0; i < 6; ++i)
+          g[static_cast<std::size_t>(sb * 6 + i)] -= e.weight * adr[i];
+      }
+      if (sa >= 0 && sb >= 0) {
+        // Cross blocks J_a^T J_b = -Ad and its transpose.
+        add_block(sa, sb, -ad);
+        add_block(sb, sa, -ad.transposed());
+      }
+    }
+
+    for (int i = 0; i < dim; ++i)
+      h[static_cast<std::size_t>(i) * dim + i] += lambda;
+    std::vector<double> h_copy = h, g_copy = g;
+    for (double& v : g_copy) v = -v;
+    if (!solve_dense(h_copy, g_copy, dim, delta)) {
+      // Singular even with damping: disconnected component with no
+      // anchor, or a degenerate edge set.  Refuse rather than guess.
+      if (iter == 0) return result;
+      break;
+    }
+
+    double max_step = 0;
+    for (const double v : delta) max_step = std::max(max_step, std::abs(v));
+    if (!std::isfinite(max_step)) break;  // solver produced garbage
+    // Trust region (see PoseGraphOptions::max_step).
+    if (options.max_step > 0 && max_step > options.max_step) {
+      const double scale = options.max_step / max_step;
+      for (double& v : delta) v *= scale;
+      max_step = options.max_step;
+    }
+
+    // Tentative update, accepted only when the cost drops (plain LM).
+    std::vector<SE3> backup = problem.poses;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (slot[i] < 0) continue;
+      Vec6 xi;
+      for (int k = 0; k < 6; ++k)
+        xi[k] = delta[static_cast<std::size_t>(slot[i] * 6 + k)];
+      problem.poses[i] = SE3::exp(xi) * problem.poses[i];
+    }
+    const double new_cost = edge_cost(problem);
+    ++result.iterations;
+    // A NaN cost fails this comparison and the step is reverted below.
+    if (new_cost <= cost) {
+      cost = new_cost;
+      lambda = std::max(lambda * 0.5, 1e-12);
+    } else {
+      problem.poses = std::move(backup);
+      lambda *= 10.0;
+      if (lambda > 1e8) break;
+      continue;
+    }
+    if (max_step < options.convergence_step) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.final_cost = cost;
+  // A run that stopped on the iteration budget but reduced the cost is
+  // still a usable correction.
+  if (!result.converged)
+    result.converged = cost < result.initial_cost || cost == 0.0;
+  return result;
+}
+
+}  // namespace eslam::backend

@@ -1,0 +1,77 @@
+// Pose-graph optimization over SE3 covisibility edges — the Schur-free
+// sibling of backend/local_ba: no point blocks, just keyframe poses
+// constrained by relative-pose measurements, solved by damped
+// Gauss-Newton on the dense 6N x 6N normal equations (backend/
+// dense_solve.h, the same solver local_ba's reduced camera system uses).
+//
+// Each edge (a, b) measures the relative transform
+//
+//   Z_ab  ~  T_a * T_b^{-1}        (poses world-to-camera)
+//
+// and contributes the residual e = log(T_a * T_b^{-1} * Z_ab^{-1}) with
+// weight w (covisibility strength; the loop edge carries its inlier
+// count).  Under the left-multiplicative update T <- exp(xi) * T the
+// Jacobians are J_a = I and J_b = -Ad(T_a * T_b^{-1}), the standard
+// first-order pose-graph linearization.
+//
+// Gauge: at least one pose must be fixed — a pose graph is invariant
+// under a global rigid motion, so an all-free problem has a 6-dim null
+// space and the solve is refused (converged = false) rather than left to
+// the damping to pin arbitrarily.  In the loop-closure pipeline the
+// oldest stored keyframe is fixed: the old end of the map stays put and
+// the accumulated drift is distributed over the edges toward the live
+// end, strong (high-weight) edges deforming least.
+#pragma once
+
+#include <vector>
+
+#include "geometry/se3.h"
+
+namespace eslam::backend {
+
+// One relative-pose constraint between poses `a` and `b` (indices into
+// PoseGraphProblem::poses).  t_ab measures poses[a] * poses[b]^{-1}.
+struct PoseGraphEdge {
+  int a = 0;
+  int b = 0;
+  SE3 t_ab;
+  double weight = 1.0;
+};
+
+struct PoseGraphProblem {
+  std::vector<SE3> poses;    // world-to-camera, updated in place
+  std::vector<bool> fixed;   // gauge anchors — not optimized
+  std::vector<PoseGraphEdge> edges;
+};
+
+struct PoseGraphOptions {
+  int max_iterations = 20;
+  double initial_lambda = 1e-8;    // LM damping on the diagonal
+  double convergence_step = 1e-8;  // stop when max |delta| drops below
+  // Trust region: per-iteration twist updates are scaled down so no
+  // component exceeds this.  An ill-conditioned solve otherwise launches
+  // poses onto near-pi relative rotations, where the SE3 logarithm of an
+  // accumulated-roundoff almost-rotation is not safely evaluable.
+  double max_step = 0.5;
+};
+
+struct PoseGraphResult {
+  int iterations = 0;
+  double initial_cost = 0;  // sum_e w_e * |log residual|^2
+  double final_cost = 0;
+  bool converged = false;
+};
+
+// Optimizes problem.poses in place (fixed entries never move).  Returns
+// converged = false without touching the poses when the problem is
+// gauge-free (no fixed pose), empty, or the normal equations are singular
+// at the initial point.
+PoseGraphResult solve_pose_graph(PoseGraphProblem& problem,
+                                 const PoseGraphOptions& options = {});
+
+// SE3 adjoint for the project's rotation-last twist convention
+// ([translation; rotation], SE3::exp/log): Ad(T) maps a twist through T
+// so that T * exp(xi) = exp(Ad(T) xi) * T.  Exposed for tests.
+Mat6 se3_adjoint(const SE3& t);
+
+}  // namespace eslam::backend

@@ -38,6 +38,8 @@ std::string sequence_name(SequenceId id) {
       return "fr2/xyz";
     case SequenceId::kFr2Rpy:
       return "fr2/rpy";
+    case SequenceId::kLoopRevisit:
+      return "synthetic/loop";
   }
   return "unknown";
 }
@@ -90,6 +92,23 @@ SE3 trajectory_pose(SequenceId id, double s) {
       const Vec3 t{0.05 * std::sin(kTau * s), 0.04 * std::sin(kTau * s * 2.0),
                    -0.5 + 0.05 * std::cos(kTau * s)};
       return SE3{ypr(yaw, pitch, roll), t};
+    }
+    case SequenceId::kLoopRevisit: {
+      // Out-and-back revisit: u(s) = sin^2(pi s) sweeps 0 -> 1 -> 0, so
+      // the camera traverses a long desk-like lateral arc (bounded yaw —
+      // the motion envelope the matcher is robust in) and smoothly
+      // retraces it.  The return leg re-observes outbound viewpoints
+      // after an absence that grows toward the start: with an
+      // active-window map (small prune age) the old points are long gone
+      // by then, so the revisit is genuine recognition territory — drift
+      // has accumulated over the round trip, and only the keyframe
+      // database remembers the place.
+      const double sp = std::sin(M_PI * s);
+      const double u = sp * sp;
+      const double yaw = 0.6 * u;
+      const Vec3 t{2.2 * u, 0.08 * std::sin(kTau * s), -0.4 + 0.3 * u};
+      const Mat3 r = ypr(yaw, 0.06 * std::sin(kTau * s), 0.0);
+      return SE3{r, t};
     }
   }
   return SE3{};

@@ -22,6 +22,11 @@ enum class SequenceId {
   kFr1Room,
   kFr2Xyz,
   kFr2Rpy,
+  // Synthetic loop-revisit preset (not one of the paper's five, so not in
+  // evaluation_sequences()): a closed full-yaw circuit whose final frames
+  // re-observe the opening views — the loop-closure and relocalization
+  // workload for bench/loop_closure and the backend tests.
+  kLoopRevisit,
 };
 
 // The five evaluation sequences in the paper's Figure 8 order.

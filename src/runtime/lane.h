@@ -58,6 +58,15 @@ struct PipelineStats {
   long long points_pruned = 0;        // age-pruned by map updating
   long long backend_points_culled = 0;  // removed by BA (bad geometry)
   long long backend_points_fused = 0;   // removed by BA (duplicates)
+
+  // Recovery/correction visibility, accumulated from retired TrackResults
+  // (a lost tracker used to burn full-map matches with no signal here):
+  int reloc_attempts = 0;   // post-loss frames that engaged the index tier
+  int reloc_succeeded = 0;  // ...that recovered a pose
+  int reloc_fallbacks = 0;  // ...where the index came up empty and the
+                            //    map-wide brute force ran instead
+  int loops_closed = 0;     // frames whose map update applied a verified
+                            //    loop-closure correction
 };
 
 }  // namespace eslam

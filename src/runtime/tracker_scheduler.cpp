@@ -590,6 +590,13 @@ void TrackerScheduler::run_session_arm(const SessionRef& session) {
       s.stats.backend_points_culled += result.n_points_culled;
       s.stats.backend_points_fused += result.n_points_fused;
       if (result.backend_applied) ++s.stats.backend_deltas_applied;
+      if (result.reloc_attempted) {
+        ++s.stats.reloc_attempts;
+        if (result.relocalized) ++s.stats.reloc_succeeded;
+        if (result.match_tier == MatchTier::kBruteForce)
+          ++s.stats.reloc_fallbacks;
+      }
+      if (result.loop_closed) ++s.stats.loops_closed;
     }
 
     // A keyframe may have frozen a local-mapping snapshot: offer it to

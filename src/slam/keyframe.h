@@ -34,6 +34,15 @@ class KeyframePolicy {
   }
 
   void reset() { have_reference_ = false; }
+
+  // A loop-closure correction moves the world under the camera: the
+  // reference pose must ride along (pose_wc' = correction * pose_wc) or
+  // the very next frame would spuriously trigger (or suppress) a
+  // keyframe by the size of the correction.
+  void rebase(const SE3& world_correction) {
+    if (have_reference_) reference_ = world_correction * reference_;
+  }
+
   const KeyframeOptions& options() const { return options_; }
 
  private:

@@ -7,7 +7,12 @@
 namespace eslam {
 
 const char* to_string(MatchTier tier) {
-  return tier == MatchTier::kGated ? "gated" : "brute";
+  switch (tier) {
+    case MatchTier::kBruteForce: return "brute";
+    case MatchTier::kGated: return "gated";
+    case MatchTier::kRelocIndex: return "reloc-index";
+  }
+  return "?";
 }
 
 GateResult build_candidate_set(std::span<const Vec3> map_positions,

@@ -29,8 +29,10 @@ namespace eslam {
 
 // Which tier produced a frame's matches (reported in TrackResult).
 enum class MatchTier {
-  kBruteForce,  // full-map scan (bootstrap / relocalization / fallback)
+  kBruteForce,  // full-map scan (bootstrap / index-miss fallback)
   kGated,       // projection-gated candidate search
+  kRelocIndex,  // keyframe-recognition index -> best keyframe's local
+                // neighbourhood (post-loss relocalization)
 };
 
 struct MatchPolicy {

@@ -50,9 +50,8 @@ Tracker::Tracker(const PinholeCamera& camera,
   ESLAM_ASSERT(backend_ != nullptr, "tracker needs a feature backend");
 }
 
-std::optional<Vec3> Tracker::world_point_from_depth(const FrameInput& frame,
-                                                    double u, double v,
-                                                    const SE3& pose_wc) const {
+std::optional<Vec3> Tracker::camera_point_from_depth(const FrameInput& frame,
+                                                     double u, double v) const {
   const int xi = static_cast<int>(std::lround(u));
   const int yi = static_cast<int>(std::lround(v));
   if (!frame.depth.contains(xi, yi)) return std::nullopt;
@@ -60,22 +59,22 @@ std::optional<Vec3> Tracker::world_point_from_depth(const FrameInput& frame,
   if (raw == 0) return std::nullopt;  // invalid depth (sensor hole)
   const double z = raw / options_.depth_factor;
   if (z <= 0.05 || z > 40.0) return std::nullopt;
-  return pose_wc * camera_.unproject(u, v, z);
+  return camera_.unproject(u, v, z);
 }
 
 void Tracker::bootstrap_map(
     FrameState& fs, std::vector<backend::KeyframeObservation>* observations) {
   const WallTimer timer;
-  const SE3 identity;
   int added = 0;
   for (const Feature& f : fs.features) {
-    const auto p =
-        world_point_from_depth(fs.input, f.keypoint.x0(), f.keypoint.y0(),
-                               identity);
-    if (!p) continue;
-    const std::int64_t id = map_.add_point(*p, f.descriptor, fs.index);
+    const auto p_cam =
+        camera_point_from_depth(fs.input, f.keypoint.x0(), f.keypoint.y0());
+    if (!p_cam) continue;
+    // Bootstrap pose is the identity: world == camera frame.
+    const std::int64_t id = map_.add_point(*p_cam, f.descriptor, fs.index);
     if (observations)
-      observations->push_back({id, Vec2{f.keypoint.x0(), f.keypoint.y0()}});
+      observations->push_back({id, Vec2{f.keypoint.x0(), f.keypoint.y0()},
+                               f.descriptor, *p_cam});
     ++added;
   }
   fs.result.keyframe = true;
@@ -91,12 +90,14 @@ std::size_t Tracker::insert_map_points(
   for (std::size_t i = 0; i < fs.features.size(); ++i) {
     if (feature_matched[i]) continue;  // already represented in the map
     const Feature& f = fs.features[i];
-    const auto p = world_point_from_depth(fs.input, f.keypoint.x0(),
-                                          f.keypoint.y0(), pose_wc);
-    if (!p) continue;
-    const std::int64_t id = map_.add_point(*p, f.descriptor, fs.index);
+    const auto p_cam = camera_point_from_depth(fs.input, f.keypoint.x0(),
+                                               f.keypoint.y0());
+    if (!p_cam) continue;
+    const std::int64_t id =
+        map_.add_point(pose_wc * *p_cam, f.descriptor, fs.index);
     if (observations)
-      observations->push_back({id, Vec2{f.keypoint.x0(), f.keypoint.y0()}});
+      observations->push_back({id, Vec2{f.keypoint.x0(), f.keypoint.y0()},
+                               f.descriptor, *p_cam});
   }
   return map_.prune(fs.index, options_.map_prune_age);
 }
@@ -108,8 +109,10 @@ SE3 Tracker::predicted_pose_cw() const {
 }
 
 void Tracker::publish_gate_prior(const FrameState& fs) {
+  lost_streak_ = fs.result.lost ? lost_streak_ + 1 : 0;
   GatePriorSlot slot;
   slot.for_frame = fs.index + 2;
+  slot.lost_streak = lost_streak_;
   if (fs.result.lost) {
     // No trustworthy pose: the target frame must brute-force
     // (relocalization tier).
@@ -129,12 +132,18 @@ void Tracker::publish_gate_prior(const FrameState& fs) {
   gate_prior_[static_cast<std::size_t>(slot.for_frame % 2)] = slot;
 }
 
-std::optional<SE3> Tracker::gate_prior_for(int frame_index) const {
+Tracker::GatePrior Tracker::gate_prior_for(int frame_index) const {
   const std::lock_guard<std::mutex> lock(gate_prior_mutex_);
   const GatePriorSlot& slot =
       gate_prior_[static_cast<std::size_t>(frame_index % 2)];
-  if (slot.for_frame != frame_index || !slot.valid) return std::nullopt;
-  return slot.pose_cw;
+  GatePrior out;
+  if (slot.for_frame != frame_index) return out;  // nothing published yet
+  out.lost_streak = slot.lost_streak;
+  if (slot.valid)
+    out.pose_cw = slot.pose_cw;
+  else
+    out.lost = true;  // explicitly published as lost: relocalize
+  return out;
 }
 
 FrameState Tracker::begin_frame(FrameInput frame) {
@@ -161,6 +170,7 @@ void Tracker::match(FrameState& fs) {
   const std::shared_lock lock(map_mutex_);
   fs.map_epoch = map_.epoch();
   fs.matches.clear();
+  fs.reloc_positions.clear();
   fs.match_tier = MatchTier::kBruteForce;
   if (map_.empty()) {
     // Nothing to match against — the frame will bootstrap the map.
@@ -172,44 +182,115 @@ void Tracker::match(FrameState& fs) {
   query.reserve(fs.features.size());
   for (const Feature& f : fs.features) query.push_back(f.descriptor);
 
+  const GatePrior prior = gate_prior_for(fs.index);
+
   // Tier one: projection-gated candidate search, when the policy allows,
   // the map is big enough to be worth gating, and a prior was published
   // for this frame (none right after bootstrap or a tracking loss).
   double match_ms = 0.0;
   bool gated = false;
-  if (options_.match.use_gate &&
+  if (options_.match.use_gate && prior.pose_cw &&
       static_cast<int>(map_.size()) >= options_.match.min_map_points_for_gate) {
-    if (const std::optional<SE3> prior = gate_prior_for(fs.index)) {
-      const GateResult gate = build_candidate_set(
-          map_.positions(), *prior, camera_, fs.features, options_.match);
-      std::vector<Match> matches =
-          backend_->match_candidates(query, map_.descriptors(),
-                                     gate.candidates);
-      match_ms += gate.build_ms + backend_->last_match_time_ms();
-      const int required = std::max(
-          options_.match.min_gated_matches,
-          static_cast<int>(std::ceil(options_.match.min_gated_match_fraction *
-                                     static_cast<double>(query.size()))));
-      if (static_cast<int>(matches.size()) >= required) {
-        fs.matches = std::move(matches);
-        gated = true;
-      }
-      // else: too few matches survived — the prior is likely wrong (fast
-      // motion beyond the window, post-loss, viewpoint jump), so fall
-      // through to the full-map tier, which is also what relocalization
-      // needs.
+    const GateResult gate = build_candidate_set(
+        map_.positions(), *prior.pose_cw, camera_, fs.features,
+        options_.match);
+    std::vector<Match> matches =
+        backend_->match_candidates(query, map_.descriptors(),
+                                   gate.candidates);
+    match_ms += gate.build_ms + backend_->last_match_time_ms();
+    const int required = std::max(
+        options_.match.min_gated_matches,
+        static_cast<int>(std::ceil(options_.match.min_gated_match_fraction *
+                                   static_cast<double>(query.size()))));
+    if (static_cast<int>(matches.size()) >= required) {
+      fs.matches = std::move(matches);
+      gated = true;
     }
+    // else: too few matches survived — the prior is likely wrong (fast
+    // motion beyond the window, viewpoint jump), so fall through to the
+    // full-map tier.
   }
-  // Tier two: full-map brute force (bootstrap-adjacent frames,
-  // relocalization, small maps, gate fallback).
-  if (!gated) {
+  // Relocalization tier: the publishing frame retired *lost*, so there is
+  // no pose to gate with — recognize where we are instead.  Query the
+  // keyframe index, match only against the best keyframe's local
+  // neighbourhood, and leave P3P to estimate_pose(); the map-wide brute
+  // force below is demoted to the deterministic fallback for when
+  // recognition comes up empty.
+  bool relocated = false;
+  if (!gated && prior.lost &&
+      prior.lost_streak >= options_.reloc.min_lost_frames &&
+      options_.backend.enabled && options_.reloc.use_index &&
+      static_cast<int>(query.size()) >= options_.reloc.min_matches &&
+      static_cast<int>(kf_graph_.size()) >= options_.reloc.min_keyframes) {
+    // (A frame without enough features — a dropout/blank — cannot
+    // relocalize by any tier; it is not counted as an attempt.)
+    fs.result.reloc_attempted = true;
+    relocated = match_against_reloc_index(fs, query, match_ms);
+  }
+  // Fallback tier: full-map brute force (bootstrap-adjacent frames,
+  // post-loss frames without a usable index, small maps, gate/reloc
+  // fallback).
+  if (!gated && !relocated) {
     fs.matches = backend_->match(query, map_.descriptors());
     match_ms += backend_->last_match_time_ms();
   }
-  fs.match_tier = gated ? MatchTier::kGated : MatchTier::kBruteForce;
+  fs.match_tier = gated ? MatchTier::kGated
+                : relocated ? MatchTier::kRelocIndex
+                            : MatchTier::kBruteForce;
   fs.result.match_tier = fs.match_tier;
   fs.result.times.feature_matching = match_ms;
   fs.result.n_matches = static_cast<int>(fs.matches.size());
+}
+
+bool Tracker::match_against_reloc_index(FrameState& fs,
+                                        std::span<const Descriptor256> query,
+                                        double& match_ms) {
+  const std::vector<backend::KeyframeScore> ranked =
+      kf_index_.query(query, options_.reloc.max_candidates);
+  for (const backend::KeyframeScore& hit : ranked) {
+    if (!kf_graph_.contains(hit.keyframe_id)) continue;
+    // The candidate's local place: the keyframe plus its top covisible
+    // neighbours.
+    const std::vector<int> hood =
+        kf_graph_.neighbourhood(hit.keyframe_id, options_.reloc.neighbourhood);
+    // The neighbourhood's observations ARE the recovery substrate: the
+    // 3D side is each observation's own depth unprojection lifted by its
+    // keyframe pose — drift-consistent, immune to map pruning, and
+    // O(window) to assemble.
+    const std::vector<backend::KeyframeGraph::PlaceObservation> place =
+        kf_graph_.place_observations(hood);
+    std::vector<Descriptor256> subset;
+    std::vector<std::int32_t> map_index;  // live map index or -1
+    subset.reserve(place.size());
+    map_index.reserve(place.size());
+    for (const auto& obs : place) {
+      subset.push_back(obs.descriptor);
+      const auto index = map_.index_of(obs.point_id);
+      map_index.push_back(index ? static_cast<std::int32_t>(*index) : -1);
+    }
+    if (static_cast<int>(subset.size()) < options_.reloc.min_matches)
+      continue;
+    // Verification-grade matching (see RelocOptions::matcher), host-side
+    // like the loop job's — the fabric's bulk matcher has no precision
+    // knobs, and a lost session is off the nominal fabric schedule anyway.
+    const WallTimer reloc_timer;
+    std::vector<Match> matches =
+        match_descriptors(query, subset, options_.reloc.matcher);
+    match_ms += reloc_timer.elapsed_ms();
+    if (static_cast<int>(matches.size()) < options_.reloc.min_matches)
+      continue;  // recognition was wrong for this hit; try the next one
+    fs.reloc_positions.clear();
+    fs.reloc_positions.reserve(matches.size());
+    for (Match& m : matches) {
+      fs.reloc_positions.push_back(
+          place[static_cast<std::size_t>(m.train)].position_w);
+      m.train = map_index[static_cast<std::size_t>(m.train)];
+    }
+    fs.matches = std::move(matches);
+    fs.reloc_reference_cw = kf_graph_.keyframe(hit.keyframe_id).pose_cw;
+    return true;
+  }
+  return false;
 }
 
 void Tracker::estimate_pose(FrameState& fs) {
@@ -226,18 +307,29 @@ void Tracker::estimate_pose(FrameState& fs) {
   WallTimer pe_timer;
   fs.correspondences.clear();
   fs.correspondences.reserve(fs.matches.size());
-  for (const Match& m : fs.matches) {
+  const bool reloc = fs.match_tier == MatchTier::kRelocIndex;
+  for (std::size_t i = 0; i < fs.matches.size(); ++i) {
+    const Match& m = fs.matches[i];
     const Feature& f = fs.features[static_cast<std::size_t>(m.query)];
+    // Reloc matches carry their own 3D (keyframe-observation geometry).
     fs.correspondences.push_back(Correspondence{
-        map_.point(static_cast<std::size_t>(m.train)).position,
+        reloc ? fs.reloc_positions[i]
+              : map_.point(static_cast<std::size_t>(m.train)).position,
         Vec2{f.keypoint.x0(), f.keypoint.y0()}});
   }
-  const int required_inliers = std::max(
-      options_.min_tracked_inliers,
-      std::min(options_.strong_consensus_inliers,
-               static_cast<int>(
-                   options_.min_inlier_ratio *
-                   static_cast<double>(fs.correspondences.size()))));
+  // Relocalization matches cover only the recognized neighbourhood, so
+  // the acceptance gate is absolute (see RelocOptions::min_inliers); the
+  // ratio gate below assumes the map-wide match set.
+  const int required_inliers =
+      fs.match_tier == MatchTier::kRelocIndex
+          ? std::max(options_.min_tracked_inliers,
+                     options_.reloc.min_inliers)
+          : std::max(options_.min_tracked_inliers,
+                     std::min(options_.strong_consensus_inliers,
+                              static_cast<int>(
+                                  options_.min_inlier_ratio *
+                                  static_cast<double>(
+                                      fs.correspondences.size()))));
   const SE3 prior = predicted_pose_cw();
   RansacResult ransac = ransac_pnp(fs.correspondences, camera_, prior,
                                    options_.ransac);
@@ -267,6 +359,22 @@ void Tracker::estimate_pose(FrameState& fs) {
   }
   fs.result.times.pose_estimation = pe_timer.elapsed_ms();
   fs.result.n_inliers = static_cast<int>(ransac.inliers.size());
+  if (reloc && ransac.success) {
+    // Plausibility: the recovered camera must be where the recognized
+    // keyframe's scene is visible from.  A wrong-place consensus (large
+    // on repetitive texture) that slips through would seed phantom map
+    // geometry that every later recovery compounds.
+    const Vec3 centre = ransac.pose.inverse().translation();
+    const Vec3 reference = fs.reloc_reference_cw.inverse().translation();
+    const double distance = (centre - reference).norm();
+    const double rotation = ransac.pose.rotation_angle(fs.reloc_reference_cw);
+    // Written as accept-only-when-provably-plausible: a NaN pose (a
+    // degenerate refit can produce one) must fail this gate, and NaN
+    // fails every comparison.
+    if (!(distance <= options_.reloc.max_distance_m &&
+          rotation <= options_.reloc.max_rotation_rad))
+      ransac.success = false;
+  }
   if (!ransac.success || fs.result.n_inliers < required_inliers) {
     // Lost: keep the previous pose; update_map() drops the velocity.
     fs.result.lost = true;
@@ -296,13 +404,17 @@ TrackResult Tracker::update_map(FrameState& fs) {
   const bool backend_on = options_.backend.enabled;
   if (fs.bootstrap) {
     std::vector<backend::KeyframeObservation> observations;
+    int new_kf = -1;
     {
+      // Graph/index insertion stays inside the exclusive lock: the device
+      // lane's relocalization tier reads both under the shared lock.
       const std::unique_lock lock(map_mutex_);
       bootstrap_map(fs, backend_on ? &observations : nullptr);
       last_pose_cw_ = SE3{};
+      if (backend_on && !fs.result.lost)
+        new_kf = backend_insert_keyframe(fs, std::move(observations));
     }
-    if (backend_on && !fs.result.lost)
-      backend_on_keyframe(fs, std::move(observations));
+    if (new_kf >= 0) backend_freeze_job(new_kf, fs);
   } else if (fs.result.lost) {
     // Drop the (now unreliable) velocity estimate; the map is untouched.
     have_velocity_ = false;
@@ -313,43 +425,74 @@ TrackResult Tracker::update_map(FrameState& fs) {
     const bool is_keyframe = keyframe_policy_.should_insert(fs.result.pose_wc);
 
     // Record which features/map points were matched (for map maintenance).
+    // A relocalization match may carry train == -1 — the correspondence
+    // came from a keyframe observation whose map point is no longer alive
+    // (pruned / culled / fused); it contributed pose evidence, but the
+    // feature is treated as unmatched here so a fresh map point remaps
+    // the revisited region.
     std::vector<bool> feature_matched(fs.features.size(), false);
     std::vector<backend::KeyframeObservation> observations;
     for (int idx : fs.ransac.inliers) {
       const Match& m = fs.matches[static_cast<std::size_t>(idx)];
+      if (m.train < 0) continue;
       feature_matched[static_cast<std::size_t>(m.query)] = true;
       map_.note_match(static_cast<std::size_t>(m.train), fs.index);
       if (backend_on && is_keyframe) {
         const Feature& f = fs.features[static_cast<std::size_t>(m.query)];
+        const auto p_cam = camera_point_from_depth(fs.input, f.keypoint.x0(),
+                                                   f.keypoint.y0());
         observations.push_back(
             {map_.point(static_cast<std::size_t>(m.train)).id,
-             Vec2{f.keypoint.x0(), f.keypoint.y0()}});
+             Vec2{f.keypoint.x0(), f.keypoint.y0()}, f.descriptor,
+             // Prefer the frame's own depth; a sensor hole falls back to
+             // the map point seen from this frame's pose.
+             p_cam ? *p_cam
+                   : fs.result.pose_cw *
+                         map_.point(static_cast<std::size_t>(m.train))
+                             .position});
       }
     }
 
     // --- Map updating (key frames only, ARM) ------------------------------
     if (is_keyframe) {
       WallTimer mu_timer;
+      int new_kf = -1;
       {
         // The map maintains its descriptor/position snapshot eagerly, so
         // releasing this lock immediately publishes a consistent epoch.
+        // Graph/index insertion sits inside the same exclusive section:
+        // the device lane's relocalization tier reads both under the
+        // shared lock.
         const std::unique_lock lock(map_mutex_);
         // The previous backend job's delta lands here — the next keyframe
         // after its completion — as one more structural map write under
-        // the same lock and epoch rules as the insertions below.
+        // the same lock and epoch rules as the insertions below.  A loop
+        // delta also rebases fs.result.pose_cw/wc and the motion model,
+        // so the insertions below land in the corrected frame.
         if (backend_on) apply_pending_backend_delta(fs);
         fs.result.n_points_pruned = static_cast<int>(insert_map_points(
             fs, feature_matched, fs.result.pose_wc,
             backend_on ? &observations : nullptr));
+        if (backend_on)
+          new_kf = backend_insert_keyframe(fs, std::move(observations));
       }
-      if (backend_on) backend_on_keyframe(fs, std::move(observations));
+      // Job freezing (loop detection + snapshot copies) reads only, so it
+      // runs after the lock is released — see backend_freeze_job.
+      if (new_kf >= 0) backend_freeze_job(new_kf, fs);
       fs.result.times.map_updating = mu_timer.elapsed_ms();
       fs.result.keyframe = true;
     }
 
+    // A post-loss frame that reached here recovered a pose — that is the
+    // relocalization the stats and server events report.
+    fs.result.relocalized = fs.result.reloc_attempted;
     prev_pose_cw_ = last_pose_cw_;
     last_pose_cw_ = fs.result.pose_cw;
-    have_velocity_ = true;
+    // After a relocalization the pre-loss pose pair is meaningless as a
+    // velocity estimate (the camera may have recovered anywhere); restart
+    // the motion model from the recovered pose alone.  Backend-off runs
+    // never set reloc_attempted, so their trajectories are untouched.
+    have_velocity_ = !fs.result.reloc_attempted;
   }
 
   // Publish the matching gate's prior for frame index + 2 before this
@@ -394,20 +537,50 @@ backend::BackendStats Tracker::backend_stats() const {
   return backend_stats_;
 }
 
-void Tracker::backend_on_keyframe(
+int Tracker::backend_insert_keyframe(
     const FrameState& fs,
     std::vector<backend::KeyframeObservation> observations) {
-  kf_graph_.add_keyframe(fs.index, fs.result.pose_cw, std::move(observations));
+  // Caller holds the exclusive map lock: graph + index mutations here are
+  // what the device lane's relocalization tier reads under the shared one.
+  const int kf_id = kf_graph_.add_keyframe(fs.index, fs.result.pose_cw,
+                                           std::move(observations));
+  kf_index_.add_keyframe(kf_id, kf_graph_.keyframe(kf_id).observations);
+  // The graph's FIFO bound may have evicted; the index follows it.
+  kf_index_.remove_below(kf_graph_.first_live_id());
+  const std::lock_guard<std::mutex> lock(backend_mutex_);
+  ++backend_stats_.keyframes_inserted;
+  return kf_id;
+}
+
+void Tracker::backend_freeze_job(int kf_id, const FrameState& fs) {
+  // Runs OUTSIDE the exclusive map lock: detection and snapshot building
+  // only *read* the graph/index/map, and this stage is their one writer —
+  // concurrent device-lane readers (shared lock) are unaffected, and
+  // keeping this work out of the exclusive section keeps a keyframe from
+  // stalling every session's matching on the shared lane.
   {
     const std::lock_guard<std::mutex> lock(backend_mutex_);
-    ++backend_stats_.keyframes_inserted;
     // Per-tracker serialization: one job in any state at a time.  A busy
     // backend simply skips this keyframe; the next one retries.
     if (backend_state_ != BackendJobState::kIdle) return;
   }
-  // Reading the map without the lock is safe here: update_map() is the
-  // only structural writer and this runs from update_map().
   backend::BackendSnapshot snapshot;
+  // Loop detection first: a recognized revisit freezes a loop-closure job
+  // in the shared slot (windowed BA simply resumes at the next keyframe).
+  if (options_.backend.loop.enabled && fs.index >= loop_cooldown_until_) {
+    const int candidate = backend::detect_loop_candidate(
+        kf_graph_, kf_index_, kf_id, options_.backend.loop);
+    if (candidate >= 0 &&
+        backend::build_loop_snapshot(kf_graph_, map_, camera_,
+                                     options_.backend, kf_id, candidate,
+                                     fs.index, snapshot)) {
+      const std::lock_guard<std::mutex> lock(backend_mutex_);
+      ++backend_stats_.loops_detected;
+      backend_snapshot_ = std::move(snapshot);
+      backend_state_ = BackendJobState::kSnapshotReady;
+      return;
+    }
+  }
   if (!backend::build_snapshot(kf_graph_, map_, camera_, options_.backend,
                                fs.index, snapshot))
     return;
@@ -430,10 +603,20 @@ void Tracker::run_backend_job() {
       backend::optimize_snapshot(std::move(snapshot), options_.backend);
   const std::lock_guard<std::mutex> lock(backend_mutex_);
   ++backend_stats_.jobs_run;
-  backend_stats_.total_ba_iterations += delta.ba.iterations;
   backend_stats_.total_optimize_ms += delta.optimize_ms;
-  backend_stats_.last_ba_initial_cost = delta.ba.initial_cost;
-  backend_stats_.last_ba_final_cost = delta.ba.final_cost;
+  if (delta.loop_job) {
+    if (delta.loop_closed) {
+      ++backend_stats_.loops_verified;
+    } else {
+      ++backend_stats_.loops_rejected;
+    }
+    backend_stats_.last_loop_inliers = delta.loop_inliers;
+    backend_stats_.total_pose_graph_iterations += delta.pose_graph.iterations;
+  } else {
+    backend_stats_.total_ba_iterations += delta.ba.iterations;
+    backend_stats_.last_ba_initial_cost = delta.ba.initial_cost;
+    backend_stats_.last_ba_final_cost = delta.ba.final_cost;
+  }
   backend_delta_ = std::move(delta);
   backend_state_ = BackendJobState::kDeltaReady;
 }
@@ -451,11 +634,40 @@ void Tracker::apply_pending_backend_delta(FrameState& fs) {
   fs.result.n_points_culled = outcome.points_culled;
   fs.result.n_points_fused = outcome.points_fused;
   fs.result.backend_applied = true;
+  if (outcome.loop_applied) {
+    // The world moved under the camera: rebase every piece of tracker
+    // state expressed in world coordinates by the same correction the
+    // live end of the map received, so the very next projection of the
+    // corrected map is unchanged.  For a camera pose (world-to-camera)
+    // the rebase is pose_cw' = pose_cw * adjust^{-1}; for a camera-in-
+    // world reference it is pose_wc' = adjust * pose_wc.  The velocity
+    // last * prev^{-1} is invariant (the adjusts cancel), so the motion
+    // model carries straight through the correction.
+    const SE3 adjust_inv = outcome.loop_adjust.inverse();
+    fs.result.pose_cw = fs.result.pose_cw * adjust_inv;
+    fs.result.pose_wc = fs.result.pose_cw.inverse();
+    last_pose_cw_ = last_pose_cw_ * adjust_inv;
+    prev_pose_cw_ = prev_pose_cw_ * adjust_inv;
+    keyframe_policy_.rebase(outcome.loop_adjust);
+    fs.result.loop_closed = true;
+    loop_cooldown_until_ = fs.index + options_.backend.loop.cooldown_frames;
+  } else if (delta.loop_job) {
+    // Verification rejected the candidate: back off briefly so the same
+    // false pair does not immediately re-freeze the job slot and starve
+    // the BA lane.
+    loop_cooldown_until_ =
+        fs.index + std::max(1, options_.backend.loop.cooldown_frames / 4);
+  }
   const std::lock_guard<std::mutex> lock(backend_mutex_);
   ++backend_stats_.deltas_applied;
   backend_stats_.points_moved += outcome.points_moved;
   backend_stats_.points_culled += outcome.points_culled;
   backend_stats_.points_fused += outcome.points_fused;
+  if (outcome.loop_applied) {
+    ++backend_stats_.loops_applied;
+    backend_stats_.last_loop_correction_m =
+        outcome.loop_adjust.translation().norm();
+  }
 }
 
 }  // namespace eslam

@@ -121,8 +121,72 @@ struct TrackResult {
   int n_points_culled = 0;
   int n_points_fused = 0;
   bool backend_applied = false;
+  // Recovery/correction visibility (a lost tracker used to burn full-map
+  // matches with no signal anywhere): reloc_attempted marks a post-loss
+  // frame that engaged the keyframe-recognition path (match_tier then
+  // tells whether the index answered or the brute-force fallback ran);
+  // relocalized marks the frame that actually recovered a pose from that
+  // state; loop_closed marks a frame whose map update applied a verified
+  // loop-closure correction.
+  bool reloc_attempted = false;
+  bool relocalized = false;
+  bool loop_closed = false;
   double timestamp = 0;
   StageTimesMs times;
+};
+
+// Post-loss relocalization policy.  Active only with the local-mapping
+// backend enabled (the keyframe graph + recognition index are its data);
+// without it — or before the graph holds min_keyframes — a lost tracker
+// falls back to the old map-wide brute-force scan.
+struct RelocOptions {
+  // Master switch for the indexed tier.
+  bool use_index = true;
+  // Consecutive lost retirements before recognition engages.  A
+  // momentary flake (a 1-2 frame RANSAC dropout) recovers best through
+  // the existing motion-model path — its prior is still good, and on the
+  // desk regime routing those frames through recognition measurably
+  // worsened ATE.  Recognition is for *persistent* loss, where the prior
+  // is meaningfully stale (ORB-SLAM's lost mode).
+  int min_lost_frames = 3;
+  // Graph size before the index is trusted for recovery.
+  int min_keyframes = 3;
+  // Ranked index hits to try before falling back to brute force.
+  int max_candidates = 3;
+  // Best keyframe + its top covisible neighbours form the match set.
+  int neighbourhood = 5;
+  // A candidate neighbourhood must yield at least this many descriptor
+  // matches to feed P3P; fewer means the recognition was wrong and the
+  // next candidate (or the full-map fallback) runs.
+  int min_matches = 20;
+  // Recovery matching is verification-grade, like the loop job's: the
+  // tracking tiers deliberately run at 64 bits without cross-check (and
+  // the map's near-duplicates forbid a ratio test everywhere), but a lost
+  // tracker matching a recognized neighbourhood needs precision — junk
+  // matches are what kept P3P from ever finding the true consensus.  A
+  // tighter distance plus symmetric cross-check prunes them without
+  // starving on duplicates (the agreed best pair still agrees when the
+  // corner exists twice).
+  MatcherOptions matcher{/*max_distance=*/48, /*ratio=*/1.0,
+                         /*cross_check=*/true};
+  // Absolute consensus to accept a relocalized pose.  The tracking path
+  // gates on an inlier *ratio* because a map-wide match set is mostly
+  // aliased junk on novel views — which is exactly why a lost tracker
+  // could never pass it (genuine consensus ~100 of ~1000 "matches" loses
+  // to a 20% ratio floor) and stayed lost forever.  The reloc tier
+  // matches only the recognized keyframe's neighbourhood, where aliasing
+  // is bounded, so an absolute gate (ORB-SLAM accepts at 50) is both safe
+  // and the thing that makes recovery actually terminate.
+  int min_inliers = 50;
+  // Plausibility gate on the recovered pose: recognizing keyframe K means
+  // the camera sees K's scene, so the recovered camera centre must lie
+  // within visibility range of K and face roughly the same way.  On
+  // repetitive texture a wrong-place consensus can be large — without
+  // this gate one such acceptance seeds map points at a phantom location
+  // and every later recovery compounds it (observed: poses km out of the
+  // room within 150 frames).
+  double max_distance_m = 2.5;
+  double max_rotation_rad = 1.3;
 };
 
 struct TrackerOptions {
@@ -144,6 +208,9 @@ struct TrackerOptions {
   // vs brute force); see slam/match_gate.h.  Per-session when threaded
   // through server/SessionConfig::tracker.
   MatchPolicy match;
+  // Post-loss recovery via the keyframe-recognition index (backend on
+  // only); see RelocOptions.
+  RelocOptions reloc;
   RansacOptions ransac;
   PnpOptions pose_optimization{/*max_iterations=*/15,
                                /*initial_lambda=*/1e-4,
@@ -200,6 +267,16 @@ struct FrameState {
   // the map itself.
   std::uint64_t map_epoch = 0;
   bool bootstrap = false;  // map was empty: frame initializes the map
+  // Relocalization tier only (match_tier == kRelocIndex): the 3D side of
+  // each match, aligned with `matches`, reconstructed from the recognized
+  // keyframes' own depth observations (pose_wc * point_cam) rather than
+  // from live map positions — recovery must not depend on what pruning
+  // or drift did to the map since the keyframe was made.  A match whose
+  // map point is gone carries train == -1 (pose evidence only).
+  std::vector<Vec3> reloc_positions;
+  // The recognized keyframe's stored pose — the plausibility reference
+  // for RelocOptions::max_distance_m / max_rotation_rad.
+  SE3 reloc_reference_cw;
   RansacResult ransac;
   std::vector<Correspondence> correspondences;
   TrackResult result;
@@ -294,13 +371,21 @@ class Tracker {
   // Applies a completed backend delta, if one is ready.  Caller holds the
   // exclusive map lock (this is a structural map write).
   void apply_pending_backend_delta(FrameState& fs);
-  // Graph insertion + snapshot freeze for a retired keyframe.
-  void backend_on_keyframe(
+  // Graph + recognition-index insertion for a retired keyframe (caller
+  // holds the exclusive map lock — the device lane reads both under the
+  // shared one).  Returns the new keyframe's graph id.
+  int backend_insert_keyframe(
       const FrameState& fs,
       std::vector<backend::KeyframeObservation> observations);
-  std::optional<Vec3> world_point_from_depth(const FrameInput& frame,
-                                             double u, double v,
-                                             const SE3& pose_wc) const;
+  // Loop detection + job-snapshot freezing for the keyframe just
+  // inserted.  Read-only over map/graph/index, so it runs *outside* the
+  // exclusive lock (this stage is their sole writer) — a keyframe must
+  // not stall every session's matching on the shared device lane.
+  void backend_freeze_job(int kf_id, const FrameState& fs);
+  // Depth unprojection at pixel (u, v): camera-frame 3D, or nullopt on a
+  // sensor hole / out-of-range depth.  World position = pose_wc * result.
+  std::optional<Vec3> camera_point_from_depth(const FrameInput& frame,
+                                              double u, double v) const;
 
   // Motion prior for the next frame (constant-velocity extrapolation).
   SE3 predicted_pose_cw() const;
@@ -315,7 +400,24 @@ class Tracker {
   // at the cost of a one-frame-staler prediction — which the gate's
   // search window absorbs.
   void publish_gate_prior(const FrameState& fs);
-  std::optional<SE3> gate_prior_for(int frame_index) const;
+  // What the slot says about this frame: a usable prior pose, or the
+  // explicit "the publishing frame was lost" signal that routes match()
+  // into the relocalization tier.
+  struct GatePrior {
+    std::optional<SE3> pose_cw;
+    bool lost = false;
+    int lost_streak = 0;  // consecutive lost retirements at publication
+  };
+  GatePrior gate_prior_for(int frame_index) const;
+
+  // Post-loss recovery: query the keyframe-recognition index with this
+  // frame's descriptors and match against the best keyframe's local
+  // neighbourhood only.  Returns true when it produced fs.matches (tier
+  // kRelocIndex); false routes the frame to the brute-force fallback.
+  // Caller holds the shared map lock (reads the graph + index + map).
+  bool match_against_reloc_index(FrameState& fs,
+                                 std::span<const Descriptor256> query,
+                                 double& match_ms);
 
   PinholeCamera camera_;
   std::unique_ptr<FeatureBackend> backend_;
@@ -325,6 +427,7 @@ class Tracker {
   SE3 last_pose_cw_;
   SE3 prev_pose_cw_;        // pose two frames back (for the velocity)
   bool have_velocity_ = false;
+  int lost_streak_ = 0;     // consecutive lost retirements (reloc gating)
   int next_index_ = 0;      // assigned by begin_frame (feed order)
   int frame_index_ = 0;     // frames retired through update_map
   std::vector<TrackResult> trajectory_;
@@ -341,16 +444,24 @@ class Tracker {
     std::int64_t for_frame = -1;
     SE3 pose_cw;
     bool valid = false;
+    int lost_streak = 0;  // see GatePrior
   };
   GatePriorSlot gate_prior_[2];
   mutable std::mutex gate_prior_mutex_;
 
   // --- local-mapping backend state ---------------------------------------
-  // The graph is mutated only by update_map() (the single map-writing
-  // stage) and read by build_snapshot() from that same stage, so it needs
-  // no lock of its own.  The job slots below are the tracker/worker
-  // handshake and live under backend_mutex_.
+  // The graph and recognition index are mutated only by update_map() (the
+  // single map-writing stage) *inside the exclusive map lock*, and read by
+  // match()'s relocalization tier on the device lane under the shared
+  // lock — the map mutex doubles as their reader/writer guard.  The job
+  // slots below are the tracker/worker handshake and live under
+  // backend_mutex_.
   backend::KeyframeGraph kf_graph_;
+  backend::KeyframeIndex kf_index_;
+  // Loop-closure detection cooldown: suppressed until this frame index
+  // (set when a correction applies; the corrected map needs new keyframes
+  // before a second detection means anything).
+  int loop_cooldown_until_ = 0;
   enum class BackendJobState { kIdle, kSnapshotReady, kRunning, kDeltaReady };
   mutable std::mutex backend_mutex_;
   BackendJobState backend_state_ = BackendJobState::kIdle;

@@ -9,7 +9,7 @@ namespace {
 std::vector<KeyframeObservation> obs_range(std::int64_t first, int count) {
   std::vector<KeyframeObservation> obs;
   for (int i = 0; i < count; ++i)
-    obs.push_back({first + i, Vec2{double(i), double(i)}});
+    obs.push_back({first + i, Vec2{double(i), double(i)}, {}, {}});
   return obs;
 }
 
@@ -55,8 +55,9 @@ TEST(KeyframeGraph, EdgesBelowThresholdAreNotCreated) {
 
 TEST(KeyframeGraph, UnsortedObservationsAreSortedOnInsert) {
   KeyframeGraph graph(low_threshold());
-  std::vector<KeyframeObservation> obs = {{7, Vec2{}}, {3, Vec2{}},
-                                          {5, Vec2{}}};
+  std::vector<KeyframeObservation> obs = {{7, Vec2{}, {}, {}},
+                                          {3, Vec2{}, {}, {}},
+                                          {5, Vec2{}, {}, {}}};
   graph.add_keyframe(0, SE3{}, obs);
   const Keyframe& kf = graph.keyframe(0);
   EXPECT_EQ(kf.observations[0].point_id, 3);

@@ -33,7 +33,7 @@ struct World {
       for (std::size_t j = 0; j < points.size(); ++j) {
         const auto px = camera.project(pose * points[j]);
         if (!px) continue;
-        obs.push_back({ids[j], *px});
+        obs.push_back({ids[j], *px, {}, {}});
       }
       graph.add_keyframe(/*frame_index=*/i * 10, pose, std::move(obs));
     }
@@ -137,7 +137,8 @@ TEST(BackendDelta, FusesDuplicatePointsKeepingTheProvenMember) {
   {
     const auto px = w.camera.project(w.graph.keyframe(2).pose_cw * base);
     ASSERT_TRUE(px.has_value());
-    std::vector<KeyframeObservation> obs = {{dup, *px}, {w.ids[0], *px}};
+    std::vector<KeyframeObservation> obs = {{dup, *px, {}, {}},
+                                            {w.ids[0], *px, {}, {}}};
     w.graph.add_keyframe(30, w.graph.keyframe(2).pose_cw, std::move(obs));
   }
 

@@ -1,0 +1,244 @@
+// Loop-closure job: detection over the recognition index, P3P
+// verification, pose-graph correction, and the apply-side rebase of the
+// live end (post-freeze points and keyframes ride loop_adjust).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "backend/local_mapper.h"
+#include "../test_util.h"
+
+namespace eslam::backend {
+namespace {
+
+constexpr int kScenePoints = 40;
+constexpr int kMidKeyframes = 5;
+
+// A session that drifted around a loop:
+//   kf0, kf1   — the start region, observing scene-A points at TRUE poses;
+//   kf2..kf6   — the middle of the lap, drifting progressively, each
+//                observing its own dummy points;
+//   kf7        — the revisit: TRUE camera back near kf0 (it re-detects
+//                scene A's corners: same descriptors, pixels projected
+//                from the TRUE pose) but its STORED pose carries the
+//                accumulated drift, and its matched points were created as
+//                drifted duplicates.
+struct LoopWorld {
+  PinholeCamera camera = PinholeCamera::tum_freiburg1();
+  Map map;
+  KeyframeGraph graph;
+  KeyframeIndex index;
+  BackendOptions options;
+
+  std::vector<Vec3> scene;                    // scene-A true positions
+  std::vector<Descriptor256> scene_desc;
+  std::vector<std::int64_t> dup_ids;          // kf7's drifted duplicates
+  SE3 true_query_pose;                        // kf7 truth (world-to-camera)
+  SE3 drift;                                  // world-frame drift at kf7
+  int query_kf = -1;
+  int candidate_kf = -1;
+
+  LoopWorld() {
+    eslam::testing::rng(99);
+    options.enabled = true;
+    options.loop.enabled = true;
+    options.loop.min_keyframes = 5;
+    options.loop.min_frame_gap = 60;
+    options.loop.min_inliers = 20;
+    // Let the verified loop edge dominate the odometry chain so the
+    // corrected query pose lands near the P3P estimate.
+    options.loop.loop_edge_weight_scale = 50.0;
+    // The synthetic covisible reference below shares point ids but not
+    // descriptors with the query, so its index score is near zero; the
+    // default outrank gate would trivially pass — keep it anyway.
+    options.loop.covis_score_ratio = 1.05;
+
+    for (int j = 0; j < kScenePoints; ++j) {
+      scene.push_back(Vec3{eslam::testing::uniform(-1.4, 1.4),
+                           eslam::testing::uniform(-1.0, 1.0),
+                           eslam::testing::uniform(2.0, 4.5)});
+      scene_desc.push_back(eslam::testing::random_descriptor());
+    }
+
+    // Start region: two keyframes at truth, both observing all of scene A
+    // (covisible with each other).
+    std::vector<std::int64_t> scene_ids;
+    for (int j = 0; j < kScenePoints; ++j)
+      scene_ids.push_back(map.add_point(scene[static_cast<std::size_t>(j)],
+                                        scene_desc[static_cast<std::size_t>(j)],
+                                        0));
+    for (int k = 0; k < 2; ++k) {
+      const SE3 pose{Mat3::identity(), Vec3{0.05 * k, 0, 0}};
+      add_kf(pose, scene_ids, scene_desc, /*frame=*/k * 10);
+    }
+    candidate_kf = 0;
+
+    // Middle of the lap: drifting keyframes over private dummy points.
+    for (int k = 0; k < kMidKeyframes; ++k) {
+      const double mag = 0.03 * (k + 1);
+      const SE3 true_pose{axis_rotation(1, 0.5 * (k + 1)),
+                          Vec3{0.4 * (k + 1), 0, 0.2 * (k + 1)}};
+      const SE3 stored = SE3::exp(Vec6{mag, 0, 0.5 * mag, 0, 0, 0}) *
+                         true_pose;
+      std::vector<std::int64_t> ids;
+      std::vector<Descriptor256> descs;
+      for (int j = 0; j < 30; ++j) {
+        const Vec3 p_cam{eslam::testing::uniform(-1.0, 1.0),
+                         eslam::testing::uniform(-0.8, 0.8),
+                         eslam::testing::uniform(2.0, 4.0)};
+        descs.push_back(eslam::testing::random_descriptor());
+        ids.push_back(map.add_point(stored.inverse() * p_cam, descs.back(),
+                                    20 + k * 10));
+      }
+      add_kf(stored, ids, descs, /*frame=*/20 + k * 10);
+    }
+
+    // The revisit: truth back at the start, stored pose drifted.
+    true_query_pose = SE3{Mat3::identity(), Vec3{0.02, 0.01, -0.03}};
+    drift = SE3::exp(Vec6{0.25, -0.1, 0.18, 0.04, 0.1, -0.03});
+    const SE3 stored_query = true_query_pose * drift;  // pose_cw * world-drift
+    // Its matched points: drifted duplicates of scene A, as the tracker
+    // would have created them from depth at the drifted pose — the camera-
+    // frame geometry is TRUE, lifted into the drifted world frame, so the
+    // recorded pixels equal the true projections.
+    std::vector<Descriptor256> dup_desc;
+    for (int j = 0; j < kScenePoints; ++j) {
+      const Vec3 p_cam = true_query_pose * scene[static_cast<std::size_t>(j)];
+      dup_desc.push_back(scene_desc[static_cast<std::size_t>(j)]);
+      dup_ids.push_back(
+          map.add_point(stored_query.inverse() * p_cam, dup_desc.back(), 90));
+    }
+    // Covisibility with the keyframe just before the revisit (shared
+    // point ids), so the query is not an isolated graph node.  Its
+    // descriptors are distinct — a different viewpoint of the same
+    // corners — so it does not outscore the true candidate in the index.
+    {
+      std::vector<std::int64_t> shared(dup_ids.begin(), dup_ids.begin() + 20);
+      std::vector<Descriptor256> shared_desc;
+      for (int j = 0; j < 20; ++j)
+        shared_desc.push_back(eslam::testing::random_descriptor());
+      const SE3 near_query =
+          SE3{Mat3::identity(), Vec3{0.06, 0.0, 0.02}} * stored_query;
+      add_kf(near_query, shared, shared_desc, /*frame=*/85);
+    }
+    query_kf = add_kf(stored_query, dup_ids, dup_desc, /*frame=*/95);
+  }
+
+  // Adds a keyframe at `stored_pose` observing `ids`; pixels and
+  // camera-frame points are the stored pose's view of the stored
+  // positions — which, for the drifted duplicates, equals the true
+  // camera's view by construction.
+  int add_kf(const SE3& stored_pose, const std::vector<std::int64_t>& ids,
+             const std::vector<Descriptor256>& descs, int frame) {
+    std::vector<KeyframeObservation> obs;
+    for (std::size_t j = 0; j < ids.size(); ++j) {
+      const auto index = map.index_of(ids[j]);
+      if (!index) continue;
+      const Vec3 p_cam = stored_pose * map.point(*index).position;
+      const auto px = camera.project(p_cam);
+      if (!px) continue;
+      obs.push_back({ids[j], *px, descs[j], p_cam});
+    }
+    const int id = graph.add_keyframe(frame, stored_pose, std::move(obs));
+    index_insert(id);
+    return id;
+  }
+
+  void index_insert(int id) {
+    index.add_keyframe(id, graph.keyframe(id).observations);
+  }
+};
+
+TEST(LoopClosure, DetectsTheRevisitAndOnlyTheRevisit) {
+  LoopWorld w;
+  const int candidate =
+      detect_loop_candidate(w.graph, w.index, w.query_kf, w.options.loop);
+  // kf0 or kf1 both carry scene A; either is a correct recognition (the
+  // frame gap excludes everything recent, covisibility excludes kf6).
+  EXPECT_TRUE(candidate == 0 || candidate == 1) << "candidate " << candidate;
+
+  // A mid-lap keyframe over private points must not detect anything.
+  const int mid = 3;
+  EXPECT_EQ(detect_loop_candidate(w.graph, w.index, mid, w.options.loop), -1);
+}
+
+TEST(LoopClosure, VerifiesAndCorrectsTheQueryPose) {
+  LoopWorld w;
+  BackendSnapshot snapshot;
+  ASSERT_TRUE(build_loop_snapshot(w.graph, w.map, w.camera, w.options,
+                                  w.query_kf, w.candidate_kf,
+                                  /*snapshot_frame=*/95, snapshot));
+  ASSERT_TRUE(snapshot.loop.has_value());
+  EXPECT_EQ(snapshot.loop->query_kf, w.query_kf);
+  EXPECT_EQ(snapshot.loop->max_point_id, w.map.points().back().id);
+
+  const BackendDelta delta = optimize_snapshot(snapshot, w.options);
+  ASSERT_TRUE(delta.loop_job);
+  ASSERT_TRUE(delta.loop_closed);
+  EXPECT_GE(delta.loop_inliers, w.options.loop.min_inliers);
+  EXPECT_TRUE(delta.pose_graph.converged);
+
+  // The corrected query pose must be far closer to the truth than the
+  // drifted one was.
+  SE3 corrected;
+  bool found = false;
+  for (const auto& [id, pose] : delta.keyframe_poses)
+    if (id == w.query_kf) {
+      corrected = pose;
+      found = true;
+    }
+  ASSERT_TRUE(found);
+  const double before =
+      (w.graph.keyframe(w.query_kf).pose_cw.translation() -
+       w.true_query_pose.translation()).norm();
+  const double after =
+      (corrected.translation() - w.true_query_pose.translation()).norm();
+  EXPECT_LT(after, before * 0.3) << "before " << before << " after " << after;
+}
+
+TEST(LoopClosure, ApplyRebasesPostFreezeStateWithTheLiveEnd) {
+  LoopWorld w;
+  BackendSnapshot snapshot;
+  ASSERT_TRUE(build_loop_snapshot(w.graph, w.map, w.camera, w.options,
+                                  w.query_kf, w.candidate_kf, 95, snapshot));
+  const BackendDelta delta = optimize_snapshot(snapshot, w.options);
+  ASSERT_TRUE(delta.loop_closed);
+
+  // Things the snapshot could not know about: a point created after the
+  // freeze and a keyframe inserted after it.
+  const Vec3 fresh_pos{0.3, 0.2, 2.5};
+  const std::int64_t fresh_id =
+      w.map.add_point(fresh_pos, eslam::testing::random_descriptor(), 96);
+  const SE3 fresh_pose = w.graph.keyframe(w.query_kf).pose_cw;
+  const int fresh_kf = w.graph.add_keyframe(97, fresh_pose, {});
+
+  const ApplyOutcome outcome = apply_delta(delta, w.map, w.graph);
+  EXPECT_TRUE(outcome.loop_applied);
+  EXPECT_TRUE(outcome.map_changed);
+  EXPECT_GT(outcome.points_moved, 0);
+
+  // The post-freeze point rode the live-end correction...
+  const auto fresh_index = w.map.index_of(fresh_id);
+  ASSERT_TRUE(fresh_index.has_value());
+  const Vec3 expected = outcome.loop_adjust * fresh_pos;
+  EXPECT_LT((w.map.point(*fresh_index).position - expected).max_abs(), 1e-12);
+  // ...and so did the post-freeze keyframe (projection-invariant rebase).
+  const SE3 expected_pose = fresh_pose * outcome.loop_adjust.inverse();
+  EXPECT_LT((w.graph.keyframe(fresh_kf).pose_cw.translation() -
+             expected_pose.translation()).max_abs(),
+            1e-12);
+
+  // The drifted duplicates moved toward their true scene-A positions.
+  double err = 0;
+  for (std::size_t j = 0; j < w.dup_ids.size(); ++j) {
+    const auto index = w.map.index_of(w.dup_ids[j]);
+    ASSERT_TRUE(index.has_value());
+    err += (w.map.point(*index).position - w.scene[j]).norm();
+  }
+  err /= static_cast<double>(w.dup_ids.size());
+  EXPECT_LT(err, 0.1) << "mean duplicate error after correction: " << err;
+}
+
+}  // namespace
+}  // namespace eslam::backend

@@ -1,0 +1,163 @@
+// Pose-graph optimizer: adjoint identity, recovery of a known optimum
+// from drifted initial poses, gauge fixing, and refusal of gauge-free
+// problems.
+#include "backend/pose_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "../test_util.h"
+
+namespace eslam::backend {
+namespace {
+
+// Ground truth: poses around a planar circle with tangential yaw, the
+// shape a loop-revisit trajectory produces.
+std::vector<SE3> circle_truth(int n) {
+  std::vector<SE3> poses;
+  for (int i = 0; i < n; ++i) {
+    const double theta = 2.0 * M_PI * i / n;
+    const Mat3 r = axis_rotation(1, theta);
+    poses.push_back(SE3{r, Vec3{std::sin(theta), 0.0, -std::cos(theta)}});
+  }
+  return poses;
+}
+
+// Edges measured from the TRUE poses: consecutive chain + the closing
+// edge.  With exact measurements the global optimum reproduces the truth.
+std::vector<PoseGraphEdge> exact_edges(const std::vector<SE3>& truth) {
+  std::vector<PoseGraphEdge> edges;
+  const int n = static_cast<int>(truth.size());
+  for (int i = 0; i + 1 < n; ++i)
+    edges.push_back({i, i + 1,
+                     truth[static_cast<std::size_t>(i)] *
+                         truth[static_cast<std::size_t>(i + 1)].inverse(),
+                     20.0});
+  edges.push_back({n - 1, 0,
+                   truth[static_cast<std::size_t>(n - 1)] * truth[0].inverse(),
+                   50.0});
+  return edges;
+}
+
+double translation_error(const SE3& a, const SE3& b) {
+  return (a.translation() - b.translation()).norm();
+}
+
+TEST(PoseGraph, AdjointMatchesConjugation) {
+  eslam::testing::rng(31);
+  const SE3 t = eslam::testing::random_pose(1.5, 1.0);
+  const Vec6 xi{0.01, -0.02, 0.015, 0.008, -0.012, 0.02};
+  // T exp(xi) T^{-1} = exp(Ad(T) xi), exactly (not just to first order).
+  const Vec6 lhs = (t * SE3::exp(xi) * t.inverse()).log();
+  const Vec6 rhs = se3_adjoint(t) * xi;
+  EXPECT_LT((lhs - rhs).max_abs(), 1e-9);
+}
+
+TEST(PoseGraph, RecoversKnownOptimumFromDrift) {
+  const int n = 12;
+  const std::vector<SE3> truth = circle_truth(n);
+  PoseGraphProblem problem;
+  problem.edges = exact_edges(truth);
+  problem.fixed.assign(static_cast<std::size_t>(n), false);
+  problem.fixed[0] = true;
+  // Drift: each pose perturbed by a twist growing along the chain, the
+  // shape odometry drift takes.  Pose 0 starts (and stays) at truth.
+  for (int i = 0; i < n; ++i) {
+    const double mag = 0.04 * i;
+    const Vec6 drift{mag, -0.5 * mag, 0.3 * mag,
+                     0.2 * mag, 0.1 * mag, -0.15 * mag};
+    problem.poses.push_back(SE3::exp(drift) *
+                            truth[static_cast<std::size_t>(i)]);
+  }
+  const double worst_before =
+      translation_error(problem.poses.back(), truth.back());
+  ASSERT_GT(worst_before, 0.1);
+
+  const PoseGraphResult result = solve_pose_graph(problem);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(result.final_cost, result.initial_cost * 1e-4);
+  for (int i = 0; i < n; ++i)
+    EXPECT_LT(translation_error(problem.poses[static_cast<std::size_t>(i)],
+                                truth[static_cast<std::size_t>(i)]),
+              1e-3)
+        << "pose " << i;
+}
+
+TEST(PoseGraph, FixedPoseNeverMoves) {
+  const int n = 8;
+  const std::vector<SE3> truth = circle_truth(n);
+  PoseGraphProblem problem;
+  problem.edges = exact_edges(truth);
+  problem.fixed.assign(static_cast<std::size_t>(n), false);
+  problem.fixed[0] = true;
+  for (int i = 0; i < n; ++i) {
+    const Vec6 drift = Vec6::constant(0.02 * i);
+    problem.poses.push_back(SE3::exp(drift) *
+                            truth[static_cast<std::size_t>(i)]);
+  }
+  const SE3 anchor = problem.poses[0];
+  solve_pose_graph(problem);
+  EXPECT_EQ(anchor.translation(), problem.poses[0].translation());
+  EXPECT_EQ(anchor.rotation(), problem.poses[0].rotation());
+}
+
+TEST(PoseGraph, RefusesGaugeFreeProblem) {
+  const int n = 5;
+  const std::vector<SE3> truth = circle_truth(n);
+  PoseGraphProblem problem;
+  problem.edges = exact_edges(truth);
+  problem.fixed.assign(static_cast<std::size_t>(n), false);  // no anchor
+  problem.poses = truth;
+  const std::vector<SE3> before = problem.poses;
+  const PoseGraphResult result = solve_pose_graph(problem);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.iterations, 0);
+  for (int i = 0; i < n; ++i)
+    EXPECT_EQ(before[static_cast<std::size_t>(i)].translation(),
+              problem.poses[static_cast<std::size_t>(i)].translation());
+}
+
+TEST(PoseGraph, DistributesLoopErrorTowardTheLiveEnd) {
+  // Odometry edges consistent with the drifted estimates (zero residual)
+  // plus one truthful loop edge: the correction must leave the anchored
+  // old end nearly untouched and move the live end most — drift flows out
+  // of the loop, not into the anchor.
+  const int n = 10;
+  const std::vector<SE3> truth = circle_truth(n);
+  PoseGraphProblem problem;
+  problem.fixed.assign(static_cast<std::size_t>(n), false);
+  problem.fixed[0] = true;
+  for (int i = 0; i < n; ++i) {
+    const double mag = 0.05 * i;
+    problem.poses.push_back(
+        SE3::exp(Vec6{mag, 0, 0.4 * mag, 0, 0.08 * mag, 0}) *
+        truth[static_cast<std::size_t>(i)]);
+  }
+  for (int i = 0; i + 1 < n; ++i)
+    problem.edges.push_back(
+        {i, i + 1,
+         problem.poses[static_cast<std::size_t>(i)] *
+             problem.poses[static_cast<std::size_t>(i + 1)].inverse(),
+         20.0});
+  problem.edges.push_back(
+      {n - 1, 0,
+       truth[static_cast<std::size_t>(n - 1)] * truth[0].inverse(), 200.0});
+
+  const std::vector<SE3> before = problem.poses;
+  const PoseGraphResult result = solve_pose_graph(problem);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(result.final_cost, result.initial_cost);
+  // The live end moved toward truth...
+  EXPECT_LT(translation_error(problem.poses.back(), truth.back()),
+            translation_error(before.back(), truth.back()) * 0.5);
+  // ...and moved further than the pose next to the anchor did.
+  EXPECT_GT((problem.poses.back().translation() -
+             before.back().translation()).norm(),
+            (problem.poses[1].translation() -
+             before[1].translation()).norm());
+}
+
+}  // namespace
+}  // namespace eslam::backend
