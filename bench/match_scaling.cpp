@@ -29,11 +29,14 @@
 // numbers informationally.
 #include <cstdio>
 #include <cstdlib>
+#include <random>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
+#include "core/simd_dispatch.h"
 #include "eval/ate.h"
+#include "features/simd_kernels.h"
 
 namespace {
 
@@ -80,6 +83,9 @@ struct Run {
   int lost_frames = 0;
   std::size_t final_map = 0;
   double ate_rmse = 0;
+  // Kept alive so the kernel probe below can run against the final map's
+  // real SoA descriptor planes rather than synthetic data.
+  std::unique_ptr<Tracker> tracker;
 };
 
 // Drives one tracker over the pre-rendered frames through the stage API;
@@ -90,8 +96,10 @@ Run run_tracker(const SyntheticSequence& seq,
                 const std::vector<FrameInput>& frames, bool use_gate,
                 bool probe_brute) {
   Run run;
-  Tracker tracker(seq.camera(), std::make_unique<SoftwareBackend>(),
-                  scaling_options(use_gate));
+  run.tracker = std::make_unique<Tracker>(seq.camera(),
+                                          std::make_unique<SoftwareBackend>(),
+                                          scaling_options(use_gate));
+  Tracker& tracker = *run.tracker;
   for (std::size_t i = 0; i < frames.size(); ++i) {
     FrameState fs = tracker.begin_frame(frames[i]);
     tracker.extract(fs);
@@ -254,6 +262,57 @@ int main(int argc, char** argv) {
   json.number("ate_rmse_m_gated", gated.ate_rmse);
   json.number("wall_ms_brute", brute_wall_ms);
   json.number("wall_ms_gated", gated_wall_ms);
+  // --- SIMD kernel probe over the final map -------------------------------
+  // Scalar vs dispatched one-query-vs-map Hamming over the gated run's
+  // real descriptor word planes — the per-point cost the brute tier pays
+  // per map point.  Bit-exactness is asserted first, so a dispatch
+  // regression fails the bench instead of skewing its numbers.
+  {
+    const Map& map = gated.tracker->map();
+    const DescriptorSoA& soa = map.descriptor_soa();
+    std::mt19937_64 rng(123);
+    std::vector<Descriptor256> queries(256);
+    for (auto& d : queries)
+      for (auto& w : d.words()) w = rng();
+    std::vector<std::uint16_t> dist_simd(map.size());
+    std::vector<std::uint16_t> dist_scalar(map.size());
+    for (const auto& q : queries) {
+      simd::hamming_block(soa, q, 0, map.size(), dist_simd.data());
+      simd::hamming_block_scalar(soa, q, 0, map.size(), dist_scalar.data());
+      if (dist_simd != dist_scalar) {
+        std::printf("FATAL: SIMD/scalar Hamming parity violated on the map\n");
+        return 1;
+      }
+    }
+    auto probe_ms = [&](auto&& kernel) {
+      std::vector<double> samples;
+      for (int rep = 0; rep < 7; ++rep) {
+        const WallTimer t;
+        for (const auto& q : queries) kernel(q);
+        samples.push_back(t.elapsed_ms());
+      }
+      std::sort(samples.begin(), samples.end());
+      return samples[samples.size() / 2];
+    };
+    const double kernel_scalar_ms = probe_ms([&](const Descriptor256& q) {
+      simd::hamming_block_scalar(soa, q, 0, map.size(), dist_scalar.data());
+    });
+    const double kernel_simd_ms = probe_ms([&](const Descriptor256& q) {
+      simd::hamming_block(soa, q, 0, map.size(), dist_simd.data());
+    });
+    const double kernel_speedup =
+        kernel_simd_ms > 0 ? kernel_scalar_ms / kernel_simd_ms : 0.0;
+    std::printf("kernel probe (%s, %zu-point map, 256 queries): scalar %.2f "
+                "ms, simd %.2f ms (%.1fx)\n",
+                simd::active_isa_name(), map.size(), kernel_scalar_ms,
+                kernel_simd_ms, kernel_speedup);
+    json.text("kernel_isa", simd::active_isa_name());
+    json.number("kernel_probe_map_size", static_cast<double>(map.size()));
+    json.number("kernel_scalar_ms", kernel_scalar_ms);
+    json.number("kernel_simd_ms", kernel_simd_ms);
+    json.number("kernel_simd_speedup", kernel_speedup);
+  }
+
   const std::string columns[] = {"frame", "map_size", "gated_run_fm_ms",
                                  "paired_brute_ms"};
   json.rows("curve", columns, curve);

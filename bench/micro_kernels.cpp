@@ -1,21 +1,37 @@
-// google-benchmark microbenchmarks for the hot kernels of the pipeline:
-// Hamming distance, descriptor computation and steering, FAST detection,
-// smoothing, brute-force matching and scene rendering.
-#include <benchmark/benchmark.h>
-
+// Microbenchmarks for the pipeline's hot kernels, emitting
+// BENCH_micro_kernels.json (uploaded by CI's bench-smoke job) so the
+// scalar-vs-SIMD kernel trajectory is tracked per run:
+//
+//   * one-query-vs-block Hamming popcount over the SoA word planes
+//     (features/simd_kernels), scalar vs runtime-dispatched, at map sizes
+//     1k / 4k / 16k;
+//   * candidate-list Hamming gather at gate-realistic list lengths;
+//   * batched map-point projection, scalar vs dispatched;
+//   * end-to-end brute-force matching, AoS reference vs SoA _into tier.
+//
+// Every timed comparison first asserts bit-exactness between the scalar
+// and dispatched kernels on the same inputs — a dispatch regression fails
+// the bench before it pollutes the numbers.
+#include <cstdio>
+#include <cstdlib>
 #include <random>
+#include <vector>
 
-#include "dataset/scene.h"
-#include "features/brief.h"
+#include "bench_util.h"
+#include "core/arena.h"
+#include "core/simd_dispatch.h"
+#include "features/descriptor_soa.h"
 #include "features/fast.h"
-#include "features/harris.h"
 #include "features/matcher.h"
-#include "features/orb.h"
+#include "features/simd_kernels.h"
+#include "geometry/camera.h"
+#include "geometry/wall_timer.h"
 #include "image/convolve.h"
 
 namespace {
 
 using namespace eslam;
+using bench::BenchJson;
 
 ImageU8 test_image(int w, int h) {
   ImageU8 img(w, h);
@@ -31,91 +47,224 @@ Descriptor256 random_descriptor(std::mt19937_64& rng) {
   return d;
 }
 
-void BM_HammingDistance(benchmark::State& state) {
-  std::mt19937_64 rng(1);
-  const Descriptor256 a = random_descriptor(rng);
-  const Descriptor256 b = random_descriptor(rng);
-  for (auto _ : state) benchmark::DoNotOptimize(hamming_distance(a, b));
-}
-BENCHMARK(BM_HammingDistance);
-
-void BM_DescriptorRotate(benchmark::State& state) {
-  std::mt19937_64 rng(2);
-  const Descriptor256 d = random_descriptor(rng);
-  int n = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(d.rotated_bytes(n));
-    n = (n + 1) % 32;
+void require(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "FATAL: kernel parity violated: %s\n", what);
+    std::exit(1);
   }
 }
-BENCHMARK(BM_DescriptorRotate);
 
-void BM_ComputeDescriptor(benchmark::State& state) {
-  const ImageU8 img = smooth_gaussian7_u8(test_image(128, 128));
-  const RsBriefPattern pattern;
-  for (auto _ : state)
-    benchmark::DoNotOptimize(compute_descriptor(img, 64, 64, pattern.base()));
+// Median-of-reps wall time for `fn`, in milliseconds.
+template <typename Fn>
+double time_ms(int reps, Fn&& fn) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    const WallTimer t;
+    fn();
+    samples.push_back(t.elapsed_ms());
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
 }
-BENCHMARK(BM_ComputeDescriptor);
-
-void BM_SteeredExactDescriptor(benchmark::State& state) {
-  const ImageU8 img = smooth_gaussian7_u8(test_image(128, 128));
-  const OriginalBriefPattern pattern;
-  for (auto _ : state)
-    benchmark::DoNotOptimize(orb_descriptor_exact(img, 64, 64, pattern, 0.7));
-}
-BENCHMARK(BM_SteeredExactDescriptor);
-
-void BM_FastDetect(benchmark::State& state) {
-  const ImageU8 img = test_image(640, 480);
-  for (auto _ : state) benchmark::DoNotOptimize(detect_fast(img, 20, 3));
-  state.SetItemsProcessed(state.iterations() * img.pixel_count());
-}
-BENCHMARK(BM_FastDetect);
-
-void BM_HarrisScore(benchmark::State& state) {
-  const ImageU8 img = test_image(64, 64);
-  for (auto _ : state)
-    benchmark::DoNotOptimize(harris_score_int(img, 32, 32));
-}
-BENCHMARK(BM_HarrisScore);
-
-void BM_Smooth7x7(benchmark::State& state) {
-  const ImageU8 img = test_image(640, 480);
-  for (auto _ : state) benchmark::DoNotOptimize(smooth_gaussian7_u8(img));
-  state.SetItemsProcessed(state.iterations() * img.pixel_count());
-}
-BENCHMARK(BM_Smooth7x7);
-
-void BM_BruteForceMatch(benchmark::State& state) {
-  std::mt19937_64 rng(3);
-  std::vector<Descriptor256> queries(256), train(
-      static_cast<std::size_t>(state.range(0)));
-  for (auto& d : queries) d = random_descriptor(rng);
-  for (auto& d : train) d = random_descriptor(rng);
-  for (auto _ : state)
-    benchmark::DoNotOptimize(match_descriptors(queries, train));
-  state.SetItemsProcessed(state.iterations() * queries.size() * train.size());
-}
-BENCHMARK(BM_BruteForceMatch)->Arg(512)->Arg(2048);
-
-void BM_OrbExtractVga(benchmark::State& state) {
-  BoxRoomOptions opts;
-  const BoxRoomScene scene(opts);
-  const PinholeCamera cam = PinholeCamera::tum_freiburg1();
-  const ImageU8 img = scene.render(cam, SE3{}, 0).gray;
-  OrbExtractor extractor;
-  for (auto _ : state) benchmark::DoNotOptimize(extractor.extract(img));
-}
-BENCHMARK(BM_OrbExtractVga)->Unit(benchmark::kMillisecond);
-
-void BM_SceneRenderVga(benchmark::State& state) {
-  const BoxRoomScene scene;
-  const PinholeCamera cam = PinholeCamera::tum_freiburg1();
-  for (auto _ : state) benchmark::DoNotOptimize(scene.render(cam, SE3{}, 0));
-}
-BENCHMARK(BM_SceneRenderVga)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  bench::print_header("micro kernels: scalar vs SIMD",
+                      "section 3.2 (BRIEF matcher) kernel throughput");
+  BenchJson json("micro_kernels");
+  json.text("isa", simd::active_isa_name());
+
+  std::mt19937_64 rng(42);
+  const int kQueries = 256;
+  std::vector<Descriptor256> queries(kQueries);
+  for (auto& d : queries) d = random_descriptor(rng);
+
+  // ---- Hamming block: one query vs a contiguous train block --------------
+  const std::vector<int> kTrainSizes = {1024, 4096, 16384};
+  std::vector<std::vector<double>> hamming_rows;
+  double speedup_at_4k = 0.0;
+  for (const int n : kTrainSizes) {
+    std::vector<Descriptor256> train(static_cast<std::size_t>(n));
+    for (auto& d : train) d = random_descriptor(rng);
+    DescriptorSoA soa;
+    soa.assign(train);
+
+    std::vector<std::uint16_t> dist_simd(train.size());
+    std::vector<std::uint16_t> dist_scalar(train.size());
+    for (const auto& q : queries) {
+      simd::hamming_block(soa, q, 0, train.size(), dist_simd.data());
+      simd::hamming_block_scalar(soa, q, 0, train.size(), dist_scalar.data());
+      require(dist_simd == dist_scalar, "hamming_block vs scalar");
+    }
+
+    const int reps = 9;
+    const double scalar_ms = time_ms(reps, [&] {
+      for (const auto& q : queries)
+        simd::hamming_block_scalar(soa, q, 0, train.size(),
+                                   dist_scalar.data());
+    });
+    const double simd_ms = time_ms(reps, [&] {
+      for (const auto& q : queries)
+        simd::hamming_block(soa, q, 0, train.size(), dist_simd.data());
+    });
+    const double speedup = simd_ms > 0 ? scalar_ms / simd_ms : 0.0;
+    if (n == 4096) speedup_at_4k = speedup;
+    const double pairs = static_cast<double>(kQueries) * n;
+    std::printf("hamming_block  n=%6d  scalar %7.3f ms  simd %7.3f ms  "
+                "speedup %5.2fx  (%5.0f Mpairs/s)\n",
+                n, scalar_ms, simd_ms, speedup,
+                pairs / (simd_ms * 1e3));
+    hamming_rows.push_back({static_cast<double>(n), scalar_ms, simd_ms,
+                            speedup, pairs / (simd_ms * 1e3)});
+  }
+  const std::string hamming_cols[] = {"train_size", "scalar_ms", "simd_ms",
+                                      "speedup", "simd_mpairs_per_s"};
+  json.rows("hamming_block", hamming_cols, hamming_rows);
+  json.number("hamming_speedup_at_4k", speedup_at_4k);
+
+  // ---- Hamming gather: candidate-list indices (the gated tier) -----------
+  {
+    const int n = 4096, kListLen = 48;
+    std::vector<Descriptor256> train(static_cast<std::size_t>(n));
+    for (auto& d : train) d = random_descriptor(rng);
+    DescriptorSoA soa;
+    soa.assign(train);
+    std::vector<std::int32_t> candidates(kListLen);
+    for (auto& c : candidates)
+      c = static_cast<std::int32_t>(rng() % static_cast<std::uint64_t>(n));
+    std::sort(candidates.begin(), candidates.end());
+
+    std::vector<std::uint16_t> dist_simd(candidates.size());
+    std::vector<std::uint16_t> dist_scalar(candidates.size());
+    for (const auto& q : queries) {
+      simd::hamming_gather(soa, q, candidates, dist_simd.data());
+      simd::hamming_gather_scalar(soa, q, candidates, dist_scalar.data());
+      require(dist_simd == dist_scalar, "hamming_gather vs scalar");
+    }
+    const int reps = 9, inner = 64;
+    const double scalar_ms = time_ms(reps, [&] {
+      for (int i = 0; i < inner; ++i)
+        for (const auto& q : queries)
+          simd::hamming_gather_scalar(soa, q, candidates, dist_scalar.data());
+    });
+    const double simd_ms = time_ms(reps, [&] {
+      for (int i = 0; i < inner; ++i)
+        for (const auto& q : queries)
+          simd::hamming_gather(soa, q, candidates, dist_simd.data());
+    });
+    std::printf("hamming_gather list=%d  scalar %7.3f ms  simd %7.3f ms  "
+                "speedup %5.2fx\n",
+                kListLen, scalar_ms, simd_ms,
+                simd_ms > 0 ? scalar_ms / simd_ms : 0.0);
+    json.number("gather_scalar_ms", scalar_ms);
+    json.number("gather_simd_ms", simd_ms);
+    json.number("gather_speedup", simd_ms > 0 ? scalar_ms / simd_ms : 0.0);
+  }
+
+  // ---- Batched projection (the match gate's kernel) ----------------------
+  {
+    const int n = 8192;
+    std::vector<double> xs(n), ys(n), zs(n);
+    std::mt19937_64 prng(9);
+    auto uniform = [&](double lo, double hi) {
+      return lo + (hi - lo) * (static_cast<double>(prng() >> 11) * 0x1p-53);
+    };
+    for (int i = 0; i < n; ++i) {
+      xs[static_cast<std::size_t>(i)] = uniform(-4.0, 4.0);
+      ys[static_cast<std::size_t>(i)] = uniform(-3.0, 3.0);
+      zs[static_cast<std::size_t>(i)] = uniform(-1.0, 9.0);  // some behind
+    }
+    const PinholeCamera cam = PinholeCamera::tum_freiburg1();
+    const SE3 pose;  // identity prior
+    const double margin = 24.0;
+    std::vector<double> u_a(xs.size()), v_a(xs.size());
+    std::vector<double> u_b(xs.size()), v_b(xs.size());
+    std::vector<std::uint8_t> keep_a(xs.size()), keep_b(xs.size());
+
+    simd::project_batch(xs, ys, zs, pose, cam, margin, u_a.data(), v_a.data(),
+                        keep_a.data());
+    simd::project_batch_scalar(xs, ys, zs, pose, cam, margin, u_b.data(),
+                               v_b.data(), keep_b.data());
+    require(keep_a == keep_b, "project_batch keep mask vs scalar");
+    for (std::size_t i = 0; i < xs.size(); ++i)
+      if (keep_a[i])
+        require(u_a[i] == u_b[i] && v_a[i] == v_b[i],
+                "project_batch uv vs scalar");
+
+    const int reps = 9, inner = 64;
+    const double scalar_ms = time_ms(reps, [&] {
+      for (int i = 0; i < inner; ++i)
+        simd::project_batch_scalar(xs, ys, zs, pose, cam, margin, u_b.data(),
+                                   v_b.data(), keep_b.data());
+    });
+    const double simd_ms = time_ms(reps, [&] {
+      for (int i = 0; i < inner; ++i)
+        simd::project_batch(xs, ys, zs, pose, cam, margin, u_a.data(),
+                            v_a.data(), keep_a.data());
+    });
+    std::printf("project_batch  n=%d  scalar %7.3f ms  simd %7.3f ms  "
+                "speedup %5.2fx\n",
+                n, scalar_ms, simd_ms,
+                simd_ms > 0 ? scalar_ms / simd_ms : 0.0);
+    json.number("project_scalar_ms", scalar_ms);
+    json.number("project_simd_ms", simd_ms);
+    json.number("project_speedup", simd_ms > 0 ? scalar_ms / simd_ms : 0.0);
+  }
+
+  // ---- End-to-end brute-force match: AoS reference vs SoA _into tier -----
+  {
+    const int n = 4096;
+    std::vector<Descriptor256> train(static_cast<std::size_t>(n));
+    for (auto& d : train) d = random_descriptor(rng);
+    DescriptorSoA soa;
+    soa.assign(train);
+    FeatureList features(queries.size());
+    for (std::size_t i = 0; i < queries.size(); ++i)
+      features[i].descriptor = queries[i];
+    const MatcherOptions options;
+    const TrainView view{train, &soa};
+    Arena arena;
+    std::vector<Match> out;
+
+    const std::vector<Match> reference =
+        match_descriptors(queries, train, options);
+    match_descriptors_into(features, view, options, &arena, out);
+    require(reference.size() == out.size(), "match_descriptors_into size");
+    for (std::size_t i = 0; i < out.size(); ++i)
+      require(reference[i].query == out[i].query &&
+                  reference[i].train == out[i].train &&
+                  reference[i].distance == out[i].distance &&
+                  reference[i].second_best == out[i].second_best,
+              "match_descriptors_into vs AoS reference");
+
+    const int reps = 9;
+    const double aos_ms = time_ms(
+        reps, [&] { (void)match_descriptors(queries, train, options); });
+    const double soa_ms = time_ms(reps, [&] {
+      match_descriptors_into(features, view, options, &arena, out);
+    });
+    std::printf("brute_match    n=%d  aos %7.3f ms  soa %7.3f ms  "
+                "speedup %5.2fx\n",
+                n, aos_ms, soa_ms, soa_ms > 0 ? aos_ms / soa_ms : 0.0);
+    json.number("brute_match_aos_ms", aos_ms);
+    json.number("brute_match_soa_ms", soa_ms);
+    json.number("brute_match_speedup", soa_ms > 0 ? aos_ms / soa_ms : 0.0);
+  }
+
+  // ---- Legacy scalar micro kernels (continuity with earlier runs) --------
+  {
+    const ImageU8 img = test_image(640, 480);
+    const double fast_ms = time_ms(9, [&] { (void)detect_fast(img, 20, 3); });
+    const double smooth_ms =
+        time_ms(9, [&] { (void)smooth_gaussian7_u8(img); });
+    std::printf("fast_detect vga %.3f ms   smooth7x7 vga %.3f ms\n", fast_ms,
+                smooth_ms);
+    json.number("fast_detect_vga_ms", fast_ms);
+    json.number("smooth7_vga_ms", smooth_ms);
+  }
+
+  json.write();
+  return 0;
+}

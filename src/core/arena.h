@@ -1,0 +1,193 @@
+// Slab-chained bump allocator for per-frame scratch memory.
+//
+// The tracking hot path allocates the same family of transient buffers
+// every frame (distance tables, gate grids, RANSAC index sets).  Instead
+// of round-tripping each one through the global heap, every in-flight
+// frame owns an Arena: allocation is a pointer bump, and begin_frame()
+// resets the whole arena in O(1) while keeping the slabs.  After the
+// first few frames the slab chain has grown to the steady-state
+// high-water mark and the tracker performs zero heap allocations per
+// frame (asserted by tests/runtime/steady_state_alloc_test.cpp).
+//
+// Not thread-safe: an arena belongs to exactly one frame, and a frame is
+// touched by one thread at a time (the scheduler hands the whole
+// FrameState across the device/ARM boundary).  Only trivially
+// destructible types may be placed in an arena — reset() never runs
+// destructors.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <span>
+#include <type_traits>
+
+#include "geometry/assert.h"
+
+namespace eslam {
+
+class Arena {
+  struct Slab_;
+
+ public:
+  struct Stats {
+    std::size_t alloc_calls = 0;     // bumps since construction
+    std::size_t live_bytes = 0;      // bytes handed out since last reset
+    std::size_t high_water_bytes = 0;  // max live_bytes ever observed
+    std::size_t slab_count = 0;      // slabs currently chained
+    std::size_t slab_bytes = 0;      // total payload capacity of all slabs
+    std::size_t slab_allocs = 0;     // heap allocations for slab growth
+  };
+
+  static constexpr std::size_t kDefaultSlabBytes = 256 * 1024;
+
+  explicit Arena(std::size_t slab_bytes = kDefaultSlabBytes)
+      : slab_bytes_(slab_bytes < kMinSlabBytes ? kMinSlabBytes : slab_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  ~Arena() {
+    Slab* s = head_;
+    while (s != nullptr) {
+      Slab* next = s->next;
+      ::operator delete(static_cast<void*>(s));
+      s = next;
+    }
+  }
+
+  // Raw bump allocation.  Alignment must be a power of two.
+  void* allocate(std::size_t bytes, std::size_t align = alignof(std::max_align_t)) {
+    ESLAM_ASSERT(align != 0 && (align & (align - 1)) == 0,
+                 "arena alignment must be a power of two");
+    if (bytes == 0) bytes = 1;
+    ++stats_.alloc_calls;
+    while (true) {
+      if (current_ != nullptr) {
+        const std::uintptr_t base =
+            reinterpret_cast<std::uintptr_t>(current_->payload());
+        const std::uintptr_t cursor = base + current_->used;
+        const std::uintptr_t aligned = (cursor + (align - 1)) & ~(align - 1);
+        const std::uintptr_t end = base + current_->capacity;
+        if (aligned + bytes <= end) {
+          current_->used = (aligned + bytes) - base;
+          stats_.live_bytes += bytes;
+          if (stats_.live_bytes > stats_.high_water_bytes)
+            stats_.high_water_bytes = stats_.live_bytes;
+          return reinterpret_cast<void*>(aligned);
+        }
+        // Current slab is full: advance to an already-chained slab if one
+        // exists (reset() rewinds to the head but keeps the chain).
+        if (current_->next != nullptr) {
+          current_ = current_->next;
+          current_->used = 0;
+          continue;
+        }
+      }
+      grow(bytes + align);
+    }
+  }
+
+  // Typed scratch span.  The memory is uninitialised unless a fill value
+  // is supplied; it stays valid until the next reset().
+  template <typename T>
+  std::span<T> alloc_span(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory never runs destructors");
+    if (count == 0) return {};
+    T* p = static_cast<T*>(allocate(count * sizeof(T), alignof(T)));
+    return {p, count};
+  }
+
+  template <typename T>
+  std::span<T> alloc_span(std::size_t count, const T& fill) {
+    std::span<T> s = alloc_span<T>(count);
+    for (T& v : s) v = fill;
+    return s;
+  }
+
+  // Rewind everything in O(1).  Slabs are kept for reuse.
+  void reset() {
+    current_ = head_;
+    if (current_ != nullptr) current_->used = 0;
+    stats_.live_bytes = 0;
+  }
+
+  // Mark/rewind for nested scratch scopes within a frame.
+  struct Marker {
+    Slab_* slab;
+    std::size_t used;
+    std::size_t live_bytes;
+  };
+
+  Marker mark() const {
+    return Marker{current_, current_ != nullptr ? current_->used : 0,
+                  stats_.live_bytes};
+  }
+
+  void rewind(const Marker& m) {
+    if (m.slab == nullptr) {
+      reset();
+      return;
+    }
+    current_ = m.slab;
+    current_->used = m.used;
+    stats_.live_bytes = m.live_bytes;
+  }
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  static constexpr std::size_t kMinSlabBytes = 4 * 1024;
+
+  struct Slab_ {
+    Slab_* next = nullptr;
+    std::size_t capacity = 0;  // payload bytes
+    std::size_t used = 0;
+    std::byte* payload() {
+      return reinterpret_cast<std::byte*>(this) + sizeof(Slab_);
+    }
+  };
+  using Slab = Slab_;
+
+  void grow(std::size_t min_bytes) {
+    std::size_t capacity = slab_bytes_;
+    if (capacity < min_bytes) capacity = min_bytes;
+    void* raw = ::operator new(sizeof(Slab) + capacity);
+    Slab* slab = new (raw) Slab{};
+    slab->capacity = capacity;
+    ++stats_.slab_allocs;
+    ++stats_.slab_count;
+    stats_.slab_bytes += capacity;
+    if (head_ == nullptr) {
+      head_ = slab;
+    } else {
+      // Chain after the current slab so the bump cursor reaches it next.
+      Slab* tail = current_ != nullptr ? current_ : head_;
+      slab->next = tail->next;
+      tail->next = slab;
+    }
+    current_ = slab;
+    current_->used = 0;
+  }
+
+  std::size_t slab_bytes_;
+  Slab* head_ = nullptr;
+  Slab* current_ = nullptr;
+  Stats stats_;
+};
+
+// RAII scratch scope: rewinds the arena to its construction point.
+class ArenaScope {
+ public:
+  explicit ArenaScope(Arena& arena) : arena_(arena), mark_(arena.mark()) {}
+  ~ArenaScope() { arena_.rewind(mark_); }
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+ private:
+  Arena& arena_;
+  Arena::Marker mark_;
+};
+
+}  // namespace eslam

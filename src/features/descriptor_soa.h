@@ -1,0 +1,58 @@
+// Structure-of-arrays descriptor storage: word plane w holds word w of
+// every descriptor contiguously (plane(w)[i] == descriptor i, word w).
+// The SIMD Hamming kernels stream one query word against a whole plane
+// with aligned vector loads, which the AoS Descriptor256 layout cannot
+// offer.  The map keeps a DescriptorSoA mirror of its descriptor cache
+// (same order, same epoch), so matching reads both views of the same
+// data without any per-frame conversion.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "features/descriptor.h"
+
+namespace eslam {
+
+class DescriptorSoA {
+ public:
+  static constexpr int kWords = Descriptor256::kWords;
+
+  std::size_t size() const { return planes_[0].size(); }
+  bool empty() const { return planes_[0].empty(); }
+
+  void clear() {
+    for (auto& p : planes_) p.clear();
+  }
+
+  void reserve(std::size_t n) {
+    for (auto& p : planes_) p.reserve(n);
+  }
+
+  void push_back(const Descriptor256& d) {
+    for (int w = 0; w < kWords; ++w) planes_[w].push_back(d.words()[w]);
+  }
+
+  void assign(std::span<const Descriptor256> descriptors) {
+    clear();
+    reserve(descriptors.size());
+    for (const Descriptor256& d : descriptors) push_back(d);
+  }
+
+  const std::uint64_t* plane(int w) const {
+    return planes_[static_cast<std::size_t>(w)].data();
+  }
+
+  Descriptor256 get(std::size_t i) const {
+    Descriptor256 d;
+    for (int w = 0; w < kWords; ++w) d.words()[w] = planes_[w][i];
+    return d;
+  }
+
+ private:
+  std::array<std::vector<std::uint64_t>, kWords> planes_;
+};
+
+}  // namespace eslam

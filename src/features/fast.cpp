@@ -78,8 +78,15 @@ bool is_fast_corner_window(const std::uint8_t win[7][7], int threshold) {
 
 std::vector<Keypoint> detect_fast(const ImageU8& img, int threshold,
                                   int margin) {
-  ESLAM_ASSERT(margin >= 3, "margin must cover the FAST circle");
   std::vector<Keypoint> out;
+  detect_fast_into(img, threshold, margin, out);
+  return out;
+}
+
+void detect_fast_into(const ImageU8& img, int threshold, int margin,
+                      std::vector<Keypoint>& out) {
+  ESLAM_ASSERT(margin >= 3, "margin must cover the FAST circle");
+  out.clear();
   for (int y = margin; y < img.height() - margin; ++y)
     for (int x = margin; x < img.width() - margin; ++x)
       if (is_fast_corner(img, x, y, threshold)) {
@@ -88,7 +95,6 @@ std::vector<Keypoint> detect_fast(const ImageU8& img, int threshold,
         kp.y = y;
         out.push_back(kp);
       }
-  return out;
 }
 
 }  // namespace eslam

@@ -34,4 +34,8 @@ bool is_fast_corner_window(const std::uint8_t win[7][7], int threshold);
 std::vector<Keypoint> detect_fast(const ImageU8& img, int threshold,
                                   int margin = 3);
 
+// Same scan into a recycled vector (cleared first).
+void detect_fast_into(const ImageU8& img, int threshold, int margin,
+                      std::vector<Keypoint>& out);
+
 }  // namespace eslam

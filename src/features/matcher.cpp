@@ -1,8 +1,37 @@
 #include "features/matcher.h"
 
+#include <algorithm>
+
+#include "features/simd_kernels.h"
 #include "geometry/assert.h"
 
 namespace eslam {
+
+namespace {
+
+Arena& fallback_arena() {
+  thread_local Arena arena;
+  return arena;
+}
+
+// Minimum + runner-up selection over a distance buffer, scanning ascending
+// — identical update rule (and therefore identical lowest-index tie
+// winners) to match_one()/match_one_candidates().
+inline void select_best(const std::uint16_t* dist, std::size_t count,
+                        Match& m) {
+  for (std::size_t j = 0; j < count; ++j) {
+    const int d = dist[j];
+    if (d < m.distance) {
+      m.second_best = m.distance;
+      m.distance = d;
+      m.train = static_cast<int>(j);
+    } else if (d < m.second_best) {
+      m.second_best = d;
+    }
+  }
+}
+
+}  // namespace
 
 Match match_one(const Descriptor256& query,
                 std::span<const Descriptor256> train) {
@@ -134,6 +163,138 @@ std::vector<Match> match_candidates(std::span<const Descriptor256> queries,
     out.push_back(m);
   }
   return out;
+}
+
+void match_descriptors_into(std::span<const Feature> queries,
+                            const TrainView& train,
+                            const MatcherOptions& options, Arena* scratch,
+                            std::vector<Match>& out) {
+  out.clear();
+  if (train.empty()) return;
+  Arena& arena = scratch != nullptr ? *scratch : fallback_arena();
+  const ArenaScope scope(arena);
+  const std::span<std::uint16_t> dist =
+      arena.alloc_span<std::uint16_t>(train.size());
+  out.reserve(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const Descriptor256& qd = queries[i].descriptor;
+    Match m;
+    if (train.soa != nullptr) {
+      simd::hamming_block(*train.soa, qd, 0, train.size(), dist.data());
+      select_best(dist.data(), train.size(), m);
+    } else {
+      m = match_one(qd, train.aos);
+    }
+    m.query = static_cast<int>(i);
+    if (m.train < 0 || m.distance > options.max_distance) continue;
+    if (options.ratio < 1.0 && !(m.distance < options.ratio * m.second_best))
+      continue;
+    if (options.cross_check) {
+      // Back match over the query descriptors; same update rule as
+      // match_one().  Queries stay AoS (they live in the FeatureList), so
+      // this is a plain scalar scan — cross-check is off on the per-frame
+      // tracking tiers.
+      const Descriptor256& td = train.aos[static_cast<std::size_t>(m.train)];
+      Match back;
+      for (std::size_t j = 0; j < queries.size(); ++j) {
+        const int d = hamming_distance(td, queries[j].descriptor);
+        if (d < back.distance) {
+          back.second_best = back.distance;
+          back.distance = d;
+          back.train = static_cast<int>(j);
+        } else if (d < back.second_best) {
+          back.second_best = d;
+        }
+      }
+      if (back.train != static_cast<int>(i)) continue;
+      if (options.ratio < 1.0 &&
+          !(back.distance < options.ratio * back.second_best))
+        continue;
+    }
+    out.push_back(m);
+  }
+}
+
+void match_candidates_into(std::span<const Feature> queries,
+                           const TrainView& train,
+                           const CandidateSet& candidates,
+                           const MatcherOptions& options, Arena* scratch,
+                           std::vector<Match>& out) {
+  ESLAM_ASSERT(candidates.num_queries() == queries.size(),
+               "candidate set does not cover the query set");
+  out.clear();
+  if (train.empty() || queries.empty()) return;
+  Arena& arena = scratch != nullptr ? *scratch : fallback_arena();
+  const ArenaScope scope(arena);
+
+  std::size_t max_list = 0;
+  for (std::size_t q = 0; q < queries.size(); ++q)
+    max_list = std::max(max_list, candidates.candidates(q).size());
+  const std::span<std::uint16_t> dist =
+      arena.alloc_span<std::uint16_t>(max_list);
+
+  const std::span<Match> forward = arena.alloc_span<Match>(
+      queries.size(), Match{});
+  std::span<int> train_best_d, train_second_d;
+  std::span<std::int32_t> train_best_q;
+  if (options.cross_check) {
+    train_best_d = arena.alloc_span<int>(train.size(), 256);
+    train_second_d = arena.alloc_span<int>(train.size(), 256);
+    train_best_q = arena.alloc_span<std::int32_t>(train.size(), -1);
+  }
+
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const std::span<const std::int32_t> list = candidates.candidates(q);
+    if (list.empty()) continue;
+    if (train.soa != nullptr) {
+      simd::hamming_gather(*train.soa, queries[q].descriptor, list,
+                           dist.data());
+    } else {
+      for (std::size_t j = 0; j < list.size(); ++j)
+        dist[j] = static_cast<std::uint16_t>(hamming_distance(
+            queries[q].descriptor,
+            train.aos[static_cast<std::size_t>(list[j])]));
+    }
+    Match& m = forward[q];
+    for (std::size_t j = 0; j < list.size(); ++j) {
+      const int d = dist[j];
+      const std::int32_t idx = list[j];
+      if (d < m.distance) {
+        m.second_best = m.distance;
+        m.distance = d;
+        m.train = idx;
+      } else if (d < m.second_best) {
+        m.second_best = d;
+      }
+      if (options.cross_check) {
+        const std::size_t t = static_cast<std::size_t>(idx);
+        if (d < train_best_d[t]) {
+          train_second_d[t] = train_best_d[t];
+          train_best_d[t] = d;
+          train_best_q[t] = static_cast<std::int32_t>(q);
+        } else if (d < train_second_d[t]) {
+          train_second_d[t] = d;
+        }
+      }
+    }
+  }
+
+  out.reserve(queries.size());
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    Match m = forward[q];
+    m.query = static_cast<int>(q);
+    if (m.train < 0 || m.distance > options.max_distance) continue;
+    if (options.ratio < 1.0 && !(m.distance < options.ratio * m.second_best))
+      continue;
+    if (options.cross_check) {
+      const std::size_t t = static_cast<std::size_t>(m.train);
+      if (train_best_q[t] != static_cast<std::int32_t>(q)) continue;
+      if (options.ratio < 1.0 &&
+          !(train_best_d[t] < options.ratio * train_second_d[t]))
+        continue;
+    }
+    out.push_back(m);
+  }
 }
 
 }  // namespace eslam

@@ -14,7 +14,10 @@
 #include <span>
 #include <vector>
 
+#include "core/arena.h"
 #include "features/descriptor.h"
+#include "features/descriptor_soa.h"
+#include "features/keypoint.h"
 
 namespace eslam {
 
@@ -87,5 +90,40 @@ Match match_one(const Descriptor256& query,
 Match match_one_candidates(const Descriptor256& query,
                            std::span<const Descriptor256> train,
                            std::span<const std::int32_t> candidates);
+
+// ---- Zero-allocation / SIMD tier ------------------------------------------
+//
+// The _into variants are the steady-state hot path: queries come straight
+// from the frame's FeatureList (no staging copy of descriptors), train
+// descriptors are read through the SoA word planes with the vectorized
+// Hamming kernels when available, and all scratch lives in the caller's
+// arena.  Output semantics are bit-identical to the AoS functions above
+// (same distances, same lowest-index tie winners, same acceptance order) —
+// the tests in tests/features/simd_parity_test.cpp hold the two tiers
+// equal on randomized inputs.
+
+// Both views describe the same descriptor sequence; `soa` may be null, in
+// which case the AoS span is scanned pair-at-a-time (scalar fallback).
+struct TrainView {
+  std::span<const Descriptor256> aos;
+  const DescriptorSoA* soa = nullptr;
+
+  std::size_t size() const { return aos.size(); }
+  bool empty() const { return aos.empty(); }
+};
+
+// Brute-force tier into a recycled output vector.  `scratch` may be null
+// (an internal thread-local arena is used).
+void match_descriptors_into(std::span<const Feature> queries,
+                            const TrainView& train,
+                            const MatcherOptions& options, Arena* scratch,
+                            std::vector<Match>& out);
+
+// Windowed tier into a recycled output vector.
+void match_candidates_into(std::span<const Feature> queries,
+                           const TrainView& train,
+                           const CandidateSet& candidates,
+                           const MatcherOptions& options, Arena* scratch,
+                           std::vector<Match>& out);
 
 }  // namespace eslam

@@ -16,4 +16,15 @@ namespace eslam {
 std::vector<Keypoint> nms_3x3(const std::vector<Keypoint>& keypoints,
                               int width, int height);
 
+// Reusable scratch for nms_3x3_into: a dense keypoint-index grid, grown to
+// the largest image seen and restored to "empty" (-1) after every call, so
+// repeated calls never allocate.  Own one per extractor.
+struct NmsScratch {
+  std::vector<std::int32_t> grid;
+};
+
+// Same suppression into recycled buffers, identical output to nms_3x3().
+void nms_3x3_into(const std::vector<Keypoint>& keypoints, int width,
+                  int height, NmsScratch& scratch, std::vector<Keypoint>& out);
+
 }  // namespace eslam

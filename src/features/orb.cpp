@@ -21,30 +21,36 @@ OrbExtractor::OrbExtractor(const OrbConfig& config)
 }
 
 FeatureList OrbExtractor::extract(const ImageU8& image) {
-  stats_ = {};
-  const ImagePyramid pyramid(image, config_.levels, config_.scale);
-
   FeatureList all;
-  for (int level = 0; level < pyramid.levels(); ++level) {
-    const ImageU8& img = pyramid.level(level).image;
-    const double level_scale = pyramid.level(level).scale;
+  extract_into(image, all);
+  return all;
+}
+
+void OrbExtractor::extract_into(const ImageU8& image, FeatureList& out) {
+  stats_ = {};
+  out.clear();
+  pyramid_.rebuild(image, config_.levels, config_.scale);
+
+  for (int level = 0; level < pyramid_.levels(); ++level) {
+    const ImageU8& img = pyramid_.level(level).image;
+    const double level_scale = pyramid_.level(level).scale;
     if (img.width() <= 2 * config_.border || img.height() <= 2 * config_.border)
       continue;
 
     // FAST detection + Harris scoring on the raw level image.
-    std::vector<Keypoint> kps =
-        detect_fast(img, config_.fast_threshold, config_.border);
-    for (Keypoint& kp : kps) {
+    detect_fast_into(img, config_.fast_threshold, config_.border, raw_kps_);
+    for (Keypoint& kp : raw_kps_) {
       kp.level = level;
       kp.scale = level_scale;
       kp.score = harris_score_int(img, kp.x, kp.y);
     }
-    kps = nms_3x3(kps, img.width(), img.height());
-    stats_.detected += static_cast<int>(kps.size());
+    nms_3x3_into(raw_kps_, img.width(), img.height(), nms_grid_, nms_kps_);
+    stats_.detected += static_cast<int>(nms_kps_.size());
 
     // Descriptors and orientations use the smoothened image.
-    const ImageU8 smoothed = smooth_gaussian7_u8(img);
-    for (const Keypoint& kp_in : kps) {
+    smooth_gaussian7_u8_into(img, smooth_tmp_, smoothed_);
+    const ImageU8& smoothed = smoothed_;
+    for (const Keypoint& kp_in : nms_kps_) {
       Keypoint kp = kp_in;
       kp.angle = orientation_angle(smoothed, kp.x, kp.y);
       kp.orientation_label = discretize_orientation(kp.angle);
@@ -65,22 +71,21 @@ FeatureList OrbExtractor::extract(const ImageU8& image) {
           break;
       }
       f.keypoint = kp;
-      all.push_back(std::move(f));
+      out.push_back(std::move(f));
       ++stats_.described;
     }
   }
 
   // Filtering: keep the n_features best Harris scores across all levels
   // (what the 1024-entry heap does in hardware).
-  if (static_cast<int>(all.size()) > config_.n_features) {
-    std::nth_element(all.begin(), all.begin() + config_.n_features, all.end(),
+  if (static_cast<int>(out.size()) > config_.n_features) {
+    std::nth_element(out.begin(), out.begin() + config_.n_features, out.end(),
                      [](const Feature& a, const Feature& b) {
                        return a.keypoint.score > b.keypoint.score;
                      });
-    all.resize(static_cast<std::size_t>(config_.n_features));
+    out.resize(static_cast<std::size_t>(config_.n_features));
   }
-  stats_.kept = static_cast<int>(all.size());
-  return all;
+  stats_.kept = static_cast<int>(out.size());
 }
 
 }  // namespace eslam

@@ -10,6 +10,7 @@
 #include "features/brief.h"
 #include "features/fast.h"
 #include "features/keypoint.h"
+#include "features/nms.h"
 #include "image/pyramid.h"
 
 namespace eslam {
@@ -45,6 +46,12 @@ class OrbExtractor {
   // available via last_stats().
   FeatureList extract(const ImageU8& image);
 
+  // Same output into a recycled FeatureList.  The extractor recycles its
+  // pyramid, keypoint, NMS-grid, and smoothing buffers across calls, so a
+  // steady-state extraction performs zero heap allocations.  Not
+  // reentrant (the scratch is per-extractor state, like stats_).
+  void extract_into(const ImageU8& image, FeatureList& out);
+
   const OrbConfig& config() const { return config_; }
   const OrbExtractionStats& last_stats() const { return stats_; }
 
@@ -56,6 +63,13 @@ class OrbExtractor {
   RsBriefPattern rs_pattern_;
   OriginalBriefPattern orb_pattern_;
   OrbExtractionStats stats_;
+  // Per-frame scratch, reused across extract_into() calls.
+  ImagePyramid pyramid_;
+  std::vector<Keypoint> raw_kps_;
+  std::vector<Keypoint> nms_kps_;
+  NmsScratch nms_grid_;
+  Image<std::uint16_t> smooth_tmp_;
+  ImageU8 smoothed_;
 };
 
 }  // namespace eslam

@@ -1,0 +1,459 @@
+#include "features/simd_kernels.h"
+
+#include <bit>
+
+#include "core/simd_dispatch.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+#if defined(__aarch64__)
+#include <arm_neon.h>
+#endif
+
+namespace eslam::simd {
+
+// ---- Scalar reference paths -----------------------------------------------
+
+void hamming_block_scalar(const DescriptorSoA& train,
+                          const Descriptor256& query, std::size_t first,
+                          std::size_t count, std::uint16_t* out_dist) {
+  const std::uint64_t q0 = query.words()[0];
+  const std::uint64_t q1 = query.words()[1];
+  const std::uint64_t q2 = query.words()[2];
+  const std::uint64_t q3 = query.words()[3];
+  const std::uint64_t* p0 = train.plane(0) + first;
+  const std::uint64_t* p1 = train.plane(1) + first;
+  const std::uint64_t* p2 = train.plane(2) + first;
+  const std::uint64_t* p3 = train.plane(3) + first;
+  for (std::size_t j = 0; j < count; ++j) {
+    const int d = std::popcount(p0[j] ^ q0) + std::popcount(p1[j] ^ q1) +
+                  std::popcount(p2[j] ^ q2) + std::popcount(p3[j] ^ q3);
+    out_dist[j] = static_cast<std::uint16_t>(d);
+  }
+}
+
+void hamming_gather_scalar(const DescriptorSoA& train,
+                           const Descriptor256& query,
+                           std::span<const std::int32_t> candidates,
+                           std::uint16_t* out_dist) {
+  const std::uint64_t q0 = query.words()[0];
+  const std::uint64_t q1 = query.words()[1];
+  const std::uint64_t q2 = query.words()[2];
+  const std::uint64_t q3 = query.words()[3];
+  const std::uint64_t* p0 = train.plane(0);
+  const std::uint64_t* p1 = train.plane(1);
+  const std::uint64_t* p2 = train.plane(2);
+  const std::uint64_t* p3 = train.plane(3);
+  for (std::size_t j = 0; j < candidates.size(); ++j) {
+    const auto t = static_cast<std::size_t>(candidates[j]);
+    const int d = std::popcount(p0[t] ^ q0) + std::popcount(p1[t] ^ q1) +
+                  std::popcount(p2[t] ^ q2) + std::popcount(p3[t] ^ q3);
+    out_dist[j] = static_cast<std::uint16_t>(d);
+  }
+}
+
+void project_batch_scalar(std::span<const double> xs,
+                          std::span<const double> ys,
+                          std::span<const double> zs, const SE3& pose_cw,
+                          const PinholeCamera& camera, double margin,
+                          double* out_u, double* out_v,
+                          std::uint8_t* out_keep) {
+  const Mat3& r = pose_cw.rotation();
+  const Vec3& t = pose_cw.translation();
+  const double r00 = r(0, 0), r01 = r(0, 1), r02 = r(0, 2);
+  const double r10 = r(1, 0), r11 = r(1, 1), r12 = r(1, 2);
+  const double r20 = r(2, 0), r21 = r(2, 1), r22 = r(2, 2);
+  const double t0 = t[0], t1 = t[1], t2 = t[2];
+  const double fx = camera.fx(), fy = camera.fy();
+  const double cx = camera.cx(), cy = camera.cy();
+  const double u_min = -margin, u_max = camera.width() + margin;
+  const double v_min = -margin, v_max = camera.height() + margin;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double px = xs[i], py = ys[i], pz = zs[i];
+    // Exact operation order of SE3::operator* (Mat*Vec accumulates from a
+    // zero-initialised element, then the translation is added last).
+    const double xc = (((0.0 + r00 * px) + r01 * py) + r02 * pz) + t0;
+    const double yc = (((0.0 + r10 * px) + r11 * py) + r12 * pz) + t1;
+    const double zc = (((0.0 + r20 * px) + r21 * py) + r22 * pz) + t2;
+    const double u = fx * xc / zc + cx;
+    const double v = fy * yc / zc + cy;
+    const bool keep = zc > PinholeCamera::kMinDepth && u >= u_min &&
+                      u < u_max && v >= v_min && v < v_max;
+    out_u[i] = u;
+    out_v[i] = v;
+    out_keep[i] = keep ? 1 : 0;
+  }
+}
+
+// ---- AVX2 -----------------------------------------------------------------
+
+#if defined(__x86_64__) || defined(__i386__)
+namespace {
+
+// Nibble-LUT popcount of 4 lanes of 64 bits (Mula's algorithm): per-byte
+// counts via two pshufb lookups, then horizontal sums with psadbw.
+__attribute__((target("avx2"))) inline __m256i popcount_epi64(__m256i v) {
+  const __m256i lut =
+      _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, 0, 1, 1,
+                       2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low_mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+  const __m256i cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                      _mm256_shuffle_epi8(lut, hi));
+  return _mm256_sad_epu8(cnt, _mm256_setzero_si256());
+}
+
+__attribute__((target("avx2"))) void hamming_block_avx2(
+    const DescriptorSoA& train, const Descriptor256& query, std::size_t first,
+    std::size_t count, std::uint16_t* out_dist) {
+  const __m256i q0 = _mm256_set1_epi64x(
+      static_cast<long long>(query.words()[0]));
+  const __m256i q1 = _mm256_set1_epi64x(
+      static_cast<long long>(query.words()[1]));
+  const __m256i q2 = _mm256_set1_epi64x(
+      static_cast<long long>(query.words()[2]));
+  const __m256i q3 = _mm256_set1_epi64x(
+      static_cast<long long>(query.words()[3]));
+  const std::uint64_t* p0 = train.plane(0) + first;
+  const std::uint64_t* p1 = train.plane(1) + first;
+  const std::uint64_t* p2 = train.plane(2) + first;
+  const std::uint64_t* p3 = train.plane(3) + first;
+  std::size_t j = 0;
+  for (; j + 4 <= count; j += 4) {
+    __m256i acc = popcount_epi64(_mm256_xor_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p0 + j)), q0));
+    acc = _mm256_add_epi64(
+        acc, popcount_epi64(_mm256_xor_si256(
+                 _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p1 + j)),
+                 q1)));
+    acc = _mm256_add_epi64(
+        acc, popcount_epi64(_mm256_xor_si256(
+                 _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p2 + j)),
+                 q2)));
+    acc = _mm256_add_epi64(
+        acc, popcount_epi64(_mm256_xor_si256(
+                 _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p3 + j)),
+                 q3)));
+    alignas(32) std::uint64_t d[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(d), acc);
+    out_dist[j + 0] = static_cast<std::uint16_t>(d[0]);
+    out_dist[j + 1] = static_cast<std::uint16_t>(d[1]);
+    out_dist[j + 2] = static_cast<std::uint16_t>(d[2]);
+    out_dist[j + 3] = static_cast<std::uint16_t>(d[3]);
+  }
+  if (j < count)
+    hamming_block_scalar(train, query, first + j, count - j, out_dist + j);
+}
+
+__attribute__((target("avx2"))) void hamming_gather_avx2(
+    const DescriptorSoA& train, const Descriptor256& query,
+    std::span<const std::int32_t> candidates, std::uint16_t* out_dist) {
+  const __m256i q0 = _mm256_set1_epi64x(
+      static_cast<long long>(query.words()[0]));
+  const __m256i q1 = _mm256_set1_epi64x(
+      static_cast<long long>(query.words()[1]));
+  const __m256i q2 = _mm256_set1_epi64x(
+      static_cast<long long>(query.words()[2]));
+  const __m256i q3 = _mm256_set1_epi64x(
+      static_cast<long long>(query.words()[3]));
+  const auto* p0 = reinterpret_cast<const long long*>(train.plane(0));
+  const auto* p1 = reinterpret_cast<const long long*>(train.plane(1));
+  const auto* p2 = reinterpret_cast<const long long*>(train.plane(2));
+  const auto* p3 = reinterpret_cast<const long long*>(train.plane(3));
+  const std::size_t n = candidates.size();
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const __m128i idx = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(candidates.data() + j));
+    __m256i acc = popcount_epi64(
+        _mm256_xor_si256(_mm256_i32gather_epi64(p0, idx, 8), q0));
+    acc = _mm256_add_epi64(acc, popcount_epi64(_mm256_xor_si256(
+                                    _mm256_i32gather_epi64(p1, idx, 8), q1)));
+    acc = _mm256_add_epi64(acc, popcount_epi64(_mm256_xor_si256(
+                                    _mm256_i32gather_epi64(p2, idx, 8), q2)));
+    acc = _mm256_add_epi64(acc, popcount_epi64(_mm256_xor_si256(
+                                    _mm256_i32gather_epi64(p3, idx, 8), q3)));
+    alignas(32) std::uint64_t d[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(d), acc);
+    out_dist[j + 0] = static_cast<std::uint16_t>(d[0]);
+    out_dist[j + 1] = static_cast<std::uint16_t>(d[1]);
+    out_dist[j + 2] = static_cast<std::uint16_t>(d[2]);
+    out_dist[j + 3] = static_cast<std::uint16_t>(d[3]);
+  }
+  if (j < n)
+    hamming_gather_scalar(train, query, candidates.subspan(j), out_dist + j);
+}
+
+__attribute__((target("avx2"))) void project_batch_avx2(
+    std::span<const double> xs, std::span<const double> ys,
+    std::span<const double> zs, const SE3& pose_cw,
+    const PinholeCamera& camera, double margin, double* out_u, double* out_v,
+    std::uint8_t* out_keep) {
+  const Mat3& r = pose_cw.rotation();
+  const Vec3& t = pose_cw.translation();
+  const __m256d r00 = _mm256_set1_pd(r(0, 0)), r01 = _mm256_set1_pd(r(0, 1)),
+                r02 = _mm256_set1_pd(r(0, 2));
+  const __m256d r10 = _mm256_set1_pd(r(1, 0)), r11 = _mm256_set1_pd(r(1, 1)),
+                r12 = _mm256_set1_pd(r(1, 2));
+  const __m256d r20 = _mm256_set1_pd(r(2, 0)), r21 = _mm256_set1_pd(r(2, 1)),
+                r22 = _mm256_set1_pd(r(2, 2));
+  const __m256d t0 = _mm256_set1_pd(t[0]), t1 = _mm256_set1_pd(t[1]),
+                t2 = _mm256_set1_pd(t[2]);
+  const __m256d fx = _mm256_set1_pd(camera.fx()),
+                fy = _mm256_set1_pd(camera.fy());
+  const __m256d cx = _mm256_set1_pd(camera.cx()),
+                cy = _mm256_set1_pd(camera.cy());
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d min_depth = _mm256_set1_pd(PinholeCamera::kMinDepth);
+  const __m256d u_min = _mm256_set1_pd(-margin);
+  const __m256d u_max = _mm256_set1_pd(camera.width() + margin);
+  const __m256d v_min = _mm256_set1_pd(-margin);
+  const __m256d v_max = _mm256_set1_pd(camera.height() + margin);
+  const std::size_t n = xs.size();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d px = _mm256_loadu_pd(xs.data() + i);
+    const __m256d py = _mm256_loadu_pd(ys.data() + i);
+    const __m256d pz = _mm256_loadu_pd(zs.data() + i);
+    // Same association as the scalar path: ((0 + r*0*x) + r*1*y) + r*2*z,
+    // then + t.  No FMA anywhere (bit-parity with scalar).
+    __m256d xc = _mm256_add_pd(zero, _mm256_mul_pd(r00, px));
+    xc = _mm256_add_pd(xc, _mm256_mul_pd(r01, py));
+    xc = _mm256_add_pd(xc, _mm256_mul_pd(r02, pz));
+    xc = _mm256_add_pd(xc, t0);
+    __m256d yc = _mm256_add_pd(zero, _mm256_mul_pd(r10, px));
+    yc = _mm256_add_pd(yc, _mm256_mul_pd(r11, py));
+    yc = _mm256_add_pd(yc, _mm256_mul_pd(r12, pz));
+    yc = _mm256_add_pd(yc, t1);
+    __m256d zc = _mm256_add_pd(zero, _mm256_mul_pd(r20, px));
+    zc = _mm256_add_pd(zc, _mm256_mul_pd(r21, py));
+    zc = _mm256_add_pd(zc, _mm256_mul_pd(r22, pz));
+    zc = _mm256_add_pd(zc, t2);
+    const __m256d u =
+        _mm256_add_pd(_mm256_div_pd(_mm256_mul_pd(fx, xc), zc), cx);
+    const __m256d v =
+        _mm256_add_pd(_mm256_div_pd(_mm256_mul_pd(fy, yc), zc), cy);
+    // Ordered comparisons: any NaN lane fails every test, like the scalar
+    // &&-chain.
+    __m256d keep = _mm256_cmp_pd(zc, min_depth, _CMP_GT_OQ);
+    keep = _mm256_and_pd(keep, _mm256_cmp_pd(u, u_min, _CMP_GE_OQ));
+    keep = _mm256_and_pd(keep, _mm256_cmp_pd(u, u_max, _CMP_LT_OQ));
+    keep = _mm256_and_pd(keep, _mm256_cmp_pd(v, v_min, _CMP_GE_OQ));
+    keep = _mm256_and_pd(keep, _mm256_cmp_pd(v, v_max, _CMP_LT_OQ));
+    _mm256_storeu_pd(out_u + i, u);
+    _mm256_storeu_pd(out_v + i, v);
+    const int mask = _mm256_movemask_pd(keep);
+    out_keep[i + 0] = static_cast<std::uint8_t>(mask & 1);
+    out_keep[i + 1] = static_cast<std::uint8_t>((mask >> 1) & 1);
+    out_keep[i + 2] = static_cast<std::uint8_t>((mask >> 2) & 1);
+    out_keep[i + 3] = static_cast<std::uint8_t>((mask >> 3) & 1);
+  }
+  if (i < n)
+    project_batch_scalar(xs.subspan(i), ys.subspan(i), zs.subspan(i), pose_cw,
+                         camera, margin, out_u + i, out_v + i, out_keep + i);
+}
+
+}  // namespace
+#endif  // x86
+
+// ---- NEON -----------------------------------------------------------------
+
+#if defined(__aarch64__)
+namespace {
+
+void hamming_block_neon(const DescriptorSoA& train, const Descriptor256& query,
+                        std::size_t first, std::size_t count,
+                        std::uint16_t* out_dist) {
+  const uint64x2_t q0 = vdupq_n_u64(query.words()[0]);
+  const uint64x2_t q1 = vdupq_n_u64(query.words()[1]);
+  const uint64x2_t q2 = vdupq_n_u64(query.words()[2]);
+  const uint64x2_t q3 = vdupq_n_u64(query.words()[3]);
+  const std::uint64_t* p0 = train.plane(0) + first;
+  const std::uint64_t* p1 = train.plane(1) + first;
+  const std::uint64_t* p2 = train.plane(2) + first;
+  const std::uint64_t* p3 = train.plane(3) + first;
+  std::size_t j = 0;
+  for (; j + 2 <= count; j += 2) {
+    // vcnt gives per-byte counts; each byte count is at most 8 and there
+    // are 4 planes, so per-byte sums stay <= 32 (no u8 overflow).
+    uint8x16_t c = vcntq_u8(vreinterpretq_u8_u64(
+        veorq_u64(vld1q_u64(p0 + j), q0)));
+    c = vaddq_u8(c, vcntq_u8(vreinterpretq_u8_u64(
+                        veorq_u64(vld1q_u64(p1 + j), q1))));
+    c = vaddq_u8(c, vcntq_u8(vreinterpretq_u8_u64(
+                        veorq_u64(vld1q_u64(p2 + j), q2))));
+    c = vaddq_u8(c, vcntq_u8(vreinterpretq_u8_u64(
+                        veorq_u64(vld1q_u64(p3 + j), q3))));
+    // Pairwise-widen to per-lane (64-bit half) sums.
+    const uint64x2_t lane_sums = vpaddlq_u32(vpaddlq_u16(vpaddlq_u8(c)));
+    out_dist[j + 0] = static_cast<std::uint16_t>(vgetq_lane_u64(lane_sums, 0));
+    out_dist[j + 1] = static_cast<std::uint16_t>(vgetq_lane_u64(lane_sums, 1));
+  }
+  if (j < count)
+    hamming_block_scalar(train, query, first + j, count - j, out_dist + j);
+}
+
+void hamming_gather_neon(const DescriptorSoA& train, const Descriptor256& query,
+                         std::span<const std::int32_t> candidates,
+                         std::uint16_t* out_dist) {
+  // No gather instruction on NEON: load lanes individually, then share the
+  // vector popcount path.
+  const std::uint64_t* p0 = train.plane(0);
+  const std::uint64_t* p1 = train.plane(1);
+  const std::uint64_t* p2 = train.plane(2);
+  const std::uint64_t* p3 = train.plane(3);
+  const uint64x2_t q0 = vdupq_n_u64(query.words()[0]);
+  const uint64x2_t q1 = vdupq_n_u64(query.words()[1]);
+  const uint64x2_t q2 = vdupq_n_u64(query.words()[2]);
+  const uint64x2_t q3 = vdupq_n_u64(query.words()[3]);
+  const std::size_t n = candidates.size();
+  std::size_t j = 0;
+  for (; j + 2 <= n; j += 2) {
+    const auto a = static_cast<std::size_t>(candidates[j]);
+    const auto b = static_cast<std::size_t>(candidates[j + 1]);
+    const uint64x2_t w0 = {p0[a], p0[b]};
+    const uint64x2_t w1 = {p1[a], p1[b]};
+    const uint64x2_t w2 = {p2[a], p2[b]};
+    const uint64x2_t w3 = {p3[a], p3[b]};
+    uint8x16_t c = vcntq_u8(vreinterpretq_u8_u64(veorq_u64(w0, q0)));
+    c = vaddq_u8(c, vcntq_u8(vreinterpretq_u8_u64(veorq_u64(w1, q1))));
+    c = vaddq_u8(c, vcntq_u8(vreinterpretq_u8_u64(veorq_u64(w2, q2))));
+    c = vaddq_u8(c, vcntq_u8(vreinterpretq_u8_u64(veorq_u64(w3, q3))));
+    const uint64x2_t lane_sums = vpaddlq_u32(vpaddlq_u16(vpaddlq_u8(c)));
+    out_dist[j + 0] = static_cast<std::uint16_t>(vgetq_lane_u64(lane_sums, 0));
+    out_dist[j + 1] = static_cast<std::uint16_t>(vgetq_lane_u64(lane_sums, 1));
+  }
+  if (j < n)
+    hamming_gather_scalar(train, query, candidates.subspan(j), out_dist + j);
+}
+
+void project_batch_neon(std::span<const double> xs, std::span<const double> ys,
+                        std::span<const double> zs, const SE3& pose_cw,
+                        const PinholeCamera& camera, double margin,
+                        double* out_u, double* out_v, std::uint8_t* out_keep) {
+  const Mat3& r = pose_cw.rotation();
+  const Vec3& t = pose_cw.translation();
+  const float64x2_t r00 = vdupq_n_f64(r(0, 0)), r01 = vdupq_n_f64(r(0, 1)),
+                    r02 = vdupq_n_f64(r(0, 2));
+  const float64x2_t r10 = vdupq_n_f64(r(1, 0)), r11 = vdupq_n_f64(r(1, 1)),
+                    r12 = vdupq_n_f64(r(1, 2));
+  const float64x2_t r20 = vdupq_n_f64(r(2, 0)), r21 = vdupq_n_f64(r(2, 1)),
+                    r22 = vdupq_n_f64(r(2, 2));
+  const float64x2_t t0 = vdupq_n_f64(t[0]), t1 = vdupq_n_f64(t[1]),
+                    t2 = vdupq_n_f64(t[2]);
+  const float64x2_t fx = vdupq_n_f64(camera.fx()), fy = vdupq_n_f64(camera.fy());
+  const float64x2_t cx = vdupq_n_f64(camera.cx()), cy = vdupq_n_f64(camera.cy());
+  const float64x2_t zero = vdupq_n_f64(0.0);
+  const float64x2_t min_depth = vdupq_n_f64(PinholeCamera::kMinDepth);
+  const float64x2_t u_min = vdupq_n_f64(-margin);
+  const float64x2_t u_max = vdupq_n_f64(camera.width() + margin);
+  const float64x2_t v_min = vdupq_n_f64(-margin);
+  const float64x2_t v_max = vdupq_n_f64(camera.height() + margin);
+  const std::size_t n = xs.size();
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t px = vld1q_f64(xs.data() + i);
+    const float64x2_t py = vld1q_f64(ys.data() + i);
+    const float64x2_t pz = vld1q_f64(zs.data() + i);
+    // No FMA (vfmaq) — same association and rounding as the scalar path.
+    float64x2_t xc = vaddq_f64(zero, vmulq_f64(r00, px));
+    xc = vaddq_f64(xc, vmulq_f64(r01, py));
+    xc = vaddq_f64(xc, vmulq_f64(r02, pz));
+    xc = vaddq_f64(xc, t0);
+    float64x2_t yc = vaddq_f64(zero, vmulq_f64(r10, px));
+    yc = vaddq_f64(yc, vmulq_f64(r11, py));
+    yc = vaddq_f64(yc, vmulq_f64(r12, pz));
+    yc = vaddq_f64(yc, t1);
+    float64x2_t zc = vaddq_f64(zero, vmulq_f64(r20, px));
+    zc = vaddq_f64(zc, vmulq_f64(r21, py));
+    zc = vaddq_f64(zc, vmulq_f64(r22, pz));
+    zc = vaddq_f64(zc, t2);
+    const float64x2_t u = vaddq_f64(vdivq_f64(vmulq_f64(fx, xc), zc), cx);
+    const float64x2_t v = vaddq_f64(vdivq_f64(vmulq_f64(fy, yc), zc), cy);
+    uint64x2_t keep = vcgtq_f64(zc, min_depth);
+    keep = vandq_u64(keep, vcgeq_f64(u, u_min));
+    keep = vandq_u64(keep, vcltq_f64(u, u_max));
+    keep = vandq_u64(keep, vcgeq_f64(v, v_min));
+    keep = vandq_u64(keep, vcltq_f64(v, v_max));
+    vst1q_f64(out_u + i, u);
+    vst1q_f64(out_v + i, v);
+    out_keep[i + 0] = vgetq_lane_u64(keep, 0) != 0 ? 1 : 0;
+    out_keep[i + 1] = vgetq_lane_u64(keep, 1) != 0 ? 1 : 0;
+  }
+  if (i < n)
+    project_batch_scalar(xs.subspan(i), ys.subspan(i), zs.subspan(i), pose_cw,
+                         camera, margin, out_u + i, out_v + i, out_keep + i);
+}
+
+}  // namespace
+#endif  // aarch64
+
+// ---- Dispatch entry points ------------------------------------------------
+
+void hamming_block(const DescriptorSoA& train, const Descriptor256& query,
+                   std::size_t first, std::size_t count,
+                   std::uint16_t* out_dist) {
+  switch (active_isa()) {
+#if defined(__x86_64__) || defined(__i386__)
+    case IsaLevel::kAvx2:
+      hamming_block_avx2(train, query, first, count, out_dist);
+      return;
+#endif
+#if defined(__aarch64__)
+    case IsaLevel::kNeon:
+      hamming_block_neon(train, query, first, count, out_dist);
+      return;
+#endif
+    default:
+      hamming_block_scalar(train, query, first, count, out_dist);
+      return;
+  }
+}
+
+void hamming_gather(const DescriptorSoA& train, const Descriptor256& query,
+                    std::span<const std::int32_t> candidates,
+                    std::uint16_t* out_dist) {
+  switch (active_isa()) {
+#if defined(__x86_64__) || defined(__i386__)
+    case IsaLevel::kAvx2:
+      hamming_gather_avx2(train, query, candidates, out_dist);
+      return;
+#endif
+#if defined(__aarch64__)
+    case IsaLevel::kNeon:
+      hamming_gather_neon(train, query, candidates, out_dist);
+      return;
+#endif
+    default:
+      hamming_gather_scalar(train, query, candidates, out_dist);
+      return;
+  }
+}
+
+void project_batch(std::span<const double> xs, std::span<const double> ys,
+                   std::span<const double> zs, const SE3& pose_cw,
+                   const PinholeCamera& camera, double margin, double* out_u,
+                   double* out_v, std::uint8_t* out_keep) {
+  switch (active_isa()) {
+#if defined(__x86_64__) || defined(__i386__)
+    case IsaLevel::kAvx2:
+      project_batch_avx2(xs, ys, zs, pose_cw, camera, margin, out_u, out_v,
+                         out_keep);
+      return;
+#endif
+#if defined(__aarch64__)
+    case IsaLevel::kNeon:
+      project_batch_neon(xs, ys, zs, pose_cw, camera, margin, out_u, out_v,
+                         out_keep);
+      return;
+#endif
+    default:
+      project_batch_scalar(xs, ys, zs, pose_cw, camera, margin, out_u, out_v,
+                           out_keep);
+      return;
+  }
+}
+
+}  // namespace eslam::simd

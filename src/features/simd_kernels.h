@@ -1,0 +1,67 @@
+// Vectorized hot-path kernels with bit-exact scalar parity.
+//
+// Two kernels dominate steady-state tracking (paper section 2.2: feature
+// matching is the FPGA-side bottleneck; here it is the ARM-side one):
+//
+//   1. One query descriptor against a block (or gathered candidate list)
+//      of train descriptors: 256-bit XOR + popcount over the DescriptorSoA
+//      word planes.  Distances are exact integers, so the SIMD paths are
+//      trivially bit-identical to hamming_distance(); best-match selection
+//      stays scalar over the distance buffer in ascending index order,
+//      which preserves the matcher's lowest-index tie rule for free.
+//
+//   2. Batched map-point projection for the match gate: SE3 transform +
+//      pinhole projection + padded-bounds mask over x/y/z lanes.  The
+//      scalar path replicates the exact FP operation order of
+//      `SE3::operator*` / `PinholeCamera::project` (sum association,
+//      no FMA), and the SIMD paths perform the same operations per lane,
+//      so kept u/v coordinates are bit-identical across ISAs.  NaN inputs
+//      fail the keep mask on every path.
+//
+// Dispatch is picked once at runtime (core/simd_dispatch.h); the _scalar
+// variants are exposed for the parity test suite.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "features/descriptor_soa.h"
+#include "geometry/camera.h"
+#include "geometry/se3.h"
+
+namespace eslam::simd {
+
+// out_dist[j] = hamming(query, train[first + j]) for j in [0, count).
+void hamming_block(const DescriptorSoA& train, const Descriptor256& query,
+                   std::size_t first, std::size_t count,
+                   std::uint16_t* out_dist);
+void hamming_block_scalar(const DescriptorSoA& train,
+                          const Descriptor256& query, std::size_t first,
+                          std::size_t count, std::uint16_t* out_dist);
+
+// out_dist[j] = hamming(query, train[candidates[j]]).
+void hamming_gather(const DescriptorSoA& train, const Descriptor256& query,
+                    std::span<const std::int32_t> candidates,
+                    std::uint16_t* out_dist);
+void hamming_gather_scalar(const DescriptorSoA& train,
+                           const Descriptor256& query,
+                           std::span<const std::int32_t> candidates,
+                           std::uint16_t* out_dist);
+
+// Projects n map points (xs/ys/zs lanes) through pose_cw and the pinhole
+// model.  out_keep[i] != 0 iff depth > PinholeCamera::kMinDepth and the
+// pixel lands inside the image padded by `margin` on every side; out_u/v
+// are only meaningful for kept lanes.  Matches the scalar gate math
+// bit-for-bit on kept lanes.
+void project_batch(std::span<const double> xs, std::span<const double> ys,
+                   std::span<const double> zs, const SE3& pose_cw,
+                   const PinholeCamera& camera, double margin, double* out_u,
+                   double* out_v, std::uint8_t* out_keep);
+void project_batch_scalar(std::span<const double> xs,
+                          std::span<const double> ys,
+                          std::span<const double> zs, const SE3& pose_cw,
+                          const PinholeCamera& camera, double margin,
+                          double* out_u, double* out_v,
+                          std::uint8_t* out_keep);
+
+}  // namespace eslam::simd

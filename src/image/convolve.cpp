@@ -45,8 +45,16 @@ ImageU8 convolve_separable_u8(const ImageU8& src, const int* taps, int n,
 }
 
 ImageU8 smooth_gaussian7_u8(const ImageU8& src) {
+  Image<std::uint16_t> tmp;
+  ImageU8 dst;
+  smooth_gaussian7_u8_into(src, tmp, dst);
+  return dst;
+}
+
+void smooth_gaussian7_u8_into(const ImageU8& src, Image<std::uint16_t>& tmp,
+                              ImageU8& dst) {
   const int w = src.width(), h = src.height();
-  Image<std::uint16_t> tmp(w, h);
+  tmp.reset(w, h);
   for (int y = 0; y < h; ++y) {
     for (int x = 0; x < w; ++x) {
       int acc = 0;
@@ -55,7 +63,7 @@ ImageU8 smooth_gaussian7_u8(const ImageU8& src) {
       tmp.at(x, y) = static_cast<std::uint16_t>(acc);  // <= 255*64 = 16320
     }
   }
-  ImageU8 dst(w, h);
+  dst.reset(w, h);
   for (int y = 0; y < h; ++y) {
     for (int x = 0; x < w; ++x) {
       int acc = 0;
@@ -66,7 +74,6 @@ ImageU8 smooth_gaussian7_u8(const ImageU8& src) {
       dst.at(x, y) = static_cast<std::uint8_t>(std::min(v, 255));
     }
   }
-  return dst;
 }
 
 ImageF32 smooth_gaussian7_f32(const ImageU8& src) {

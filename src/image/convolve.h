@@ -16,6 +16,11 @@ namespace eslam {
 // the fixed-point hardware pipeline performs.
 ImageU8 smooth_gaussian7_u8(const ImageU8& src);
 
+// Same arithmetic into recycled intermediate + destination buffers (the
+// extractor owns one pair and smooths every pyramid level through them).
+void smooth_gaussian7_u8_into(const ImageU8& src, Image<std::uint16_t>& tmp,
+                              ImageU8& dst);
+
 // Float reference: true Gaussian, sigma = 2.0 (the sampling Gaussian used
 // when BRIEF patterns are generated), 7x7 support, clamp-to-edge.
 ImageF32 smooth_gaussian7_f32(const ImageU8& src);

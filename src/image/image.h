@@ -62,6 +62,16 @@ class Image {
   const std::vector<T>& data() const { return data_; }
   std::vector<T>& data() { return data_; }
 
+  // Resizes to width x height, reusing the existing buffer when its
+  // capacity allows (the _into operators call this every frame; after the
+  // first frame it never allocates).  Pixel contents are unspecified.
+  void reset(int width, int height) {
+    ESLAM_ASSERT(width > 0 && height > 0, "image dimensions must be positive");
+    width_ = width;
+    height_ = height;
+    data_.resize(static_cast<std::size_t>(width) * height);
+  }
+
   void fill(T v) { std::fill(data_.begin(), data_.end(), v); }
 
   friend bool operator==(const Image& a, const Image& b) {

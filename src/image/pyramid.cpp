@@ -5,8 +5,15 @@
 namespace eslam {
 
 ImageU8 resize_nearest(const ImageU8& src, int dst_width, int dst_height) {
+  ImageU8 dst;
+  resize_nearest_into(src, dst_width, dst_height, dst);
+  return dst;
+}
+
+void resize_nearest_into(const ImageU8& src, int dst_width, int dst_height,
+                         ImageU8& dst) {
   ESLAM_ASSERT(dst_width > 0 && dst_height > 0, "bad target size");
-  ImageU8 dst(dst_width, dst_height);
+  dst.reset(dst_width, dst_height);
   // Fixed-point 16.16 stepping, as a hardware address generator would do.
   const std::uint32_t x_step =
       static_cast<std::uint32_t>((static_cast<std::uint64_t>(src.width()) << 16) / dst_width);
@@ -23,7 +30,6 @@ ImageU8 resize_nearest(const ImageU8& src, int dst_width, int dst_height) {
       dst_row[x] = src_row[src_x];
     }
   }
-  return dst;
 }
 
 ImageU8 resize_bilinear(const ImageU8& src, int dst_width, int dst_height) {
@@ -52,20 +58,29 @@ ImageU8 resize_bilinear(const ImageU8& src, int dst_width, int dst_height) {
 
 ImagePyramid::ImagePyramid(const ImageU8& base, int levels, double scale,
                            bool use_bilinear) {
+  rebuild(base, levels, scale, use_bilinear);
+}
+
+void ImagePyramid::rebuild(const ImageU8& base, int levels, double scale,
+                           bool use_bilinear) {
   ESLAM_ASSERT(levels >= 1, "pyramid needs at least one level");
   ESLAM_ASSERT(scale > 1.0, "scale factor must exceed 1");
-  levels_.reserve(static_cast<std::size_t>(levels));
-  levels_.push_back(PyramidLevel{base, 1.0});
+  levels_.resize(static_cast<std::size_t>(levels));
+  levels_[0].image = base;  // copy-assign reuses the level-0 buffer
+  levels_[0].scale = 1.0;
   for (int i = 1; i < levels; ++i) {
     const double level_scale = std::pow(scale, i);
     const int w = std::max(
         8, static_cast<int>(std::lround(base.width() / level_scale)));
     const int h = std::max(
         8, static_cast<int>(std::lround(base.height() / level_scale)));
-    const ImageU8& prev = levels_.back().image;
-    levels_.push_back(PyramidLevel{
-        use_bilinear ? resize_bilinear(prev, w, h) : resize_nearest(prev, w, h),
-        level_scale});
+    const std::size_t li = static_cast<std::size_t>(i);
+    const ImageU8& prev = levels_[li - 1].image;
+    if (use_bilinear)
+      levels_[li].image = resize_bilinear(prev, w, h);
+    else
+      resize_nearest_into(prev, w, h, levels_[li].image);
+    levels_[li].scale = level_scale;
   }
 }
 

@@ -21,6 +21,11 @@ inline constexpr double kPyramidScale = 1.2;
 // implements (paper section 3).
 ImageU8 resize_nearest(const ImageU8& src, int dst_width, int dst_height);
 
+// Same computation into a recycled destination (no allocation once dst's
+// buffer has grown to size).
+void resize_nearest_into(const ImageU8& src, int dst_width, int dst_height,
+                         ImageU8& dst);
+
 // Bilinear resize, the software-reference alternative.
 ImageU8 resize_bilinear(const ImageU8& src, int dst_width, int dst_height);
 
@@ -37,6 +42,12 @@ class ImagePyramid {
   // using nearest-neighbour downsampling (use_bilinear = false, HW-faithful)
   // or bilinear (software reference).
   ImagePyramid(const ImageU8& base, int levels = kPyramidLevels,
+               double scale = kPyramidScale, bool use_bilinear = false);
+
+  // Rebuilds in place, recycling every level's pixel buffer.  Same output
+  // as constructing a fresh pyramid; zero allocations once the level
+  // images have reached their steady-state sizes (nearest-neighbour path).
+  void rebuild(const ImageU8& base, int levels = kPyramidLevels,
                double scale = kPyramidScale, bool use_bilinear = false);
 
   int levels() const { return static_cast<int>(levels_.size()); }

@@ -1,0 +1,87 @@
+// Vector-backed FIFO with amortized-zero allocation.
+//
+// std::deque is unsuitable for the scheduler's steady-state queues: the
+// libstdc++ implementation allocates and frees a chunk node roughly every
+// 64 cycled elements even when the queue stays small, which breaks the
+// zero-allocation-per-frame guarantee.  RingQueue keeps one contiguous
+// buffer that only grows (doubling) until it covers the high-water depth,
+// after which push/pop never touch the heap.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "geometry/assert.h"
+
+namespace eslam {
+
+template <typename T>
+class RingQueue {
+ public:
+  RingQueue() = default;
+  explicit RingQueue(std::size_t initial_capacity) {
+    buf_.resize(initial_capacity);
+  }
+
+  bool empty() const { return count_ == 0; }
+  std::size_t size() const { return count_; }
+
+  void push_back(T value) {
+    if (count_ == buf_.size()) grow();
+    buf_[(head_ + count_) % buf_.size()] = std::move(value);
+    ++count_;
+  }
+
+  T& front() {
+    ESLAM_ASSERT(count_ > 0, "front() on empty RingQueue");
+    return buf_[head_];
+  }
+
+  T pop_front() {
+    ESLAM_ASSERT(count_ > 0, "pop_front() on empty RingQueue");
+    T value = std::move(buf_[head_]);
+    head_ = (head_ + 1) % buf_.size();
+    --count_;
+    return value;
+  }
+
+  void clear() {
+    while (count_ > 0) (void)pop_front();
+  }
+
+  // Removes every element equal to `value`, preserving FIFO order of the
+  // rest.  O(n); used only on the cold session-teardown path.
+  std::size_t remove(const T& value) {
+    std::size_t kept = 0, removed = 0;
+    for (std::size_t i = 0; i < count_; ++i) {
+      T& slot = buf_[(head_ + i) % buf_.size()];
+      if (slot == value) {
+        ++removed;
+        continue;
+      }
+      if (kept != i) buf_[(head_ + kept) % buf_.size()] = std::move(slot);
+      ++kept;
+    }
+    for (std::size_t i = kept; i < count_; ++i)
+      buf_[(head_ + i) % buf_.size()] = T{};
+    count_ = kept;
+    return removed;
+  }
+
+ private:
+  void grow() {
+    const std::size_t new_cap = buf_.empty() ? 8 : buf_.size() * 2;
+    std::vector<T> next(new_cap);
+    for (std::size_t i = 0; i < count_; ++i)
+      next[i] = std::move(buf_[(head_ + i) % buf_.size()]);
+    buf_ = std::move(next);
+    head_ = 0;
+  }
+
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace eslam

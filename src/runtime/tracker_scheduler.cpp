@@ -61,9 +61,11 @@ struct SchedulerSession {
   // Finished results awaiting poll().  Unbounded on purpose: ARM workers
   // must never block on one session's poll cadence (that would eat a pool
   // worker and starve other sessions), so back-pressure lives exclusively
-  // in the bounded input ring.
+  // in the bounded input ring.  RingQueue rather than deque: its buffer
+  // stops allocating once it covers the high-water depth, where deque's
+  // chunked storage churns a heap node every few dozen cycled results.
   std::mutex results_mutex;
-  std::deque<TrackResult> results;
+  RingQueue<TrackResult> results{16};
 
   // Parking for this session's blocked user-side calls (feed() waiting on
   // ring space, drain()/remove waiting on delivery/retirement): producers
@@ -197,7 +199,7 @@ void TrackerScheduler::remove_session(const SessionRef& session) {
     if (s.frames_retired.load() >= s.frames_fed.load()) {
       const std::lock_guard<std::mutex> lock(work_mutex_);
       if (s.bg_queued) {
-        std::erase(backend_q_, session);
+        backend_q_.remove(session);
         s.bg_queued = false;
       }
       if (!s.bg_running) break;
@@ -271,8 +273,7 @@ std::optional<TrackResult> TrackerScheduler::poll(const SessionRef& session) {
   if (!session) return std::nullopt;
   const std::lock_guard<std::mutex> lock(session->results_mutex);
   if (session->results.empty()) return std::nullopt;
-  TrackResult result = std::move(session->results.front());
-  session->results.pop_front();
+  TrackResult result = session->results.pop_front();
   session->frames_delivered.fetch_add(1);
   return result;
 }
@@ -525,11 +526,9 @@ void TrackerScheduler::arm_worker() {
       if (!work_q_.empty()) {
         // Tracking stages always outrank the background lane: BA runs on
         // pool slack only.
-        session = std::move(work_q_.front());
-        work_q_.pop_front();
+        session = work_q_.pop_front();
       } else {
-        session = std::move(backend_q_.front());
-        backend_q_.pop_front();
+        session = backend_q_.pop_front();
         session->bg_queued = false;
         session->bg_running = true;
         backend_job = true;
@@ -580,6 +579,9 @@ void TrackerScheduler::run_session_arm(const SessionRef& session) {
     TrackResult result = s.tracker->update_map(fs);
     pace(s, PipeStage::kMapUpdating, t0);
     record(s, index, PipeLane::kArm, PipeStage::kMapUpdating, t0, now_ms());
+    // The frame is retired: hand its shell (buffers + arena) back to the
+    // tracker so begin_frame() on the device lane reuses the memory.
+    s.tracker->recycle_frame(std::move(fs));
 
     // Map-maintenance visibility: fold the per-frame counters into the
     // session stats so long-lived services see them without keeping every

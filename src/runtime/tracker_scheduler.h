@@ -56,7 +56,6 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -66,6 +65,7 @@
 #include <vector>
 
 #include "runtime/lane.h"
+#include "runtime/ring_queue.h"
 #include "runtime/spsc_queue.h"
 #include "slam/tracker.h"
 
@@ -206,8 +206,8 @@ class TrackerScheduler {
   // (bg_queued), and its tracker holds at most one job in any state.
   std::mutex work_mutex_;
   std::condition_variable work_cv_;
-  std::deque<SessionRef> work_q_;
-  std::deque<SessionRef> backend_q_;
+  RingQueue<SessionRef> work_q_{16};
+  RingQueue<SessionRef> backend_q_{16};
 
   std::atomic<bool> stop_{false};
   std::thread device_thread_;

@@ -19,6 +19,8 @@ std::int64_t Map::add_point(const Vec3& position,
   // thousands of points never rebuilds.
   descriptor_cache_.push_back(p.descriptor);
   position_cache_.push_back(p.position);
+  descriptor_soa_.push_back(p.descriptor);
+  position_soa_.push_back(p.position);
   ++epoch_;
   return p.id;
 }
@@ -58,6 +60,7 @@ MapApplyStats Map::apply_update(
     if (!index) continue;
     points_[*index].position = position;
     position_cache_[*index] = position;
+    position_soa_.set(*index, position);
     ++stats.moved;
   }
   if (!remove_ids.empty()) {
@@ -77,9 +80,15 @@ void Map::rebuild_caches() {
   descriptor_cache_.reserve(points_.size());
   position_cache_.clear();
   position_cache_.reserve(points_.size());
+  descriptor_soa_.clear();
+  descriptor_soa_.reserve(points_.size());
+  position_soa_.clear();
+  position_soa_.reserve(points_.size());
   for (const MapPoint& p : points_) {
     descriptor_cache_.push_back(p.descriptor);
     position_cache_.push_back(p.position);
+    descriptor_soa_.push_back(p.descriptor);
+    position_soa_.push_back(p.position);
   }
 }
 

@@ -10,9 +10,38 @@
 #include <vector>
 
 #include "features/descriptor.h"
+#include "features/descriptor_soa.h"
 #include "geometry/matrix.h"
 
 namespace eslam {
+
+// Map-point positions as separate x/y/z lanes, aligned with points().
+// This is the layout the batched projection kernel streams.
+struct PositionSoA {
+  std::vector<double> x, y, z;
+
+  std::size_t size() const { return x.size(); }
+  void clear() {
+    x.clear();
+    y.clear();
+    z.clear();
+  }
+  void reserve(std::size_t n) {
+    x.reserve(n);
+    y.reserve(n);
+    z.reserve(n);
+  }
+  void push_back(const Vec3& p) {
+    x.push_back(p[0]);
+    y.push_back(p[1]);
+    z.push_back(p[2]);
+  }
+  void set(std::size_t i, const Vec3& p) {
+    x[i] = p[0];
+    y[i] = p[1];
+    z[i] = p[2];
+  }
+};
 
 struct MapApplyStats {
   std::size_t moved = 0;
@@ -80,6 +109,13 @@ class Map {
   }
   std::span<const Vec3> positions() const { return position_cache_; }
 
+  // SoA mirrors of the same caches, maintained on exactly the same paths
+  // and valid under the same epoch.  The matcher reads the descriptor word
+  // planes, the projection gate the position lanes — all borrowed views;
+  // no per-frame snapshot copies are taken anywhere.
+  const DescriptorSoA& descriptor_soa() const { return descriptor_soa_; }
+  const PositionSoA& position_soa() const { return position_soa_; }
+
  private:
   void rebuild_caches();
 
@@ -88,6 +124,8 @@ class Map {
   std::uint64_t epoch_ = 0;
   std::vector<Descriptor256> descriptor_cache_;
   std::vector<Vec3> position_cache_;
+  DescriptorSoA descriptor_soa_;
+  PositionSoA position_soa_;
 };
 
 }  // namespace eslam

@@ -1,8 +1,11 @@
 #include "slam/match_gate.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 
 #include "features/grid_index.h"
+#include "features/simd_kernels.h"
 
 namespace eslam {
 
@@ -59,6 +62,115 @@ GateResult build_candidate_set(std::span<const Vec3> map_positions,
                      std::chrono::steady_clock::now() - start)
                      .count();
   return out;
+}
+
+void build_candidate_set_into(std::span<const double> xs,
+                              std::span<const double> ys,
+                              std::span<const double> zs,
+                              const SE3& prior_pose_cw,
+                              const PinholeCamera& camera,
+                              const FeatureList& features,
+                              const MatchPolicy& policy, Arena* scratch,
+                              GateResult& out) {
+  const auto start = std::chrono::steady_clock::now();
+  out.candidates.indices.clear();
+  out.candidates.offsets.clear();
+  out.projected = 0;
+
+  thread_local Arena fallback;
+  Arena& arena = scratch != nullptr ? *scratch : fallback;
+  const ArenaScope scope(arena);
+
+  const std::size_t n = xs.size();
+  const double margin = policy.search_radius_px;
+  const std::span<double> u = arena.alloc_span<double>(n);
+  const std::span<double> v = arena.alloc_span<double>(n);
+  const std::span<std::uint8_t> keep = arena.alloc_span<std::uint8_t>(n);
+  simd::project_batch(xs, ys, zs, prior_pose_cw, camera, margin, u.data(),
+                      v.data(), keep.data());
+
+  // Compact the kept projections, coordinates shifted into the padded
+  // grid frame — same entries, same ascending-index order as the
+  // GridIndex2d path in build_candidate_set().
+  const std::span<GridEntry> entries = arena.alloc_span<GridEntry>(n);
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!keep[i]) continue;
+    entries[kept++] = GridEntry{u[i] + margin, v[i] + margin,
+                               static_cast<std::int32_t>(i)};
+  }
+  out.projected = static_cast<int>(kept);
+
+  // Arena-resident replica of GridIndex2d's CSR counting sort (identical
+  // cell math, identical within-cell order).
+  const double cell_size = policy.cell_size_px;
+  const double grid_w = camera.width() + 2 * margin;
+  const double grid_h = camera.height() + 2 * margin;
+  const int cols =
+      std::max(1, static_cast<int>(std::ceil(grid_w / cell_size)));
+  const int rows =
+      std::max(1, static_cast<int>(std::ceil(grid_h / cell_size)));
+  const auto cell_x = [cols, cell_size](double uu) {
+    return std::clamp(static_cast<int>(std::floor(uu / cell_size)), 0,
+                      cols - 1);
+  };
+  const auto cell_y = [rows, cell_size](double vv) {
+    return std::clamp(static_cast<int>(std::floor(vv / cell_size)), 0,
+                      rows - 1);
+  };
+  const std::size_t n_cells = static_cast<std::size_t>(cols) * rows;
+  const std::span<std::int32_t> cell_start =
+      arena.alloc_span<std::int32_t>(n_cells + 1, 0);
+  for (std::size_t i = 0; i < kept; ++i)
+    ++cell_start[static_cast<std::size_t>(cell_y(entries[i].v)) * cols +
+                 cell_x(entries[i].u) + 1];
+  for (std::size_t c = 0; c < n_cells; ++c) cell_start[c + 1] += cell_start[c];
+  const std::span<std::int32_t> cursor =
+      arena.alloc_span<std::int32_t>(n_cells);
+  for (std::size_t c = 0; c < n_cells; ++c) cursor[c] = cell_start[c];
+  const std::span<GridEntry> sorted = arena.alloc_span<GridEntry>(kept);
+  for (std::size_t i = 0; i < kept; ++i) {
+    const std::size_t cell =
+        static_cast<std::size_t>(cell_y(entries[i].v)) * cols +
+        cell_x(entries[i].u);
+    sorted[static_cast<std::size_t>(cursor[cell]++)] = entries[i];
+  }
+
+  // Per-feature window queries, row-major cells, then sort each appended
+  // slice ascending (tie parity with the brute-force scan).
+  const double radius = policy.search_radius_px;
+  std::vector<std::int32_t>& indices = out.candidates.indices;
+  out.candidates.offsets.reserve(features.size() + 1);
+  out.candidates.offsets.push_back(0);
+  for (const Feature& f : features) {
+    const double qu = f.keypoint.x0() + margin;
+    const double qv = f.keypoint.y0() + margin;
+    const std::size_t first = indices.size();
+    const int x0 = cell_x(qu - radius);
+    const int x1 = cell_x(qu + radius);
+    const int y0 = cell_y(qv - radius);
+    const int y1 = cell_y(qv + radius);
+    for (int y = y0; y <= y1; ++y) {
+      for (int x = x0; x <= x1; ++x) {
+        const std::size_t cell = static_cast<std::size_t>(y) * cols + x;
+        const std::int32_t a = cell_start[cell];
+        const std::int32_t b = cell_start[cell + 1];
+        for (std::int32_t i = a; i < b; ++i) {
+          const GridEntry& e = sorted[static_cast<std::size_t>(i)];
+          if (std::abs(e.u - qu) <= radius && std::abs(e.v - qv) <= radius)
+            indices.push_back(e.id);
+        }
+      }
+    }
+    std::sort(indices.begin() + static_cast<std::ptrdiff_t>(first),
+              indices.end());
+    out.candidates.offsets.push_back(
+        static_cast<std::int32_t>(indices.size()));
+  }
+
+  out.build_ms = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
 }
 
 }  // namespace eslam

@@ -77,6 +77,23 @@ GateResult build_candidate_set(std::span<const Vec3> map_positions,
                                const FeatureList& features,
                                const MatchPolicy& policy);
 
+// Zero-allocation variant of the same computation: positions arrive as
+// SoA lanes (the map's epoch-stamped position_soa() cache, borrowed under
+// the tracker's shared lock — no per-frame snapshot copy), projection runs
+// through the batched SIMD kernel, and the bucket grid lives in `scratch`
+// (may be null: thread-local fallback).  `out`'s CSR vectors are recycled
+// across frames.  Candidate lists, projected counts, and list ordering are
+// identical to build_candidate_set() on the same inputs (asserted by
+// tests/features/simd_parity_test.cpp).
+void build_candidate_set_into(std::span<const double> xs,
+                              std::span<const double> ys,
+                              std::span<const double> zs,
+                              const SE3& prior_pose_cw,
+                              const PinholeCamera& camera,
+                              const FeatureList& features,
+                              const MatchPolicy& policy, Arena* scratch,
+                              GateResult& out);
+
 const char* to_string(MatchTier tier);
 
 }  // namespace eslam

@@ -13,9 +13,25 @@ RansacResult ransac_pnp(std::span<const Correspondence> correspondences,
                         const PinholeCamera& camera, const SE3& prior_pose,
                         const RansacOptions& options) {
   RansacResult best;
+  ransac_pnp_into(correspondences, camera, prior_pose, options, nullptr, best);
+  return best;
+}
+
+void ransac_pnp_into(std::span<const Correspondence> correspondences,
+                     const PinholeCamera& camera, const SE3& prior_pose,
+                     const RansacOptions& options, Arena* scratch,
+                     RansacResult& out) {
+  RansacResult& best = out;
   best.pose = prior_pose;
+  best.inliers.clear();
+  best.success = false;
+  best.iterations = 0;
   const int n = static_cast<int>(correspondences.size());
-  if (n < options.sample_size) return best;
+  if (n < options.sample_size) return;
+
+  thread_local Arena fallback;
+  Arena& arena = scratch != nullptr ? *scratch : fallback;
+  const ArenaScope arena_scope(arena);
 
   // Explicit bounded reduction (not std::uniform_int_distribution, whose
   // mapping is implementation-defined): the same seed must yield the same
@@ -31,9 +47,13 @@ RansacResult ransac_pnp(std::span<const Correspondence> correspondences,
   PnpOptions refit = options.refit;
   refit.max_iterations = std::max(refit.max_iterations, 5);
 
-  std::vector<Correspondence> sample(
-      static_cast<std::size_t>(options.sample_size));
-  std::vector<int> indices(static_cast<std::size_t>(options.sample_size));
+  const std::span<Correspondence> sample = arena.alloc_span<Correspondence>(
+      static_cast<std::size_t>(options.sample_size), Correspondence{});
+  const std::span<int> indices = arena.alloc_span<int>(
+      static_cast<std::size_t>(options.sample_size), 0);
+  const std::span<int> current =
+      arena.alloc_span<int>(static_cast<std::size_t>(n));
+  best.inliers.reserve(static_cast<std::size_t>(n));
 
   int needed_iterations = options.max_iterations;
   for (int iter = 0; iter < needed_iterations; ++iter) {
@@ -69,15 +89,16 @@ RansacResult ransac_pnp(std::span<const Correspondence> correspondences,
       hypothesis_pose = solve_pnp(sample, camera, prior_pose, refit).pose;
     }
 
-    std::vector<int> inliers;
-    inliers.reserve(static_cast<std::size_t>(n));
+    std::size_t inlier_count = 0;
     for (int i = 0; i < n; ++i)
       if (reprojection_error_sq(correspondences[static_cast<std::size_t>(i)],
                                 camera, hypothesis_pose) < thresh_sq)
-        inliers.push_back(i);
+        current[inlier_count++] = i;
 
-    if (inliers.size() > best.inliers.size()) {
-      best.inliers = std::move(inliers);
+    if (inlier_count > best.inliers.size()) {
+      best.inliers.assign(current.begin(),
+                          current.begin() + static_cast<std::ptrdiff_t>(
+                                                inlier_count));
       best.pose = hypothesis_pose;
       if (static_cast<double>(best.inliers.size()) >=
           options.early_exit_ratio * n)
@@ -101,16 +122,16 @@ RansacResult ransac_pnp(std::span<const Correspondence> correspondences,
   if (static_cast<int>(best.inliers.size()) >= options.min_inliers) {
     // Final refit on all inliers (this is the "pose estimation" output the
     // Pose Optimization stage then polishes further).
-    std::vector<Correspondence> inlier_set;
-    inlier_set.reserve(best.inliers.size());
+    const std::span<Correspondence> inlier_set =
+        arena.alloc_span<Correspondence>(best.inliers.size());
+    std::size_t k = 0;
     for (int i : best.inliers)
-      inlier_set.push_back(correspondences[static_cast<std::size_t>(i)]);
+      inlier_set[k++] = correspondences[static_cast<std::size_t>(i)];
     PnpOptions final_fit = options.refit;
     final_fit.max_iterations = 10;
     best.pose = solve_pnp(inlier_set, camera, best.pose, final_fit).pose;
     best.success = true;
   }
-  return best;
 }
 
 }  // namespace eslam

@@ -8,6 +8,7 @@
 #include <span>
 #include <vector>
 
+#include "core/arena.h"
 #include "slam/p3p.h"
 #include "slam/pnp.h"
 
@@ -49,5 +50,16 @@ struct RansacResult {
 RansacResult ransac_pnp(std::span<const Correspondence> correspondences,
                         const PinholeCamera& camera, const SE3& prior_pose,
                         const RansacOptions& options = {});
+
+// Allocation-free variant for the per-frame hot path: sample/index/inlier
+// scratch lives in `scratch` (may be null: thread-local fallback) and the
+// result — including its inlier vector's capacity — is recycled across
+// calls.  The RNG stream, hypothesis order, adaptive termination, and
+// refit are identical to ransac_pnp(), so both produce the same pose and
+// inlier set for the same inputs.
+void ransac_pnp_into(std::span<const Correspondence> correspondences,
+                     const PinholeCamera& camera, const SE3& prior_pose,
+                     const RansacOptions& options, Arena* scratch,
+                     RansacResult& out);
 
 }  // namespace eslam

@@ -39,6 +39,31 @@ std::vector<Match> SoftwareBackend::match_candidates(
   return matches;
 }
 
+void SoftwareBackend::extract_into(const ImageU8& image, FeatureList& out) {
+  const WallTimer timer;
+  extractor_.extract_into(image, out);
+  extract_ms_.store(timer.elapsed_ms());
+}
+
+void SoftwareBackend::match_into(std::span<const Feature> queries,
+                                 const TrainView& train, Arena* scratch,
+                                 std::vector<Match>& out) {
+  const WallTimer timer;
+  match_descriptors_into(queries, train, matcher_options_, scratch, out);
+  match_ms_.store(timer.elapsed_ms());
+}
+
+void SoftwareBackend::match_candidates_into(std::span<const Feature> queries,
+                                            const TrainView& train,
+                                            const CandidateSet& candidates,
+                                            Arena* scratch,
+                                            std::vector<Match>& out) {
+  const WallTimer timer;
+  eslam::match_candidates_into(queries, train, candidates, matcher_options_,
+                               scratch, out);
+  match_ms_.store(timer.elapsed_ms());
+}
+
 Tracker::Tracker(const PinholeCamera& camera,
                  std::unique_ptr<FeatureBackend> backend,
                  const TrackerOptions& options)
@@ -48,6 +73,11 @@ Tracker::Tracker(const PinholeCamera& camera,
       keyframe_policy_(options.keyframe),
       kf_graph_(options.backend.graph) {
   ESLAM_ASSERT(backend_ != nullptr, "tracker needs a feature backend");
+  // Pre-size the growth-only containers so the steady-state loop never
+  // reallocates them (the allocation regression test counts every heap
+  // call after warm-up).
+  trajectory_.reserve(1024);
+  frame_pool_.reserve(kFramePoolCap);
 }
 
 std::optional<Vec3> Tracker::camera_point_from_depth(const FrameInput& frame,
@@ -84,7 +114,7 @@ void Tracker::bootstrap_map(
 }
 
 std::size_t Tracker::insert_map_points(
-    const FrameState& fs, const std::vector<bool>& feature_matched,
+    const FrameState& fs, std::span<const std::uint8_t> feature_matched,
     const SE3& pose_wc,
     std::vector<backend::KeyframeObservation>* observations) {
   for (std::size_t i = 0; i < fs.features.size(); ++i) {
@@ -146,8 +176,49 @@ Tracker::GatePrior Tracker::gate_prior_for(int frame_index) const {
   return out;
 }
 
-FrameState Tracker::begin_frame(FrameInput frame) {
+FrameState Tracker::acquire_frame() {
   FrameState fs;
+  {
+    const std::lock_guard<std::mutex> lock(frame_pool_mutex_);
+    if (!frame_pool_.empty()) {
+      fs = std::move(frame_pool_.back());
+      frame_pool_.pop_back();
+    }
+  }
+  // Reset per-frame state, keeping every container's capacity.
+  fs.features.clear();
+  fs.matches.clear();
+  fs.match_tier = MatchTier::kBruteForce;
+  fs.map_epoch = 0;
+  fs.bootstrap = false;
+  fs.reloc_positions.clear();
+  fs.reloc_reference_cw = SE3{};
+  fs.ransac.pose = SE3{};
+  fs.ransac.inliers.clear();
+  fs.ransac.success = false;
+  fs.ransac.iterations = 0;
+  fs.ransac_retry.inliers.clear();
+  fs.correspondences.clear();
+  fs.gate.candidates.indices.clear();
+  fs.gate.candidates.offsets.clear();
+  fs.gate.projected = 0;
+  fs.gate.build_ms = 0;
+  fs.result = TrackResult{};
+  if (fs.arena)
+    fs.arena->reset();
+  else
+    fs.arena = std::make_unique<Arena>();
+  return fs;
+}
+
+void Tracker::recycle_frame(FrameState&& fs) {
+  const std::lock_guard<std::mutex> lock(frame_pool_mutex_);
+  if (frame_pool_.size() < kFramePoolCap)
+    frame_pool_.push_back(std::move(fs));
+}
+
+FrameState Tracker::begin_frame(FrameInput frame) {
+  FrameState fs = acquire_frame();
   fs.input = std::move(frame);
   fs.index = next_index_++;
   fs.result.timestamp = fs.input.timestamp;
@@ -156,7 +227,7 @@ FrameState Tracker::begin_frame(FrameInput frame) {
 
 void Tracker::extract(FrameState& fs) {
   // --- Feature extraction (FPGA in the paper) ---------------------------
-  fs.features = backend_->extract(fs.input.gray);
+  backend_->extract_into(fs.input.gray, fs.features);
   fs.result.times.feature_extraction = backend_->last_extract_time_ms();
   fs.result.n_features = static_cast<int>(fs.features.size());
 }
@@ -178,9 +249,11 @@ void Tracker::match(FrameState& fs) {
     fs.result.n_matches = 0;
     return;
   }
-  std::vector<Descriptor256> query;
-  query.reserve(fs.features.size());
-  for (const Feature& f : fs.features) query.push_back(f.descriptor);
+  // Queries go to the backend as the features themselves (no per-frame
+  // descriptor staging copy); the train side is the map's AoS snapshot
+  // plus its SoA word-plane mirror, both borrowed under the shared lock
+  // above for the duration of this stage.
+  const TrainView train{map_.descriptors(), &map_.descriptor_soa()};
 
   const GatePrior prior = gate_prior_for(fs.index);
 
@@ -191,24 +264,21 @@ void Tracker::match(FrameState& fs) {
   bool gated = false;
   if (options_.match.use_gate && prior.pose_cw &&
       static_cast<int>(map_.size()) >= options_.match.min_map_points_for_gate) {
-    const GateResult gate = build_candidate_set(
-        map_.positions(), *prior.pose_cw, camera_, fs.features,
-        options_.match);
-    std::vector<Match> matches =
-        backend_->match_candidates(query, map_.descriptors(),
-                                   gate.candidates);
-    match_ms += gate.build_ms + backend_->last_match_time_ms();
+    const PositionSoA& pos = map_.position_soa();
+    build_candidate_set_into(pos.x, pos.y, pos.z, *prior.pose_cw, camera_,
+                             fs.features, options_.match, fs.arena.get(),
+                             fs.gate);
+    backend_->match_candidates_into(fs.features, train, fs.gate.candidates,
+                                    fs.arena.get(), fs.matches);
+    match_ms += fs.gate.build_ms + backend_->last_match_time_ms();
     const int required = std::max(
         options_.match.min_gated_matches,
         static_cast<int>(std::ceil(options_.match.min_gated_match_fraction *
-                                   static_cast<double>(query.size()))));
-    if (static_cast<int>(matches.size()) >= required) {
-      fs.matches = std::move(matches);
-      gated = true;
-    }
+                                   static_cast<double>(fs.features.size()))));
+    if (static_cast<int>(fs.matches.size()) >= required) gated = true;
     // else: too few matches survived — the prior is likely wrong (fast
     // motion beyond the window, viewpoint jump), so fall through to the
-    // full-map tier.
+    // full-map tier (which overwrites fs.matches).
   }
   // Relocalization tier: the publishing frame retired *lost*, so there is
   // no pose to gate with — recognize where we are instead.  Query the
@@ -220,18 +290,23 @@ void Tracker::match(FrameState& fs) {
   if (!gated && prior.lost &&
       prior.lost_streak >= options_.reloc.min_lost_frames &&
       options_.backend.enabled && options_.reloc.use_index &&
-      static_cast<int>(query.size()) >= options_.reloc.min_matches &&
+      static_cast<int>(fs.features.size()) >= options_.reloc.min_matches &&
       static_cast<int>(kf_graph_.size()) >= options_.reloc.min_keyframes) {
     // (A frame without enough features — a dropout/blank — cannot
     // relocalize by any tier; it is not counted as an attempt.)
     fs.result.reloc_attempted = true;
+    // Relocalization is a rare, off-schedule path: the descriptor staging
+    // copy the index query needs is allocated here, not on every frame.
+    std::vector<Descriptor256> query;
+    query.reserve(fs.features.size());
+    for (const Feature& f : fs.features) query.push_back(f.descriptor);
     relocated = match_against_reloc_index(fs, query, match_ms);
   }
   // Fallback tier: full-map brute force (bootstrap-adjacent frames,
   // post-loss frames without a usable index, small maps, gate/reloc
   // fallback).
   if (!gated && !relocated) {
-    fs.matches = backend_->match(query, map_.descriptors());
+    backend_->match_into(fs.features, train, fs.arena.get(), fs.matches);
     match_ms += backend_->last_match_time_ms();
   }
   fs.match_tier = gated ? MatchTier::kGated
@@ -331,57 +406,57 @@ void Tracker::estimate_pose(FrameState& fs) {
                                   static_cast<double>(
                                       fs.correspondences.size()))));
   const SE3 prior = predicted_pose_cw();
-  RansacResult ransac = ransac_pnp(fs.correspondences, camera_, prior,
-                                   options_.ransac);
-  if (!ransac.success ||
-      static_cast<int>(ransac.inliers.size()) < required_inliers) {
+  ransac_pnp_into(fs.correspondences, camera_, prior, options_.ransac,
+                  fs.arena.get(), fs.ransac);
+  if (!fs.ransac.success ||
+      static_cast<int>(fs.ransac.inliers.size()) < required_inliers) {
     // Retry once from the raw previous pose: the velocity extrapolation
     // itself can be the problem after an abrupt motion change, and a
     // low-consensus "success" is often a degenerate pose on repetitive
     // texture rather than the true one.
     if (options_.use_motion_model && have_velocity_) {
-      RansacResult retry = ransac_pnp(fs.correspondences, camera_,
-                                      last_pose_cw_, options_.ransac);
-      if (retry.inliers.size() > ransac.inliers.size())
-        ransac = std::move(retry);
+      ransac_pnp_into(fs.correspondences, camera_, last_pose_cw_,
+                      options_.ransac, fs.arena.get(), fs.ransac_retry);
+      if (fs.ransac_retry.inliers.size() > fs.ransac.inliers.size())
+        std::swap(fs.ransac, fs.ransac_retry);
     }
   }
   if (options_.relocalize_with_p3p &&
-      (!ransac.success ||
-       static_cast<int>(ransac.inliers.size()) < required_inliers)) {
+      (!fs.ransac.success ||
+       static_cast<int>(fs.ransac.inliers.size()) < required_inliers)) {
     // Relocalization: closed-form P3P hypotheses need no pose prior.
-    RansacOptions reloc = options_.ransac;
-    reloc.use_p3p = true;
-    RansacResult retry =
-        ransac_pnp(fs.correspondences, camera_, SE3{}, reloc);
-    if (retry.inliers.size() > ransac.inliers.size())
-      ransac = std::move(retry);
+    RansacOptions reloc_opts = options_.ransac;
+    reloc_opts.use_p3p = true;
+    ransac_pnp_into(fs.correspondences, camera_, SE3{}, reloc_opts,
+                    fs.arena.get(), fs.ransac_retry);
+    if (fs.ransac_retry.inliers.size() > fs.ransac.inliers.size())
+      std::swap(fs.ransac, fs.ransac_retry);
   }
   fs.result.times.pose_estimation = pe_timer.elapsed_ms();
-  fs.result.n_inliers = static_cast<int>(ransac.inliers.size());
-  if (reloc && ransac.success) {
+  fs.result.n_inliers = static_cast<int>(fs.ransac.inliers.size());
+  if (reloc && fs.ransac.success) {
     // Plausibility: the recovered camera must be where the recognized
     // keyframe's scene is visible from.  A wrong-place consensus (large
     // on repetitive texture) that slips through would seed phantom map
     // geometry that every later recovery compounds.
-    const Vec3 centre = ransac.pose.inverse().translation();
+    const Vec3 centre = fs.ransac.pose.inverse().translation();
     const Vec3 reference = fs.reloc_reference_cw.inverse().translation();
     const double distance = (centre - reference).norm();
-    const double rotation = ransac.pose.rotation_angle(fs.reloc_reference_cw);
+    const double rotation =
+        fs.ransac.pose.rotation_angle(fs.reloc_reference_cw);
     // Written as accept-only-when-provably-plausible: a NaN pose (a
     // degenerate refit can produce one) must fail this gate, and NaN
     // fails every comparison.
     if (!(distance <= options_.reloc.max_distance_m &&
           rotation <= options_.reloc.max_rotation_rad))
-      ransac.success = false;
+      fs.ransac.success = false;
   }
-  if (!ransac.success || fs.result.n_inliers < required_inliers) {
+  if (!fs.ransac.success || fs.result.n_inliers < required_inliers) {
     // Lost: keep the previous pose; update_map() drops the velocity.
     fs.result.lost = true;
     fs.result.pose_cw = last_pose_cw_;
     fs.result.pose_wc = last_pose_cw_.inverse();
   }
-  fs.ransac = std::move(ransac);
 }
 
 void Tracker::optimize_pose(FrameState& fs) {
@@ -389,10 +464,13 @@ void Tracker::optimize_pose(FrameState& fs) {
 
   // --- Pose optimization: LM on inlier reprojection error (ARM) ----------
   WallTimer po_timer;
-  std::vector<Correspondence> inlier_set;
-  inlier_set.reserve(fs.ransac.inliers.size());
+  if (!fs.arena) fs.arena = std::make_unique<Arena>();
+  const ArenaScope scope(*fs.arena);
+  std::span<Correspondence> inlier_set =
+      fs.arena->alloc_span<Correspondence>(fs.ransac.inliers.size());
+  std::size_t k = 0;
   for (int idx : fs.ransac.inliers)
-    inlier_set.push_back(fs.correspondences[static_cast<std::size_t>(idx)]);
+    inlier_set[k++] = fs.correspondences[static_cast<std::size_t>(idx)];
   const PnpResult optimized = solve_pnp(inlier_set, camera_, fs.ransac.pose,
                                         options_.pose_optimization);
   fs.result.times.pose_optimization = po_timer.elapsed_ms();
@@ -430,12 +508,16 @@ TrackResult Tracker::update_map(FrameState& fs) {
     // (pruned / culled / fused); it contributed pose evidence, but the
     // feature is treated as unmatched here so a fresh map point remaps
     // the revisited region.
-    std::vector<bool> feature_matched(fs.features.size(), false);
+    if (!fs.arena) fs.arena = std::make_unique<Arena>();
+    const ArenaScope mask_scope(*fs.arena);
+    const std::span<std::uint8_t> feature_matched =
+        fs.arena->alloc_span<std::uint8_t>(fs.features.size(),
+                                           std::uint8_t{0});
     std::vector<backend::KeyframeObservation> observations;
     for (int idx : fs.ransac.inliers) {
       const Match& m = fs.matches[static_cast<std::size_t>(idx)];
       if (m.train < 0) continue;
-      feature_matched[static_cast<std::size_t>(m.query)] = true;
+      feature_matched[static_cast<std::size_t>(m.query)] = 1;
       map_.note_match(static_cast<std::size_t>(m.train), fs.index);
       if (backend_on && is_keyframe) {
         const Feature& f = fs.features[static_cast<std::size_t>(m.query)];
@@ -507,12 +589,22 @@ TrackResult Tracker::update_map(FrameState& fs) {
 }
 
 TrackResult Tracker::process(const FrameInput& frame) {
-  FrameState fs = begin_frame(frame);
+  // Copy-assign the input into a recycled frame shell instead of routing
+  // through begin_frame(FrameInput) — the shell's image buffers keep their
+  // capacity across frames, so the sequential platform's steady state
+  // allocates nothing per frame either.
+  FrameState fs = acquire_frame();
+  fs.input.gray = frame.gray;
+  fs.input.depth = frame.depth;
+  fs.input.timestamp = frame.timestamp;
+  fs.index = next_index_++;
+  fs.result.timestamp = frame.timestamp;
   extract(fs);
   match(fs);
   estimate_pose(fs);
   optimize_pose(fs);
   TrackResult result = update_map(fs);
+  recycle_frame(std::move(fs));
   // Sequential platform: no worker pool, so a job frozen at this keyframe
   // runs inline right here (its delta applies at the next keyframe, the
   // same protocol the asynchronous lane follows).

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "backend/local_mapper.h"
+#include "core/arena.h"
 #include "features/matcher.h"
 #include "features/orb.h"
 #include "geometry/camera.h"
@@ -53,6 +54,35 @@ class FeatureBackend {
       std::span<const Descriptor256> queries,
       std::span<const Descriptor256> train,
       const CandidateSet& candidates) = 0;
+
+  // Allocation-free variants the tracker's hot path calls: outputs land in
+  // recycled buffers, matcher scratch comes from the frame's arena, and the
+  // train side arrives as a TrainView so SoA-capable backends can use the
+  // map's word-plane mirror.  The default adapters below stage through the
+  // allocating API, so existing backends (the simulated fabric, test mocks)
+  // keep working unchanged; backends on the steady-state path override.
+  virtual void extract_into(const ImageU8& image, FeatureList& out) {
+    out = extract(image);
+  }
+  virtual void match_into(std::span<const Feature> queries,
+                          const TrainView& train, Arena* /*scratch*/,
+                          std::vector<Match>& out) {
+    std::vector<Descriptor256> staged;
+    staged.reserve(queries.size());
+    for (const Feature& f : queries) staged.push_back(f.descriptor);
+    out = match(staged, train.aos);
+  }
+  virtual void match_candidates_into(std::span<const Feature> queries,
+                                     const TrainView& train,
+                                     const CandidateSet& candidates,
+                                     Arena* /*scratch*/,
+                                     std::vector<Match>& out) {
+    std::vector<Descriptor256> staged;
+    staged.reserve(queries.size());
+    for (const Feature& f : queries) staged.push_back(f.descriptor);
+    out = match_candidates(staged, train.aos, candidates);
+  }
+
   virtual double last_extract_time_ms() const = 0;
   virtual double last_match_time_ms() const = 0;
   virtual const char* name() const = 0;
@@ -73,6 +103,13 @@ class SoftwareBackend final : public FeatureBackend {
   std::vector<Match> match_candidates(std::span<const Descriptor256> queries,
                                       std::span<const Descriptor256> train,
                                       const CandidateSet& candidates) override;
+  void extract_into(const ImageU8& image, FeatureList& out) override;
+  void match_into(std::span<const Feature> queries, const TrainView& train,
+                  Arena* scratch, std::vector<Match>& out) override;
+  void match_candidates_into(std::span<const Feature> queries,
+                             const TrainView& train,
+                             const CandidateSet& candidates, Arena* scratch,
+                             std::vector<Match>& out) override;
   double last_extract_time_ms() const override { return extract_ms_.load(); }
   double last_match_time_ms() const override { return match_ms_.load(); }
   const char* name() const override { return "software"; }
@@ -280,6 +317,19 @@ struct FrameState {
   RansacResult ransac;
   std::vector<Correspondence> correspondences;
   TrackResult result;
+  // Per-frame bump arena for stage scratch (matcher distance rows, gate
+  // CSR, RANSAC index buffers, the map-maintenance matched mask).  Reset
+  // once per frame by Tracker::acquire_frame(); after warm-up its slab
+  // chain is capacity-stable, so every arena draw on the steady-state path
+  // is pointer arithmetic, not heap traffic.  unique_ptr (rather than a
+  // plain member) keeps FrameState cheaply movable through the pipeline
+  // queues.
+  std::unique_ptr<Arena> arena;
+  // Gated tier's candidate structure, built into recycled vectors.
+  GateResult gate;
+  // Scratch result for estimate_pose()'s retry attempts (reused so a retry
+  // does not allocate a fresh inlier vector every lost-ish frame).
+  RansacResult ransac_retry;
 };
 
 // Stage-decomposed tracker.  Threading contract (matching the paper's
@@ -299,8 +349,15 @@ class Tracker {
   TrackResult process(const FrameInput& frame);
 
   // --- pipeline stage API -------------------------------------------------
-  // Assigns the next frame index and wraps the input.
+  // Assigns the next frame index and wraps the input.  The returned shell
+  // comes from the recycling pool when one is available: its vectors keep
+  // their capacity and its arena is reset, so a steady-state frame reuses
+  // last frame's memory instead of allocating.
   FrameState begin_frame(FrameInput frame);
+  // Returns a retired frame's shell to the pool (capacities intact) for
+  // begin_frame() to hand out again.  Optional — a dropped FrameState just
+  // frees its memory — but required for the zero-allocation steady state.
+  void recycle_frame(FrameState&& fs);
   // Feature extraction (FPGA in the paper).  No tracker state touched.
   void extract(FrameState& fs);
   // Feature matching against the current map (FPGA in the paper).  Safe to
@@ -364,10 +421,15 @@ class Tracker {
                      std::vector<backend::KeyframeObservation>* observations);
   // Inserts unmatched features as new map points (recording their backend
   // observations when requested), then age-prunes; returns the prune count.
+  // feature_matched is a 0/1 mask over fs.features (arena-backed on the
+  // hot path, hence span rather than vector<bool>).
   std::size_t insert_map_points(
-      const FrameState& fs, const std::vector<bool>& feature_matched,
+      const FrameState& fs, std::span<const std::uint8_t> feature_matched,
       const SE3& pose_wc,
       std::vector<backend::KeyframeObservation>* observations);
+  // Pops a recycled frame shell (or default-constructs one) and resets its
+  // per-frame state: vectors cleared capacity-intact, arena reset.
+  FrameState acquire_frame();
   // Applies a completed backend delta, if one is ready.  Caller holds the
   // exclusive map lock (this is a structural map write).
   void apply_pending_backend_delta(FrameState& fs);
@@ -431,6 +493,12 @@ class Tracker {
   int next_index_ = 0;      // assigned by begin_frame (feed order)
   int frame_index_ = 0;     // frames retired through update_map
   std::vector<TrackResult> trajectory_;
+  // Retired frame shells awaiting reuse (begin_frame pops, recycle_frame
+  // pushes).  Own mutex: the pipeline runtime recycles from the ARM lane
+  // while the device lane begins the next frame.
+  std::vector<FrameState> frame_pool_;
+  std::mutex frame_pool_mutex_;
+  static constexpr std::size_t kFramePoolCap = 16;
   // Guards the map's structure: match() holds it shared while reading
   // descriptors, update_map() holds it exclusively while inserting or
   // pruning points (the hardware's SDRAM map region, written only during

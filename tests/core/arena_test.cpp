@@ -1,0 +1,123 @@
+#include "core/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+
+namespace eslam {
+namespace {
+
+TEST(Arena, BumpAllocationIsContiguousWithinSlab) {
+  Arena arena(4096);
+  auto a = arena.alloc_span<std::uint8_t>(16);
+  auto b = arena.alloc_span<std::uint8_t>(16);
+  ASSERT_EQ(a.size(), 16u);
+  ASSERT_EQ(b.size(), 16u);
+  // Same slab: the second span starts where the first ended (both are
+  // byte-aligned requests, so no padding intervenes).
+  EXPECT_EQ(a.data() + 16, b.data());
+}
+
+TEST(Arena, RespectsAlignment) {
+  Arena arena;
+  (void)arena.allocate(1, 1);  // misalign the cursor
+  void* p = arena.allocate(64, 64);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 64, 0u);
+  (void)arena.allocate(3, 1);
+  auto d = arena.alloc_span<double>(7);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(d.data()) % alignof(double), 0u);
+}
+
+TEST(Arena, FillInitialises) {
+  Arena arena;
+  auto s = arena.alloc_span<int>(100, 42);
+  for (int v : s) EXPECT_EQ(v, 42);
+}
+
+TEST(Arena, ResetReusesSlabsWithoutNewHeapAllocations) {
+  Arena arena(4096);
+  for (int i = 0; i < 4; ++i) (void)arena.alloc_span<std::uint8_t>(3000);
+  const std::size_t slabs_after_warmup = arena.stats().slab_allocs;
+  EXPECT_GE(slabs_after_warmup, 2u);  // forced at least one growth
+
+  for (int frame = 0; frame < 50; ++frame) {
+    arena.reset();
+    for (int i = 0; i < 4; ++i) (void)arena.alloc_span<std::uint8_t>(3000);
+  }
+  // Steady state: the slab chain covers the per-frame demand, so reset +
+  // re-allocate performs zero further heap allocations.
+  EXPECT_EQ(arena.stats().slab_allocs, slabs_after_warmup);
+  EXPECT_EQ(arena.stats().slab_count, slabs_after_warmup);
+}
+
+TEST(Arena, OversizedRequestGetsDedicatedSlab) {
+  Arena arena(4096);
+  auto big = arena.alloc_span<std::uint8_t>(100 * 1024);
+  ASSERT_EQ(big.size(), 100u * 1024u);
+  std::memset(big.data(), 0xAB, big.size());  // must be fully writable
+  EXPECT_EQ(big[big.size() - 1], 0xAB);
+}
+
+TEST(Arena, StatsTrackHighWater) {
+  Arena arena;
+  (void)arena.alloc_span<std::uint8_t>(1000);
+  (void)arena.alloc_span<std::uint8_t>(500);
+  EXPECT_EQ(arena.stats().live_bytes, 1500u);
+  EXPECT_EQ(arena.stats().high_water_bytes, 1500u);
+  EXPECT_EQ(arena.stats().alloc_calls, 2u);
+  arena.reset();
+  EXPECT_EQ(arena.stats().live_bytes, 0u);
+  EXPECT_EQ(arena.stats().high_water_bytes, 1500u);  // sticky
+  (void)arena.alloc_span<std::uint8_t>(200);
+  EXPECT_EQ(arena.stats().live_bytes, 200u);
+  EXPECT_EQ(arena.stats().high_water_bytes, 1500u);
+}
+
+TEST(Arena, ZeroCountSpanIsEmpty) {
+  Arena arena;
+  auto s = arena.alloc_span<int>(0);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(ArenaScope, RewindsNestedScratch) {
+  Arena arena(4096);
+  auto outer = arena.alloc_span<std::uint8_t>(100, std::uint8_t{1});
+  const std::size_t live_before = arena.stats().live_bytes;
+  {
+    const ArenaScope scope(arena);
+    (void)arena.alloc_span<std::uint8_t>(200);
+    EXPECT_GT(arena.stats().live_bytes, live_before);
+  }
+  EXPECT_EQ(arena.stats().live_bytes, live_before);
+  // The outer span survives the inner scope untouched.
+  for (std::uint8_t v : outer) EXPECT_EQ(v, 1);
+  // And the rewound bytes are handed out again.
+  auto again = arena.alloc_span<std::uint8_t>(10);
+  EXPECT_EQ(again.data(), outer.data() + outer.size());
+}
+
+TEST(ArenaScope, RewindAcrossSlabBoundary) {
+  Arena arena(4096);
+  (void)arena.alloc_span<std::uint8_t>(1000);
+  const std::size_t live_before = arena.stats().live_bytes;
+  {
+    const ArenaScope scope(arena);
+    // Forces growth into a second slab.
+    (void)arena.alloc_span<std::uint8_t>(8000);
+    (void)arena.alloc_span<std::uint8_t>(8000);
+  }
+  EXPECT_EQ(arena.stats().live_bytes, live_before);
+  const std::size_t slabs = arena.stats().slab_allocs;
+  // The grown chain is retained: repeating the same burst allocates no
+  // further slabs.
+  {
+    const ArenaScope scope(arena);
+    (void)arena.alloc_span<std::uint8_t>(8000);
+    (void)arena.alloc_span<std::uint8_t>(8000);
+  }
+  EXPECT_EQ(arena.stats().slab_allocs, slabs);
+}
+
+}  // namespace
+}  // namespace eslam
