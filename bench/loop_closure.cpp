@@ -75,7 +75,11 @@ TrackerOptions tracker_options(bool loop_on, int frames) {
   TrackerOptions opts;
   opts.backend.enabled = true;
   opts.backend.loop.enabled = loop_on;
-  opts.map_prune_age = std::max(40, frames / 6);
+  opts.lifecycle.max_age = std::max(40, frames / 6);
+  // Pure age pruning: the retention override would keep the revisited
+  // region's landmarks alive, and the loop would close implicitly through
+  // matching instead of exercising detection + correction.
+  opts.lifecycle.protect_min_matches = 0;
   opts.backend.loop.min_frame_gap = std::max(30, frames / 5);
   return opts;
 }

@@ -1,6 +1,7 @@
 #include "backend/keyframe_graph.h"
 
 #include <algorithm>
+#include <functional>
 #include <unordered_set>
 
 #include "geometry/assert.h"
@@ -94,6 +95,28 @@ KeyframeGraph::place_observations(std::span<const int> keyframe_ids) const {
     }
   }
   return out;
+}
+
+std::vector<int> KeyframeGraph::covisible_component(
+    int seed, std::span<std::uint8_t> claimed) const {
+  std::vector<int> component;
+  if (!contains(seed)) return component;
+  const auto flag = [&](int id) -> std::uint8_t& {
+    return claimed[static_cast<std::size_t>(id - first_id_)];
+  };
+  if (flag(seed)) return component;
+  flag(seed) = 1;
+  component.push_back(seed);
+  // Plain queue-index BFS; the component doubles as the frontier.
+  for (std::size_t head = 0; head < component.size(); ++head) {
+    for (const CovisEdge& e : neighbors(component[head])) {
+      if (flag(e.keyframe_id)) continue;
+      flag(e.keyframe_id) = 1;
+      component.push_back(e.keyframe_id);
+    }
+  }
+  std::sort(component.begin(), component.end(), std::greater<int>());
+  return component;
 }
 
 void KeyframeGraph::evict_oldest() {

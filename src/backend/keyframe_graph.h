@@ -111,6 +111,16 @@ class KeyframeGraph {
   std::vector<PlaceObservation> place_observations(
       std::span<const int> keyframe_ids) const;
 
+  // Connected covisibility component of `seed` restricted to unclaimed
+  // keyframes: BFS over covisibility edges, never entering a keyframe
+  // whose `claimed[id - first_live_id()]` flag is set, marking every
+  // collected keyframe claimed.  Returns the component sorted newest
+  // first.  This is the shard decomposer's substrate — two components
+  // collected this way share no covisibility edge between them, so the
+  // backend may optimize them as independent jobs.
+  std::vector<int> covisible_component(int seed,
+                                       std::span<std::uint8_t> claimed) const;
+
   // Drops observations of removed map points (after backend cull/fuse),
   // so future snapshots stop proposing them.  Ids must be sorted.
   void remove_point_observations(std::span<const std::int64_t> removed_ids);

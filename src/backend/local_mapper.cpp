@@ -9,18 +9,6 @@
 
 namespace eslam::backend {
 
-namespace {
-
-// 3D grid key for the fuse pass (cell size = fuse radius).
-std::int64_t cell_key(const Vec3& p, double cell) {
-  const auto q = [&](double v) {
-    return static_cast<std::int64_t>(std::floor(v / cell)) & 0x1fffff;
-  };
-  return (q(p[0]) << 42) | (q(p[1]) << 21) | q(p[2]);
-}
-
-}  // namespace
-
 int detect_loop_candidate(const KeyframeGraph& graph,
                           const KeyframeIndex& index, int query_kf,
                           const LoopOptions& options) {
@@ -273,22 +261,91 @@ void optimize_loop(const BackendSnapshot& snapshot,
 
 }  // namespace
 
-bool build_snapshot(const KeyframeGraph& graph, const Map& map,
-                    const PinholeCamera& camera, const BackendOptions& options,
-                    int snapshot_frame, BackendSnapshot& out) {
+std::vector<BackendShard> compute_shards(const KeyframeGraph& graph,
+                                         const BackendOptions& options) {
+  std::vector<BackendShard> shards;
   if (static_cast<int>(graph.size()) < std::max(2, options.min_keyframes))
-    return false;
+    return shards;
+
+  // Shard 0 is exactly the old single-window problem: the local window
+  // around the latest keyframe plus its strongest-covisibility anchors.
+  BackendShard primary;
+  primary.window_kfs = graph.local_window(options.window_size);
+  primary.fixed_kfs =
+      graph.anchors(primary.window_kfs, options.max_fixed_anchors);
+
+  // Claim the primary window AND everything covisible with it.  Claiming
+  // the whole neighbourhood — not just the window — is what guarantees no
+  // covisibility edge between free sets of different shards: covisibility
+  // is symmetric, so any keyframe with an edge into the primary window is
+  // flagged here and can never seed or join a secondary component.
+  const int first = graph.first_live_id();
+  std::vector<std::uint8_t> claimed(graph.size(), 0);
+  const auto claim = [&](int id) {
+    claimed[static_cast<std::size_t>(id - first)] = 1;
+  };
+  for (const int id : primary.window_kfs) {
+    claim(id);
+    for (const CovisEdge& e : graph.neighbors(id)) claim(e.keyframe_id);
+  }
+  shards.push_back(std::move(primary));
+
+  // Secondary shards: connected covisibility components of the unclaimed
+  // remainder, newest seed first (the most recently revisited region is
+  // the one whose optimization pays off soonest).  Each component claims
+  // itself wholesale, so free sets stay pairwise disjoint and edge-free
+  // across shards; an anchor picked from a claimed node is fine — anchors
+  // are read-only poses.
+  const int count = static_cast<int>(graph.size());
+  for (int id = first + count - 1; id >= first; --id) {
+    if (static_cast<int>(shards.size()) >= std::max(1, options.max_shards))
+      break;
+    if (claimed[static_cast<std::size_t>(id - first)]) continue;
+    const std::vector<int> component = graph.covisible_component(id, claimed);
+    // A shard needs at least one free pose and two gauge anchors.
+    if (static_cast<int>(component.size()) < 3) continue;
+    BackendShard shard;
+    const std::size_t w = std::min(
+        component.size(),
+        static_cast<std::size_t>(std::max(1, options.window_size)));
+    shard.window_kfs.assign(component.begin(), component.begin() + w);
+    shard.fixed_kfs =
+        graph.anchors(shard.window_kfs, options.max_fixed_anchors);
+    // Sparse components may lack min_weight covisibility edges; pad the
+    // anchor set with the component's own older members.
+    for (std::size_t i = w; i < component.size(); ++i) {
+      if (static_cast<int>(shard.fixed_kfs.size()) >=
+          std::max(2, options.max_fixed_anchors))
+        break;
+      if (std::find(shard.fixed_kfs.begin(), shard.fixed_kfs.end(),
+                    component[i]) == shard.fixed_kfs.end())
+        shard.fixed_kfs.push_back(component[i]);
+    }
+    shards.push_back(std::move(shard));
+  }
+  return shards;
+}
+
+bool build_shard_snapshot(const KeyframeGraph& graph, const Map& map,
+                          const PinholeCamera& camera,
+                          const BackendOptions& options,
+                          const BackendShard& shard, int shard_id,
+                          int snapshot_frame,
+                          std::span<const std::int64_t> claimed_points,
+                          BackendSnapshot& out) {
   out = BackendSnapshot{};
   out.map_epoch = map.epoch();
   out.snapshot_frame = snapshot_frame;
-  out.window_kfs = graph.local_window(options.window_size);
-  out.fixed_kfs = graph.anchors(out.window_kfs, options.max_fixed_anchors);
+  out.shard_id = shard_id;
+  out.window_kfs = shard.window_kfs;
+  out.fixed_kfs = shard.fixed_kfs;
 
   // The gauge needs at least two fixed poses (see local_ba.h: one fixed
   // pose still leaves the global scale free).  When the anchor set is
-  // thin (early session), the oldest window members — the tail of the
-  // newest-first window list — become the anchors; if even that cannot
-  // produce two, the problem is refused rather than solved gauge-free.
+  // thin (early session, small component), the oldest window members —
+  // the tail of the newest-first window list — become the anchors; if
+  // even that cannot produce two, the problem is refused rather than
+  // solved gauge-free.
   while (static_cast<int>(out.fixed_kfs.size()) < 2 &&
          out.window_kfs.size() > 1) {
     out.fixed_kfs.push_back(out.window_kfs.back());
@@ -324,6 +381,19 @@ bool build_snapshot(const KeyframeGraph& graph, const Map& map,
     return static_cast<int>(it - out.point_ids.begin());
   };
 
+  // Ownership: a point already claimed by another in-flight job enters
+  // this problem as a fixed landmark — its residuals still constrain the
+  // window poses, but this job may not move, cull, or fuse it.  Left
+  // empty (all-owned) when nothing is claimed, so the lone-snapshot path
+  // costs nothing.
+  if (!claimed_points.empty()) {
+    out.point_owned.resize(out.point_ids.size(), 1);
+    for (std::size_t j = 0; j < out.point_ids.size(); ++j)
+      if (std::binary_search(claimed_points.begin(), claimed_points.end(),
+                             out.point_ids[j]))
+        out.point_owned[j] = 0;
+  }
+
   // Poses: free window first, fixed anchors after.
   std::vector<int> all_kfs = out.window_kfs;
   all_kfs.insert(all_kfs.end(), out.fixed_kfs.begin(), out.fixed_kfs.end());
@@ -342,16 +412,32 @@ bool build_snapshot(const KeyframeGraph& graph, const Map& map,
   }
   out.problem.point_fixed.resize(out.point_ids.size());
   for (std::size_t j = 0; j < out.point_ids.size(); ++j)
-    out.problem.point_fixed[j] = obs_count[j] < options.min_observations;
+    out.problem.point_fixed[j] =
+        obs_count[j] < options.min_observations ||
+        (!out.point_owned.empty() && out.point_owned[j] == 0);
   return true;
 }
 
+bool build_snapshot(const KeyframeGraph& graph, const Map& map,
+                    const PinholeCamera& camera, const BackendOptions& options,
+                    int snapshot_frame, BackendSnapshot& out) {
+  if (static_cast<int>(graph.size()) < std::max(2, options.min_keyframes))
+    return false;
+  BackendShard shard;
+  shard.window_kfs = graph.local_window(options.window_size);
+  shard.fixed_kfs = graph.anchors(shard.window_kfs, options.max_fixed_anchors);
+  return build_shard_snapshot(graph, map, camera, options, shard,
+                              /*shard_id=*/0, snapshot_frame, {}, out);
+}
+
 BackendDelta optimize_snapshot(BackendSnapshot snapshot,
-                               const BackendOptions& options) {
+                               const BackendOptions& options,
+                               const MapLifecycleOptions& lifecycle) {
   const WallTimer timer;
   BackendDelta delta;
   delta.map_epoch = snapshot.map_epoch;
   delta.snapshot_frame = snapshot.snapshot_frame;
+  delta.shard_id = snapshot.shard_id;
 
   if (snapshot.loop) {
     optimize_loop(snapshot, options, delta);
@@ -367,112 +453,34 @@ BackendDelta optimize_snapshot(BackendSnapshot snapshot,
     delta.keyframe_poses.push_back(
         {snapshot.window_kfs[pi], snapshot.problem.poses[pi]});
 
+  // Evidence passes (cull + fuse) are the lifecycle policy's, not the
+  // optimizer's: plan_point_fates judges the post-BA problem and never
+  // touches a point another in-flight shard owns.
   const BaProblem& problem = snapshot.problem;
-  const std::size_t n_points = problem.points.size();
-  enum class Fate { kKeep, kCull, kFuse };
-  std::vector<Fate> fate(n_points, Fate::kKeep);
-  if (options.cull_max_reproj_px > 0) {
-    // Post-BA per-point mean reprojection error, one pass over
-    // observations (only paid when the cull pass is enabled).
-    std::vector<double> err_sum(n_points, 0.0);
-    std::vector<int> err_count(n_points, 0);
-    for (const BaObservation& obs : problem.observations) {
-      const std::size_t j = static_cast<std::size_t>(obs.point_index);
-      const Vec3 p =
-          problem.poses[static_cast<std::size_t>(obs.pose_index)] *
-          problem.points[j];
-      ++err_count[j];
-      if (p[2] <= PinholeCamera::kMinDepth) {
-        err_sum[j] += 1e3;  // behind a window camera: certainly misplaced
-        continue;
-      }
-      const Vec2 proj{problem.camera.fx() * p[0] / p[2] + problem.camera.cx(),
-                      problem.camera.fy() * p[1] / p[2] + problem.camera.cy()};
-      err_sum[j] += (proj - obs.pixel).norm();
-    }
-    for (std::size_t j = 0; j < n_points; ++j)
-      if (err_count[j] >= std::max(1, options.min_cull_observations) &&
-          err_sum[j] / err_count[j] > options.cull_max_reproj_px)
-        fate[j] = Fate::kCull;
-  }
+  std::vector<PointFate> fate;
+  plan_point_fates(problem, snapshot.point_ids, snapshot.point_descriptors,
+                   snapshot.point_match_counts, snapshot.point_owned,
+                   lifecycle, fate);
 
-  // Fuse pass: grid-hash the post-BA positions; points within
-  // fuse_radius_m and fuse_max_hamming of each other are redundant
-  // duplicates.  The survivor of a cluster is its most-*matched* member
-  // (ties to the oldest id): the point the matcher demonstrably keeps
-  // finding is the one whose descriptor serves the current viewpoint —
-  // blindly keeping the oldest throws away the proven descriptor, which
-  // measurably degrades tracking once BA moves have aligned duplicates.
-  // Scanning ids in ascending order with winner-replacement keeps the
-  // outcome deterministic regardless of map size.
-  if (options.fuse_radius_m > 0) {
-    const double cell = options.fuse_radius_m;
-    std::unordered_map<std::int64_t, std::vector<std::size_t>> grid;
-    grid.reserve(n_points);
-    const auto beats = [&](std::size_t a, std::size_t b) {
-      if (snapshot.point_match_counts[a] != snapshot.point_match_counts[b])
-        return snapshot.point_match_counts[a] >
-               snapshot.point_match_counts[b];
-      return snapshot.point_ids[a] < snapshot.point_ids[b];
-    };
-    for (std::size_t j = 0; j < n_points; ++j) {
-      if (fate[j] == Fate::kCull) continue;
-      const Vec3& pj = problem.points[j];
-      std::vector<std::size_t> colliders;
-      for (int dx = -1; dx <= 1; ++dx)
-        for (int dy = -1; dy <= 1; ++dy)
-          for (int dz = -1; dz <= 1; ++dz) {
-            const Vec3 probe{pj[0] + dx * cell, pj[1] + dy * cell,
-                             pj[2] + dz * cell};
-            const auto it = grid.find(cell_key(probe, cell));
-            if (it == grid.end()) continue;
-            for (const std::size_t i : it->second) {
-              if ((problem.points[i] - pj).norm() > options.fuse_radius_m)
-                continue;
-              if (hamming_distance(snapshot.point_descriptors[i],
-                                   snapshot.point_descriptors[j]) >
-                  options.fuse_max_hamming)
-                continue;
-              colliders.push_back(i);
-            }
-          }
-      if (colliders.empty()) {
-        grid[cell_key(pj, cell)].push_back(j);
-        continue;
-      }
-      std::size_t winner = j;
-      for (const std::size_t i : colliders)
-        if (beats(i, winner)) winner = i;
-      for (const std::size_t i : colliders) {
-        if (i == winner) continue;
-        fate[i] = Fate::kFuse;
-        std::vector<std::size_t>& bucket =
-            grid[cell_key(problem.points[i], cell)];
-        std::erase(bucket, i);
-      }
-      if (winner == j)
-        grid[cell_key(pj, cell)].push_back(j);
-      else
-        fate[j] = Fate::kFuse;
-    }
-  }
-
-  for (std::size_t j = 0; j < n_points; ++j) {
+  for (std::size_t j = 0; j < problem.points.size(); ++j) {
     const std::int64_t id = snapshot.point_ids[j];
     switch (fate[j]) {
-      case Fate::kCull:
+      case PointFate::kCull:
         delta.culled_ids.push_back(id);
         break;
-      case Fate::kFuse:
+      case PointFate::kFuse:
         delta.fused_ids.push_back(id);
         break;
-      case Fate::kKeep: {
+      case PointFate::kKeep: {
+        // point_fixed covers both thin evidence and not-owned-here; a
+        // fixed point cannot have moved, but the guard keeps the delta's
+        // ownership contract explicit.
         if (problem.point_fixed[j]) break;
         const Vec3 move = problem.points[j] - original_points[j];
         if (move.max_abs() <= 1e-12) break;
         // Trust region: a runaway estimate is not a refinement.
-        if (options.max_point_move_m > 0 &&
-            move.norm() > options.max_point_move_m)
+        if (lifecycle.max_point_move_m > 0 &&
+            move.norm() > lifecycle.max_point_move_m)
           break;
         delta.point_positions.push_back({id, problem.points[j]});
         break;

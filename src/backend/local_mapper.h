@@ -1,22 +1,42 @@
 // Asynchronous local-mapping backend: snapshot -> optimize -> delta ->
-// apply.
+// apply, sharded.
 //
 // The backend never touches live tracker state while optimizing.  At a
 // key frame, the tracker (inside update_map, the one map-writing stage)
-// builds a BackendSnapshot — a frozen copy of the local BA window selected
-// from the covisibility graph plus the map points it observes — and hands
-// it to a worker (the scheduler's background lane, or inline in
-// sequential mode).  optimize_snapshot() runs windowed bundle adjustment
-// (local_ba.h) on the copy and derives a BackendDelta: refined keyframe
-// poses, refined point positions, and the ids of points to cull (bad
-// post-BA geometry) or fuse (near-duplicates the map accumulated).  The
-// tracker applies the delta at the *next* key frame under the map's
-// structural-epoch rules: apply_delta() mutates the map in one step and
-// bumps its epoch exactly once, so a speculative feature match that read
-// the pre-apply map replays by the existing rule — pipelined semantics
-// need no new invariants.  Points matched after the snapshot was taken
-// are never removed by a stale delta (fresh evidence wins); position
-// refinements still apply (they carry their own, newer, evidence).
+// decomposes the optimization work into **shards** — covisibility-
+// disjoint keyframe windows computed from the KeyframeGraph — and
+// freezes each eligible shard as an independent BackendSnapshot: a
+// frozen copy of that window plus the map points it observes.  Workers
+// (the scheduler's background lane, or inline in sequential mode) run
+// each job via optimize_snapshot(), which performs windowed bundle
+// adjustment (local_ba.h) on the copy and derives a BackendDelta:
+// refined keyframe poses, refined point positions, and the ids of points
+// to cull or fuse (the lifecycle policy's evidence passes, see
+// backend/map_lifecycle.h).  The tracker applies every completed delta
+// at the *next* key frame under the map's structural-epoch rules:
+// apply_delta() mutates the map in one step and bumps its epoch exactly
+// once per delta, so a speculative feature match that read the pre-apply
+// map replays by the existing rule — pipelined semantics need no new
+// invariants.  Points matched after the snapshot was taken are never
+// removed by a stale delta (fresh evidence wins); position refinements
+// still apply (they carry their own, newer, evidence).
+//
+// Why concurrent shard deltas compose: two shards from one decomposition
+// have disjoint free-keyframe sets with no covisibility edge between
+// them (compute_shards), and every map point is *owned* by at most one
+// in-flight job — a point an earlier shard (or an in-flight job) already
+// claimed enters a later snapshot as a fixed landmark (it still
+// constrains the window poses) but is excluded from that job's moves,
+// culls and fuses.  Deltas from concurrently running jobs therefore
+// write disjoint keyframe-pose and point-id sets, so applying them in
+// any order yields the same map — Map::apply_update needs no new
+// synchronization, just one structural write per delta.
+//
+// Job classes: routine shard BA is throughput work; loop-verification
+// jobs (detect_loop_candidate + build_loop_snapshot) are a distinct
+// high-priority class — the scheduler's background lane pops them first
+// (runtime/backend_queue.h) because every frame a verified-able loop
+// waits, the session tracks on — and extends — a drifted map.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +46,7 @@
 #include "backend/keyframe_graph.h"
 #include "backend/keyframe_index.h"
 #include "backend/local_ba.h"
+#include "backend/map_lifecycle.h"
 #include "backend/pose_graph.h"
 #include "features/descriptor.h"
 #include "features/matcher.h"
@@ -119,33 +140,32 @@ struct BackendOptions {
   int min_keyframes = 3;
   BaOptions ba;
   KeyframeGraphOptions graph;
-  // --- map-maintenance passes (opt-in) -----------------------------------
-  // The default backend applies ONLY bounded position refinements: on the
-  // long fr1/desk regime (bench_backend_ate) they alone cut ATE by ~1/3,
-  // and they are the one pass whose failure mode is bounded by the trust
-  // region below.  The cull and fuse passes are implemented, tested and
-  // per-session tunable, but ship disabled: the tracked trajectory is
-  // chaotically sensitive to removing live map points (a hundred culled
-  // points measurably flipped the desk run), so removal needs stronger
-  // evidence — relocalization-grade verification over the keyframe DB
-  // (see ROADMAP) — before it can be default-on.
-  //
-  // Cull (enabled when > 0): remove a point whose post-BA mean
-  // reprojection error exceeds this many pixels, judged only when it has
-  // at least min_cull_observations observations of evidence.
-  double cull_max_reproj_px = 0.0;
-  int min_cull_observations = 2;
-  // Trust region on position refinements: a point BA wants to move
-  // farther than this (metres) is left untouched (an unconverged or
-  // gauge-sliding estimate, not a refinement).
-  double max_point_move_m = 0.5;
-  // Fuse (enabled when > 0): points within this distance (metres) AND
-  // fuse_max_hamming descriptor bits form a duplicate cluster; only its
-  // most-matched member survives (ties to the oldest).
-  double fuse_radius_m = 0.0;
-  int fuse_max_hamming = 48;
-  // --- loop closure (opt-in, like the removal passes above) --------------
+  // --- sharded execution --------------------------------------------------
+  // Upper bound on covisibility-disjoint shards per decomposition (shard 0
+  // is always the local window around the latest keyframe; further shards
+  // are disconnected covisibility components, newest first).  1 restores
+  // the old single-window backend.
+  int max_shards = 4;
+  // Upper bound on jobs in flight per tracker (frozen, queued, running or
+  // delta-ready).  A keyframe whose decomposition would exceed this skips
+  // the excess shards; they get their turn at a later keyframe.
+  int max_inflight_jobs = 3;
+  // NOTE: the map-maintenance passes (age prune, BA cull/fuse) that used
+  // to be split between Map::prune and fields here now live in ONE place:
+  // MapLifecycleOptions (backend/map_lifecycle.h), owned by the tracker
+  // and threaded into optimize_snapshot() explicitly.
+  // --- loop closure (opt-in) ----------------------------------------------
   LoopOptions loop;
+};
+
+// One backend work shard: a covisibility-disjoint window of free
+// keyframes plus the fixed anchors that pin its gauge.  Shards from one
+// compute_shards() call never share a free keyframe and never have a
+// covisibility edge between their free sets (anchors may be shared —
+// they are read-only poses).
+struct BackendShard {
+  std::vector<int> window_kfs;  // free keyframes, newest first
+  std::vector<int> fixed_kfs;   // gauge anchors (poses held fixed)
 };
 
 // Frozen input of one loop-closure job: the 2D side (the querying
@@ -186,6 +206,7 @@ struct LoopJobSnapshot {
 struct BackendSnapshot {
   std::uint64_t map_epoch = 0;  // epoch the copy was taken under
   int snapshot_frame = 0;       // frame index of the triggering keyframe
+  int shard_id = 0;             // ordinal within its decomposition
   std::vector<int> window_kfs;  // free keyframe ids (graph ids)
   std::vector<int> fixed_kfs;   // anchor keyframe ids
   BaProblem problem;            // poses = window_kfs ++ fixed_kfs order
@@ -193,6 +214,12 @@ struct BackendSnapshot {
   std::vector<std::int64_t> point_ids;
   std::vector<Descriptor256> point_descriptors;
   std::vector<int> point_match_counts;  // fusion keeps the proven member
+  // Ownership mask aligned with point_ids: 1 = this job may move / cull /
+  // fuse the point, 0 = another in-flight job owns it (the point is a
+  // fixed landmark here).  Empty = the job owns every point (a lone
+  // un-sharded snapshot).  This is what makes concurrent shard deltas
+  // commute at apply time.
+  std::vector<std::uint8_t> point_owned;
   // Set for loop-closure jobs (the BA fields above are then unused): the
   // job verifies the revisit and solves the pose graph instead of running
   // windowed BA.  One job slot serves both kinds, so the per-session
@@ -204,6 +231,7 @@ struct BackendSnapshot {
 struct BackendDelta {
   std::uint64_t map_epoch = 0;  // snapshot epoch (diagnostic)
   int snapshot_frame = 0;
+  int shard_id = 0;             // the producing snapshot's shard ordinal
   std::vector<std::pair<int, SE3>> keyframe_poses;  // graph id -> refined
   std::vector<std::pair<std::int64_t, Vec3>> point_positions;
   std::vector<std::int64_t> culled_ids;  // bad geometry (sorted)
@@ -244,6 +272,15 @@ struct BackendStats {
   int keyframes_inserted = 0;
   int jobs_run = 0;
   int deltas_applied = 0;
+  // --- sharded execution (per-class / per-shard visibility) --------------
+  int ba_jobs_run = 0;        // routine shard-BA jobs (jobs_run minus loop)
+  int loop_jobs_run = 0;      // loop-verification jobs
+  int jobs_discarded = 0;     // jobs invalidated by an applied correction
+  int freeze_events = 0;      // keyframes that computed a decomposition
+  long long shard_jobs_frozen = 0;  // BA jobs frozen across all freezes
+  int last_freeze_shards = 0;  // shards the latest decomposition yielded
+  int max_shards_seen = 0;     // largest decomposition observed
+  int max_inflight_jobs_seen = 0;  // high-water of jobs in flight at once
   long long points_moved = 0;
   long long points_culled = 0;
   long long points_fused = 0;
@@ -261,9 +298,35 @@ struct BackendStats {
   int total_pose_graph_iterations = 0;
 };
 
-// Builds the frozen BA problem for the current local window.  Must be
-// called from the map-writing stage (no structural map mutation may run
-// concurrently).  Returns false when the graph is still too small.
+// Decomposes the stored keyframes into covisibility-disjoint BA shards.
+// Shard 0 is the local window around the latest keyframe (plus its
+// anchors); every keyframe covisible with that window is then off-limits,
+// and the remaining keyframes split into connected covisibility
+// components, newest seed first, each yielding one shard (free window =
+// its newest window_size members, the rest become anchors).  Components
+// too small to pin a gauge (< 3 keyframes) are skipped.  Deterministic:
+// same graph, same shards.  Returns an empty vector while the graph is
+// below min_keyframes.
+std::vector<BackendShard> compute_shards(const KeyframeGraph& graph,
+                                         const BackendOptions& options);
+
+// Builds the frozen BA problem for one shard.  `claimed_points` (sorted
+// ascending) lists map points already owned by other in-flight jobs —
+// they enter the problem as fixed landmarks with point_owned = 0.  Must
+// be called from the map-writing stage (no structural map mutation may
+// run concurrently).  Returns false when the shard cannot form a
+// well-anchored problem.
+bool build_shard_snapshot(const KeyframeGraph& graph, const Map& map,
+                          const PinholeCamera& camera,
+                          const BackendOptions& options,
+                          const BackendShard& shard, int shard_id,
+                          int snapshot_frame,
+                          std::span<const std::int64_t> claimed_points,
+                          BackendSnapshot& out);
+
+// Single-window convenience used by tests and the sequential examples:
+// shard 0 of the decomposition with every point owned.  Returns false
+// when the graph is still too small.
 bool build_snapshot(const KeyframeGraph& graph, const Map& map,
                     const PinholeCamera& camera, const BackendOptions& options,
                     int snapshot_frame, BackendSnapshot& out);
@@ -286,8 +349,12 @@ bool build_loop_snapshot(const KeyframeGraph& graph, const Map& map,
                          BackendSnapshot& out);
 
 // Pure function of the snapshot — safe on any thread, takes no locks.
+// `lifecycle` supplies the post-BA evidence passes (cull / fuse / trust
+// region); pass a default-constructed MapLifecycleOptions with
+// enabled=false to optimize without removing anything.
 BackendDelta optimize_snapshot(BackendSnapshot snapshot,
-                               const BackendOptions& options);
+                               const BackendOptions& options,
+                               const MapLifecycleOptions& lifecycle);
 
 // Applies a delta to the live map + graph: one structural map update, one
 // epoch bump (when anything changed).  Must be called from the map-writing

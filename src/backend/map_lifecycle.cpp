@@ -1,0 +1,146 @@
+#include "backend/map_lifecycle.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "features/matcher.h"
+#include "geometry/camera.h"
+
+namespace eslam::backend {
+
+namespace {
+
+// 3D grid key for the fuse pass (cell size = fuse radius).
+std::int64_t cell_key(const Vec3& p, double cell) {
+  const auto q = [&](double v) {
+    return static_cast<std::int64_t>(std::floor(v / cell)) & 0x1fffff;
+  };
+  return (q(p[0]) << 42) | (q(p[1]) << 21) | q(p[2]);
+}
+
+}  // namespace
+
+std::size_t run_map_maintenance(Map& map, int current_frame,
+                                const MapLifecycleOptions& options) {
+  if (!options.enabled || options.max_age <= 0) return 0;
+  // Points are stored sorted by id, so this collection is already the
+  // sorted removal list apply_update() wants.  The removal goes through
+  // apply_update rather than a bespoke erase: one structural write, one
+  // epoch bump, identical replay semantics to a backend delta.
+  std::vector<std::int64_t> stale;
+  for (const MapPoint& p : map.points()) {
+    if (current_frame - p.last_matched_frame <= options.max_age) continue;
+    if (options.protect_min_matches > 0 &&
+        p.match_count >= options.protect_min_matches)
+      continue;  // proven landmark: retained regardless of age
+    stale.push_back(p.id);
+  }
+  if (stale.empty()) return 0;
+  return map.apply_update({}, stale).removed;
+}
+
+void plan_point_fates(const BaProblem& problem,
+                      std::span<const std::int64_t> point_ids,
+                      std::span<const Descriptor256> point_descriptors,
+                      std::span<const int> point_match_counts,
+                      std::span<const std::uint8_t> point_owned,
+                      const MapLifecycleOptions& options,
+                      std::vector<PointFate>& fate) {
+  const std::size_t n_points = problem.points.size();
+  fate.assign(n_points, PointFate::kKeep);
+  if (!options.enabled) return;
+  const auto owned = [&](std::size_t j) {
+    return point_owned.empty() || point_owned[j] != 0;
+  };
+
+  if (options.cull_max_reproj_px > 0) {
+    // Post-BA per-point mean reprojection error, one pass over
+    // observations (only paid when the cull pass is enabled).
+    std::vector<double> err_sum(n_points, 0.0);
+    std::vector<int> err_count(n_points, 0);
+    for (const BaObservation& obs : problem.observations) {
+      const std::size_t j = static_cast<std::size_t>(obs.point_index);
+      const Vec3 p =
+          problem.poses[static_cast<std::size_t>(obs.pose_index)] *
+          problem.points[j];
+      ++err_count[j];
+      if (p[2] <= PinholeCamera::kMinDepth) {
+        err_sum[j] += 1e3;  // behind a window camera: certainly misplaced
+        continue;
+      }
+      const Vec2 proj{problem.camera.fx() * p[0] / p[2] + problem.camera.cx(),
+                      problem.camera.fy() * p[1] / p[2] + problem.camera.cy()};
+      err_sum[j] += (proj - obs.pixel).norm();
+    }
+    for (std::size_t j = 0; j < n_points; ++j)
+      if (owned(j) &&
+          err_count[j] >= std::max(1, options.min_cull_observations) &&
+          err_sum[j] / err_count[j] > options.cull_max_reproj_px)
+        fate[j] = PointFate::kCull;
+  }
+
+  // Fuse pass: grid-hash the post-BA positions; points within
+  // fuse_radius_m and fuse_max_hamming of each other are redundant
+  // duplicates.  The survivor of a cluster is its most-*matched* member
+  // (ties to the oldest id): the point the matcher demonstrably keeps
+  // finding is the one whose descriptor serves the current viewpoint —
+  // blindly keeping the oldest throws away the proven descriptor, which
+  // measurably degrades tracking once BA moves have aligned duplicates.
+  // Scanning ids in ascending order with winner-replacement keeps the
+  // outcome deterministic regardless of map size.  Points another shard
+  // owns never enter the grid: this shard may neither remove them nor let
+  // them displace a point it does own.
+  if (options.fuse_radius_m > 0) {
+    const double cell = options.fuse_radius_m;
+    std::unordered_map<std::int64_t, std::vector<std::size_t>> grid;
+    grid.reserve(n_points);
+    const auto beats = [&](std::size_t a, std::size_t b) {
+      if (point_match_counts[a] != point_match_counts[b])
+        return point_match_counts[a] > point_match_counts[b];
+      return point_ids[a] < point_ids[b];
+    };
+    for (std::size_t j = 0; j < n_points; ++j) {
+      if (fate[j] == PointFate::kCull || !owned(j)) continue;
+      const Vec3& pj = problem.points[j];
+      std::vector<std::size_t> colliders;
+      for (int dx = -1; dx <= 1; ++dx)
+        for (int dy = -1; dy <= 1; ++dy)
+          for (int dz = -1; dz <= 1; ++dz) {
+            const Vec3 probe{pj[0] + dx * cell, pj[1] + dy * cell,
+                             pj[2] + dz * cell};
+            const auto it = grid.find(cell_key(probe, cell));
+            if (it == grid.end()) continue;
+            for (const std::size_t i : it->second) {
+              if ((problem.points[i] - pj).norm() > options.fuse_radius_m)
+                continue;
+              if (hamming_distance(point_descriptors[i],
+                                   point_descriptors[j]) >
+                  options.fuse_max_hamming)
+                continue;
+              colliders.push_back(i);
+            }
+          }
+      if (colliders.empty()) {
+        grid[cell_key(pj, cell)].push_back(j);
+        continue;
+      }
+      std::size_t winner = j;
+      for (const std::size_t i : colliders)
+        if (beats(i, winner)) winner = i;
+      for (const std::size_t i : colliders) {
+        if (i == winner) continue;
+        fate[i] = PointFate::kFuse;
+        std::vector<std::size_t>& bucket =
+            grid[cell_key(problem.points[i], cell)];
+        std::erase(bucket, i);
+      }
+      if (winner == j)
+        grid[cell_key(pj, cell)].push_back(j);
+      else
+        fate[j] = PointFate::kFuse;
+    }
+  }
+}
+
+}  // namespace eslam::backend

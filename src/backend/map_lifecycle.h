@@ -1,0 +1,102 @@
+// Unified map-point lifecycle policy: the one owner of every decision
+// that removes or merges map points.
+//
+// Before this module the lifecycle had two owners with unrelated rules:
+// Map::prune() deleted by age alone (called directly from the tracker's
+// keyframe path), while the backend's BA cull/fuse passes — observation-
+// count-driven and default-off — lived inside optimize_snapshot().  The
+// two could disagree (a point proven by dozens of matches was age-pruned
+// the moment the camera looked away long enough; a point BA demonstrably
+// could not place survived until someone opted into culling), and tuning
+// one without the other was guesswork.
+//
+// MapLifecycleOptions is now the single policy surface, owned by the
+// tracker and threaded into every pass:
+//
+//   * run_map_maintenance() — the keyframe-time retention pass.  Age
+//     pruning with an observation-count override: a point matched at
+//     least protect_min_matches times is a proven landmark and is never
+//     deleted for age alone (it can still be culled by BA evidence or
+//     fused as a duplicate).  One structural map write + one epoch bump
+//     when anything was removed, same replay rules as every other
+//     structural update.
+//   * plan_point_fates() — the post-BA evidence pass (cull + fuse),
+//     invoked by optimize_snapshot() on the worker thread over the frozen
+//     shard problem.  Pure planning: the fates feed the job's delta and
+//     land through apply_delta()'s stale-evidence rules unchanged.
+//
+// The passes are ON by default (this is the regression-gated flip the
+// backend's old "ship disabled" comment asked for): bench_backend_ate
+// gates fr1/desk ATE with the unified lifecycle enabled, so the defaults
+// below are deliberately conservative — removal still needs strong
+// evidence; the gate keeps them honest.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "backend/local_ba.h"
+#include "features/descriptor.h"
+#include "slam/map.h"
+
+namespace eslam::backend {
+
+struct MapLifecycleOptions {
+  // Master switch over the whole policy.  Off, no pass removes anything —
+  // the map only grows (tests that need a frozen map use this).
+  bool enabled = true;
+  // Age pruning: frames without a match before a point is deleted (the
+  // paper's "not matched for a long period of time" rule).
+  int max_age = 200;
+  // Retention override: a point with at least this many lifetime matches
+  // is never age-pruned (0 disables the override and restores pure age
+  // pruning).  BA-evidence culling and duplicate fusion still apply — a
+  // proven landmark that BA shows to be misplaced is misplaced.
+  int protect_min_matches = 8;
+  // Cull (post-BA, enabled when > 0): remove a point whose post-BA mean
+  // reprojection error exceeds this many pixels, judged only when it has
+  // at least min_cull_observations observations of evidence.  Default is
+  // far looser than the BA inlier band on purpose: the tracked trajectory
+  // is chaotically sensitive to removing live points, so default-on
+  // culling only deletes points that are *grossly* misplaced.
+  double cull_max_reproj_px = 20.0;
+  int min_cull_observations = 4;
+  // Trust region on BA position refinements: a point BA wants to move
+  // farther than this (metres) is left untouched (an unconverged or
+  // gauge-sliding estimate, not a refinement).
+  double max_point_move_m = 0.5;
+  // Fuse (post-BA, enabled when > 0): points within this distance
+  // (metres) AND fuse_max_hamming descriptor bits form a duplicate
+  // cluster; only its most-matched member survives (ties to the oldest).
+  // Default-on catches only near-exact duplicates — co-located points
+  // with near-identical descriptors, the ones that demonstrably alias the
+  // matcher.
+  double fuse_radius_m = 0.002;
+  int fuse_max_hamming = 4;
+};
+
+// What plan_point_fates() decided for each snapshot point.
+enum class PointFate : std::uint8_t { kKeep, kCull, kFuse };
+
+// Keyframe-time retention pass.  Must be called from the map-writing
+// stage under the tracker's exclusive map lock (it is one structural map
+// write).  Returns the number of points removed.
+std::size_t run_map_maintenance(Map& map, int current_frame,
+                                const MapLifecycleOptions& options);
+
+// Post-BA evidence pass over one optimized shard problem: marks grossly
+// misplaced points kCull and redundant duplicates kFuse (most-matched
+// cluster member survives).  `point_owned` gates which points this shard
+// may judge — a point owned by another in-flight shard is never touched
+// (empty span = the shard owns everything).  Pure function; runs on the
+// worker thread over frozen data.
+void plan_point_fates(const BaProblem& problem,
+                      std::span<const std::int64_t> point_ids,
+                      std::span<const Descriptor256> point_descriptors,
+                      std::span<const int> point_match_counts,
+                      std::span<const std::uint8_t> point_owned,
+                      const MapLifecycleOptions& options,
+                      std::vector<PointFate>& fate);
+
+}  // namespace eslam::backend

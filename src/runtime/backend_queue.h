@@ -1,0 +1,98 @@
+// Two-class priority queue for the scheduler's background-job lane.
+//
+// Backend work comes in two classes with very different latency needs:
+// routine windowed-BA shard jobs (throughput work — running one a little
+// later costs nothing) and loop-verification jobs (latency work — while a
+// detected loop waits in the queue the session keeps tracking on a
+// drifted map, and every keyframe inserted meanwhile is born misplaced).
+// The queue therefore pops every queued loop-verification entry before
+// any routine-BA entry, FIFO within each class; tracking stages still
+// outrank both (that ordering lives in the scheduler's worker loop, not
+// here).
+//
+// The fifo mode (priority = false) collapses both classes into a single
+// arrival-ordered queue.  It exists so the preemption claim is testable:
+// bench_backend_ate measures loop-verification queue latency under
+// routine-BA load in both modes and gates on priority < fifo.
+//
+// Not thread-safe by itself — the scheduler guards it with work_mutex_,
+// exactly like the RingQueues it replaces.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <utility>
+
+#include "runtime/ring_queue.h"
+
+namespace eslam {
+
+// Job class of one background entry.  kLoopVerify outranks kRoutineBa.
+enum class BackendJobClass { kRoutineBa = 0, kLoopVerify = 1 };
+
+inline const char* to_string(BackendJobClass cls) {
+  return cls == BackendJobClass::kLoopVerify ? "loop-verify" : "routine-ba";
+}
+
+template <typename T>
+class BackendJobQueue {
+ public:
+  explicit BackendJobQueue(int capacity, bool priority = true)
+      : capacity_(capacity > 0 ? static_cast<std::size_t>(capacity) : 1),
+        priority_(priority),
+        loop_q_(capacity_),
+        ba_q_(capacity_) {}
+
+  bool empty() const { return loop_q_.empty() && ba_q_.empty(); }
+  std::size_t size() const { return loop_q_.size() + ba_q_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  bool priority() const { return priority_; }
+
+  // False when the lane is at capacity (shared across classes, like the
+  // single queue it replaces): the job stays pending in its tracker and
+  // is re-offered at that session's next retirement.
+  bool push(BackendJobClass cls, T value) {
+    if (size() >= capacity_) return false;
+    // fifo mode: one arrival-ordered queue, class ignored.
+    if (priority_ && cls == BackendJobClass::kLoopVerify)
+      loop_q_.push_back(std::move(value));
+    else
+      ba_q_.push_back(std::move(value));
+    return true;
+  }
+
+  std::optional<T> pop() {
+    if (!loop_q_.empty()) return loop_q_.pop_front();
+    if (!ba_q_.empty()) return ba_q_.pop_front();
+    return std::nullopt;
+  }
+
+  // Removes every entry matching `pred` (session teardown).  Returns the
+  // number removed.  O(n), cold path only.
+  template <typename Pred>
+  std::size_t remove_if(Pred pred) {
+    return drain_matching(loop_q_, pred) + drain_matching(ba_q_, pred);
+  }
+
+ private:
+  template <typename Pred>
+  static std::size_t drain_matching(RingQueue<T>& q, Pred& pred) {
+    const std::size_t n = q.size();
+    std::size_t removed = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      T value = q.pop_front();
+      if (pred(value))
+        ++removed;
+      else
+        q.push_back(std::move(value));
+    }
+    return removed;
+  }
+
+  std::size_t capacity_;
+  bool priority_;
+  RingQueue<T> loop_q_;  // fifo mode leaves this empty
+  RingQueue<T> ba_q_;
+};
+
+}  // namespace eslam

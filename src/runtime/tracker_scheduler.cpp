@@ -48,10 +48,12 @@ struct SchedulerSession {
   // await ARM stages, and whether a worker currently owns this session.
   int arm_backlog = 0;
   bool arm_queued = false;
-  // Background-job lane state (also guarded by work_mutex_): whether this
-  // session sits in backend_q_ / a worker is running its BA job.
-  bool bg_queued = false;
-  bool bg_running = false;
+  // Background-job lane state (also guarded by work_mutex_): how many of
+  // this session's jobs sit in backend_q_ / are running on workers.
+  // Counters, not flags: covisibility-disjoint shard jobs of one session
+  // may be queued and running concurrently.
+  int bg_queued = 0;
+  int bg_running = 0;
 
   std::atomic<int> frames_fed{0};
   std::atomic<int> frames_retired{0};
@@ -104,7 +106,10 @@ std::uint64_t user_signal_snapshot(SchedulerSession& s) {
 }  // namespace
 
 TrackerScheduler::TrackerScheduler(const SchedulerOptions& options)
-    : options_(options), epoch_(std::chrono::steady_clock::now()) {
+    : options_(options),
+      epoch_(std::chrono::steady_clock::now()),
+      backend_q_(std::max(1, options.backend_queue_capacity),
+                 options.backend_priority) {
   device_thread_ = std::thread(&TrackerScheduler::device_lane, this);
   const int workers = std::max(1, options_.arm_workers);
   arm_threads_.reserve(static_cast<std::size_t>(workers));
@@ -178,31 +183,38 @@ SessionRef TrackerScheduler::add_session(
 
 bool TrackerScheduler::backend_quiet(SchedulerSession& s) {
   const std::lock_guard<std::mutex> lock(work_mutex_);
-  return !s.bg_queued && !s.bg_running;
+  return s.bg_queued == 0 && s.bg_running == 0;
+}
+
+int TrackerScheduler::backend_concurrent_high_water() const {
+  const std::lock_guard<std::mutex> lock(work_mutex_);
+  return bg_running_hwm_;
 }
 
 void TrackerScheduler::remove_session(const SessionRef& session) {
   if (!session) return;
   // Quiesce: every accepted frame retires through map updating (the caller
   // has stopped feeding, so fed is final and the lanes drain it), and the
-  // background lane lets go of the tracker.  A *queued* backend job is
-  // cancelled — it has not started, the tracker is going away, and
-  // waiting for a pool slot would stall behind other sessions' tracking
+  // background lane lets go of the tracker.  *Queued* backend jobs are
+  // cancelled — they have not started, the tracker is going away, and
+  // waiting for pool slots would stall behind other sessions' tracking
   // load.  The cancellation happens only once every frame has retired:
   // jobs are offered to the lane *before* a retirement is published, so
-  // at that point no re-enqueue can arrive and the cancel sticks.  A
-  // *running* job kicks the waiter on completion.
+  // at that point no re-enqueue can arrive and the cancel sticks.
+  // *Running* jobs kick the waiter on completion.
   SchedulerSession& s = *session;
   for (;;) {
     const std::uint64_t seen = user_signal_snapshot(s);
     if (stop_.load()) break;
     if (s.frames_retired.load() >= s.frames_fed.load()) {
       const std::lock_guard<std::mutex> lock(work_mutex_);
-      if (s.bg_queued) {
-        backend_q_.remove(session);
-        s.bg_queued = false;
+      if (s.bg_queued > 0) {
+        backend_q_.remove_if([&](const BackendQueueEntry& e) {
+          return e.session == session;
+        });
+        s.bg_queued = 0;
       }
-      if (!s.bg_running) break;
+      if (s.bg_running == 0) break;
     }
     std::unique_lock<std::mutex> lock(s.user_mutex);
     s.user_cv.wait(lock,
@@ -324,6 +336,7 @@ PipelineStats TrackerScheduler::stats(const SessionRef& session) const {
   }
   out.frames_retired = session->frames_retired.load();
   out.wall_ms = now_ms();
+  out.backend_concurrent_hwm = backend_concurrent_high_water();
   return out;
 }
 
@@ -479,36 +492,56 @@ void TrackerScheduler::enqueue_arm(const SessionRef& session) {
 }
 
 void TrackerScheduler::enqueue_backend(const SessionRef& session) {
+  bool queued_any = false;
   {
     const std::lock_guard<std::mutex> lock(work_mutex_);
     SchedulerSession& s = *session;
-    // Per-session serialization: one queued-or-running job at a time.
-    if (s.bg_queued || s.bg_running) return;
-    if (static_cast<int>(backend_q_.size()) >=
-        std::max(1, options_.backend_queue_capacity)) {
-      const std::lock_guard<std::mutex> stats_lock(s.stats_mutex);
-      ++s.stats.backend_jobs_rejected;
-      return;  // job stays pending in the tracker; retried next retirement
+    // Take every newly-frozen job ticket: the tracker marks each as
+    // offered, so a ticket lives in exactly one place (queue or tracker).
+    std::vector<Tracker::BackendJobTicket> tickets;
+    s.tracker->take_backend_jobs(tickets);
+    for (const Tracker::BackendJobTicket& t : tickets) {
+      BackendQueueEntry entry;
+      entry.session = session;
+      entry.job_id = t.job_id;
+      entry.cls =
+          t.loop ? BackendJobClass::kLoopVerify : BackendJobClass::kRoutineBa;
+      entry.enqueue_ms = now_ms();
+      if (!backend_q_.push(entry.cls, std::move(entry))) {
+        // Lane full: hand the ticket back so the tracker re-offers it at
+        // this session's next retirement.  Overload degrades to "backend
+        // laps less often", never to unbounded queue growth.
+        s.tracker->unoffer_backend_job(t.job_id);
+        const std::lock_guard<std::mutex> stats_lock(s.stats_mutex);
+        ++s.stats.backend_jobs_rejected;
+        continue;
+      }
+      ++s.bg_queued;
+      queued_any = true;
     }
-    s.bg_queued = true;
-    backend_q_.push_back(session);
   }
-  work_cv_.notify_one();
+  if (queued_any) work_cv_.notify_all();
 }
 
-void TrackerScheduler::run_session_backend(const SessionRef& session) {
+void TrackerScheduler::run_session_backend(const SessionRef& session,
+                                           const BackendQueueEntry& entry) {
   SchedulerSession& s = *session;
   const double t0 = now_ms();
-  s.tracker->run_backend_job();
+  s.tracker->run_backend_job(entry.job_id);
   const double elapsed = now_ms() - t0;
   {
     const std::lock_guard<std::mutex> lock(s.stats_mutex);
     ++s.stats.backend_jobs;
+    if (entry.cls == BackendJobClass::kLoopVerify)
+      ++s.stats.backend_loop_jobs;
+    else
+      ++s.stats.backend_ba_jobs;
     s.stats.backend_busy_ms += elapsed;
   }
   {
     const std::lock_guard<std::mutex> lock(work_mutex_);
-    s.bg_running = false;
+    --s.bg_running;
+    --bg_running_total_;
   }
   kick_user(s);  // remove_session / drain may be waiting on quiescence
 }
@@ -516,6 +549,7 @@ void TrackerScheduler::run_session_backend(const SessionRef& session) {
 void TrackerScheduler::arm_worker() {
   for (;;) {
     SessionRef session;
+    BackendQueueEntry entry;
     bool backend_job = false;
     {
       std::unique_lock<std::mutex> lock(work_mutex_);
@@ -524,18 +558,33 @@ void TrackerScheduler::arm_worker() {
       });
       if (stop_.load()) return;
       if (!work_q_.empty()) {
-        // Tracking stages always outrank the background lane: BA runs on
-        // pool slack only.
+        // Tracking stages always outrank the background lane: backend
+        // jobs run on pool slack only.
         session = work_q_.pop_front();
       } else {
-        session = backend_q_.pop_front();
-        session->bg_queued = false;
-        session->bg_running = true;
+        entry = std::move(*backend_q_.pop());
+        session = entry.session;
+        SchedulerSession& s = *session;
+        --s.bg_queued;
+        ++s.bg_running;
+        ++bg_running_total_;
+        bg_running_hwm_ = std::max(bg_running_hwm_, bg_running_total_);
         backend_job = true;
+        // Per-class queue latency: how long the job sat behind tracking
+        // work and (for BA) behind loop verifications.
+        const double waited = now_ms() - entry.enqueue_ms;
+        const std::lock_guard<std::mutex> stats_lock(s.stats_mutex);
+        if (entry.cls == BackendJobClass::kLoopVerify) {
+          s.stats.backend_loop_queue_ms += waited;
+          s.stats.backend_loop_queue_max_ms =
+              std::max(s.stats.backend_loop_queue_max_ms, waited);
+        } else {
+          s.stats.backend_ba_queue_ms += waited;
+        }
       }
     }
     if (backend_job)
-      run_session_backend(session);
+      run_session_backend(session, entry);
     else
       run_session_arm(session);
   }
@@ -601,13 +650,14 @@ void TrackerScheduler::run_session_arm(const SessionRef& session) {
       if (result.loop_closed) ++s.stats.loops_closed;
     }
 
-    // A keyframe may have frozen a local-mapping snapshot: offer it to
-    // the background lane (no-op when the backend is idle or disabled).
-    // This MUST precede the retirement publication below — touching the
-    // tracker after the session's last retirement is visible would race
-    // remove_session() destroying it, and enqueuing first also makes the
-    // bg_queued flag visible to any remover that observes the
-    // retirement (both sides synchronize on work_mutex_).
+    // A keyframe may have frozen backend jobs (shard BAs and/or a loop
+    // verification): offer them to the background lane (no-op when the
+    // backend is idle or disabled).  This MUST precede the retirement
+    // publication below — touching the tracker after the session's last
+    // retirement is visible would race remove_session() destroying it,
+    // and enqueuing first also makes the bg_queued count visible to any
+    // remover that observes the retirement (both sides synchronize on
+    // work_mutex_).
     if (s.tracker->backend_job_pending()) enqueue_backend(session);
 
     // Publish retirement before delivering the result: the device lane's

@@ -30,14 +30,18 @@
 //     handed to exactly one worker at a time), so each session's results
 //     are bit-identical to a solo sequential Tracker::process() run.
 //   * the local-mapping backend rides a *background-job lane* on the same
-//     ARM pool: when a retirement leaves a frozen BA snapshot behind, the
-//     session is offered to a bounded backend queue that workers only
-//     serve when no tracking stage is runnable (strictly lower priority).
-//     At most one backend job per session is queued or running at a time,
-//     and its delta re-enters the pipeline through the tracker's own
-//     update_map() at the next keyframe under the structural-epoch rules
-//     — so the speculative-FM replay protocol above is untouched, and
-//     with the backend disabled the schedule is byte-for-byte the old one.
+//     ARM pool: when a retirement leaves frozen backend jobs behind, each
+//     job is queued individually on a bounded two-class priority queue
+//     (runtime/backend_queue.h) that workers only serve when no tracking
+//     stage is runnable (strictly lower priority).  Loop-verification
+//     jobs outrank routine shard-BA jobs within the lane; jobs of ONE
+//     session run concurrently on multiple workers when its tracker froze
+//     covisibility-disjoint shards (the tracker's job table serializes
+//     per shard, the scheduler does not re-serialize per session).  Every
+//     delta re-enters the pipeline through the tracker's own update_map()
+//     at the next keyframe under the structural-epoch rules — so the
+//     speculative-FM replay protocol above is untouched, and with the
+//     backend disabled the schedule is byte-for-byte the old one.
 //
 // Dispatch is round-robin with fairness counting: each device-lane pass
 // starts from a rotating cursor, so no session can monopolize the fabric,
@@ -64,6 +68,7 @@
 #include <thread>
 #include <vector>
 
+#include "runtime/backend_queue.h"
 #include "runtime/lane.h"
 #include "runtime/ring_queue.h"
 #include "runtime/spsc_queue.h"
@@ -88,12 +93,16 @@ using StagePacer = std::function<double(PipeStage)>;
 struct SchedulerOptions {
   // ARM worker pool size (the "ARM cores" serving all sessions).
   int arm_workers = 1;
-  // Bound on the background-job lane (local-mapping BA jobs awaiting a
-  // worker, across all sessions).  An overflowing enqueue is skipped and
-  // counted — the job stays pending in its tracker and is re-offered at
-  // that session's next retirement, so overload degrades to "backend laps
-  // less often", never to unbounded queue growth.
+  // Bound on the background-job lane (frozen backend jobs awaiting a
+  // worker, across all sessions and both classes).  An overflowing
+  // enqueue is skipped and counted — the job is un-offered back to its
+  // tracker and re-offered at that session's next retirement, so overload
+  // degrades to "backend laps less often", never to unbounded growth.
   int backend_queue_capacity = 16;
+  // Two-class priority discipline for the lane (loop verification pops
+  // before routine shard BA).  False = single FIFO; exists so the
+  // preemption benefit is measurable (bench_backend_ate A/Bs the two).
+  bool backend_priority = true;
 };
 
 // Per-session knobs (PipelineOptions is the single-stream alias of this).
@@ -152,6 +161,9 @@ class TrackerScheduler {
   // Sum of device-lane dispatch turns across live sessions (fairness
   // accounting; compare per-session PipelineStats::device_dispatches).
   std::int64_t total_dispatches() const;
+  // Most backend jobs ever simultaneously running on the pool (across all
+  // sessions) — the sharding concurrency witness.
+  int backend_concurrent_high_water() const;
 
  private:
   void device_lane();
@@ -160,12 +172,21 @@ class TrackerScheduler {
   void arm_worker();
   void run_session_arm(const SessionRef& session);
   void enqueue_arm(const SessionRef& session);
-  // Offers a session's pending local-mapping job to the background lane
-  // (deduplicated per session, bounded by backend_queue_capacity).
+  // One frozen backend job awaiting (or holding) a pool worker.
+  struct BackendQueueEntry {
+    SessionRef session;
+    int job_id = -1;
+    BackendJobClass cls = BackendJobClass::kRoutineBa;
+    double enqueue_ms = 0;  // for per-class queue-latency stats
+  };
+  // Takes every newly-frozen job ticket from the session's tracker and
+  // queues each on the background lane (bounded by
+  // backend_queue_capacity; overflowing tickets are un-offered back).
   void enqueue_backend(const SessionRef& session);
-  // Executes one background BA job for the session (ARM worker context).
-  void run_session_backend(const SessionRef& session);
-  // True while the session has a queued or running background job.
+  // Executes one background backend job (ARM worker context).
+  void run_session_backend(const SessionRef& session,
+                           const BackendQueueEntry& entry);
+  // True while the session has no queued or running background job.
   bool backend_quiet(SchedulerSession& s);
   void run_device_stage(SchedulerSession& s, FrameState& fs, PipeStage stage,
                         bool speculative);
@@ -198,16 +219,23 @@ class TrackerScheduler {
   // (one short acquisition per frame handoff — the frames themselves move
   // through the preallocated SPSC rings).
   //
-  // backend_q_ is the background-job lane: sessions whose tracker froze a
-  // local-mapping snapshot and awaits a worker.  Workers always serve
-  // work_q_ (tracking stages) first — backend jobs have strictly lower
-  // priority, so BA only consumes pool slack.  Per-session serialization
-  // holds by construction: a session is enqueued at most once
-  // (bg_queued), and its tracker holds at most one job in any state.
-  std::mutex work_mutex_;
+  // backend_q_ is the background-job lane: individual frozen backend jobs
+  // awaiting a worker, two classes (loop verification pops before routine
+  // shard BA when backend_priority is set).  Workers always serve work_q_
+  // (tracking stages) first — backend jobs have strictly lower priority,
+  // so they only consume pool slack.  Unlike the old one-slot-per-session
+  // lane, several jobs of one session may be queued and running at once:
+  // the tracker only freezes covisibility-disjoint shards, so their
+  // deltas commute and need no scheduler-side serialization.  bg_queued /
+  // bg_running are now per-session *counters*, and bg_running_total_ /
+  // bg_running_hwm_ track pool-wide backend concurrency (all guarded by
+  // work_mutex_).
+  mutable std::mutex work_mutex_;
   std::condition_variable work_cv_;
   RingQueue<SessionRef> work_q_{16};
-  RingQueue<SessionRef> backend_q_{16};
+  BackendJobQueue<BackendQueueEntry> backend_q_;
+  int bg_running_total_ = 0;
+  int bg_running_hwm_ = 0;
 
   std::atomic<bool> stop_{false};
   std::thread device_thread_;

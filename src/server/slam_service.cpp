@@ -96,7 +96,8 @@ std::vector<TrackResult> SessionHandle::close() {
 SlamService::SlamService(const ServiceOptions& options)
     : options_(options),
       scheduler_(SchedulerOptions{std::max(1, options.arm_workers),
-                                  options.backend_queue_capacity}) {}
+                                  options.backend_queue_capacity,
+                                  options.backend_priority}) {}
 
 SlamService::~SlamService() = default;
 
@@ -129,6 +130,7 @@ ServiceStats SlamService::stats() const {
   s.sessions_open = scheduler_.session_count();
   s.arm_workers = std::max(1, options_.arm_workers);
   s.device_dispatches = scheduler_.total_dispatches();
+  s.backend_concurrent_hwm = scheduler_.backend_concurrent_high_water();
   const std::lock_guard<std::mutex> lock(mutex_);
   s.sessions_opened_total = sessions_opened_;
   return s;

@@ -44,9 +44,13 @@ struct ServiceSession;
 struct ServiceOptions {
   // ARM worker pool width (how many sessions can be in PE/PO/MU at once).
   int arm_workers = 2;
-  // Bound on the shared background-job lane (local-mapping BA jobs
-  // awaiting pool slack); see runtime/SchedulerOptions.
+  // Bound on the shared background-job lane (frozen shard-BA and
+  // loop-verification jobs awaiting pool slack); see
+  // runtime/SchedulerOptions.
   int backend_queue_capacity = 16;
+  // Two-class priority discipline for the lane (loop verification pops
+  // before routine shard BA); see runtime/SchedulerOptions.
+  bool backend_priority = true;
 };
 
 // Everything one session needs: sensor, platform, tracker tuning, and its
@@ -70,6 +74,9 @@ struct ServiceStats {
   int sessions_opened_total = 0;
   int arm_workers = 0;
   std::int64_t device_dispatches = 0;  // across live sessions (fairness)
+  // Most backend jobs ever simultaneously running on the pool, across all
+  // sessions (shard-BA concurrency witness).
+  int backend_concurrent_hwm = 0;
 };
 
 // A client's connection to one tracking session.  Move-only; closing (or
@@ -99,12 +106,13 @@ class SessionHandle {
   std::vector<TrackResult> drain();
 
   int in_flight() const;
-  // Runtime stats, including the background lane's job counts and the
-  // per-session pruned/culled/fused map-maintenance totals.
+  // Runtime stats, including the background lane's per-class job counts
+  // and queue latencies, the pool-wide backend-concurrency high-water
+  // mark, and the per-session pruned/culled/fused map-maintenance totals.
   PipelineStats stats() const;
-  // The tracker's own local-mapping counters (BA iterations/costs, points
-  // moved).  Thread-safe at any time — the tracker snapshots them under
-  // its backend mutex.
+  // The tracker's own local-mapping counters (per-class jobs run, shard
+  // freeze accounting, BA iterations/costs, points moved).  Thread-safe
+  // at any time — the tracker snapshots them under its backend mutex.
   backend::BackendStats backend_stats() const;
   std::vector<StageEvent> stage_events() const;
 

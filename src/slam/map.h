@@ -82,6 +82,16 @@ class Map {
   // bumped exactly once when anything changed — position refinements
   // shift the projection gate's view, so matches computed before the
   // apply must replay exactly as they do after add_point()/prune().
+  //
+  // Concurrent-shard contract: deltas from covisibility-disjoint backend
+  // shards commute under this call *provided each delta only moves or
+  // removes points its shard owned* (the tracker asserts per-delta
+  // ownership before applying).  Disjoint id sets touch disjoint rows, a
+  // skipped-stale id stays skipped regardless of order, and each apply
+  // is one structural write + one epoch bump — so any apply order of a
+  // freeze's deltas yields the same map.  Calls themselves still
+  // serialize on the tracker's map mutex; commutativity is what makes
+  // the *order* (worker completion order) irrelevant.
   MapApplyStats apply_update(
       std::span<const std::pair<std::int64_t, Vec3>> moves,
       std::span<const std::int64_t> remove_ids);

@@ -129,7 +129,9 @@ std::size_t Tracker::insert_map_points(
       observations->push_back({id, Vec2{f.keypoint.x0(), f.keypoint.y0()},
                                f.descriptor, *p_cam});
   }
-  return map_.prune(fs.index, options_.map_prune_age);
+  // Retention is the lifecycle policy's call now (age + protection), not a
+  // bare map prune; same structural-write/epoch rules either way.
+  return backend::run_map_maintenance(map_, fs.index, options_.lifecycle);
 }
 
 SE3 Tracker::predicted_pose_cw() const {
@@ -492,7 +494,7 @@ TrackResult Tracker::update_map(FrameState& fs) {
       if (backend_on && !fs.result.lost)
         new_kf = backend_insert_keyframe(fs, std::move(observations));
     }
-    if (new_kf >= 0) backend_freeze_job(new_kf, fs);
+    if (new_kf >= 0) backend_freeze_jobs(new_kf, fs);
   } else if (fs.result.lost) {
     // Drop the (now unreliable) velocity estimate; the map is untouched.
     have_velocity_ = false;
@@ -546,12 +548,13 @@ TrackResult Tracker::update_map(FrameState& fs) {
         // the device lane's relocalization tier reads both under the
         // shared lock.
         const std::unique_lock lock(map_mutex_);
-        // The previous backend job's delta lands here — the next keyframe
-        // after its completion — as one more structural map write under
-        // the same lock and epoch rules as the insertions below.  A loop
-        // delta also rebases fs.result.pose_cw/wc and the motion model,
-        // so the insertions below land in the corrected frame.
-        if (backend_on) apply_pending_backend_delta(fs);
+        // Completed backend deltas land here — the next keyframe after
+        // their completion — each as one more structural map write under
+        // the same lock and epoch rules as the insertions below, applied
+        // in job-id order.  A loop delta also rebases fs.result.pose_cw/wc
+        // and the motion model, so the insertions below land in the
+        // corrected frame.
+        if (backend_on) apply_pending_backend_deltas(fs);
         fs.result.n_points_pruned = static_cast<int>(insert_map_points(
             fs, feature_matched, fs.result.pose_wc,
             backend_on ? &observations : nullptr));
@@ -559,8 +562,8 @@ TrackResult Tracker::update_map(FrameState& fs) {
           new_kf = backend_insert_keyframe(fs, std::move(observations));
       }
       // Job freezing (loop detection + snapshot copies) reads only, so it
-      // runs after the lock is released — see backend_freeze_job.
-      if (new_kf >= 0) backend_freeze_job(new_kf, fs);
+      // runs after the lock is released — see backend_freeze_jobs.
+      if (new_kf >= 0) backend_freeze_jobs(new_kf, fs);
       fs.result.times.map_updating = mu_timer.elapsed_ms();
       fs.result.keyframe = true;
     }
@@ -605,9 +608,10 @@ TrackResult Tracker::process(const FrameInput& frame) {
   optimize_pose(fs);
   TrackResult result = update_map(fs);
   recycle_frame(std::move(fs));
-  // Sequential platform: no worker pool, so a job frozen at this keyframe
-  // runs inline right here (its delta applies at the next keyframe, the
-  // same protocol the asynchronous lane follows).
+  // Sequential platform: no worker pool, so every job frozen at this
+  // keyframe runs inline right here, in job-id order (deltas apply at the
+  // next keyframe, the same protocol the asynchronous lane follows) —
+  // deterministic by construction, sharding included.
   if (backend_job_pending()) run_backend_job();
   return result;
 }
@@ -616,12 +620,32 @@ TrackResult Tracker::process(const FrameInput& frame) {
 
 bool Tracker::backend_job_pending() const {
   const std::lock_guard<std::mutex> lock(backend_mutex_);
-  return backend_state_ == BackendJobState::kSnapshotReady;
+  for (const BackendJob& job : backend_jobs_)
+    if (job.state == BackendJob::State::kReady && !job.offered) return true;
+  return false;
 }
 
 bool Tracker::backend_busy() const {
   const std::lock_guard<std::mutex> lock(backend_mutex_);
-  return backend_state_ == BackendJobState::kRunning;
+  for (const BackendJob& job : backend_jobs_)
+    if (job.state == BackendJob::State::kRunning) return true;
+  return false;
+}
+
+void Tracker::take_backend_jobs(std::vector<BackendJobTicket>& out) {
+  const std::lock_guard<std::mutex> lock(backend_mutex_);
+  for (BackendJob& job : backend_jobs_) {
+    if (job.state != BackendJob::State::kReady || job.offered) continue;
+    job.offered = true;
+    out.push_back({job.id, job.loop});
+  }
+}
+
+void Tracker::unoffer_backend_job(int job_id) {
+  const std::lock_guard<std::mutex> lock(backend_mutex_);
+  for (BackendJob& job : backend_jobs_)
+    if (job.id == job_id && job.state == BackendJob::State::kReady)
+      job.offered = false;
 }
 
 backend::BackendStats Tracker::backend_stats() const {
@@ -644,59 +668,152 @@ int Tracker::backend_insert_keyframe(
   return kf_id;
 }
 
-void Tracker::backend_freeze_job(int kf_id, const FrameState& fs) {
+void Tracker::backend_freeze_jobs(int kf_id, const FrameState& fs) {
   // Runs OUTSIDE the exclusive map lock: detection and snapshot building
   // only *read* the graph/index/map, and this stage is their one writer —
   // concurrent device-lane readers (shared lock) are unaffected, and
   // keeping this work out of the exclusive section keeps a keyframe from
   // stalling every session's matching on the shared lane.
+  //
+  // First, gather the in-flight jobs' claim sets.  Workers may transition
+  // job *states* concurrently, but jobs only enter or leave the table on
+  // this stage's own thread (freeze/apply) or — for discarded jobs — on a
+  // worker, which can only shrink the claim set; reading it once here is
+  // therefore conservative.
+  std::vector<int> claimed_kfs;
+  std::vector<std::int64_t> claimed_points;
+  bool loop_in_flight = false;
+  int inflight = 0;
   {
     const std::lock_guard<std::mutex> lock(backend_mutex_);
-    // Per-tracker serialization: one job in any state at a time.  A busy
-    // backend simply skips this keyframe; the next one retries.
-    if (backend_state_ != BackendJobState::kIdle) return;
+    for (const BackendJob& job : backend_jobs_) {
+      ++inflight;
+      if (job.loop) loop_in_flight = true;
+      claimed_kfs.insert(claimed_kfs.end(), job.claimed_kfs.begin(),
+                         job.claimed_kfs.end());
+      claimed_points.insert(claimed_points.end(), job.owned_points.begin(),
+                            job.owned_points.end());
+    }
   }
-  backend::BackendSnapshot snapshot;
-  // Loop detection first: a recognized revisit freezes a loop-closure job
-  // in the shared slot (windowed BA simply resumes at the next keyframe).
+  // A loop job owns everything (its correction rewrites every pose and
+  // point): while one is in flight nothing else freezes, and nothing
+  // freezes beside it — whatever we froze now would be discarded the
+  // moment the correction applies.
+  if (loop_in_flight) return;
+  const int budget = std::max(1, options_.backend.max_inflight_jobs) - inflight;
+  if (budget <= 0) return;
+
+  // Loop detection first: a recognized revisit freezes ONE loop-
+  // verification job — the high-priority class — and skips BA freezing at
+  // this keyframe (windowed BA resumes at the next one).
   if (options_.backend.loop.enabled && fs.index >= loop_cooldown_until_) {
     const int candidate = backend::detect_loop_candidate(
         kf_graph_, kf_index_, kf_id, options_.backend.loop);
+    backend::BackendSnapshot snapshot;
     if (candidate >= 0 &&
         backend::build_loop_snapshot(kf_graph_, map_, camera_,
                                      options_.backend, kf_id, candidate,
                                      fs.index, snapshot)) {
       const std::lock_guard<std::mutex> lock(backend_mutex_);
       ++backend_stats_.loops_detected;
-      backend_snapshot_ = std::move(snapshot);
-      backend_state_ = BackendJobState::kSnapshotReady;
+      BackendJob job;
+      job.id = next_backend_job_id_++;
+      job.loop = true;
+      job.snapshot = std::move(snapshot);
+      backend_jobs_.push_back(std::move(job));
+      backend_stats_.max_inflight_jobs_seen =
+          std::max(backend_stats_.max_inflight_jobs_seen,
+                   static_cast<int>(backend_jobs_.size()));
       return;
     }
   }
-  if (!backend::build_snapshot(kf_graph_, map_, camera_, options_.backend,
-                               fs.index, snapshot))
-    return;
+
+  // Routine BA: decompose into covisibility-disjoint shards and freeze
+  // each one as an independent job, up to the in-flight budget.
+  const std::vector<backend::BackendShard> shards =
+      backend::compute_shards(kf_graph_, options_.backend);
+  if (shards.empty()) return;
+  std::sort(claimed_points.begin(), claimed_points.end());
+  claimed_points.erase(
+      std::unique(claimed_points.begin(), claimed_points.end()),
+      claimed_points.end());
+  int frozen = 0;
+  for (std::size_t sid = 0; sid < shards.size(); ++sid) {
+    if (frozen >= budget) break;
+    const backend::BackendShard& shard = shards[sid];
+    // Per-shard serialization across freezes: a shard whose free window
+    // intersects an in-flight job's free window waits for that job's
+    // delta (shard 0 usually overlaps the previous freeze's shard 0 —
+    // exactly the old one-job-at-a-time skip, now per shard).
+    bool conflict = false;
+    for (const int id : shard.window_kfs)
+      if (std::find(claimed_kfs.begin(), claimed_kfs.end(), id) !=
+          claimed_kfs.end()) {
+        conflict = true;
+        break;
+      }
+    if (conflict) continue;
+    backend::BackendSnapshot snapshot;
+    if (!backend::build_shard_snapshot(kf_graph_, map_, camera_,
+                                       options_.backend, shard,
+                                       static_cast<int>(sid), fs.index,
+                                       claimed_points, snapshot))
+      continue;
+    BackendJob job;
+    job.shard = static_cast<int>(sid);
+    job.claimed_kfs = snapshot.window_kfs;  // post-demote free set
+    job.owned_points.reserve(snapshot.point_ids.size());
+    for (std::size_t j = 0; j < snapshot.point_ids.size(); ++j)
+      if (snapshot.point_owned.empty() || snapshot.point_owned[j] != 0)
+        job.owned_points.push_back(snapshot.point_ids[j]);
+    // Later shards this freeze (and later freezes) must treat this job's
+    // points as claimed.
+    claimed_points.insert(claimed_points.end(), job.owned_points.begin(),
+                          job.owned_points.end());
+    std::sort(claimed_points.begin(), claimed_points.end());
+    job.snapshot = std::move(snapshot);
+    {
+      const std::lock_guard<std::mutex> lock(backend_mutex_);
+      job.id = next_backend_job_id_++;
+      backend_jobs_.push_back(std::move(job));
+      backend_stats_.max_inflight_jobs_seen =
+          std::max(backend_stats_.max_inflight_jobs_seen,
+                   static_cast<int>(backend_jobs_.size()));
+    }
+    ++frozen;
+  }
   const std::lock_guard<std::mutex> lock(backend_mutex_);
-  backend_snapshot_ = std::move(snapshot);
-  backend_state_ = BackendJobState::kSnapshotReady;
+  ++backend_stats_.freeze_events;
+  backend_stats_.shard_jobs_frozen += frozen;
+  backend_stats_.last_freeze_shards = static_cast<int>(shards.size());
+  backend_stats_.max_shards_seen = std::max(
+      backend_stats_.max_shards_seen, static_cast<int>(shards.size()));
 }
 
-void Tracker::run_backend_job() {
+void Tracker::run_backend_job(int job_id) {
   backend::BackendSnapshot snapshot;
   {
     const std::lock_guard<std::mutex> lock(backend_mutex_);
-    if (backend_state_ != BackendJobState::kSnapshotReady) return;
-    snapshot = std::move(backend_snapshot_);
-    backend_state_ = BackendJobState::kRunning;
+    const auto it =
+        std::find_if(backend_jobs_.begin(), backend_jobs_.end(),
+                     [&](const BackendJob& j) { return j.id == job_id; });
+    // The job may have been discarded and erased (loop correction) after
+    // its ticket was queued; a vanished id is a silent no-op.
+    if (it == backend_jobs_.end() || it->state != BackendJob::State::kReady)
+      return;
+    snapshot = std::move(it->snapshot);
+    it->state = BackendJob::State::kRunning;
   }
-  // The expensive part — windowed BA on the frozen copy.  No tracker lock
-  // is held: tracking stages proceed concurrently.
-  backend::BackendDelta delta =
-      backend::optimize_snapshot(std::move(snapshot), options_.backend);
+  // The expensive part — windowed BA (or loop verification) on the frozen
+  // copy.  No tracker lock is held: tracking stages proceed concurrently,
+  // and so do other shards' jobs on other workers.
+  backend::BackendDelta delta = backend::optimize_snapshot(
+      std::move(snapshot), options_.backend, options_.lifecycle);
   const std::lock_guard<std::mutex> lock(backend_mutex_);
   ++backend_stats_.jobs_run;
   backend_stats_.total_optimize_ms += delta.optimize_ms;
   if (delta.loop_job) {
+    ++backend_stats_.loop_jobs_run;
     if (delta.loop_closed) {
       ++backend_stats_.loops_verified;
     } else {
@@ -705,60 +822,131 @@ void Tracker::run_backend_job() {
     backend_stats_.last_loop_inliers = delta.loop_inliers;
     backend_stats_.total_pose_graph_iterations += delta.pose_graph.iterations;
   } else {
+    ++backend_stats_.ba_jobs_run;
     backend_stats_.total_ba_iterations += delta.ba.iterations;
     backend_stats_.last_ba_initial_cost = delta.ba.initial_cost;
     backend_stats_.last_ba_final_cost = delta.ba.final_cost;
   }
-  backend_delta_ = std::move(delta);
-  backend_state_ = BackendJobState::kDeltaReady;
+  const auto it =
+      std::find_if(backend_jobs_.begin(), backend_jobs_.end(),
+                   [&](const BackendJob& j) { return j.id == job_id; });
+  if (it == backend_jobs_.end()) return;
+  if (it->discarded) {
+    // A loop correction applied while this job ran: its snapshot predates
+    // the corrected map, so the delta is dropped unapplied.
+    ++backend_stats_.jobs_discarded;
+    backend_jobs_.erase(it);
+    return;
+  }
+  it->delta = std::move(delta);
+  it->state = BackendJob::State::kDone;
 }
 
-void Tracker::apply_pending_backend_delta(FrameState& fs) {
-  backend::BackendDelta delta;
-  {
+void Tracker::run_backend_job() {
+  // Sequential drain: run every ready job in ascending id order (loop
+  // jobs freeze before BA jobs at the same keyframe, so they also run
+  // first here — the inline analogue of the scheduler's priority pop).
+  for (;;) {
+    int next = -1;
+    {
+      const std::lock_guard<std::mutex> lock(backend_mutex_);
+      for (const BackendJob& job : backend_jobs_)
+        if (job.state == BackendJob::State::kReady &&
+            (next < 0 || job.id < next))
+          next = job.id;
+    }
+    if (next < 0) return;
+    run_backend_job(next);
+  }
+}
+
+void Tracker::apply_pending_backend_deltas(FrameState& fs) {
+  // Applies every completed delta, smallest job id first — the order jobs
+  // were frozen in, identical in sequential and threaded runs regardless
+  // of worker completion order.  Concurrent jobs write disjoint keyframe
+  // and owned-point sets (checked below), so this order is one valid
+  // serialization of writes that commute anyway.
+  for (;;) {
+    backend::BackendDelta delta;
+    std::vector<std::int64_t> owned;
+    {
+      const std::lock_guard<std::mutex> lock(backend_mutex_);
+      const auto it =
+          std::find_if(backend_jobs_.begin(), backend_jobs_.end(),
+                       [](const BackendJob& j) {
+                         return j.state == BackendJob::State::kDone;
+                       });
+      if (it == backend_jobs_.end()) return;
+      delta = std::move(it->delta);
+      owned = std::move(it->owned_points);
+      backend_jobs_.erase(it);
+    }
+    // Per-delta ownership check: a shard delta may only write the points
+    // its job owned at freeze time (what makes concurrent deltas commute).
+    // Loop deltas are exempt — a correction legitimately rewrites the
+    // whole map, and discards every other job below.
+    if (!delta.loop_job) {
+      const auto owns = [&](std::int64_t id) {
+        return std::binary_search(owned.begin(), owned.end(), id);
+      };
+      for (const auto& [id, position] : delta.point_positions)
+        ESLAM_ASSERT(owns(id), "shard delta moved a point it does not own");
+      for (const std::int64_t id : delta.culled_ids)
+        ESLAM_ASSERT(owns(id), "shard delta culled a point it does not own");
+      for (const std::int64_t id : delta.fused_ids)
+        ESLAM_ASSERT(owns(id), "shard delta fused a point it does not own");
+    }
+    const backend::ApplyOutcome outcome =
+        backend::apply_delta(delta, map_, kf_graph_);
+    fs.result.n_points_culled += outcome.points_culled;
+    fs.result.n_points_fused += outcome.points_fused;
+    fs.result.backend_applied = true;
+    if (outcome.loop_applied) {
+      // The world moved under the camera: rebase every piece of tracker
+      // state expressed in world coordinates by the same correction the
+      // live end of the map received, so the very next projection of the
+      // corrected map is unchanged.  For a camera pose (world-to-camera)
+      // the rebase is pose_cw' = pose_cw * adjust^{-1}; for a camera-in-
+      // world reference it is pose_wc' = adjust * pose_wc.  The velocity
+      // last * prev^{-1} is invariant (the adjusts cancel), so the motion
+      // model carries straight through the correction.
+      const SE3 adjust_inv = outcome.loop_adjust.inverse();
+      fs.result.pose_cw = fs.result.pose_cw * adjust_inv;
+      fs.result.pose_wc = fs.result.pose_cw.inverse();
+      last_pose_cw_ = last_pose_cw_ * adjust_inv;
+      prev_pose_cw_ = prev_pose_cw_ * adjust_inv;
+      keyframe_policy_.rebase(outcome.loop_adjust);
+      fs.result.loop_closed = true;
+      loop_cooldown_until_ = fs.index + options_.backend.loop.cooldown_frames;
+      // Every other in-flight job froze against the pre-correction map:
+      // discard them all.  Ready/done jobs go now; a running job is
+      // flagged and erased by its own worker on completion.
+      const std::lock_guard<std::mutex> lock(backend_mutex_);
+      std::erase_if(backend_jobs_, [&](BackendJob& job) {
+        if (job.state == BackendJob::State::kRunning) {
+          job.discarded = true;
+          return false;
+        }
+        ++backend_stats_.jobs_discarded;
+        return true;
+      });
+    } else if (delta.loop_job) {
+      // Verification rejected the candidate: back off briefly so the same
+      // false pair does not immediately re-freeze a loop job and starve
+      // the BA lane.
+      loop_cooldown_until_ =
+          fs.index + std::max(1, options_.backend.loop.cooldown_frames / 4);
+    }
     const std::lock_guard<std::mutex> lock(backend_mutex_);
-    if (backend_state_ != BackendJobState::kDeltaReady) return;
-    delta = std::move(backend_delta_);
-    backend_state_ = BackendJobState::kIdle;
-  }
-  const backend::ApplyOutcome outcome =
-      backend::apply_delta(delta, map_, kf_graph_);
-  fs.result.n_points_culled = outcome.points_culled;
-  fs.result.n_points_fused = outcome.points_fused;
-  fs.result.backend_applied = true;
-  if (outcome.loop_applied) {
-    // The world moved under the camera: rebase every piece of tracker
-    // state expressed in world coordinates by the same correction the
-    // live end of the map received, so the very next projection of the
-    // corrected map is unchanged.  For a camera pose (world-to-camera)
-    // the rebase is pose_cw' = pose_cw * adjust^{-1}; for a camera-in-
-    // world reference it is pose_wc' = adjust * pose_wc.  The velocity
-    // last * prev^{-1} is invariant (the adjusts cancel), so the motion
-    // model carries straight through the correction.
-    const SE3 adjust_inv = outcome.loop_adjust.inverse();
-    fs.result.pose_cw = fs.result.pose_cw * adjust_inv;
-    fs.result.pose_wc = fs.result.pose_cw.inverse();
-    last_pose_cw_ = last_pose_cw_ * adjust_inv;
-    prev_pose_cw_ = prev_pose_cw_ * adjust_inv;
-    keyframe_policy_.rebase(outcome.loop_adjust);
-    fs.result.loop_closed = true;
-    loop_cooldown_until_ = fs.index + options_.backend.loop.cooldown_frames;
-  } else if (delta.loop_job) {
-    // Verification rejected the candidate: back off briefly so the same
-    // false pair does not immediately re-freeze the job slot and starve
-    // the BA lane.
-    loop_cooldown_until_ =
-        fs.index + std::max(1, options_.backend.loop.cooldown_frames / 4);
-  }
-  const std::lock_guard<std::mutex> lock(backend_mutex_);
-  ++backend_stats_.deltas_applied;
-  backend_stats_.points_moved += outcome.points_moved;
-  backend_stats_.points_culled += outcome.points_culled;
-  backend_stats_.points_fused += outcome.points_fused;
-  if (outcome.loop_applied) {
-    ++backend_stats_.loops_applied;
-    backend_stats_.last_loop_correction_m =
-        outcome.loop_adjust.translation().norm();
+    ++backend_stats_.deltas_applied;
+    backend_stats_.points_moved += outcome.points_moved;
+    backend_stats_.points_culled += outcome.points_culled;
+    backend_stats_.points_fused += outcome.points_fused;
+    if (outcome.loop_applied) {
+      ++backend_stats_.loops_applied;
+      backend_stats_.last_loop_correction_m =
+          outcome.loop_adjust.translation().norm();
+    }
   }
 }
 

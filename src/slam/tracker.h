@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "backend/local_mapper.h"
+#include "backend/map_lifecycle.h"
 #include "core/arena.h"
 #include "features/matcher.h"
 #include "features/orb.h"
@@ -259,8 +260,12 @@ struct TrackerOptions {
   // backend-less build.  Per-session when threaded through
   // server/SessionConfig::tracker.
   backend::BackendOptions backend;
+  // Unified map-point lifecycle policy (age prune + BA cull/fuse); the one
+  // owner of every point-removal decision.  Active regardless of the
+  // backend switch (age pruning predates the backend); the BA evidence
+  // passes only run when backend jobs run.  See backend/map_lifecycle.h.
+  backend::MapLifecycleOptions lifecycle;
   double depth_factor = 5000.0;  // TUM: depth_png / 5000 = metres
-  int map_prune_age = 200;       // frames without a match before deletion
   int min_tracked_inliers = 10;
   // A pose is only accepted (and allowed to trigger a key frame) when the
   // RANSAC consensus covers at least this share of the matches; guards
@@ -396,20 +401,41 @@ class Tracker {
   int frame_index() const { return frame_index_; }
 
   // --- local-mapping backend ---------------------------------------------
-  // update_map() freezes a BackendSnapshot at a keyframe when the previous
-  // job's delta has been applied (per-tracker serialization: at most one
-  // job in any state at a time).  A worker — the scheduler's background
-  // lane, or process() inline in sequential mode — then runs the job via
-  // run_backend_job(), and the resulting delta is applied at the next
-  // keyframe.  See backend/local_mapper.h for the protocol.
+  // update_map() freezes backend jobs at a keyframe: either ONE high-
+  // priority loop-verification job, or up to max_inflight_jobs routine BA
+  // jobs over the covisibility-disjoint shards compute_shards() yields.
+  // Jobs are independent — each owns a disjoint set of free keyframes and
+  // map points (per-shard serialization across freezes: a shard whose
+  // window intersects an in-flight job's is skipped until that job's
+  // delta lands) — so workers may run them concurrently.  Completed
+  // deltas apply at the next keyframe in job-id order; applying a loop
+  // correction discards every other in-flight job (their snapshots
+  // predate the correction).  See backend/local_mapper.h for the
+  // protocol.
   bool backend_enabled() const { return options_.backend.enabled; }
-  // A frozen snapshot awaits a worker.
+  // What the scheduler needs to know about a frozen job to queue it: its
+  // handle, and whether it is loop verification (the high-priority class).
+  struct BackendJobTicket {
+    int job_id = -1;
+    bool loop = false;
+  };
+  // At least one frozen job has not been offered to a worker yet.
   bool backend_job_pending() const;
   // A worker is inside run_backend_job() right now.  The tracker must not
   // be destroyed while true (the scheduler's remove_session waits).
   bool backend_busy() const;
-  // Executes the pending job, if any.  Thread-safe; takes no map lock —
-  // the job runs entirely on the frozen snapshot.
+  // Marks every unoffered ready job offered and appends its ticket —
+  // the scheduler's claim step (each ticket is then queued exactly once).
+  void take_backend_jobs(std::vector<BackendJobTicket>& out);
+  // Returns an offered-but-unrun job to the pending pool (queue overflow:
+  // the scheduler could not enqueue the ticket it took).
+  void unoffer_backend_job(int job_id);
+  // Executes one frozen job by id (no-op if it no longer exists).
+  // Thread-safe; takes no map lock — the job runs entirely on the frozen
+  // snapshot, and distinct jobs may run concurrently on distinct workers.
+  void run_backend_job(int job_id);
+  // Executes every ready job inline, in job-id order (the sequential
+  // platform's deterministic drain).
   void run_backend_job();
   // Keyframe database + covisibility graph.  Only valid while quiescent
   // (no update_map in flight).
@@ -430,9 +456,9 @@ class Tracker {
   // Pops a recycled frame shell (or default-constructs one) and resets its
   // per-frame state: vectors cleared capacity-intact, arena reset.
   FrameState acquire_frame();
-  // Applies a completed backend delta, if one is ready.  Caller holds the
-  // exclusive map lock (this is a structural map write).
-  void apply_pending_backend_delta(FrameState& fs);
+  // Applies every completed backend delta in job-id order (one structural
+  // map write + one epoch bump each).  Caller holds the exclusive map lock.
+  void apply_pending_backend_deltas(FrameState& fs);
   // Graph + recognition-index insertion for a retired keyframe (caller
   // holds the exclusive map lock — the device lane reads both under the
   // shared one).  Returns the new keyframe's graph id.
@@ -440,10 +466,12 @@ class Tracker {
       const FrameState& fs,
       std::vector<backend::KeyframeObservation> observations);
   // Loop detection + job-snapshot freezing for the keyframe just
-  // inserted.  Read-only over map/graph/index, so it runs *outside* the
-  // exclusive lock (this stage is their sole writer) — a keyframe must
-  // not stall every session's matching on the shared device lane.
-  void backend_freeze_job(int kf_id, const FrameState& fs);
+  // inserted: one loop job, or the shard decomposition's BA jobs up to
+  // the in-flight budget.  Read-only over map/graph/index, so it runs
+  // *outside* the exclusive lock (this stage is their sole writer) — a
+  // keyframe must not stall every session's matching on the shared device
+  // lane.
+  void backend_freeze_jobs(int kf_id, const FrameState& fs);
   // Depth unprojection at pixel (u, v): camera-frame 3D, or nullopt on a
   // sensor hole / out-of-range depth.  World position = pose_wc * result.
   std::optional<Vec3> camera_point_from_depth(const FrameInput& frame,
@@ -522,7 +550,7 @@ class Tracker {
   // single map-writing stage) *inside the exclusive map lock*, and read by
   // match()'s relocalization tier on the device lane under the shared
   // lock — the map mutex doubles as their reader/writer guard.  The job
-  // slots below are the tracker/worker handshake and live under
+  // table below is the tracker/worker handshake and lives under
   // backend_mutex_.
   backend::KeyframeGraph kf_graph_;
   backend::KeyframeIndex kf_index_;
@@ -530,11 +558,31 @@ class Tracker {
   // (set when a correction applies; the corrected map needs new keyframes
   // before a second detection means anything).
   int loop_cooldown_until_ = 0;
-  enum class BackendJobState { kIdle, kSnapshotReady, kRunning, kDeltaReady };
+  // One frozen backend job.  Lifecycle: kReady (snapshot frozen, maybe
+  // offered to a scheduler queue) -> kRunning (a worker owns the moved-out
+  // snapshot) -> kDone (delta ready; applied + erased at the next
+  // keyframe, in id order).  `claimed_kfs` / `owned_points` are the job's
+  // exclusive write set — what later freezes must not hand to another
+  // concurrent job, and what the applied delta is checked against.
+  // `discarded` flags a running job invalidated by an applied loop
+  // correction; its worker erases it on completion instead of publishing
+  // the delta.
+  struct BackendJob {
+    int id = 0;
+    bool loop = false;
+    int shard = 0;
+    enum class State { kReady, kRunning, kDone };
+    State state = State::kReady;
+    bool offered = false;
+    bool discarded = false;
+    backend::BackendSnapshot snapshot;  // valid in kReady
+    backend::BackendDelta delta;        // valid in kDone
+    std::vector<int> claimed_kfs;             // free keyframes (post-demote)
+    std::vector<std::int64_t> owned_points;   // sorted ascending
+  };
   mutable std::mutex backend_mutex_;
-  BackendJobState backend_state_ = BackendJobState::kIdle;
-  backend::BackendSnapshot backend_snapshot_;  // valid in kSnapshotReady
-  backend::BackendDelta backend_delta_;        // valid in kDeltaReady
+  std::vector<BackendJob> backend_jobs_;  // ascending id
+  int next_backend_job_id_ = 0;
   backend::BackendStats backend_stats_;
 };
 

@@ -94,8 +94,10 @@ TEST(BackendSnapshot, SkipsDeadPoints) {
 
 TEST(BackendDelta, OptimizeProducesMovesAndCulls) {
   World w;
-  BackendOptions options = default_options();
-  options.cull_max_reproj_px = 5.0;
+  const BackendOptions options = default_options();
+  MapLifecycleOptions lifecycle;
+  lifecycle.cull_max_reproj_px = 5.0;
+  lifecycle.min_cull_observations = 3;  // the world observes each point 3x
   BackendSnapshot snapshot;
   ASSERT_TRUE(build_snapshot(w.graph, w.map, w.camera, options, 20, snapshot));
 
@@ -109,7 +111,7 @@ TEST(BackendDelta, OptimizeProducesMovesAndCulls) {
   snapshot.problem.point_fixed[3] = true;
   snapshot.problem.points[7] += Vec3{0.01, 0, 0};
 
-  const BackendDelta delta = optimize_snapshot(snapshot, options);
+  const BackendDelta delta = optimize_snapshot(snapshot, options, lifecycle);
   EXPECT_GT(delta.ba.iterations, 0);
   EXPECT_EQ(std::count(delta.culled_ids.begin(), delta.culled_ids.end(),
                        poisoned),
@@ -126,9 +128,10 @@ TEST(BackendDelta, OptimizeProducesMovesAndCulls) {
 
 TEST(BackendDelta, FusesDuplicatePointsKeepingTheProvenMember) {
   World w;
-  BackendOptions options = default_options();
-  options.fuse_radius_m = 0.05;
-  options.fuse_max_hamming = 256;  // distance-only for this test
+  const BackendOptions options = default_options();
+  MapLifecycleOptions lifecycle;
+  lifecycle.fuse_radius_m = 0.05;
+  lifecycle.fuse_max_hamming = 256;  // distance-only for this test
   // Insert a near-duplicate of point 0 and give it to the latest keyframe
   // as an extra observation, so it enters the snapshot.
   const Vec3 base = w.map.point(0).position;
@@ -145,7 +148,7 @@ TEST(BackendDelta, FusesDuplicatePointsKeepingTheProvenMember) {
   // Both members have zero matches: the tie goes to the older id.
   BackendSnapshot snapshot;
   ASSERT_TRUE(build_snapshot(w.graph, w.map, w.camera, options, 30, snapshot));
-  const BackendDelta delta = optimize_snapshot(snapshot, options);
+  const BackendDelta delta = optimize_snapshot(snapshot, options, lifecycle);
   EXPECT_EQ(std::count(delta.fused_ids.begin(), delta.fused_ids.end(), dup),
             1);
   EXPECT_EQ(std::count(delta.fused_ids.begin(), delta.fused_ids.end(),
@@ -160,7 +163,7 @@ TEST(BackendDelta, FusesDuplicatePointsKeepingTheProvenMember) {
   BackendSnapshot snapshot2;
   ASSERT_TRUE(build_snapshot(w.graph, w.map, w.camera, options, 30,
                              snapshot2));
-  const BackendDelta delta2 = optimize_snapshot(snapshot2, options);
+  const BackendDelta delta2 = optimize_snapshot(snapshot2, options, lifecycle);
   EXPECT_EQ(std::count(delta2.fused_ids.begin(), delta2.fused_ids.end(), dup),
             0);
   EXPECT_EQ(std::count(delta2.fused_ids.begin(), delta2.fused_ids.end(),

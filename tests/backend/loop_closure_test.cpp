@@ -173,7 +173,7 @@ TEST(LoopClosure, VerifiesAndCorrectsTheQueryPose) {
   EXPECT_EQ(snapshot.loop->query_kf, w.query_kf);
   EXPECT_EQ(snapshot.loop->max_point_id, w.map.points().back().id);
 
-  const BackendDelta delta = optimize_snapshot(snapshot, w.options);
+  const BackendDelta delta = optimize_snapshot(snapshot, w.options, {});
   ASSERT_TRUE(delta.loop_job);
   ASSERT_TRUE(delta.loop_closed);
   EXPECT_GE(delta.loop_inliers, w.options.loop.min_inliers);
@@ -202,7 +202,7 @@ TEST(LoopClosure, ApplyRebasesPostFreezeStateWithTheLiveEnd) {
   BackendSnapshot snapshot;
   ASSERT_TRUE(build_loop_snapshot(w.graph, w.map, w.camera, w.options,
                                   w.query_kf, w.candidate_kf, 95, snapshot));
-  const BackendDelta delta = optimize_snapshot(snapshot, w.options);
+  const BackendDelta delta = optimize_snapshot(snapshot, w.options, {});
   ASSERT_TRUE(delta.loop_closed);
 
   // Things the snapshot could not know about: a point created after the

@@ -1,0 +1,190 @@
+// Unified map-point lifecycle policy on a synthetic map: the retention
+// pass (age pruning with the proven-landmark override), the post-BA
+// evidence pass (cull + fuse with shard ownership gating), and the
+// commutativity contract concurrent shard deltas rely on.
+#include "backend/map_lifecycle.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "../test_util.h"
+#include "backend/local_mapper.h"
+
+namespace eslam::backend {
+namespace {
+
+Map small_map(int n_points) {
+  eslam::testing::rng(47);
+  Map map;
+  for (int j = 0; j < n_points; ++j)
+    map.add_point(Vec3{0.1 * j, 0, 2.5}, eslam::testing::random_descriptor(),
+                  /*frame_index=*/0);
+  return map;
+}
+
+TEST(MapLifecycle, ProtectedPointSurvivesAgePruning) {
+  Map map = small_map(3);
+  // Point 1 is a proven landmark: matched plenty, just not recently.
+  for (int f = 1; f <= 5; ++f) map.note_match(1, f);
+  // Point 2 stays fresh; points 0 and 1 are both stale by age.
+  map.note_match(2, 90);
+
+  MapLifecycleOptions options;
+  options.max_age = 50;
+  options.protect_min_matches = 5;
+  const std::uint64_t before = map.epoch();
+  EXPECT_EQ(run_map_maintenance(map, /*current_frame=*/100, options), 1u);
+  // Only the unproven stale point goes; the proven one is retained
+  // regardless of age, and the removal cost exactly one epoch bump.
+  EXPECT_FALSE(map.index_of(0).has_value());
+  EXPECT_TRUE(map.index_of(1).has_value());
+  EXPECT_TRUE(map.index_of(2).has_value());
+  EXPECT_EQ(map.epoch(), before + 1);
+
+  // With the override disabled the same point is plain stale.
+  options.protect_min_matches = 0;
+  EXPECT_EQ(run_map_maintenance(map, 100, options), 1u);
+  EXPECT_FALSE(map.index_of(1).has_value());
+}
+
+TEST(MapLifecycle, DisabledPolicyRemovesNothing) {
+  Map map = small_map(4);
+  MapLifecycleOptions options;
+  options.enabled = false;
+  options.max_age = 1;
+  const std::uint64_t before = map.epoch();
+  EXPECT_EQ(run_map_maintenance(map, 1000, options), 0u);
+  EXPECT_EQ(map.size(), 4u);
+  EXPECT_EQ(map.epoch(), before);  // no-op: no epoch bump
+}
+
+// A one-pose problem with every point observed `obs_per_point` times at
+// its exact projection — zero reprojection error unless a test moves it.
+struct FatePlanFixture {
+  BaProblem problem;
+  std::vector<std::int64_t> ids;
+  std::vector<Descriptor256> descriptors;
+  std::vector<int> match_counts;
+  std::vector<PointFate> fate;
+
+  explicit FatePlanFixture(int n_points, int obs_per_point = 3) {
+    eslam::testing::rng(48);
+    problem.poses.push_back(SE3{});
+    problem.pose_fixed.push_back(true);
+    for (int j = 0; j < n_points; ++j) {
+      const Vec3 p{0.5 * j - 0.5, 0.1, 2.5};
+      problem.points.push_back(p);
+      problem.point_fixed.push_back(false);
+      ids.push_back(j);
+      descriptors.push_back(eslam::testing::random_descriptor());
+      match_counts.push_back(0);
+      const auto px = problem.camera.project(p);
+      for (int k = 0; k < obs_per_point; ++k)
+        problem.observations.push_back({0, j, *px});
+    }
+  }
+
+  void plan(const MapLifecycleOptions& options,
+            std::span<const std::uint8_t> owned = {}) {
+    plan_point_fates(problem, ids, descriptors, match_counts, owned, options,
+                     fate);
+  }
+};
+
+TEST(MapLifecycle, CullsGrosslyMisplacedOwnedPointsOnly) {
+  // obs_per_point must clear the default min_cull_observations evidence bar.
+  FatePlanFixture w(3, /*obs_per_point=*/4);
+  // Point 0's position no longer explains its observations at all.
+  w.problem.points[0] += Vec3{1.0, 1.0, 0};
+  MapLifecycleOptions options;
+  w.plan(options);
+  EXPECT_EQ(w.fate[0], PointFate::kCull);
+  EXPECT_EQ(w.fate[1], PointFate::kKeep);
+  EXPECT_EQ(w.fate[2], PointFate::kKeep);
+
+  // The same misplaced point owned by another in-flight shard is not this
+  // shard's to judge.
+  const std::vector<std::uint8_t> owned = {0, 1, 1};
+  w.plan(options, owned);
+  EXPECT_EQ(w.fate[0], PointFate::kKeep);
+}
+
+TEST(MapLifecycle, UnderObservedPointsAreNeverCulled) {
+  FatePlanFixture w(2, /*obs_per_point=*/2);
+  w.problem.points[0] += Vec3{1.0, 1.0, 0};
+  MapLifecycleOptions options;
+  options.min_cull_observations = 3;  // two observations is not evidence
+  w.plan(options);
+  EXPECT_EQ(w.fate[0], PointFate::kKeep);
+}
+
+TEST(MapLifecycle, FuseKeepsTheMostMatchedDuplicate) {
+  FatePlanFixture w(3);
+  // Points 0 and 1 collapse onto the same spot with identical
+  // descriptors; point 2 stays distinct.
+  w.problem.points[1] = w.problem.points[0] + Vec3{0.001, 0, 0};
+  w.descriptors[1] = w.descriptors[0];
+  w.match_counts[0] = 2;
+  w.match_counts[1] = 9;  // the matcher keeps finding the younger one
+
+  MapLifecycleOptions options;
+  options.cull_max_reproj_px = 0;  // isolate the fuse pass: the moved
+                                   // duplicate no longer matches its
+                                   // observations and must not be culled
+  options.fuse_radius_m = 0.01;
+  w.plan(options);
+  EXPECT_EQ(w.fate[0], PointFate::kFuse);  // loser despite the older id
+  EXPECT_EQ(w.fate[1], PointFate::kKeep);
+  EXPECT_EQ(w.fate[2], PointFate::kKeep);
+
+  // Equal match counts: the tie goes to the older id.
+  w.match_counts[1] = 2;
+  w.plan(options);
+  EXPECT_EQ(w.fate[0], PointFate::kKeep);
+  EXPECT_EQ(w.fate[1], PointFate::kFuse);
+
+  // A duplicate another shard owns is untouchable — and must not devour
+  // the point this shard does own.
+  const std::vector<std::uint8_t> owned = {1, 0, 1};
+  w.match_counts[1] = 9;
+  w.plan(options, owned);
+  EXPECT_EQ(w.fate[0], PointFate::kKeep);
+  EXPECT_EQ(w.fate[1], PointFate::kKeep);
+}
+
+TEST(MapLifecycle, DisjointShardDeltasCommute) {
+  // The concurrency contract behind sharded execution: deltas touching
+  // disjoint point sets produce the same map in either apply order (see
+  // Map::apply_update).  Build two maps, apply A;B to one and B;A to the
+  // other, compare everything.
+  KeyframeGraph graph_ab, graph_ba;
+  Map map_ab = small_map(8);
+  Map map_ba = small_map(8);
+
+  BackendDelta a;
+  a.snapshot_frame = 10;
+  a.point_positions.push_back({0, Vec3{9, 0, 3}});
+  a.culled_ids.push_back(2);
+  BackendDelta b;
+  b.snapshot_frame = 10;
+  b.point_positions.push_back({5, Vec3{0, 9, 3}});
+  b.fused_ids.push_back(7);
+
+  apply_delta(a, map_ab, graph_ab);
+  apply_delta(b, map_ab, graph_ab);
+  apply_delta(b, map_ba, graph_ba);
+  apply_delta(a, map_ba, graph_ba);
+
+  ASSERT_EQ(map_ab.size(), map_ba.size());
+  EXPECT_EQ(map_ab.size(), 6u);
+  EXPECT_EQ(map_ab.epoch(), map_ba.epoch());
+  for (std::size_t i = 0; i < map_ab.size(); ++i) {
+    EXPECT_EQ(map_ab.point(i).id, map_ba.point(i).id);
+    EXPECT_EQ(map_ab.point(i).position[0], map_ba.point(i).position[0]);
+    EXPECT_EQ(map_ab.point(i).position[1], map_ba.point(i).position[1]);
+  }
+}
+
+}  // namespace
+}  // namespace eslam::backend

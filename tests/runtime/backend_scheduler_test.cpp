@@ -62,7 +62,11 @@ TEST(BackendScheduler, JobsRunOnPoolAndDeltasApply) {
 
   const backend::BackendStats bstats = session.backend_stats();
   EXPECT_EQ(bstats.jobs_run, stats.backend_jobs);
-  EXPECT_EQ(bstats.deltas_applied, stats.backend_deltas_applied);
+  EXPECT_EQ(stats.backend_ba_jobs + stats.backend_loop_jobs,
+            stats.backend_jobs);
+  // One keyframe can fold several shard deltas at once, so the tracker's
+  // per-delta count dominates the scheduler's per-frame count.
+  EXPECT_GE(bstats.deltas_applied, stats.backend_deltas_applied);
   EXPECT_GT(bstats.keyframes_inserted, 2);
   EXPECT_GT(bstats.total_ba_iterations, 0);
 
@@ -106,9 +110,8 @@ TEST(BackendScheduler, DisabledBackendLeavesLaneUntouched) {
 TEST(BackendScheduler, PipelinedBackendMatchesItsOwnSequentialProtocol) {
   // With the backend ON, async timing may legally shift *when* a delta
   // lands, so poses need not be bit-identical to sequential.  What must
-  // hold: the pipelined run applies the same per-tracker serialization
-  // (at most one job in flight), never loses the session, and produces a
-  // healthy trajectory of the full length.
+  // hold: a delta is only applied after its job ran, every job traces
+  // back to a freeze event, and the session survives the full sequence.
   const SyntheticSequence seq = room_sequence();
   SlamService service(ServiceOptions{/*arm_workers=*/2});
   SessionHandle session = service.open_session(session_for(seq, true));
@@ -116,10 +119,12 @@ TEST(BackendScheduler, PipelinedBackendMatchesItsOwnSequentialProtocol) {
   const std::vector<TrackResult> results = session.drain();
   ASSERT_EQ(static_cast<int>(results.size()), seq.size());
   const backend::BackendStats bstats = session.backend_stats();
-  // Serialization invariant: a delta can only be applied after its job
-  // ran, and at most one job exists in any state at a time.
   EXPECT_LE(bstats.deltas_applied, bstats.jobs_run);
-  EXPECT_LE(bstats.jobs_run, bstats.keyframes_inserted);
+  // A freeze may emit several shard jobs (up to max_shards) plus loop
+  // verifications, so jobs_run is bounded by the freeze accounting, not
+  // by the keyframe count.
+  EXPECT_LE(bstats.ba_jobs_run, bstats.shard_jobs_frozen);
+  EXPECT_EQ(bstats.ba_jobs_run + bstats.loop_jobs_run, bstats.jobs_run);
 }
 
 TEST(BackendScheduler, SequentialInlineBackendRunsJobs) {
@@ -136,7 +141,9 @@ TEST(BackendScheduler, SequentialInlineBackendRunsJobs) {
     applied += tracker.process(seq.frame(i)).backend_applied ? 1 : 0;
   const backend::BackendStats bstats = tracker.backend_stats();
   EXPECT_GT(bstats.jobs_run, 0);
-  EXPECT_EQ(bstats.deltas_applied, applied);
+  // Several shard deltas can land at the same keyframe, so the per-delta
+  // count dominates the per-frame one.
+  EXPECT_GE(bstats.deltas_applied, applied);
   EXPECT_GE(applied, 1);
   EXPECT_FALSE(tracker.backend_busy());
 }

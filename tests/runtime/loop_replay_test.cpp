@@ -35,7 +35,11 @@ TrackerOptions loop_tracker_options() {
   TrackerOptions tracker;
   tracker.backend.enabled = true;
   tracker.backend.loop.enabled = true;
-  tracker.map_prune_age = kFrames / 6;
+  tracker.lifecycle.max_age = kFrames / 6;
+  // Pure age pruning: the retention override would keep proven landmarks
+  // alive across the revisit, closing the loop implicitly through matching
+  // instead of through a detected correction.
+  tracker.lifecycle.protect_min_matches = 0;
   tracker.backend.loop.min_frame_gap = kFrames / 5;
   return tracker;
 }

@@ -12,8 +12,26 @@
 
 #include "dataset/multi_sequence.h"
 
+// The stalled-session test pits a wall-clock sleep (session A's pacer)
+// against real tracking work (session B): instrumentation that slows the
+// work but not the sleep would break the "A outlasts B" premise, so the
+// stall is scaled up under ThreadSanitizer.
+#if defined(__SANITIZE_THREAD__)
+#define ESLAM_TEST_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define ESLAM_TEST_TSAN 1
+#endif
+#endif
+
 namespace eslam {
 namespace {
+
+#ifdef ESLAM_TEST_TSAN
+constexpr double kStallMs = 30000.0;
+#else
+constexpr double kStallMs = 3000.0;
+#endif
 
 OrbConfig small_orb() {
   OrbConfig orb;
@@ -179,7 +197,7 @@ TEST(SlamService, StalledSessionDoesNotBlockOthers) {
   SessionConfig slow = software_session(streams.stream(0));
   slow.queue_capacity = 1;
   slow.pacer = [](PipeStage stage) {
-    return stage == PipeStage::kPoseEstimation ? 3000.0 : 0.0;
+    return stage == PipeStage::kPoseEstimation ? kStallMs : 0.0;
   };
   SessionHandle a = service.open_session(slow);
   // Session B: default, fast.
@@ -198,7 +216,7 @@ TEST(SlamService, StalledSessionDoesNotBlockOthers) {
   EXPECT_GT(a.stats().rejected_feeds, 0);
 
   // B flows to completion while A is still parked in its paced PE (each
-  // of A's frames holds the ARM stage for 3 s; B's whole run is far
+  // of A's frames holds the ARM stage for kStallMs; B's whole run is far
   // shorter even on a loaded single-core host, since A sleeps).
   for (int f = 0; f < kFrames; ++f) b.feed(streams.stream(1).frame(f));
   const std::vector<TrackResult> b_results = b.drain();
