@@ -1,0 +1,57 @@
+// Domain example: build a map and save it as a versioned snapshot — the
+// producer half of the persistence pair (see examples/localize.cpp for
+// the consumer).  Runs the full mapping pipeline with the local-mapping
+// backend on (so the snapshot carries the keyframe graph the recognition
+// index is rebuilt from), then writes the map points + keyframe graph +
+// camera to one binary file.
+//
+//   ./examples/save_map [frames] [out.map]
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "dataset/sequence.h"
+#include "slam/map_snapshot.h"
+#include "slam/tracker.h"
+
+int main(int argc, char** argv) {
+  using namespace eslam;
+  SequenceOptions opts;
+  opts.frames = argc > 1 ? std::atoi(argv[1]) : 60;
+  if (opts.frames < 10) opts.frames = 10;
+  const char* out_path = argc > 2 ? argv[2] : "desk.map";
+
+  SyntheticSequence sequence(SequenceId::kFr1Desk, opts);
+  std::printf("save_map: mapping %d frames of %s\n", sequence.size(),
+              sequence.name().c_str());
+
+  TrackerOptions options;
+  options.backend.enabled = true;  // the snapshot needs the keyframe graph
+  OrbConfig orb;
+  orb.n_features = 500;
+  Tracker tracker(sequence.camera(), std::make_unique<SoftwareBackend>(orb),
+                  options);
+  int lost = 0, keyframes = 0;
+  for (int i = 0; i < sequence.size(); ++i) {
+    const TrackResult r = tracker.process(sequence.frame(i));
+    lost += r.lost;
+    keyframes += r.keyframe;
+  }
+  std::printf("  tracked: %d frames (%d lost), %d keyframes, %zu map "
+              "points\n",
+              sequence.size(), lost, keyframes, tracker.map().size());
+
+  const MapSnapshot snapshot = capture_snapshot(
+      tracker.map(), tracker.keyframe_graph(), sequence.camera());
+  std::string error;
+  if (!save_snapshot(out_path, snapshot, &error)) {
+    std::fprintf(stderr, "error: cannot save %s: %s\n", out_path,
+                 error.c_str());
+    return 1;
+  }
+  std::printf("  saved %s: %zu points, %zu keyframes\n", out_path,
+              snapshot.points.size(), snapshot.keyframes.size());
+  std::printf("\nlocalize against it with:  ./examples/localize %s\n",
+              out_path);
+  return 0;
+}

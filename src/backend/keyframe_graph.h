@@ -127,6 +127,7 @@ class KeyframeGraph {
 
   std::size_t size() const { return keyframes_.size(); }
   bool empty() const { return keyframes_.empty(); }
+  const KeyframeGraphOptions& options() const { return options_; }
   int latest_id() const {
     return keyframes_.empty() ? -1 : keyframes_.back().id;
   }

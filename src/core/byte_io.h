@@ -1,0 +1,120 @@
+// Little-endian byte stream primitives for the map snapshot format.
+//
+// ByteWriter appends fixed-width fields to a growable byte vector;
+// ByteReader consumes them with sticky bounds checking — the first
+// out-of-range read marks the stream failed, every later read returns a
+// zero value, and the caller checks ok() once at the end of a section
+// instead of after every field.  This is what makes the snapshot parser
+// safe on truncated or hostile input: no read ever touches memory past
+// the buffer, so malformed files fail cleanly instead of invoking UB
+// (the property the ASan/UBSan robustness tests pin down).
+//
+// Encoding is explicitly little-endian byte-by-byte (not memcpy of host
+// integers), so snapshot files are byte-identical across hosts; doubles
+// round-trip bit-exactly through their IEEE-754 representation.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace eslam {
+
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i)
+      out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i)
+      out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+  std::size_t size() const { return out_.size(); }
+
+ private:
+  std::vector<std::uint8_t>& out_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::uint8_t u8() {
+    if (!take(1)) return 0;
+    return bytes_[pos_ - 1];
+  }
+
+  std::uint32_t u32() {
+    if (!take(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(bytes_[pos_ - 4 + i]) << (8 * i);
+    return v;
+  }
+
+  std::uint64_t u64() {
+    if (!take(8)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(bytes_[pos_ - 8 + i]) << (8 * i);
+    return v;
+  }
+
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64() { return std::bit_cast<double>(u64()); }
+
+  // Marks the stream failed with a reason (kept from the first failure).
+  void fail(const std::string& why) {
+    if (ok_) error_ = why;
+    ok_ = false;
+  }
+
+  bool ok() const { return ok_; }
+  const std::string& error() const { return error_; }
+  std::size_t remaining() const { return ok_ ? bytes_.size() - pos_ : 0; }
+  bool at_end() const { return ok_ && pos_ == bytes_.size(); }
+
+ private:
+  bool take(std::size_t n) {
+    if (!ok_) return false;
+    if (bytes_.size() - pos_ < n) {
+      fail("truncated stream");
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+  std::string error_;
+};
+
+// FNV-1a 64-bit over a byte span — the snapshot header's payload checksum.
+// Not cryptographic; it catches the truncation/bit-rot/partial-write class
+// of corruption a map file accumulates in practice.
+inline std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace eslam

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "geometry/assert.h"
+#include "slam/localizer.h"
 
 namespace eslam {
 
@@ -29,7 +30,18 @@ struct SchedulerSession {
         handoff_q(static_cast<std::size_t>(std::max(1, opts_.queue_capacity))) {
   }
 
-  Tracker* tracker;
+  // Localization-tier session: frames bypass the device lane entirely and
+  // run whole on the ARM pool (the handoff ring stays unused).
+  SchedulerSession(Localizer& localizer_, const SchedulerSessionOptions& opts_)
+      : localizer(&localizer_),
+        opts(opts_),
+        input_q(static_cast<std::size_t>(std::max(1, opts_.queue_capacity))),
+        handoff_q(1) {}
+
+  // Exactly one of the two is set; `localizer` non-null marks the
+  // read-only tier.
+  Tracker* tracker = nullptr;
+  Localizer* localizer = nullptr;
   SchedulerSessionOptions opts;
 
   SpscRing<FrameInput> input_q;    // user -> device lane
@@ -181,6 +193,20 @@ SessionRef TrackerScheduler::add_session(
   return session;
 }
 
+SessionRef TrackerScheduler::add_localization_session(
+    Localizer& localizer, const SchedulerSessionOptions& options) {
+  SessionRef session = std::make_shared<SchedulerSession>(localizer, options);
+  {
+    const std::unique_lock<std::shared_mutex> lock(sessions_mutex_);
+    sessions_.push_back(session);
+    sessions_generation_.fetch_add(1);
+  }
+  // The device lane skips this session, but its snapshot should still
+  // refresh promptly (registry bookkeeping, prompt teardown).
+  kick_device();
+  return session;
+}
+
 bool TrackerScheduler::backend_quiet(SchedulerSession& s) {
   const std::lock_guard<std::mutex> lock(work_mutex_);
   return s.bg_queued == 0 && s.bg_running == 0;
@@ -233,6 +259,14 @@ int TrackerScheduler::session_count() const {
   return static_cast<int>(sessions_.size());
 }
 
+int TrackerScheduler::localization_session_count() const {
+  const std::shared_lock<std::shared_mutex> lock(sessions_mutex_);
+  int count = 0;
+  for (const SessionRef& s : sessions_)
+    if (s->localizer) ++count;
+  return count;
+}
+
 std::int64_t TrackerScheduler::total_dispatches() const {
   const std::shared_lock<std::shared_mutex> lock(sessions_mutex_);
   std::int64_t total = 0;
@@ -245,7 +279,9 @@ std::int64_t TrackerScheduler::total_dispatches() const {
 
 // ---- user-side API ---------------------------------------------------------
 
-bool TrackerScheduler::push_input(SchedulerSession& s, FrameInput& frame) {
+bool TrackerScheduler::push_input(const SessionRef& session,
+                                  FrameInput& frame) {
+  SchedulerSession& s = *session;
   if (!s.input_q.try_push(std::move(frame))) return false;
   const int in_flight =
       s.frames_fed.fetch_add(1) + 1 - s.frames_retired.load();
@@ -254,13 +290,18 @@ bool TrackerScheduler::push_input(SchedulerSession& s, FrameInput& frame) {
     ++s.stats.frames_fed;
     s.stats.max_in_flight = std::max(s.stats.max_in_flight, in_flight);
   }
-  kick_device();
+  // A mapping frame starts on the device lane; a localization frame goes
+  // straight onto the ARM work queue (one backlog unit per frame).
+  if (s.localizer)
+    enqueue_arm(session);
+  else
+    kick_device();
   return true;
 }
 
 bool TrackerScheduler::try_feed(const SessionRef& session, FrameInput frame) {
   if (!session) return false;
-  if (push_input(*session, frame)) return true;
+  if (push_input(session, frame)) return true;
   const std::lock_guard<std::mutex> lock(session->stats_mutex);
   ++session->stats.rejected_feeds;
   return false;
@@ -271,7 +312,7 @@ void TrackerScheduler::feed(const SessionRef& session, FrameInput frame) {
   SchedulerSession& s = *session;
   for (;;) {
     const std::uint64_t seen = user_signal_snapshot(s);
-    if (push_input(s, frame)) return;
+    if (push_input(session, frame)) return;
     if (stop_.load()) return;  // teardown mid-feed: drop rather than hang
     // Park until the device lane frees a ring slot (it kicks on every
     // input pop) — a blocked feeder costs no CPU.
@@ -391,6 +432,9 @@ void TrackerScheduler::device_lane() {
 
 bool TrackerScheduler::device_step(const SessionRef& sp) {
   SchedulerSession& s = *sp;
+  // Localization sessions never use the fabric: their frames are routed
+  // to the ARM pool at feed time.
+  if (s.localizer) return false;
   // Phase 1: a frame parked at the key-frame barrier (or waiting for
   // handoff-ring space).  Never block here — an unready session just
   // yields its turn to the other sessions.
@@ -590,8 +634,65 @@ void TrackerScheduler::arm_worker() {
   }
 }
 
+void TrackerScheduler::run_session_localization(const SessionRef& session) {
+  SchedulerSession& s = *session;
+  // Same ownership protocol as run_session_arm: this worker owns the
+  // session until its backlog is empty, so frames of one localization
+  // session run serially in feed order (bit-identical to a solo
+  // sequential run) while other workers serve other sessions — including
+  // other localizers over the same FrozenMap, which read it lock-free.
+  for (;;) {
+    if (stop_.load()) return;  // abandon like the lanes on shutdown
+    {
+      const std::lock_guard<std::mutex> lock(work_mutex_);
+      if (s.arm_backlog == 0) {
+        s.arm_queued = false;
+        return;
+      }
+      --s.arm_backlog;
+    }
+    FrameInput input;
+    const bool popped = s.input_q.try_pop(input);
+    // The input push happens-before the backlog increment (push_input
+    // enqueues after the ring push), so a claimed unit finds its frame.
+    ESLAM_ASSERT(popped, "localization backlog out of sync with input ring");
+    kick_user(s);  // a ring slot freed: wake a parked feed()
+
+    // The whole frame — FE/FM/PE/PO, no MU — as one ARM unit.  No pacer
+    // and no event log: there is no modeled fabric stage in this tier.
+    const double t0 = now_ms();
+    TrackResult result = s.localizer->process(input);
+    const double end = now_ms();
+    {
+      const std::lock_guard<std::mutex> lock(s.stats_mutex);
+      s.stats.arm_busy_ms += end - t0;
+      if (result.reloc_attempted) {
+        ++s.stats.reloc_attempts;
+        if (result.relocalized) ++s.stats.reloc_succeeded;
+        if (result.match_tier == MatchTier::kBruteForce)
+          ++s.stats.reloc_fallbacks;
+      }
+    }
+    // Tier-wide lifetime counters (survive session close).
+    if (result.reloc_attempted) {
+      loc_coldstart_attempts_.fetch_add(1);
+      if (result.relocalized) loc_coldstart_successes_.fetch_add(1);
+    }
+
+    const int index = s.frames_retired.load();
+    s.retired_through.store(index);
+    s.frames_retired.fetch_add(1);
+    {
+      const std::lock_guard<std::mutex> lock(s.results_mutex);
+      s.results.push_back(std::move(result));
+    }
+    kick_user(s);  // delivers a result (parked drain()/remove())
+  }
+}
+
 void TrackerScheduler::run_session_arm(const SessionRef& session) {
   SchedulerSession& s = *session;
+  if (s.localizer) return run_session_localization(session);
   // This worker owns the session (arm_queued == true) until the backlog is
   // empty — ARM stages of one session therefore run serially in frame
   // order, while other workers serve other sessions.

@@ -54,6 +54,20 @@
 // driven by one thread at a time (different sessions may use different
 // threads); add_session/remove_session may race with other sessions'
 // traffic but not with the removed session's own calls.
+//
+// Localization sessions (add_localization_session) are the read-only
+// tier: a Localizer over a shared FrozenMap instead of a Tracker over a
+// live map.  They never touch the device lane — a frozen map needs no
+// key-frame barrier, no speculative FM and no gate-prior handshake, so
+// the whole frame (FE through PO, no MU) runs as ONE unit on the ARM
+// worker pool, scheduled through the same work queue as mapping
+// sessions' ARM stages.  N localization sessions therefore run fully
+// concurrently on N workers instead of serializing behind the single
+// fabric lane — the tier's throughput scales with cores.  Frames of one
+// session still run serially in feed order (same ownership protocol), so
+// per-session output is bit-identical to a solo sequential
+// Localizer::process() run.  Pacing and the per-stage event log do not
+// apply to this tier (there is no modeled fabric stage to pad against).
 #pragma once
 
 #include <atomic>
@@ -75,6 +89,8 @@
 #include "slam/tracker.h"
 
 namespace eslam {
+
+class Localizer;
 
 // Opaque per-session state (defined in tracker_scheduler.cpp).  Holders
 // pass the ref back into the scheduler; per-frame calls touch only this
@@ -125,6 +141,13 @@ class TrackerScheduler {
   // session and must not be driven through process() meanwhile.
   SessionRef add_session(Tracker& tracker,
                          const SchedulerSessionOptions& options = {});
+  // Registers a read-only localization session (see the file comment's
+  // localization-tier paragraph).  The localizer must outlive the session
+  // and must not be driven through process() meanwhile; the FrozenMap it
+  // holds is shared freely across sessions.
+  SessionRef add_localization_session(Localizer& localizer,
+                                      const SchedulerSessionOptions& options =
+                                          {});
   // Blocks until every fed frame of the session has retired and its
   // background backend job (if any) has left the job lane, then removes
   // it.  Results not yet polled are discarded — callers that want them
@@ -158,6 +181,17 @@ class TrackerScheduler {
   std::vector<StageEvent> stage_events(const SessionRef& session) const;
 
   int session_count() const;
+  // Live localization sessions (session_count() includes them).
+  int localization_session_count() const;
+  // Lifetime cold-start relocalization counters across all localization
+  // sessions, past and present (they survive session close — a service
+  // wants the tier's totals, not the survivors').
+  std::int64_t localization_coldstart_attempts() const {
+    return loc_coldstart_attempts_.load();
+  }
+  std::int64_t localization_coldstart_successes() const {
+    return loc_coldstart_successes_.load();
+  }
   // Sum of device-lane dispatch turns across live sessions (fairness
   // accounting; compare per-session PipelineStats::device_dispatches).
   std::int64_t total_dispatches() const;
@@ -171,6 +205,9 @@ class TrackerScheduler {
   void finalize_match(SchedulerSession& s, FrameState& fs);
   void arm_worker();
   void run_session_arm(const SessionRef& session);
+  // Localization analogue of run_session_arm: drains the session's input
+  // ring, one whole Localizer frame per backlog unit.
+  void run_session_localization(const SessionRef& session);
   void enqueue_arm(const SessionRef& session);
   // One frozen backend job awaiting (or holding) a pool worker.
   struct BackendQueueEntry {
@@ -193,8 +230,10 @@ class TrackerScheduler {
   // Sleeps out the remainder of the session pacer's modeled stage time.
   void pace(const SchedulerSession& s, PipeStage stage, double start_ms) const;
   // Push + feed bookkeeping; leaves `frame` intact and returns false when
-  // the session's input ring is full.
-  bool push_input(SchedulerSession& s, FrameInput& frame);
+  // the session's input ring is full.  Routes the new input to the lane
+  // that serves the session: device lane for mapping, ARM work queue for
+  // localization.
+  bool push_input(const SessionRef& session, FrameInput& frame);
   // Wakes the device lane (new input, retirement, or session change).
   void kick_device();
   double now_ms() const;
@@ -236,6 +275,10 @@ class TrackerScheduler {
   BackendJobQueue<BackendQueueEntry> backend_q_;
   int bg_running_total_ = 0;
   int bg_running_hwm_ = 0;
+
+  // Localization-tier cold-start counters (see the accessors above).
+  std::atomic<std::int64_t> loc_coldstart_attempts_{0};
+  std::atomic<std::int64_t> loc_coldstart_successes_{0};
 
   std::atomic<bool> stop_{false};
   std::thread device_thread_;

@@ -11,8 +11,11 @@ namespace eslam {
 // a moved-from handle stays cheap and the body dies exactly once.
 struct ServiceSession {
   int id = -1;           // service-assigned, stable across the lifetime
+  SessionKind kind = SessionKind::kMapping;
   SessionRef slot;       // per-session scheduler state (no lookups)
+  // Exactly one of the two is set, per `kind`.
   std::unique_ptr<Tracker> tracker;
+  std::unique_ptr<Localizer> localizer;
 };
 
 // ---- SessionHandle ---------------------------------------------------------
@@ -37,6 +40,10 @@ SessionHandle& SessionHandle::operator=(SessionHandle&& other) noexcept {
 }
 
 int SessionHandle::id() const { return session_ ? session_->id : -1; }
+
+SessionKind SessionHandle::kind() const {
+  return session_ ? session_->kind : SessionKind::kMapping;
+}
 
 bool SessionHandle::try_feed(FrameInput frame) {
   if (!service_) return false;
@@ -67,8 +74,9 @@ PipelineStats SessionHandle::stats() const {
 }
 
 backend::BackendStats SessionHandle::backend_stats() const {
-  return service_ ? session_->tracker->backend_stats()
-                  : backend::BackendStats{};
+  // Localization sessions have no backend lane: all-zero stats.
+  return service_ && session_->tracker ? session_->tracker->backend_stats()
+                                       : backend::BackendStats{};
 }
 
 std::vector<StageEvent> SessionHandle::stage_events() const {
@@ -78,7 +86,21 @@ std::vector<StageEvent> SessionHandle::stage_events() const {
 
 const Tracker& SessionHandle::tracker() const {
   ESLAM_ASSERT(session_ != nullptr, "tracker() on a closed session handle");
+  ESLAM_ASSERT(session_->tracker != nullptr,
+               "tracker() on a localization session");
   return *session_->tracker;
+}
+
+const Localizer& SessionHandle::localizer() const {
+  ESLAM_ASSERT(session_ != nullptr, "localizer() on a closed session handle");
+  ESLAM_ASSERT(session_->localizer != nullptr,
+               "localizer() on a mapping session");
+  return *session_->localizer;
+}
+
+long SessionHandle::frozen_map_use_count() const {
+  if (!session_ || !session_->localizer) return 0;
+  return session_->localizer->map_ptr().use_count();
 }
 
 std::vector<TrackResult> SessionHandle::close() {
@@ -103,22 +125,40 @@ SlamService::~SlamService() = default;
 
 SessionHandle SlamService::open_session(const SessionConfig& config) {
   auto session = std::make_shared<ServiceSession>();
-  session->tracker = std::make_unique<Tracker>(
-      config.camera,
-      config.backend_factory ? config.backend_factory()
-                             : make_feature_backend(config.backend),
-      config.tracker);
+  session->kind = config.kind;
 
   SchedulerSessionOptions scheduler_options;
   scheduler_options.queue_capacity = config.queue_capacity;
   scheduler_options.speculative_match = config.speculative_match;
   scheduler_options.record_events = config.record_events;
   scheduler_options.pacer = config.pacer;
-  session->slot = scheduler_.add_session(*session->tracker,
-                                         scheduler_options);
+
+  if (config.kind == SessionKind::kLocalization) {
+    ESLAM_ASSERT(config.frozen_map != nullptr,
+                 "a localization session needs a frozen map");
+    session->localizer = std::make_unique<Localizer>(
+        config.frozen_map,
+        config.backend_factory ? config.backend_factory()
+                               : make_feature_backend(config.backend),
+        config.localizer);
+    session->slot = scheduler_.add_localization_session(*session->localizer,
+                                                        scheduler_options);
+  } else {
+    session->tracker = std::make_unique<Tracker>(
+        config.camera,
+        config.backend_factory ? config.backend_factory()
+                               : make_feature_backend(config.backend),
+        config.tracker);
+    session->slot = scheduler_.add_session(*session->tracker,
+                                           scheduler_options);
+  }
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     session->id = sessions_opened_++;
+    if (config.kind == SessionKind::kLocalization)
+      ++localization_opened_;
+    else
+      ++mapping_opened_;
   }
   return SessionHandle(this, std::move(session));
 }
@@ -128,11 +168,19 @@ int SlamService::session_count() const { return scheduler_.session_count(); }
 ServiceStats SlamService::stats() const {
   ServiceStats s;
   s.sessions_open = scheduler_.session_count();
+  s.localization_sessions_open = scheduler_.localization_session_count();
+  s.mapping_sessions_open = s.sessions_open - s.localization_sessions_open;
   s.arm_workers = std::max(1, options_.arm_workers);
   s.device_dispatches = scheduler_.total_dispatches();
   s.backend_concurrent_hwm = scheduler_.backend_concurrent_high_water();
+  s.localization_coldstart_attempts =
+      scheduler_.localization_coldstart_attempts();
+  s.localization_coldstart_successes =
+      scheduler_.localization_coldstart_successes();
   const std::lock_guard<std::mutex> lock(mutex_);
   s.sessions_opened_total = sessions_opened_;
+  s.mapping_sessions_opened_total = mapping_opened_;
+  s.localization_sessions_opened_total = localization_opened_;
   return s;
 }
 

@@ -18,6 +18,16 @@
 // slow or stalled session fills only its own bounded input ring and never
 // blocks the lane for the others.
 //
+// Localization tier: a session opened with SessionKind::kLocalization
+// serves read-only against a FrozenMap loaded from a map snapshot instead
+// of building its own map.  It cold-starts through indexed relocalization
+// (the kidnapped-robot path is the entry path), runs match ->
+// estimate_pose -> optimize_pose only — no map updating, no keyframes, no
+// backend jobs — and is scheduled on the ARM worker pool concurrently
+// with everything else rather than serialized behind the device lane, so
+// localization throughput scales with cores.  Any number of localization
+// sessions share one frozen map through its shared_ptr.
+//
 // Threading: a SessionHandle must be driven by one thread at a time;
 // different handles may be driven from different threads concurrently.
 // open_session()/close() may race with other sessions' traffic.  The
@@ -34,12 +44,18 @@
 #include "accel/backend_factory.h"
 #include "geometry/camera.h"
 #include "runtime/tracker_scheduler.h"
+#include "slam/localizer.h"
 #include "slam/tracker.h"
 
 namespace eslam {
 
 class SlamService;
 struct ServiceSession;
+
+// What a session does with its map: build one (the full FE->FM->PE->PO->MU
+// pipeline over a private live map) or serve against a frozen one
+// (read-only localization; see the file comment).
+enum class SessionKind { kMapping, kLocalization };
 
 struct ServiceOptions {
   // ARM worker pool width (how many sessions can be in PE/PO/MU at once).
@@ -57,9 +73,18 @@ struct ServiceOptions {
 // runtime knobs.  Sessions are fully independent — distinct cameras,
 // distinct backends, distinct maps.
 struct SessionConfig {
+  SessionKind kind = SessionKind::kMapping;
+  // Mapping sessions only; a localization session projects with the
+  // camera stored in its frozen map (the one that built it), so `camera`
+  // is ignored there.
   PinholeCamera camera = PinholeCamera::tum_freiburg1();
   BackendConfig backend;
+  // Mapping-session tuning (ignored for kLocalization).
   TrackerOptions tracker;
+  // kLocalization only: the shared immutable map to serve against
+  // (required — open_session asserts) and the localizer's tuning.
+  std::shared_ptr<const FrozenMap> frozen_map;
+  LocalizerOptions localizer;
   int queue_capacity = 4;         // this session's input/handoff ring depth
   bool speculative_match = true;
   bool record_events = false;     // off by default: sessions are long-lived
@@ -72,11 +97,21 @@ struct SessionConfig {
 struct ServiceStats {
   int sessions_open = 0;
   int sessions_opened_total = 0;
+  // Per-kind split of the two counters above.
+  int mapping_sessions_open = 0;
+  int localization_sessions_open = 0;
+  int mapping_sessions_opened_total = 0;
+  int localization_sessions_opened_total = 0;
   int arm_workers = 0;
   std::int64_t device_dispatches = 0;  // across live sessions (fairness)
   // Most backend jobs ever simultaneously running on the pool, across all
   // sessions (shard-BA concurrency witness).
   int backend_concurrent_hwm = 0;
+  // Localization-tier cold-start relocalizations, lifetime across all
+  // localization sessions (attempts engage the recognition index; a
+  // success recovered a pose).
+  std::int64_t localization_coldstart_attempts = 0;
+  std::int64_t localization_coldstart_successes = 0;
 };
 
 // A client's connection to one tracking session.  Move-only; closing (or
@@ -93,6 +128,8 @@ class SessionHandle {
 
   bool valid() const { return service_ != nullptr; }
   int id() const;
+  // kMapping on an invalid handle (the default-constructed state).
+  SessionKind kind() const;
 
   // Non-blocking feed; false on this session's back-pressure (input ring
   // full) or on an invalid handle.
@@ -113,12 +150,21 @@ class SessionHandle {
   // The tracker's own local-mapping counters (per-class jobs run, shard
   // freeze accounting, BA iterations/costs, points moved).  Thread-safe
   // at any time — the tracker snapshots them under its backend mutex.
+  // Zeros for a localization session (it has no backend lane).
   backend::BackendStats backend_stats() const;
   std::vector<StageEvent> stage_events() const;
 
-  // The session's tracker (trajectory, map).  Only valid while quiescent
-  // — after drain() and before the next feed.
+  // The session's tracker (trajectory, map).  Mapping sessions only
+  // (asserts); only valid while quiescent — after drain() and before the
+  // next feed.
   const Tracker& tracker() const;
+  // The session's localizer.  Localization sessions only (asserts); same
+  // quiescence rule as tracker().
+  const Localizer& localizer() const;
+  // use_count of this session's frozen-map handle — how many owners
+  // (sessions, caller copies) currently share the map.  0 for mapping
+  // sessions and invalid handles.
+  long frozen_map_use_count() const;
 
   // Drains, unregisters and destroys the session; returns the not-yet-
   // polled results.  The handle is invalid afterwards (idempotent).
@@ -154,6 +200,8 @@ class SlamService {
   TrackerScheduler scheduler_;
   mutable std::mutex mutex_;
   int sessions_opened_ = 0;
+  int mapping_opened_ = 0;       // guarded by mutex_
+  int localization_opened_ = 0;  // guarded by mutex_
 };
 
 }  // namespace eslam

@@ -1,0 +1,42 @@
+#include "slam/frozen_map.h"
+
+#include <algorithm>
+
+#include "backend/graph_serialization.h"
+
+namespace eslam {
+
+FrozenMap::FrozenMap(MapSnapshot snapshot)
+    : camera_(snapshot.camera),
+      points_(std::move(snapshot.points)),
+      graph_(backend::rebuild_graph(snapshot.graph_options,
+                                    snapshot.keyframes)) {
+  descriptor_cache_.reserve(points_.size());
+  position_cache_.reserve(points_.size());
+  descriptor_soa_.reserve(points_.size());
+  position_soa_.reserve(points_.size());
+  for (const MapPoint& p : points_) {
+    descriptor_cache_.push_back(p.descriptor);
+    position_cache_.push_back(p.position);
+    descriptor_soa_.push_back(p.descriptor);
+    position_soa_.push_back(p.position);
+  }
+  backend::rebuild_index(graph_, index_);
+}
+
+std::shared_ptr<const FrozenMap> FrozenMap::load(const std::string& path,
+                                                 std::string* error) {
+  MapSnapshot snapshot;
+  if (!load_snapshot(path, snapshot, error)) return nullptr;
+  return from_snapshot(std::move(snapshot));
+}
+
+std::optional<std::size_t> FrozenMap::index_of(std::int64_t id) const {
+  const auto it = std::lower_bound(
+      points_.begin(), points_.end(), id,
+      [](const MapPoint& p, std::int64_t key) { return p.id < key; });
+  if (it == points_.end() || it->id != id) return std::nullopt;
+  return static_cast<std::size_t>(it - points_.begin());
+}
+
+}  // namespace eslam

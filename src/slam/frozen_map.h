@@ -1,0 +1,99 @@
+// FrozenMap — the localization tier's immutable map view.
+//
+// A FrozenMap is built once from a parsed MapSnapshot and never mutated:
+// no add/prune/apply, no structural epoch, no lock.  Every read API the
+// matcher / projection gate / relocalization path needs is exposed as a
+// plain borrowed view — the PR-6 SIMD candidate-gather and Hamming
+// kernels run directly on the SoA planes here exactly as they do on the
+// live Map's caches, minus the shared-lock acquisition and epoch stamp.
+// That is the whole point of the tier: N localization sessions share one
+// FrozenMap through shared_ptr<const FrozenMap> and read it concurrently
+// with zero coordination, so served localization throughput scales with
+// cores instead of with the mapping tier's single writer lane.
+//
+// Construction rebuilds every derived structure deterministically from
+// the snapshot's canonical state: AoS descriptor/position caches, the SoA
+// mirrors, the covisibility graph (keyframes re-inserted in stored order)
+// and the recognition index.  Two loads of the same snapshot are
+// therefore indistinguishable, which is what makes served localization
+// output bit-identical to a solo sequential run against the same file.
+//
+// Immutability contract: every accessor is const, the object owns all
+// storage, and the returned spans/references stay valid for the
+// FrozenMap's lifetime.  Holders must keep the shared_ptr alive for as
+// long as they use any borrowed view (the Localizer stores it).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "backend/keyframe_graph.h"
+#include "backend/keyframe_index.h"
+#include "features/descriptor_soa.h"
+#include "geometry/camera.h"
+#include "slam/map.h"
+#include "slam/map_snapshot.h"
+
+namespace eslam {
+
+class FrozenMap {
+ public:
+  // Builds the runtime view: takes the snapshot's points by move, rebuilds
+  // caches + SoA mirrors + graph + index.  Prefer the named constructors.
+  explicit FrozenMap(MapSnapshot snapshot);
+
+  static std::shared_ptr<const FrozenMap> from_snapshot(MapSnapshot snapshot) {
+    return std::make_shared<const FrozenMap>(std::move(snapshot));
+  }
+  // load_snapshot() + from_snapshot(); nullptr (with *error set when
+  // non-null) on I/O or parse failure.
+  static std::shared_ptr<const FrozenMap> load(const std::string& path,
+                                               std::string* error = nullptr);
+
+  FrozenMap(const FrozenMap&) = delete;
+  FrozenMap& operator=(const FrozenMap&) = delete;
+
+  std::size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+  const MapPoint& point(std::size_t index) const { return points_[index]; }
+  std::span<const MapPoint> points() const { return points_; }
+
+  // Index of the point with `id`, if present (binary search — points are
+  // stored ascending by id, the same invariant the live Map keeps).
+  std::optional<std::size_t> index_of(std::int64_t id) const;
+
+  // The matcher/gate views, aligned with points().  Same shapes the live
+  // Map exports — TrainView{descriptors(), &descriptor_soa()} plugs
+  // straight into the backends' match_into/match_candidates_into.
+  std::span<const Descriptor256> descriptors() const {
+    return descriptor_cache_;
+  }
+  std::span<const Vec3> positions() const { return position_cache_; }
+  const DescriptorSoA& descriptor_soa() const { return descriptor_soa_; }
+  const PositionSoA& position_soa() const { return position_soa_; }
+
+  // The relocalization substrate: keyframe database + recognition index,
+  // rebuilt from the snapshot (dense graph ids from 0).
+  const backend::KeyframeGraph& graph() const { return graph_; }
+  const backend::KeyframeIndex& keyframe_index() const { return index_; }
+
+  // The mapping session's intrinsics — localization against this map must
+  // project with the camera that built it.
+  const PinholeCamera& camera() const { return camera_; }
+
+ private:
+  PinholeCamera camera_;
+  std::vector<MapPoint> points_;
+  std::vector<Descriptor256> descriptor_cache_;
+  std::vector<Vec3> position_cache_;
+  DescriptorSoA descriptor_soa_;
+  PositionSoA position_soa_;
+  backend::KeyframeGraph graph_;
+  backend::KeyframeIndex index_;
+};
+
+}  // namespace eslam

@@ -98,6 +98,10 @@ class Map {
 
   std::size_t size() const { return points_.size(); }
   bool empty() const { return points_.empty(); }
+  // The id the next add_point() will assign (strictly above every id ever
+  // issued).  Snapshot capture persists it so a map restored from disk
+  // never reuses a dead point's id.
+  std::int64_t next_id() const { return next_id_; }
 
   // Structural version: bumped whenever point indices or descriptors can
   // change (add_point, prune) — never by note_match.  Feature matches are

@@ -1,0 +1,211 @@
+#include "slam/map_snapshot.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "backend/graph_serialization.h"
+#include "core/byte_io.h"
+
+namespace eslam {
+
+namespace {
+
+constexpr std::size_t kHeaderBytes = 32;
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kPointBytes =
+    8 +        // id
+    3 * 8 +    // position
+    4 * 8 +    // descriptor words
+    3 * 4;     // created_frame, last_matched_frame, match_count
+
+// "ESLMSNAP" as the little-endian u64 the header writes — byte 0 is 'E'.
+constexpr std::uint64_t kMagic = []() {
+  const char tag[8] = {'E', 'S', 'L', 'M', 'S', 'N', 'A', 'P'};
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(tag[i]))
+         << (8 * i);
+  return v;
+}();
+
+bool finite(double v) { return std::isfinite(v); }
+
+void write_payload(const MapSnapshot& snapshot, ByteWriter& out) {
+  out.f64(snapshot.camera.fx());
+  out.f64(snapshot.camera.fy());
+  out.f64(snapshot.camera.cx());
+  out.f64(snapshot.camera.cy());
+  out.i32(snapshot.camera.width());
+  out.i32(snapshot.camera.height());
+
+  out.i64(snapshot.next_point_id);
+  out.u64(snapshot.points.size());
+  for (const MapPoint& p : snapshot.points) {
+    out.i64(p.id);
+    for (int i = 0; i < 3; ++i) out.f64(p.position[i]);
+    for (int w = 0; w < Descriptor256::kWords; ++w)
+      out.u64(p.descriptor.words()[w]);
+    out.i32(p.created_frame);
+    out.i32(p.last_matched_frame);
+    out.i32(p.match_count);
+  }
+
+  backend::write_graph_section(snapshot.graph_options, snapshot.keyframes,
+                               out);
+}
+
+bool parse_payload(std::span<const std::uint8_t> payload, MapSnapshot& out,
+                   std::string* error) {
+  ByteReader in(payload);
+  const auto reject = [&](const std::string& why) {
+    in.fail(why);
+    if (error) *error = in.error();
+    return false;
+  };
+
+  const double fx = in.f64();
+  const double fy = in.f64();
+  const double cx = in.f64();
+  const double cy = in.f64();
+  const std::int32_t width = in.i32();
+  const std::int32_t height = in.i32();
+  if (!in.ok()) return reject(in.error());
+  if (!finite(fx) || !finite(fy) || !finite(cx) || !finite(cy) ||
+      !(fx > 0) || !(fy > 0))
+    return reject("invalid camera intrinsics");
+  if (width <= 0 || width > 65536 || height <= 0 || height > 65536)
+    return reject("invalid camera image size");
+  out.camera = PinholeCamera(fx, fy, cx, cy, width, height);
+
+  out.next_point_id = in.i64();
+  if (!in.ok()) return reject(in.error());
+  if (out.next_point_id < 0) return reject("negative next point id");
+  const std::uint64_t n_points = in.u64();
+  if (!in.ok()) return reject(in.error());
+  if (n_points > in.remaining() / kPointBytes)
+    return reject("point count exceeds stream size");
+  out.points.clear();
+  out.points.reserve(static_cast<std::size_t>(n_points));
+  std::int64_t prev_id = -1;
+  for (std::uint64_t k = 0; k < n_points; ++k) {
+    MapPoint p;
+    p.id = in.i64();
+    for (int i = 0; i < 3; ++i) p.position[i] = in.f64();
+    for (int w = 0; w < Descriptor256::kWords; ++w)
+      p.descriptor.words()[w] = in.u64();
+    p.created_frame = in.i32();
+    p.last_matched_frame = in.i32();
+    p.match_count = in.i32();
+    if (!in.ok()) return reject(in.error());
+    // Ascending ids are the Map's binary-search invariant; an id at or
+    // above next_point_id was never issued.
+    if (p.id <= prev_id) return reject("map point ids not strictly ascending");
+    if (p.id >= out.next_point_id)
+      return reject("map point id at or above next_point_id");
+    if (!finite(p.position[0]) || !finite(p.position[1]) ||
+        !finite(p.position[2]))
+      return reject("non-finite map point position");
+    prev_id = p.id;
+    out.points.push_back(p);
+  }
+
+  if (!backend::read_graph_section(in, out.next_point_id, out.graph_options,
+                                   out.keyframes, error))
+    return false;
+
+  if (!in.at_end()) return reject("trailing bytes after graph section");
+  return true;
+}
+
+}  // namespace
+
+MapSnapshot capture_snapshot(const Map& map,
+                             const backend::KeyframeGraph& graph,
+                             const PinholeCamera& camera) {
+  MapSnapshot snapshot;
+  snapshot.camera = camera;
+  snapshot.next_point_id = map.next_id();
+  snapshot.points = map.points();
+  snapshot.graph_options = graph.options();
+  snapshot.keyframes = backend::collect_keyframes(graph);
+  return snapshot;
+}
+
+std::vector<std::uint8_t> serialize_snapshot(const MapSnapshot& snapshot) {
+  std::vector<std::uint8_t> payload;
+  {
+    ByteWriter writer(payload);
+    write_payload(snapshot, writer);
+  }
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(kHeaderBytes + payload.size());
+  ByteWriter header(bytes);
+  header.u64(kMagic);
+  header.u32(kVersion);
+  header.u32(0);  // flags (reserved)
+  header.u64(payload.size());
+  header.u64(fnv1a64(payload));
+  bytes.insert(bytes.end(), payload.begin(), payload.end());
+  return bytes;
+}
+
+bool parse_snapshot(std::span<const std::uint8_t> bytes, MapSnapshot& out,
+                    std::string* error) {
+  const auto reject = [&](const char* why) {
+    if (error) *error = why;
+    return false;
+  };
+  if (bytes.size() < kHeaderBytes) return reject("file shorter than header");
+  ByteReader header(bytes.first(kHeaderBytes));
+  if (header.u64() != kMagic) return reject("bad magic (not a map snapshot)");
+  const std::uint32_t version = header.u32();
+  if (version != kVersion) return reject("unsupported snapshot version");
+  if (header.u32() != 0) return reject("unsupported snapshot flags");
+  const std::uint64_t payload_size = header.u64();
+  const std::uint64_t checksum = header.u64();
+  const std::span<const std::uint8_t> payload = bytes.subspan(kHeaderBytes);
+  if (payload_size != payload.size())
+    return reject("payload size does not match file size");
+  if (fnv1a64(payload) != checksum) return reject("payload checksum mismatch");
+  return parse_payload(payload, out, error);
+}
+
+bool save_snapshot(const std::string& path, const MapSnapshot& snapshot,
+                   std::string* error) {
+  const std::vector<std::uint8_t> bytes = serialize_snapshot(snapshot);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) {
+    if (error) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != bytes.size() || !closed) {
+    if (error) *error = "short write to " + path;
+    return false;
+  }
+  return true;
+}
+
+bool load_snapshot(const std::string& path, MapSnapshot& out,
+                   std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) {
+    if (error) *error = "cannot open " + path;
+    return false;
+  }
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t buffer[64 * 1024];
+  std::size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof buffer, f)) > 0)
+    bytes.insert(bytes.end(), buffer, buffer + n);
+  const bool read_ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!read_ok) {
+    if (error) *error = "read error on " + path;
+    return false;
+  }
+  return parse_snapshot(bytes, out, error);
+}
+
+}  // namespace eslam

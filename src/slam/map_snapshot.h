@@ -1,0 +1,83 @@
+// Versioned binary persistence for a session's map: the Map's points plus
+// the backend's keyframe database, captured at a quiescent moment and
+// written as one self-describing file.  This is the handoff artifact
+// between the mapping tier and the localization tier: a mapping session
+// saves a snapshot, any number of localization sessions load it into an
+// immutable FrozenMap (slam/frozen_map.h) and serve against it.
+//
+// File layout (all fields little-endian):
+//
+//   header (32 bytes)
+//     u64  magic      "ESLMSNAP" (byte-literal, not host-endian)
+//     u32  version    1
+//     u32  flags      0 (reserved; parser requires 0)
+//     u64  payload    payload byte count (file size minus 32)
+//     u64  checksum   FNV-1a 64 over the payload bytes
+//   payload
+//     camera          fx fy cx cy (f64), width height (i32)
+//     map section     next_point_id (i64), point count (u64), then per
+//                     point: id (i64), position (3 f64), descriptor
+//                     (4 u64), created/last_matched/match_count (3 i32)
+//     graph section   see backend/graph_serialization.h
+//
+// Parsing is strict and bounds-checked end to end: magic/version/flags,
+// payload size and checksum must match, counts are validated against the
+// remaining bytes before any allocation, point ids must be strictly
+// ascending and below next_point_id, all floats must be finite, and the
+// payload must be consumed exactly.  A malformed file yields false + an
+// error string — never UB (tests/slam/map_snapshot_test.cpp runs the
+// malformed corpus under the ASan/UBSan CI leg).
+//
+// Derived state (AoS caches, SoA mirrors, covisibility edges, the
+// recognition index) is NOT serialized — FrozenMap rebuilds it
+// deterministically on load.  That is what makes the round trip exact:
+// serialize(parse(serialize(s))) == serialize(s) byte for byte.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "backend/keyframe_graph.h"
+#include "geometry/camera.h"
+#include "slam/map.h"
+
+namespace eslam {
+
+class Map;
+
+// The serializable state, decoupled from the live containers so capture,
+// parse and FrozenMap construction all speak one type.
+struct MapSnapshot {
+  PinholeCamera camera = PinholeCamera::tum_freiburg1();
+  std::int64_t next_point_id = 0;
+  std::vector<MapPoint> points;  // ascending id (the Map invariant)
+  backend::KeyframeGraphOptions graph_options;
+  std::vector<backend::Keyframe> keyframes;  // insertion order
+};
+
+// Copies the quiescent session state (no stages in flight; the caller owns
+// that quiescence — e.g. after SessionHandle::drain() or between
+// sequential process() calls).
+MapSnapshot capture_snapshot(const Map& map,
+                             const backend::KeyframeGraph& graph,
+                             const PinholeCamera& camera);
+
+// Snapshot -> bytes (header + payload).  Deterministic: a given snapshot
+// always serializes to the same bytes.
+std::vector<std::uint8_t> serialize_snapshot(const MapSnapshot& snapshot);
+
+// Bytes -> snapshot with full validation (see file comment).  On failure
+// returns false, sets *error (when non-null), and leaves `out`
+// unspecified.
+bool parse_snapshot(std::span<const std::uint8_t> bytes, MapSnapshot& out,
+                    std::string* error = nullptr);
+
+// File wrappers around the two, with I/O errors reported the same way.
+bool save_snapshot(const std::string& path, const MapSnapshot& snapshot,
+                   std::string* error = nullptr);
+bool load_snapshot(const std::string& path, MapSnapshot& out,
+                   std::string* error = nullptr);
+
+}  // namespace eslam

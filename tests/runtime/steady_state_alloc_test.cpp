@@ -22,6 +22,8 @@
 
 #include "dataset/sequence.h"
 #include "runtime/tracker_scheduler.h"
+#include "slam/localizer.h"
+#include "slam/map_snapshot.h"
 #include "slam/tracker.h"
 
 namespace {
@@ -110,6 +112,51 @@ TEST(SteadyStateAlloc, SequentialTrackedFrameIsAllocationFree) {
       << "sequential steady-state frames allocated";
   // The window really tracked (fed the same scene, so inliers are plenty).
   EXPECT_GT(inliers, 50);
+}
+
+TEST(SteadyStateAlloc, LocalizationFrameIsAllocationFree) {
+  const SyntheticSequence seq = static_sequence();
+  const FrameInput frame = seq.frame(0);
+
+  // A mapping run over the static scene produces the frozen map the
+  // localizer serves against (backend on, so the snapshot carries a graph).
+  std::shared_ptr<const FrozenMap> frozen;
+  {
+    OrbConfig orb;
+    orb.n_features = 600;
+    TrackerOptions options;
+    options.backend.enabled = true;
+    Tracker mapper(seq.camera(), std::make_unique<SoftwareBackend>(orb),
+                   options);
+    for (int i = 0; i < kWarmupFrames; ++i) mapper.process(frame);
+    frozen = FrozenMap::from_snapshot(
+        capture_snapshot(mapper.map(), mapper.keyframe_graph(), seq.camera()));
+  }
+
+  OrbConfig orb;
+  orb.n_features = 600;
+  Localizer localizer(frozen, std::make_unique<SoftwareBackend>(orb));
+
+  // Warm-up: the cold-start frame (relocalization is exempt by design —
+  // it is the entry path, not the steady state) plus enough tracked frames
+  // to grow every recycled capacity.
+  for (int i = 0; i < kWarmupFrames; ++i) {
+    const TrackResult r = localizer.process(frame);
+    ASSERT_FALSE(r.lost) << "warm-up frame " << i;
+  }
+  ASSERT_TRUE(localizer.tracking());
+
+  const std::size_t before = g_allocs.load();
+  int inliers = 0;
+  for (int i = 0; i < kWindowFrames; ++i)
+    inliers = localizer.process(frame).n_inliers;
+  const std::size_t after = g_allocs.load();
+
+  EXPECT_EQ(after - before, 0u)
+      << "localization steady-state frames allocated";
+  EXPECT_GT(inliers, 50);
+  // Still a read-only session: the frozen map was never touched.
+  EXPECT_EQ(localizer.map().size(), frozen->size());
 }
 
 TEST(SteadyStateAlloc, PipelinedTrackedFrameIsAllocationFree) {

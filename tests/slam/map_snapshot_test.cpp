@@ -1,0 +1,223 @@
+// Map snapshot persistence: the round trip must be deterministic
+// (save -> load -> save is byte-identical), FrozenMap must rebuild every
+// derived structure from the stored canonical state, and a malformed file
+// — truncated anywhere, corrupted anywhere, wrong magic/version/flags,
+// out-of-range index entries — must be rejected cleanly (these cases run
+// under the ASan/UBSan CI leg; "no UB" is part of the contract).
+#include "slam/map_snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dataset/sequence.h"
+#include "slam/frozen_map.h"
+#include "slam/tracker.h"
+
+namespace eslam {
+namespace {
+
+OrbConfig small_orb() {
+  OrbConfig orb;
+  orb.n_features = 400;
+  return orb;
+}
+
+// A mapping run with the backend on, so the snapshot carries a populated
+// keyframe graph (observations included) alongside the map points.
+std::unique_ptr<Tracker> mapped_tracker(const SyntheticSequence& seq,
+                                        int frames) {
+  TrackerOptions options;
+  options.backend.enabled = true;
+  auto tracker = std::make_unique<Tracker>(
+      seq.camera(), std::make_unique<SoftwareBackend>(small_orb()), options);
+  for (int i = 0; i < frames; ++i) tracker->process(seq.frame(i));
+  return tracker;
+}
+
+// Built once: every case reads (or copies) the same captured state.
+const MapSnapshot& desk_snapshot() {
+  static const MapSnapshot snapshot = [] {
+    SequenceOptions opts;
+    opts.frames = 30;
+    const SyntheticSequence seq(SequenceId::kFr1Desk, opts);
+    const std::unique_ptr<Tracker> tracker = mapped_tracker(seq, opts.frames);
+    return capture_snapshot(tracker->map(), tracker->keyframe_graph(),
+                            seq.camera());
+  }();
+  return snapshot;
+}
+
+TEST(MapSnapshot, CaptureCarriesMapAndGraph) {
+  const MapSnapshot snapshot = desk_snapshot();
+  EXPECT_GT(snapshot.points.size(), 100u);
+  EXPECT_GT(snapshot.next_point_id, 0);
+  EXPECT_GE(snapshot.keyframes.size(), 2u);
+  for (const backend::Keyframe& kf : snapshot.keyframes)
+    EXPECT_FALSE(kf.observations.empty());
+}
+
+TEST(MapSnapshot, RoundTripIsByteIdentical) {
+  const MapSnapshot snapshot = desk_snapshot();
+  const std::vector<std::uint8_t> bytes = serialize_snapshot(snapshot);
+  MapSnapshot reloaded;
+  std::string error;
+  ASSERT_TRUE(parse_snapshot(bytes, reloaded, &error)) << error;
+  // save -> load -> save must reproduce the file exactly: everything the
+  // format stores is canonical state, everything derived is rebuilt.
+  EXPECT_EQ(serialize_snapshot(reloaded), bytes);
+  EXPECT_EQ(reloaded.points.size(), snapshot.points.size());
+  EXPECT_EQ(reloaded.next_point_id, snapshot.next_point_id);
+  EXPECT_EQ(reloaded.keyframes.size(), snapshot.keyframes.size());
+  EXPECT_EQ(reloaded.camera.fx(), snapshot.camera.fx());
+  EXPECT_EQ(reloaded.camera.width(), snapshot.camera.width());
+}
+
+TEST(MapSnapshot, SaveLoadFileRoundTrip) {
+  const MapSnapshot snapshot = desk_snapshot();
+  const std::string path = ::testing::TempDir() + "eslam_snapshot_test.map";
+  std::string error;
+  ASSERT_TRUE(save_snapshot(path, snapshot, &error)) << error;
+  MapSnapshot reloaded;
+  ASSERT_TRUE(load_snapshot(path, reloaded, &error)) << error;
+  EXPECT_EQ(serialize_snapshot(reloaded), serialize_snapshot(snapshot));
+  std::remove(path.c_str());
+}
+
+TEST(MapSnapshot, FrozenMapRebuildsDerivedState) {
+  const MapSnapshot snapshot = desk_snapshot();
+  const std::size_t n_points = snapshot.points.size();
+  const std::size_t n_keyframes = snapshot.keyframes.size();
+  const std::shared_ptr<const FrozenMap> frozen =
+      FrozenMap::from_snapshot(desk_snapshot());
+  ASSERT_NE(frozen, nullptr);
+  EXPECT_EQ(frozen->size(), n_points);
+  EXPECT_EQ(frozen->descriptors().size(), n_points);
+  EXPECT_EQ(frozen->positions().size(), n_points);
+  EXPECT_EQ(frozen->descriptor_soa().size(), n_points);
+  EXPECT_EQ(frozen->position_soa().size(), n_points);
+  EXPECT_EQ(frozen->graph().size(), n_keyframes);
+  // The AoS caches mirror the points, and id lookup finds every point.
+  for (std::size_t i = 0; i < n_points; ++i) {
+    EXPECT_EQ(frozen->positions()[i][0], snapshot.points[i].position[0]);
+    const auto index = frozen->index_of(snapshot.points[i].id);
+    ASSERT_TRUE(index.has_value());
+    EXPECT_EQ(*index, i);
+  }
+  EXPECT_FALSE(frozen->index_of(snapshot.next_point_id).has_value());
+  // Two loads of the same snapshot are indistinguishable (deterministic
+  // rebuild): the recognition index answers identically.
+  const std::shared_ptr<const FrozenMap> again =
+      FrozenMap::from_snapshot(desk_snapshot());
+  std::vector<Descriptor256> probe;
+  for (std::size_t i = 0; i < 64 && i < n_points; ++i)
+    probe.push_back(snapshot.points[i].descriptor);
+  const auto hits_a = frozen->keyframe_index().query(probe, 3);
+  const auto hits_b = again->keyframe_index().query(probe, 3);
+  ASSERT_EQ(hits_a.size(), hits_b.size());
+  for (std::size_t i = 0; i < hits_a.size(); ++i)
+    EXPECT_EQ(hits_a[i].keyframe_id, hits_b[i].keyframe_id);
+}
+
+// --- malformed-file corpus --------------------------------------------------
+
+TEST(MapSnapshot, RejectsEveryTruncation) {
+  const std::vector<std::uint8_t> bytes =
+      serialize_snapshot(desk_snapshot());
+  MapSnapshot out;
+  // Every strict prefix must fail cleanly — sweep with a stride that hits
+  // header, camera, point-array and graph-section cuts (plus the exact
+  // header boundary).
+  for (std::size_t cut = 0; cut < bytes.size();
+       cut += (cut < 64 ? 1 : 61)) {
+    EXPECT_FALSE(parse_snapshot(
+        std::span<const std::uint8_t>(bytes.data(), cut), out))
+        << "truncation at " << cut << " accepted";
+  }
+}
+
+TEST(MapSnapshot, RejectsCorruptedPayload) {
+  const std::vector<std::uint8_t> bytes =
+      serialize_snapshot(desk_snapshot());
+  MapSnapshot out;
+  std::string error;
+  // Any payload flip breaks the checksum before the parser ever sees the
+  // damaged bytes.
+  for (const std::size_t at :
+       {std::size_t{32}, std::size_t{100}, bytes.size() - 1}) {
+    std::vector<std::uint8_t> bad = bytes;
+    bad[at] ^= 0x01;
+    EXPECT_FALSE(parse_snapshot(bad, out, &error)) << "flip at " << at;
+    EXPECT_EQ(error, "payload checksum mismatch");
+  }
+}
+
+TEST(MapSnapshot, RejectsBadHeaderFields) {
+  const std::vector<std::uint8_t> bytes =
+      serialize_snapshot(desk_snapshot());
+  MapSnapshot out;
+  std::string error;
+
+  std::vector<std::uint8_t> bad_magic = bytes;
+  bad_magic[0] ^= 0xff;
+  EXPECT_FALSE(parse_snapshot(bad_magic, out, &error));
+  EXPECT_EQ(error, "bad magic (not a map snapshot)");
+
+  std::vector<std::uint8_t> bad_version = bytes;
+  bad_version[8] = 99;  // version field (u32 at offset 8)
+  EXPECT_FALSE(parse_snapshot(bad_version, out, &error));
+  EXPECT_EQ(error, "unsupported snapshot version");
+
+  std::vector<std::uint8_t> bad_flags = bytes;
+  bad_flags[12] = 1;  // flags field (u32 at offset 12)
+  EXPECT_FALSE(parse_snapshot(bad_flags, out, &error));
+  EXPECT_EQ(error, "unsupported snapshot flags");
+
+  std::vector<std::uint8_t> trailing = bytes;
+  trailing.push_back(0);  // file longer than header + declared payload
+  EXPECT_FALSE(parse_snapshot(trailing, out, &error));
+  EXPECT_EQ(error, "payload size does not match file size");
+
+  std::vector<std::uint8_t> huge_count = bytes;
+  // Declare an absurd payload size: the u64 at offset 16.
+  huge_count[16 + 7] = 0x7f;
+  EXPECT_FALSE(parse_snapshot(huge_count, out, &error));
+}
+
+TEST(MapSnapshot, RejectsOutOfRangeIndexEntries) {
+  MapSnapshot snapshot = desk_snapshot();
+  ASSERT_FALSE(snapshot.keyframes.empty());
+  ASSERT_FALSE(snapshot.keyframes[0].observations.empty());
+  // An observation naming a never-issued point id: observing a *pruned*
+  // point is legal (keyframes outlive map churn), an unissued id is not.
+  snapshot.keyframes[0].observations[0].point_id = snapshot.next_point_id + 5;
+  MapSnapshot out;
+  std::string error;
+  EXPECT_FALSE(parse_snapshot(serialize_snapshot(snapshot), out, &error));
+  EXPECT_NE(error.find("point id"), std::string::npos) << error;
+}
+
+TEST(MapSnapshot, RejectsNonAscendingPointIds) {
+  MapSnapshot snapshot = desk_snapshot();
+  ASSERT_GE(snapshot.points.size(), 2u);
+  std::swap(snapshot.points[0].id, snapshot.points[1].id);
+  MapSnapshot out;
+  std::string error;
+  EXPECT_FALSE(parse_snapshot(serialize_snapshot(snapshot), out, &error));
+  EXPECT_EQ(error, "map point ids not strictly ascending");
+}
+
+TEST(MapSnapshot, LoadReportsMissingFile) {
+  MapSnapshot out;
+  std::string error;
+  EXPECT_FALSE(load_snapshot("/nonexistent/eslam.map", out, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_EQ(FrozenMap::load("/nonexistent/eslam.map", &error), nullptr);
+}
+
+}  // namespace
+}  // namespace eslam
