@@ -7,11 +7,18 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <span>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
+
+// Baked in by CMake for targets linking eslam; standalone consumers of
+// this header still compile.
+#if !defined(ESLAM_GIT_SHA)
+#define ESLAM_GIT_SHA "unknown"
+#endif
 
 #include "core/eslam.h"
 #include "dataset/sequence.h"
@@ -149,10 +156,35 @@ inline void print_header(const char* title, const char* paper_ref) {
   std::printf("reproduces: %s (eSLAM, DAC 2019)\n\n", paper_ref);
 }
 
+// Host CPU model string from /proc/cpuinfo, "unknown" where the file or
+// field is absent (non-Linux, stripped containers).  Read once per call —
+// bench artifacts are written a handful of times per run.
+inline std::string cpu_model() {
+  std::FILE* f = std::fopen("/proc/cpuinfo", "r");
+  if (!f) return "unknown";
+  std::string model = "unknown";
+  char line[256];
+  while (std::fgets(line, sizeof line, f)) {
+    const char* sep = std::strchr(line, ':');
+    if (!sep || std::strncmp(line, "model name", 10) != 0) continue;
+    ++sep;
+    while (*sep == ' ' || *sep == '\t') ++sep;
+    model = sep;
+    while (!model.empty() && (model.back() == '\n' || model.back() == '\r'))
+      model.pop_back();
+    break;
+  }
+  std::fclose(f);
+  return model;
+}
+
 // Machine-readable benchmark output: accumulates numbers, strings, flat
 // arrays and uniform row tables, then writes BENCH_<name>.json in the
 // working directory — the artifact CI uploads so the perf trajectory
 // (FPS, p50/p99, match-time-vs-map-size curves) is tracked per run.
+// Every artifact is stamped with provenance metadata (git SHA, compiler,
+// CPU model, hardware thread count) so a number in an uploaded JSON is
+// attributable to a commit and a machine without consulting CI logs.
 class BenchJson {
  public:
   explicit BenchJson(std::string name) : name_(std::move(name)) {}
@@ -197,6 +229,17 @@ class BenchJson {
       return false;
     }
     std::fprintf(f, "{\n  \"bench\": \"%s\"", escaped(name_).c_str());
+    // Provenance stamp (see the class comment).  ESLAM_GIT_SHA is the
+    // configure-time snapshot CMake bakes into the library's interface.
+    std::fprintf(f, ",\n  \"git_sha\": \"%s\"", escaped(ESLAM_GIT_SHA).c_str());
+#if defined(__VERSION__)
+    std::fprintf(f, ",\n  \"compiler\": \"%s\"", escaped(__VERSION__).c_str());
+#else
+    std::fprintf(f, ",\n  \"compiler\": \"unknown\"");
+#endif
+    std::fprintf(f, ",\n  \"cpu\": \"%s\"", escaped(cpu_model()).c_str());
+    std::fprintf(f, ",\n  \"hw_threads\": %u",
+                 std::thread::hardware_concurrency());
     for (const auto& [key, value] : fields_)
       std::fprintf(f, ",\n  \"%s\": %s", escaped(key).c_str(), value.c_str());
     std::fprintf(f, "\n}\n");

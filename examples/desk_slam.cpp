@@ -3,15 +3,21 @@
 // experiment behind Figures 8 and 9), and writing TUM-format trajectories
 // that external tools can plot.
 //
-//   ./examples/desk_slam [frames]
+//   ./examples/desk_slam [frames] [--trace out.json]
+//
+// With --trace, the run's span timeline (both descriptor passes) is
+// exported as Chrome trace-event JSON for Perfetto / chrome://tracing.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "core/eslam.h"
 #include "dataset/sequence.h"
 #include "dataset/tum_io.h"
 #include "eval/ate.h"
+#include "obs/trace_export.h"
 
 namespace {
 
@@ -37,7 +43,14 @@ eslam::AteResult run(const eslam::SyntheticSequence& sequence,
 int main(int argc, char** argv) {
   using namespace eslam;
   SequenceOptions opts;
-  opts.frames = argc > 1 ? std::atoi(argv[1]) : 60;
+  opts.frames = 60;
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc)
+      trace_path = argv[++i];
+    else
+      opts.frames = std::atoi(argv[i]);
+  }
   if (opts.frames < 10) opts.frames = 10;
 
   SyntheticSequence sequence(SequenceId::kFr1Desk, opts);
@@ -62,5 +75,8 @@ int main(int argc, char** argv) {
               orb.rmse * 100);
   std::printf("\nTrajectories written: desk_rsbrief.tum,"
               " desk_original_orb.tum, desk_groundtruth.tum\n");
+  if (!trace_path.empty() && obs::write_chrome_trace(trace_path))
+    std::printf("Trace written: %s (open at https://ui.perfetto.dev)\n",
+                trace_path.c_str());
   return 0;
 }

@@ -1,0 +1,159 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+namespace eslam::obs {
+namespace {
+
+struct TrackEntry {
+  int pid = 0;
+  std::string name;
+};
+
+// Process/track tables plus every ring ever created.  Rings are never
+// destroyed while the process lives: a thread that exits leaves its ring
+// behind so a later export still sees its events, and the thread-local
+// handle below can stay a raw pointer.
+struct TraceRegistry {
+  std::mutex mutex;
+  std::vector<std::string> processes;
+  std::vector<TrackEntry> tracks;
+  std::vector<std::unique_ptr<TraceRing>> rings;
+  std::size_t ring_capacity = 8192;
+
+  TraceRegistry() {
+    processes.push_back("eslam");
+    tracks.push_back(TrackEntry{0, "main"});  // kDefaultTrack
+  }
+};
+
+TraceRegistry& registry() {
+  static TraceRegistry* r = new TraceRegistry();  // never destroyed
+  return *r;
+}
+
+std::atomic<bool> g_enabled{true};
+
+std::chrono::steady_clock::time_point trace_epoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+}  // namespace
+
+bool trace_enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_trace_enabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+double trace_now_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - trace_epoch())
+      .count();
+}
+
+int register_process(const std::string& name) {
+  TraceRegistry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  r.processes.push_back(name);
+  return static_cast<int>(r.processes.size()) - 1;
+}
+
+TrackId register_track(int pid, const std::string& name) {
+  TraceRegistry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  r.tracks.push_back(TrackEntry{pid, name});
+  return static_cast<TrackId>(r.tracks.size() - 1);
+}
+
+void set_trace_ring_capacity(std::size_t events) {
+  TraceRegistry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  r.ring_capacity = events > 0 ? events : 1;
+}
+
+TraceRing& thread_ring() {
+  thread_local TraceRing* ring = nullptr;
+  if (!ring) {
+    TraceRegistry& r = registry();
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    r.rings.push_back(std::make_unique<TraceRing>(r.ring_capacity));
+    ring = r.rings.back().get();
+  }
+  return *ring;
+}
+
+void trace_begin(TrackId track, const char* name) {
+  if (!trace_enabled()) return;
+  thread_ring().record(
+      TraceEvent{name, trace_now_us(), 0, track, TraceEventType::kBegin});
+}
+
+void trace_end(TrackId track, const char* name) {
+  if (!trace_enabled()) return;
+  thread_ring().record(
+      TraceEvent{name, trace_now_us(), 0, track, TraceEventType::kEnd});
+}
+
+void trace_instant(TrackId track, const char* name) {
+  if (!trace_enabled()) return;
+  thread_ring().record(
+      TraceEvent{name, trace_now_us(), 0, track, TraceEventType::kInstant});
+}
+
+void trace_complete(TrackId track, const char* name, double start_us,
+                    double dur_us) {
+  if (!trace_enabled()) return;
+  thread_ring().record(
+      TraceEvent{name, start_us, dur_us, track, TraceEventType::kComplete});
+}
+
+std::uint64_t trace_events_recorded_total() {
+  TraceRegistry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  std::uint64_t total = 0;
+  for (const auto& ring : r.rings) total += ring->recorded();
+  return total;
+}
+
+std::uint64_t trace_events_dropped_total() {
+  TraceRegistry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  std::uint64_t total = 0;
+  for (const auto& ring : r.rings) total += ring->dropped();
+  return total;
+}
+
+std::vector<TraceProcessInfo> trace_processes() {
+  TraceRegistry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  std::vector<TraceProcessInfo> out;
+  out.reserve(r.processes.size());
+  for (std::size_t i = 0; i < r.processes.size(); ++i)
+    out.push_back(TraceProcessInfo{static_cast<int>(i), r.processes[i]});
+  return out;
+}
+
+std::vector<TraceTrackInfo> trace_tracks() {
+  TraceRegistry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  std::vector<TraceTrackInfo> out;
+  out.reserve(r.tracks.size());
+  for (std::size_t i = 0; i < r.tracks.size(); ++i)
+    out.push_back(TraceTrackInfo{static_cast<TrackId>(i), r.tracks[i].pid,
+                                 r.tracks[i].name});
+  return out;
+}
+
+void trace_snapshot(std::vector<TraceEvent>& out) {
+  TraceRegistry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  for (const auto& ring : r.rings) ring->snapshot(out);
+}
+
+}  // namespace eslam::obs

@@ -1,0 +1,198 @@
+// Always-on span tracing: per-thread preallocated bounded event rings.
+//
+// Design constraints, in order:
+//   1. The steady-state tracked/localization frame stays ZERO-heap-
+//      allocation with tracing enabled (tests/runtime/steady_state_alloc_
+//      test.cpp asserts it).  Recording an event is therefore one TLS
+//      pointer read, one slot store into a preallocated ring, and one
+//      release store of the head counter — no locks, no heap, no
+//      formatting.  Everything that allocates (ring creation, process and
+//      track registration, name strings) happens once, on cold paths.
+//   2. The rings are bounded and circular-overwrite: a long run keeps the
+//      newest events and counts the overwritten ones (dropped()), so a
+//      trace capture is always the tail of the run.
+//   3. Event names are static string literals.  The ring stores the
+//      pointer, never copies — which is what keeps recording free, and why
+//      the API takes `const char*` and not std::string.
+//   4. A compile-time kill switch (cmake -DESLAM_TRACE=OFF, which defines
+//      ESLAM_TRACE_OFF) turns the macros into ((void)0) so instrumented
+//      code costs nothing, not even the enabled-flag load.  The classes
+//      below still compile in that mode; only the macros vanish.
+//
+// Topology: events carry a TrackId.  Tracks belong to processes —
+// register_process() per session ("mapping-0", "localization-2",
+// "scheduler"), register_track() per lane within it (device, ARM, backend
+// job classes).  obs/trace_export.h serializes the whole registry to
+// Chrome trace-event JSON, which Perfetto renders as process rows with
+// named thread tracks: the paper's Fig-7 Gantt, reconstructed from a real
+// run.  The ring a thread writes to is unrelated to the track an event
+// names — a shared ARM worker records spans onto whichever session's
+// track it is serving.
+//
+// Threading: each ring has exactly one writer (its owning thread).
+// Readers (export, tests) snapshot under the head counter's
+// release/acquire pair, which is exact when the writers are quiescent —
+// the documented capture contract (drain sessions, then export).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#if defined(ESLAM_TRACE_OFF)
+#define ESLAM_TRACE_ENABLED 0
+#else
+#define ESLAM_TRACE_ENABLED 1
+#endif
+
+namespace eslam::obs {
+
+enum class TraceEventType : std::uint8_t {
+  kBegin,    // span opens (Chrome "B")
+  kEnd,      // span closes (Chrome "E")
+  kInstant,  // point event (Chrome "i")
+  kComplete  // span with explicit duration (Chrome "X")
+};
+
+// Track handle: index into the registry's track table.  Track 0 always
+// exists ("main" under process "eslam"), so recording without registering
+// anything is valid.
+using TrackId = std::uint16_t;
+inline constexpr TrackId kDefaultTrack = 0;
+
+struct TraceEvent {
+  const char* name = nullptr;  // static literal; kEnd leaves it unused
+  double ts_us = 0;            // µs since the process trace epoch
+  double dur_us = 0;           // kComplete only
+  TrackId track = kDefaultTrack;
+  TraceEventType type = TraceEventType::kInstant;
+};
+
+// One thread's bounded event buffer.  Single writer (the owning thread);
+// snapshot() from another thread is exact once the writer is quiescent.
+class TraceRing {
+ public:
+  explicit TraceRing(std::size_t capacity)
+      : buf_(capacity > 0 ? capacity : 1) {}
+
+  // Owner thread only.  Never allocates.
+  void record(const TraceEvent& ev) {
+    const std::uint64_t h = head_.load(std::memory_order_relaxed);
+    buf_[static_cast<std::size_t>(h % buf_.size())] = ev;
+    head_.store(h + 1, std::memory_order_release);
+  }
+
+  std::size_t capacity() const { return buf_.size(); }
+  // Total events ever recorded (monotonic, survives wraparound).
+  std::uint64_t recorded() const {
+    return head_.load(std::memory_order_acquire);
+  }
+  // Events overwritten by wraparound — the overflow-drop accounting.
+  std::uint64_t dropped() const {
+    const std::uint64_t h = recorded();
+    return h > buf_.size() ? h - buf_.size() : 0;
+  }
+  std::size_t size() const {
+    const std::uint64_t h = recorded();
+    return static_cast<std::size_t>(h < buf_.size() ? h : buf_.size());
+  }
+
+  // Appends the surviving events, oldest first.  Cold path (allocates via
+  // the vector); exact when the owner thread is quiescent.
+  void snapshot(std::vector<TraceEvent>& out) const {
+    const std::uint64_t h = recorded();
+    const std::uint64_t n = h < buf_.size() ? h : buf_.size();
+    for (std::uint64_t i = 0; i < n; ++i)
+      out.push_back(buf_[static_cast<std::size_t>((h - n + i) % buf_.size())]);
+  }
+
+ private:
+  std::vector<TraceEvent> buf_;
+  std::atomic<std::uint64_t> head_{0};
+};
+
+// ---- global registry --------------------------------------------------------
+
+// Runtime switch (compile-time kill switch aside).  Default: enabled.
+bool trace_enabled();
+void set_trace_enabled(bool enabled);
+
+// µs since the process-wide trace epoch (steady clock).
+double trace_now_us();
+
+// Cold-path topology registration.  Thread-safe; both allocate.
+int register_process(const std::string& name);
+TrackId register_track(int pid, const std::string& name);
+
+// Capacity for rings created *after* this call (existing rings keep
+// theirs).  Default 8192 events per thread.
+void set_trace_ring_capacity(std::size_t events);
+
+// The calling thread's ring (created on first use — the one cold
+// allocation a recording thread ever performs).
+TraceRing& thread_ring();
+
+// Hot-path recording.  All check the runtime switch internally.
+void trace_begin(TrackId track, const char* name);
+void trace_end(TrackId track, const char* name);
+void trace_instant(TrackId track, const char* name);
+void trace_complete(TrackId track, const char* name, double start_us,
+                    double dur_us);
+
+// Fleet-wide accounting across every ring (allocation-free).
+std::uint64_t trace_events_recorded_total();
+std::uint64_t trace_events_dropped_total();
+
+// Export-side registry snapshot (cold; allocates).
+struct TraceProcessInfo {
+  int pid = 0;
+  std::string name;
+};
+struct TraceTrackInfo {
+  TrackId id = 0;
+  int pid = 0;
+  std::string name;
+};
+std::vector<TraceProcessInfo> trace_processes();
+std::vector<TraceTrackInfo> trace_tracks();
+// Appends every ring's surviving events (per-ring chronological order).
+void trace_snapshot(std::vector<TraceEvent>& out);
+
+// RAII begin/end span.  Captures the enabled flag at entry so a toggle
+// mid-scope cannot strand an unbalanced begin.
+class TraceScope {
+ public:
+  TraceScope(TrackId track, const char* name)
+      : track_(track), name_(name), active_(trace_enabled()) {
+    if (active_) trace_begin(track_, name_);
+  }
+  ~TraceScope() {
+    if (active_) trace_end(track_, name_);
+  }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  TrackId track_;
+  const char* name_;
+  bool active_;
+};
+
+}  // namespace eslam::obs
+
+#if ESLAM_TRACE_ENABLED
+#define ESLAM_OBS_CONCAT2(a, b) a##b
+#define ESLAM_OBS_CONCAT(a, b) ESLAM_OBS_CONCAT2(a, b)
+// Begin/end span covering the enclosing scope.  `name` must be a static
+// string literal.
+#define ESLAM_TRACE_SCOPE(track, name)                                 \
+  const ::eslam::obs::TraceScope ESLAM_OBS_CONCAT(eslam_trace_scope_,  \
+                                                  __LINE__)((track), (name))
+#define ESLAM_TRACE_INSTANT(track, name) \
+  ::eslam::obs::trace_instant((track), (name))
+#else
+#define ESLAM_TRACE_SCOPE(track, name) ((void)0)
+#define ESLAM_TRACE_INSTANT(track, name) ((void)0)
+#endif

@@ -1,0 +1,120 @@
+#include "obs/trace_export.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace eslam::obs {
+namespace {
+
+std::string json_escaped(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+std::string fmt_us(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string chrome_trace_json() {
+  const std::vector<TraceProcessInfo> processes = trace_processes();
+  const std::vector<TraceTrackInfo> tracks = trace_tracks();
+  std::vector<TraceEvent> events;
+  trace_snapshot(events);
+
+  // Global time order; stable keeps each ring's internal order (which is
+  // what makes same-timestamp nested begin/end pairs close correctly).
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+
+  std::string out = "{\n\"traceEvents\": [\n";
+  bool first = true;
+  const auto emit = [&](const std::string& line) {
+    if (!first) out += ",\n";
+    first = false;
+    out += line;
+  };
+
+  // Metadata: processes as rows, tracks as named threads beneath them.
+  // Track ids are registry-global, so they double as Chrome tids (unique
+  // within every pid by construction).
+  for (const TraceProcessInfo& p : processes)
+    emit("{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" +
+         std::to_string(p.pid) + ",\"tid\":0,\"args\":{\"name\":\"" +
+         json_escaped(p.name) + "\"}}");
+  for (const TraceTrackInfo& t : tracks) {
+    emit("{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" +
+         std::to_string(t.pid) + ",\"tid\":" + std::to_string(t.id) +
+         ",\"args\":{\"name\":\"" + json_escaped(t.name) + "\"}}");
+    // Keep lanes in registration order rather than Perfetto's default
+    // tid sort, so a session's device lane renders above its ARM lane.
+    emit("{\"ph\":\"M\",\"name\":\"thread_sort_index\",\"pid\":" +
+         std::to_string(t.pid) + ",\"tid\":" + std::to_string(t.id) +
+         ",\"args\":{\"sort_index\":" + std::to_string(t.id) + "}}");
+  }
+
+  for (const TraceEvent& ev : events) {
+    if (!ev.name && ev.type != TraceEventType::kEnd) continue;
+    const int pid =
+        ev.track < tracks.size() ? tracks[ev.track].pid : 0;
+    const std::string head = "{\"pid\":" + std::to_string(pid) +
+                             ",\"tid\":" + std::to_string(ev.track) +
+                             ",\"ts\":" + fmt_us(ev.ts_us);
+    switch (ev.type) {
+      case TraceEventType::kBegin:
+        emit(head + ",\"ph\":\"B\",\"cat\":\"eslam\",\"name\":\"" +
+             json_escaped(ev.name) + "\"}");
+        break;
+      case TraceEventType::kEnd:
+        emit(head + ",\"ph\":\"E\"}");
+        break;
+      case TraceEventType::kInstant:
+        emit(head + ",\"ph\":\"i\",\"s\":\"t\",\"cat\":\"eslam\",\"name\":\"" +
+             json_escaped(ev.name) + "\"}");
+        break;
+      case TraceEventType::kComplete:
+        emit(head + ",\"ph\":\"X\",\"dur\":" + fmt_us(ev.dur_us) +
+             ",\"cat\":\"eslam\",\"name\":\"" + json_escaped(ev.name) + "\"}");
+        break;
+    }
+  }
+
+  out += "\n],\n\"displayTimeUnit\": \"ms\",\n\"otherData\": {\"dropped_events\": " +
+         std::to_string(trace_events_dropped_total()) + "}\n}\n";
+  return out;
+}
+
+bool write_chrome_trace(const std::string& path) {
+  const std::string json = chrome_trace_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "warning: cannot write trace to %s\n", path.c_str());
+    return false;
+  }
+  const std::size_t n = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (n != json.size()) {
+    std::fprintf(stderr, "warning: short write to %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace eslam::obs

@@ -1,0 +1,29 @@
+// Serializes the trace registry (obs/trace.h) to Chrome trace-event JSON,
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.
+//
+// Mapping: every registered process becomes a Perfetto process row (via a
+// "process_name" metadata event), every track a named thread row under it
+// ("thread_name"), and the ring events become "B"/"E" span pairs, "X"
+// complete spans and "i" instants with microsecond timestamps.  A
+// multi-session run therefore renders as the paper's Fig-7 Gantt: one row
+// per session, device/ARM/backend-class lanes beneath it, plus the
+// scheduler's shared device lane and ARM worker rows.
+//
+// Capture contract: snapshotting is exact when recording threads are
+// quiescent (sessions drained) — the rings are single-writer and the
+// export only takes the surviving tail of each (TraceRing::dropped()
+// events were overwritten; the count is reported in "otherData").
+#pragma once
+
+#include <string>
+
+namespace eslam::obs {
+
+// The whole registry as one Chrome trace-event JSON document.
+std::string chrome_trace_json();
+
+// Writes chrome_trace_json() to `path`; false (with a stderr warning) on
+// I/O failure.
+bool write_chrome_trace(const std::string& path);
+
+}  // namespace eslam::obs

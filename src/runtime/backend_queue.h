@@ -15,6 +15,13 @@
 // bench_backend_ate measures loop-verification queue latency under
 // routine-BA load in both modes and gates on priority < fifo.
 //
+// Queue-wait observability: push/pop take an optional caller clock
+// (now_ms, any monotonic base — the queue only ever subtracts).  Each
+// entry remembers its enqueue time and class; pop() folds the wait into
+// the per-class latency histogram installed via set_latency_histograms().
+// With no histograms installed (the default, and every unit test) the
+// timestamps are inert — no registry traffic, no behavior change.
+//
 // Not thread-safe by itself — the scheduler guards it with work_mutex_,
 // exactly like the RingQueues it replaces.
 #pragma once
@@ -23,6 +30,7 @@
 #include <optional>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "runtime/ring_queue.h"
 
 namespace eslam {
@@ -48,51 +56,75 @@ class BackendJobQueue {
   std::size_t capacity() const { return capacity_; }
   bool priority() const { return priority_; }
 
+  // Installs the per-class queue-wait histograms pop() records into.
+  // Either may be null (that class goes unrecorded).  The queue does not
+  // own them — point at registry entries, which live forever.
+  void set_latency_histograms(obs::Histogram* routine_ba,
+                              obs::Histogram* loop_verify) {
+    ba_hist_ = routine_ba;
+    loop_hist_ = loop_verify;
+  }
+
   // False when the lane is at capacity (shared across classes, like the
   // single queue it replaces): the job stays pending in its tracker and
   // is re-offered at that session's next retirement.
-  bool push(BackendJobClass cls, T value) {
+  bool push(BackendJobClass cls, T value, double now_ms = 0.0) {
     if (size() >= capacity_) return false;
-    // fifo mode: one arrival-ordered queue, class ignored.
+    Entry entry{std::move(value), now_ms, cls};
+    // fifo mode: one arrival-ordered queue, class ignored for ordering
+    // (the entry still remembers its class for latency attribution).
     if (priority_ && cls == BackendJobClass::kLoopVerify)
-      loop_q_.push_back(std::move(value));
+      loop_q_.push_back(std::move(entry));
     else
-      ba_q_.push_back(std::move(value));
+      ba_q_.push_back(std::move(entry));
     return true;
   }
 
-  std::optional<T> pop() {
-    if (!loop_q_.empty()) return loop_q_.pop_front();
-    if (!ba_q_.empty()) return ba_q_.pop_front();
-    return std::nullopt;
+  std::optional<T> pop(double now_ms = 0.0) {
+    RingQueue<Entry>* q =
+        !loop_q_.empty() ? &loop_q_ : (!ba_q_.empty() ? &ba_q_ : nullptr);
+    if (!q) return std::nullopt;
+    Entry entry = q->pop_front();
+    obs::Histogram* hist =
+        entry.cls == BackendJobClass::kLoopVerify ? loop_hist_ : ba_hist_;
+    if (hist) hist->record(now_ms - entry.enqueue_ms);
+    return std::move(entry.value);
   }
 
-  // Removes every entry matching `pred` (session teardown).  Returns the
-  // number removed.  O(n), cold path only.
+  // Removes every entry whose *value* matches `pred` (session teardown).
+  // Returns the number removed.  O(n), cold path only.
   template <typename Pred>
   std::size_t remove_if(Pred pred) {
     return drain_matching(loop_q_, pred) + drain_matching(ba_q_, pred);
   }
 
  private:
+  struct Entry {
+    T value;
+    double enqueue_ms = 0;
+    BackendJobClass cls = BackendJobClass::kRoutineBa;
+  };
+
   template <typename Pred>
-  static std::size_t drain_matching(RingQueue<T>& q, Pred& pred) {
+  static std::size_t drain_matching(RingQueue<Entry>& q, Pred& pred) {
     const std::size_t n = q.size();
     std::size_t removed = 0;
     for (std::size_t i = 0; i < n; ++i) {
-      T value = q.pop_front();
-      if (pred(value))
+      Entry entry = q.pop_front();
+      if (pred(entry.value))
         ++removed;
       else
-        q.push_back(std::move(value));
+        q.push_back(std::move(entry));
     }
     return removed;
   }
 
   std::size_t capacity_;
   bool priority_;
-  RingQueue<T> loop_q_;  // fifo mode leaves this empty
-  RingQueue<T> ba_q_;
+  RingQueue<Entry> loop_q_;  // fifo mode leaves this empty
+  RingQueue<Entry> ba_q_;
+  obs::Histogram* ba_hist_ = nullptr;
+  obs::Histogram* loop_hist_ = nullptr;
 };
 
 }  // namespace eslam

@@ -122,11 +122,34 @@ TrackerScheduler::TrackerScheduler(const SchedulerOptions& options)
       epoch_(std::chrono::steady_clock::now()),
       backend_q_(std::max(1, options.backend_queue_capacity),
                  options.backend_priority) {
-  device_thread_ = std::thread(&TrackerScheduler::device_lane, this);
   const int workers = std::max(1, options_.arm_workers);
+  // Resource-row trace tracks (one "scheduler" process: the shared device
+  // lane plus each pool worker) and the scheduler-wide metrics.  All cold:
+  // one registration per scheduler lifetime, before any lane thread runs.
+  const int pid = obs::register_process("scheduler");
+  device_track_ = obs::register_track(pid, "device lane");
+  worker_tracks_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i)
+    worker_tracks_.push_back(
+        obs::register_track(pid, "arm worker " + std::to_string(i)));
+  obs::MetricsRegistry& reg = obs::metrics();
+  dispatch_wait_hist_ = &reg.histogram("eslam_scheduler_dispatch_wait_ms");
+  device_dispatches_total_ = &reg.counter("eslam_device_dispatches_total");
+  speculative_matches_total_ =
+      &reg.counter("eslam_speculative_matches_total");
+  replayed_matches_total_ = &reg.counter("eslam_replayed_matches_total");
+  backend_jobs_total_ = &reg.counter("eslam_backend_jobs_total");
+  backend_jobs_rejected_total_ =
+      &reg.counter("eslam_backend_jobs_rejected_total");
+  backend_concurrent_gauge_ = &reg.max_gauge("eslam_backend_concurrent_jobs");
+  backend_q_.set_latency_histograms(
+      &reg.histogram("eslam_backend_queue_wait_ms{class=\"ba\"}"),
+      &reg.histogram("eslam_backend_queue_wait_ms{class=\"loop\"}"));
+
+  device_thread_ = std::thread(&TrackerScheduler::device_lane, this);
   arm_threads_.reserve(static_cast<std::size_t>(workers));
   for (int i = 0; i < workers; ++i)
-    arm_threads_.emplace_back(&TrackerScheduler::arm_worker, this);
+    arm_threads_.emplace_back(&TrackerScheduler::arm_worker, this, i);
 }
 
 TrackerScheduler::~TrackerScheduler() {
@@ -455,6 +478,7 @@ bool TrackerScheduler::device_step(const SessionRef& sp) {
   FrameInput input;
   if (!s.input_q.try_pop(input)) return false;
   kick_user(s);  // a ring slot freed: wake a parked feed()
+  device_dispatches_total_->add();
   {
     const std::lock_guard<std::mutex> lock(s.stats_mutex);
     ++s.stats.device_dispatches;
@@ -485,6 +509,13 @@ bool TrackerScheduler::device_step(const SessionRef& sp) {
 
 void TrackerScheduler::run_device_stage(SchedulerSession& s, FrameState& fs,
                                         PipeStage stage, bool speculative) {
+  // Fabric-occupancy span on the shared "device lane" track: includes the
+  // pacer padding on purpose — the modeled platform's fabric is occupied
+  // for the modeled duration, and that occupancy is what the Gantt's
+  // resource row is for.  (to_string(stage) is a string literal, so it
+  // satisfies the ring's static-name contract.)  The tracker's own FE/FM
+  // spans on its session row cover the measured compute only.
+  const double span_t0 = obs::trace_now_us();
   const double t0 = now_ms();
   if (stage == PipeStage::kFeatureExtraction) {
     s.tracker->extract(fs);
@@ -492,10 +523,17 @@ void TrackerScheduler::run_device_stage(SchedulerSession& s, FrameState& fs,
     s.tracker->match(fs);
   }
   pace(s, stage, t0);
+#if ESLAM_TRACE_ENABLED
+  obs::trace_complete(device_track_, to_string(stage), span_t0,
+                      obs::trace_now_us() - span_t0);
+#else
+  (void)span_t0;
+#endif
   const int event = record(s, fs.index, PipeLane::kFpga, stage, t0, now_ms());
   if (speculative) {
     s.pending_speculated = true;
     s.pending_spec_event = event;
+    speculative_matches_total_->add();
     const std::lock_guard<std::mutex> lock(s.stats_mutex);
     ++s.stats.speculative_matches;
   }
@@ -513,6 +551,7 @@ void TrackerScheduler::finalize_match(SchedulerSession& s, FrameState& fs) {
         s.events[static_cast<std::size_t>(s.pending_spec_event)].speculative =
             true;
       }
+      replayed_matches_total_->add();
       const std::lock_guard<std::mutex> lock(s.stats_mutex);
       ++s.stats.replayed_matches;
     }
@@ -530,7 +569,7 @@ void TrackerScheduler::enqueue_arm(const SessionRef& session) {
     ++session->arm_backlog;
     if (session->arm_queued) return;  // the owning worker sees the backlog
     session->arm_queued = true;
-    work_q_.push_back(session);
+    work_q_.push_back({session, now_ms()});
   }
   work_cv_.notify_one();
 }
@@ -551,11 +590,12 @@ void TrackerScheduler::enqueue_backend(const SessionRef& session) {
       entry.cls =
           t.loop ? BackendJobClass::kLoopVerify : BackendJobClass::kRoutineBa;
       entry.enqueue_ms = now_ms();
-      if (!backend_q_.push(entry.cls, std::move(entry))) {
+      if (!backend_q_.push(entry.cls, std::move(entry), entry.enqueue_ms)) {
         // Lane full: hand the ticket back so the tracker re-offers it at
         // this session's next retirement.  Overload degrades to "backend
         // laps less often", never to unbounded queue growth.
         s.tracker->unoffer_backend_job(t.job_id);
+        backend_jobs_rejected_total_->add();
         const std::lock_guard<std::mutex> stats_lock(s.stats_mutex);
         ++s.stats.backend_jobs_rejected;
         continue;
@@ -590,7 +630,9 @@ void TrackerScheduler::run_session_backend(const SessionRef& session,
   kick_user(s);  // remove_session / drain may be waiting on quiescence
 }
 
-void TrackerScheduler::arm_worker() {
+void TrackerScheduler::arm_worker(int worker_index) {
+  [[maybe_unused]] const obs::TrackId worker_track =
+      worker_tracks_[static_cast<std::size_t>(worker_index)];
   for (;;) {
     SessionRef session;
     BackendQueueEntry entry;
@@ -604,18 +646,26 @@ void TrackerScheduler::arm_worker() {
       if (!work_q_.empty()) {
         // Tracking stages always outrank the background lane: backend
         // jobs run on pool slack only.
-        session = work_q_.pop_front();
+        WorkItem item = work_q_.pop_front();
+        session = std::move(item.session);
+        // Dispatch wait: how long the session's first pending frame sat
+        // behind a fully-busy pool before any worker picked it up.
+        dispatch_wait_hist_->record(now_ms() - item.enqueue_ms);
       } else {
-        entry = std::move(*backend_q_.pop());
+        entry = std::move(*backend_q_.pop(now_ms()));
         session = entry.session;
         SchedulerSession& s = *session;
         --s.bg_queued;
         ++s.bg_running;
         ++bg_running_total_;
         bg_running_hwm_ = std::max(bg_running_hwm_, bg_running_total_);
+        backend_concurrent_gauge_->update(bg_running_total_);
+        backend_jobs_total_->add();
         backend_job = true;
         // Per-class queue latency: how long the job sat behind tracking
-        // work and (for BA) behind loop verifications.
+        // work and (for BA) behind loop verifications.  (The registry's
+        // eslam_backend_queue_wait_ms histograms got the same wait inside
+        // pop() above.)
         const double waited = now_ms() - entry.enqueue_ms;
         const std::lock_guard<std::mutex> stats_lock(s.stats_mutex);
         if (entry.cls == BackendJobClass::kLoopVerify) {
@@ -627,10 +677,15 @@ void TrackerScheduler::arm_worker() {
         }
       }
     }
-    if (backend_job)
+    if (backend_job) {
+      // Pool-occupancy span on this worker's resource row; the job class
+      // detail lives on the session's own backend track (tracker.cpp).
+      ESLAM_TRACE_SCOPE(worker_track, "backend-job");
       run_session_backend(session, entry);
-    else
+    } else {
+      ESLAM_TRACE_SCOPE(worker_track, "serve-session");
       run_session_arm(session);
+    }
   }
 }
 

@@ -82,6 +82,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/backend_queue.h"
 #include "runtime/lane.h"
 #include "runtime/ring_queue.h"
@@ -203,7 +205,7 @@ class TrackerScheduler {
   void device_lane();
   bool device_step(const SessionRef& session);
   void finalize_match(SchedulerSession& s, FrameState& fs);
-  void arm_worker();
+  void arm_worker(int worker_index);
   void run_session_arm(const SessionRef& session);
   // Localization analogue of run_session_arm: drains the session's input
   // ring, one whole Localizer frame per backlog unit.
@@ -269,9 +271,19 @@ class TrackerScheduler {
   // bg_running are now per-session *counters*, and bg_running_total_ /
   // bg_running_hwm_ track pool-wide backend concurrency (all guarded by
   // work_mutex_).
+  // One session awaiting a pool worker, stamped at push so the pop side
+  // can fold "how long did dispatch wait behind a busy pool" into the
+  // registry (eslam_scheduler_dispatch_wait_ms).  Frames that arrive
+  // while a worker already owns the session never enter this queue — the
+  // histogram measures genuine pool contention, not the fast path.
+  struct WorkItem {
+    SessionRef session;
+    double enqueue_ms = 0;
+  };
+
   mutable std::mutex work_mutex_;
   std::condition_variable work_cv_;
-  RingQueue<SessionRef> work_q_{16};
+  RingQueue<WorkItem> work_q_{16};
   BackendJobQueue<BackendQueueEntry> backend_q_;
   int bg_running_total_ = 0;
   int bg_running_hwm_ = 0;
@@ -283,6 +295,23 @@ class TrackerScheduler {
   std::atomic<bool> stop_{false};
   std::thread device_thread_;
   std::vector<std::thread> arm_threads_;
+
+  // Observability handles, resolved once at construction (obs/README in
+  // src/obs/trace.h): the scheduler owns a "scheduler" trace process with
+  // the shared device lane and every ARM pool worker as named tracks —
+  // the Fig-7 Gantt's resource rows, complementing the per-session rows
+  // the trackers/localizers register themselves.  Histograms/counters are
+  // registry entries (leaked, process-lifetime); the hot paths only touch
+  // these resolved pointers.
+  obs::TrackId device_track_ = obs::kDefaultTrack;
+  std::vector<obs::TrackId> worker_tracks_;
+  obs::Histogram* dispatch_wait_hist_ = nullptr;
+  obs::Counter* device_dispatches_total_ = nullptr;
+  obs::Counter* speculative_matches_total_ = nullptr;
+  obs::Counter* replayed_matches_total_ = nullptr;
+  obs::Counter* backend_jobs_total_ = nullptr;
+  obs::Counter* backend_jobs_rejected_total_ = nullptr;
+  obs::MaxGauge* backend_concurrent_gauge_ = nullptr;
 };
 
 }  // namespace eslam

@@ -1,5 +1,6 @@
 #include "server/slam_service.h"
 
+#include <chrono>
 #include <utility>
 
 #include "geometry/assert.h"
@@ -16,6 +17,8 @@ struct ServiceSession {
   // Exactly one of the two is set, per `kind`.
   std::unique_ptr<Tracker> tracker;
   std::unique_ptr<Localizer> localizer;
+  // Open timestamp for the close-time lifetime rollup.
+  std::chrono::steady_clock::time_point opened_at;
 };
 
 // ---- SessionHandle ---------------------------------------------------------
@@ -107,7 +110,17 @@ std::vector<TrackResult> SessionHandle::close() {
   if (!service_) return {};
   std::vector<TrackResult> leftovers =
       service_->scheduler_.drain(session_->slot);
+  // Rollups before the slot goes away: how long the session lived and how
+  // many frames it retired (frames_retired is final after the drain).
+  const PipelineStats final_stats = service_->scheduler_.stats(session_->slot);
   service_->scheduler_.remove_session(session_->slot);
+  service_->closed_total_->add();
+  service_->session_lifetime_ms_->record(
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - session_->opened_at)
+          .count());
+  service_->session_frames_->record(
+      static_cast<double>(final_stats.frames_retired));
   service_ = nullptr;
   session_.reset();  // destroys the tracker + backend
   return leftovers;
@@ -119,7 +132,16 @@ SlamService::SlamService(const ServiceOptions& options)
     : options_(options),
       scheduler_(SchedulerOptions{std::max(1, options.arm_workers),
                                   options.backend_queue_capacity,
-                                  options.backend_priority}) {}
+                                  options.backend_priority}) {
+  obs::MetricsRegistry& reg = obs::metrics();
+  opened_mapping_total_ =
+      &reg.counter("eslam_sessions_opened_total{kind=\"mapping\"}");
+  opened_localization_total_ =
+      &reg.counter("eslam_sessions_opened_total{kind=\"localization\"}");
+  closed_total_ = &reg.counter("eslam_sessions_closed_total");
+  session_lifetime_ms_ = &reg.histogram("eslam_session_lifetime_ms");
+  session_frames_ = &reg.histogram("eslam_session_frames");
+}
 
 SlamService::~SlamService() = default;
 
@@ -152,6 +174,10 @@ SessionHandle SlamService::open_session(const SessionConfig& config) {
     session->slot = scheduler_.add_session(*session->tracker,
                                            scheduler_options);
   }
+  session->opened_at = std::chrono::steady_clock::now();
+  (config.kind == SessionKind::kLocalization ? opened_localization_total_
+                                             : opened_mapping_total_)
+      ->add();
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     session->id = sessions_opened_++;
@@ -164,6 +190,10 @@ SessionHandle SlamService::open_session(const SessionConfig& config) {
 }
 
 int SlamService::session_count() const { return scheduler_.session_count(); }
+
+std::string SlamService::metrics_exposition() const {
+  return obs::metrics().exposition();
+}
 
 ServiceStats SlamService::stats() const {
   ServiceStats s;

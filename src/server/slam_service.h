@@ -43,6 +43,7 @@
 
 #include "accel/backend_factory.h"
 #include "geometry/camera.h"
+#include "obs/metrics.h"
 #include "runtime/tracker_scheduler.h"
 #include "slam/localizer.h"
 #include "slam/tracker.h"
@@ -193,6 +194,14 @@ class SlamService {
   ServiceStats stats() const;
   const ServiceOptions& options() const { return options_; }
 
+  // Prometheus-style text exposition of the process-wide metrics registry
+  // (obs/metrics.h): every counter, gauge and latency histogram the
+  // engine's layers registered — tracker stages, scheduler dispatch,
+  // backend queue waits, localizer frame latency, plus the service-level
+  // session rollups below.  This string is what a wire endpoint would
+  // serve; until the protocol lands, callers scrape it directly.
+  std::string metrics_exposition() const;
+
  private:
   friend class SessionHandle;
 
@@ -202,6 +211,15 @@ class SlamService {
   int sessions_opened_ = 0;
   int mapping_opened_ = 0;       // guarded by mutex_
   int localization_opened_ = 0;  // guarded by mutex_
+
+  // Service-level session rollups (resolved once at construction; see
+  // obs/metrics.h).  Lifetime/frames are recorded at close — a session
+  // that never closes contributes only to the opened counters.
+  obs::Counter* opened_mapping_total_ = nullptr;
+  obs::Counter* opened_localization_total_ = nullptr;
+  obs::Counter* closed_total_ = nullptr;
+  obs::Histogram* session_lifetime_ms_ = nullptr;
+  obs::Histogram* session_frames_ = nullptr;
 };
 
 }  // namespace eslam

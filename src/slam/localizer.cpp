@@ -1,11 +1,17 @@
 #include "slam/localizer.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <string>
 
 #include "geometry/wall_timer.h"
 
 namespace eslam {
+
+namespace {
+std::atomic<int> g_localization_session_ordinal{0};
+}  // namespace
 
 Localizer::Localizer(std::shared_ptr<const FrozenMap> map,
                      std::unique_ptr<FeatureBackend> backend,
@@ -13,6 +19,13 @@ Localizer::Localizer(std::shared_ptr<const FrozenMap> map,
     : map_(std::move(map)), backend_(std::move(backend)), options_(options) {
   ESLAM_ASSERT(map_ != nullptr, "localizer needs a frozen map");
   ESLAM_ASSERT(backend_ != nullptr, "localizer needs a feature backend");
+  const int ordinal =
+      g_localization_session_ordinal.fetch_add(1, std::memory_order_relaxed);
+  obs_.pid = obs::register_process("localization-" + std::to_string(ordinal));
+  obs_.frame_track = obs::register_track(obs_.pid, "frame");
+  obs_.frame_ms = &obs::metrics().histogram("eslam_localizer_frame_ms");
+  obs_.coldstart_ms =
+      &obs::metrics().histogram("eslam_localizer_coldstart_ms");
 }
 
 SE3 Localizer::predicted_pose_cw() const {
@@ -22,6 +35,8 @@ SE3 Localizer::predicted_pose_cw() const {
 }
 
 TrackResult Localizer::process(const FrameInput& frame) {
+  ESLAM_TRACE_SCOPE(obs_.frame_track, "frame");
+  const WallTimer frame_timer;
   arena_.reset();
   // Reset the recycled per-frame outputs capacity-intact (the same reset
   // Tracker::acquire_frame performs on a pooled frame shell).
@@ -44,7 +59,10 @@ TrackResult Localizer::process(const FrameInput& frame) {
   result.timestamp = frame.timestamp;
 
   // --- Feature extraction (FPGA in the paper) ---------------------------
-  backend_->extract_into(frame.gray, features_);
+  {
+    ESLAM_TRACE_SCOPE(obs_.frame_track, "FE");
+    backend_->extract_into(frame.gray, features_);
+  }
   result.times.feature_extraction = backend_->last_extract_time_ms();
   result.n_features = static_cast<int>(features_.size());
 
@@ -68,10 +86,17 @@ TrackResult Localizer::process(const FrameInput& frame) {
     tracking_ = true;
   }
   ++frames_processed_;
+  // Latency rollups: every frame, plus the cold-start distribution for
+  // frames that engaged the relocalization entry path (the tier's
+  // time-to-first-pose signal).
+  const double frame_ms = frame_timer.elapsed_ms();
+  obs_.frame_ms->record(frame_ms);
+  if (result.reloc_attempted) obs_.coldstart_ms->record(frame_ms);
   return result;
 }
 
 void Localizer::match(TrackResult& result) {
+  ESLAM_TRACE_SCOPE(obs_.frame_track, "FM");
   // --- Feature matching (FPGA in the paper) -----------------------------
   // No lock, no epoch: the FrozenMap cannot change, so the borrowed views
   // below are valid unconditionally and a match is never replayed.
@@ -192,6 +217,7 @@ void Localizer::estimate_pose(TrackResult& result) {
   }
 
   // --- Pose estimation: PnP + RANSAC (ARM) ------------------------------
+  ESLAM_TRACE_SCOPE(obs_.frame_track, "PE");
   WallTimer pe_timer;
   correspondences_.clear();
   correspondences_.reserve(matches_.size());
@@ -269,6 +295,7 @@ void Localizer::optimize_pose(TrackResult& result) {
   if (result.lost) return;
 
   // --- Pose optimization: LM on inlier reprojection error (ARM) ---------
+  ESLAM_TRACE_SCOPE(obs_.frame_track, "PO");
   WallTimer po_timer;
   const ArenaScope scope(arena_);
   std::span<Correspondence> inlier_set =

@@ -45,6 +45,8 @@
 #include <memory>
 
 #include "core/arena.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "slam/frozen_map.h"
 #include "slam/match_gate.h"
 #include "slam/ransac.h"
@@ -100,6 +102,20 @@ class Localizer {
   bool tracking() const { return tracking_; }
   int frames_processed() const { return frames_processed_; }
 
+  // --- observability -------------------------------------------------------
+  // This session's trace process row ("localization-N") with one "frame"
+  // track (FE/FM/PE/PO nest inside the frame span), plus the tier's two
+  // latency histograms: per-frame, and cold-start (frames that engaged
+  // the relocalization entry path).  Registered at construction; the
+  // frame loop only touches the resolved handles (zero-alloc contract).
+  struct LocalizerObs {
+    int pid = 0;
+    obs::TrackId frame_track = obs::kDefaultTrack;
+    obs::Histogram* frame_ms = nullptr;
+    obs::Histogram* coldstart_ms = nullptr;
+  };
+  const LocalizerObs& observability() const { return obs_; }
+
   const FrozenMap& map() const { return *map_; }
   // The shared handle itself — its use_count is the tier's "how many
   // owners share this map" observability signal.
@@ -138,6 +154,8 @@ class Localizer {
   RansacResult ransac_;
   RansacResult ransac_retry_;
   Arena arena_;  // reset once per frame
+
+  LocalizerObs obs_;
 };
 
 }  // namespace eslam

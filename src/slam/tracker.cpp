@@ -1,12 +1,20 @@
 #include "slam/tracker.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <mutex>
+#include <string>
 
 #include "geometry/wall_timer.h"
 
 namespace eslam {
+
+namespace {
+// Session ordinal for the trace process row ("mapping-N"): process-wide so
+// rows stay distinct across schedulers and services.
+std::atomic<int> g_mapping_session_ordinal{0};
+}  // namespace
 
 SoftwareBackend::SoftwareBackend(const OrbConfig& orb,
                                  const MatcherOptions& matcher)
@@ -78,6 +86,37 @@ Tracker::Tracker(const PinholeCamera& camera,
   // call after warm-up).
   trajectory_.reserve(1024);
   frame_pool_.reserve(kFramePoolCap);
+
+  // Observability registration — the cold half of the obs/ contract: all
+  // allocation (track names, registry lookups) happens here, once; stage
+  // methods then only touch the resolved handles.
+  const int ordinal =
+      g_mapping_session_ordinal.fetch_add(1, std::memory_order_relaxed);
+  obs_.pid = obs::register_process("mapping-" + std::to_string(ordinal));
+  obs_.device_track = obs::register_track(obs_.pid, "device (FE/FM)");
+  obs_.arm_track = obs::register_track(obs_.pid, "arm (PE/PO/MU)");
+  obs_.ba_track = obs::register_track(obs_.pid, "backend routine-ba");
+  obs_.loop_track = obs::register_track(obs_.pid, "backend loop-verify");
+  obs::MetricsRegistry& reg = obs::metrics();
+  obs_.stage_fe = &reg.histogram("eslam_tracker_stage_ms{stage=\"fe\"}");
+  obs_.stage_fm = &reg.histogram("eslam_tracker_stage_ms{stage=\"fm\"}");
+  obs_.stage_pe = &reg.histogram("eslam_tracker_stage_ms{stage=\"pe\"}");
+  obs_.stage_po = &reg.histogram("eslam_tracker_stage_ms{stage=\"po\"}");
+  obs_.stage_mu = &reg.histogram("eslam_tracker_stage_ms{stage=\"mu\"}");
+  obs_.backend_freeze = &reg.histogram("eslam_backend_freeze_ms");
+  obs_.backend_optimize_ba =
+      &reg.histogram("eslam_backend_optimize_ms{class=\"ba\"}");
+  obs_.backend_optimize_loop =
+      &reg.histogram("eslam_backend_optimize_ms{class=\"loop\"}");
+  obs_.backend_apply = &reg.histogram("eslam_backend_apply_ms");
+  frames_retired_total_ = &reg.counter("eslam_frames_retired_total");
+  keyframes_total_ = &reg.counter("eslam_keyframes_total");
+  points_pruned_total_ = &reg.counter("eslam_points_pruned_total");
+  points_culled_total_ = &reg.counter("eslam_points_culled_total");
+  points_fused_total_ = &reg.counter("eslam_points_fused_total");
+  reloc_attempts_total_ = &reg.counter("eslam_reloc_attempts_total");
+  reloc_successes_total_ = &reg.counter("eslam_reloc_successes_total");
+  loops_closed_total_ = &reg.counter("eslam_loops_closed_total");
 }
 
 std::optional<Vec3> Tracker::camera_point_from_depth(const FrameInput& frame,
@@ -229,12 +268,15 @@ FrameState Tracker::begin_frame(FrameInput frame) {
 
 void Tracker::extract(FrameState& fs) {
   // --- Feature extraction (FPGA in the paper) ---------------------------
+  ESLAM_TRACE_SCOPE(obs_.device_track, "FE");
   backend_->extract_into(fs.input.gray, fs.features);
   fs.result.times.feature_extraction = backend_->last_extract_time_ms();
   fs.result.n_features = static_cast<int>(fs.features.size());
+  obs_.stage_fe->record(fs.result.times.feature_extraction);
 }
 
 void Tracker::match(FrameState& fs) {
+  ESLAM_TRACE_SCOPE(obs_.device_track, "FM");
   // --- Feature matching (FPGA in the paper) ------------------------------
   // Shared-locked against update_map()'s structural writes: the matcher
   // reads the map's descriptor/position snapshot (the map region of
@@ -317,6 +359,7 @@ void Tracker::match(FrameState& fs) {
   fs.result.match_tier = fs.match_tier;
   fs.result.times.feature_matching = match_ms;
   fs.result.n_matches = static_cast<int>(fs.matches.size());
+  obs_.stage_fm->record(match_ms);
 }
 
 bool Tracker::match_against_reloc_index(FrameState& fs,
@@ -381,6 +424,7 @@ void Tracker::estimate_pose(FrameState& fs) {
                "stale matches: match() must be replayed after a key frame");
 
   // --- Pose estimation: PnP + RANSAC (ARM) -------------------------------
+  ESLAM_TRACE_SCOPE(obs_.arm_track, "PE");
   WallTimer pe_timer;
   fs.correspondences.clear();
   fs.correspondences.reserve(fs.matches.size());
@@ -435,6 +479,7 @@ void Tracker::estimate_pose(FrameState& fs) {
       std::swap(fs.ransac, fs.ransac_retry);
   }
   fs.result.times.pose_estimation = pe_timer.elapsed_ms();
+  obs_.stage_pe->record(fs.result.times.pose_estimation);
   fs.result.n_inliers = static_cast<int>(fs.ransac.inliers.size());
   if (reloc && fs.ransac.success) {
     // Plausibility: the recovered camera must be where the recognized
@@ -465,6 +510,7 @@ void Tracker::optimize_pose(FrameState& fs) {
   if (fs.bootstrap || fs.result.lost) return;
 
   // --- Pose optimization: LM on inlier reprojection error (ARM) ----------
+  ESLAM_TRACE_SCOPE(obs_.arm_track, "PO");
   WallTimer po_timer;
   if (!fs.arena) fs.arena = std::make_unique<Arena>();
   const ArenaScope scope(*fs.arena);
@@ -476,11 +522,13 @@ void Tracker::optimize_pose(FrameState& fs) {
   const PnpResult optimized = solve_pnp(inlier_set, camera_, fs.ransac.pose,
                                         options_.pose_optimization);
   fs.result.times.pose_optimization = po_timer.elapsed_ms();
+  obs_.stage_po->record(fs.result.times.pose_optimization);
   fs.result.pose_cw = optimized.pose;
   fs.result.pose_wc = optimized.pose.inverse();
 }
 
 TrackResult Tracker::update_map(FrameState& fs) {
+  ESLAM_TRACE_SCOPE(obs_.arm_track, "MU");
   const bool backend_on = options_.backend.enabled;
   if (fs.bootstrap) {
     std::vector<backend::KeyframeObservation> observations;
@@ -566,6 +614,7 @@ TrackResult Tracker::update_map(FrameState& fs) {
       if (new_kf >= 0) backend_freeze_jobs(new_kf, fs);
       fs.result.times.map_updating = mu_timer.elapsed_ms();
       fs.result.keyframe = true;
+      obs_.stage_mu->record(fs.result.times.map_updating);
     }
 
     // A post-loss frame that reached here recovered a pose — that is the
@@ -585,6 +634,20 @@ TrackResult Tracker::update_map(FrameState& fs) {
   // stores retired_through *after* update_map returns, so a match that
   // observed the retirement also observes this publication).
   publish_gate_prior(fs);
+
+  // Retirement rollups: cross-thread-folded quantities go through the
+  // registry's atomics (many trackers, one set of process-wide totals).
+  frames_retired_total_->add(1);
+  if (fs.result.keyframe) keyframes_total_->add(1);
+  if (fs.result.n_points_pruned > 0)
+    points_pruned_total_->add(fs.result.n_points_pruned);
+  if (fs.result.n_points_culled > 0)
+    points_culled_total_->add(fs.result.n_points_culled);
+  if (fs.result.n_points_fused > 0)
+    points_fused_total_->add(fs.result.n_points_fused);
+  if (fs.result.reloc_attempted) reloc_attempts_total_->add(1);
+  if (fs.result.relocalized) reloc_successes_total_->add(1);
+  if (fs.result.loop_closed) loops_closed_total_->add(1);
 
   trajectory_.push_back(fs.result);
   frame_index_ = fs.index + 1;
@@ -669,6 +732,14 @@ int Tracker::backend_insert_keyframe(
 }
 
 void Tracker::backend_freeze_jobs(int kf_id, const FrameState& fs) {
+  ESLAM_TRACE_SCOPE(obs_.arm_track, "freeze");
+  // Records the freeze duration on every exit path (the function returns
+  // early from several budget/conflict gates).
+  struct FreezeTimecard {
+    obs::Histogram* h;
+    WallTimer timer;
+    ~FreezeTimecard() { h->record(timer.elapsed_ms()); }
+  } freeze_timecard{obs_.backend_freeze, {}};
   // Runs OUTSIDE the exclusive map lock: detection and snapshot building
   // only *read* the graph/index/map, and this stage is their one writer —
   // concurrent device-lane readers (shared lock) are unaffected, and
@@ -792,6 +863,7 @@ void Tracker::backend_freeze_jobs(int kf_id, const FrameState& fs) {
 
 void Tracker::run_backend_job(int job_id) {
   backend::BackendSnapshot snapshot;
+  bool loop_job = false;
   {
     const std::lock_guard<std::mutex> lock(backend_mutex_);
     const auto it =
@@ -803,12 +875,17 @@ void Tracker::run_backend_job(int job_id) {
       return;
     snapshot = std::move(it->snapshot);
     it->state = BackendJob::State::kRunning;
+    loop_job = it->loop;
   }
   // The expensive part — windowed BA (or loop verification) on the frozen
   // copy.  No tracker lock is held: tracking stages proceed concurrently,
   // and so do other shards' jobs on other workers.
+  ESLAM_TRACE_SCOPE(loop_job ? obs_.loop_track : obs_.ba_track,
+                    loop_job ? "loop-verify" : "ba-job");
   backend::BackendDelta delta = backend::optimize_snapshot(
       std::move(snapshot), options_.backend, options_.lifecycle);
+  (loop_job ? obs_.backend_optimize_loop : obs_.backend_optimize_ba)
+      ->record(delta.optimize_ms);
   const std::lock_guard<std::mutex> lock(backend_mutex_);
   ++backend_stats_.jobs_run;
   backend_stats_.total_optimize_ms += delta.optimize_ms;
@@ -896,8 +973,11 @@ void Tracker::apply_pending_backend_deltas(FrameState& fs) {
       for (const std::int64_t id : delta.fused_ids)
         ESLAM_ASSERT(owns(id), "shard delta fused a point it does not own");
     }
+    const WallTimer apply_timer;
+    ESLAM_TRACE_SCOPE(obs_.arm_track, "apply");
     const backend::ApplyOutcome outcome =
         backend::apply_delta(delta, map_, kf_graph_);
+    obs_.backend_apply->record(apply_timer.elapsed_ms());
     fs.result.n_points_culled += outcome.points_culled;
     fs.result.n_points_fused += outcome.points_fused;
     fs.result.backend_applied = true;

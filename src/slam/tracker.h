@@ -29,6 +29,8 @@
 #include "features/orb.h"
 #include "geometry/camera.h"
 #include "geometry/se3.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "slam/keyframe.h"
 #include "slam/map.h"
 #include "slam/match_gate.h"
@@ -442,6 +444,32 @@ class Tracker {
   const backend::KeyframeGraph& keyframe_graph() const { return kf_graph_; }
   backend::BackendStats backend_stats() const;
 
+  // --- observability -------------------------------------------------------
+  // Trace topology + resolved metric handles (obs/): registered once at
+  // construction (cold), recorded into on the hot path — pure atomics and
+  // preallocated-ring stores, so the zero-allocation steady-state contract
+  // holds with instrumentation live.  The stage spans land on this
+  // session's own trace process row ("mapping-N"), lanes split the way the
+  // paper splits the hardware: device (FE/FM), ARM (PE/PO/MU), and one
+  // track per backend job class.
+  struct TrackerObs {
+    int pid = 0;
+    obs::TrackId device_track = obs::kDefaultTrack;  // FE/FM
+    obs::TrackId arm_track = obs::kDefaultTrack;     // PE/PO/MU + apply
+    obs::TrackId ba_track = obs::kDefaultTrack;      // routine-BA jobs
+    obs::TrackId loop_track = obs::kDefaultTrack;    // loop-verify jobs
+    obs::Histogram* stage_fe = nullptr;
+    obs::Histogram* stage_fm = nullptr;
+    obs::Histogram* stage_pe = nullptr;
+    obs::Histogram* stage_po = nullptr;
+    obs::Histogram* stage_mu = nullptr;  // keyframes only (others are ~0)
+    obs::Histogram* backend_freeze = nullptr;
+    obs::Histogram* backend_optimize_ba = nullptr;
+    obs::Histogram* backend_optimize_loop = nullptr;
+    obs::Histogram* backend_apply = nullptr;
+  };
+  const TrackerObs& observability() const { return obs_; }
+
  private:
   void bootstrap_map(FrameState& fs,
                      std::vector<backend::KeyframeObservation>* observations);
@@ -584,6 +612,18 @@ class Tracker {
   std::vector<BackendJob> backend_jobs_;  // ascending id
   int next_backend_job_id_ = 0;
   backend::BackendStats backend_stats_;
+
+  // --- observability handles (see TrackerObs) ------------------------------
+  TrackerObs obs_;
+  // Cross-thread-folded rollups, registry atomics (see obs/metrics.h).
+  obs::Counter* frames_retired_total_ = nullptr;
+  obs::Counter* keyframes_total_ = nullptr;
+  obs::Counter* points_pruned_total_ = nullptr;
+  obs::Counter* points_culled_total_ = nullptr;
+  obs::Counter* points_fused_total_ = nullptr;
+  obs::Counter* reloc_attempts_total_ = nullptr;
+  obs::Counter* reloc_successes_total_ = nullptr;
+  obs::Counter* loops_closed_total_ = nullptr;
 };
 
 }  // namespace eslam

@@ -1,0 +1,274 @@
+// obs/trace_export.h: the Chrome trace-event JSON must parse, carry the
+// process/track metadata rows, and contain well-nested spans — that is
+// what makes the capture loadable in Perfetto / chrome://tracing.
+#include "obs/trace_export.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace eslam::obs {
+namespace {
+
+// Minimal recursive-descent JSON parser — enough structure to validate
+// the export without an external dependency.
+struct JsonValue {
+  enum Type { kNull, kBool, kNumber, kString, kObject, kArray };
+  Type type = kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<std::pair<std::string, JsonValue>> object;
+  std::vector<JsonValue> array;
+
+  const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : object)
+      if (k == key) return &v;
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  bool parse(JsonValue& out) {
+    const bool ok = value(out);
+    skip_ws();
+    return ok && pos_ == s_.size();
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ >= s_.size() || s_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+  bool string(std::string& out) {
+    if (!consume('"')) return false;
+    out.clear();
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\' && pos_ < s_.size()) {
+        c = s_[pos_++];
+        if (c == 'n') c = '\n';
+      }
+      out += c;
+    }
+    return pos_ < s_.size() && s_[pos_++] == '"';
+  }
+  bool value(JsonValue& out) {
+    skip_ws();
+    if (pos_ >= s_.size()) return false;
+    const char c = s_[pos_];
+    if (c == '{') return object(out);
+    if (c == '[') return array(out);
+    if (c == '"') {
+      out.type = JsonValue::kString;
+      return string(out.str);
+    }
+    if (s_.compare(pos_, 4, "true") == 0) {
+      out.type = JsonValue::kBool;
+      out.boolean = true;
+      pos_ += 4;
+      return true;
+    }
+    if (s_.compare(pos_, 5, "false") == 0) {
+      out.type = JsonValue::kBool;
+      pos_ += 5;
+      return true;
+    }
+    if (s_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    // Number.
+    std::size_t end = pos_;
+    while (end < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[end])) ||
+            s_[end] == '-' || s_[end] == '+' || s_[end] == '.' ||
+            s_[end] == 'e' || s_[end] == 'E'))
+      ++end;
+    if (end == pos_) return false;
+    out.type = JsonValue::kNumber;
+    out.number = std::stod(s_.substr(pos_, end - pos_));
+    pos_ = end;
+    return true;
+  }
+  bool object(JsonValue& out) {
+    if (!consume('{')) return false;
+    out.type = JsonValue::kObject;
+    skip_ws();
+    if (consume('}')) return true;
+    for (;;) {
+      std::string key;
+      if (!string(key) || !consume(':')) return false;
+      JsonValue v;
+      if (!value(v)) return false;
+      out.object.emplace_back(std::move(key), std::move(v));
+      if (consume(',')) continue;
+      return consume('}');
+    }
+  }
+  bool array(JsonValue& out) {
+    if (!consume('[')) return false;
+    out.type = JsonValue::kArray;
+    skip_ws();
+    if (consume(']')) return true;
+    for (;;) {
+      JsonValue v;
+      if (!value(v)) return false;
+      out.array.push_back(std::move(v));
+      if (consume(',')) continue;
+      return consume(']');
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+#if ESLAM_TRACE_ENABLED
+TEST(TraceExport, RoundTripParsesAndSpansNest) {
+  // Two "sessions" with named lanes, as the engine registers them.
+  const int pid_a = register_process("export-test-a");
+  const int pid_b = register_process("export-test-b");
+  const TrackId lane_x = register_track(pid_a, "lane-x");
+  const TrackId lane_y = register_track(pid_b, "lane-y");
+
+  set_trace_enabled(true);
+  {
+    ESLAM_TRACE_SCOPE(lane_x, "outer");
+    {
+      ESLAM_TRACE_SCOPE(lane_x, "inner");
+      ESLAM_TRACE_INSTANT(lane_x, "tick");
+    }
+  }
+  const double t0 = trace_now_us();
+  trace_complete(lane_y, "complete-span", t0, 12.5);
+
+  const std::string json = chrome_trace_json();
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(json).parse(root)) << json.substr(0, 400);
+  ASSERT_EQ(root.type, JsonValue::kObject);
+
+  // Top-level shape: traceEvents + displayTimeUnit + dropped accounting.
+  const JsonValue* events = root.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->type, JsonValue::kArray);
+  const JsonValue* unit = root.find("displayTimeUnit");
+  ASSERT_NE(unit, nullptr);
+  EXPECT_EQ(unit->str, "ms");
+  const JsonValue* other = root.find("otherData");
+  ASSERT_NE(other, nullptr);
+  const JsonValue* dropped = other->find("dropped_events");
+  ASSERT_NE(dropped, nullptr);
+  EXPECT_EQ(dropped->type, JsonValue::kNumber);
+
+  // Metadata rows: both processes named, both lanes named under the
+  // right process.
+  bool named_a = false, named_b = false, lane_x_named = false;
+  std::map<std::pair<int, int>, int> depth;  // (pid, tid) -> open spans
+  double last_ts = -1;
+  bool sorted = true;
+  for (const JsonValue& ev : events->array) {
+    const JsonValue* ph = ev.find("ph");
+    ASSERT_NE(ph, nullptr);
+    const JsonValue* pid = ev.find("pid");
+    const JsonValue* tid = ev.find("tid");
+    ASSERT_NE(pid, nullptr);
+    ASSERT_NE(tid, nullptr);
+    if (ph->str == "M") {
+      const JsonValue* name = ev.find("name");
+      const JsonValue* args = ev.find("args");
+      ASSERT_NE(name, nullptr);
+      ASSERT_NE(args, nullptr);
+      if (name->str == "process_name") {
+        const JsonValue* pname = args->find("name");
+        ASSERT_NE(pname, nullptr);
+        if (static_cast<int>(pid->number) == pid_a &&
+            pname->str == "export-test-a")
+          named_a = true;
+        if (static_cast<int>(pid->number) == pid_b &&
+            pname->str == "export-test-b")
+          named_b = true;
+      } else if (name->str == "thread_name") {
+        const JsonValue* tname = args->find("name");
+        ASSERT_NE(tname, nullptr);
+        if (static_cast<int>(pid->number) == pid_a &&
+            static_cast<int>(tid->number) == lane_x &&
+            tname->str == "lane-x")
+          lane_x_named = true;
+      }
+      continue;
+    }
+    // Timed events: monotonically ordered, spans well nested per lane.
+    const JsonValue* ts = ev.find("ts");
+    ASSERT_NE(ts, nullptr);
+    if (ts->number < last_ts) sorted = false;
+    last_ts = ts->number;
+    const std::pair<int, int> lane{static_cast<int>(pid->number),
+                                   static_cast<int>(tid->number)};
+    if (ph->str == "B") {
+      ASSERT_NE(ev.find("name"), nullptr);
+      ++depth[lane];
+    } else if (ph->str == "E") {
+      ASSERT_GT(depth[lane], 0) << "E without matching B on a lane";
+      --depth[lane];
+    } else if (ph->str == "X") {
+      const JsonValue* dur = ev.find("dur");
+      ASSERT_NE(dur, nullptr);
+      EXPECT_GE(dur->number, 0.0);
+    }
+  }
+  EXPECT_TRUE(named_a);
+  EXPECT_TRUE(named_b);
+  EXPECT_TRUE(lane_x_named);
+  EXPECT_TRUE(sorted) << "events not time-ordered";
+  for (const auto& [lane, d] : depth)
+    EXPECT_EQ(d, 0) << "unbalanced spans on pid " << lane.first << " tid "
+                    << lane.second;
+}
+
+TEST(TraceExport, WriteChromeTraceProducesAParsableFile) {
+  trace_instant(kDefaultTrack, "file-probe");
+  const std::string path = ::testing::TempDir() + "eslam_trace_test.json";
+  ASSERT_TRUE(write_chrome_trace(path));
+
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string contents;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) contents.append(buf, n);
+  std::fclose(f);
+  std::remove(path.c_str());
+
+  JsonValue root;
+  EXPECT_TRUE(JsonParser(contents).parse(root));
+  EXPECT_NE(root.find("traceEvents"), nullptr);
+}
+#else
+TEST(TraceExport, DisabledBuildStillExportsValidEmptyTrace) {
+  const std::string json = chrome_trace_json();
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(json).parse(root));
+  EXPECT_NE(root.find("traceEvents"), nullptr);
+}
+#endif  // ESLAM_TRACE_ENABLED
+
+}  // namespace
+}  // namespace eslam::obs

@@ -10,6 +10,14 @@
 // The test therefore tracks a static scene (no keyframes fire after
 // bootstrap, backend disabled) so every windowed frame is a nominal
 // tracked frame.
+//
+// The observability layer rides along: tracing and the metrics histograms
+// are ENABLED throughout (the build default), and each window asserts
+// that spans/samples were actually recorded during it — so the zero-alloc
+// claim covers the instrumented hot path, not a vacuously quiet one.
+// (Thread rings and registry entries are created on cold paths: ctor
+// registration and each thread's first recorded event, all during
+// warm-up.)
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -21,6 +29,8 @@
 #include <vector>
 
 #include "dataset/sequence.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/tracker_scheduler.h"
 #include "slam/localizer.h"
 #include "slam/map_snapshot.h"
@@ -102,6 +112,9 @@ TEST(SteadyStateAlloc, SequentialTrackedFrameIsAllocationFree) {
     }
   }
 
+  const std::uint64_t events_before = obs::trace_events_recorded_total();
+  const std::uint64_t pe_samples_before =
+      tracker->observability().stage_pe->count();
   const std::size_t before = g_allocs.load();
   int inliers = 0;
   for (int i = 0; i < kWindowFrames; ++i)
@@ -112,6 +125,15 @@ TEST(SteadyStateAlloc, SequentialTrackedFrameIsAllocationFree) {
       << "sequential steady-state frames allocated";
   // The window really tracked (fed the same scene, so inliers are plenty).
   EXPECT_GT(inliers, 50);
+  // ... and the window was really instrumented: every frame recorded its
+  // PE stage duration, and (in tracing builds) its spans hit the rings.
+  EXPECT_EQ(tracker->observability().stage_pe->count() - pe_samples_before,
+            static_cast<std::uint64_t>(kWindowFrames));
+#if ESLAM_TRACE_ENABLED
+  EXPECT_GT(obs::trace_events_recorded_total(), events_before);
+#else
+  EXPECT_EQ(obs::trace_events_recorded_total(), events_before);
+#endif
 }
 
 TEST(SteadyStateAlloc, LocalizationFrameIsAllocationFree) {
@@ -146,6 +168,11 @@ TEST(SteadyStateAlloc, LocalizationFrameIsAllocationFree) {
   }
   ASSERT_TRUE(localizer.tracking());
 
+  const std::uint64_t events_before = obs::trace_events_recorded_total();
+  const std::uint64_t frame_samples_before =
+      localizer.observability().frame_ms->count();
+  const std::uint64_t coldstart_before =
+      localizer.observability().coldstart_ms->count();
   const std::size_t before = g_allocs.load();
   int inliers = 0;
   for (int i = 0; i < kWindowFrames; ++i)
@@ -157,6 +184,16 @@ TEST(SteadyStateAlloc, LocalizationFrameIsAllocationFree) {
   EXPECT_GT(inliers, 50);
   // Still a read-only session: the frozen map was never touched.
   EXPECT_EQ(localizer.map().size(), frozen->size());
+  // Instrumented window: one frame-latency sample per frame, none of them
+  // a cold start (the tracked path never engaged relocalization).
+  EXPECT_EQ(localizer.observability().frame_ms->count() - frame_samples_before,
+            static_cast<std::uint64_t>(kWindowFrames));
+  EXPECT_EQ(localizer.observability().coldstart_ms->count(), coldstart_before);
+#if ESLAM_TRACE_ENABLED
+  EXPECT_GT(obs::trace_events_recorded_total(), events_before);
+#else
+  EXPECT_EQ(obs::trace_events_recorded_total(), events_before);
+#endif
 }
 
 TEST(SteadyStateAlloc, PipelinedTrackedFrameIsAllocationFree) {
@@ -184,6 +221,9 @@ TEST(SteadyStateAlloc, PipelinedTrackedFrameIsAllocationFree) {
   for (int i = 0; i < kWindowFrames; ++i) inputs.push_back(seq.frame(0));
 
   std::vector<TrackResult> results(kWindowFrames);
+  const std::uint64_t events_before = obs::trace_events_recorded_total();
+  const std::uint64_t pe_samples_before =
+      tracker->observability().stage_pe->count();
   const std::size_t before = g_allocs.load();
   for (int i = 0; i < kWindowFrames; ++i) {
     scheduler.feed(session, std::move(inputs[i]));
@@ -194,6 +234,16 @@ TEST(SteadyStateAlloc, PipelinedTrackedFrameIsAllocationFree) {
   const std::size_t after = g_allocs.load();
 
   EXPECT_EQ(after - before, 0u) << "pipelined steady-state frames allocated";
+  // The lanes recorded through the same instrumentation while staying
+  // allocation-free: per-frame PE samples from the worker thread, spans
+  // from both lanes (tracing builds).
+  EXPECT_EQ(tracker->observability().stage_pe->count() - pe_samples_before,
+            static_cast<std::uint64_t>(kWindowFrames));
+#if ESLAM_TRACE_ENABLED
+  EXPECT_GT(obs::trace_events_recorded_total(), events_before);
+#else
+  EXPECT_EQ(obs::trace_events_recorded_total(), events_before);
+#endif
   for (int i = 0; i < kWindowFrames; ++i) {
     EXPECT_FALSE(results[static_cast<std::size_t>(i)].lost) << "frame " << i;
     EXPECT_FALSE(results[static_cast<std::size_t>(i)].keyframe)
