@@ -22,7 +22,8 @@
 namespace {
 
 eslam::AteResult run(const eslam::SyntheticSequence& sequence,
-                     eslam::DescriptorMode mode, const char* traj_path) {
+                     eslam::DescriptorMode mode, const char* traj_path,
+                     eslam::MapViewStats* view_stats) {
   using namespace eslam;
   SystemConfig config;
   config.platform = Platform::kSoftware;
@@ -35,7 +36,18 @@ eslam::AteResult run(const eslam::SyntheticSequence& sequence,
     trajectory.push_back(TimedPose{r.timestamp, r.pose_wc});
   }
   write_tum_trajectory(traj_path, trajectory);
+  if (view_stats) *view_stats = slam.map().view_stats();
   return absolute_trajectory_error(slam.poses(), sequence.ground_truth());
+}
+
+void print_view_stats(const char* label, const eslam::MapViewStats& s) {
+  std::printf("  %-13s: %llu views published, %llu block copies, "
+              "%.2f MB copied, %.2f MB shared, %lld alive\n",
+              label, static_cast<unsigned long long>(s.publishes),
+              static_cast<unsigned long long>(s.block_copies),
+              static_cast<double>(s.bytes_copied) / 1e6,
+              static_cast<double>(s.bytes_shared) / 1e6,
+              static_cast<long long>(s.views_alive));
 }
 
 }  // namespace
@@ -57,10 +69,11 @@ int main(int argc, char** argv) {
   std::printf("desk_slam: %d frames of %s, software pipeline\n\n",
               sequence.size(), sequence.name().c_str());
 
+  MapViewStats rs_views, orb_views;
   const AteResult rs = run(sequence, DescriptorMode::kRsBrief,
-                           "desk_rsbrief.tum");
+                           "desk_rsbrief.tum", &rs_views);
   const AteResult orb = run(sequence, DescriptorMode::kOrbLut,
-                            "desk_original_orb.tum");
+                            "desk_original_orb.tum", &orb_views);
 
   // Ground truth for external comparison.
   std::vector<TimedPose> gt;
@@ -73,6 +86,11 @@ int main(int argc, char** argv) {
               rs.rmse * 100);
   std::printf("  original ORB : %.2f cm (rmse %.2f cm)\n", orb.mean * 100,
               orb.rmse * 100);
+  std::printf("\nMap read-view publication (wait-free read path, "
+              "README \"Map concurrency model\"):\n");
+  print_view_stats("RS-BRIEF", rs_views);
+  print_view_stats("original ORB", orb_views);
+
   std::printf("\nTrajectories written: desk_rsbrief.tum,"
               " desk_original_orb.tum, desk_groundtruth.tum\n");
   if (!trace_path.empty() && obs::write_chrome_trace(trace_path))

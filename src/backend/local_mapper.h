@@ -357,8 +357,11 @@ BackendDelta optimize_snapshot(BackendSnapshot snapshot,
                                const MapLifecycleOptions& lifecycle);
 
 // Applies a delta to the live map + graph: one structural map update, one
-// epoch bump (when anything changed).  Must be called from the map-writing
-// stage under the tracker's exclusive map lock.
+// epoch bump, one published MapReadView (when anything changed — moves
+// clone only the position block, removals rebuild; see slam/map_view.h).
+// Must be called from the map-writing stage; graph mutations (loop
+// rebases) additionally require the tracker's exclusive graph lock, while
+// device-lane map readers continue wait-free on their borrowed views.
 ApplyOutcome apply_delta(const BackendDelta& delta, Map& map,
                          KeyframeGraph& graph);
 

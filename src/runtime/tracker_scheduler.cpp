@@ -498,7 +498,11 @@ bool TrackerScheduler::device_step(const SessionRef& sp) {
   } else {
     // Previous frame still on the ARM side: speculate against the current
     // map (finalize_match() replays if a key frame moves the epoch), then
-    // park at the barrier.
+    // park at the barrier.  The speculative FM is wait-free even while
+    // that ARM side is mid-update_map — match() borrows the map's current
+    // published view instead of taking a lock — so one session's keyframe
+    // insert no longer stalls FM dispatch for every session on this
+    // shared lane.
     if (s.opts.speculative_match)
       run_device_stage(s, fs, PipeStage::kFeatureMatching, true);
     s.pending = std::move(fs);

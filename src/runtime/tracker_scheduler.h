@@ -15,7 +15,12 @@
 //     N+1 must see the session's map after MU of frame N.  While the
 //     barrier is closed the frame waits in a per-session pending slot
 //     (after an optional speculative FM, replayed if the epoch moved), and
-//     the device lane moves on to other sessions instead of blocking;
+//     the device lane moves on to other sessions instead of blocking.
+//     FM itself is wait-free against every session's map writers: match()
+//     borrows the map's published MapReadView (slam/map_view.h) rather
+//     than locking, so a co-session's mid-flight update_map can never
+//     stall the shared lane — the barrier above is the only FM ordering
+//     constraint, and it is a scheduling rule, not a lock;
 //   * the matching gate's prior pose reaches the device lane through the
 //     tracker itself: update_map of frame N publishes the gate prior for
 //     frame N+2 before retiring, and the device lane only matches frame

@@ -11,16 +11,28 @@ FrozenMap::FrozenMap(MapSnapshot snapshot)
       points_(std::move(snapshot.points)),
       graph_(backend::rebuild_graph(snapshot.graph_options,
                                     snapshot.keyframes)) {
-  descriptor_cache_.reserve(points_.size());
-  position_cache_.reserve(points_.size());
-  descriptor_soa_.reserve(points_.size());
-  position_soa_.reserve(points_.size());
+  auto desc = std::make_shared<detail::DescriptorBlock>();
+  auto pos = std::make_shared<detail::PositionBlock>();
+  auto ids = std::make_shared<detail::IdBlock>();
+  desc->aos.reserve(points_.size());
+  desc->soa.reserve(points_.size());
+  pos->aos.reserve(points_.size());
+  pos->soa.reserve(points_.size());
+  ids->ids.reserve(points_.size());
   for (const MapPoint& p : points_) {
-    descriptor_cache_.push_back(p.descriptor);
-    position_cache_.push_back(p.position);
-    descriptor_soa_.push_back(p.descriptor);
-    position_soa_.push_back(p.position);
+    desc->aos.push_back(p.descriptor);
+    desc->soa.push_back(p.descriptor);
+    pos->aos.push_back(p.position);
+    pos->soa.push_back(p.position);
+    ids->ids.push_back(p.id);
   }
+  desc_block_ = std::move(desc);
+  pos_block_ = std::move(pos);
+  id_block_ = std::move(ids);
+  alive_ = std::make_shared<std::atomic<std::int64_t>>(0);
+  view_ = std::make_shared<const MapReadView>(/*epoch=*/0, points_.size(),
+                                              desc_block_, pos_block_,
+                                              id_block_, alive_);
   backend::rebuild_index(graph_, index_);
 }
 
@@ -29,14 +41,6 @@ std::shared_ptr<const FrozenMap> FrozenMap::load(const std::string& path,
   MapSnapshot snapshot;
   if (!load_snapshot(path, snapshot, error)) return nullptr;
   return from_snapshot(std::move(snapshot));
-}
-
-std::optional<std::size_t> FrozenMap::index_of(std::int64_t id) const {
-  const auto it = std::lower_bound(
-      points_.begin(), points_.end(), id,
-      [](const MapPoint& p, std::int64_t key) { return p.id < key; });
-  if (it == points_.end() || it->id != id) return std::nullopt;
-  return static_cast<std::size_t>(it - points_.begin());
 }
 
 }  // namespace eslam

@@ -1,20 +1,23 @@
 // FrozenMap — the localization tier's immutable map view.
 //
 // A FrozenMap is built once from a parsed MapSnapshot and never mutated:
-// no add/prune/apply, no structural epoch, no lock.  Every read API the
-// matcher / projection gate / relocalization path needs is exposed as a
-// plain borrowed view — the PR-6 SIMD candidate-gather and Hamming
-// kernels run directly on the SoA planes here exactly as they do on the
-// live Map's caches, minus the shared-lock acquisition and epoch stamp.
-// That is the whole point of the tier: N localization sessions share one
+// no add/prune/apply, no structural epoch bumps, no lock.  Since the live
+// Map's read side moved to published MapReadViews, frozen serving is the
+// *degenerate one-version case* of the same mechanism: construction
+// builds the same refcounted storage blocks the live Map publishes and
+// pins exactly one MapReadView over them, forever.  Every consumer —
+// matcher TrainView, projection-gate lanes, pose estimation's position
+// column, the reloc tier's id lookup — reads through that view with the
+// identical API a live mapping frame uses, so the Localizer and Tracker
+// share one read-path shape.  N localization sessions share one
 // FrozenMap through shared_ptr<const FrozenMap> and read it concurrently
 // with zero coordination, so served localization throughput scales with
 // cores instead of with the mapping tier's single writer lane.
 //
 // Construction rebuilds every derived structure deterministically from
-// the snapshot's canonical state: AoS descriptor/position caches, the SoA
-// mirrors, the covisibility graph (keyframes re-inserted in stored order)
-// and the recognition index.  Two loads of the same snapshot are
+// the snapshot's canonical state: the descriptor/position/id blocks (AoS
+// + SoA mirrors), the covisibility graph (keyframes re-inserted in stored
+// order) and the recognition index.  Two loads of the same snapshot are
 // therefore indistinguishable, which is what makes served localization
 // output bit-identical to a solo sequential run against the same file.
 //
@@ -37,13 +40,15 @@
 #include "geometry/camera.h"
 #include "slam/map.h"
 #include "slam/map_snapshot.h"
+#include "slam/map_view.h"
 
 namespace eslam {
 
 class FrozenMap {
  public:
   // Builds the runtime view: takes the snapshot's points by move, rebuilds
-  // caches + SoA mirrors + graph + index.  Prefer the named constructors.
+  // blocks + graph + index and publishes the one permanent MapReadView.
+  // Prefer the named constructors.
   explicit FrozenMap(MapSnapshot snapshot);
 
   static std::shared_ptr<const FrozenMap> from_snapshot(MapSnapshot snapshot) {
@@ -64,17 +69,25 @@ class FrozenMap {
 
   // Index of the point with `id`, if present (binary search — points are
   // stored ascending by id, the same invariant the live Map keeps).
-  std::optional<std::size_t> index_of(std::int64_t id) const;
-
-  // The matcher/gate views, aligned with points().  Same shapes the live
-  // Map exports — TrainView{descriptors(), &descriptor_soa()} plugs
-  // straight into the backends' match_into/match_candidates_into.
-  std::span<const Descriptor256> descriptors() const {
-    return descriptor_cache_;
+  std::optional<std::size_t> index_of(std::int64_t id) const {
+    return view_->index_of(id);
   }
-  std::span<const Vec3> positions() const { return position_cache_; }
-  const DescriptorSoA& descriptor_soa() const { return descriptor_soa_; }
-  const PositionSoA& position_soa() const { return position_soa_; }
+
+  // The one permanent published view (epoch 0, never superseded).  The
+  // Localizer borrows this exactly as a mapping frame borrows
+  // Map::read_view() — same spans, same TrainView plumbing.
+  const std::shared_ptr<const MapReadView>& view() const { return view_; }
+
+  // Direct read accessors, all delegating to the view's frozen blocks —
+  // same shapes the live Map exports.
+  std::span<const Descriptor256> descriptors() const {
+    return view_->descriptors();
+  }
+  std::span<const Vec3> positions() const { return view_->positions(); }
+  const DescriptorSoA& descriptor_soa() const {
+    return view_->descriptor_soa();
+  }
+  const PositionSoA& position_soa() const { return pos_block_->soa; }
 
   // The relocalization substrate: keyframe database + recognition index,
   // rebuilt from the snapshot (dense graph ids from 0).
@@ -88,10 +101,14 @@ class FrozenMap {
  private:
   PinholeCamera camera_;
   std::vector<MapPoint> points_;
-  std::vector<Descriptor256> descriptor_cache_;
-  std::vector<Vec3> position_cache_;
-  DescriptorSoA descriptor_soa_;
-  PositionSoA position_soa_;
+  // Storage blocks (capacity == size; nothing ever appends) and the one
+  // view over them.  The view participates in the same process-wide
+  // views-alive accounting as live published views.
+  std::shared_ptr<const detail::DescriptorBlock> desc_block_;
+  std::shared_ptr<const detail::PositionBlock> pos_block_;
+  std::shared_ptr<const detail::IdBlock> id_block_;
+  std::shared_ptr<std::atomic<std::int64_t>> alive_;
+  std::shared_ptr<const MapReadView> view_;
   backend::KeyframeGraph graph_;
   backend::KeyframeIndex index_;
 };

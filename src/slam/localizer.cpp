@@ -98,26 +98,28 @@ TrackResult Localizer::process(const FrameInput& frame) {
 void Localizer::match(TrackResult& result) {
   ESLAM_TRACE_SCOPE(obs_.frame_track, "FM");
   // --- Feature matching (FPGA in the paper) -----------------------------
-  // No lock, no epoch: the FrozenMap cannot change, so the borrowed views
-  // below are valid unconditionally and a match is never replayed.
-  if (map_->empty()) {
+  // No lock, no epoch check: the frozen tier is the degenerate
+  // one-version case of the live map's published-view read path — the
+  // FrozenMap pins a single MapReadView forever, so the borrow below is
+  // valid unconditionally and a match is never replayed.
+  const MapReadView& view = *map_->view();
+  if (view.empty()) {
     result.times.feature_matching = 0.0;
     result.n_matches = 0;
     return;
   }
-  const TrainView train{map_->descriptors(), &map_->descriptor_soa()};
+  const TrainView train{view.descriptors(), &view.descriptor_soa()};
 
   double match_ms = 0.0;
   bool gated = false;
   // Tier one: projection-gated candidate search off the fresh motion
   // model (no published slot — see the header's file comment).
   if (tracking_ && options_.match.use_gate &&
-      static_cast<int>(map_->size()) >=
+      static_cast<int>(view.size()) >=
           options_.match.min_map_points_for_gate) {
-    const PositionSoA& pos = map_->position_soa();
-    build_candidate_set_into(pos.x, pos.y, pos.z, predicted_pose_cw(),
-                             map_->camera(), features_, options_.match,
-                             &arena_, gate_);
+    build_candidate_set_into(view.xs(), view.ys(), view.zs(),
+                             predicted_pose_cw(), map_->camera(), features_,
+                             options_.match, &arena_, gate_);
     backend_->match_candidates_into(features_, train, gate_.candidates,
                                     &arena_, matches_);
     match_ms += gate_.build_ms + backend_->last_match_time_ms();

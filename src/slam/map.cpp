@@ -1,10 +1,45 @@
 #include "slam/map.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "geometry/assert.h"
+#include "obs/metrics.h"
 
 namespace eslam {
+
+namespace {
+
+// Per-row footprint of the published read state: descriptor AoS + 4 SoA
+// word planes, position AoS + 3 lanes, id column.  Used for the
+// copied/shared byte accounting only.
+constexpr std::uint64_t kRowBytes =
+    sizeof(Descriptor256) + 4 * sizeof(std::uint64_t) +  // descriptor AoS+SoA
+    sizeof(Vec3) + 3 * sizeof(double) +                  // position AoS+SoA
+    sizeof(std::int64_t);                                // id column
+
+constexpr std::size_t kMinBlockCapacity = 256;
+
+}  // namespace
+
+Map::Map()
+    : desc_block_(std::make_shared<detail::DescriptorBlock>()),
+      pos_block_(std::make_shared<detail::PositionBlock>()),
+      id_block_(std::make_shared<detail::IdBlock>()),
+      alive_(std::make_shared<std::atomic<std::int64_t>>(0)),
+      publish_ms_(&obs::metrics().histogram("eslam_map_publish_ms")),
+      publishes_total_(&obs::metrics().counter("eslam_map_publishes_total")),
+      block_copies_total_(
+          &obs::metrics().counter("eslam_map_block_copies_total")),
+      bytes_copied_total_(
+          &obs::metrics().counter("eslam_map_bytes_copied_total")),
+      bytes_shared_total_(
+          &obs::metrics().counter("eslam_map_bytes_shared_total")) {
+  // Publish the empty epoch-0 view so read_view() is never null.
+  publish();
+  // The bootstrap publish isn't a mutation; don't count it.
+  stats_ = MapViewStats{};
+}
 
 std::int64_t Map::add_point(const Vec3& position,
                             const Descriptor256& descriptor, int frame_index) {
@@ -15,13 +50,18 @@ std::int64_t Map::add_point(const Vec3& position,
   p.created_frame = frame_index;
   p.last_matched_frame = frame_index;
   points_.push_back(p);
-  // Eager cache maintenance: appends are O(1), so a bootstrap inserting
-  // thousands of points never rebuilds.
-  descriptor_cache_.push_back(p.descriptor);
-  position_cache_.push_back(p.position);
-  descriptor_soa_.push_back(p.descriptor);
-  position_soa_.push_back(p.position);
+  // Frozen-prefix append: published views only cover rows [0, view.size),
+  // so pushing row `size` into the live blocks (within reserved capacity;
+  // clone-on-full otherwise) is invisible to every borrowed view and the
+  // successor view shares all three blocks outright.
+  ensure_append_capacity(1);
+  desc_block_->aos.push_back(p.descriptor);
+  desc_block_->soa.push_back(p.descriptor);
+  pos_block_->aos.push_back(p.position);
+  pos_block_->soa.push_back(p.position);
+  id_block_->ids.push_back(p.id);
   ++epoch_;
+  publish();
   return p.id;
 }
 
@@ -37,8 +77,9 @@ std::size_t Map::prune(int current_frame, int max_age) {
     return current_frame - p.last_matched_frame > max_age;
   });
   if (points_.size() != before) {
-    rebuild_caches();
+    rebuild_blocks();
     ++epoch_;
+    publish();
   }
   return before - points_.size();
 }
@@ -55,12 +96,12 @@ MapApplyStats Map::apply_update(
     std::span<const std::pair<std::int64_t, Vec3>> moves,
     std::span<const std::int64_t> remove_ids) {
   MapApplyStats stats;
+  // Stage moves into the metadata first; the storage blocks are rebuilt
+  // or cloned below so published views never see a row change in place.
   for (const auto& [id, position] : moves) {
     const auto index = index_of(id);
     if (!index) continue;
     points_[*index].position = position;
-    position_cache_[*index] = position;
-    position_soa_.set(*index, position);
     ++stats.moved;
   }
   if (!remove_ids.empty()) {
@@ -69,27 +110,156 @@ MapApplyStats Map::apply_update(
       return std::binary_search(remove_ids.begin(), remove_ids.end(), p.id);
     });
     stats.removed = before - points_.size();
-    if (stats.removed > 0) rebuild_caches();
   }
-  if (stats.moved > 0 || stats.removed > 0) ++epoch_;
+  if (stats.removed > 0) {
+    // Rows shifted: every column is structurally new.
+    rebuild_blocks();
+  } else if (stats.moved > 0) {
+    // Moves only: clone just the position block (descriptors and ids stay
+    // shared with every live view).
+    clone_position_block();
+  }
+  if (stats.moved > 0 || stats.removed > 0) {
+    ++epoch_;
+    publish();
+  }
   return stats;
 }
 
-void Map::rebuild_caches() {
-  descriptor_cache_.clear();
-  descriptor_cache_.reserve(points_.size());
-  position_cache_.clear();
-  position_cache_.reserve(points_.size());
-  descriptor_soa_.clear();
-  descriptor_soa_.reserve(points_.size());
-  position_soa_.clear();
-  position_soa_.reserve(points_.size());
-  for (const MapPoint& p : points_) {
-    descriptor_cache_.push_back(p.descriptor);
-    position_cache_.push_back(p.position);
-    descriptor_soa_.push_back(p.descriptor);
-    position_soa_.push_back(p.position);
+MapViewStats Map::view_stats() const {
+  MapViewStats s = stats_;
+  s.views_alive = alive_->load(std::memory_order_relaxed);
+  return s;
+}
+
+void Map::ensure_append_capacity(std::size_t extra) {
+  const std::size_t need = desc_block_->aos.size() + extra;
+  if (need <= desc_block_->aos.capacity() &&
+      need <= pos_block_->aos.capacity() &&
+      need <= id_block_->ids.capacity()) {
+    return;
   }
+  // Clone-on-full into doubled capacity — the only copy appends ever pay,
+  // amortized O(1).  The old blocks stay alive for the views that hold
+  // them; vectors are reserved up front so later push_backs never
+  // reallocate (readers hold raw spans into the heap buffers).
+  const std::size_t cap =
+      std::max({need * 2, desc_block_->aos.capacity(), kMinBlockCapacity});
+
+  auto desc = std::make_shared<detail::DescriptorBlock>();
+  desc->aos.reserve(cap);
+  desc->soa.reserve(cap);  // reserve() never shrinks; assign() keeps it
+  desc->aos.insert(desc->aos.end(), desc_block_->aos.begin(),
+                   desc_block_->aos.end());
+  desc->soa.assign({desc->aos.data(), desc->aos.size()});
+
+  auto pos = std::make_shared<detail::PositionBlock>();
+  pos->aos.reserve(cap);
+  pos->soa.reserve(cap);
+  pos->aos.insert(pos->aos.end(), pos_block_->aos.begin(),
+                  pos_block_->aos.end());
+  pos->soa.x.insert(pos->soa.x.end(), pos_block_->soa.x.begin(),
+                    pos_block_->soa.x.end());
+  pos->soa.y.insert(pos->soa.y.end(), pos_block_->soa.y.begin(),
+                    pos_block_->soa.y.end());
+  pos->soa.z.insert(pos->soa.z.end(), pos_block_->soa.z.begin(),
+                    pos_block_->soa.z.end());
+
+  auto ids = std::make_shared<detail::IdBlock>();
+  ids->ids.reserve(cap);
+  ids->ids.insert(ids->ids.end(), id_block_->ids.begin(),
+                  id_block_->ids.end());
+
+  const std::uint64_t copied = desc_block_->aos.size() * kRowBytes;
+  stats_.block_copies += 3;
+  stats_.bytes_copied += copied;
+  bytes_copied_this_mutation_ += copied;
+  block_copies_total_->add(3);
+  bytes_copied_total_->add(static_cast<std::int64_t>(copied));
+
+  desc_block_ = std::move(desc);
+  pos_block_ = std::move(pos);
+  id_block_ = std::move(ids);
+}
+
+void Map::rebuild_blocks() {
+  // Structural removal: surviving rows shift, so all three columns are
+  // rewritten into fresh blocks.  Capacity is kept so post-prune appends
+  // don't immediately clone again.
+  const std::size_t cap =
+      std::max({points_.size(), desc_block_->aos.capacity(),
+                kMinBlockCapacity});
+
+  auto desc = std::make_shared<detail::DescriptorBlock>();
+  desc->aos.reserve(cap);
+  desc->soa.reserve(cap);
+  auto pos = std::make_shared<detail::PositionBlock>();
+  pos->aos.reserve(cap);
+  pos->soa.reserve(cap);
+  auto ids = std::make_shared<detail::IdBlock>();
+  ids->ids.reserve(cap);
+  for (const MapPoint& p : points_) {
+    desc->aos.push_back(p.descriptor);
+    desc->soa.push_back(p.descriptor);
+    pos->aos.push_back(p.position);
+    pos->soa.push_back(p.position);
+    ids->ids.push_back(p.id);
+  }
+
+  const std::uint64_t copied = points_.size() * kRowBytes;
+  stats_.block_copies += 3;
+  stats_.bytes_copied += copied;
+  bytes_copied_this_mutation_ += copied;
+  block_copies_total_->add(3);
+  bytes_copied_total_->add(static_cast<std::int64_t>(copied));
+
+  desc_block_ = std::move(desc);
+  pos_block_ = std::move(pos);
+  id_block_ = std::move(ids);
+}
+
+void Map::clone_position_block() {
+  const std::size_t cap =
+      std::max(pos_block_->aos.capacity(), kMinBlockCapacity);
+  auto pos = std::make_shared<detail::PositionBlock>();
+  pos->aos.reserve(cap);
+  pos->soa.reserve(cap);
+  for (const MapPoint& p : points_) {
+    pos->aos.push_back(p.position);
+    pos->soa.push_back(p.position);
+  }
+
+  const std::uint64_t copied =
+      points_.size() * (sizeof(Vec3) + 3 * sizeof(double));
+  stats_.block_copies += 1;
+  stats_.bytes_copied += copied;
+  bytes_copied_this_mutation_ += copied;
+  block_copies_total_->add(1);
+  bytes_copied_total_->add(static_cast<std::int64_t>(copied));
+
+  pos_block_ = std::move(pos);
+}
+
+void Map::publish() {
+  const auto t0 = std::chrono::steady_clock::now();
+  view_.store(std::make_shared<const MapReadView>(
+      epoch_, points_.size(), desc_block_, pos_block_, id_block_, alive_));
+  const double ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+
+  const std::uint64_t published = points_.size() * kRowBytes;
+  const std::uint64_t shared =
+      published > bytes_copied_this_mutation_
+          ? published - bytes_copied_this_mutation_
+          : 0;
+  bytes_copied_this_mutation_ = 0;
+  ++stats_.publishes;
+  stats_.bytes_shared += shared;
+  publishes_total_->add(1);
+  bytes_shared_total_->add(static_cast<std::int64_t>(shared));
+  publish_ms_->record(ms);
 }
 
 }  // namespace eslam

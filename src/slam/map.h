@@ -1,9 +1,19 @@
 // Global map: 3D points with BRIEF descriptors (paper section 2.1, Map
 // Updating).  Points unmatched for a long period are pruned so the map —
 // and the matcher's working set — stays bounded.
+//
+// Storage lives in refcounted blocks (slam/map_view.h) and every
+// structural mutation publishes an immutable MapReadView into a ViewSlot:
+// readers on other threads borrow the current view with one refcount
+// acquisition (no lock shared with the writer's mutation work)
+// while the single map-updating stage keeps appending behind it.
+// Mutators themselves are NOT thread-safe against each other — exactly
+// one stage writes the map, as before.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <utility>
@@ -12,36 +22,14 @@
 #include "features/descriptor.h"
 #include "features/descriptor_soa.h"
 #include "geometry/matrix.h"
+#include "slam/map_view.h"
 
 namespace eslam {
 
-// Map-point positions as separate x/y/z lanes, aligned with points().
-// This is the layout the batched projection kernel streams.
-struct PositionSoA {
-  std::vector<double> x, y, z;
-
-  std::size_t size() const { return x.size(); }
-  void clear() {
-    x.clear();
-    y.clear();
-    z.clear();
-  }
-  void reserve(std::size_t n) {
-    x.reserve(n);
-    y.reserve(n);
-    z.reserve(n);
-  }
-  void push_back(const Vec3& p) {
-    x.push_back(p[0]);
-    y.push_back(p[1]);
-    z.push_back(p[2]);
-  }
-  void set(std::size_t i, const Vec3& p) {
-    x[i] = p[0];
-    y[i] = p[1];
-    z[i] = p[2];
-  }
-};
+namespace obs {
+class Counter;
+class Histogram;
+}  // namespace obs
 
 struct MapApplyStats {
   std::size_t moved = 0;
@@ -59,6 +47,12 @@ struct MapPoint {
 
 class Map {
  public:
+  Map();
+  // Blocks are shared with published views; the view slot pins the
+  // object's address.
+  Map(const Map&) = delete;
+  Map& operator=(const Map&) = delete;
+
   // Adds a point; returns its id.
   std::int64_t add_point(const Vec3& position, const Descriptor256& descriptor,
                          int frame_index);
@@ -90,11 +84,19 @@ class Map {
   // skipped-stale id stays skipped regardless of order, and each apply
   // is one structural write + one epoch bump — so any apply order of a
   // freeze's deltas yields the same map.  Calls themselves still
-  // serialize on the tracker's map mutex; commutativity is what makes
-  // the *order* (worker completion order) irrelevant.
+  // serialize on the single map-updating stage; commutativity is what
+  // makes the *order* (worker completion order) irrelevant.
   MapApplyStats apply_update(
       std::span<const std::pair<std::int64_t, Vec3>> moves,
       std::span<const std::int64_t> remove_ids);
+
+  // The current published view.  One refcount acquisition under the
+  // slot's pointer-swap spinlock (no allocation — safe inside the
+  // zero-alloc steady-state window; never blocks on the writer's
+  // mutation work) and safe from any thread; the borrowed view stays
+  // frozen for as long as the caller holds it, regardless of concurrent
+  // publishes.
+  std::shared_ptr<const MapReadView> read_view() const { return view_.load(); }
 
   std::size_t size() const { return points_.size(); }
   bool empty() const { return points_.empty(); }
@@ -104,42 +106,63 @@ class Map {
   std::int64_t next_id() const { return next_id_; }
 
   // Structural version: bumped whenever point indices or descriptors can
-  // change (add_point, prune) — never by note_match.  Feature matches are
-  // index-based, so a match set is only valid against the epoch it was
-  // computed under; the pipeline runtime uses this to detect when a
-  // speculative match must be replayed after a key frame's map update.
+  // change (add_point, prune, apply_update-with-effect) — never by
+  // note_match.  Feature matches are index-based, so a match set is only
+  // valid against the epoch it was computed under; the pipeline runtime
+  // uses this to detect when a speculative match must be replayed after a
+  // key frame's map update.  Every published view carries the epoch it
+  // was built under, and a view is published on every bump — epoch() and
+  // read_view()->epoch() agree at quiescence.
   std::uint64_t epoch() const { return epoch_; }
   const MapPoint& point(std::size_t index) const { return points_[index]; }
   const std::vector<MapPoint>& points() const { return points_; }
 
-  // Projection snapshot: arrays aligned with points(), exported under one
-  // epoch.  descriptors() feeds the brute-force/HW matcher, positions()
-  // the projection gate.  Both caches are maintained *eagerly* by
-  // add_point()/prune(), so these calls are pure reads — safe under a
-  // shared lock with any number of concurrent readers (the device lane's
-  // match() runs against them while stats readers poll).
+  // Writer-thread borrows of the live blocks, aligned with points() and
+  // valid under the current epoch.  Cross-thread readers must go through
+  // read_view() instead — these spans can move under a concurrent
+  // mutation (block clone on capacity growth).
   std::span<const Descriptor256> descriptors() const {
-    return descriptor_cache_;
+    return {desc_block_->aos.data(), points_.size()};
   }
-  std::span<const Vec3> positions() const { return position_cache_; }
+  std::span<const Vec3> positions() const {
+    return {pos_block_->aos.data(), points_.size()};
+  }
+  const DescriptorSoA& descriptor_soa() const { return desc_block_->soa; }
+  const PositionSoA& position_soa() const { return pos_block_->soa; }
 
-  // SoA mirrors of the same caches, maintained on exactly the same paths
-  // and valid under the same epoch.  The matcher reads the descriptor word
-  // planes, the projection gate the position lanes — all borrowed views;
-  // no per-frame snapshot copies are taken anywhere.
-  const DescriptorSoA& descriptor_soa() const { return descriptor_soa_; }
-  const PositionSoA& position_soa() const { return position_soa_; }
+  // Copy-on-write/publication accounting (single-writer folded; the
+  // views_alive field is sampled from the shared refcount).
+  MapViewStats view_stats() const;
 
  private:
-  void rebuild_caches();
+  // Clones a block when its capacity is exhausted (appends) or a
+  // mutation must not write rows a published view covers (moves,
+  // removals).  Defined in map.cpp.
+  void ensure_append_capacity(std::size_t extra);
+  void rebuild_blocks();
+  void clone_position_block();
+  void publish();
 
   std::vector<MapPoint> points_;
   std::int64_t next_id_ = 0;
   std::uint64_t epoch_ = 0;
-  std::vector<Descriptor256> descriptor_cache_;
-  std::vector<Vec3> position_cache_;
-  DescriptorSoA descriptor_soa_;
-  PositionSoA position_soa_;
+
+  // Live blocks: written only by the map-updating stage, shared read-only
+  // with every view published since their creation.
+  std::shared_ptr<detail::DescriptorBlock> desc_block_;
+  std::shared_ptr<detail::PositionBlock> pos_block_;
+  std::shared_ptr<detail::IdBlock> id_block_;
+  std::shared_ptr<std::atomic<std::int64_t>> alive_;
+  ViewSlot view_;
+
+  MapViewStats stats_;
+  std::uint64_t bytes_copied_this_mutation_ = 0;
+
+  obs::Histogram* publish_ms_ = nullptr;
+  obs::Counter* publishes_total_ = nullptr;
+  obs::Counter* block_copies_total_ = nullptr;
+  obs::Counter* bytes_copied_total_ = nullptr;
+  obs::Counter* bytes_shared_total_ = nullptr;
 };
 
 }  // namespace eslam

@@ -1,0 +1,65 @@
+#include "slam/map_view.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+
+namespace eslam {
+
+namespace {
+
+// Process-wide live-view accounting, shared by every Map (and FrozenMap's
+// degenerate one-version case): a plain up/down counter plus its
+// high-water mark.  Resolved once — view construction/destruction happens
+// on mutation paths and at borrow release, where a registry lookup's lock
+// would be unwelcome and an allocation would break the steady-state
+// contract (a borrow release is refcount-only).
+struct ViewObs {
+  obs::Counter* alive;
+  obs::MaxGauge* alive_hwm;
+};
+
+ViewObs& view_obs() {
+  static ViewObs handles{&obs::metrics().counter("eslam_map_views_alive"),
+                         &obs::metrics().max_gauge("eslam_map_views_alive_hwm")};
+  return handles;
+}
+
+}  // namespace
+
+MapReadView::MapReadView(std::uint64_t epoch, std::size_t size,
+                         std::shared_ptr<const detail::DescriptorBlock> desc,
+                         std::shared_ptr<const detail::PositionBlock> pos,
+                         std::shared_ptr<const detail::IdBlock> ids,
+                         std::shared_ptr<std::atomic<std::int64_t>> alive)
+    : epoch_(epoch),
+      size_(size),
+      descriptors_(desc->aos.data(), size),
+      xs_(pos->soa.x.data(), size),
+      ys_(pos->soa.y.data(), size),
+      zs_(pos->soa.z.data(), size),
+      positions_(pos->aos.data(), size),
+      ids_span_(ids->ids.data(), size),
+      desc_(std::move(desc)),
+      pos_(std::move(pos)),
+      ids_(std::move(ids)),
+      alive_(std::move(alive)) {
+  const std::int64_t now =
+      alive_->fetch_add(1, std::memory_order_relaxed) + 1;
+  ViewObs& obs = view_obs();
+  obs.alive->add(1);
+  obs.alive_hwm->update(now);
+}
+
+MapReadView::~MapReadView() {
+  alive_->fetch_sub(1, std::memory_order_relaxed);
+  view_obs().alive->add(-1);
+}
+
+std::optional<std::size_t> MapReadView::index_of(std::int64_t id) const {
+  const auto it = std::lower_bound(ids_span_.begin(), ids_span_.end(), id);
+  if (it == ids_span_.end() || *it != id) return std::nullopt;
+  return static_cast<std::size_t>(it - ids_span_.begin());
+}
+
+}  // namespace eslam

@@ -1,0 +1,225 @@
+// MapReadView — the wait-free read side of the live map.
+//
+// The map's readers (feature matching, the projection gate, the
+// relocalization tier's id lookup) used to take a shared lock against map
+// updating's exclusive one.  On the shared device lane that lock is
+// head-of-line blocking: one session's keyframe insert stalls FM dispatch
+// for every session.  A MapReadView replaces the lock with RCU-style
+// versioned publication:
+//
+//   - `Map` keeps its point storage in refcounted *blocks* (descriptor
+//     AoS + SoA word planes, position AoS + SoA lanes, the sorted id
+//     column), each sized to a capacity and written only by the single
+//     map-updating stage.
+//   - Every structural mutation ends by publishing a fresh immutable
+//     MapReadView: the view captures raw spans bounded to the published
+//     row count plus the epoch, holds the blocks alive through
+//     shared_ptr, and is swapped into a ViewSlot.
+//   - Readers load the slot (one refcount acquisition under a
+//     pointer-swap spinlock that is never held across map mutation — a
+//     reader can only collide with another slot access, never with the
+//     writer's copy/publish work) and borrow the view for the whole
+//     stage.  A borrowed view is frozen: its spans
+//     never move or change meaning, regardless of what the writer
+//     publishes next.  The last release reclaims the blocks.
+//
+// Copy-on-write at block granularity keeps successive views cheap:
+//
+//   - Appends (map updating's dominant write) go into the current block
+//     past every published view's extent — published rows are a frozen
+//     prefix, so the new view *shares* every block and copies nothing.
+//     A full block is cloned once into doubled capacity (the only copy
+//     appends ever pay, amortized O(1)).
+//   - Position refinements (backend BA moves) clone only the position
+//     block; descriptors and ids stay shared.
+//   - Removals (prune, cull/fuse, loop rebase) rewrite the surviving
+//     rows into fresh blocks — the one genuinely structural copy.
+//
+// The epoch keeps exactly its old meaning: bumped once per structural
+// mutation, never by note_match, and published views always carry the
+// epoch the map had when they were built — so the speculative-match
+// replay rule (`fs.map_epoch == map.epoch()`) and sequential/pipelined
+// bit-identity are untouched.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "features/descriptor.h"
+#include "features/descriptor_soa.h"
+#include "geometry/matrix.h"
+
+namespace eslam {
+
+// Map-point positions as separate x/y/z lanes, aligned with the
+// descriptor column.  This is the layout the batched projection kernel
+// streams.  (Lives here rather than slam/map.h so the storage blocks can
+// hold one by value; map.h re-exports it by including this header.)
+struct PositionSoA {
+  std::vector<double> x, y, z;
+
+  std::size_t size() const { return x.size(); }
+  void clear() {
+    x.clear();
+    y.clear();
+    z.clear();
+  }
+  void reserve(std::size_t n) {
+    x.reserve(n);
+    y.reserve(n);
+    z.reserve(n);
+  }
+  void push_back(const Vec3& p) {
+    x.push_back(p[0]);
+    y.push_back(p[1]);
+    z.push_back(p[2]);
+  }
+  void set(std::size_t i, const Vec3& p) {
+    x[i] = p[0];
+    y[i] = p[1];
+    z[i] = p[2];
+  }
+};
+
+namespace detail {
+
+// Refcounted storage blocks.  A block is written only by the map-updating
+// stage and only at rows no published view covers; readers reach rows
+// [0, view.size) through spans the view captured at publish time, so the
+// writer's appends (including the vectors' own size bookkeeping) never
+// touch memory a reader loads.  Blocks never reallocate in place: when
+// capacity runs out the writer clones into a bigger block and the old one
+// stays alive for the views that hold it.
+struct DescriptorBlock {
+  std::vector<Descriptor256> aos;
+  DescriptorSoA soa;
+};
+
+struct PositionBlock {
+  std::vector<Vec3> aos;
+  PositionSoA soa;
+};
+
+struct IdBlock {
+  std::vector<std::int64_t> ids;  // ascending (Map's sort-by-id invariant)
+};
+
+}  // namespace detail
+
+// Per-Map publication/sharing statistics (plain counters folded by the
+// single writer; read by desk_slam / the bench for visibility).  The
+// process-wide obs/ mirrors carry the same quantities across all maps.
+struct MapViewStats {
+  std::uint64_t publishes = 0;      // views published (== epoch bumps)
+  std::uint64_t block_copies = 0;   // blocks cloned/rebuilt (COW events)
+  std::uint64_t bytes_copied = 0;   // bytes those copies moved
+  std::uint64_t bytes_shared = 0;   // published bytes reused from live blocks
+  std::int64_t views_alive = 0;     // views currently borrowed (incl. current)
+};
+
+// One immutable published version of the map's read state.  Everything a
+// reader stage needs — the matcher's TrainView (descriptor AoS + SoA word
+// planes), the projection gate's position lanes, pose estimation's
+// position column, the relocalization tier's id lookup — bounded to the
+// published row count and stamped with the epoch it was built under.
+// Thread-safe by construction: all accessors are const over frozen data.
+class MapReadView {
+ public:
+  MapReadView(std::uint64_t epoch, std::size_t size,
+              std::shared_ptr<const detail::DescriptorBlock> desc,
+              std::shared_ptr<const detail::PositionBlock> pos,
+              std::shared_ptr<const detail::IdBlock> ids,
+              std::shared_ptr<std::atomic<std::int64_t>> alive);
+  ~MapReadView();
+
+  MapReadView(const MapReadView&) = delete;
+  MapReadView& operator=(const MapReadView&) = delete;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::uint64_t epoch() const { return epoch_; }
+
+  // Matcher train side — plugs into TrainView{descriptors(),
+  // &descriptor_soa()} unchanged.  The SoA planes may extend past size()
+  // (the writer appends in place behind published views); the kernels
+  // take their count from the AoS span, which is bounded here.
+  std::span<const Descriptor256> descriptors() const { return descriptors_; }
+  const DescriptorSoA& descriptor_soa() const { return desc_->soa; }
+
+  // Projection-gate lanes and pose estimation's position column, aligned
+  // with descriptors().
+  std::span<const double> xs() const { return xs_; }
+  std::span<const double> ys() const { return ys_; }
+  std::span<const double> zs() const { return zs_; }
+  std::span<const Vec3> positions() const { return positions_; }
+  const Vec3& position(std::size_t index) const { return positions_[index]; }
+
+  // Point ids aligned with descriptors(); index_of is the relocalization
+  // tier's id lookup, answered against THIS view so match train indices
+  // stay epoch-consistent.
+  std::span<const std::int64_t> ids() const { return ids_span_; }
+  std::optional<std::size_t> index_of(std::int64_t id) const;
+
+ private:
+  std::uint64_t epoch_ = 0;
+  std::size_t size_ = 0;
+  std::span<const Descriptor256> descriptors_;
+  std::span<const double> xs_, ys_, zs_;
+  std::span<const Vec3> positions_;
+  std::span<const std::int64_t> ids_span_;
+  std::shared_ptr<const detail::DescriptorBlock> desc_;
+  std::shared_ptr<const detail::PositionBlock> pos_;
+  std::shared_ptr<const detail::IdBlock> ids_;
+  std::shared_ptr<std::atomic<std::int64_t>> alive_;
+};
+
+// The publication slot: the current view behind a pointer-swap spinlock.
+//
+// Why not std::atomic<shared_ptr>?  libstdc++ (GCC 12) implements it
+// with the same kind of embedded spinlock, but its reader-side unlock is
+// a *relaxed* RMW — there is no release edge from a completed load back
+// to the next store's plain pointer write, which is a genuine memory-
+// model race (TSan reports it, and a weakly-ordered target could
+// misorder it).  This slot is semantically identical with the orderings
+// done right: acquire on lock, release on unlock, both directions.
+//
+// The critical section is two pointer-sized operations (a shared_ptr
+// copy or swap) — it is never held across block copies, view
+// construction, or any map mutation, so a reader can only ever collide
+// with another slot access.  The writer's retired view is released
+// *outside* the lock (swap out, destroy after unlock), keeping the
+// last-release block reclamation off the slot too.  Loads allocate
+// nothing: borrowing is safe inside the zero-alloc steady-state window.
+class ViewSlot {
+ public:
+  std::shared_ptr<const MapReadView> load() const {
+    lock();
+    std::shared_ptr<const MapReadView> borrowed = view_;
+    unlock();
+    return borrowed;
+  }
+
+  void store(std::shared_ptr<const MapReadView> next) {
+    lock();
+    view_.swap(next);
+    unlock();
+    // `next` now holds the retired view; its (possibly last) release —
+    // and any block reclamation behind it — happens here, off the lock.
+  }
+
+ private:
+  void lock() const {
+    while (locked_.test_and_set(std::memory_order_acquire)) {
+    }
+  }
+  void unlock() const { locked_.clear(std::memory_order_release); }
+
+  mutable std::atomic_flag locked_ = ATOMIC_FLAG_INIT;
+  std::shared_ptr<const MapReadView> view_;
+};
+
+}  // namespace eslam

@@ -78,8 +78,8 @@ GateResult build_candidate_set(std::span<const Vec3> map_positions,
                                const MatchPolicy& policy);
 
 // Zero-allocation variant of the same computation: positions arrive as
-// SoA lanes (the map's epoch-stamped position_soa() cache, borrowed under
-// the tracker's shared lock — no per-frame snapshot copy), projection runs
+// SoA lanes (the frame's borrowed MapReadView's xs()/ys()/zs() spans —
+// frozen for the stage, no lock, no per-frame snapshot copy), projection runs
 // through the batched SIMD kernel, and the bucket grid lives in `scratch`
 // (may be null: thread-local fallback).  `out`'s CSR vectors are recycled
 // across frames.  Candidate lists, projected counts, and list ordering are

@@ -117,6 +117,7 @@ Tracker::Tracker(const PinholeCamera& camera,
   reloc_attempts_total_ = &reg.counter("eslam_reloc_attempts_total");
   reloc_successes_total_ = &reg.counter("eslam_reloc_successes_total");
   loops_closed_total_ = &reg.counter("eslam_loops_closed_total");
+  map_reader_stalls_total_ = &reg.counter("eslam_map_reader_stalls_total");
 }
 
 std::optional<Vec3> Tracker::camera_point_from_depth(const FrameInput& frame,
@@ -181,40 +182,74 @@ SE3 Tracker::predicted_pose_cw() const {
 
 void Tracker::publish_gate_prior(const FrameState& fs) {
   lost_streak_ = fs.result.lost ? lost_streak_ + 1 : 0;
-  GatePriorSlot slot;
-  slot.for_frame = fs.index + 2;
-  slot.lost_streak = lost_streak_;
-  if (fs.result.lost) {
-    // No trustworthy pose: the target frame must brute-force
-    // (relocalization tier).
-    slot.valid = false;
-  } else {
-    slot.valid = true;
+  const std::int64_t for_frame = fs.index + 2;
+  bool valid = false;
+  SE3 pose_cw;
+  if (!fs.result.lost) {
+    valid = true;
     if (options_.use_motion_model && have_velocity_) {
       // Double-step constant velocity: the target frame is two frames
       // ahead of the pose this publication is based on.
       const SE3 step = last_pose_cw_ * prev_pose_cw_.inverse();
-      slot.pose_cw = step * (step * last_pose_cw_);
+      pose_cw = step * (step * last_pose_cw_);
     } else {
-      slot.pose_cw = last_pose_cw_;
+      pose_cw = last_pose_cw_;
     }
   }
-  const std::lock_guard<std::mutex> lock(gate_prior_mutex_);
-  gate_prior_[static_cast<std::size_t>(slot.for_frame % 2)] = slot;
+  // else: no trustworthy pose — published as invalid, which routes the
+  // target frame into the relocalization tier.
+
+  // Seqlock write: odd sequence opens, payload stores are relaxed (a
+  // speculative device-lane match may genuinely overlap them — it will
+  // observe the odd/changed sequence and retry), even sequence closes
+  // with release so a reader that sees it also sees the payload.
+  GatePriorSlot& slot = gate_prior_[static_cast<std::size_t>(for_frame % 2)];
+  const std::uint32_t seq = slot.seq.load(std::memory_order_relaxed);
+  slot.seq.store(seq + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  slot.for_frame.store(for_frame, std::memory_order_relaxed);
+  slot.valid.store(valid ? 1 : 0, std::memory_order_relaxed);
+  slot.lost_streak.store(lost_streak_, std::memory_order_relaxed);
+  const double* r = pose_cw.rotation().data();
+  for (std::size_t k = 0; k < 9; ++k)
+    slot.pose_cw[k].store(r[k], std::memory_order_relaxed);
+  const double* t = pose_cw.translation().data();
+  for (std::size_t k = 0; k < 3; ++k)
+    slot.pose_cw[9 + k].store(t[k], std::memory_order_relaxed);
+  slot.seq.store(seq + 2, std::memory_order_release);
 }
 
 Tracker::GatePrior Tracker::gate_prior_for(int frame_index) const {
-  const std::lock_guard<std::mutex> lock(gate_prior_mutex_);
   const GatePriorSlot& slot =
       gate_prior_[static_cast<std::size_t>(frame_index % 2)];
   GatePrior out;
-  if (slot.for_frame != frame_index) return out;  // nothing published yet
-  out.lost_streak = slot.lost_streak;
-  if (slot.valid)
-    out.pose_cw = slot.pose_cw;
-  else
-    out.lost = true;  // explicitly published as lost: relocalize
-  return out;
+  for (;;) {
+    const std::uint32_t s1 = slot.seq.load(std::memory_order_acquire);
+    if (s1 & 1u) continue;  // writer mid-publish; retry
+    const std::int64_t for_frame =
+        slot.for_frame.load(std::memory_order_relaxed);
+    const std::int32_t valid = slot.valid.load(std::memory_order_relaxed);
+    const std::int32_t streak =
+        slot.lost_streak.load(std::memory_order_relaxed);
+    Mat3 r;
+    for (std::size_t k = 0; k < 9; ++k)
+      r.data()[k] = slot.pose_cw[k].load(std::memory_order_relaxed);
+    Vec3 t;
+    for (std::size_t k = 0; k < 3; ++k)
+      t.data()[k] = slot.pose_cw[9 + k].load(std::memory_order_relaxed);
+    // The acquire fence orders the payload loads above before the
+    // sequence re-check: an unchanged even sequence proves no write
+    // overlapped them.
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) != s1) continue;
+    if (for_frame != frame_index) return out;  // nothing published yet
+    out.lost_streak = streak;
+    if (valid)
+      out.pose_cw = SE3{r, t};
+    else
+      out.lost = true;  // explicitly published as lost: relocalize
+    return out;
+  }
 }
 
 FrameState Tracker::acquire_frame() {
@@ -231,6 +266,7 @@ FrameState Tracker::acquire_frame() {
   fs.matches.clear();
   fs.match_tier = MatchTier::kBruteForce;
   fs.map_epoch = 0;
+  fs.view.reset();  // release the borrowed map view (refcount only)
   fs.bootstrap = false;
   fs.reloc_positions.clear();
   fs.reloc_reference_cw = SE3{};
@@ -278,26 +314,29 @@ void Tracker::extract(FrameState& fs) {
 void Tracker::match(FrameState& fs) {
   ESLAM_TRACE_SCOPE(obs_.device_track, "FM");
   // --- Feature matching (FPGA in the paper) ------------------------------
-  // Shared-locked against update_map()'s structural writes: the matcher
-  // reads the map's descriptor/position snapshot (the map region of
-  // SDRAM), which only map updating rewrites.  A replay simply overwrites
-  // the previous matches.
-  const std::shared_lock lock(map_mutex_);
-  fs.map_epoch = map_.epoch();
+  // Wait-free against update_map()'s structural writes: the matcher
+  // borrows the map's current published MapReadView (one atomic refcount
+  // acquisition — no lock any writer can hold) and reads only through it
+  // for the whole stage.  A concurrent publish leaves the borrowed view
+  // frozen; the epoch recorded below detects it, and a replay simply
+  // overwrites the previous matches against a fresh borrow.
+  fs.view = map_.read_view();
+  const MapReadView& view = *fs.view;
+  fs.map_epoch = view.epoch();
   fs.matches.clear();
   fs.reloc_positions.clear();
   fs.match_tier = MatchTier::kBruteForce;
-  if (map_.empty()) {
+  if (view.empty()) {
     // Nothing to match against — the frame will bootstrap the map.
     fs.result.times.feature_matching = 0.0;
     fs.result.n_matches = 0;
     return;
   }
   // Queries go to the backend as the features themselves (no per-frame
-  // descriptor staging copy); the train side is the map's AoS snapshot
-  // plus its SoA word-plane mirror, both borrowed under the shared lock
-  // above for the duration of this stage.
-  const TrainView train{map_.descriptors(), &map_.descriptor_soa()};
+  // descriptor staging copy); the train side is the view's AoS span plus
+  // its SoA word-plane mirror, both frozen for the duration of this
+  // stage (and beyond, for as long as fs.view is held).
+  const TrainView train{view.descriptors(), &view.descriptor_soa()};
 
   const GatePrior prior = gate_prior_for(fs.index);
 
@@ -307,11 +346,10 @@ void Tracker::match(FrameState& fs) {
   double match_ms = 0.0;
   bool gated = false;
   if (options_.match.use_gate && prior.pose_cw &&
-      static_cast<int>(map_.size()) >= options_.match.min_map_points_for_gate) {
-    const PositionSoA& pos = map_.position_soa();
-    build_candidate_set_into(pos.x, pos.y, pos.z, *prior.pose_cw, camera_,
-                             fs.features, options_.match, fs.arena.get(),
-                             fs.gate);
+      static_cast<int>(view.size()) >= options_.match.min_map_points_for_gate) {
+    build_candidate_set_into(view.xs(), view.ys(), view.zs(), *prior.pose_cw,
+                             camera_, fs.features, options_.match,
+                             fs.arena.get(), fs.gate);
     backend_->match_candidates_into(fs.features, train, fs.gate.candidates,
                                     fs.arena.get(), fs.matches);
     match_ms += fs.gate.build_ms + backend_->last_match_time_ms();
@@ -329,22 +367,34 @@ void Tracker::match(FrameState& fs) {
   // keyframe index, match only against the best keyframe's local
   // neighbourhood, and leave P3P to estimate_pose(); the map-wide brute
   // force below is demoted to the deterministic fallback for when
-  // recognition comes up empty.
+  // recognition comes up empty.  This is the one read path that still
+  // locks (graph_mutex_, shared — the graph/index have no published
+  // views), and it only runs on persistently-lost frames, never in
+  // steady state.
   bool relocated = false;
   if (!gated && prior.lost &&
       prior.lost_streak >= options_.reloc.min_lost_frames &&
       options_.backend.enabled && options_.reloc.use_index &&
-      static_cast<int>(fs.features.size()) >= options_.reloc.min_matches &&
-      static_cast<int>(kf_graph_.size()) >= options_.reloc.min_keyframes) {
-    // (A frame without enough features — a dropout/blank — cannot
-    // relocalize by any tier; it is not counted as an attempt.)
-    fs.result.reloc_attempted = true;
-    // Relocalization is a rare, off-schedule path: the descriptor staging
-    // copy the index query needs is allocated here, not on every frame.
-    std::vector<Descriptor256> query;
-    query.reserve(fs.features.size());
-    for (const Feature& f : fs.features) query.push_back(f.descriptor);
-    relocated = match_against_reloc_index(fs, query, match_ms);
+      static_cast<int>(fs.features.size()) >= options_.reloc.min_matches) {
+    std::shared_lock glock(graph_mutex_, std::try_to_lock);
+    if (!glock.owns_lock()) {
+      // A keyframe insert / loop rebase holds the graph exclusively right
+      // now — the only remaining way a reader waits on a map writer.
+      map_reader_stalls_total_->add(1);
+      glock.lock();
+    }
+    if (static_cast<int>(kf_graph_.size()) >= options_.reloc.min_keyframes) {
+      // (A frame without enough features — a dropout/blank — cannot
+      // relocalize by any tier; it is not counted as an attempt.)
+      fs.result.reloc_attempted = true;
+      // Relocalization is a rare, off-schedule path: the descriptor
+      // staging copy the index query needs is allocated here, not on
+      // every frame.
+      std::vector<Descriptor256> query;
+      query.reserve(fs.features.size());
+      for (const Feature& f : fs.features) query.push_back(f.descriptor);
+      relocated = match_against_reloc_index(fs, query, match_ms);
+    }
   }
   // Fallback tier: full-map brute force (bootstrap-adjacent frames,
   // post-loss frames without a usable index, small maps, gate/reloc
@@ -385,7 +435,9 @@ bool Tracker::match_against_reloc_index(FrameState& fs,
     map_index.reserve(place.size());
     for (const auto& obs : place) {
       subset.push_back(obs.descriptor);
-      const auto index = map_.index_of(obs.point_id);
+      // Id lookup against the borrowed view, not the live map: the match
+      // train indices must be consistent with the epoch fs carries.
+      const auto index = fs.view->index_of(obs.point_id);
       map_index.push_back(index ? static_cast<std::int32_t>(*index) : -1);
     }
     if (static_cast<int>(subset.size()) < options_.reloc.min_matches)
@@ -414,7 +466,7 @@ bool Tracker::match_against_reloc_index(FrameState& fs,
 }
 
 void Tracker::estimate_pose(FrameState& fs) {
-  if (map_.empty()) {
+  if (fs.view ? fs.view->empty() : map_.empty()) {
     // First (or post-reset) frame: no pose to estimate, update_map() will
     // bootstrap the map at the identity pose.
     fs.bootstrap = true;
@@ -432,10 +484,13 @@ void Tracker::estimate_pose(FrameState& fs) {
   for (std::size_t i = 0; i < fs.matches.size(); ++i) {
     const Match& m = fs.matches[i];
     const Feature& f = fs.features[static_cast<std::size_t>(m.query)];
-    // Reloc matches carry their own 3D (keyframe-observation geometry).
+    // Reloc matches carry their own 3D (keyframe-observation geometry);
+    // map matches read the borrowed view's frozen position column (same
+    // values the matches were computed against — the epoch assert above
+    // guarantees the live map agrees).
     fs.correspondences.push_back(Correspondence{
         reloc ? fs.reloc_positions[i]
-              : map_.point(static_cast<std::size_t>(m.train)).position,
+              : fs.view->position(static_cast<std::size_t>(m.train)),
         Vec2{f.keypoint.x0(), f.keypoint.y0()}});
   }
   // Relocalization matches cover only the recognized neighbourhood, so
@@ -534,9 +589,12 @@ TrackResult Tracker::update_map(FrameState& fs) {
     std::vector<backend::KeyframeObservation> observations;
     int new_kf = -1;
     {
-      // Graph/index insertion stays inside the exclusive lock: the device
-      // lane's relocalization tier reads both under the shared lock.
-      const std::unique_lock lock(map_mutex_);
+      // Graph/index insertion happens under the exclusive graph lock: the
+      // device lane's relocalization tier reads both under the shared
+      // one.  The map writes themselves (bootstrap_map's add_point loop)
+      // need no lock — each publishes a fresh view; concurrent matchers
+      // keep reading whichever view they borrowed.
+      const std::unique_lock lock(graph_mutex_);
       bootstrap_map(fs, backend_on ? &observations : nullptr);
       last_pose_cw_ = SE3{};
       if (backend_on && !fs.result.lost)
@@ -590,12 +648,14 @@ TrackResult Tracker::update_map(FrameState& fs) {
       WallTimer mu_timer;
       int new_kf = -1;
       {
-        // The map maintains its descriptor/position snapshot eagerly, so
-        // releasing this lock immediately publishes a consistent epoch.
-        // Graph/index insertion sits inside the same exclusive section:
-        // the device lane's relocalization tier reads both under the
-        // shared lock.
-        const std::unique_lock lock(map_mutex_);
+        // The exclusive section guards the keyframe graph + recognition
+        // index only (reloc-tier readers take it shared).  The map writes
+        // inside — delta application, point insertion, pruning — need no
+        // reader arbitration: each mutation publishes an immutable view,
+        // and device-lane matchers never wait on this section.  A
+        // speculative match that borrowed a mid-update view fails the
+        // epoch check at finalize and replays, exactly as before.
+        const std::unique_lock lock(graph_mutex_);
         // Completed backend deltas land here — the next keyframe after
         // their completion — each as one more structural map write under
         // the same lock and epoch rules as the insertions below, applied
@@ -719,8 +779,9 @@ backend::BackendStats Tracker::backend_stats() const {
 int Tracker::backend_insert_keyframe(
     const FrameState& fs,
     std::vector<backend::KeyframeObservation> observations) {
-  // Caller holds the exclusive map lock: graph + index mutations here are
-  // what the device lane's relocalization tier reads under the shared one.
+  // Caller holds the exclusive graph lock: graph + index mutations here
+  // are what the device lane's relocalization tier reads under the shared
+  // one.
   const int kf_id = kf_graph_.add_keyframe(fs.index, fs.result.pose_cw,
                                            std::move(observations));
   kf_index_.add_keyframe(kf_id, kf_graph_.keyframe(kf_id).observations);
@@ -740,11 +801,11 @@ void Tracker::backend_freeze_jobs(int kf_id, const FrameState& fs) {
     WallTimer timer;
     ~FreezeTimecard() { h->record(timer.elapsed_ms()); }
   } freeze_timecard{obs_.backend_freeze, {}};
-  // Runs OUTSIDE the exclusive map lock: detection and snapshot building
-  // only *read* the graph/index/map, and this stage is their one writer —
-  // concurrent device-lane readers (shared lock) are unaffected, and
-  // keeping this work out of the exclusive section keeps a keyframe from
-  // stalling every session's matching on the shared lane.
+  // Runs OUTSIDE the exclusive graph lock: detection and snapshot
+  // building only *read* the graph/index/map, and this stage is their one
+  // writer — concurrent reloc-tier readers (shared graph lock) are
+  // unaffected, and keeping this work out of the exclusive section keeps
+  // a keyframe from stalling a lost session's recovery.
   //
   // First, gather the in-flight jobs' claim sets.  Workers may transition
   // job *states* concurrently, but jobs only enter or leave the table on

@@ -13,6 +13,7 @@
 // Figure 7; process() is the synchronous composition of the five.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -310,6 +311,13 @@ struct FrameState {
   // speculative match and its finalize the only input that can move is
   // the map itself.
   std::uint64_t map_epoch = 0;
+  // The immutable map version `matches` were computed against: borrowed
+  // wait-free from Map::read_view() at the top of match() (one refcount
+  // acquisition, no lock shared with any writer) and held until the frame
+  // is recycled, so the descriptor/position spans estimate_pose() reads
+  // stay frozen even while a concurrent session's map update publishes a
+  // successor view.  map_epoch mirrors view->epoch() for the replay check.
+  std::shared_ptr<const MapReadView> view;
   bool bootstrap = false;  // map was empty: frame initializes the map
   // Relocalization tier only (match_tier == kRelocIndex): the 3D side of
   // each match, aligned with `matches`, reconstructed from the recognized
@@ -344,9 +352,13 @@ struct FrameState {
 // estimate_pose() / optimize_pose() / update_map() stages form the ARM
 // lane and must run serially in frame order.  begin_frame() must be
 // called from the lane that feeds extract().  match() of frame N+1 may
-// run concurrently with ARM stages of frame N — it takes a shared lock
-// against update_map()'s structural map writes, and records the map epoch
-// so the caller can detect and replay a match invalidated by a key frame.
+// run concurrently with ARM stages of frame N — it borrows the map's
+// current published MapReadView wait-free (no lock shared with
+// update_map()'s structural writes; see slam/map_view.h) and records the
+// view's epoch so the caller can detect and replay a match invalidated by
+// a key frame.  Only the relocalization tier takes a lock (graph_mutex_,
+// shared) — it reads the keyframe graph + recognition index, which have
+// no published-view equivalent.
 class Tracker {
  public:
   Tracker(const PinholeCamera& camera, std::unique_ptr<FeatureBackend> backend,
@@ -485,11 +497,12 @@ class Tracker {
   // per-frame state: vectors cleared capacity-intact, arena reset.
   FrameState acquire_frame();
   // Applies every completed backend delta in job-id order (one structural
-  // map write + one epoch bump each).  Caller holds the exclusive map lock.
+  // map write + view publish + epoch bump each; loop corrections also
+  // rebase the keyframe graph).  Caller holds the exclusive graph lock.
   void apply_pending_backend_deltas(FrameState& fs);
   // Graph + recognition-index insertion for a retired keyframe (caller
-  // holds the exclusive map lock — the device lane reads both under the
-  // shared one).  Returns the new keyframe's graph id.
+  // holds the exclusive graph lock — the device lane's reloc tier reads
+  // both under the shared one).  Returns the new keyframe's graph id.
   int backend_insert_keyframe(
       const FrameState& fs,
       std::vector<backend::KeyframeObservation> observations);
@@ -532,7 +545,8 @@ class Tracker {
   // frame's descriptors and match against the best keyframe's local
   // neighbourhood only.  Returns true when it produced fs.matches (tier
   // kRelocIndex); false routes the frame to the brute-force fallback.
-  // Caller holds the shared map lock (reads the graph + index + map).
+  // Caller holds the shared graph lock (reads the graph + index); map
+  // reads go through fs.view.
   bool match_against_reloc_index(FrameState& fs,
                                  std::span<const Descriptor256> query,
                                  double& match_ms);
@@ -555,31 +569,41 @@ class Tracker {
   std::vector<FrameState> frame_pool_;
   std::mutex frame_pool_mutex_;
   static constexpr std::size_t kFramePoolCap = 16;
-  // Guards the map's structure: match() holds it shared while reading
-  // descriptors, update_map() holds it exclusively while inserting or
-  // pruning points (the hardware's SDRAM map region, written only during
-  // map updating).
-  mutable std::shared_mutex map_mutex_;
+  // Guards the keyframe graph + recognition index ONLY.  The map itself
+  // needs no reader lock anymore — match() borrows an immutable published
+  // MapReadView — but the graph/index pair has no versioned-view
+  // equivalent, so the relocalization tier (rare: post-loss frames)
+  // still takes this shared against update_map()'s keyframe insertion
+  // and loop-rebase writes.  Steady-state tracked frames never touch it.
+  mutable std::shared_mutex graph_mutex_;
 
   // Gate prior slots (see publish_gate_prior): a two-deep ring keyed by
   // target frame index, written by update_map() (ARM lane) and read by
-  // match() (device lane) under its own small mutex.
+  // match() (device lane).  Published as a seqlock so the device lane's
+  // per-frame read is wait-free against the writer: the writer makes the
+  // sequence odd, stores the payload (all relaxed atomics — a speculative
+  // match CAN overlap the store, e.g. match(f+2) racing update_map(f)
+  // before the device lane observes the new retired_through), and closes
+  // with an even sequence; a reader retries until it gets a stable even
+  // sequence around its loads.  Same frozen-prior semantics and values as
+  // the old mutex'd slot — covered by the bit-identity tests.
   struct GatePriorSlot {
-    std::int64_t for_frame = -1;
-    SE3 pose_cw;
-    bool valid = false;
-    int lost_streak = 0;  // see GatePrior
+    std::atomic<std::uint32_t> seq{0};  // odd = write in progress
+    std::atomic<std::int64_t> for_frame{-1};
+    // SE3 payload: rotation (9, Mat3::data() order) then translation (3).
+    std::array<std::atomic<double>, 12> pose_cw{};
+    std::atomic<std::int32_t> valid{0};
+    std::atomic<std::int32_t> lost_streak{0};  // see GatePrior
   };
   GatePriorSlot gate_prior_[2];
-  mutable std::mutex gate_prior_mutex_;
 
   // --- local-mapping backend state ---------------------------------------
   // The graph and recognition index are mutated only by update_map() (the
-  // single map-writing stage) *inside the exclusive map lock*, and read by
-  // match()'s relocalization tier on the device lane under the shared
-  // lock — the map mutex doubles as their reader/writer guard.  The job
-  // table below is the tracker/worker handshake and lives under
-  // backend_mutex_.
+  // single map-writing stage) *inside the exclusive graph lock*, and read
+  // by match()'s relocalization tier on the device lane under the shared
+  // one — graph_mutex_ is their reader/writer guard (the map itself is
+  // read through published views and needs none).  The job table below is
+  // the tracker/worker handshake and lives under backend_mutex_.
   backend::KeyframeGraph kf_graph_;
   backend::KeyframeIndex kf_index_;
   // Loop-closure detection cooldown: suppressed until this frame index
@@ -624,6 +648,11 @@ class Tracker {
   obs::Counter* reloc_attempts_total_ = nullptr;
   obs::Counter* reloc_successes_total_ = nullptr;
   obs::Counter* loops_closed_total_ = nullptr;
+  // Times a device-lane read path had to *wait* on a lock a map writer
+  // could hold.  With the view read path this only counts reloc-tier
+  // graph-lock contention — ~0 in steady state, gated in the
+  // multi-session bench.
+  obs::Counter* map_reader_stalls_total_ = nullptr;
 };
 
 }  // namespace eslam

@@ -14,17 +14,18 @@
 namespace eslam::backend {
 namespace {
 
-Map small_map(int n_points) {
+// Fills in place: Map pins its address (atomic view slot), so it is
+// neither copyable nor movable.
+void small_map(Map& map, int n_points) {
   eslam::testing::rng(47);
-  Map map;
   for (int j = 0; j < n_points; ++j)
     map.add_point(Vec3{0.1 * j, 0, 2.5}, eslam::testing::random_descriptor(),
                   /*frame_index=*/0);
-  return map;
 }
 
 TEST(MapLifecycle, ProtectedPointSurvivesAgePruning) {
-  Map map = small_map(3);
+  Map map;
+  small_map(map, 3);
   // Point 1 is a proven landmark: matched plenty, just not recently.
   for (int f = 1; f <= 5; ++f) map.note_match(1, f);
   // Point 2 stays fresh; points 0 and 1 are both stale by age.
@@ -49,7 +50,8 @@ TEST(MapLifecycle, ProtectedPointSurvivesAgePruning) {
 }
 
 TEST(MapLifecycle, DisabledPolicyRemovesNothing) {
-  Map map = small_map(4);
+  Map map;
+  small_map(map, 4);
   MapLifecycleOptions options;
   options.enabled = false;
   options.max_age = 1;
@@ -159,8 +161,9 @@ TEST(MapLifecycle, DisjointShardDeltasCommute) {
   // Map::apply_update).  Build two maps, apply A;B to one and B;A to the
   // other, compare everything.
   KeyframeGraph graph_ab, graph_ba;
-  Map map_ab = small_map(8);
-  Map map_ba = small_map(8);
+  Map map_ab, map_ba;
+  small_map(map_ab, 8);
+  small_map(map_ba, 8);
 
   BackendDelta a;
   a.snapshot_frame = 10;
